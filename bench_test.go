@@ -1,0 +1,316 @@
+package fistful
+
+// The benchmark harness regenerates every table and figure of the paper's
+// evaluation (go test -bench=. -benchmem). Each benchmark reruns the
+// analysis stage that produces its artifact over a shared small-scale
+// pipeline; BenchmarkPipeline and BenchmarkEconomyGeneration cover the
+// end-to-end costs. Key reproduced quantities are attached as custom
+// metrics so `-bench` output doubles as a results summary.
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/address"
+	"repro/internal/balance"
+	"repro/internal/chain"
+	"repro/internal/cluster"
+	"repro/internal/econ"
+	"repro/internal/flow"
+	"repro/internal/p2p"
+	"repro/internal/script"
+	"repro/internal/tags"
+	"repro/internal/txgraph"
+)
+
+func benchPipeline(b *testing.B) *Pipeline {
+	b.Helper()
+	pipeOnce.Do(func() {
+		pipe, pipeErr = NewPipeline(SmallConfig())
+	})
+	if pipeErr != nil {
+		b.Fatalf("pipeline: %v", pipeErr)
+	}
+	return pipe
+}
+
+// BenchmarkEconomyGeneration measures the substrate: producing a full
+// validated synthetic chain.
+func BenchmarkEconomyGeneration(b *testing.B) {
+	cfg := SmallConfig()
+	cfg.Blocks = 400
+	cfg.Users = 60
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i + 1)
+		if _, err := econ.Generate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTxGraphBuild measures indexing the chain into the dense graph.
+func BenchmarkTxGraphBuild(b *testing.B) {
+	p := benchPipeline(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := txgraph.Build(p.World.Chain); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1 regenerates the data-collection table (Table 1).
+func BenchmarkTable1(b *testing.B) {
+	p := benchPipeline(b)
+	var tagged int
+	for i := 0; i < b.N; i++ {
+		tbl := p.Table1()
+		tagged = len(tbl.Rows)
+	}
+	b.ReportMetric(float64(p.World.ResearcherTxCount), "researcher-txs")
+	_ = tagged
+}
+
+// BenchmarkFigure1 runs the full Figure 1 transaction lifecycle on a live
+// 3-node TCP network per iteration.
+func BenchmarkFigure1(b *testing.B) {
+	params := chain.MainNetParams()
+	params.TargetBits = 8
+	params.CoinbaseMaturity = 1
+	for i := 0; i < b.N; i++ {
+		net, err := p2p.NewNetwork(p2p.Config{Params: params}, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		user := address.NewKeyFromSeed(int64(i), 1)
+		merchant := address.NewKeyFromSeed(int64(i), 2)
+		funding, err := net.Nodes[1].Mine(script.PayToAddr(user.Address()))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := net.Nodes[1].Mine(script.PayToAddr(user.Address())); err != nil {
+			b.Fatal(err)
+		}
+		subsidy := funding.Txs[0].Outputs[0].Value
+		tx := &chain.Tx{
+			Version: 1,
+			Inputs:  []chain.TxIn{{Prev: chain.OutPoint{TxID: funding.Txs[0].TxID(), Index: 0}, Sequence: ^uint32(0)}},
+			Outputs: []chain.TxOut{
+				{Value: chain.BTC(0.7), PkScript: script.PayToAddr(merchant.Address())},
+				{Value: subsidy - chain.BTC(0.701), PkScript: script.PayToAddr(user.Address())},
+			},
+		}
+		sig := user.Sign(chain.SigHash(tx, 0))
+		tx.Inputs[0].SigScript = script.SigScript(sig, user.PubKey())
+		if !net.WaitHeight(1, 5*time.Second) {
+			b.Fatal("funding blocks did not propagate")
+		}
+		if err := net.Nodes[0].SubmitTx(tx); err != nil {
+			b.Fatal(err)
+		}
+		deadline := time.Now().Add(5 * time.Second)
+		for net.Nodes[1].MempoolSize() == 0 && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+		if _, err := net.Nodes[1].Mine(script.PayToAddr(user.Address())); err != nil {
+			b.Fatal(err)
+		}
+		if !net.WaitHeight(2, 5*time.Second) {
+			b.Fatal("no convergence")
+		}
+		net.Close()
+	}
+}
+
+// BenchmarkHeuristic1 regenerates the Section 4.1 clustering.
+func BenchmarkHeuristic1(b *testing.B) {
+	p := benchPipeline(b)
+	b.ReportAllocs()
+	var stats cluster.Stats
+	for i := 0; i < b.N; i++ {
+		c := cluster.Heuristic1(p.Graph)
+		stats = c.ComputeStats()
+	}
+	b.ReportMetric(float64(stats.SpenderClusters), "clusters")
+	b.ReportMetric(float64(stats.MaxUsers), "max-users")
+}
+
+// BenchmarkHeuristic2Naive regenerates the unrefined change classifier (the
+// 13%-FP first attempt).
+func BenchmarkHeuristic2Naive(b *testing.B) {
+	p := benchPipeline(b)
+	b.ReportAllocs()
+	var st cluster.ChangeStats
+	for i := 0; i < b.N; i++ {
+		_, st = cluster.FindChangeOutputs(p.Graph, cluster.Unrefined())
+	}
+	b.ReportMetric(st.FPRate()*100, "fp-pct")
+}
+
+// BenchmarkHeuristic2Refined regenerates the final refined classifier used
+// for all Section 5 analysis.
+func BenchmarkHeuristic2Refined(b *testing.B) {
+	p := benchPipeline(b)
+	b.ReportAllocs()
+	var st cluster.ChangeStats
+	for i := 0; i < b.N; i++ {
+		_, st = cluster.FindChangeOutputs(p.Graph, cluster.Refined(p.Dice, p.WaitWeek()))
+	}
+	b.ReportMetric(st.FPRate()*100, "fp-pct")
+	b.ReportMetric(float64(st.Labeled), "labeled")
+}
+
+// BenchmarkH2FullLadder regenerates the entire refinement ladder, the
+// quantity grid behind Section 4.2.
+func BenchmarkH2FullLadder(b *testing.B) {
+	p := benchPipeline(b)
+	for i := 0; i < b.N; i++ {
+		if _, r := p.Heuristic2(); len(r.Ladder) != 5 {
+			b.Fatal("ladder incomplete")
+		}
+	}
+}
+
+// BenchmarkFigure2 regenerates the category balance time series.
+func BenchmarkFigure2(b *testing.B) {
+	p := benchPipeline(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		balance.Compute(p.Graph, p.Refined, p.Naming, p.World.Chain.Params(), 12)
+	}
+}
+
+// BenchmarkTable2 regenerates the dissolution tracking: three peeling
+// chains followed via Heuristic 2 change links.
+func BenchmarkTable2(b *testing.B) {
+	p := benchPipeline(b)
+	linker := flow.NewLabelLinker(p.Refined.ChangeLabels)
+	namer := flow.NamingAdapter{Clusters: p.Refined, Naming: p.Naming}
+	d := p.World.Dissolution
+	var hops int
+	for i := 0; i < b.N; i++ {
+		hops = 0
+		for ci := 0; ci < 3; ci++ {
+			res := flow.FollowPeelingChain(p.Graph, d.ChainStarts[ci], p.World.Config.PeelHops, linker, namer)
+			hops += res.Hops
+		}
+	}
+	b.ReportMetric(float64(hops), "hops")
+}
+
+// BenchmarkTable3 regenerates the theft tracking table.
+func BenchmarkTable3(b *testing.B) {
+	p := benchPipeline(b)
+	namer := flow.NamingAdapter{Clusters: p.Refined, Naming: p.Naming}
+	var reached int
+	for i := 0; i < b.N; i++ {
+		reached = 0
+		for _, theft := range p.World.Thefts {
+			rep := flow.TrackTheft(p.Graph, theft.TheftOutputs, namer, 400)
+			if len(rep.ReachedExchanges) > 0 {
+				reached++
+			}
+		}
+	}
+	b.ReportMetric(float64(reached), "thefts-at-exchanges")
+}
+
+// BenchmarkNameClusters measures tag propagation over the refined clusters.
+func BenchmarkNameClusters(b *testing.B) {
+	p := benchPipeline(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tags.NameClusters(p.Refined, p.Graph, p.Tags)
+	}
+}
+
+// --- Ablation benches (design choices called out in DESIGN.md) ---
+
+// BenchmarkAblationPeelLinker compares the Heuristic 2 label linker against
+// the cluster-membership linker for chain following.
+func BenchmarkAblationPeelLinker(b *testing.B) {
+	p := benchPipeline(b)
+	d := p.World.Dissolution
+	b.Run("labels", func(b *testing.B) {
+		linker := flow.NewLabelLinker(p.Refined.ChangeLabels)
+		for i := 0; i < b.N; i++ {
+			flow.FollowPeelingChain(p.Graph, d.ChainStarts[0], p.World.Config.PeelHops, linker, nil)
+		}
+	})
+	b.Run("clusters", func(b *testing.B) {
+		linker := &flow.ClusterLinker{Clusters: p.Refined}
+		for i := 0; i < b.N; i++ {
+			flow.FollowPeelingChain(p.Graph, d.ChainStarts[0], p.World.Config.PeelHops, linker, nil)
+		}
+	})
+}
+
+// BenchmarkAblationDiceSet compares the tag-bootstrapped dice set against
+// the ground-truth oracle set.
+func BenchmarkAblationDiceSet(b *testing.B) {
+	p := benchPipeline(b)
+	oracle := p.World.GroundTruthDiceIDs(p.Graph)
+	b.Run("bootstrapped", func(b *testing.B) {
+		var st cluster.ChangeStats
+		for i := 0; i < b.N; i++ {
+			_, st = cluster.FindChangeOutputs(p.Graph, cluster.WithDice(p.Dice))
+		}
+		b.ReportMetric(st.FPRate()*100, "fp-pct")
+	})
+	b.Run("oracle", func(b *testing.B) {
+		var st cluster.ChangeStats
+		for i := 0; i < b.N; i++ {
+			_, st = cluster.FindChangeOutputs(p.Graph, cluster.WithDice(oracle))
+		}
+		b.ReportMetric(st.FPRate()*100, "fp-pct")
+	})
+}
+
+// BenchmarkAblationGuards isolates the cost and yield of the super-cluster
+// guards relative to wait-only refinement.
+func BenchmarkAblationGuards(b *testing.B) {
+	p := benchPipeline(b)
+	cfgs := map[string]cluster.ChangeConfig{
+		"wait-only":   {Dice: p.Dice, ExemptDice: true, WaitBlocks: p.WaitWeek()},
+		"with-guards": cluster.Refined(p.Dice, p.WaitWeek()),
+	}
+	for name, cfg := range cfgs {
+		cfg := cfg
+		b.Run(name, func(b *testing.B) {
+			var st cluster.ChangeStats
+			for i := 0; i < b.N; i++ {
+				_, st = cluster.FindChangeOutputs(p.Graph, cfg)
+			}
+			b.ReportMetric(float64(st.Labeled), "labeled")
+		})
+	}
+}
+
+// BenchmarkUnionFind measures the disjoint-set core at clustering scale.
+func BenchmarkUnionFind(b *testing.B) {
+	p := benchPipeline(b)
+	n := p.Graph.NumAddrs()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		u := cluster.NewUnionFind(n)
+		for j := 0; j+1 < n; j += 2 {
+			u.Union(uint32(j), uint32(j+1))
+		}
+		if u.Sets() == n {
+			b.Fatal("no merges")
+		}
+	}
+}
+
+// BenchmarkWireRoundTrip measures tx serialization through the p2p framing.
+func BenchmarkWireRoundTrip(b *testing.B) {
+	p := benchPipeline(b)
+	blk := p.World.Chain.BlockAt(p.World.Chain.Height() / 2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, tx := range blk.Txs {
+			_ = tx.TxID()
+		}
+	}
+}

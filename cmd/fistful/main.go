@@ -1,0 +1,200 @@
+// Command fistful runs the paper-reproduction pipeline from the command
+// line: generate a synthetic economy, run the clustering heuristics, and
+// print every table and figure of the evaluation.
+//
+// Usage:
+//
+//	fistful experiments [-small] [-seed N] [-csv]   # all tables & figures
+//	fistful generate -out chain.bin [-small]        # write the chain to disk
+//	fistful crawl [-small]                          # serve + crawl the tag site
+//	fistful p2p-demo                                # Figure 1 over real TCP
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	fistful "repro"
+	"repro/internal/econ"
+	"repro/internal/report"
+	"repro/internal/tags"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "experiments":
+		err = cmdExperiments(os.Args[2:])
+	case "generate":
+		err = cmdGenerate(os.Args[2:])
+	case "crawl":
+		err = cmdCrawl(os.Args[2:])
+	case "p2p-demo":
+		err = cmdP2PDemo(os.Args[2:])
+	case "evasion":
+		err = cmdEvasion(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fistful:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: fistful <command> [flags]
+
+commands:
+  experiments   run every table and figure of the paper's evaluation
+  generate      generate a synthetic chain and write it to disk
+  crawl         serve the synthetic tag site over HTTP and crawl it
+  p2p-demo      run the Figure 1 transaction lifecycle over TCP
+  evasion       quantify heuristic evasion (the paper's open problem)`)
+}
+
+func configFlags(fs *flag.FlagSet) (*bool, *int64) {
+	small := fs.Bool("small", false, "use the small (fast) configuration")
+	seed := fs.Int64("seed", 0, "override the economy RNG seed")
+	return small, seed
+}
+
+func buildConfig(small bool, seed int64) fistful.Config {
+	cfg := fistful.DefaultConfig()
+	if small {
+		cfg = fistful.SmallConfig()
+	}
+	if seed != 0 {
+		cfg.Seed = seed
+	}
+	return cfg
+}
+
+func cmdExperiments(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ExitOnError)
+	small, seed := configFlags(fs)
+	csv := fs.Bool("csv", false, "emit CSV instead of aligned tables")
+	samples := fs.Int("samples", 12, "figure 2 sample count")
+	fs.Parse(args)
+
+	start := time.Now()
+	fmt.Fprintf(os.Stderr, "generating economy and running pipeline...\n")
+	p, err := fistful.NewPipeline(buildConfig(*small, *seed))
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "pipeline ready in %v: %d txs, %d addresses\n\n",
+		time.Since(start).Round(time.Millisecond), p.Graph.NumTxs(), p.Graph.NumAddrs())
+
+	h1, _ := p.Heuristic1()
+	h2, _ := p.Heuristic2()
+	f2, _ := p.Figure2(*samples)
+	t2, _ := p.Table2()
+	t3, _ := p.Table3()
+	tables := []*report.Table{p.Table1(), h1, h2, f2, t2, t3}
+	for _, tbl := range tables {
+		if *csv {
+			fmt.Println(tbl.CSV())
+		} else {
+			fmt.Println(tbl.Render())
+		}
+	}
+	fmt.Printf("self-change transaction share: %.1f%% (paper: 23%% in 2013-H1)\n",
+		100*p.SelfChangeShare())
+	fmt.Printf("total runtime %v\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+func cmdGenerate(args []string) error {
+	fs := flag.NewFlagSet("generate", flag.ExitOnError)
+	small, seed := configFlags(fs)
+	out := fs.String("out", "chain.bin", "output file")
+	fs.Parse(args)
+
+	w, err := econ.Generate(buildConfig(*small, *seed))
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := w.Chain.WriteTo(f); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d blocks (%d txs) to %s\n", w.Chain.Height()+1, w.TxsGenerated, *out)
+	return nil
+}
+
+func cmdCrawl(args []string) error {
+	fs := flag.NewFlagSet("crawl", flag.ExitOnError)
+	small, seed := configFlags(fs)
+	fs.Parse(args)
+
+	cfg := buildConfig(*small, *seed)
+	cfg.Blocks = min64(cfg.Blocks, 1200) // the tag roster, not scale, matters here
+	w, err := econ.Generate(cfg)
+	if err != nil {
+		return err
+	}
+	site := tags.NewSite(w.PublicTags, 40)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: site}
+	go srv.Serve(ln)
+	defer srv.Close()
+	url := "http://" + ln.Addr().String() + "/tags"
+	fmt.Printf("serving synthetic tag site at %s (%d tags, %d pages)\n",
+		url, len(w.PublicTags), site.Pages())
+
+	crawler := &tags.Crawler{MaxPages: 128}
+	found, err := crawler.Crawl(url)
+	if err != nil {
+		return err
+	}
+	bySource := map[tags.Source]int{}
+	for _, t := range found {
+		bySource[t.Source]++
+	}
+	fmt.Printf("crawled %d tags (tag-site %d, forum %d)\n",
+		len(found), bySource[tags.SourceTagSite], bySource[tags.SourceForum])
+	return nil
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func cmdEvasion(args []string) error {
+	fs := flag.NewFlagSet("evasion", flag.ExitOnError)
+	small, seed := configFlags(fs)
+	fs.Parse(args)
+	tbl, _, err := fistful.EvasionStudy(buildConfig(*small, *seed), nil)
+	if err != nil {
+		return err
+	}
+	fmt.Println(tbl.Render())
+	return nil
+}
+
+func cmdP2PDemo(args []string) error {
+	fs := flag.NewFlagSet("p2p-demo", flag.ExitOnError)
+	nodes := fs.Int("nodes", 6, "network size")
+	fs.Parse(args)
+	return runP2PDemo(*nodes, os.Stdout)
+}

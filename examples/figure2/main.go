@@ -1,0 +1,46 @@
+// Figure 2: compute the per-category balance time series — each service
+// category's holdings as a percentage of active bitcoins — and render it as
+// a table plus a coarse ASCII chart.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	fistful "repro"
+)
+
+func main() {
+	fmt.Println("building pipeline (default scale)...")
+	p, err := fistful.NewPipeline(fistful.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	tbl, series := p.Figure2(16)
+	fmt.Println(tbl.Render())
+
+	// ASCII sparkline per category, scaled to the series maximum.
+	maxPct := 0.0
+	for _, row := range series.SharePct {
+		for _, v := range row {
+			if v > maxPct {
+				maxPct = v
+			}
+		}
+	}
+	if maxPct == 0 {
+		return
+	}
+	glyphs := []rune(" .:-=+*#%@")
+	fmt.Printf("trend (0 .. %.1f%% of active coins):\n", maxPct)
+	for ci, cat := range series.Categories {
+		var b strings.Builder
+		for _, v := range series.SharePct[ci] {
+			idx := int(v / maxPct * float64(len(glyphs)-1))
+			b.WriteRune(glyphs[idx])
+		}
+		fmt.Printf("  %-11s |%s|\n", cat.String(), b.String())
+	}
+	fmt.Printf("\nactive coins at the end: %.0f BTC\n", series.ActiveBTC[len(series.ActiveBTC)-1])
+}

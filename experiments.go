@@ -1,0 +1,462 @@
+package fistful
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/chain"
+	"repro/internal/cluster"
+	"repro/internal/econ"
+	"repro/internal/flow"
+	"repro/internal/report"
+	"repro/internal/tags"
+	"repro/internal/txgraph"
+
+	"repro/internal/balance"
+)
+
+// Table1 reproduces the data-collection experiment of Section 3.1 / Table 1:
+// the service roster by category with the transactions performed and the
+// addresses tagged from them (paper totals: 344 transactions, 1,070
+// addresses hand-tagged).
+func (p *Pipeline) Table1() *report.Table {
+	t := &report.Table{
+		Title:   "Table 1 — services transacted with, by category",
+		Headers: []string{"category", "services", "planned txs", "performed txs", "addresses tagged"},
+	}
+	planned := make(map[tags.Category]int)
+	services := make(map[tags.Category]int)
+	for _, def := range econ.Roster() {
+		services[def.Category]++
+		planned[def.Category] += def.ResearcherTxs
+	}
+	taggedByCat := make(map[tags.Category]int)
+	totalTagged := 0
+	for _, tg := range p.World.Tags.All() {
+		if tg.Source == tags.SourceOwnTransaction {
+			taggedByCat[tg.Category]++
+			totalTagged++
+		}
+	}
+	var svcTotal, planTotal, doneTotal int
+	for _, cat := range tags.Categories {
+		if services[cat] == 0 {
+			continue
+		}
+		t.AddRow(cat.String(), services[cat], planned[cat],
+			p.World.ResearcherByCat[cat], taggedByCat[cat])
+		svcTotal += services[cat]
+		planTotal += planned[cat]
+		doneTotal += p.World.ResearcherByCat[cat]
+	}
+	t.AddRow("TOTAL", svcTotal, planTotal, doneTotal, totalTagged)
+	t.Notes = append(t.Notes,
+		"paper: 344 transactions with the roster, 1,070 addresses hand-tagged",
+		fmt.Sprintf("measured: %d transactions, %d addresses tagged from them",
+			p.World.ResearcherTxCount, totalTagged))
+	return t
+}
+
+// H1Result carries the Section 4.1 Heuristic 1 statistics.
+type H1Result struct {
+	Stats          cluster.Stats
+	GoxClusters    int
+	Truth          cluster.GroundTruthMetrics
+	AddrsPerMaxUsr float64
+}
+
+// Heuristic1 reproduces the Section 4.1 statistics: cluster counts, the
+// sink-inclusive upper bound on users (paper: 5.5M clusters, at most
+// 6,595,564 users), the many-clusters-per-service effect (paper: 20 Mt. Gox
+// clusters), and — beyond the paper — ground-truth precision.
+func (p *Pipeline) Heuristic1() (*report.Table, H1Result) {
+	var r H1Result
+	r.Stats = p.H1.ComputeStats()
+	r.GoxClusters = p.NamingH1.ClustersNamed()["Mt Gox"]
+	r.Truth = p.H1.EvaluateAgainstOwners(p.Owners)
+	if r.Stats.MaxUsers > 0 {
+		r.AddrsPerMaxUsr = float64(r.Stats.Addresses) / float64(r.Stats.MaxUsers)
+	}
+
+	t := &report.Table{
+		Title:   "Heuristic 1 — multi-input clustering (Section 4.1)",
+		Headers: []string{"metric", "measured", "paper"},
+	}
+	t.AddRow("addresses", r.Stats.Addresses, "12M (2013 chain)")
+	t.AddRow("clusters of spenders", r.Stats.SpenderClusters, "5.5M")
+	t.AddRow("sink addresses", r.Stats.SinkAddresses, "-")
+	t.AddRow("max distinct users", r.Stats.MaxUsers, "6,595,564")
+	t.AddRow("largest cluster (addrs)", r.Stats.LargestCluster, "-")
+	t.AddRow("Mt. Gox clusters", r.GoxClusters, "20")
+	t.AddRow("ground-truth purity", fmt.Sprintf("%.4f", r.Truth.Purity), "n/a (no ground truth)")
+	t.AddRow("contaminated clusters", r.Truth.Contaminated, "0 expected (protocol property)")
+	return t, r
+}
+
+// H2Variant is one rung of the refinement ladder.
+type H2Variant struct {
+	Name    string
+	Stats   cluster.ChangeStats
+	PaperFP string
+}
+
+// H2Result carries the Section 4.2 measurements.
+type H2Result struct {
+	Ladder []H2Variant
+	// Super-cluster forensics.
+	NaiveBigFour   []string // of Mt Gox/Instawallet/Bitpay/Silk Road sharing one naive cluster
+	RefinedBigFour []string
+	NaiveTruth     cluster.GroundTruthMetrics
+	RefinedTruth   cluster.GroundTruthMetrics
+	// Naming amplification (paper: 2,197 named clusters covering >1.8M
+	// addresses, 1,600x the hand-tagged set).
+	NamedClusters int
+	Amplification float64
+	RefinedUsers  int // paper: 3,384,179 clusters -> 3,383,904 after collapse
+}
+
+// Heuristic2 reproduces the Section 4.2 evaluation: the false-positive
+// ladder (13% -> 1% -> 0.28% -> 0.17%), the super-cluster that the
+// unrefined heuristic builds and the refinements dissolve, and the tag
+// amplification the final clustering provides.
+func (p *Pipeline) Heuristic2() (*report.Table, H2Result) {
+	var r H2Result
+	variants := []struct {
+		name    string
+		cfg     cluster.ChangeConfig
+		paperFP string
+	}{
+		{"conditions 1-4 only", cluster.Unrefined(), "13%"},
+		{"+ dice exemption", cluster.WithDice(p.Dice), "1%"},
+		{"+ wait a day", cluster.ChangeConfig{Dice: p.Dice, ExemptDice: true, WaitBlocks: p.WaitDay()}, "0.28%"},
+		{"+ wait a week", cluster.ChangeConfig{Dice: p.Dice, ExemptDice: true, WaitBlocks: p.WaitWeek()}, "0.17%"},
+		{"refined (guards)", cluster.Refined(p.Dice, p.WaitWeek()), "-"},
+	}
+	t := &report.Table{
+		Title:   "Heuristic 2 — change-address refinement ladder (Section 4.2)",
+		Headers: []string{"variant", "labeled", "est. FPs", "FP rate", "paper FP"},
+	}
+	for _, v := range variants {
+		_, st := cluster.FindChangeOutputs(p.Graph, v.cfg)
+		r.Ladder = append(r.Ladder, H2Variant{Name: v.name, Stats: st, PaperFP: v.paperFP})
+		t.AddRow(v.name, st.Labeled, st.FalsePositives, report.Pct(st.FPRate()), v.paperFP)
+	}
+
+	r.NaiveTruth = p.Naive.EvaluateAgainstOwners(p.Owners)
+	r.RefinedTruth = p.Refined.EvaluateAgainstOwners(p.Owners)
+	r.NaiveBigFour = p.bigFourTogether(p.Naive)
+	r.RefinedBigFour = p.bigFourTogether(p.Refined)
+	r.NamedClusters = p.Naming.NamedClusters
+	r.Amplification = p.Naming.Amplification
+	r.RefinedUsers = p.Naming.CollapsedUsers
+
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("naive super-cluster: %v share one cluster (paper: Mt. Gox, Instawallet, BitPay, Silk Road in a 1.6M-address cluster)", r.NaiveBigFour),
+		fmt.Sprintf("refined: %v share one cluster (paper: super-cluster eliminated)", orNone(r.RefinedBigFour)),
+		fmt.Sprintf("ground truth: naive purity %.4f (%d contaminated) vs refined %.4f (%d contaminated)",
+			r.NaiveTruth.Purity, r.NaiveTruth.Contaminated, r.RefinedTruth.Purity, r.RefinedTruth.Contaminated),
+		fmt.Sprintf("named clusters: %d, covering %d addresses = %.0fx the %d hand-tagged (paper: 2,197 clusters, 1,600x)",
+			r.NamedClusters, p.Naming.NamedAddresses, r.Amplification, p.Naming.TaggedAddresses),
+		fmt.Sprintf("distinct users after tag collapse: %d (paper: 3,384,179 -> 3,383,904)", r.RefinedUsers))
+	return t, r
+}
+
+func orNone(s []string) any {
+	if len(s) == 0 {
+		return "none"
+	}
+	return s
+}
+
+// bigFourTogether reports which of the paper's four super-cluster services
+// share a single cluster under the given clustering.
+func (p *Pipeline) bigFourTogether(c *cluster.Clustering) []string {
+	names := []string{"Mt Gox", "Instawallet", "Bitpay", "Silk Road"}
+	byCluster := make(map[int32]map[string]bool)
+	for id, o := range p.Owners {
+		if o < 0 {
+			continue
+		}
+		actor := p.World.Actors[o]
+		match := ""
+		for _, n := range names {
+			if actor.Name == n {
+				match = n
+			}
+		}
+		if match == "" {
+			continue
+		}
+		l := c.ClusterOf(txgraph.AddrID(id))
+		if byCluster[l] == nil {
+			byCluster[l] = make(map[string]bool)
+		}
+		byCluster[l][match] = true
+	}
+	var best []string
+	for _, m := range byCluster {
+		if len(m) > len(best) {
+			best = best[:0]
+			for n := range m {
+				best = append(best, n)
+			}
+		}
+	}
+	sort.Strings(best)
+	if len(best) < 2 {
+		return nil
+	}
+	return best
+}
+
+// Figure2 reproduces the per-category balance time series: each major
+// category's balance as a percentage of active bitcoins, sampled across the
+// simulated timeline.
+func (p *Pipeline) Figure2(samples int) (*report.Table, *balance.Series) {
+	if samples <= 0 {
+		samples = 12
+	}
+	s := balance.Compute(p.Graph, p.Refined, p.Naming, p.World.Chain.Params(), samples)
+	t := &report.Table{
+		Title:   "Figure 2 — category balances as % of active bitcoins",
+		Headers: []string{"category"},
+	}
+	for _, tm := range s.Times {
+		t.Headers = append(t.Headers, tm.Format("2006-01"))
+	}
+	for ci, cat := range s.Categories {
+		row := []any{cat.String()}
+		for si := range s.Heights {
+			row = append(row, fmt.Sprintf("%.1f", s.SharePct[ci][si]))
+		}
+		t.AddRow(row...)
+	}
+	t.Notes = append(t.Notes,
+		"paper: exchanges dominate and grow over time; gambling appears mid-2012; investment bubbles then collapses")
+	return t, s
+}
+
+// Table2Row is one service row of the dissolution-tracking table.
+type Table2Row struct {
+	Service string
+	Chains  [3]struct {
+		Peels int
+		BTC   float64
+	}
+}
+
+// Table2Result carries the full Table 2 measurement.
+type Table2Result struct {
+	Rows           []Table2Row
+	TotalPeels     int
+	ExchangePeels  int
+	HopsPerChain   [3]int
+	PlannedPeels   int
+	RecoveredPeels int
+}
+
+// Table2 reproduces the Silk Road dissolution tracking: the three peeling
+// chains followed 100 hops each via Heuristic 2 change links, reporting
+// peels to known services (paper: 54 of 300 peels reach exchanges).
+func (p *Pipeline) Table2() (*report.Table, Table2Result) {
+	var r Table2Result
+	t := &report.Table{
+		Title:   "Table 2 — tracking the hot-wallet dissolution (3 peeling chains)",
+		Headers: []string{"service", "category", "c1 peels", "c1 BTC", "c2 peels", "c2 BTC", "c3 peels", "c3 BTC"},
+	}
+	d := p.World.Dissolution
+	if d == nil {
+		t.Notes = append(t.Notes, "scenarios disabled: no dissolution to track")
+		return t, r
+	}
+	labels := p.Refined.ChangeLabels
+	linker := flow.NewLabelLinker(labels)
+	namer := flow.NamingAdapter{Clusters: p.Refined, Naming: p.Naming}
+
+	type cell struct {
+		peels int
+		btc   float64
+	}
+	perSvc := make(map[string]*[3]cell)
+	catOf := make(map[string]tags.Category)
+	order := []string{}
+	for ci := 0; ci < 3; ci++ {
+		res := flow.FollowPeelingChain(p.Graph, d.ChainStarts[ci], p.World.Config.PeelHops, linker, namer)
+		r.HopsPerChain[ci] = res.Hops
+		for _, peel := range res.Peels {
+			r.TotalPeels++
+			if peel.Service == "" {
+				continue
+			}
+			r.RecoveredPeels++
+			if peel.Cat == tags.CatBankExchange || peel.Cat == tags.CatFixedExchange {
+				r.ExchangePeels++
+			}
+			c := perSvc[peel.Service]
+			if c == nil {
+				c = new([3]cell)
+				perSvc[peel.Service] = c
+				catOf[peel.Service] = peel.Cat
+				order = append(order, peel.Service)
+			}
+			c[ci].peels++
+			c[ci].btc += peel.Amount.ToBTC()
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		ci, cj := catOf[order[i]], catOf[order[j]]
+		if ci != cj {
+			return ci < cj
+		}
+		return order[i] < order[j]
+	})
+	for _, svc := range order {
+		c := perSvc[svc]
+		row := Table2Row{Service: svc}
+		cells := []any{svc, catOf[svc].String()}
+		for ci := 0; ci < 3; ci++ {
+			row.Chains[ci].Peels = c[ci].peels
+			row.Chains[ci].BTC = c[ci].btc
+			if c[ci].peels == 0 {
+				cells = append(cells, "", "")
+			} else {
+				cells = append(cells, c[ci].peels, report.BTC(c[ci].btc))
+			}
+		}
+		r.Rows = append(r.Rows, row)
+		t.AddRow(cells...)
+	}
+	r.PlannedPeels = len(d.Planned)
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("hops followed: %d/%d/%d (paper: 100 per chain)", r.HopsPerChain[0], r.HopsPerChain[1], r.HopsPerChain[2]),
+		fmt.Sprintf("peels to exchanges: %d of %d hops (paper: 54 of 300)", r.ExchangePeels, r.HopsPerChain[0]+r.HopsPerChain[1]+r.HopsPerChain[2]),
+		fmt.Sprintf("scripted known-service peels: %d; recovered by the tracker: %d", r.PlannedPeels, r.RecoveredPeels),
+		fmt.Sprintf("hot wallet held %.1f%% of minted coins (paper: 5%%); case amounts scaled by %.5f", 100*d.SupplyShare, p.World.CaseScale))
+	return t, r
+}
+
+// Table3Row is one theft row.
+type Table3Row struct {
+	Name          string
+	StolenBTC     float64
+	PaperBTC      float64
+	Movement      string
+	PaperMovement string
+	Exchanges     bool
+	ExchangeBTC   float64
+	UnmovedBTC    float64
+}
+
+// Table3 reproduces the theft-tracking table: for each theft, the scaled
+// amount stolen, the observed movement pattern, and whether tainted coins
+// reached known exchanges.
+func (p *Pipeline) Table3() (*report.Table, []Table3Row) {
+	t := &report.Table{
+		Title:   "Table 3 — tracking thefts",
+		Headers: []string{"theft", "BTC (scaled)", "paper BTC", "movement", "paper", "exchanges?", "BTC to exchanges", "unmoved"},
+	}
+	var rows []Table3Row
+	namer := flow.NamingAdapter{Clusters: p.Refined, Naming: p.Naming}
+	for _, theft := range p.World.Thefts {
+		rep := flow.TrackTheft(p.Graph, theft.TheftOutputs, namer, 400)
+		row := Table3Row{
+			Name:          theft.Name,
+			StolenBTC:     theft.Amount.ToBTC(),
+			PaperBTC:      theft.PaperBTC,
+			Movement:      rep.Movement,
+			PaperMovement: theft.Movement,
+			Exchanges:     len(rep.ReachedExchanges) > 0,
+			ExchangeBTC:   rep.ExchangeTotal.ToBTC(),
+			UnmovedBTC:    rep.Unmoved.ToBTC(),
+		}
+		rows = append(rows, row)
+		yn := "No"
+		if row.Exchanges {
+			yn = "Yes"
+		}
+		t.AddRow(theft.Name, report.BTC(row.StolenBTC), report.BTC(theft.PaperBTC),
+			row.Movement, theft.Movement, yn, report.BTC(row.ExchangeBTC), report.BTC(row.UnmovedBTC))
+	}
+	t.Notes = append(t.Notes,
+		"paper: every theft but the trojan reached a known exchange; the trojan thief left 2,857 of 3,257 BTC unmoved",
+		fmt.Sprintf("case amounts scaled by %.5f (simulated supply / 11M BTC)", p.World.CaseScale))
+	return t, rows
+}
+
+// SelfChangeShare measures the fraction of (non-coinbase) transactions using
+// self-change, the idiom the paper measures at 23% for the first half of
+// 2013.
+func (p *Pipeline) SelfChangeShare() float64 {
+	self, total := 0, 0
+	for seq := 0; seq < p.Graph.NumTxs(); seq++ {
+		tx := p.Graph.Tx(txgraph.TxSeq(seq))
+		if tx.Coinbase {
+			continue
+		}
+		total++
+		if tx.HasSelfChange() {
+			self++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(self) / float64(total)
+}
+
+// Amount re-exports chain.Amount for callers of the facade.
+type Amount = chain.Amount
+
+// TopEntities reports the largest named clusters by address count and final
+// balance — the concentration that makes exchanges "chokepoints in the
+// Bitcoin economy" (Section 5's premise: cashing out at scale is impossible
+// without touching a handful of institutions).
+func (p *Pipeline) TopEntities(k int) *report.Table {
+	if k <= 0 {
+		k = 10
+	}
+	bal := p.Graph.Balances()
+	type entity struct {
+		name  string
+		cat   tags.Category
+		addrs int
+		btc   float64
+	}
+	byName := make(map[string]*entity)
+	for id := 0; id < p.Graph.NumAddrs(); id++ {
+		svc, ok := p.Naming.ServiceOf(p.Refined, txgraph.AddrID(id))
+		if !ok {
+			continue
+		}
+		e := byName[svc]
+		if e == nil {
+			e = &entity{name: svc, cat: p.Naming.CategoryOf(p.Refined, txgraph.AddrID(id))}
+			byName[svc] = e
+		}
+		e.addrs++
+		e.btc += bal[id].ToBTC()
+	}
+	entities := make([]*entity, 0, len(byName))
+	for _, e := range byName {
+		entities = append(entities, e)
+	}
+	sort.Slice(entities, func(i, j int) bool {
+		if entities[i].addrs != entities[j].addrs {
+			return entities[i].addrs > entities[j].addrs
+		}
+		return entities[i].name < entities[j].name
+	})
+	t := &report.Table{
+		Title:   "Named entities by footprint (the exchange-chokepoint premise)",
+		Headers: []string{"entity", "category", "addresses", "balance (BTC)"},
+	}
+	for i, e := range entities {
+		if i >= k {
+			break
+		}
+		t.AddRow(e.name, e.cat.String(), e.addrs, report.BTC(e.btc))
+	}
+	t.Notes = append(t.Notes,
+		"paper: \"the increasing dominance of a small number of Bitcoin institutions ... makes Bitcoin unattractive for high-volume illicit use\"")
+	return t
+}

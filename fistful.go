@@ -1,0 +1,129 @@
+// Package fistful reproduces "A Fistful of Bitcoins: Characterizing
+// Payments Among Men with No Names" (Meiklejohn et al., IMC 2013) on a
+// synthetic Bitcoin economy.
+//
+// The package is the public facade over the substrates in internal/: one
+// call builds the full measurement pipeline — generate an economy, index
+// the chain, run Heuristic 1 and the refined Heuristic 2, bootstrap the
+// Satoshi-Dice exemption from tags, and name clusters — and per-experiment
+// functions regenerate every table and figure in the paper's evaluation.
+//
+//	p, err := fistful.NewPipeline(fistful.DefaultConfig())
+//	fmt.Print(p.Table2().Render())
+package fistful
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/econ"
+	"repro/internal/tags"
+	"repro/internal/txgraph"
+)
+
+// Config re-exports the economy configuration.
+type Config = econ.Config
+
+// DefaultConfig returns the full-experiment configuration.
+func DefaultConfig() Config { return econ.DefaultConfig() }
+
+// SmallConfig returns a fast, reduced configuration for tests and demos.
+func SmallConfig() Config { return econ.Small() }
+
+// Pipeline holds every stage of the measurement pipeline, built once and
+// shared by the experiments.
+type Pipeline struct {
+	World *econ.World
+	Graph *txgraph.Graph
+
+	// Tags combines the researcher's own-transaction tags with the public
+	// (tag-site and forum) tags, as the study did.
+	Tags *tags.Store
+
+	// H1 is the multi-input clustering (Heuristic 1 only).
+	H1 *cluster.Clustering
+	// NamingH1 names the H1 clusters; it bootstraps the dice set.
+	NamingH1 *tags.Naming
+
+	// Dice is the Satoshi-Dice address set: every address in an H1 cluster
+	// named as a dice-style gambling service.
+	Dice map[txgraph.AddrID]bool
+
+	// Naive is Heuristic 2 without refinements (Section 4.1's first
+	// attempt); it exhibits the super-cluster.
+	Naive *cluster.Clustering
+	// Refined is the final clustering used for all Section 5 analysis.
+	Refined *cluster.Clustering
+	// Naming names the refined clusters.
+	Naming *tags.Naming
+
+	// Owners is the ground-truth owner of every address (dense by AddrID),
+	// -1 where unknown.
+	Owners []int32
+}
+
+// NewPipeline generates an economy and runs every pipeline stage.
+func NewPipeline(cfg Config) (*Pipeline, error) {
+	w, err := econ.Generate(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("fistful: generate: %w", err)
+	}
+	return NewPipelineFromWorld(w)
+}
+
+// NewPipelineFromWorld runs the pipeline stages over an existing world.
+func NewPipelineFromWorld(w *econ.World) (*Pipeline, error) {
+	g, err := txgraph.Build(w.Chain)
+	if err != nil {
+		return nil, fmt.Errorf("fistful: index: %w", err)
+	}
+	p := &Pipeline{World: w, Graph: g}
+
+	// Tag collection (Section 3): our own transactions plus public sources.
+	p.Tags = tags.NewStore()
+	for _, t := range w.Tags.All() {
+		p.Tags.Add(t)
+	}
+	p.Tags.AddAll(w.PublicTags)
+
+	// Heuristic 1 and the dice bootstrap (the paper knew the Satoshi Dice
+	// cluster from its tags before refining Heuristic 2).
+	p.H1 = cluster.Heuristic1(g)
+	p.NamingH1 = tags.NameClusters(p.H1, g, p.Tags)
+	p.Dice = p.diceSet()
+
+	waitWeek := 7 * w.BlocksPerDay
+	p.Naive = cluster.Heuristic2(g, cluster.Unrefined())
+	p.Refined = cluster.Heuristic2(g, cluster.Refined(p.Dice, waitWeek))
+	p.Naming = tags.NameClusters(p.Refined, g, p.Tags)
+
+	p.Owners = w.OwnersForGraph(g)
+	return p, nil
+}
+
+// diceSet expands the tagged dice services' H1 clusters into an address set.
+func (p *Pipeline) diceSet() map[txgraph.AddrID]bool {
+	diceNames := make(map[string]bool)
+	for _, n := range p.World.DiceServiceNames() {
+		diceNames[n] = true
+	}
+	diceClusters := make(map[int32]bool)
+	for label, svc := range p.NamingH1.ClusterService {
+		if diceNames[svc] {
+			diceClusters[label] = true
+		}
+	}
+	out := make(map[txgraph.AddrID]bool)
+	for id := 0; id < p.Graph.NumAddrs(); id++ {
+		if diceClusters[p.H1.ClusterOf(txgraph.AddrID(id))] {
+			out[txgraph.AddrID(id)] = true
+		}
+	}
+	return out
+}
+
+// WaitDay returns the simulated block count of one day.
+func (p *Pipeline) WaitDay() int64 { return p.World.BlocksPerDay }
+
+// WaitWeek returns the simulated block count of one week.
+func (p *Pipeline) WaitWeek() int64 { return 7 * p.World.BlocksPerDay }

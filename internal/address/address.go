@@ -1,0 +1,81 @@
+package address
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+)
+
+// HashLen is the byte length of an address's public-key hash. It matches
+// Bitcoin's RIPEMD-160 output length; we derive it from SHA-256 instead (see
+// the package comment).
+const HashLen = 20
+
+// Version bytes for the supported address forms.
+const (
+	// P2PKHVersion is the pay-to-public-key-hash version byte ('1...'
+	// addresses on Bitcoin mainnet).
+	P2PKHVersion byte = 0x00
+)
+
+// Address is a pseudonym: the hashed public key that identifies the owner of
+// transaction outputs. As the paper notes, users can use any number of
+// addresses, which is exactly what the clustering heuristics collapse.
+//
+// Address is a small comparable value type so it can key maps directly.
+type Address struct {
+	Version byte
+	Hash    [HashLen]byte
+}
+
+// String renders the address in Base58Check form.
+func (a Address) String() string { return Base58CheckEncode(a.Version, a.Hash[:]) }
+
+// IsZero reports whether the address is the zero value.
+func (a Address) IsZero() bool { return a == Address{} }
+
+// ErrBadLength is returned when a decoded address payload is not HashLen
+// bytes.
+var ErrBadLength = errors.New("address: payload is not 20 bytes")
+
+// Decode parses a Base58Check address string.
+func Decode(s string) (Address, error) {
+	version, payload, err := Base58CheckDecode(s)
+	if err != nil {
+		return Address{}, err
+	}
+	if len(payload) != HashLen {
+		return Address{}, ErrBadLength
+	}
+	var a Address
+	a.Version = version
+	copy(a.Hash[:], payload)
+	return a, nil
+}
+
+// FromPubKey derives the address for a public key: version byte plus the
+// first 20 bytes of SHA-256(pubkey) (the RIPEMD-160 substitution).
+func FromPubKey(pub []byte) Address {
+	h := sha256.Sum256(pub)
+	var a Address
+	a.Version = P2PKHVersion
+	copy(a.Hash[:], h[:HashLen])
+	return a
+}
+
+// Hash160 returns the 20-byte hash of the input using the same construction
+// as FromPubKey, for use by the script engine.
+func Hash160(b []byte) [HashLen]byte {
+	h := sha256.Sum256(b)
+	var out [HashLen]byte
+	copy(out[:], h[:HashLen])
+	return out
+}
+
+func doubleSHA256(b []byte) [32]byte {
+	first := sha256.Sum256(b)
+	return sha256.Sum256(first[:])
+}
+
+// GoString lets %#v print addresses readably in test failures.
+func (a Address) GoString() string { return fmt.Sprintf("address.Address(%s)", a.String()) }

@@ -1,0 +1,206 @@
+package address
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBase58KnownVectors(t *testing.T) {
+	cases := []struct {
+		raw []byte
+		enc string
+	}{
+		{[]byte{}, ""},
+		{[]byte{0}, "1"},
+		{[]byte{0, 0, 0}, "111"},
+		{[]byte{57}, "z"},
+		{[]byte{58}, "21"},
+		{[]byte("hello world"), "StV1DL6CwTryKyV"},
+		{[]byte{0x00, 0x01}, "12"},
+	}
+	for _, c := range cases {
+		if got := Base58Encode(c.raw); got != c.enc {
+			t.Errorf("encode(% x) = %q, want %q", c.raw, got, c.enc)
+		}
+		dec, err := Base58Decode(c.enc)
+		if err != nil {
+			t.Errorf("decode(%q): %v", c.enc, err)
+			continue
+		}
+		if !bytes.Equal(dec, c.raw) {
+			t.Errorf("decode(%q) = % x, want % x", c.enc, dec, c.raw)
+		}
+	}
+}
+
+func TestBase58RejectsBadChars(t *testing.T) {
+	for _, s := range []string{"0", "O", "I", "l", "abcd0", "Ω"} {
+		if _, err := Base58Decode(s); err == nil {
+			t.Errorf("accepted %q", s)
+		}
+	}
+}
+
+func TestBase58PropertyRoundTrip(t *testing.T) {
+	f := func(b []byte) bool {
+		dec, err := Base58Decode(Base58Encode(b))
+		return err == nil && bytes.Equal(dec, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBase58CheckRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 100; i++ {
+		payload := make([]byte, HashLen)
+		rng.Read(payload)
+		s := Base58CheckEncode(P2PKHVersion, payload)
+		v, got, err := Base58CheckDecode(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != P2PKHVersion || !bytes.Equal(got, payload) {
+			t.Fatalf("roundtrip mismatch at %d", i)
+		}
+	}
+}
+
+func TestBase58CheckDetectsCorruption(t *testing.T) {
+	payload := make([]byte, HashLen)
+	s := Base58CheckEncode(P2PKHVersion, payload)
+	// Flip each character to a different alphabet character; all must fail.
+	for i := 0; i < len(s); i++ {
+		for _, repl := range []byte{'2', '3', 'z'} {
+			if s[i] == repl {
+				continue
+			}
+			mut := s[:i] + string(repl) + s[i+1:]
+			if _, _, err := Base58CheckDecode(mut); err == nil {
+				t.Fatalf("accepted corrupted address %q (pos %d)", mut, i)
+			}
+		}
+	}
+}
+
+func TestAddressStringDecodeRoundTrip(t *testing.T) {
+	for i := uint64(0); i < 50; i++ {
+		k := NewKeyFromSeed(7, i)
+		a := k.Address()
+		s := a.String()
+		if !strings.HasPrefix(s, "1") {
+			t.Fatalf("P2PKH address %q does not start with 1", s)
+		}
+		got, err := Decode(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != a {
+			t.Fatalf("decode(%q) != original", s)
+		}
+	}
+}
+
+func TestKeyDeterminism(t *testing.T) {
+	a := NewKeyFromSeed(42, 3)
+	b := NewKeyFromSeed(42, 3)
+	if a != b {
+		t.Fatal("same (seed, counter) produced different keys")
+	}
+	c := NewKeyFromSeed(42, 4)
+	if a == c {
+		t.Fatal("different counters produced the same key")
+	}
+	d := NewKeyFromSeed(43, 3)
+	if a == d {
+		t.Fatal("different seeds produced the same key")
+	}
+}
+
+func TestSignVerify(t *testing.T) {
+	k := NewKeyFromSeed(1, 1)
+	var digest [32]byte
+	digest[5] = 0xaa
+	sig := k.Sign(digest)
+	if !Verify(k.PubKey(), sig, digest) {
+		t.Fatal("valid signature rejected")
+	}
+	var other [32]byte
+	if Verify(k.PubKey(), sig, other) {
+		t.Fatal("signature accepted for a different digest")
+	}
+	k2 := NewKeyFromSeed(1, 2)
+	if Verify(k2.PubKey(), sig, digest) {
+		t.Fatal("signature accepted under a different key")
+	}
+	if Verify(k.PubKey(), sig[:31], digest) {
+		t.Fatal("short signature accepted")
+	}
+}
+
+func TestScanFindsEmbeddedAddresses(t *testing.T) {
+	k1 := NewKeyFromSeed(9, 1)
+	k2 := NewKeyFromSeed(9, 2)
+	a1, a2 := k1.Address(), k2.Address()
+	text := "Donate to " + a1.String() + "!! my cold wallet:\n" + a2.String() + " thanks"
+	got := Scan(text)
+	if len(got) != 2 {
+		t.Fatalf("found %d addresses, want 2 (%v)", len(got), got)
+	}
+	found := map[Address]bool{got[0]: true, got[1]: true}
+	if !found[a1] || !found[a2] {
+		t.Fatalf("scan missed an address: got %v", got)
+	}
+}
+
+func TestScanRejectsLookalikes(t *testing.T) {
+	// Base58-looking strings with broken checksums must not be reported.
+	k := NewKeyFromSeed(9, 3)
+	s := k.Address().String()
+	corrupted := s[:len(s)-1] + "2"
+	if s[len(s)-1] == '2' {
+		corrupted = s[:len(s)-1] + "3"
+	}
+	got := Scan("addr " + corrupted + " and junk 1BoatSLRHtKNngkdXEeobR76b53LETtpyT")
+	for _, a := range got {
+		if a.String() == corrupted {
+			t.Fatalf("scan accepted corrupted address %q", corrupted)
+		}
+	}
+}
+
+func TestScanDeduplicates(t *testing.T) {
+	k := NewKeyFromSeed(9, 4)
+	s := k.Address().String()
+	got := Scan(s + " " + s + " " + s)
+	if len(got) != 1 {
+		t.Fatalf("scan returned %d results for a repeated address, want 1", len(got))
+	}
+}
+
+func TestScanEmptyAndNoise(t *testing.T) {
+	if got := Scan(""); len(got) != 0 {
+		t.Fatalf("scan of empty text found %v", got)
+	}
+	if got := Scan("!!!! ???? \n\t ... O0Il"); len(got) != 0 {
+		t.Fatalf("scan of noise found %v", got)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode("1"); err == nil {
+		t.Error("accepted too-short address")
+	}
+	if _, err := Decode("notbase58!!!"); err == nil {
+		t.Error("accepted invalid characters")
+	}
+	// Valid base58check but wrong payload length.
+	s := Base58CheckEncode(P2PKHVersion, []byte{1, 2, 3})
+	if _, err := Decode(s); err != ErrBadLength {
+		t.Errorf("short payload: err = %v, want ErrBadLength", err)
+	}
+}

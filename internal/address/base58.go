@@ -1,0 +1,126 @@
+// Package address implements Bitcoin-style addresses: Base58 and
+// Base58Check encoding, deterministic simulated key pairs, address
+// derivation, and a free-text address scanner used by the tag crawler.
+//
+// Cryptography substitution (documented in DESIGN.md): the standard library
+// provides neither secp256k1 nor RIPEMD-160, and nothing in the paper's
+// analysis verifies signatures cryptographically, so keys and signatures are
+// simulated with SHA-256 constructions that preserve structure (a pseudonym
+// per key, a 20-byte hash per address, a per-input signature that commits to
+// the transaction) without providing real unforgeability.
+package address
+
+import (
+	"bytes"
+	"errors"
+	"math/big"
+)
+
+// Base58 alphabet as used by Bitcoin (no 0, O, I, l).
+const alphabet = "123456789ABCDEFGHJKLMNPQRSTUVWXYZabcdefghijkmnopqrstuvwxyz"
+
+var decodeMap [128]int8
+
+func init() {
+	for i := range decodeMap {
+		decodeMap[i] = -1
+	}
+	for i, c := range alphabet {
+		decodeMap[c] = int8(i)
+	}
+}
+
+var bigRadix = big.NewInt(58)
+
+// Base58Encode encodes b as a Base58 string, preserving leading zero bytes
+// as leading '1' characters.
+func Base58Encode(b []byte) string {
+	zeros := 0
+	for zeros < len(b) && b[zeros] == 0 {
+		zeros++
+	}
+	x := new(big.Int).SetBytes(b)
+	// Worst-case output length: log58(256) ~ 1.37 digits per byte.
+	out := make([]byte, 0, len(b)*137/100+1)
+	mod := new(big.Int)
+	for x.Sign() > 0 {
+		x.DivMod(x, bigRadix, mod)
+		out = append(out, alphabet[mod.Int64()])
+	}
+	for i := 0; i < zeros; i++ {
+		out = append(out, alphabet[0])
+	}
+	// Reverse.
+	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+		out[i], out[j] = out[j], out[i]
+	}
+	return string(out)
+}
+
+// ErrInvalidBase58 is returned when a string contains characters outside the
+// Base58 alphabet.
+var ErrInvalidBase58 = errors.New("address: invalid base58 character")
+
+// Base58Decode decodes a Base58 string, restoring leading zero bytes from
+// leading '1' characters.
+func Base58Decode(s string) ([]byte, error) {
+	zeros := 0
+	for zeros < len(s) && s[zeros] == alphabet[0] {
+		zeros++
+	}
+	x := new(big.Int)
+	for _, c := range []byte(s) {
+		if c >= 128 || decodeMap[c] < 0 {
+			return nil, ErrInvalidBase58
+		}
+		x.Mul(x, bigRadix)
+		x.Add(x, big.NewInt(int64(decodeMap[c])))
+	}
+	raw := x.Bytes()
+	out := make([]byte, zeros+len(raw))
+	copy(out[zeros:], raw)
+	return out, nil
+}
+
+// checksum returns the 4-byte double-SHA256 checksum used by Base58Check.
+func checksum(payload []byte) [4]byte {
+	h := doubleSHA256(payload)
+	var c [4]byte
+	copy(c[:], h[:4])
+	return c
+}
+
+// Base58CheckEncode encodes version||payload with a 4-byte checksum.
+func Base58CheckEncode(version byte, payload []byte) string {
+	b := make([]byte, 0, 1+len(payload)+4)
+	b = append(b, version)
+	b = append(b, payload...)
+	c := checksum(b)
+	b = append(b, c[:]...)
+	return Base58Encode(b)
+}
+
+// ErrBadChecksum is returned when a Base58Check string fails its checksum.
+var ErrBadChecksum = errors.New("address: bad base58check checksum")
+
+// ErrTooShort is returned when a Base58Check string decodes to fewer bytes
+// than version plus checksum.
+var ErrTooShort = errors.New("address: base58check payload too short")
+
+// Base58CheckDecode decodes a Base58Check string, returning the version byte
+// and payload after validating the checksum.
+func Base58CheckDecode(s string) (version byte, payload []byte, err error) {
+	b, err := Base58Decode(s)
+	if err != nil {
+		return 0, nil, err
+	}
+	if len(b) < 5 {
+		return 0, nil, ErrTooShort
+	}
+	body, check := b[:len(b)-4], b[len(b)-4:]
+	want := checksum(body)
+	if !bytes.Equal(check, want[:]) {
+		return 0, nil, ErrBadChecksum
+	}
+	return body[0], body[1:], nil
+}

@@ -1,0 +1,82 @@
+package address
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+)
+
+// PubKeyLen is the length of a (simulated) compressed public key.
+const PubKeyLen = 33
+
+// SigLen is the length of a (simulated) signature.
+const SigLen = 32
+
+// KeyPair is a simulated signing key. The seed stands in for the secp256k1
+// secret key; everything derived from it is deterministic so economies are
+// reproducible from a single RNG seed.
+type KeyPair struct {
+	Seed [32]byte
+}
+
+// NewKeyFromSeed derives a key pair deterministically from a 64-bit seed and
+// a stream index, using SHA-256 as the expansion function. The economy
+// simulator mints keys this way so a (seed, counter) pair fully determines
+// every address in a generated chain.
+func NewKeyFromSeed(seed int64, counter uint64) KeyPair {
+	var buf [16]byte
+	binary.LittleEndian.PutUint64(buf[:8], uint64(seed))
+	binary.LittleEndian.PutUint64(buf[8:], counter)
+	var k KeyPair
+	k.Seed = sha256.Sum256(buf[:])
+	return k
+}
+
+// PubKey returns the simulated compressed public key: a 0x02 prefix followed
+// by SHA-256(seed || "pub").
+func (k KeyPair) PubKey() []byte {
+	h := sha256.New()
+	h.Write(k.Seed[:])
+	h.Write([]byte("pub"))
+	sum := h.Sum(nil)
+	out := make([]byte, PubKeyLen)
+	out[0] = 0x02
+	copy(out[1:], sum)
+	return out
+}
+
+// Address returns the P2PKH address of the key's public key.
+func (k KeyPair) Address() Address { return FromPubKey(k.PubKey()) }
+
+// Sign produces the simulated signature over a 32-byte digest. The
+// construction — SHA-256(pubkey || digest) — is verifiable from the public
+// key alone, which is all the script engine needs; it is not unforgeable,
+// which nothing in the reproduced analysis requires.
+func (k KeyPair) Sign(digest [32]byte) []byte {
+	return SignWithPubKey(k.PubKey(), digest)
+}
+
+// SignWithPubKey computes the signature value that Verify expects for the
+// given public key and digest.
+func SignWithPubKey(pub []byte, digest [32]byte) []byte {
+	h := sha256.New()
+	h.Write(pub)
+	h.Write(digest[:])
+	return h.Sum(nil)
+}
+
+// Verify reports whether sig is the correct simulated signature of digest
+// under pub.
+func Verify(pub, sig []byte, digest [32]byte) bool {
+	if len(sig) != SigLen {
+		return false
+	}
+	want := SignWithPubKey(pub, digest)
+	// Constant-time comparison is irrelevant for the simulation; plain
+	// comparison keeps it readable.
+	for i := range want {
+		if want[i] != sig[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,54 @@
+package address
+
+// Scan extracts every valid Base58Check address embedded in free text. The
+// tag crawler uses it to harvest self-labeled addresses from forum and
+// tag-site pages, mirroring the paper's Section 3.2 collection: candidate
+// substrings are located by alphabet membership and then validated by
+// checksum, so random Base58-looking strings are rejected.
+func Scan(text string) []Address {
+	var out []Address
+	seen := make(map[Address]struct{})
+	n := len(text)
+	for i := 0; i < n; {
+		if !isBase58(text[i]) {
+			i++
+			continue
+		}
+		j := i
+		for j < n && isBase58(text[j]) {
+			j++
+		}
+		run := text[i:j]
+		// Addresses encode 25 bytes -> 26..35 characters when version is 0
+		// (leading '1'). Try every plausible window anchored at the run
+		// start; runs are short so this stays cheap.
+		for start := 0; start < len(run); start++ {
+			if run[start] != '1' {
+				// Our simulated addresses all use version 0x00 and thus
+				// start with '1'; skip other anchors quickly.
+				continue
+			}
+			for _, wlen := range []int{34, 33, 32, 31, 30, 29, 28, 27, 26} {
+				if start+wlen > len(run) {
+					continue
+				}
+				cand := run[start : start+wlen]
+				a, err := Decode(cand)
+				if err != nil || a.Version != P2PKHVersion {
+					continue
+				}
+				if _, dup := seen[a]; !dup {
+					seen[a] = struct{}{}
+					out = append(out, a)
+				}
+				break
+			}
+		}
+		i = j
+	}
+	return out
+}
+
+func isBase58(c byte) bool {
+	return c < 128 && decodeMap[c] >= 0
+}

@@ -1,0 +1,133 @@
+// Package balance computes Figure 2 of the paper: the balance held by each
+// major service category over time, as a percentage of "active" bitcoins —
+// coins not parked in sink addresses (addresses that have never spent).
+package balance
+
+import (
+	"time"
+
+	"repro/internal/chain"
+	"repro/internal/cluster"
+	"repro/internal/tags"
+	"repro/internal/txgraph"
+)
+
+// Series is a sampled per-category balance time series.
+type Series struct {
+	// Heights are the sampled block heights.
+	Heights []int64
+	// Times are the corresponding simulated timestamps.
+	Times []time.Time
+	// Categories are the series rows, in presentation order.
+	Categories []tags.Category
+	// SharePct[c][s] is category c's balance at sample s as a percentage of
+	// active (non-sink-held) coins.
+	SharePct [][]float64
+	// ActiveBTC[s] is the active coin total at each sample, for scale.
+	ActiveBTC []float64
+}
+
+// Compute walks the chain once, attributing every address's running balance
+// to the category of its named cluster, and samples `samples` points evenly
+// across the block range.
+func Compute(g *txgraph.Graph, c *cluster.Clustering, naming *tags.Naming, params *chain.Params, samples int) *Series {
+	if samples < 2 {
+		samples = 2
+	}
+	n := g.NumAddrs()
+
+	// Precompute per-address category and sink status.
+	cat := make([]tags.Category, n)
+	for id := 0; id < n; id++ {
+		cat[id] = naming.CategoryOf(c, txgraph.AddrID(id))
+	}
+	sink := make([]bool, n)
+	for id := 0; id < n; id++ {
+		sink[id] = g.IsSink(txgraph.AddrID(id))
+	}
+
+	catIndex := make(map[tags.Category]int, len(tags.Categories))
+	s := &Series{Categories: tags.Categories}
+	for i, ct := range tags.Categories {
+		catIndex[ct] = i
+	}
+	s.SharePct = make([][]float64, len(tags.Categories))
+	for i := range s.SharePct {
+		s.SharePct[i] = make([]float64, 0, samples)
+	}
+
+	maxHeight := g.Height()
+	sampleAt := make([]int64, samples)
+	for i := 0; i < samples; i++ {
+		sampleAt[i] = maxHeight * int64(i+1) / int64(samples)
+	}
+
+	bal := make([]chain.Amount, n)
+	catBal := make([]chain.Amount, len(tags.Categories))
+	var total, sinkHeld chain.Amount
+
+	apply := func(id txgraph.AddrID, delta chain.Amount) {
+		if id == txgraph.NoAddr {
+			return
+		}
+		bal[id] += delta
+		if sink[id] {
+			// Coins parked in never-spending addresses are outside the
+			// "active" economy — excluded from both the denominator and the
+			// per-category numerators, as in Figure 2.
+			sinkHeld += delta
+			return
+		}
+		if i, ok := catIndex[cat[id]]; ok {
+			catBal[i] += delta
+		}
+	}
+
+	record := func(height int64) {
+		s.Heights = append(s.Heights, height)
+		s.Times = append(s.Times, params.TimeAt(height))
+		active := total - sinkHeld
+		s.ActiveBTC = append(s.ActiveBTC, active.ToBTC())
+		for i := range tags.Categories {
+			pct := 0.0
+			if active > 0 {
+				pct = 100 * float64(catBal[i]) / float64(active)
+			}
+			s.SharePct[i] = append(s.SharePct[i], pct)
+		}
+	}
+
+	next := 0
+	numTxs := g.NumTxs()
+	for seq := 0; seq < numTxs; seq++ {
+		tx := g.Tx(txgraph.TxSeq(seq))
+		for next < samples && tx.Height > sampleAt[next] {
+			record(sampleAt[next])
+			next++
+		}
+		for j, id := range tx.InputAddrs {
+			apply(id, -tx.InputValues[j])
+		}
+		var out chain.Amount
+		for j, id := range tx.OutputAddrs {
+			apply(id, tx.OutputValues[j])
+			out += tx.OutputValues[j]
+		}
+		if tx.Coinbase {
+			total += out
+		} else {
+			// Fees shrink circulating value relative to minted coins; they
+			// are re-minted through coinbases, already counted above.
+			var in chain.Amount
+			for _, v := range tx.InputValues {
+				in += v
+			}
+			total -= in - out
+		}
+	}
+	for next < samples {
+		record(sampleAt[next])
+		next++
+	}
+	return s
+}

@@ -1,0 +1,50 @@
+package chain
+
+import (
+	"fmt"
+	"math"
+)
+
+// Amount is a monetary value in satoshis (1e-8 BTC), following Bitcoin's
+// integer representation so arithmetic is exact.
+type Amount int64
+
+// Monetary constants mirroring the Bitcoin protocol parameters described in
+// Section 2.1 of the paper.
+const (
+	// Satoshi is the smallest unit of value.
+	Satoshi Amount = 1
+	// Coin is one bitcoin in satoshis.
+	Coin Amount = 1e8
+	// MaxCoins is the 21 million coin supply cap.
+	MaxCoins = 21_000_000
+	// MaxMoney is the supply cap in satoshis; no transaction output or sum
+	// of outputs may exceed it.
+	MaxMoney = MaxCoins * Coin
+)
+
+// BTC converts a floating-point bitcoin quantity to an Amount, rounding to
+// the nearest satoshi. It is intended for configuration and test fixtures;
+// ledger arithmetic itself stays in integers.
+func BTC(v float64) Amount {
+	return Amount(math.Round(v * float64(Coin)))
+}
+
+// ToBTC returns the amount as a floating-point bitcoin quantity.
+func (a Amount) ToBTC() float64 { return float64(a) / float64(Coin) }
+
+// Valid reports whether the amount lies in the protocol's allowed range
+// [0, MaxMoney].
+func (a Amount) Valid() bool { return a >= 0 && a <= MaxMoney }
+
+// String formats the amount as a BTC quantity with 8 decimal places,
+// trimming is deliberately avoided so values align in tables.
+func (a Amount) String() string {
+	sign := ""
+	v := a
+	if v < 0 {
+		sign = "-"
+		v = -v
+	}
+	return fmt.Sprintf("%s%d.%08d BTC", sign, v/Coin, v%Coin)
+}

@@ -1,0 +1,164 @@
+package chain
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// Chain is an append-only sequence of validated blocks plus the UTXO state
+// they imply. It is the in-memory analogue of the replicated block chain the
+// paper analyzes; internal/txgraph builds its indexes from it.
+type Chain struct {
+	params  Params
+	blocks  []*Block
+	index   map[Hash]int64 // block hash -> height
+	utxo    *UTXOSet
+	fees    []Amount // total fees per block, for subsidy validation
+	created Amount   // cumulative coins created
+}
+
+// New creates a chain with the given parameters and no blocks.
+func New(params Params) *Chain {
+	return &Chain{
+		params: params,
+		index:  make(map[Hash]int64),
+		utxo:   NewUTXOSet(),
+	}
+}
+
+// Params returns the chain's parameters.
+func (c *Chain) Params() *Params { return &c.params }
+
+// Height returns the height of the best block, or -1 for an empty chain.
+func (c *Chain) Height() int64 { return int64(len(c.blocks)) - 1 }
+
+// Tip returns the best block, or nil for an empty chain.
+func (c *Chain) Tip() *Block {
+	if len(c.blocks) == 0 {
+		return nil
+	}
+	return c.blocks[len(c.blocks)-1]
+}
+
+// TipHash returns the best block's hash, or the zero hash for an empty chain.
+func (c *Chain) TipHash() Hash {
+	if t := c.Tip(); t != nil {
+		return t.BlockHash()
+	}
+	return ZeroHash
+}
+
+// BlockAt returns the block at the given height.
+func (c *Chain) BlockAt(height int64) *Block {
+	if height < 0 || height >= int64(len(c.blocks)) {
+		return nil
+	}
+	return c.blocks[height]
+}
+
+// HeightOf returns the height of the block with the given hash.
+func (c *Chain) HeightOf(h Hash) (int64, bool) {
+	height, ok := c.index[h]
+	return height, ok
+}
+
+// UTXO returns the chain's unspent output set.
+func (c *Chain) UTXO() *UTXOSet { return c.utxo }
+
+// CoinsCreated returns the cumulative subsidy issued so far.
+func (c *Chain) CoinsCreated() Amount { return c.created }
+
+// Blocks returns the underlying block slice. Callers must not mutate it.
+func (c *Chain) Blocks() []*Block { return c.blocks }
+
+// ConnectBlock validates the block in the context of the current tip and, if
+// valid, appends it, updating the UTXO set. Proof of work is only enforced
+// when checkPoW is true: the economy simulator constructs blocks directly
+// without mining, while the p2p network mines and verifies for real.
+func (c *Chain) ConnectBlock(b *Block, checkPoW bool, opts ConnectBlockOptions) error {
+	if err := CheckBlockSanity(b, &c.params); err != nil {
+		return err
+	}
+	height := c.Height() + 1
+	if b.Header.PrevBlock != c.TipHash() {
+		return fmt.Errorf("%w: have tip %s, block claims %s",
+			ErrBadPrevBlock, c.TipHash(), b.Header.PrevBlock)
+	}
+	if checkPoW && !c.params.CheckProofOfWork(b.BlockHash()) {
+		return ErrBadPoW
+	}
+	var fees Amount
+	for i, tx := range b.Txs {
+		if i == 0 {
+			continue // coinbase applied last, once fees are known
+		}
+		if opts.Verifier != nil {
+			for j, in := range tx.Inputs {
+				entry, ok := c.utxo.Lookup(in.Prev)
+				if !ok {
+					return fmt.Errorf("chain: tx %d input %d: missing output %s", i, j, in.Prev)
+				}
+				if err := opts.Verifier.VerifyScript(entry.PkScript, in.SigScript, SigHash(tx, j)); err != nil {
+					return fmt.Errorf("chain: tx %d input %d: %w", i, j, err)
+				}
+			}
+		}
+		fee, err := c.utxo.ApplyTx(tx, height, c.params.CoinbaseMaturity)
+		if err != nil {
+			// NOTE: earlier transactions in this block remain applied; the
+			// simulator never produces such blocks and the p2p node discards
+			// its chain state on connect failure. Documented limitation.
+			return fmt.Errorf("chain: tx %d: %w", i, err)
+		}
+		fees += fee
+	}
+	subsidy := c.params.SubsidyAt(height)
+	if cb := b.Txs[0].TotalOut(); cb > subsidy+fees {
+		return fmt.Errorf("%w: coinbase %v > subsidy %v + fees %v",
+			ErrSubsidyExceeded, cb, subsidy, fees)
+	}
+	if _, err := c.utxo.ApplyTx(b.Txs[0], height, c.params.CoinbaseMaturity); err != nil {
+		return fmt.Errorf("chain: coinbase: %w", err)
+	}
+	c.blocks = append(c.blocks, b)
+	c.index[b.BlockHash()] = height
+	c.fees = append(c.fees, fees)
+	c.created += b.Txs[0].TotalOut()
+	return nil
+}
+
+// WriteTo serializes the whole chain (block count then blocks) to w,
+// buffering writes. It implements a blockparser-style flat file format.
+func (c *Chain) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if err := WriteVarInt(bw, uint64(len(c.blocks))); err != nil {
+		return 0, err
+	}
+	for _, b := range c.blocks {
+		if err := b.Serialize(bw); err != nil {
+			return 0, err
+		}
+	}
+	return 0, bw.Flush()
+}
+
+// ReadFrom deserializes a chain previously written with WriteTo, validating
+// and connecting every block (without proof-of-work checks).
+func (c *Chain) ReadFrom(r io.Reader) (int64, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	n, err := ReadVarInt(br)
+	if err != nil {
+		return 0, err
+	}
+	for i := uint64(0); i < n; i++ {
+		b := new(Block)
+		if err := b.Deserialize(br); err != nil {
+			return 0, fmt.Errorf("chain: block %d: %w", i, err)
+		}
+		if err := c.ConnectBlock(b, false, ConnectBlockOptions{}); err != nil {
+			return 0, fmt.Errorf("chain: block %d: %w", i, err)
+		}
+	}
+	return 0, nil
+}

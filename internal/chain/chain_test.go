@@ -1,0 +1,332 @@
+package chain
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/address"
+	"repro/internal/script"
+)
+
+// testHarness wires up a chain plus helper key material for validation
+// tests.
+type testHarness struct {
+	t      *testing.T
+	chain  *Chain
+	keys   []address.KeyPair
+	nextID uint64
+}
+
+func newHarness(t *testing.T) *testHarness {
+	t.Helper()
+	params := MainNetParams()
+	params.CoinbaseMaturity = 2
+	return &testHarness{t: t, chain: New(params)}
+}
+
+func (h *testHarness) newKey() address.KeyPair {
+	h.nextID++
+	k := address.NewKeyFromSeed(1000, h.nextID)
+	h.keys = append(h.keys, k)
+	return k
+}
+
+// mineTo appends a block paying the full subsidy to key, carrying txs.
+func (h *testHarness) mineTo(key address.KeyPair, txs ...*Tx) *Block {
+	h.t.Helper()
+	height := h.chain.Height() + 1
+	var fees Amount
+	for _, tx := range txs {
+		var in Amount
+		for _, txin := range tx.Inputs {
+			e, ok := h.chain.UTXO().Lookup(txin.Prev)
+			if !ok {
+				h.t.Fatalf("mineTo: input %s not found", txin.Prev)
+			}
+			in += e.Value
+		}
+		fees += in - tx.TotalOut()
+	}
+	cb := NewCoinbaseTx(height, h.chain.Params().SubsidyAt(height)+fees,
+		script.PayToAddr(key.Address()), nil)
+	all := append([]*Tx{cb}, txs...)
+	b := &Block{
+		Header: BlockHeader{
+			Version:    1,
+			PrevBlock:  h.chain.TipHash(),
+			MerkleRoot: BlockMerkleRoot(all),
+			Timestamp:  h.chain.Params().TimeAt(height).Unix(),
+		},
+		Txs: all,
+	}
+	if err := h.chain.ConnectBlock(b, false, ConnectBlockOptions{Verifier: script.Verifier{}}); err != nil {
+		h.t.Fatalf("mineTo height %d: %v", height, err)
+	}
+	return b
+}
+
+// spend builds a signed transaction moving the full value of op (owned by
+// key) to outputs.
+func (h *testHarness) spend(key address.KeyPair, op OutPoint, outs ...TxOut) *Tx {
+	h.t.Helper()
+	tx := &Tx{Version: 1, Inputs: []TxIn{{Prev: op, Sequence: ^uint32(0)}}, Outputs: outs}
+	sig := key.Sign(SigHash(tx, 0))
+	tx.Inputs[0].SigScript = script.SigScript(sig, key.PubKey())
+	return tx
+}
+
+func TestChainGrowsAndPaysSubsidy(t *testing.T) {
+	h := newHarness(t)
+	miner := h.newKey()
+	for i := 0; i < 5; i++ {
+		h.mineTo(miner)
+	}
+	if h.chain.Height() != 4 {
+		t.Fatalf("height = %d, want 4", h.chain.Height())
+	}
+	if got, want := h.chain.CoinsCreated(), 5*50*Coin; got != Amount(want) {
+		t.Fatalf("coins created = %v, want %v", got, Amount(want))
+	}
+	if got := h.chain.UTXO().Total(); got != h.chain.CoinsCreated() {
+		t.Fatalf("utxo total %v != created %v", got, h.chain.CoinsCreated())
+	}
+}
+
+func TestSpendWithValidSignature(t *testing.T) {
+	h := newHarness(t)
+	miner, alice := h.newKey(), h.newKey()
+	b := h.mineTo(miner)
+	cbOut := OutPoint{TxID: b.Txs[0].TxID(), Index: 0}
+	h.mineTo(miner) // bury once
+	h.mineTo(miner) // maturity=2 satisfied
+
+	tx := h.spend(miner, cbOut, TxOut{Value: 50 * Coin, PkScript: script.PayToAddr(alice.Address())})
+	h.mineTo(miner, tx)
+	if _, ok := h.chain.UTXO().Lookup(cbOut); ok {
+		t.Fatal("spent output still in UTXO set")
+	}
+	if _, ok := h.chain.UTXO().Lookup(OutPoint{TxID: tx.TxID(), Index: 0}); !ok {
+		t.Fatal("new output missing from UTXO set")
+	}
+}
+
+func TestRejectWrongKeySignature(t *testing.T) {
+	h := newHarness(t)
+	miner, mallory := h.newKey(), h.newKey()
+	b := h.mineTo(miner)
+	h.mineTo(miner)
+	h.mineTo(miner)
+	cbOut := OutPoint{TxID: b.Txs[0].TxID(), Index: 0}
+
+	// mallory signs with her own key for miner's output.
+	tx := h.spend(mallory, cbOut, TxOut{Value: 50 * Coin, PkScript: script.PayToAddr(mallory.Address())})
+	height := h.chain.Height() + 1
+	cb := NewCoinbaseTx(height, h.chain.Params().SubsidyAt(height), script.PayToAddr(miner.Address()), nil)
+	all := []*Tx{cb, tx}
+	blk := &Block{Header: BlockHeader{PrevBlock: h.chain.TipHash(), MerkleRoot: BlockMerkleRoot(all)}, Txs: all}
+	err := h.chain.ConnectBlock(blk, false, ConnectBlockOptions{Verifier: script.Verifier{}})
+	if err == nil {
+		t.Fatal("accepted spend signed with the wrong key")
+	}
+}
+
+func TestRejectImmatureCoinbaseSpend(t *testing.T) {
+	h := newHarness(t)
+	miner := h.newKey()
+	b := h.mineTo(miner)
+	cbOut := OutPoint{TxID: b.Txs[0].TxID(), Index: 0}
+	// Next block immediately tries to spend the fresh coinbase.
+	tx := h.spend(miner, cbOut, TxOut{Value: 50 * Coin, PkScript: script.PayToAddr(miner.Address())})
+	height := h.chain.Height() + 1
+	cb := NewCoinbaseTx(height, h.chain.Params().SubsidyAt(height), script.PayToAddr(miner.Address()), nil)
+	all := []*Tx{cb, tx}
+	blk := &Block{Header: BlockHeader{PrevBlock: h.chain.TipHash(), MerkleRoot: BlockMerkleRoot(all)}, Txs: all}
+	if err := h.chain.ConnectBlock(blk, false, ConnectBlockOptions{}); err == nil {
+		t.Fatal("accepted immature coinbase spend")
+	}
+}
+
+func TestRejectDoubleSpendInChain(t *testing.T) {
+	h := newHarness(t)
+	miner := h.newKey()
+	b := h.mineTo(miner)
+	h.mineTo(miner)
+	h.mineTo(miner)
+	cbOut := OutPoint{TxID: b.Txs[0].TxID(), Index: 0}
+	tx1 := h.spend(miner, cbOut, TxOut{Value: 50 * Coin, PkScript: script.PayToAddr(miner.Address())})
+	h.mineTo(miner, tx1)
+	tx2 := h.spend(miner, cbOut, TxOut{Value: 50 * Coin, PkScript: script.PayToAddr(miner.Address())})
+	height := h.chain.Height() + 1
+	cb := NewCoinbaseTx(height, h.chain.Params().SubsidyAt(height), script.PayToAddr(miner.Address()), nil)
+	all := []*Tx{cb, tx2}
+	blk := &Block{Header: BlockHeader{PrevBlock: h.chain.TipHash(), MerkleRoot: BlockMerkleRoot(all)}, Txs: all}
+	if err := h.chain.ConnectBlock(blk, false, ConnectBlockOptions{}); err == nil {
+		t.Fatal("accepted double spend")
+	}
+}
+
+func TestRejectValueInflation(t *testing.T) {
+	h := newHarness(t)
+	miner := h.newKey()
+	b := h.mineTo(miner)
+	h.mineTo(miner)
+	h.mineTo(miner)
+	cbOut := OutPoint{TxID: b.Txs[0].TxID(), Index: 0}
+	tx := h.spend(miner, cbOut, TxOut{Value: 51 * Coin, PkScript: script.PayToAddr(miner.Address())})
+	height := h.chain.Height() + 1
+	cb := NewCoinbaseTx(height, h.chain.Params().SubsidyAt(height), script.PayToAddr(miner.Address()), nil)
+	all := []*Tx{cb, tx}
+	blk := &Block{Header: BlockHeader{PrevBlock: h.chain.TipHash(), MerkleRoot: BlockMerkleRoot(all)}, Txs: all}
+	if err := h.chain.ConnectBlock(blk, false, ConnectBlockOptions{}); err == nil {
+		t.Fatal("accepted output value exceeding input value")
+	}
+}
+
+func TestRejectBadMerkleRoot(t *testing.T) {
+	h := newHarness(t)
+	miner := h.newKey()
+	height := h.chain.Height() + 1
+	cb := NewCoinbaseTx(height, 50*Coin, script.PayToAddr(miner.Address()), nil)
+	blk := &Block{Header: BlockHeader{PrevBlock: h.chain.TipHash()}, Txs: []*Tx{cb}}
+	// MerkleRoot left zero.
+	err := h.chain.ConnectBlock(blk, false, ConnectBlockOptions{})
+	if !errors.Is(err, ErrBadMerkleRoot) {
+		t.Fatalf("err = %v, want ErrBadMerkleRoot", err)
+	}
+}
+
+func TestRejectExcessCoinbase(t *testing.T) {
+	h := newHarness(t)
+	miner := h.newKey()
+	height := h.chain.Height() + 1
+	cb := NewCoinbaseTx(height, 50*Coin+1, script.PayToAddr(miner.Address()), nil)
+	blk := &Block{Header: BlockHeader{PrevBlock: h.chain.TipHash(), MerkleRoot: BlockMerkleRoot([]*Tx{cb})}, Txs: []*Tx{cb}}
+	err := h.chain.ConnectBlock(blk, false, ConnectBlockOptions{})
+	if !errors.Is(err, ErrSubsidyExceeded) {
+		t.Fatalf("err = %v, want ErrSubsidyExceeded", err)
+	}
+}
+
+func TestRejectWrongPrevBlock(t *testing.T) {
+	h := newHarness(t)
+	miner := h.newKey()
+	h.mineTo(miner)
+	height := h.chain.Height() + 1
+	cb := NewCoinbaseTx(height, 50*Coin, script.PayToAddr(miner.Address()), nil)
+	blk := &Block{Header: BlockHeader{PrevBlock: hashOf(9), MerkleRoot: BlockMerkleRoot([]*Tx{cb})}, Txs: []*Tx{cb}}
+	err := h.chain.ConnectBlock(blk, false, ConnectBlockOptions{})
+	if !errors.Is(err, ErrBadPrevBlock) {
+		t.Fatalf("err = %v, want ErrBadPrevBlock", err)
+	}
+}
+
+func TestSubsidyHalving(t *testing.T) {
+	p := MainNetParams()
+	cases := []struct {
+		height int64
+		want   Amount
+	}{
+		{0, 50 * Coin}, {209_999, 50 * Coin}, {210_000, 25 * Coin},
+		{419_999, 25 * Coin}, {420_000, 1250 * Coin / 100},
+		{210_000 * 64, 0}, {210_000 * 100, 0},
+	}
+	for _, c := range cases {
+		if got := p.SubsidyAt(c.height); got != c.want {
+			t.Errorf("SubsidyAt(%d) = %v, want %v", c.height, got, c.want)
+		}
+	}
+}
+
+func TestChainSerializeRoundTrip(t *testing.T) {
+	h := newHarness(t)
+	miner, alice := h.newKey(), h.newKey()
+	b := h.mineTo(miner)
+	h.mineTo(miner)
+	h.mineTo(miner)
+	cbOut := OutPoint{TxID: b.Txs[0].TxID(), Index: 0}
+	tx := h.spend(miner, cbOut,
+		TxOut{Value: 20 * Coin, PkScript: script.PayToAddr(alice.Address())},
+		TxOut{Value: 30 * Coin, PkScript: script.PayToAddr(miner.Address())})
+	h.mineTo(miner, tx)
+
+	var buf bytes.Buffer
+	if _, err := h.chain.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored := New(*h.chain.Params())
+	if _, err := restored.ReadFrom(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Height() != h.chain.Height() {
+		t.Fatalf("restored height %d != %d", restored.Height(), h.chain.Height())
+	}
+	if restored.TipHash() != h.chain.TipHash() {
+		t.Fatal("restored tip hash differs")
+	}
+	if restored.UTXO().Total() != h.chain.UTXO().Total() {
+		t.Fatal("restored UTXO total differs")
+	}
+}
+
+func TestCheckTransactionSanity(t *testing.T) {
+	valid := &Tx{
+		Inputs:  []TxIn{{Prev: OutPoint{TxID: hashOf(1), Index: 0}}},
+		Outputs: []TxOut{{Value: Coin}},
+	}
+	if err := CheckTransactionSanity(valid); err != nil {
+		t.Fatalf("valid tx rejected: %v", err)
+	}
+	noIn := &Tx{Outputs: []TxOut{{Value: Coin}}}
+	if err := CheckTransactionSanity(noIn); !errors.Is(err, ErrNoInputs) {
+		t.Errorf("no inputs: %v", err)
+	}
+	noOut := &Tx{Inputs: valid.Inputs}
+	if err := CheckTransactionSanity(noOut); !errors.Is(err, ErrNoOutputs) {
+		t.Errorf("no outputs: %v", err)
+	}
+	tooMuch := &Tx{Inputs: valid.Inputs, Outputs: []TxOut{{Value: MaxMoney + 1}}}
+	if err := CheckTransactionSanity(tooMuch); !errors.Is(err, ErrBadValue) {
+		t.Errorf("excess value: %v", err)
+	}
+	overflowSum := &Tx{Inputs: valid.Inputs, Outputs: []TxOut{{Value: MaxMoney}, {Value: MaxMoney}}}
+	if err := CheckTransactionSanity(overflowSum); !errors.Is(err, ErrBadValue) {
+		t.Errorf("sum overflow: %v", err)
+	}
+	dup := &Tx{
+		Inputs:  []TxIn{{Prev: OutPoint{TxID: hashOf(1)}}, {Prev: OutPoint{TxID: hashOf(1)}}},
+		Outputs: valid.Outputs,
+	}
+	if err := CheckTransactionSanity(dup); !errors.Is(err, ErrDuplicateInput) {
+		t.Errorf("duplicate input: %v", err)
+	}
+}
+
+func TestProofOfWorkCheck(t *testing.T) {
+	p := MainNetParams()
+	p.TargetBits = 12
+	var ok Hash // all zero: passes
+	if !p.CheckProofOfWork(ok) {
+		t.Fatal("zero hash failed PoW")
+	}
+	var bad Hash
+	bad[1] = 0x10 // bit 12 set -> only 11 leading zero bits
+	if p.CheckProofOfWork(bad) {
+		t.Fatal("hash with 11 leading zero bits passed a 12-bit target")
+	}
+	var edge Hash
+	edge[1] = 0x08 // bit 13 set -> exactly 12 leading zero bits
+	if !p.CheckProofOfWork(edge) {
+		t.Fatal("hash with exactly 12 leading zero bits failed a 12-bit target")
+	}
+}
+
+func TestTimeHeightMapping(t *testing.T) {
+	p := MainNetParams()
+	for _, h := range []int64{0, 1, 100, 210_000} {
+		tm := p.TimeAt(h)
+		if got := p.HeightFor(tm); got != h {
+			t.Errorf("HeightFor(TimeAt(%d)) = %d", h, got)
+		}
+	}
+}

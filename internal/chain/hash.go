@@ -1,0 +1,65 @@
+// Package chain implements the ledger substrate the paper's analysis runs
+// on: a Bitcoin-like transaction and block model, canonical little-endian
+// serialization with CompactSize varints, double-SHA256 identifiers, merkle
+// trees, a UTXO set, and consensus-lite validation.
+//
+// The model intentionally mirrors the Bitcoin wire structures (version,
+// inputs referencing previous outpoints, outputs carrying scripts, block
+// headers chaining by previous-block hash) because the clustering heuristics
+// in internal/cluster exploit exactly this structure: multi-input spending
+// and change outputs.
+package chain
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+)
+
+// HashSize is the byte length of all identifiers in the system.
+const HashSize = 32
+
+// Hash is a 32-byte identifier (transaction id or block hash). It is a fixed
+// array rather than a slice so it is comparable and usable as a map key
+// without allocation.
+type Hash [HashSize]byte
+
+// ZeroHash is the all-zero hash, used by coinbase inputs as the null
+// previous-transaction reference.
+var ZeroHash Hash
+
+// DoubleSHA256 returns SHA-256(SHA-256(b)), the hash function used for all
+// transaction and block identifiers.
+func DoubleSHA256(b []byte) Hash {
+	first := sha256.Sum256(b)
+	return sha256.Sum256(first[:])
+}
+
+// String renders the hash in the conventional reversed (big-endian display)
+// hex form used by Bitcoin block explorers.
+func (h Hash) String() string {
+	var rev [HashSize]byte
+	for i := 0; i < HashSize; i++ {
+		rev[i] = h[HashSize-1-i]
+	}
+	return hex.EncodeToString(rev[:])
+}
+
+// IsZero reports whether h is the all-zero hash.
+func (h Hash) IsZero() bool { return h == ZeroHash }
+
+// NewHashFromString parses the reversed hex form produced by Hash.String.
+func NewHashFromString(s string) (Hash, error) {
+	var h Hash
+	if len(s) != HashSize*2 {
+		return h, fmt.Errorf("chain: invalid hash length %d", len(s))
+	}
+	raw, err := hex.DecodeString(s)
+	if err != nil {
+		return h, fmt.Errorf("chain: invalid hash hex: %w", err)
+	}
+	for i := 0; i < HashSize; i++ {
+		h[i] = raw[HashSize-1-i]
+	}
+	return h, nil
+}

@@ -1,0 +1,40 @@
+package chain
+
+// MerkleRoot computes the merkle root over a list of transaction ids using
+// Bitcoin's rule: pairs of hashes are concatenated and double-SHA256'd; an
+// odd final element is paired with itself; the process repeats until a
+// single root remains. An empty list yields the zero hash.
+func MerkleRoot(txids []Hash) Hash {
+	switch len(txids) {
+	case 0:
+		return ZeroHash
+	case 1:
+		return txids[0]
+	}
+	level := make([]Hash, len(txids))
+	copy(level, txids)
+	var buf [2 * HashSize]byte
+	for len(level) > 1 {
+		next := make([]Hash, 0, (len(level)+1)/2)
+		for i := 0; i < len(level); i += 2 {
+			j := i + 1
+			if j == len(level) {
+				j = i // duplicate the odd final element
+			}
+			copy(buf[:HashSize], level[i][:])
+			copy(buf[HashSize:], level[j][:])
+			next = append(next, DoubleSHA256(buf[:]))
+		}
+		level = next
+	}
+	return level[0]
+}
+
+// BlockMerkleRoot computes the merkle root of a block's transactions.
+func BlockMerkleRoot(txs []*Tx) Hash {
+	ids := make([]Hash, len(txs))
+	for i, tx := range txs {
+		ids[i] = tx.TxID()
+	}
+	return MerkleRoot(ids)
+}

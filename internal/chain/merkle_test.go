@@ -1,0 +1,93 @@
+package chain
+
+import (
+	"crypto/sha256"
+	"math/rand"
+	"testing"
+)
+
+func hashOf(b byte) Hash {
+	return Hash(sha256.Sum256([]byte{b}))
+}
+
+func TestMerkleRootEmpty(t *testing.T) {
+	if got := MerkleRoot(nil); got != ZeroHash {
+		t.Fatalf("empty merkle root = %s, want zero", got)
+	}
+}
+
+func TestMerkleRootSingle(t *testing.T) {
+	h := hashOf(1)
+	if got := MerkleRoot([]Hash{h}); got != h {
+		t.Fatalf("single merkle root = %s, want the element itself", got)
+	}
+}
+
+func TestMerkleRootPair(t *testing.T) {
+	a, b := hashOf(1), hashOf(2)
+	var buf [64]byte
+	copy(buf[:32], a[:])
+	copy(buf[32:], b[:])
+	want := DoubleSHA256(buf[:])
+	if got := MerkleRoot([]Hash{a, b}); got != want {
+		t.Fatalf("pair merkle root = %s, want %s", got, want)
+	}
+}
+
+func TestMerkleRootOddDuplicatesLast(t *testing.T) {
+	a, b, c := hashOf(1), hashOf(2), hashOf(3)
+	// Level 1: H(a||b), H(c||c); root = H(l||r).
+	pair := func(x, y Hash) Hash {
+		var buf [64]byte
+		copy(buf[:32], x[:])
+		copy(buf[32:], y[:])
+		return DoubleSHA256(buf[:])
+	}
+	want := pair(pair(a, b), pair(c, c))
+	if got := MerkleRoot([]Hash{a, b, c}); got != want {
+		t.Fatalf("odd merkle root = %s, want %s", got, want)
+	}
+}
+
+func TestMerkleRootOrderSensitive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	hashes := make([]Hash, 8)
+	for i := range hashes {
+		rng.Read(hashes[i][:])
+	}
+	orig := MerkleRoot(hashes)
+	swapped := make([]Hash, len(hashes))
+	copy(swapped, hashes)
+	swapped[2], swapped[5] = swapped[5], swapped[2]
+	if MerkleRoot(swapped) == orig {
+		t.Fatal("merkle root did not change when transaction order changed")
+	}
+}
+
+func TestMerkleRootTamperSensitive(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for n := 1; n <= 9; n++ {
+		hashes := make([]Hash, n)
+		for i := range hashes {
+			rng.Read(hashes[i][:])
+		}
+		orig := MerkleRoot(hashes)
+		for i := range hashes {
+			tampered := make([]Hash, n)
+			copy(tampered, hashes)
+			tampered[i][0] ^= 0xff
+			if MerkleRoot(tampered) == orig {
+				t.Fatalf("n=%d: tampering element %d did not change root", n, i)
+			}
+		}
+	}
+}
+
+func TestMerkleRootDoesNotMutateInput(t *testing.T) {
+	hashes := []Hash{hashOf(1), hashOf(2), hashOf(3)}
+	want := hashes[1]
+	MerkleRoot(hashes)
+	if hashes[1] != want {
+		t.Fatal("MerkleRoot mutated its input")
+	}
+}

@@ -1,0 +1,109 @@
+package chain
+
+import "time"
+
+// Params holds the consensus and simulation parameters of a chain instance.
+// The defaults mirror Bitcoin's deployed values where the paper depends on
+// them (50 BTC subsidy halving to 25 at block 210,000 — Section 2.1) and are
+// otherwise scaled for simulation speed.
+type Params struct {
+	// Magic distinguishes wire-protocol networks.
+	Magic uint32
+	// InitialSubsidy is the block reward at height 0.
+	InitialSubsidy Amount
+	// HalvingInterval is the number of blocks between subsidy halvings.
+	HalvingInterval int64
+	// CoinbaseMaturity is the number of blocks a coin generation must be
+	// buried under before its output may be spent.
+	CoinbaseMaturity int64
+	// TargetBits encodes the proof-of-work target for mined blocks. The
+	// simulator uses a very easy target so mining completes in microseconds.
+	TargetBits uint32
+	// GenesisTime is the timestamp of block 0 (Bitcoin: 2009-01-03).
+	GenesisTime time.Time
+	// BlockInterval is the simulated time between consecutive blocks.
+	BlockInterval time.Duration
+	// MaxBlockTxs caps the number of transactions per block (including the
+	// coinbase); the economy simulator packs up to this many.
+	MaxBlockTxs int
+}
+
+// MainNetParams are Bitcoin-shaped defaults used by tests and the default
+// economy configuration.
+func MainNetParams() Params {
+	return Params{
+		Magic:            0xf9beb4d9,
+		InitialSubsidy:   50 * Coin,
+		HalvingInterval:  210_000,
+		CoinbaseMaturity: 100,
+		// Target with 16 leading zero bits: trivially minable in software.
+		TargetBits:    16,
+		GenesisTime:   time.Date(2009, 1, 3, 18, 15, 5, 0, time.UTC),
+		BlockInterval: 10 * time.Minute,
+		MaxBlockTxs:   4000,
+	}
+}
+
+// SimParams returns parameters scaled for the economy simulator: the halving
+// interval is set by the caller so the 50→25 subsidy drop lands at the same
+// *fraction* of the simulated timeline as Bitcoin's November 2012 halving.
+func SimParams(halvingAt int64, blockInterval time.Duration) Params {
+	p := MainNetParams()
+	p.HalvingInterval = halvingAt
+	p.BlockInterval = blockInterval
+	p.CoinbaseMaturity = 10
+	return p
+}
+
+// SubsidyAt returns the block subsidy at the given height: the initial
+// subsidy halved once per completed halving interval, reaching zero after 64
+// halvings (Section 2.1: "eventually drop to 0 in 2140").
+func (p *Params) SubsidyAt(height int64) Amount {
+	if p.HalvingInterval <= 0 {
+		return p.InitialSubsidy
+	}
+	halvings := height / p.HalvingInterval
+	if halvings >= 64 {
+		return 0
+	}
+	return p.InitialSubsidy >> uint(halvings)
+}
+
+// TimeAt returns the simulated wall-clock timestamp of a block height.
+func (p *Params) TimeAt(height int64) time.Time {
+	return p.GenesisTime.Add(time.Duration(height) * p.BlockInterval)
+}
+
+// HeightFor returns the first block height whose timestamp is >= t, or 0 if
+// t precedes genesis.
+func (p *Params) HeightFor(t time.Time) int64 {
+	if !t.After(p.GenesisTime) {
+		return 0
+	}
+	d := t.Sub(p.GenesisTime)
+	h := int64(d / p.BlockInterval)
+	if p.TimeAt(h).Before(t) {
+		h++
+	}
+	return h
+}
+
+// CheckProofOfWork reports whether the block hash has at least TargetBits
+// leading zero bits. Hash bytes are interpreted big-endian for this check,
+// which is a simplification of Bitcoin's compact-target comparison that
+// preserves the "hash begins with a certain number of zeroes" property the
+// paper describes.
+func (p *Params) CheckProofOfWork(h Hash) bool {
+	bits := p.TargetBits
+	i := 0
+	for ; bits >= 8; bits -= 8 {
+		if h[i] != 0 {
+			return false
+		}
+		i++
+	}
+	if bits == 0 {
+		return true
+	}
+	return h[i]>>(8-bits) == 0
+}

@@ -1,0 +1,161 @@
+package chain
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: any structurally valid transaction survives a
+// serialize/deserialize round trip with its id intact.
+func TestTxRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tx := randomTx(rng)
+		var buf bytes.Buffer
+		if err := tx.Serialize(&buf); err != nil {
+			return false
+		}
+		var got Tx
+		if err := got.Deserialize(&buf); err != nil {
+			return false
+		}
+		return got.TxID() == tx.TxID()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the merkle root over N random hashes changes whenever any single
+// element changes.
+func TestMerkleSensitivityProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%12) + 1
+		rng := rand.New(rand.NewSource(seed))
+		hashes := make([]Hash, n)
+		for i := range hashes {
+			rng.Read(hashes[i][:])
+		}
+		root := MerkleRoot(hashes)
+		i := rng.Intn(n)
+		hashes[i][rng.Intn(HashSize)] ^= 1 + byte(rng.Intn(255))
+		return MerkleRoot(hashes) != root
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: UTXO accounting conserves value: after any valid spend, total
+// declines by exactly the fee.
+func TestUTXOConservationProperty(t *testing.T) {
+	f := func(split uint16, feeRaw uint16) bool {
+		u := NewUTXOSet()
+		fund := &Tx{
+			Version: 1,
+			Inputs:  []TxIn{{Prev: OutPoint{TxID: ZeroHash, Index: CoinbaseOutputIndex}}},
+			Outputs: []TxOut{{Value: 50 * Coin}},
+		}
+		if _, err := u.ApplyTx(fund, 0, 0); err != nil {
+			return false
+		}
+		before := u.Total()
+		fee := Amount(feeRaw)
+		a := Amount(split) * Coin / 100
+		if a+fee > 50*Coin {
+			a = 50*Coin - fee
+		}
+		spend := &Tx{
+			Version: 1,
+			Inputs:  []TxIn{{Prev: OutPoint{TxID: fund.TxID(), Index: 0}}},
+			Outputs: []TxOut{{Value: a}, {Value: 50*Coin - a - fee}},
+		}
+		gotFee, err := u.ApplyTx(spend, 1, 0)
+		if err != nil {
+			return false
+		}
+		return gotFee == fee && u.Total() == before-fee
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Failure injection: a block containing an internal double spend is
+// rejected by ConnectBlock.
+func TestConnectBlockRejectsInternalDoubleSpend(t *testing.T) {
+	h := newHarness(t)
+	miner := h.newKey()
+	b := h.mineTo(miner)
+	h.mineTo(miner)
+	h.mineTo(miner)
+	cbOut := OutPoint{TxID: b.Txs[0].TxID(), Index: 0}
+	tx1 := h.spend(miner, cbOut, TxOut{Value: 50 * Coin, PkScript: []byte{0x51}})
+	tx2 := h.spend(miner, cbOut, TxOut{Value: 49 * Coin, PkScript: []byte{0x51}})
+
+	height := h.chain.Height() + 1
+	cb := NewCoinbaseTx(height, h.chain.Params().SubsidyAt(height), []byte{0x51}, nil)
+	all := []*Tx{cb, tx1, tx2}
+	blk := &Block{Header: BlockHeader{PrevBlock: h.chain.TipHash(), MerkleRoot: BlockMerkleRoot(all)}, Txs: all}
+	if err := h.chain.ConnectBlock(blk, false, ConnectBlockOptions{}); err == nil {
+		t.Fatal("accepted block with internal double spend")
+	}
+}
+
+// Failure injection: deserializing random garbage never panics and always
+// errors (or round-trips to the same bytes for the rare valid prefix).
+func TestDeserializeGarbageNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	for i := 0; i < 500; i++ {
+		garbage := make([]byte, rng.Intn(200))
+		rng.Read(garbage)
+		var tx Tx
+		_ = tx.Deserialize(bytes.NewReader(garbage)) // must not panic
+		var blk Block
+		_ = blk.Deserialize(bytes.NewReader(garbage))
+		var hdr BlockHeader
+		_ = hdr.Deserialize(bytes.NewReader(garbage))
+	}
+}
+
+func TestAmountFormatting(t *testing.T) {
+	cases := map[Amount]string{
+		0:                "0.00000000 BTC",
+		Coin:             "1.00000000 BTC",
+		-15 * Coin / 10:  "-1.50000000 BTC",
+		123456789:        "1.23456789 BTC",
+		50*Coin + 500000: "50.00500000 BTC",
+	}
+	for v, want := range cases {
+		if got := v.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int64(v), got, want)
+		}
+	}
+	if !BTC(0.7).Valid() {
+		t.Error("0.7 BTC should be valid")
+	}
+	if (MaxMoney + 1).Valid() {
+		t.Error("MaxMoney+1 should be invalid")
+	}
+}
+
+func TestHashStringRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var h Hash
+		rng.Read(h[:])
+		got, err := NewHashFromString(h.String())
+		return err == nil && got == h
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewHashFromString("xyz"); err == nil {
+		t.Error("accepted short hash string")
+	}
+	if _, err := NewHashFromString(string(make([]byte, 64))); err == nil {
+		t.Error("accepted non-hex hash string")
+	}
+}

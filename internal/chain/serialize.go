@@ -1,0 +1,370 @@
+package chain
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Serialization follows Bitcoin's conventions: little-endian fixed-width
+// integers and CompactSize varints for counts and byte-slice lengths.
+
+// maxAlloc bounds single variable-length allocations while deserializing so
+// a corrupt or hostile length prefix cannot exhaust memory.
+const maxAlloc = 1 << 26 // 64 MiB
+
+// WriteVarInt writes a Bitcoin CompactSize varint.
+func WriteVarInt(w io.Writer, v uint64) error {
+	var buf [9]byte
+	switch {
+	case v < 0xfd:
+		buf[0] = byte(v)
+		_, err := w.Write(buf[:1])
+		return err
+	case v <= 0xffff:
+		buf[0] = 0xfd
+		binary.LittleEndian.PutUint16(buf[1:3], uint16(v))
+		_, err := w.Write(buf[:3])
+		return err
+	case v <= 0xffffffff:
+		buf[0] = 0xfe
+		binary.LittleEndian.PutUint32(buf[1:5], uint32(v))
+		_, err := w.Write(buf[:5])
+		return err
+	default:
+		buf[0] = 0xff
+		binary.LittleEndian.PutUint64(buf[1:9], v)
+		_, err := w.Write(buf[:9])
+		return err
+	}
+}
+
+// ReadVarInt reads a Bitcoin CompactSize varint, rejecting non-canonical
+// encodings (a value encoded in more bytes than necessary).
+func ReadVarInt(r io.Reader) (uint64, error) {
+	var b [8]byte
+	if _, err := io.ReadFull(r, b[:1]); err != nil {
+		return 0, err
+	}
+	switch b[0] {
+	case 0xfd:
+		if _, err := io.ReadFull(r, b[:2]); err != nil {
+			return 0, err
+		}
+		v := uint64(binary.LittleEndian.Uint16(b[:2]))
+		if v < 0xfd {
+			return 0, fmt.Errorf("chain: non-canonical varint %d", v)
+		}
+		return v, nil
+	case 0xfe:
+		if _, err := io.ReadFull(r, b[:4]); err != nil {
+			return 0, err
+		}
+		v := uint64(binary.LittleEndian.Uint32(b[:4]))
+		if v <= 0xffff {
+			return 0, fmt.Errorf("chain: non-canonical varint %d", v)
+		}
+		return v, nil
+	case 0xff:
+		if _, err := io.ReadFull(r, b[:8]); err != nil {
+			return 0, err
+		}
+		v := binary.LittleEndian.Uint64(b[:8])
+		if v <= 0xffffffff {
+			return 0, fmt.Errorf("chain: non-canonical varint %d", v)
+		}
+		return v, nil
+	default:
+		return uint64(b[0]), nil
+	}
+}
+
+// WriteVarBytes writes a length-prefixed byte slice.
+func WriteVarBytes(w io.Writer, b []byte) error {
+	if err := WriteVarInt(w, uint64(len(b))); err != nil {
+		return err
+	}
+	_, err := w.Write(b)
+	return err
+}
+
+// ReadVarBytes reads a length-prefixed byte slice, bounding the allocation.
+func ReadVarBytes(r io.Reader) ([]byte, error) {
+	n, err := ReadVarInt(r)
+	if err != nil {
+		return nil, err
+	}
+	if n > maxAlloc {
+		return nil, fmt.Errorf("chain: var bytes length %d exceeds limit", n)
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(r, b); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+func writeUint32(w io.Writer, v uint32) error {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	_, err := w.Write(b[:])
+	return err
+}
+
+func readUint32(r io.Reader) (uint32, error) {
+	var b [4]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b[:]), nil
+}
+
+func writeUint64(w io.Writer, v uint64) error {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	_, err := w.Write(b[:])
+	return err
+}
+
+func readUint64(r io.Reader) (uint64, error) {
+	var b [8]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b[:]), nil
+}
+
+// Serialize writes the outpoint in wire format.
+func (o *OutPoint) Serialize(w io.Writer) error {
+	if _, err := w.Write(o.TxID[:]); err != nil {
+		return err
+	}
+	return writeUint32(w, o.Index)
+}
+
+// Deserialize reads the outpoint from wire format.
+func (o *OutPoint) Deserialize(r io.Reader) error {
+	if _, err := io.ReadFull(r, o.TxID[:]); err != nil {
+		return err
+	}
+	idx, err := readUint32(r)
+	if err != nil {
+		return err
+	}
+	o.Index = idx
+	return nil
+}
+
+// Serialize writes the input in wire format.
+func (in *TxIn) Serialize(w io.Writer) error {
+	if err := in.Prev.Serialize(w); err != nil {
+		return err
+	}
+	if err := WriteVarBytes(w, in.SigScript); err != nil {
+		return err
+	}
+	return writeUint32(w, in.Sequence)
+}
+
+// Deserialize reads the input from wire format.
+func (in *TxIn) Deserialize(r io.Reader) error {
+	if err := in.Prev.Deserialize(r); err != nil {
+		return err
+	}
+	script, err := ReadVarBytes(r)
+	if err != nil {
+		return err
+	}
+	in.SigScript = script
+	seq, err := readUint32(r)
+	if err != nil {
+		return err
+	}
+	in.Sequence = seq
+	return nil
+}
+
+// Serialize writes the output in wire format.
+func (out *TxOut) Serialize(w io.Writer) error {
+	if err := writeUint64(w, uint64(out.Value)); err != nil {
+		return err
+	}
+	return WriteVarBytes(w, out.PkScript)
+}
+
+// Deserialize reads the output from wire format.
+func (out *TxOut) Deserialize(r io.Reader) error {
+	v, err := readUint64(r)
+	if err != nil {
+		return err
+	}
+	out.Value = Amount(v)
+	script, err := ReadVarBytes(r)
+	if err != nil {
+		return err
+	}
+	out.PkScript = script
+	return nil
+}
+
+// Serialize writes the transaction in wire format.
+func (tx *Tx) Serialize(w io.Writer) error {
+	if err := writeUint32(w, uint32(tx.Version)); err != nil {
+		return err
+	}
+	if err := WriteVarInt(w, uint64(len(tx.Inputs))); err != nil {
+		return err
+	}
+	for i := range tx.Inputs {
+		if err := tx.Inputs[i].Serialize(w); err != nil {
+			return err
+		}
+	}
+	if err := WriteVarInt(w, uint64(len(tx.Outputs))); err != nil {
+		return err
+	}
+	for i := range tx.Outputs {
+		if err := tx.Outputs[i].Serialize(w); err != nil {
+			return err
+		}
+	}
+	return writeUint32(w, tx.LockTime)
+}
+
+// maxTxItems bounds input/output counts during deserialization; it is far
+// above anything a valid block can contain but prevents hostile prefixes
+// from forcing huge allocations.
+const maxTxItems = 1 << 20
+
+// Deserialize reads the transaction from wire format.
+func (tx *Tx) Deserialize(r io.Reader) error {
+	v, err := readUint32(r)
+	if err != nil {
+		return err
+	}
+	tx.Version = int32(v)
+	nIn, err := ReadVarInt(r)
+	if err != nil {
+		return err
+	}
+	if nIn > maxTxItems {
+		return fmt.Errorf("chain: input count %d exceeds limit", nIn)
+	}
+	tx.Inputs = make([]TxIn, nIn)
+	for i := range tx.Inputs {
+		if err := tx.Inputs[i].Deserialize(r); err != nil {
+			return err
+		}
+	}
+	nOut, err := ReadVarInt(r)
+	if err != nil {
+		return err
+	}
+	if nOut > maxTxItems {
+		return fmt.Errorf("chain: output count %d exceeds limit", nOut)
+	}
+	tx.Outputs = make([]TxOut, nOut)
+	for i := range tx.Outputs {
+		if err := tx.Outputs[i].Deserialize(r); err != nil {
+			return err
+		}
+	}
+	lt, err := readUint32(r)
+	if err != nil {
+		return err
+	}
+	tx.LockTime = lt
+	return nil
+}
+
+// Serialize writes the header in wire format (80 bytes, as in Bitcoin).
+func (h *BlockHeader) Serialize(w io.Writer) error {
+	if err := writeUint32(w, uint32(h.Version)); err != nil {
+		return err
+	}
+	if _, err := w.Write(h.PrevBlock[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(h.MerkleRoot[:]); err != nil {
+		return err
+	}
+	if err := writeUint64(w, uint64(h.Timestamp)); err != nil {
+		return err
+	}
+	if err := writeUint32(w, h.Bits); err != nil {
+		return err
+	}
+	return writeUint32(w, h.Nonce)
+}
+
+// Deserialize reads the header from wire format.
+func (h *BlockHeader) Deserialize(r io.Reader) error {
+	v, err := readUint32(r)
+	if err != nil {
+		return err
+	}
+	h.Version = int32(v)
+	if _, err := io.ReadFull(r, h.PrevBlock[:]); err != nil {
+		return err
+	}
+	if _, err := io.ReadFull(r, h.MerkleRoot[:]); err != nil {
+		return err
+	}
+	ts, err := readUint64(r)
+	if err != nil {
+		return err
+	}
+	h.Timestamp = int64(ts)
+	bits, err := readUint32(r)
+	if err != nil {
+		return err
+	}
+	h.Bits = bits
+	nonce, err := readUint32(r)
+	if err != nil {
+		return err
+	}
+	h.Nonce = nonce
+	return nil
+}
+
+// Serialize writes the block in wire format.
+func (b *Block) Serialize(w io.Writer) error {
+	if err := b.Header.Serialize(w); err != nil {
+		return err
+	}
+	if err := WriteVarInt(w, uint64(len(b.Txs))); err != nil {
+		return err
+	}
+	for _, tx := range b.Txs {
+		if err := tx.Serialize(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Deserialize reads the block from wire format.
+func (b *Block) Deserialize(r io.Reader) error {
+	if err := b.Header.Deserialize(r); err != nil {
+		return err
+	}
+	n, err := ReadVarInt(r)
+	if err != nil {
+		return err
+	}
+	if n > maxTxItems {
+		return fmt.Errorf("chain: tx count %d exceeds limit", n)
+	}
+	b.Txs = make([]*Tx, n)
+	for i := range b.Txs {
+		b.Txs[i] = new(Tx)
+		if err := b.Txs[i].Deserialize(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}

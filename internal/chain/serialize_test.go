@@ -1,0 +1,227 @@
+package chain
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestVarIntRoundTrip(t *testing.T) {
+	cases := []uint64{0, 1, 0xfc, 0xfd, 0xfffe, 0xffff, 0x10000, 0xffffffff, 0x100000000, 1<<63 + 7, ^uint64(0)}
+	for _, v := range cases {
+		var buf bytes.Buffer
+		if err := WriteVarInt(&buf, v); err != nil {
+			t.Fatalf("write %d: %v", v, err)
+		}
+		got, err := ReadVarInt(&buf)
+		if err != nil {
+			t.Fatalf("read %d: %v", v, err)
+		}
+		if got != v {
+			t.Errorf("roundtrip %d -> %d", v, got)
+		}
+	}
+}
+
+func TestVarIntEncodedSizes(t *testing.T) {
+	sizes := map[uint64]int{0: 1, 0xfc: 1, 0xfd: 3, 0xffff: 3, 0x10000: 5, 0xffffffff: 5, 0x100000000: 9}
+	for v, want := range sizes {
+		var buf bytes.Buffer
+		if err := WriteVarInt(&buf, v); err != nil {
+			t.Fatal(err)
+		}
+		if buf.Len() != want {
+			t.Errorf("varint %d encoded to %d bytes, want %d", v, buf.Len(), want)
+		}
+	}
+}
+
+func TestVarIntRejectsNonCanonical(t *testing.T) {
+	bad := [][]byte{
+		{0xfd, 0x01, 0x00},                                     // 1 encoded with 3 bytes
+		{0xfe, 0xff, 0xff, 0x00, 0x00},                         // 0xffff encoded with 5 bytes
+		{0xff, 0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00}, // 1 encoded with 9 bytes
+	}
+	for _, b := range bad {
+		if _, err := ReadVarInt(bytes.NewReader(b)); err == nil {
+			t.Errorf("accepted non-canonical encoding % x", b)
+		}
+	}
+}
+
+func TestVarIntPropertyRoundTrip(t *testing.T) {
+	f := func(v uint64) bool {
+		var buf bytes.Buffer
+		if err := WriteVarInt(&buf, v); err != nil {
+			return false
+		}
+		got, err := ReadVarInt(&buf)
+		return err == nil && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVarBytesTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteVarBytes(&buf, []byte("hello world")); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for cut := 1; cut < len(raw); cut++ {
+		if _, err := ReadVarBytes(bytes.NewReader(raw[:cut])); err == nil {
+			t.Errorf("accepted truncation at %d", cut)
+		}
+	}
+}
+
+func TestVarBytesHostileLength(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteVarInt(&buf, 1<<40); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadVarBytes(&buf); err == nil {
+		t.Fatal("accepted 1 TiB length prefix")
+	}
+}
+
+// randomTx builds a structurally valid random transaction for round-trip
+// tests.
+func randomTx(rng *rand.Rand) *Tx {
+	tx := &Tx{Version: 1, LockTime: rng.Uint32()}
+	nIn := 1 + rng.Intn(4)
+	for i := 0; i < nIn; i++ {
+		var op OutPoint
+		rng.Read(op.TxID[:])
+		op.Index = uint32(rng.Intn(10))
+		script := make([]byte, rng.Intn(80))
+		rng.Read(script)
+		tx.Inputs = append(tx.Inputs, TxIn{Prev: op, SigScript: script, Sequence: rng.Uint32()})
+	}
+	nOut := 1 + rng.Intn(4)
+	for i := 0; i < nOut; i++ {
+		script := make([]byte, rng.Intn(40))
+		rng.Read(script)
+		tx.Outputs = append(tx.Outputs, TxOut{Value: Amount(rng.Int63n(int64(MaxMoney))), PkScript: script})
+	}
+	return tx
+}
+
+func TestTxRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 200; i++ {
+		tx := randomTx(rng)
+		var buf bytes.Buffer
+		if err := tx.Serialize(&buf); err != nil {
+			t.Fatal(err)
+		}
+		var got Tx
+		if err := got.Deserialize(&buf); err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+		if got.TxID() != tx.TxID() {
+			t.Fatalf("iteration %d: txid changed across roundtrip", i)
+		}
+		if !txEqual(&got, tx) {
+			t.Fatalf("iteration %d: structure changed across roundtrip", i)
+		}
+	}
+}
+
+// txEqual compares transactions treating nil and empty scripts as equal,
+// which the wire format cannot distinguish.
+func txEqual(a, b *Tx) bool {
+	norm := func(tx *Tx) *Tx {
+		cp := tx.Copy()
+		for i := range cp.Inputs {
+			if len(cp.Inputs[i].SigScript) == 0 {
+				cp.Inputs[i].SigScript = nil
+			}
+		}
+		for i := range cp.Outputs {
+			if len(cp.Outputs[i].PkScript) == 0 {
+				cp.Outputs[i].PkScript = nil
+			}
+		}
+		return cp
+	}
+	return reflect.DeepEqual(norm(a), norm(b))
+}
+
+func TestBlockRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	b := &Block{Header: BlockHeader{Version: 1, Timestamp: 1234567890, Bits: 16, Nonce: 99}}
+	rng.Read(b.Header.PrevBlock[:])
+	for i := 0; i < 5; i++ {
+		b.Txs = append(b.Txs, randomTx(rng))
+	}
+	b.Header.MerkleRoot = BlockMerkleRoot(b.Txs)
+
+	var buf bytes.Buffer
+	if err := b.Serialize(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got Block
+	if err := got.Deserialize(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got.BlockHash() != b.BlockHash() {
+		t.Fatal("block hash changed across roundtrip")
+	}
+	if len(got.Txs) != len(b.Txs) {
+		t.Fatalf("tx count %d != %d", len(got.Txs), len(b.Txs))
+	}
+}
+
+func TestHeaderIs80Bytes(t *testing.T) {
+	var h BlockHeader
+	var buf bytes.Buffer
+	if err := h.Serialize(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 84 {
+		// 4 version + 32 prev + 32 merkle + 8 time + 4 bits + 4 nonce.
+		// (We widen Bitcoin's 4-byte timestamp to 8; everything else matches.)
+		t.Fatalf("header serialized to %d bytes, want 84", buf.Len())
+	}
+}
+
+func TestTxDeserializeTruncated(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tx := randomTx(rng)
+	var buf bytes.Buffer
+	if err := tx.Serialize(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for cut := 0; cut < len(raw); cut++ {
+		var got Tx
+		if err := got.Deserialize(bytes.NewReader(raw[:cut])); err == nil {
+			t.Fatalf("accepted truncation at %d/%d", cut, len(raw))
+		}
+	}
+}
+
+func TestTxDeserializeHostileCounts(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeUint32(&buf, 1); err != nil { // version
+		t.Fatal(err)
+	}
+	if err := WriteVarInt(&buf, maxTxItems+1); err != nil { // absurd input count
+		t.Fatal(err)
+	}
+	var tx Tx
+	if err := tx.Deserialize(&buf); err == nil {
+		t.Fatal("accepted hostile input count")
+	}
+}
+
+func TestReadVarIntEOF(t *testing.T) {
+	if _, err := ReadVarInt(bytes.NewReader(nil)); err != io.EOF {
+		t.Fatalf("want io.EOF, got %v", err)
+	}
+}

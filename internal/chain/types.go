@@ -1,0 +1,149 @@
+package chain
+
+import (
+	"bytes"
+	"fmt"
+)
+
+// OutPoint identifies a transaction output by the id of the transaction that
+// created it and the output's index within that transaction.
+type OutPoint struct {
+	TxID  Hash
+	Index uint32
+}
+
+// CoinbaseOutputIndex is the sentinel index used by coinbase inputs.
+const CoinbaseOutputIndex = ^uint32(0)
+
+// String renders the outpoint as "txid:index".
+func (o OutPoint) String() string { return fmt.Sprintf("%s:%d", o.TxID, o.Index) }
+
+// IsNull reports whether the outpoint is the null reference used by coinbase
+// inputs (zero hash, max index).
+func (o OutPoint) IsNull() bool { return o.TxID.IsZero() && o.Index == CoinbaseOutputIndex }
+
+// TxIn is a transaction input: a reference to a previous output being spent
+// together with the script that satisfies that output's spending condition.
+type TxIn struct {
+	Prev      OutPoint
+	SigScript []byte
+	Sequence  uint32
+}
+
+// TxOut is a transaction output: a value and the script that encumbers it.
+type TxOut struct {
+	Value    Amount
+	PkScript []byte
+}
+
+// Tx is a transaction: a signed transfer of value from a set of previous
+// outputs to a set of new outputs. The multi-input form is what Heuristic 1
+// exploits; the change-output idiom is what Heuristic 2 exploits.
+type Tx struct {
+	Version  int32
+	Inputs   []TxIn
+	Outputs  []TxOut
+	LockTime uint32
+}
+
+// IsCoinbase reports whether the transaction is a coin generation: a single
+// input with a null previous outpoint.
+func (tx *Tx) IsCoinbase() bool {
+	return len(tx.Inputs) == 1 && tx.Inputs[0].Prev.IsNull()
+}
+
+// TxID returns the transaction's identifier: the double-SHA256 of its
+// serialization. The result is recomputed on each call; callers that need it
+// repeatedly should cache it (txgraph does).
+func (tx *Tx) TxID() Hash {
+	var buf bytes.Buffer
+	// Serialization to an in-memory buffer cannot fail.
+	if err := tx.Serialize(&buf); err != nil {
+		panic("chain: tx serialize: " + err.Error())
+	}
+	return DoubleSHA256(buf.Bytes())
+}
+
+// TotalOut returns the sum of all output values. The result may exceed
+// MaxMoney for an invalid transaction; validation checks for that.
+func (tx *Tx) TotalOut() Amount {
+	var sum Amount
+	for _, out := range tx.Outputs {
+		sum += out.Value
+	}
+	return sum
+}
+
+// Copy returns a deep copy of the transaction.
+func (tx *Tx) Copy() *Tx {
+	cp := &Tx{Version: tx.Version, LockTime: tx.LockTime}
+	cp.Inputs = make([]TxIn, len(tx.Inputs))
+	for i, in := range tx.Inputs {
+		cp.Inputs[i] = TxIn{Prev: in.Prev, Sequence: in.Sequence}
+		if in.SigScript != nil {
+			cp.Inputs[i].SigScript = append([]byte(nil), in.SigScript...)
+		}
+	}
+	cp.Outputs = make([]TxOut, len(tx.Outputs))
+	for i, out := range tx.Outputs {
+		cp.Outputs[i] = TxOut{Value: out.Value}
+		if out.PkScript != nil {
+			cp.Outputs[i].PkScript = append([]byte(nil), out.PkScript...)
+		}
+	}
+	return cp
+}
+
+// BlockHeader carries the metadata that chains blocks together and
+// timestamps the transactions they contain (Section 2.1).
+type BlockHeader struct {
+	Version    int32
+	PrevBlock  Hash
+	MerkleRoot Hash
+	Timestamp  int64 // Unix seconds
+	Bits       uint32
+	Nonce      uint32
+}
+
+// BlockHash returns the double-SHA256 of the serialized header.
+func (h *BlockHeader) BlockHash() Hash {
+	var buf bytes.Buffer
+	if err := h.Serialize(&buf); err != nil {
+		panic("chain: header serialize: " + err.Error())
+	}
+	return DoubleSHA256(buf.Bytes())
+}
+
+// Block groups transactions, vouching for their validity and ordering them
+// in time relative to other blocks.
+type Block struct {
+	Header BlockHeader
+	Txs    []*Tx
+}
+
+// BlockHash returns the hash of the block's header.
+func (b *Block) BlockHash() Hash { return b.Header.BlockHash() }
+
+// NewCoinbaseTx builds a coin-generation transaction paying subsidy+fees to
+// pkScript. The extra bytes are placed in the signature script so that
+// coinbases of different blocks (or different miners) have distinct ids.
+func NewCoinbaseTx(height int64, value Amount, pkScript, extra []byte) *Tx {
+	sig := make([]byte, 0, 9+len(extra))
+	// Encode the height so coinbase ids are unique per block (BIP34-style).
+	for v := uint64(height); ; v >>= 8 {
+		sig = append(sig, byte(v))
+		if v < 0x100 {
+			break
+		}
+	}
+	sig = append(sig, extra...)
+	return &Tx{
+		Version: 1,
+		Inputs: []TxIn{{
+			Prev:      OutPoint{TxID: ZeroHash, Index: CoinbaseOutputIndex},
+			SigScript: sig,
+			Sequence:  ^uint32(0),
+		}},
+		Outputs: []TxOut{{Value: value, PkScript: pkScript}},
+	}
+}

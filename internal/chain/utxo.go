@@ -1,0 +1,112 @@
+package chain
+
+import "fmt"
+
+// UTXOEntry describes one unspent transaction output.
+type UTXOEntry struct {
+	Value    Amount
+	PkScript []byte
+	Height   int64
+	Coinbase bool
+}
+
+// UTXOSet is the set of unspent transaction outputs. It is the state against
+// which transactions are validated: every user of the system tracks it so
+// double spending can be detected (Section 2.1).
+//
+// UTXOSet is not safe for concurrent mutation; the chain serializes access.
+type UTXOSet struct {
+	entries map[OutPoint]UTXOEntry
+	total   Amount
+}
+
+// NewUTXOSet returns an empty UTXO set.
+func NewUTXOSet() *UTXOSet {
+	return &UTXOSet{entries: make(map[OutPoint]UTXOEntry)}
+}
+
+// Lookup returns the entry for the outpoint, if it is unspent.
+func (u *UTXOSet) Lookup(op OutPoint) (UTXOEntry, bool) {
+	e, ok := u.entries[op]
+	return e, ok
+}
+
+// Len returns the number of unspent outputs.
+func (u *UTXOSet) Len() int { return len(u.entries) }
+
+// Total returns the sum of all unspent output values.
+func (u *UTXOSet) Total() Amount { return u.total }
+
+// add records a new unspent output. It panics if the outpoint already
+// exists, which would indicate a validation bug upstream.
+func (u *UTXOSet) add(op OutPoint, e UTXOEntry) {
+	if _, ok := u.entries[op]; ok {
+		panic(fmt.Sprintf("chain: duplicate utxo %s", op))
+	}
+	u.entries[op] = e
+	u.total += e.Value
+}
+
+// spend removes an unspent output, returning its entry.
+func (u *UTXOSet) spend(op OutPoint) (UTXOEntry, error) {
+	e, ok := u.entries[op]
+	if !ok {
+		return UTXOEntry{}, fmt.Errorf("chain: missing or spent output %s", op)
+	}
+	delete(u.entries, op)
+	u.total -= e.Value
+	return e, nil
+}
+
+// ApplyTx spends the transaction's inputs and creates its outputs,
+// validating existence, maturity and value balance. It returns the fee paid.
+// On error the set is left unchanged.
+func (u *UTXOSet) ApplyTx(tx *Tx, height int64, maturity int64) (Amount, error) {
+	txid := tx.TxID()
+	if tx.IsCoinbase() {
+		for i, out := range tx.Outputs {
+			u.add(OutPoint{TxID: txid, Index: uint32(i)}, UTXOEntry{
+				Value: out.Value, PkScript: out.PkScript, Height: height, Coinbase: true,
+			})
+		}
+		return 0, nil
+	}
+	var inSum Amount
+	spent := make([]UTXOEntry, 0, len(tx.Inputs))
+	spentOps := make([]OutPoint, 0, len(tx.Inputs))
+	fail := func(err error) (Amount, error) {
+		// Roll back partially applied spends.
+		for i, op := range spentOps {
+			u.entries[op] = spent[i]
+			u.total += spent[i].Value
+		}
+		return 0, err
+	}
+	for _, in := range tx.Inputs {
+		e, err := u.spend(in.Prev)
+		if err != nil {
+			return fail(err)
+		}
+		if e.Coinbase && height-e.Height < maturity {
+			err := fmt.Errorf("chain: immature coinbase spend %s at height %d (created %d)",
+				in.Prev, height, e.Height)
+			// Restore before reporting.
+			u.entries[in.Prev] = e
+			u.total += e.Value
+			return fail(err)
+		}
+		spent = append(spent, e)
+		spentOps = append(spentOps, in.Prev)
+		inSum += e.Value
+	}
+	outSum := tx.TotalOut()
+	if outSum > inSum {
+		return fail(fmt.Errorf("chain: tx %s spends %v but only provides %v", txid, outSum, inSum))
+	}
+	for i, out := range tx.Outputs {
+		u.add(OutPoint{TxID: txid, Index: uint32(i)}, UTXOEntry{
+			Value: out.Value, PkScript: out.PkScript, Height: height,
+		})
+	}
+	return inSum - outSum, nil
+}

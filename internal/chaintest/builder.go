@@ -1,0 +1,195 @@
+// Package chaintest provides a compact ledger builder for tests: addresses
+// are referred to by string names, keys are minted on first use, and
+// transactions are specified as (from-names, to-name/amount pairs). Every
+// block it produces passes full validation including script verification, so
+// tests exercise the real pipeline end to end.
+package chaintest
+
+import (
+	"fmt"
+
+	"repro/internal/address"
+	"repro/internal/chain"
+	"repro/internal/script"
+)
+
+// TB is the subset of *testing.T the builder needs; keeping it an interface
+// avoids importing the testing package from non-test code.
+type TB interface {
+	Helper()
+	Fatalf(format string, args ...any)
+}
+
+// Out specifies one transaction output by recipient name and amount.
+type Out struct {
+	Name  string
+	Value chain.Amount
+}
+
+// Builder accumulates transactions and mines them into a validated chain.
+type Builder struct {
+	t       TB
+	Chain   *chain.Chain
+	keys    map[string]address.KeyPair
+	byAddr  map[address.Address]string
+	utxos   map[string][]utxo
+	pending []*chain.Tx
+	nextKey uint64
+	seed    int64
+}
+
+type utxo struct {
+	op    chain.OutPoint
+	value chain.Amount
+}
+
+// New returns a builder over a fresh chain with zero coinbase maturity (so
+// tests can spend immediately) and deterministic keys.
+func New(t TB) *Builder {
+	params := chain.MainNetParams()
+	params.CoinbaseMaturity = 0
+	return &Builder{
+		t:      t,
+		Chain:  chain.New(params),
+		keys:   make(map[string]address.KeyPair),
+		byAddr: make(map[address.Address]string),
+		utxos:  make(map[string][]utxo),
+		seed:   0x5eed,
+	}
+}
+
+// Key returns (minting if needed) the key pair for a name.
+func (b *Builder) Key(name string) address.KeyPair {
+	if k, ok := b.keys[name]; ok {
+		return k
+	}
+	b.nextKey++
+	k := address.NewKeyFromSeed(b.seed, b.nextKey)
+	b.keys[name] = k
+	b.byAddr[k.Address()] = name
+	return k
+}
+
+// Addr returns the address for a name.
+func (b *Builder) Addr(name string) address.Address { return b.Key(name).Address() }
+
+// NameOf returns the name that owns an address, if the builder minted it.
+func (b *Builder) NameOf(a address.Address) (string, bool) {
+	n, ok := b.byAddr[a]
+	return n, ok
+}
+
+// Balance returns the spendable balance recorded for a name.
+func (b *Builder) Balance(name string) chain.Amount {
+	var sum chain.Amount
+	for _, u := range b.utxos[name] {
+		sum += u.value
+	}
+	return sum
+}
+
+// Coinbase mines a block paying the subsidy to name, flushing any pending
+// transactions into the same block. It returns the block height.
+func (b *Builder) Coinbase(name string) int64 {
+	b.t.Helper()
+	height := b.Chain.Height() + 1
+	var fees chain.Amount
+	for _, tx := range b.pending {
+		var in chain.Amount
+		for _, txin := range tx.Inputs {
+			e, ok := b.Chain.UTXO().Lookup(txin.Prev)
+			if !ok {
+				b.t.Fatalf("chaintest: pending tx input %s not in UTXO set", txin.Prev)
+			}
+			in += e.Value
+		}
+		fees += in - tx.TotalOut()
+	}
+	subsidy := b.Chain.Params().SubsidyAt(height)
+	cb := chain.NewCoinbaseTx(height, subsidy+fees, script.PayToAddr(b.Addr(name)), nil)
+	txs := append([]*chain.Tx{cb}, b.pending...)
+	b.pending = nil
+	blk := &chain.Block{
+		Header: chain.BlockHeader{
+			Version:    1,
+			PrevBlock:  b.Chain.TipHash(),
+			MerkleRoot: chain.BlockMerkleRoot(txs),
+			Timestamp:  b.Chain.Params().TimeAt(height).Unix(),
+		},
+		Txs: txs,
+	}
+	if err := b.Chain.ConnectBlock(blk, false, chain.ConnectBlockOptions{Verifier: script.Verifier{}}); err != nil {
+		b.t.Fatalf("chaintest: connect block %d: %v", height, err)
+	}
+	b.utxos[name] = append(b.utxos[name], utxo{
+		op:    chain.OutPoint{TxID: cb.TxID(), Index: 0},
+		value: subsidy + fees,
+	})
+	return height
+}
+
+// Pay builds, signs and queues a transaction spending all UTXOs of the named
+// source addresses to the given outputs; any remainder becomes the fee. The
+// transaction joins the next mined block.
+func (b *Builder) Pay(from []string, outs ...Out) *chain.Tx {
+	b.t.Helper()
+	tx := &chain.Tx{Version: 1}
+	var inSum chain.Amount
+	type signer struct {
+		key address.KeyPair
+	}
+	var signers []signer
+	for _, name := range from {
+		us := b.utxos[name]
+		if len(us) == 0 {
+			b.t.Fatalf("chaintest: %q has no UTXOs to spend", name)
+		}
+		for _, u := range us {
+			tx.Inputs = append(tx.Inputs, chain.TxIn{Prev: u.op, Sequence: ^uint32(0)})
+			signers = append(signers, signer{key: b.Key(name)})
+			inSum += u.value
+		}
+		b.utxos[name] = nil
+	}
+	var outSum chain.Amount
+	for _, o := range outs {
+		tx.Outputs = append(tx.Outputs, chain.TxOut{
+			Value:    o.Value,
+			PkScript: script.PayToAddr(b.Addr(o.Name)),
+		})
+		outSum += o.Value
+	}
+	if outSum > inSum {
+		b.t.Fatalf("chaintest: outputs %v exceed inputs %v", outSum, inSum)
+	}
+	for i := range tx.Inputs {
+		sig := signers[i].key.Sign(chain.SigHash(tx, i))
+		tx.Inputs[i].SigScript = script.SigScript(sig, signers[i].key.PubKey())
+	}
+	txid := tx.TxID()
+	for i, o := range outs {
+		b.utxos[o.Name] = append(b.utxos[o.Name], utxo{
+			op:    chain.OutPoint{TxID: txid, Index: uint32(i)},
+			value: o.Value,
+		})
+	}
+	b.pending = append(b.pending, tx)
+	return tx
+}
+
+// Mine flushes pending transactions into n blocks mined to "miner", the
+// first carrying the pending set and the rest empty (for advancing time).
+func (b *Builder) Mine(n int) {
+	b.t.Helper()
+	for i := 0; i < n; i++ {
+		b.Coinbase("miner")
+	}
+}
+
+// MustOut returns the outpoint of output idx of tx.
+func MustOut(tx *chain.Tx, idx uint32) chain.OutPoint {
+	if int(idx) >= len(tx.Outputs) {
+		panic(fmt.Sprintf("chaintest: tx has %d outputs, want index %d", len(tx.Outputs), idx))
+	}
+	return chain.OutPoint{TxID: tx.TxID(), Index: idx}
+}

@@ -1,0 +1,185 @@
+package cluster_test
+
+import (
+	"testing"
+
+	"repro/internal/chain"
+	"repro/internal/chaintest"
+	"repro/internal/cluster"
+	"repro/internal/econ"
+	"repro/internal/txgraph"
+)
+
+// econGraph builds a small generated economy once for the property tests in
+// this file.
+var econGraphCache struct {
+	w *econ.World
+	g *txgraph.Graph
+}
+
+func econGraph(t *testing.T) (*econ.World, *txgraph.Graph) {
+	t.Helper()
+	if econGraphCache.g == nil {
+		cfg := econ.Small()
+		cfg.Blocks = 500
+		cfg.Users = 80
+		w, err := econ.Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := txgraph.Build(w.Chain)
+		if err != nil {
+			t.Fatal(err)
+		}
+		econGraphCache.w, econGraphCache.g = w, g
+	}
+	return econGraphCache.w, econGraphCache.g
+}
+
+// Invariant: every label points at an output that is genuinely fresh at its
+// transaction and the only fresh one there.
+func TestH2LabelsSatisfyConditions(t *testing.T) {
+	_, g := econGraph(t)
+	labels, _ := cluster.FindChangeOutputs(g, cluster.Unrefined())
+	if len(labels) == 0 {
+		t.Fatal("no labels on a generated economy")
+	}
+	for _, l := range labels {
+		tx := g.Tx(l.Tx)
+		if tx.Coinbase {
+			t.Fatal("labeled a coinbase output")
+		}
+		if tx.HasSelfChange() {
+			t.Fatal("labeled a self-change transaction")
+		}
+		if g.FirstSeen(l.Addr) != l.Tx {
+			t.Fatal("labeled address was not fresh")
+		}
+		fresh := 0
+		for _, out := range tx.OutputAddrs {
+			if out != txgraph.NoAddr && g.FirstSeen(out) == l.Tx {
+				fresh++
+			}
+		}
+		if fresh != 1 {
+			t.Fatalf("labeled tx has %d fresh outputs", fresh)
+		}
+	}
+}
+
+// Invariant: the refined label set is a subset of the week-wait label set,
+// which is a subset of the dice set, which equals the naive set (exemptions
+// and waits only remove or keep labels, never add).
+func TestH2LadderMonotonicity(t *testing.T) {
+	w, g := econGraph(t)
+	dice := w.GroundTruthDiceIDs(g)
+	key := func(l cluster.ChangeLabel) [2]uint32 { return [2]uint32{uint32(l.Tx), uint32(l.Addr)} }
+	setOf := func(cfg cluster.ChangeConfig) map[[2]uint32]bool {
+		labels, _ := cluster.FindChangeOutputs(g, cfg)
+		m := make(map[[2]uint32]bool, len(labels))
+		for _, l := range labels {
+			m[key(l)] = true
+		}
+		return m
+	}
+	naive := setOf(cluster.Unrefined())
+	diceSet := setOf(cluster.WithDice(dice))
+	week := setOf(cluster.ChangeConfig{Dice: dice, ExemptDice: true, WaitBlocks: 7 * w.BlocksPerDay})
+	refined := setOf(cluster.Refined(dice, 7*w.BlocksPerDay))
+
+	if len(diceSet) != len(naive) {
+		t.Fatalf("dice exemption changed the label count: %d vs %d", len(diceSet), len(naive))
+	}
+	for k := range week {
+		if !naive[k] {
+			t.Fatal("week-wait labeled something naive did not")
+		}
+	}
+	for k := range refined {
+		if !week[k] {
+			t.Fatal("refined labeled something week-wait did not")
+		}
+	}
+}
+
+// Invariant: Heuristic 2 never un-merges anything Heuristic 1 merged.
+func TestH2ExtendsH1(t *testing.T) {
+	_, g := econGraph(t)
+	h1 := cluster.Heuristic1(g)
+	h2 := cluster.Heuristic2(g, cluster.Unrefined())
+	n := g.NumAddrs()
+	for i := 0; i < n-1; i += 7 { // sampled pairs keep the test fast
+		a, b := txgraph.AddrID(i), txgraph.AddrID(i+1)
+		if h1.SameUser(a, b) && !h2.SameUser(a, b) {
+			t.Fatalf("H2 separated %d and %d which H1 merged", a, b)
+		}
+	}
+	if h2.NumClusters() > h1.NumClusters() {
+		t.Fatalf("H2 has more clusters (%d) than H1 (%d)", h2.NumClusters(), h1.NumClusters())
+	}
+}
+
+// Determinism: two runs over the same graph give identical partitions.
+func TestClusteringDeterministic(t *testing.T) {
+	w, g := econGraph(t)
+	dice := w.GroundTruthDiceIDs(g)
+	c1 := cluster.Heuristic2(g, cluster.Refined(dice, 7*w.BlocksPerDay))
+	c2 := cluster.Heuristic2(g, cluster.Refined(dice, 7*w.BlocksPerDay))
+	for i := 0; i < g.NumAddrs(); i++ {
+		if c1.ClusterOf(txgraph.AddrID(i)) != c2.ClusterOf(txgraph.AddrID(i)) {
+			t.Fatal("clustering not deterministic")
+		}
+	}
+}
+
+// Mechanism ablation: with the anomalous service change idioms disabled,
+// the unrefined heuristic's ground-truth contamination shrinks — evidence
+// the super-cluster really is driven by those two patterns.
+func TestSuperClusterMechanism(t *testing.T) {
+	base := econ.Small()
+	base.Blocks = 500
+	base.Users = 80
+
+	clean := base
+	clean.ChangeReuseProb = 0
+	clean.ServiceSelfChangeProb = 0
+
+	contamination := func(cfg econ.Config) int {
+		w, err := econ.Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := txgraph.Build(w.Chain)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := cluster.Heuristic2(g, cluster.Unrefined())
+		m := c.EvaluateAgainstOwners(w.OwnersForGraph(g))
+		return m.Contaminated
+	}
+	withIdioms := contamination(base)
+	without := contamination(clean)
+	if withIdioms <= without {
+		t.Fatalf("contamination with anomalous idioms (%d) should exceed without (%d)",
+			withIdioms, without)
+	}
+}
+
+// chaintest-level regression: ambiguity with three fresh outputs.
+func TestH2ThreeFreshOutputsAmbiguous(t *testing.T) {
+	b := chaintest.New(t)
+	b.Coinbase("payer")
+	b.Pay([]string{"payer"},
+		chaintest.Out{Name: "f1", Value: 10 * chain.Coin},
+		chaintest.Out{Name: "f2", Value: 10 * chain.Coin},
+		chaintest.Out{Name: "f3", Value: 29 * chain.Coin})
+	b.Mine(1)
+	g, err := txgraph.Build(b.Chain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, stats := cluster.FindChangeOutputs(g, cluster.Unrefined())
+	if stats.Labeled != 0 {
+		t.Fatal("labeled change among three fresh outputs")
+	}
+}

@@ -1,0 +1,175 @@
+package cluster
+
+import (
+	"sort"
+
+	"repro/internal/txgraph"
+)
+
+// Clustering is the result of running the heuristics over a graph: a
+// partition of the address space into users.
+type Clustering struct {
+	g      *txgraph.Graph
+	uf     *UnionFind
+	labels []int32
+	num    int
+
+	// ChangeLabels holds the Heuristic 2 labels used (nil for H1-only runs).
+	ChangeLabels []ChangeLabel
+	// ChangeStats holds the classifier statistics (zero for H1-only runs).
+	ChangeStats ChangeStats
+}
+
+// Heuristic1 links all input addresses of every transaction: if two or more
+// addresses are inputs to the same transaction, one user controls them.
+func Heuristic1(g *txgraph.Graph) *Clustering {
+	uf := NewUnionFind(g.NumAddrs())
+	applyHeuristic1(g, uf)
+	c := &Clustering{g: g, uf: uf}
+	c.labels, c.num = uf.Labels()
+	return c
+}
+
+func applyHeuristic1(g *txgraph.Graph, uf *UnionFind) {
+	n := g.NumTxs()
+	for seq := 0; seq < n; seq++ {
+		tx := g.Tx(txgraph.TxSeq(seq))
+		var first txgraph.AddrID = txgraph.NoAddr
+		for _, id := range tx.InputAddrs {
+			if id == txgraph.NoAddr {
+				continue
+			}
+			if first == txgraph.NoAddr {
+				first = id
+				continue
+			}
+			uf.Union(uint32(first), uint32(id))
+		}
+	}
+}
+
+// Heuristic2 runs the change classifier with cfg and links each identified
+// change address to the transaction's input user, on top of Heuristic 1
+// (the paper always applies them together: H2 "allows us to cluster not
+// only the input addresses but also the change address and the input user").
+func Heuristic2(g *txgraph.Graph, cfg ChangeConfig) *Clustering {
+	uf := NewUnionFind(g.NumAddrs())
+	applyHeuristic1(g, uf)
+	labels, stats := FindChangeOutputs(g, cfg)
+	for _, l := range labels {
+		tx := g.Tx(l.Tx)
+		for _, in := range tx.InputAddrs {
+			if in == txgraph.NoAddr {
+				continue
+			}
+			uf.Union(uint32(in), uint32(l.Addr))
+			break // inputs are already joined by H1; one link suffices
+		}
+	}
+	c := &Clustering{g: g, uf: uf, ChangeLabels: labels, ChangeStats: stats}
+	c.labels, c.num = uf.Labels()
+	return c
+}
+
+// Graph returns the graph the clustering was computed over.
+func (c *Clustering) Graph() *txgraph.Graph { return c.g }
+
+// NumClusters returns the total number of clusters, counting every address
+// (including sinks, which are singletons under both heuristics unless they
+// are labeled change addresses).
+func (c *Clustering) NumClusters() int { return c.num }
+
+// ClusterOf returns the cluster label of an address.
+func (c *Clustering) ClusterOf(id txgraph.AddrID) int32 { return c.labels[id] }
+
+// SameUser reports whether two addresses were merged into one user.
+func (c *Clustering) SameUser(a, b txgraph.AddrID) bool {
+	return c.labels[a] == c.labels[b]
+}
+
+// Stats summarizes a clustering the way Section 4.1 reports it.
+type Stats struct {
+	Addresses int
+	// SpenderClusters is the number of clusters that contain at least one
+	// address that has spent coins — the "5.5 million clusters of users".
+	SpenderClusters int
+	// SinkAddresses is the number of addresses that have received but never
+	// spent; each could be a distinct user.
+	SinkAddresses int
+	// MaxUsers = SpenderClusters + SinkAddresses, the paper's "at most
+	// 6,595,564 distinct users" upper bound.
+	MaxUsers int
+	// LargestCluster is the size (in addresses) of the biggest cluster.
+	LargestCluster int
+	// LargestClusterLabel identifies it for further inspection.
+	LargestClusterLabel int32
+}
+
+// ComputeStats derives the Section 4.1 statistics from the clustering.
+func (c *Clustering) ComputeStats() Stats {
+	s := Stats{Addresses: c.g.NumAddrs()}
+	clusterHasSpender := make([]bool, c.num)
+	clusterSize := make([]int, c.num)
+	for id := 0; id < c.g.NumAddrs(); id++ {
+		l := c.labels[id]
+		clusterSize[l]++
+		if len(c.g.Spends(txgraph.AddrID(id))) > 0 {
+			clusterHasSpender[l] = true
+		} else {
+			s.SinkAddresses++
+		}
+	}
+	for l := 0; l < c.num; l++ {
+		if clusterHasSpender[l] {
+			s.SpenderClusters++
+		}
+		if clusterSize[l] > s.LargestCluster {
+			s.LargestCluster = clusterSize[l]
+			s.LargestClusterLabel = int32(l)
+		}
+	}
+	s.MaxUsers = s.SpenderClusters + s.SinkAddresses
+	return s
+}
+
+// ClusterSizes returns the size of every cluster, indexed by label.
+func (c *Clustering) ClusterSizes() []int {
+	sizes := make([]int, c.num)
+	for _, l := range c.labels {
+		sizes[l]++
+	}
+	return sizes
+}
+
+// TopClusters returns the labels of the k largest clusters, largest first
+// (ties broken by label for determinism).
+func (c *Clustering) TopClusters(k int) []int32 {
+	sizes := c.ClusterSizes()
+	labels := make([]int32, c.num)
+	for i := range labels {
+		labels[i] = int32(i)
+	}
+	sort.Slice(labels, func(i, j int) bool {
+		si, sj := sizes[labels[i]], sizes[labels[j]]
+		if si != sj {
+			return si > sj
+		}
+		return labels[i] < labels[j]
+	})
+	if k > len(labels) {
+		k = len(labels)
+	}
+	return labels[:k]
+}
+
+// Members returns all addresses in the given cluster. It scans the address
+// space; intended for inspection of a handful of clusters, not bulk export.
+func (c *Clustering) Members(label int32) []txgraph.AddrID {
+	var out []txgraph.AddrID
+	for id, l := range c.labels {
+		if l == label {
+			out = append(out, txgraph.AddrID(id))
+		}
+	}
+	return out
+}

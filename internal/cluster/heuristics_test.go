@@ -1,0 +1,529 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/chain"
+	"repro/internal/chaintest"
+	"repro/internal/txgraph"
+)
+
+func buildGraph(t *testing.T, b *chaintest.Builder) *txgraph.Graph {
+	t.Helper()
+	g, err := txgraph.Build(b.Chain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func id(t *testing.T, g *txgraph.Graph, b *chaintest.Builder, name string) txgraph.AddrID {
+	t.Helper()
+	aid, ok := g.LookupAddr(b.Addr(name))
+	if !ok {
+		t.Fatalf("address %q not in graph", name)
+	}
+	return aid
+}
+
+const btc = chain.Coin
+
+func TestHeuristic1LinksCoSpentInputs(t *testing.T) {
+	b := chaintest.New(t)
+	b.Coinbase("a1")
+	b.Coinbase("a2")
+	b.Coinbase("c1")
+	b.Pay([]string{"a1", "a2"}, chaintest.Out{Name: "m", Value: 100 * btc})
+	b.Mine(1)
+
+	g := buildGraph(t, b)
+	c := Heuristic1(g)
+	if !c.SameUser(id(t, g, b, "a1"), id(t, g, b, "a2")) {
+		t.Fatal("co-spent inputs not merged")
+	}
+	if c.SameUser(id(t, g, b, "a1"), id(t, g, b, "c1")) {
+		t.Fatal("unrelated addresses merged")
+	}
+	if c.SameUser(id(t, g, b, "a1"), id(t, g, b, "m")) {
+		t.Fatal("H1 merged recipient with sender")
+	}
+}
+
+func TestHeuristic1Transitive(t *testing.T) {
+	b := chaintest.New(t)
+	b.Coinbase("a1")
+	b.Coinbase("a2")
+	b.Coinbase("a3")
+	b.Pay([]string{"a1", "a2"}, chaintest.Out{Name: "x", Value: 100 * btc})
+	b.Mine(1)
+	b.Coinbase("a2b")
+	// Link a2's owner to a3 via a second co-spend: give a2 more coins first.
+	b.Pay([]string{"a2b", "a3"}, chaintest.Out{Name: "y", Value: 100 * btc})
+	b.Mine(1)
+
+	g := buildGraph(t, b)
+	c := Heuristic1(g)
+	// a1–a2 share a tx; a2b–a3 share a tx; but a2 and a2b are different
+	// addresses, so without another link a1 and a3 stay separate.
+	if c.SameUser(id(t, g, b, "a1"), id(t, g, b, "a3")) {
+		t.Fatal("merged across unlinked addresses")
+	}
+	b2 := chaintest.New(t)
+	b2.Coinbase("a1")
+	b2.Coinbase("a2")
+	b2.Coinbase("a2x")
+	b2.Coinbase("a3")
+	b2.Pay([]string{"a1", "a2"}, chaintest.Out{Name: "x", Value: 100 * btc})
+	b2.Mine(1)
+	b2.Pay([]string{"a2x", "a3"}, chaintest.Out{Name: "y", Value: 100 * btc})
+	b2.Mine(1)
+	// Now link a2 and a2x by co-spending change... instead fund them again
+	// and co-spend.
+	b2.Coinbase("a2")
+	b2.Coinbase("a2x")
+	b2.Pay([]string{"a2", "a2x"}, chaintest.Out{Name: "z", Value: 100 * btc})
+	b2.Mine(1)
+	g2 := buildGraph(t, b2)
+	c2 := Heuristic1(g2)
+	if !c2.SameUser(id(t, g2, b2, "a1"), id(t, g2, b2, "a3")) {
+		t.Fatal("transitive closure failed: a1 and a3 should be one user")
+	}
+}
+
+func TestHeuristic1Stats(t *testing.T) {
+	b := chaintest.New(t)
+	b.Coinbase("a1")
+	b.Pay([]string{"a1"}, chaintest.Out{Name: "sink1", Value: 20 * btc},
+		chaintest.Out{Name: "sink2", Value: 30 * btc})
+	b.Mine(1)
+
+	g := buildGraph(t, b)
+	c := Heuristic1(g)
+	s := c.ComputeStats()
+	// Addresses: a1, sink1, sink2, miner (from Mine(1)).
+	if s.Addresses != 4 {
+		t.Fatalf("addresses = %d, want 4", s.Addresses)
+	}
+	if s.SinkAddresses != 3 { // sink1, sink2, miner never spend
+		t.Fatalf("sinks = %d, want 3", s.SinkAddresses)
+	}
+	if s.SpenderClusters != 1 { // only a1 has spent
+		t.Fatalf("spender clusters = %d, want 1", s.SpenderClusters)
+	}
+	if s.MaxUsers != 4 {
+		t.Fatalf("max users = %d, want 4", s.MaxUsers)
+	}
+}
+
+// changeScenario builds the canonical change situation: payer's coins split
+// between a previously seen payee and a brand new change address.
+func changeScenario(t *testing.T) (*chaintest.Builder, *chain.Tx) {
+	b := chaintest.New(t)
+	b.Coinbase("payer")
+	b.Coinbase("payee") // payee appears on chain (condition 4 satisfied)
+	tx := b.Pay([]string{"payer"},
+		chaintest.Out{Name: "payee", Value: 10 * btc},
+		chaintest.Out{Name: "change", Value: 40 * btc})
+	b.Mine(1)
+	return b, tx
+}
+
+func TestH2LabelsOneTimeChange(t *testing.T) {
+	b, tx := changeScenario(t)
+	g := buildGraph(t, b)
+	labels, stats := FindChangeOutputs(g, Unrefined())
+	if stats.Labeled != 1 {
+		t.Fatalf("labeled = %d, want 1 (stats %+v)", stats.Labeled, stats)
+	}
+	seq, _ := g.LookupTx(tx.TxID())
+	l := labels[0]
+	if l.Tx != seq || l.Addr != id(t, g, b, "change") {
+		t.Fatalf("wrong label %+v", l)
+	}
+	if l.FalsePositive {
+		t.Fatal("clean change flagged as false positive")
+	}
+
+	c := Heuristic2(g, Unrefined())
+	if !c.SameUser(id(t, g, b, "payer"), id(t, g, b, "change")) {
+		t.Fatal("H2 did not merge change with payer")
+	}
+	if c.SameUser(id(t, g, b, "payer"), id(t, g, b, "payee")) {
+		t.Fatal("H2 merged payee with payer")
+	}
+}
+
+func TestH2Condition1_SeenAddressNotChange(t *testing.T) {
+	b := chaintest.New(t)
+	b.Coinbase("payer")
+	b.Coinbase("payee")
+	b.Coinbase("oldaddr") // appears on chain before the payment
+	b.Pay([]string{"payer"},
+		chaintest.Out{Name: "payee", Value: 10 * btc},
+		chaintest.Out{Name: "oldaddr", Value: 40 * btc})
+	b.Mine(1)
+
+	g := buildGraph(t, b)
+	_, stats := FindChangeOutputs(g, Unrefined())
+	if stats.Labeled != 0 {
+		t.Fatalf("labeled = %d, want 0: both outputs were previously seen", stats.Labeled)
+	}
+}
+
+func TestH2Condition2_CoinbaseNeverLabeled(t *testing.T) {
+	b := chaintest.New(t)
+	b.Coinbase("pool")
+	g := buildGraph(t, b)
+	_, stats := FindChangeOutputs(g, Unrefined())
+	if stats.Labeled != 0 {
+		t.Fatalf("labeled coinbase output as change")
+	}
+}
+
+func TestH2Condition3_SelfChangeSkipped(t *testing.T) {
+	b := chaintest.New(t)
+	b.Coinbase("payer")
+	b.Coinbase("payee")
+	b.Pay([]string{"payer"},
+		chaintest.Out{Name: "payee", Value: 10 * btc},
+		chaintest.Out{Name: "fresh", Value: 20 * btc},
+		chaintest.Out{Name: "payer", Value: 20 * btc}) // self-change present
+	b.Mine(1)
+
+	g := buildGraph(t, b)
+	_, stats := FindChangeOutputs(g, Unrefined())
+	if stats.Labeled != 0 {
+		t.Fatal("labeled change in a self-change transaction")
+	}
+	if stats.SkippedSelf != 1 {
+		t.Fatalf("SkippedSelf = %d, want 1", stats.SkippedSelf)
+	}
+}
+
+func TestH2Condition4_TwoFreshIsAmbiguous(t *testing.T) {
+	b := chaintest.New(t)
+	b.Coinbase("payer")
+	b.Pay([]string{"payer"},
+		chaintest.Out{Name: "fresh1", Value: 10 * btc},
+		chaintest.Out{Name: "fresh2", Value: 40 * btc})
+	b.Mine(1)
+
+	g := buildGraph(t, b)
+	_, stats := FindChangeOutputs(g, Unrefined())
+	if stats.Labeled != 0 {
+		t.Fatal("labeled change despite two fresh outputs")
+	}
+	if stats.Ambiguous != 1 {
+		t.Fatalf("Ambiguous = %d, want 1", stats.Ambiguous)
+	}
+}
+
+func TestH2SingleOutputNotLabeled(t *testing.T) {
+	b := chaintest.New(t)
+	b.Coinbase("payer")
+	b.Pay([]string{"payer"}, chaintest.Out{Name: "whole", Value: 50 * btc})
+	b.Mine(1)
+	g := buildGraph(t, b)
+	_, stats := FindChangeOutputs(g, Unrefined())
+	if stats.Labeled != 0 {
+		t.Fatal("labeled the only output of a sweep as change")
+	}
+}
+
+// reuseScenario: change address later receives another payment (reuse),
+// which the temporal replay must flag as a false positive.
+func reuseScenario(t *testing.T, gapBlocks int) (*chaintest.Builder, func(*txgraph.Graph) txgraph.AddrID) {
+	b := chaintest.New(t)
+	b.Coinbase("payer")
+	b.Coinbase("payee")
+	b.Coinbase("other")
+	b.Pay([]string{"payer"},
+		chaintest.Out{Name: "payee", Value: 10 * btc},
+		chaintest.Out{Name: "change", Value: 40 * btc})
+	b.Mine(1)
+	b.Mine(gapBlocks)
+	// Reuse: someone else pays the "change" address directly.
+	b.Pay([]string{"other"}, chaintest.Out{Name: "change", Value: 1 * btc},
+		chaintest.Out{Name: "payee", Value: 49 * btc})
+	b.Mine(1)
+	return b, func(g *txgraph.Graph) txgraph.AddrID { return id(t, g, b, "change") }
+}
+
+func TestH2ReuseCountedAsFalsePositive(t *testing.T) {
+	b, _ := reuseScenario(t, 0)
+	g := buildGraph(t, b)
+	_, stats := FindChangeOutputs(g, Unrefined())
+	if stats.Labeled < 1 {
+		t.Fatalf("labeled = %d, want >= 1", stats.Labeled)
+	}
+	if stats.FalsePositives != 1 {
+		t.Fatalf("FPs = %d, want 1 (stats %+v)", stats.FalsePositives, stats)
+	}
+}
+
+func TestH2WaitSuppressesFastReuse(t *testing.T) {
+	b, _ := reuseScenario(t, 10) // reuse ~11 blocks later
+	g := buildGraph(t, b)
+	cfg := ChangeConfig{WaitBlocks: 144} // a day: reuse falls inside window
+	_, stats := FindChangeOutputs(g, cfg)
+	if stats.FalsePositives != 0 {
+		t.Fatalf("FPs = %d, want 0: fast reuse should be suppressed", stats.FalsePositives)
+	}
+	if stats.SuppressedByWait != 1 {
+		t.Fatalf("SuppressedByWait = %d, want 1", stats.SuppressedByWait)
+	}
+}
+
+func TestH2WaitDoesNotSuppressSlowReuse(t *testing.T) {
+	b, _ := reuseScenario(t, 200) // reuse ~201 blocks later
+	g := buildGraph(t, b)
+	cfg := ChangeConfig{WaitBlocks: 144}
+	_, stats := FindChangeOutputs(g, cfg)
+	if stats.FalsePositives != 1 {
+		t.Fatalf("FPs = %d, want 1: slow reuse escapes the wait window", stats.FalsePositives)
+	}
+}
+
+// diceScenario: the user spends their change at a dice game, and the game
+// pays winnings back to the same address — the pattern that inflated the
+// naive FP estimate to 13%.
+func diceScenario(t *testing.T) (*chaintest.Builder, string) {
+	b := chaintest.New(t)
+	b.Coinbase("payer")
+	b.Coinbase("payee")
+	b.Coinbase("dicebank")
+	b.Pay([]string{"payer"},
+		chaintest.Out{Name: "payee", Value: 10 * btc},
+		chaintest.Out{Name: "change", Value: 40 * btc})
+	b.Mine(1)
+	// The change address bets at the dice game (sweep to the dice address,
+	// with the dice's payout going straight back to "change").
+	b.Pay([]string{"change"}, chaintest.Out{Name: "dicebank", Value: 40 * btc})
+	b.Mine(1)
+	b.Pay([]string{"dicebank"}, chaintest.Out{Name: "change", Value: 79 * btc},
+		chaintest.Out{Name: "payee", Value: 11 * btc})
+	b.Mine(1)
+	return b, "dicebank"
+}
+
+func TestH2DiceExemptionRemovesFalsePositive(t *testing.T) {
+	b, diceName := diceScenario(t)
+	g := buildGraph(t, b)
+
+	_, naive := FindChangeOutputs(g, Unrefined())
+	if naive.FalsePositives != 1 {
+		t.Fatalf("naive FPs = %d, want 1 (the dice payout)", naive.FalsePositives)
+	}
+
+	dice := map[txgraph.AddrID]bool{id(t, g, b, diceName): true}
+	_, exempt := FindChangeOutputs(g, WithDice(dice))
+	if exempt.FalsePositives != 0 {
+		t.Fatalf("exempt FPs = %d, want 0", exempt.FalsePositives)
+	}
+	if exempt.Labeled < naive.Labeled {
+		t.Fatalf("dice exemption lost labels: %d < %d", exempt.Labeled, naive.Labeled)
+	}
+}
+
+func TestH2GuardReceivedOnce(t *testing.T) {
+	b := chaintest.New(t)
+	b.Coinbase("payer")
+	b.Coinbase("src")
+	b.Coinbase("payee")
+	// "reused" first appears as a one-time change address: src pays the
+	// previously seen payee, change to the fresh "reused".
+	b.Pay([]string{"src"}, chaintest.Out{Name: "payee", Value: 5 * btc},
+		chaintest.Out{Name: "reused", Value: 45 * btc})
+	b.Mine(1)
+	// Now the same "change" address receives again in another user's tx
+	// (used twice): under the guard, nothing in this tx may be labeled.
+	tx := b.Pay([]string{"payer"},
+		chaintest.Out{Name: "reused", Value: 10 * btc},
+		chaintest.Out{Name: "fresh", Value: 40 * btc})
+	b.Mine(1)
+
+	g := buildGraph(t, b)
+	seq, _ := g.LookupTx(tx.TxID())
+
+	labels, _ := FindChangeOutputs(g, Unrefined())
+	found := false
+	for _, l := range labels {
+		if l.Tx == seq {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("unrefined heuristic should have labeled the fresh output")
+	}
+
+	cfg := ChangeConfig{GuardReceivedOnce: true}
+	labels, stats := FindChangeOutputs(g, cfg)
+	for _, l := range labels {
+		if l.Tx == seq {
+			t.Fatal("guard failed: labeled a tx whose output had exactly one prior receive")
+		}
+	}
+	// The guard also skips tx1 (its payee had exactly one coinbase receive),
+	// so at least the two transactions are skipped.
+	if stats.SkippedGuards < 1 {
+		t.Fatalf("SkippedGuards = %d, want >= 1", stats.SkippedGuards)
+	}
+}
+
+func TestH2GuardSelfChangeHistory(t *testing.T) {
+	b := chaintest.New(t)
+	b.Coinbase("svc")
+	b.Coinbase("payee")
+	b.Coinbase("payer")
+	// svc uses its own address as self-change once.
+	b.Pay([]string{"svc"}, chaintest.Out{Name: "payee", Value: 10 * btc},
+		chaintest.Out{Name: "svc", Value: 40 * btc})
+	b.Mine(1)
+	// Later, svc's address shows up as a (non-candidate) output of another
+	// user's payment.
+	tx := b.Pay([]string{"payer"},
+		chaintest.Out{Name: "svc", Value: 10 * btc},
+		chaintest.Out{Name: "fresh", Value: 40 * btc})
+	b.Mine(1)
+
+	g := buildGraph(t, b)
+	seq, _ := g.LookupTx(tx.TxID())
+
+	cfg := ChangeConfig{GuardSelfChangeHistory: true}
+	labels, stats := FindChangeOutputs(g, cfg)
+	for _, l := range labels {
+		if l.Tx == seq {
+			t.Fatal("guard failed: labeled a tx paying a known self-change address")
+		}
+	}
+	if stats.SkippedGuards == 0 {
+		t.Fatal("SkippedGuards = 0, want > 0")
+	}
+}
+
+func TestH2DeterministicAcrossRuns(t *testing.T) {
+	b, _ := diceScenario(t)
+	g := buildGraph(t, b)
+	l1, s1 := FindChangeOutputs(g, Unrefined())
+	l2, s2 := FindChangeOutputs(g, Unrefined())
+	if s1 != s2 || len(l1) != len(l2) {
+		t.Fatal("classifier is not deterministic")
+	}
+	for i := range l1 {
+		if l1[i] != l2[i] {
+			t.Fatal("labels differ across runs")
+		}
+	}
+}
+
+func TestH2FalseMergeVisibleInGroundTruth(t *testing.T) {
+	// A cross-user payment to a fresh deposit address looks exactly like
+	// change; the unrefined heuristic merges payer and payee. This is the
+	// super-cluster mechanism in miniature, verified via owner metrics.
+	b := chaintest.New(t)
+	b.Coinbase("gox1")
+	b.Coinbase("gox2") // gox's previously seen address
+	// First, make gox2 seen and give gox1/gox2 common ownership via co-spend.
+	b.Pay([]string{"gox1", "gox2"}, chaintest.Out{Name: "goxhot", Value: 100 * btc})
+	b.Mine(1)
+	// gox pays a user's *fresh* Instawallet deposit address; the other
+	// output is gox's previously seen hot address -> deposit looks like
+	// change.
+	b.Pay([]string{"goxhot"},
+		chaintest.Out{Name: "instadeposit", Value: 60 * btc},
+		chaintest.Out{Name: "goxhot2", Value: 40 * btc})
+	b.Mine(1)
+	// Make goxhot2 "previously seen"? It is fresh too -> ambiguous. Redo:
+	// to force exactly one fresh output, gox sends change back to goxhot
+	// (seen) — but that is self-change... Use a different seen address.
+	g := buildGraph(t, b)
+	_, stats := FindChangeOutputs(g, Unrefined())
+	// Both outputs fresh -> ambiguous, nothing labeled: also fine. The
+	// stronger scenario is below.
+	_ = stats
+
+	b2 := chaintest.New(t)
+	b2.Coinbase("gox1")
+	b2.Coinbase("goxseen")
+	b2.Pay([]string{"gox1", "goxseen"}, chaintest.Out{Name: "goxhot", Value: 100 * btc})
+	b2.Mine(1)
+	// goxseen got used again so it is "previously seen"; now the hot wallet
+	// pays the fresh deposit with a seen gox address as true change target.
+	b2.Coinbase("goxseen")
+	b2.Pay([]string{"goxhot"},
+		chaintest.Out{Name: "instadeposit", Value: 60 * btc},
+		chaintest.Out{Name: "goxseen", Value: 40 * btc})
+	b2.Mine(1)
+
+	g2 := buildGraph(t, b2)
+	c := Heuristic2(g2, Unrefined())
+	gox := id(t, g2, b2, "goxhot")
+	deposit := id(t, g2, b2, "instadeposit")
+	if !c.SameUser(gox, deposit) {
+		t.Fatal("expected the unrefined heuristic to falsely merge the deposit address")
+	}
+	owners := make([]int32, g2.NumAddrs())
+	for i := range owners {
+		owners[i] = -1
+	}
+	owners[gox] = 1
+	owners[deposit] = 2
+	m := c.EvaluateAgainstOwners(owners)
+	if m.Contaminated != 1 {
+		t.Fatalf("Contaminated = %d, want 1", m.Contaminated)
+	}
+	if m.Purity >= 1.0 {
+		t.Fatal("purity should reflect the false merge")
+	}
+}
+
+func TestH1PerfectPrecisionOnOwnedLedger(t *testing.T) {
+	// H1 merges only addresses that truly co-sign, so with one owner per
+	// name its precision against ground truth is perfect by construction.
+	b := chaintest.New(t)
+	b.Coinbase("u1a")
+	b.Coinbase("u1b")
+	b.Coinbase("u2a")
+	b.Pay([]string{"u1a", "u1b"}, chaintest.Out{Name: "shop", Value: 100 * btc})
+	b.Mine(1)
+	b.Pay([]string{"u2a"}, chaintest.Out{Name: "shop", Value: 50 * btc})
+	b.Mine(1)
+
+	g := buildGraph(t, b)
+	c := Heuristic1(g)
+	owners := make([]int32, g.NumAddrs())
+	for i := range owners {
+		owners[i] = -1
+	}
+	owners[id(t, g, b, "u1a")] = 1
+	owners[id(t, g, b, "u1b")] = 1
+	owners[id(t, g, b, "u2a")] = 2
+	owners[id(t, g, b, "shop")] = 3
+	m := c.EvaluateAgainstOwners(owners)
+	if m.Contaminated != 0 {
+		t.Fatalf("H1 contaminated %d clusters on an honest ledger", m.Contaminated)
+	}
+	if m.Purity != 1.0 {
+		t.Fatalf("H1 purity = %f, want 1.0", m.Purity)
+	}
+}
+
+func TestTopClustersOrdering(t *testing.T) {
+	b := chaintest.New(t)
+	b.Coinbase("a1")
+	b.Coinbase("a2")
+	b.Coinbase("a3")
+	b.Coinbase("b1")
+	b.Pay([]string{"a1", "a2", "a3"}, chaintest.Out{Name: "x", Value: 150 * btc})
+	b.Mine(1)
+	g := buildGraph(t, b)
+	c := Heuristic1(g)
+	top := c.TopClusters(2)
+	sizes := c.ClusterSizes()
+	if sizes[top[0]] < sizes[top[1]] {
+		t.Fatal("TopClusters not sorted by size")
+	}
+	if sizes[top[0]] != 3 {
+		t.Fatalf("largest cluster size = %d, want 3", sizes[top[0]])
+	}
+}

@@ -1,0 +1,102 @@
+package cluster
+
+// GroundTruthMetrics compares a clustering against the true owner of every
+// address. The paper could only estimate its error rates; the simulator's
+// ground truth lets the reproduction verify them exactly.
+type GroundTruthMetrics struct {
+	// Clusters is the number of clusters evaluated (those with at least one
+	// address whose owner is known).
+	Clusters int
+	// Contaminated is the number of clusters containing addresses of more
+	// than one true owner — each is a false merge.
+	Contaminated int
+	// Purity is the fraction of addresses belonging to their cluster's
+	// majority owner, weighted by cluster size; 1.0 means no false merges.
+	Purity float64
+	// MaxOwnersInCluster is the largest number of distinct owners collapsed
+	// into one cluster — the super-cluster indicator.
+	MaxOwnersInCluster int
+	// SplitOwners is the number of owners whose addresses span more than
+	// one cluster (expected: services deliberately keep separate wallets;
+	// the paper saw 20 clusters for Mt. Gox).
+	SplitOwners int
+}
+
+// EvaluateAgainstOwners computes ground-truth metrics. owners maps each
+// AddrID to its true owner id, with NoOwner for addresses outside the
+// ground truth.
+func (c *Clustering) EvaluateAgainstOwners(owners []int32) GroundTruthMetrics {
+	const NoOwner = int32(-1)
+	type ownerCount map[int32]int
+	perCluster := make(map[int32]ownerCount)
+	for id, owner := range owners {
+		if owner == NoOwner || id >= c.g.NumAddrs() {
+			continue
+		}
+		l := c.labels[id]
+		oc := perCluster[l]
+		if oc == nil {
+			oc = make(ownerCount)
+			perCluster[l] = oc
+		}
+		oc[owner]++
+	}
+
+	var m GroundTruthMetrics
+	var totalAddrs, majorityAddrs int
+	ownerClusters := make(map[int32]map[int32]struct{})
+	for l, oc := range perCluster {
+		m.Clusters++
+		if len(oc) > 1 {
+			m.Contaminated++
+		}
+		if len(oc) > m.MaxOwnersInCluster {
+			m.MaxOwnersInCluster = len(oc)
+		}
+		best, size := 0, 0
+		for owner, n := range oc {
+			size += n
+			if n > best {
+				best = n
+			}
+			set := ownerClusters[owner]
+			if set == nil {
+				set = make(map[int32]struct{})
+				ownerClusters[owner] = set
+			}
+			set[l] = struct{}{}
+		}
+		totalAddrs += size
+		majorityAddrs += best
+	}
+	if totalAddrs > 0 {
+		m.Purity = float64(majorityAddrs) / float64(totalAddrs)
+	}
+	for _, set := range ownerClusters {
+		if len(set) > 1 {
+			m.SplitOwners++
+		}
+	}
+	return m
+}
+
+// OwnersInCluster returns how many distinct known owners appear in the given
+// cluster and the owner ids, for super-cluster forensics.
+func (c *Clustering) OwnersInCluster(label int32, owners []int32) []int32 {
+	seen := make(map[int32]struct{})
+	var out []int32
+	for id, l := range c.labels {
+		if l != label {
+			continue
+		}
+		o := owners[id]
+		if o < 0 {
+			continue
+		}
+		if _, dup := seen[o]; !dup {
+			seen[o] = struct{}{}
+			out = append(out, o)
+		}
+	}
+	return out
+}

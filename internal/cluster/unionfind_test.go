@@ -1,0 +1,184 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestUnionFindBasics(t *testing.T) {
+	u := NewUnionFind(5)
+	if u.Sets() != 5 {
+		t.Fatalf("fresh sets = %d, want 5", u.Sets())
+	}
+	u.Union(0, 1)
+	u.Union(3, 4)
+	if !u.Same(0, 1) || !u.Same(3, 4) {
+		t.Fatal("union did not merge")
+	}
+	if u.Same(0, 3) {
+		t.Fatal("disjoint sets reported same")
+	}
+	if u.Sets() != 3 {
+		t.Fatalf("sets = %d, want 3", u.Sets())
+	}
+	u.Union(1, 4)
+	if !u.Same(0, 3) {
+		t.Fatal("transitive merge failed")
+	}
+	if u.Sets() != 2 {
+		t.Fatalf("sets = %d, want 2", u.Sets())
+	}
+	if u.SizeOf(0) != 4 {
+		t.Fatalf("size = %d, want 4", u.SizeOf(0))
+	}
+}
+
+func TestUnionFindIdempotent(t *testing.T) {
+	u := NewUnionFind(3)
+	u.Union(0, 1)
+	before := u.Sets()
+	u.Union(0, 1)
+	u.Union(1, 0)
+	if u.Sets() != before {
+		t.Fatal("repeated union changed set count")
+	}
+}
+
+func TestUnionFindSelfUnion(t *testing.T) {
+	u := NewUnionFind(2)
+	u.Union(1, 1)
+	if u.Sets() != 2 {
+		t.Fatal("self union changed set count")
+	}
+}
+
+func TestUnionFindLabelsPartition(t *testing.T) {
+	u := NewUnionFind(10)
+	u.Union(0, 5)
+	u.Union(5, 9)
+	u.Union(2, 3)
+	labels, n := u.Labels()
+	if n != u.Sets() {
+		t.Fatalf("label count %d != sets %d", n, u.Sets())
+	}
+	if labels[0] != labels[5] || labels[5] != labels[9] {
+		t.Fatal("merged elements got different labels")
+	}
+	if labels[2] != labels[3] {
+		t.Fatal("merged elements got different labels")
+	}
+	if labels[0] == labels[2] {
+		t.Fatal("distinct sets got the same label")
+	}
+	// Labels are compact: every value in [0, n) appears.
+	seen := make([]bool, n)
+	for _, l := range labels {
+		if int(l) >= n {
+			t.Fatalf("label %d out of range", l)
+		}
+		seen[l] = true
+	}
+	for i, ok := range seen {
+		if !ok {
+			t.Fatalf("label %d unused", i)
+		}
+	}
+}
+
+// TestUnionFindMatchesNaive checks the structure against a brute-force
+// partition under random union sequences.
+func TestUnionFindMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(40)
+		u := NewUnionFind(n)
+		naive := make([]int, n) // naive[i] = group of i
+		for i := range naive {
+			naive[i] = i
+		}
+		ops := rng.Intn(60)
+		for k := 0; k < ops; k++ {
+			a, b := uint32(rng.Intn(n)), uint32(rng.Intn(n))
+			u.Union(a, b)
+			ga, gb := naive[a], naive[b]
+			if ga != gb {
+				for i := range naive {
+					if naive[i] == gb {
+						naive[i] = ga
+					}
+				}
+			}
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if u.Same(uint32(i), uint32(j)) != (naive[i] == naive[j]) {
+					t.Fatalf("trial %d: Same(%d,%d) mismatch", trial, i, j)
+				}
+			}
+		}
+		groups := make(map[int]struct{})
+		for _, g := range naive {
+			groups[g] = struct{}{}
+		}
+		if u.Sets() != len(groups) {
+			t.Fatalf("trial %d: sets %d, want %d", trial, u.Sets(), len(groups))
+		}
+	}
+}
+
+// Property: the partition is independent of union order.
+func TestUnionFindOrderIndependence(t *testing.T) {
+	type pair struct{ A, B uint8 }
+	f := func(pairs []pair, seed int64) bool {
+		const n = 64
+		u1 := NewUnionFind(n)
+		for _, p := range pairs {
+			u1.Union(uint32(p.A%n), uint32(p.B%n))
+		}
+		u2 := NewUnionFind(n)
+		perm := rand.New(rand.NewSource(seed)).Perm(len(pairs))
+		for _, i := range perm {
+			u2.Union(uint32(pairs[i].A%n), uint32(pairs[i].B%n))
+		}
+		if u1.Sets() != u2.Sets() {
+			return false
+		}
+		for i := uint32(0); i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if u1.Same(i, j) != u2.Same(i, j) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnionFindSizeInvariant(t *testing.T) {
+	// Sum of distinct root sizes equals n after arbitrary unions.
+	rng := rand.New(rand.NewSource(5))
+	const n = 200
+	u := NewUnionFind(n)
+	for k := 0; k < 300; k++ {
+		u.Union(uint32(rng.Intn(n)), uint32(rng.Intn(n)))
+	}
+	roots := make(map[uint32]struct{})
+	total := uint32(0)
+	for i := uint32(0); i < n; i++ {
+		r := u.Find(i)
+		if _, seen := roots[r]; !seen {
+			roots[r] = struct{}{}
+			total += u.SizeOf(r)
+		}
+	}
+	if total != n {
+		t.Fatalf("root sizes sum to %d, want %d", total, n)
+	}
+	if len(roots) != u.Sets() {
+		t.Fatalf("distinct roots %d != Sets() %d", len(roots), u.Sets())
+	}
+}

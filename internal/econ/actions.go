@@ -1,0 +1,1003 @@
+package econ
+
+import (
+	"math"
+
+	"repro/internal/address"
+	"repro/internal/chain"
+	"repro/internal/script"
+)
+
+// founders is how many early users act as the pre-pool solo miners and
+// later bankroll services and exchanges with their holdings.
+const founders = 12
+
+// sinkAddr mints an address owned by the wallet's actor but deliberately
+// not tracked for spending: coins sent there never move again, producing
+// the "sink addresses" the paper counts (hoarding, lost coins).
+func (e *engine) sinkAddr(w *Wallet) address.Address {
+	e.keyCounter++
+	k := address.NewKeyFromSeed(e.cfg.Seed, e.keyCounter)
+	a := k.Address()
+	e.keyOf[a] = k
+	e.world.OwnerOf[a] = w.owner.ID
+	// Not registered in walletOf: send() will not credit it, so it can
+	// never be selected as an input.
+	return a
+}
+
+// sendFromUTXO spends exactly one tracked-out-of-wallet UTXO, paying outs
+// and directing change to a fresh address of w. The change UTXO is returned
+// to the caller rather than credited to the wallet, so peeling chains can
+// hold their own thread of coins. ok is false if the UTXO cannot cover the
+// outputs or the block is full.
+func (e *engine) sendFromUTXO(u wutxo, w *Wallet, outs []planOut) (tx *chain.Tx, changeOut wutxo, ok bool) {
+	if e.blockFull() {
+		return nil, wutxo{}, false
+	}
+	var need chain.Amount = e.cfg.FeePerTx
+	for _, o := range outs {
+		need += o.value
+	}
+	if u.value < need+dustLimit || u.matureAt > e.height {
+		return nil, wutxo{}, false
+	}
+	tx = &chain.Tx{Version: 1, Inputs: []chain.TxIn{{Prev: u.op, Sequence: ^uint32(0)}}}
+	for _, o := range outs {
+		tx.Outputs = append(tx.Outputs, chain.TxOut{Value: o.value, PkScript: script.PayToAddr(o.addr)})
+	}
+	changeAddr := e.freshChangeAddr(w)
+	change := u.value - need
+	changeIdx := e.rng.Intn(len(tx.Outputs) + 1)
+	out := chain.TxOut{Value: change, PkScript: script.PayToAddr(changeAddr)}
+	tx.Outputs = append(tx.Outputs, chain.TxOut{})
+	copy(tx.Outputs[changeIdx+1:], tx.Outputs[changeIdx:])
+	tx.Outputs[changeIdx] = out
+
+	k := e.keyOf[u.addr]
+	e.claim(u.op, "sendFromUTXO")
+	sig := k.Sign(chain.SigHash(tx, 0))
+	tx.Inputs[0].SigScript = script.SigScript(sig, k.PubKey())
+
+	txid := tx.TxID()
+	for i, o := range tx.Outputs {
+		a, err := script.ExtractAddress(o.PkScript)
+		if err != nil {
+			continue
+		}
+		e.noteReceive(a)
+		if i == changeIdx {
+			continue
+		}
+		if rw, ok := e.walletOf[a]; ok {
+			rw.utxos = append(rw.utxos, wutxo{
+				op: chain.OutPoint{TxID: txid, Index: uint32(i)}, value: o.Value, addr: a,
+			})
+		}
+	}
+	e.pending = append(e.pending, tx)
+	e.pendingFees += e.cfg.FeePerTx
+	e.world.TxsGenerated++
+	return tx, wutxo{
+		op:    chain.OutPoint{TxID: txid, Index: uint32(changeIdx)},
+		value: change,
+		addr:  changeAddr,
+	}, true
+}
+
+// ---------------------------------------------------------------------------
+// Mining.
+
+// minerAddrFor picks who mines the current block: founders solo-mine until
+// pools launch, after which hash power belongs to the pools (weighted), with
+// a residual 4% of solo blocks.
+func (e *engine) minerAddrFor() address.Address {
+	pools := e.byKind[KindPool]
+	launched := 0
+	for _, p := range pools {
+		if p.Launch <= e.height {
+			launched++
+		}
+	}
+	if launched == 0 || e.rng.Float64() < 0.04 {
+		f := e.users[e.rng.Intn(founders)]
+		return e.freshAddr(f.Wallets[0])
+	}
+	p := e.pickWeighted(pools, e.poolWeights)
+	if p == nil {
+		f := e.users[e.rng.Intn(founders)]
+		return e.freshAddr(f.Wallets[0])
+	}
+	return e.freshAddr(p.Wallets[0])
+}
+
+// poolPayoutTick distributes pool earnings: small pools pay members with one
+// multi-output transaction (the many-recipient payouts that broke the
+// Androulaki shadow-address assumption); large pools run peeling chains.
+func (e *engine) poolPayoutTick() {
+	if e.height%6 != 3 {
+		return
+	}
+	for _, p := range e.byKind[KindPool] {
+		if p.Launch > e.height || e.blockFull() {
+			continue
+		}
+		w := p.Wallets[0]
+		bal := w.Balance(e.height)
+		if bal < 60*chain.Coin {
+			continue
+		}
+		members := 4 + e.rng.Intn(8)
+		share := bal * 6 / 10 / chain.Amount(members)
+		if share <= dustLimit*4 {
+			continue
+		}
+		if e.poolWeights[p.ID] >= 10 && e.rng.Float64() < 0.5 {
+			// Large pool: peeling-chain payout (Section 5's non-criminal
+			// peeling chains).
+			agg := e.freshAddr(w)
+			if _, ok := e.sweep(w, agg, 64); !ok {
+				continue
+			}
+			var targets []peelTarget
+			for i := 0; i < members; i++ {
+				u := e.activeUser()
+				targets = append(targets, peelTarget{
+					addr:   e.recvAddr(u.Wallets[0], e.cfg.AddressReuseProb),
+					amount: share,
+				})
+			}
+			e.startPeelFromWalletAddr(w, agg, targets, 3, nil)
+			continue
+		}
+		var outs []planOut
+		for i := 0; i < members; i++ {
+			u := e.activeUser()
+			outs = append(outs, planOut{
+				addr:  e.recvAddr(u.Wallets[0], e.cfg.AddressReuseProb),
+				value: share,
+			})
+		}
+		e.send(w, outs, sendOpts{maxInputs: 32})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Peeling chains.
+
+type peelTarget struct {
+	addr   address.Address
+	amount chain.Amount
+}
+
+type peelJob struct {
+	w        *Wallet
+	utxo     wutxo
+	targets  []peelTarget
+	hop      int
+	perBlock int
+	// onPeel is invoked after each executed hop with the 1-based hop index
+	// and the peel transaction (scenario bookkeeping).
+	onPeel func(hop int, tx *chain.Tx)
+}
+
+// startPeelFromWalletAddr finds the wallet UTXO sitting on addr and starts a
+// peeling chain over it. The UTXO is removed from normal wallet circulation.
+func (e *engine) startPeelFromWalletAddr(w *Wallet, addr address.Address, targets []peelTarget, perBlock int, onPeel func(int, *chain.Tx)) bool {
+	for i, u := range w.utxos {
+		if u.addr == addr {
+			w.utxos = append(w.utxos[:i], w.utxos[i+1:]...)
+			e.startPeel(w, u, targets, perBlock, onPeel)
+			return true
+		}
+	}
+	return false
+}
+
+// startPeel begins a peeling chain from an explicit UTXO.
+func (e *engine) startPeel(w *Wallet, u wutxo, targets []peelTarget, perBlock int, onPeel func(int, *chain.Tx)) {
+	if perBlock <= 0 {
+		perBlock = 2
+	}
+	e.peelJobs = append(e.peelJobs, &peelJob{w: w, utxo: u, targets: targets, perBlock: perBlock, onPeel: onPeel})
+}
+
+// peelJobTick advances every live peeling chain by up to perBlock hops.
+func (e *engine) peelJobTick() {
+	remaining := e.peelJobs[:0]
+	for _, job := range e.peelJobs {
+		done := false
+		for i := 0; i < job.perBlock; i++ {
+			if job.hop >= len(job.targets) {
+				done = true
+				break
+			}
+			t := job.targets[job.hop]
+			tx, changeOut, ok := e.sendFromUTXO(job.utxo, job.w, []planOut{{addr: t.addr, value: t.amount}})
+			if !ok {
+				// Chain exhausted or block full; if exhausted, abandon the
+				// remainder (the final sliver stays where it is).
+				if job.utxo.value < t.amount+e.cfg.FeePerTx+dustLimit {
+					done = true
+				}
+				break
+			}
+			job.hop++
+			job.utxo = changeOut
+			if job.onPeel != nil {
+				job.onPeel(job.hop, tx)
+			}
+		}
+		if !done && job.hop < len(job.targets) {
+			remaining = append(remaining, job)
+		} else if job.hop >= len(job.targets) || done {
+			// Return the residual value to the owning wallet.
+			if job.utxo.value > 0 {
+				job.w.utxos = append(job.w.utxos, job.utxo)
+			}
+		}
+	}
+	e.peelJobs = remaining
+}
+
+// ---------------------------------------------------------------------------
+// User actions.
+
+// activeUser samples a user whose activation height has passed; early users
+// are founders.
+func (e *engine) activeUser() *Actor {
+	// Activation staggers adoption: user i activates at Blocks*(i/n)^1.6.
+	n := len(e.users)
+	frac := float64(e.height) / float64(e.cfg.Blocks)
+	maxIdx := int(math.Pow(frac, 1/1.6) * float64(n))
+	if maxIdx < founders {
+		maxIdx = founders
+	}
+	if maxIdx > n {
+		maxIdx = n
+	}
+	return e.users[e.rng.Intn(maxIdx)]
+}
+
+// activityLevel is the number of user actions this block: a quadratic
+// adoption ramp with jitter, zero before the first exchange launches.
+func (e *engine) activityLevel() int {
+	gox := e.services["Mt Gox"]
+	if gox == nil || e.height < gox.Launch {
+		return 0
+	}
+	frac := float64(e.height) / float64(e.cfg.Blocks)
+	base := float64(e.cfg.PeakActionsPerBlock) * frac * frac
+	jitter := 0.5 + e.rng.Float64()
+	n := int(base * jitter)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// userAction performs one economic action by a random active user.
+func (e *engine) userAction() {
+	u := e.activeUser()
+	w := u.Wallets[0]
+	bal := w.Balance(e.height)
+
+	// Dice bets dominate once the games launch (Satoshi Dice alone was a
+	// large share of all Bitcoin transactions in 2012-2013).
+	if len(e.launchedOf(KindDice)) > 0 && e.rng.Float64() < e.cfg.DiceBetProb {
+		if bal > chain.BTC(0.3) {
+			e.diceBet(u)
+			return
+		}
+	}
+
+	// Broke users buy coins first.
+	if bal < chain.BTC(0.5) {
+		e.buyFromExchange(u)
+		return
+	}
+
+	switch pickAction(e.rng.Intn(100)) {
+	case actBuy:
+		e.buyFromExchange(u)
+	case actDeposit:
+		e.depositToService(u, KindBankExchange)
+	case actP2P:
+		e.p2pPayment(u)
+	case actVendor:
+		e.vendorPurchase(u)
+	case actMarket:
+		e.marketPurchase(u)
+	case actWalletDep:
+		e.depositToService(u, KindWallet)
+	case actWalletWd:
+		e.withdrawFromService(u, KindWallet)
+	case actCasino:
+		if e.rng.Float64() < 0.55 {
+			e.depositToService(u, KindCasino)
+		} else {
+			e.withdrawFromService(u, KindCasino)
+		}
+	case actFixed:
+		e.fixedConversion(u)
+	case actMix:
+		e.mixDeposit(u)
+	case actInvest:
+		e.investDeposit(u)
+	case actHoard:
+		e.hoard(u)
+	}
+}
+
+type actionKind int
+
+const (
+	actBuy actionKind = iota
+	actDeposit
+	actP2P
+	actVendor
+	actMarket
+	actWalletDep
+	actWalletWd
+	actCasino
+	actFixed
+	actMix
+	actInvest
+	actHoard
+)
+
+// pickAction maps a uniform 0-99 draw onto the action mix. The weights are
+// the behavioural calibration: they shape Figure 2's category balances.
+func pickAction(r int) actionKind {
+	switch {
+	case r < 20:
+		return actBuy
+	case r < 36:
+		return actDeposit
+	case r < 53:
+		return actP2P
+	case r < 60:
+		return actVendor
+	case r < 71:
+		return actMarket
+	case r < 77:
+		return actWalletDep
+	case r < 81:
+		return actWalletWd
+	case r < 86:
+		return actCasino
+	case r < 89:
+		return actFixed
+	case r < 91:
+		return actMix
+	case r < 95:
+		return actInvest
+	default:
+		return actHoard
+	}
+}
+
+// launchedOf filters a kind's actors to those currently operating.
+func (e *engine) launchedOf(kind ServiceKind) []*Actor {
+	var out []*Actor
+	for _, a := range e.byKind[kind] {
+		if a.Launch <= e.height && !a.dead {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// amountFor draws a payment size as a fraction of balance, clamped.
+func (e *engine) amountFor(bal chain.Amount, lo, hi float64) chain.Amount {
+	frac := lo + e.rng.Float64()*(hi-lo)
+	amt := chain.Amount(float64(bal) * frac)
+	if amt < chain.BTC(0.05) {
+		amt = chain.BTC(0.05)
+	}
+	if amt > bal-e.cfg.FeePerTx-dustLimit {
+		amt = bal - e.cfg.FeePerTx - dustLimit
+	}
+	return amt
+}
+
+func (e *engine) buyFromExchange(u *Actor) {
+	ex := e.pickWeighted(e.launchedOf(KindBankExchange), e.svcWeights)
+	if ex == nil {
+		return
+	}
+	amount := chain.BTC(1 + e.rng.Float64()*12)
+	// Destination: usually the user's wallet; sometimes directly another
+	// service's deposit address (the cross-service transfers that fuel the
+	// naive super-cluster).
+	if e.rng.Float64() < 0.15 {
+		if dst := e.pickCrossServiceDeposit(u); !dst.IsZero() {
+			e.serviceWithdrawBoosted(ex, dst, amount, 8)
+			return
+		}
+	}
+	e.serviceWithdraw(ex, e.recvAddr(u.Wallets[0], e.cfg.AddressReuseProb), amount)
+}
+
+// pickCrossServiceDeposit returns a deposit address for u at some other
+// service (wallet service, marketplace, casino, or a payment-gateway
+// invoice).
+func (e *engine) pickCrossServiceDeposit(u *Actor) address.Address {
+	kinds := []ServiceKind{KindWallet, KindMarket, KindCasino, KindGateway}
+	kind := kinds[e.rng.Intn(len(kinds))]
+	candidates := e.launchedOf(kind)
+	if len(candidates) == 0 {
+		return address.Address{}
+	}
+	svc := candidates[e.rng.Intn(len(candidates))]
+	if kind == KindGateway {
+		// Fresh invoice address.
+		return e.freshAddr(svc.Wallets[e.rng.Intn(len(svc.Wallets))])
+	}
+	// A fresh deposit account: the user is opening a new relationship, so
+	// the destination has never appeared on chain — which is what makes
+	// these transfers the naive heuristic's super-cluster fuel.
+	_ = u
+	e.syntheticAccounts++
+	return e.accountAddr(svc, ActorID(1<<29+e.syntheticAccounts))
+}
+
+// serviceWithdraw pays out from a service with the service-specific change
+// idioms: mostly fresh one-time change, occasionally the two anomalous
+// patterns of Section 4.2 (change address used twice; self-change address
+// later used as a change target).
+func (e *engine) serviceWithdraw(svc *Actor, to address.Address, amount chain.Amount) (*chain.Tx, bool) {
+	return e.serviceWithdrawBoosted(svc, to, amount, 1)
+}
+
+// serviceWithdrawBoosted is serviceWithdraw with the anomalous-change-reuse
+// probabilities multiplied by boost. Withdrawals straight into another
+// service's fresh deposit address use a high boost: large services batching
+// withdrawals from pooled hot funds were exactly where the paper found the
+// change-reuse patterns.
+func (e *engine) serviceWithdrawBoosted(svc *Actor, to address.Address, amount chain.Amount, boost float64) (*chain.Tx, bool) {
+	w := svc.richestWallet(e.height)
+	// A marketplace with a pinned hot address treats wallet 0 as the vault:
+	// routine payouts come from the other sub-wallets so the vault balance
+	// stays parked on the hot address.
+	if svc.Kind == KindMarket && !e.srHotPinned.IsZero() && e.walletOf[e.srHotPinned].owner == svc && len(svc.Wallets) > 1 {
+		best := svc.Wallets[1]
+		var bestBal chain.Amount
+		for _, sub := range svc.Wallets[1:] {
+			if b := sub.Balance(e.height); b > bestBal {
+				best, bestBal = sub, b
+			}
+		}
+		w = best
+	}
+	if w.Balance(e.height) < amount+e.cfg.FeePerTx {
+		return nil, false
+	}
+	r := e.rng.Float64()
+	opt := sendOpts{smallFirst: e.withdrawSmallFirst}
+	reusedLast := false
+	reuseProb := e.cfg.ChangeReuseProb * boost
+	switch {
+	case r < e.cfg.ServiceSelfChangeProb:
+		opt.selfChange = true
+	case r < e.cfg.ServiceSelfChangeProb+reuseProb && !svc.lastChange.IsZero():
+		opt.changeAddr = svc.lastChange
+		reusedLast = true
+	case r < e.cfg.ServiceSelfChangeProb+1.5*reuseProb && len(svc.selfChanged) > 0:
+		opt.changeAddr = svc.selfChanged[0]
+		svc.selfChanged = svc.selfChanged[1:]
+	}
+	tx, changeIdx, ok := e.send(w, []planOut{{addr: to, value: amount}}, opt)
+	if !ok {
+		return nil, false
+	}
+	if changeIdx >= 0 {
+		changeAddr, err := script.ExtractAddress(tx.Outputs[changeIdx].PkScript)
+		if err == nil {
+			switch {
+			case opt.selfChange:
+				svc.selfChanged = append(svc.selfChanged, changeAddr)
+			case reusedLast:
+				// Used twice now; never a third time (the paper's pattern
+				// is a double use within a short window).
+				svc.lastChange = address.Address{}
+			case opt.changeAddr.IsZero():
+				svc.lastChange = changeAddr
+			}
+		}
+	}
+	return tx, true
+}
+
+// stableAccountProb is how often a repeat deposit reuses the customer's
+// fixed account address instead of a rotating one-time deposit address.
+// Rotation keeps the population of exactly-twice-received addresses (which
+// the received-once guard must skip) proportionally small, as on the real
+// chain.
+const stableAccountProb = 0.3
+
+// depositAddr picks where a customer's deposit lands: the stable account
+// sometimes, a rotating one-time deposit address otherwise.
+func (e *engine) depositAddr(svc *Actor, customer ActorID) address.Address {
+	if _, has := svc.accounts[customer]; !has || e.rng.Float64() < stableAccountProb {
+		return e.accountAddr(svc, customer)
+	}
+	w := svc.Wallets[int(customer)%len(svc.Wallets)]
+	return e.freshAddr(w)
+}
+
+func (e *engine) depositToService(u *Actor, kind ServiceKind) {
+	svc := e.pickWeighted(e.launchedOf(kind), e.svcWeights)
+	if svc == nil {
+		return
+	}
+	w := u.Wallets[0]
+	amount := e.amountFor(w.Balance(e.height), 0.15, 0.5)
+	if amount <= dustLimit {
+		return
+	}
+	e.pay(w, e.depositAddr(svc, u.ID), amount, e.rng.Float64() < e.cfg.SelfChangeProb)
+}
+
+func (e *engine) withdrawFromService(u *Actor, kind ServiceKind) {
+	svc := e.pickWeighted(e.launchedOf(kind), e.svcWeights)
+	if svc == nil {
+		return
+	}
+	amount := chain.BTC(0.5 + e.rng.Float64()*6)
+	e.serviceWithdraw(svc, e.recvAddr(u.Wallets[0], e.cfg.AddressReuseProb), amount)
+}
+
+// handOutChangeProb is how often a user, having just created a *labeled*
+// one-time change address (the payment's recipient was already seen, so the
+// change output was the unique fresh output), later hands that address out
+// to be paid at — the behaviour whose timing produces the wait-a-day /
+// wait-a-week ladder.
+const handOutChangeProb = 0.5
+
+func (e *engine) p2pPayment(u *Actor) {
+	v := e.activeUser()
+	if v == u {
+		return
+	}
+	w := u.Wallets[0]
+	amount := e.amountFor(w.Balance(e.height), 0.1, 0.4)
+	if amount <= dustLimit {
+		return
+	}
+	to, toSeen := e.recvAddrTagged(v.Wallets[0], e.cfg.AddressReuseProb)
+	selfChange := e.rng.Float64() < e.cfg.SelfChangeProb
+	tx, changeIdx, ok := e.send(w, []planOut{{addr: to, value: amount}},
+		sendOpts{selfChange: selfChange})
+	if !ok || changeIdx < 0 {
+		return
+	}
+	if toSeen && !selfChange && e.rng.Float64() < handOutChangeProb {
+		changeAddr, err := script.ExtractAddress(tx.Outputs[changeIdx].PkScript)
+		if err == nil {
+			e.scheduleChangeHandout(changeAddr)
+		}
+	}
+}
+
+// scheduleChangeHandout arranges a future payment into a just-created change
+// address. Delays skew short: most reuse arrives within a day, some within a
+// week, a tail much later (matching the shrinking FP counts the paper sees
+// as it waits longer before labeling).
+func (e *engine) scheduleChangeHandout(changeAddr address.Address) {
+	day := e.world.BlocksPerDay
+	u := e.rng.Float64()
+	var delay int64
+	switch {
+	case u < 0.75:
+		delay = 1 + e.rng.Int63n(day)
+	case u < 0.90:
+		delay = day + e.rng.Int63n(6*day)
+	default:
+		delay = 7*day + e.rng.Int63n(60*day)
+	}
+	e.schedule(e.height+delay, func() {
+		payer := e.activeUser()
+		pw := payer.Wallets[0]
+		amount := chain.BTC(0.2 + e.rng.Float64()*2)
+		if pw.Balance(e.height) < amount+e.cfg.FeePerTx {
+			return
+		}
+		e.pay(pw, changeAddr, amount, false)
+	})
+}
+
+func (e *engine) vendorPurchase(u *Actor) {
+	gateways := e.launchedOf(KindGateway)
+	vendors := e.launchedOf(KindVendor)
+	if len(vendors) == 0 {
+		return
+	}
+	w := u.Wallets[0]
+	amount := e.amountFor(w.Balance(e.height), 0.05, 0.25)
+	if amount <= dustLimit {
+		return
+	}
+	var to address.Address
+	if len(gateways) > 0 && e.rng.Float64() < 0.8 {
+		// Most vendors accept through a gateway (BitPay); invoice addresses
+		// are fresh and owned by the gateway.
+		gw := e.pickWeighted(gateways, e.svcWeights)
+		to = e.freshAddr(gw.Wallets[e.rng.Intn(len(gw.Wallets))])
+	} else {
+		vendor := e.pickWeighted(vendors, e.svcWeights)
+		if vendor == nil {
+			return
+		}
+		to = e.depositAddr(vendor, u.ID)
+	}
+	e.pay(w, to, amount, e.rng.Float64() < e.cfg.SelfChangeProb)
+}
+
+func (e *engine) marketPurchase(u *Actor) {
+	markets := e.launchedOf(KindMarket)
+	if len(markets) == 0 {
+		return
+	}
+	m := markets[e.rng.Intn(len(markets))]
+	w := u.Wallets[0]
+	amount := e.amountFor(w.Balance(e.height), 0.15, 0.6)
+	if amount <= dustLimit {
+		return
+	}
+	e.pay(w, e.depositAddr(m, u.ID), amount, e.rng.Float64() < e.cfg.SelfChangeProb)
+}
+
+func (e *engine) fixedConversion(u *Actor) {
+	svc := e.pickWeighted(e.launchedOf(KindFixedExchange), e.svcWeights)
+	if svc == nil {
+		return
+	}
+	if e.rng.Float64() < 0.5 {
+		w := u.Wallets[0]
+		amount := e.amountFor(w.Balance(e.height), 0.2, 0.6)
+		if amount <= dustLimit {
+			return
+		}
+		// One-time conversion to fiat: coins go to a fresh service address.
+		e.pay(w, e.freshAddr(svc.Wallets[e.rng.Intn(len(svc.Wallets))]), amount,
+			e.rng.Float64() < e.cfg.SelfChangeProb)
+	} else {
+		amount := chain.BTC(0.5 + e.rng.Float64()*4)
+		e.serviceWithdraw(svc, e.recvAddr(u.Wallets[0], e.cfg.AddressReuseProb), amount)
+	}
+}
+
+func (e *engine) hoard(u *Actor) {
+	w := u.Wallets[0]
+	amount := e.amountFor(w.Balance(e.height), 0.3, 0.8)
+	if amount <= dustLimit {
+		return
+	}
+	e.pay(w, e.sinkAddr(w), amount, false)
+}
+
+// ---------------------------------------------------------------------------
+// Dice games.
+
+func (e *engine) diceBet(u *Actor) {
+	dice := e.pickWeighted(e.launchedOf(KindDice), e.svcWeights)
+	if dice == nil || len(dice.staticAddrs) == 0 {
+		return
+	}
+	w := u.Wallets[0]
+	amount := chain.BTC(0.1 + e.rng.Float64()*1.5)
+	if amount > w.Balance(e.height)-e.cfg.FeePerTx {
+		return
+	}
+	betAddr := dice.staticAddrs[e.rng.Intn(len(dice.staticAddrs))]
+	tx, _, ok := e.send(w, []planOut{{addr: betAddr, value: amount}},
+		sendOpts{selfChange: e.rng.Float64() < e.cfg.SelfChangeProb})
+	if !ok {
+		return
+	}
+	// The payout returns to the first input's address — the defining
+	// Satoshi Dice behaviour behind the 13% -> 1% refinement.
+	returnTo := e.inputAddr(tx, 0)
+	if returnTo.IsZero() {
+		return
+	}
+	dice.pendingBets = append(dice.pendingBets, bet{returnTo: returnTo, amount: amount})
+}
+
+// inputAddr recovers the address an input spends from, via the signature
+// script's embedded public key.
+func (e *engine) inputAddr(tx *chain.Tx, i int) address.Address {
+	sig := tx.Inputs[i].SigScript
+	if len(sig) < 2 {
+		return address.Address{}
+	}
+	// <sig len><sig><pub len><pub>
+	sl := int(sig[0])
+	if len(sig) < 1+sl+1 {
+		return address.Address{}
+	}
+	pl := int(sig[1+sl])
+	if len(sig) < 2+sl+pl {
+		return address.Address{}
+	}
+	return address.FromPubKey(sig[2+sl : 2+sl+pl])
+}
+
+// dicePayoutTick settles the previous block's bets: winners get 1.94x,
+// losers get a token refund (the on-chain "you lost" notification), both
+// sent back to the betting address.
+func (e *engine) dicePayoutTick() {
+	for _, dice := range e.byKind[KindDice] {
+		if len(dice.pendingBets) == 0 {
+			continue
+		}
+		bets := dice.pendingBets
+		dice.pendingBets = nil
+		w := dice.richestWallet(e.height)
+		for _, b := range bets {
+			if e.blockFull() {
+				// Settle next block.
+				dice.pendingBets = append(dice.pendingBets, b)
+				continue
+			}
+			payout := b.amount / 200 // losing notification
+			if e.rng.Float64() < 0.485 {
+				payout = b.amount * 194 / 100
+			}
+			if payout <= dustLimit {
+				payout = dustLimit * 2
+			}
+			if w.Balance(e.height) < payout+e.cfg.FeePerTx {
+				continue // house is broke; bet absorbed
+			}
+			// Dice services habitually use self-change.
+			e.send(w, []planOut{{addr: b.returnTo, value: payout}},
+				sendOpts{selfChange: e.rng.Float64() < 0.7, maxInputs: 24})
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Mixes.
+
+type mixJob struct {
+	svc    *Actor
+	to     address.Address
+	amount chain.Amount
+	due    int64
+	// sameCoins, when set, returns exactly the deposited outpoint — the
+	// Bitcoin Laundry behaviour the researcher caught ("twice sent us our
+	// own coins back").
+	sameCoins *wutxo
+}
+
+func (e *engine) mixDeposit(u *Actor) {
+	mix := e.pickWeighted(e.launchedOf(KindMix), e.svcWeights)
+	if mix == nil {
+		return
+	}
+	w := u.Wallets[0]
+	amount := e.amountFor(w.Balance(e.height), 0.2, 0.5)
+	if amount <= dustLimit*4 {
+		return
+	}
+	mw := mix.Wallets[e.rng.Intn(len(mix.Wallets))]
+	depositAddr := e.freshAddr(mw)
+	tx, _, ok := e.send(w, []planOut{{addr: depositAddr, value: amount}},
+		sendOpts{selfChange: e.rng.Float64() < e.cfg.SelfChangeProb})
+	if !ok {
+		return
+	}
+	if mix.Name == "BitMix" {
+		return // BitMix simply steals the coins (Section 3.1).
+	}
+	job := mixJob{
+		svc:    mix,
+		to:     e.freshAddr(u.Wallets[0]),
+		amount: amount * 98 / 100,
+		due:    e.height + 2 + int64(e.rng.Intn(18)),
+	}
+	if mix.Name == "Bitcoin Laundry" {
+		// Possibly the only customer: the "mix" returns the same coins.
+		txid := tx.TxID()
+		for i, o := range tx.Outputs {
+			a, err := script.ExtractAddress(o.PkScript)
+			if err == nil && a == depositAddr {
+				job.sameCoins = &wutxo{op: chain.OutPoint{TxID: txid, Index: uint32(i)}, value: o.Value, addr: a}
+				break
+			}
+		}
+	}
+	e.mixJobs = append(e.mixJobs, job)
+}
+
+func (e *engine) mixPayoutTick() {
+	remaining := e.mixJobs[:0]
+	for _, j := range e.mixJobs {
+		if j.due > e.height {
+			remaining = append(remaining, j)
+			continue
+		}
+		if e.blockFull() {
+			remaining = append(remaining, j)
+			continue
+		}
+		if j.sameCoins != nil {
+			// Remove the original coins from the mix wallet and return them.
+			mw := e.walletOf[j.sameCoins.addr]
+			for i, u := range mw.utxos {
+				if u.op == j.sameCoins.op {
+					mw.utxos = append(mw.utxos[:i], mw.utxos[i+1:]...)
+					e.sendFromUTXO(u, mw, []planOut{{addr: j.to, value: u.value - 2*e.cfg.FeePerTx - dustLimit}})
+					break
+				}
+			}
+			continue
+		}
+		w := j.svc.richestWallet(e.height)
+		if w.Balance(e.height) < j.amount+e.cfg.FeePerTx {
+			continue // mix cannot pay; customer is out of luck
+		}
+		e.send(w, []planOut{{addr: j.to, value: j.amount}}, sendOpts{})
+	}
+	e.mixJobs = remaining
+}
+
+// ---------------------------------------------------------------------------
+// Investment schemes.
+
+func (e *engine) investDeposit(u *Actor) {
+	invs := e.launchedOf(KindInvestment)
+	if len(invs) == 0 {
+		return
+	}
+	inv := invs[e.rng.Intn(len(invs))]
+	w := u.Wallets[0]
+	frac := 0.3
+	if int(u.ID) < founders {
+		frac = 0.7 // whales go big on the ponzi
+	}
+	amount := e.amountFor(w.Balance(e.height), 0.2, frac)
+	if amount <= dustLimit*4 {
+		return
+	}
+	if _, ok := e.pay(w, e.depositAddr(inv, u.ID), amount, e.rng.Float64() < e.cfg.SelfChangeProb); ok {
+		inv.invested += amount
+	}
+}
+
+// investmentTick pays weekly "interest" out of new deposits (a ponzi) and
+// collapses Bitcoin Savings & Trust on its real-world date, sweeping the
+// remaining funds to the operator's sink.
+func (e *engine) investmentTick() {
+	week := 7 * e.world.BlocksPerDay
+	if week == 0 {
+		week = 28
+	}
+	for _, inv := range e.byKind[KindInvestment] {
+		if inv.Launch > e.height || inv.dead {
+			continue
+		}
+		if e.height%week == week/2 {
+			w := inv.richestWallet(e.height)
+			bal := w.Balance(e.height)
+			if bal < chain.BTC(2) {
+				continue
+			}
+			// Pay "interest" to a few investors.
+			for i := 0; i < 3 && !e.blockFull(); i++ {
+				u := e.activeUser()
+				e.serviceWithdraw(inv, e.recvAddr(u.Wallets[0], e.cfg.AddressReuseProb), bal/50)
+			}
+		}
+		if inv.Name == "Bitcoin Savings & Trust" && e.height >= e.heightOf(2012, 8, 17) {
+			// The operator folds the scheme and parks the funds.
+			for _, w := range inv.Wallets {
+				e.sweep(w, e.sinkAddr(w), 128)
+			}
+			inv.dead = true
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Service housekeeping.
+
+// serviceChurnTick aggregates scattered customer deposits into each
+// service's hot address (the multi-input sweeps that give Heuristic 1 its
+// large service clusters) and lets founders sell coins to exchanges so the
+// market has inventory.
+func (e *engine) serviceChurnTick() {
+	if e.height%5 == 1 {
+		for _, kind := range []ServiceKind{KindBankExchange, KindWallet, KindCasino, KindGateway, KindMarket, KindDice, KindFixedExchange, KindMix, KindInvestment} {
+			for _, svc := range e.byKind[kind] {
+				if svc.Launch > e.height || e.blockFull() {
+					continue
+				}
+				for _, w := range svc.Wallets {
+					if len(w.utxos) > 24 {
+						hot := e.hotAddrOf(svc, w)
+						e.sweep(w, hot, 128)
+					}
+				}
+			}
+		}
+	}
+	// Founders and pools sell inventory to exchanges.
+	if e.height%16 == 2 {
+		exchanges := e.launchedOf(KindBankExchange)
+		if len(exchanges) == 0 {
+			return
+		}
+		f := e.users[e.rng.Intn(founders)]
+		fw := f.Wallets[0]
+		if bal := fw.Balance(e.height); bal > 400*chain.Coin {
+			ex := e.pickWeighted(exchanges, e.svcWeights)
+			e.payBig(fw, e.accountAddr(ex, f.ID), bal/6)
+		}
+		for _, p := range e.launchedOf(KindPool) {
+			pw := p.Wallets[0]
+			if bal := pw.Balance(e.height); bal > 900*chain.Coin {
+				ex := e.pickWeighted(exchanges, e.svcWeights)
+				e.payBig(pw, e.accountAddr(ex, p.ID), bal/3)
+			}
+		}
+	}
+	// Gateways settle with their vendors weekly.
+	week := 7 * e.world.BlocksPerDay
+	if week > 0 && e.height%week == week-3 {
+		vendors := e.launchedOf(KindVendor)
+		for _, gw := range e.byKind[KindGateway] {
+			if gw.Launch > e.height || len(vendors) == 0 || e.blockFull() {
+				continue
+			}
+			w := gw.richestWallet(e.height)
+			bal := w.Balance(e.height)
+			if bal < chain.BTC(5) {
+				continue
+			}
+			for i := 0; i < 3; i++ {
+				v := vendors[e.rng.Intn(len(vendors))]
+				e.serviceWithdraw(gw, e.accountAddr(v, v.ID), bal/8)
+			}
+		}
+	}
+	// Marketplaces pay their sellers out of the hot wallet, keeping a
+	// commission. During the pinned-hot accumulation window payouts are
+	// restrained, which is how the hot address reaches its ~5% peak.
+	if e.height%9 == 4 {
+		for _, m := range e.launchedOf(KindMarket) {
+			w := m.richestWallet(e.height)
+			bal := w.Balance(e.height)
+			if bal < chain.BTC(20) || e.blockFull() {
+				continue
+			}
+			payouts, share := 2, chain.Amount(30)
+			if !e.srHotPinned.IsZero() && e.walletOf[e.srHotPinned] == m.Wallets[0] {
+				payouts, share = 1, 200
+			}
+			for i := 0; i < payouts; i++ {
+				seller := e.activeUser()
+				e.serviceWithdraw(m, e.recvAddr(seller.Wallets[0], e.cfg.AddressReuseProb), bal/share)
+			}
+		}
+	}
+}
+
+// hotAddrOf returns (and occasionally rotates) the aggregation target of a
+// service sub-wallet. Scenario code pins the Silk Road hot address.
+func (e *engine) hotAddrOf(svc *Actor, w *Wallet) address.Address {
+	if svc.Kind == KindMarket && !e.srHotPinned.IsZero() && e.walletOf[e.srHotPinned].owner == svc {
+		return e.srHotPinned
+	}
+	if e.hotAddrs == nil {
+		e.hotAddrs = make(map[*Wallet]address.Address)
+	}
+	hot, ok := e.hotAddrs[w]
+	if !ok || e.rng.Float64() < 0.05 {
+		hot = e.freshAddr(w)
+		e.hotAddrs[w] = hot
+	}
+	return hot
+}

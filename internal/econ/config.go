@@ -1,0 +1,148 @@
+// Package econ generates a synthetic Bitcoin economy: a valid block chain
+// populated by the service roster of the paper's Table 1 (mining pools,
+// wallets, bank and fixed-rate exchanges, vendors behind payment gateways,
+// gambling sites including Satoshi-Dice-style games, mixers, investment
+// schemes) and a population of users whose wallets follow the idioms of use
+// the paper's heuristics exploit — one-time change addresses, self-change,
+// multi-input coin selection, peeling-chain withdrawals, dice payouts
+// returning to the sender — plus the scripted Silk Road dissolution and
+// theft case studies of Section 5.
+//
+// The simulator is the substitution for the real 2009-2013 block chain
+// (see DESIGN.md): the heuristics only consume graph structure, which is
+// preserved, and in exchange we gain exact ground truth about who owns
+// every address.
+package econ
+
+import (
+	"time"
+
+	"repro/internal/chain"
+)
+
+// Config controls the scale and behavioural rates of a generated economy.
+// DefaultConfig mirrors the paper's qualitative calibration targets
+// (documented field by field); Small returns a fast variant for tests.
+type Config struct {
+	// Seed drives every random choice; same seed, same chain, same hashes.
+	Seed int64
+
+	// Blocks is the number of blocks to simulate. The timeline maps block 0
+	// to Bitcoin's genesis date and the final block to EndDate.
+	Blocks int64
+	// EndDate is the simulated calendar date of the final block
+	// (the study's data ends in April 2013).
+	EndDate time.Time
+
+	// Users is the size of the ordinary user population.
+	Users int
+
+	// PeakActionsPerBlock is the user activity level once adoption has
+	// fully ramped (activity ramps quadratically from near zero).
+	PeakActionsPerBlock int
+
+	// MaxBlockTxs caps transactions per block; excess activity spills into
+	// the next block.
+	MaxBlockTxs int
+
+	// SelfChangeProb is the probability a *user* transaction directs change
+	// back to one of its input addresses. The paper measures 23% of all
+	// first-half-2013 transactions as self-change; most of that volume is
+	// service-side (dice payouts habitually self-change), so the per-user
+	// rate is far lower than 23%.
+	SelfChangeProb float64
+
+	// AddressReuseProb is the probability a payment recipient hands out a
+	// previously used address instead of a fresh one. Non-dice reuse of
+	// one-time change addresses is what the post-dice FP ladder (1% ->
+	// 0.28% -> 0.17%) is made of.
+	AddressReuseProb float64
+
+	// ChangeReuseProb is the probability a *service* withdrawal reuses the
+	// previous withdrawal's change address ("the same change address was
+	// sometimes used twice", one of the two super-cluster patterns).
+	ChangeReuseProb float64
+
+	// ServiceSelfChangeProb is the probability a service withdrawal uses
+	// self-change; such addresses later reappearing as ordinary change
+	// targets is the second super-cluster pattern.
+	ServiceSelfChangeProb float64
+
+	// DiceBetProb is the probability a user action (after the dice game
+	// launches) is a dice bet. Dice payouts return to the betting address
+	// and dominate the naive FP estimate (13% -> 1% once exempted).
+	DiceBetProb float64
+
+	// FeePerTx is the flat miner fee paid by generated transactions.
+	FeePerTx chain.Amount
+
+	// HotWalletShare is the fraction of total minted coins the Silk Road
+	// hot wallet should hold at its peak ("at its height, it contained 5%
+	// of all generated bitcoins").
+	HotWalletShare float64
+
+	// PeelHops is the number of hops followed per dissolution peeling
+	// chain (the paper follows 100 per chain across 3 chains).
+	PeelHops int
+
+	// ServiceWallets is how many independent sub-wallets a large service
+	// keeps (the paper found ~20 Heuristic-1 clusters for Mt. Gox).
+	ServiceWallets int
+
+	// Researcher enables the Section 3.1 re-identification campaign (the
+	// 344 transactions against the Table 1 roster).
+	Researcher bool
+
+	// Scenarios enables the scripted Silk Road dissolution and thefts.
+	Scenarios bool
+}
+
+// DefaultConfig returns the full-experiment configuration: a ~1-minute,
+// laptop-scale economy large enough for every table and figure.
+func DefaultConfig() Config {
+	return Config{
+		Seed:                  20130827, // the IMC'13 camera-ready deadline
+		Blocks:                6400,
+		EndDate:               time.Date(2013, 4, 30, 0, 0, 0, 0, time.UTC),
+		Users:                 2200,
+		PeakActionsPerBlock:   26,
+		MaxBlockTxs:           512,
+		SelfChangeProb:        0.05,
+		AddressReuseProb:      0.05,
+		ChangeReuseProb:       0.02,
+		ServiceSelfChangeProb: 0.03,
+		DiceBetProb:           0.22,
+		FeePerTx:              chain.BTC(0.0005),
+		HotWalletShare:        0.05,
+		PeelHops:              100,
+		ServiceWallets:        6,
+		Researcher:            true,
+		Scenarios:             true,
+	}
+}
+
+// Small returns a reduced configuration for unit tests: a few hundred
+// blocks, a small population, scenarios and researcher enabled.
+func Small() Config {
+	c := DefaultConfig()
+	c.Blocks = 900
+	c.Users = 220
+	c.PeakActionsPerBlock = 10
+	c.PeelHops = 25
+	c.ServiceWallets = 3
+	return c
+}
+
+// params derives the chain parameters implied by the config: the halving
+// lands at the same timeline fraction as Bitcoin's (Nov 28 2012).
+func (c *Config) params() chain.Params {
+	genesis := time.Date(2009, 1, 3, 18, 15, 5, 0, time.UTC)
+	span := c.EndDate.Sub(genesis)
+	interval := span / time.Duration(c.Blocks)
+	halvingDate := time.Date(2012, 11, 28, 0, 0, 0, 0, time.UTC)
+	halvingAt := int64(float64(c.Blocks) * float64(halvingDate.Sub(genesis)) / float64(span))
+	p := chain.SimParams(halvingAt, interval)
+	p.GenesisTime = genesis
+	p.MaxBlockTxs = c.MaxBlockTxs
+	return p
+}

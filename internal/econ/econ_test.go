@@ -1,0 +1,240 @@
+package econ
+
+import (
+	"testing"
+
+	"repro/internal/chain"
+	"repro/internal/script"
+	"repro/internal/tags"
+	"repro/internal/txgraph"
+)
+
+// genSmall caches one Small() world across tests in this package.
+var smallWorld *World
+
+func small(t *testing.T) *World {
+	t.Helper()
+	if smallWorld == nil {
+		w, err := Generate(Small())
+		if err != nil {
+			t.Fatalf("generate: %v", err)
+		}
+		smallWorld = w
+	}
+	return smallWorld
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Small()
+	cfg.Blocks = 300
+	cfg.Users = 60
+	w1, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w1.Chain.TipHash() != w2.Chain.TipHash() {
+		t.Fatal("same seed produced different chains")
+	}
+	if w1.TxsGenerated != w2.TxsGenerated {
+		t.Fatal("same seed produced different tx counts")
+	}
+}
+
+func TestGenerateDifferentSeeds(t *testing.T) {
+	cfg := Small()
+	cfg.Blocks = 300
+	cfg.Users = 60
+	w1, _ := Generate(cfg)
+	cfg.Seed++
+	w2, _ := Generate(cfg)
+	if w1.Chain.TipHash() == w2.Chain.TipHash() {
+		t.Fatal("different seeds produced identical chains")
+	}
+}
+
+func TestGeneratedChainFullyValid(t *testing.T) {
+	// Replay every block through a fresh chain with script verification on:
+	// the generator must produce a consensus-valid history.
+	w := small(t)
+	replay := chain.New(w.Params)
+	for h := int64(0); h <= w.Chain.Height(); h++ {
+		blk := w.Chain.BlockAt(h)
+		if err := replay.ConnectBlock(blk, false, chain.ConnectBlockOptions{Verifier: script.Verifier{}}); err != nil {
+			t.Fatalf("block %d invalid: %v", h, err)
+		}
+	}
+	if replay.UTXO().Total() != w.Chain.UTXO().Total() {
+		t.Fatal("replayed UTXO total differs")
+	}
+}
+
+func TestGroundTruthCoversAllSpenders(t *testing.T) {
+	w := small(t)
+	g, err := txgraph.Build(w.Chain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	owners := w.OwnersForGraph(g)
+	unknown := 0
+	for id := 0; id < g.NumAddrs(); id++ {
+		if owners[id] < 0 {
+			unknown++
+		}
+	}
+	if unknown > 0 {
+		t.Fatalf("%d addresses lack ground-truth owners", unknown)
+	}
+}
+
+func TestResearcherCampaignComplete(t *testing.T) {
+	w := small(t)
+	if w.ResearcherTxCount < 330 {
+		t.Fatalf("researcher performed %d txs, want ~344", w.ResearcherTxCount)
+	}
+	if w.ResearcherServices < 80 {
+		t.Fatalf("researcher reached %d services, want ~87", w.ResearcherServices)
+	}
+	if w.Tags.Len() < 150 {
+		t.Fatalf("own-transaction tags = %d, want hundreds", w.Tags.Len())
+	}
+	counts := w.Tags.CountBySource()
+	if counts[tags.SourceOwnTransaction] != w.Tags.Len() {
+		t.Fatal("researcher store contains non-own-transaction tags")
+	}
+}
+
+func TestDissolutionScripted(t *testing.T) {
+	w := small(t)
+	d := w.Dissolution
+	if d == nil {
+		t.Fatal("no dissolution record")
+	}
+	if len(d.Withdrawals) != 7 {
+		t.Fatalf("withdrawals = %d, want 7", len(d.Withdrawals))
+	}
+	if d.SupplyShare < 0.02 || d.SupplyShare > 0.12 {
+		t.Fatalf("hot wallet share = %.4f, want around 0.05", d.SupplyShare)
+	}
+	if len(d.Planned) == 0 {
+		t.Fatal("no planned peels recorded")
+	}
+	for i := 0; i < 3; i++ {
+		if d.ChainStarts[i].TxID.IsZero() {
+			t.Fatalf("chain %d start missing", i)
+		}
+	}
+}
+
+func TestTheftsScripted(t *testing.T) {
+	w := small(t)
+	if len(w.Thefts) != 7 {
+		t.Fatalf("thefts = %d, want 7", len(w.Thefts))
+	}
+	for _, th := range w.Thefts {
+		if th.Amount <= 0 {
+			t.Errorf("theft %s stole nothing", th.Name)
+		}
+		if len(th.TheftOutputs) == 0 {
+			t.Errorf("theft %s has no recorded outputs", th.Name)
+		}
+		// Scaled amount within 30% of target (victim liquidity permitting).
+		want := float64(th.PaperBTC) * w.CaseScale
+		got := th.Amount.ToBTC()
+		if got < want*0.5 {
+			t.Errorf("theft %s stole %.1f, want about %.1f", th.Name, got, want)
+		}
+	}
+}
+
+func TestDiceBehaviourPresent(t *testing.T) {
+	w := small(t)
+	if len(w.DiceStaticAddrs) == 0 {
+		t.Fatal("no dice static addresses")
+	}
+	g, err := txgraph.Build(w.Chain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The famous static bet addresses must be busy.
+	busy := 0
+	for _, a := range w.DiceStaticAddrs {
+		if id, ok := g.LookupAddr(a); ok && len(g.Recvs(id)) >= 2 {
+			busy++
+		}
+	}
+	if busy == 0 {
+		t.Fatal("no dice address received multiple bets")
+	}
+}
+
+func TestSelfChangeShareInRange(t *testing.T) {
+	w := small(t)
+	g, err := txgraph.Build(w.Chain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	self, total := 0, 0
+	for i := 0; i < g.NumTxs(); i++ {
+		tx := g.Tx(txgraph.TxSeq(i))
+		if tx.Coinbase {
+			continue
+		}
+		total++
+		if tx.HasSelfChange() {
+			self++
+		}
+	}
+	share := float64(self) / float64(total)
+	if share < 0.02 || share > 0.45 {
+		t.Fatalf("self-change share = %.3f, out of plausible range", share)
+	}
+}
+
+func TestRosterInvariants(t *testing.T) {
+	if got := RosterResearcherTotal(); got != 344 {
+		t.Fatalf("roster researcher txs = %d, want 344", got)
+	}
+	byCat := map[tags.Category]int{}
+	for _, def := range Roster() {
+		byCat[def.Category]++
+	}
+	wantCounts := map[tags.Category]int{
+		tags.CatMining: 11, tags.CatWallet: 10, tags.CatBankExchange: 18,
+		tags.CatFixedExchange: 8, tags.CatGambling: 13, tags.CatInvestment: 2,
+	}
+	for cat, want := range wantCounts {
+		if byCat[cat] != want {
+			t.Errorf("%s services = %d, want %d", cat, byCat[cat], want)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cfg := Small()
+	cfg.Blocks = 10
+	if _, err := Generate(cfg); err == nil {
+		t.Fatal("accepted too few blocks")
+	}
+	cfg = Small()
+	cfg.Users = 2
+	if _, err := Generate(cfg); err == nil {
+		t.Fatal("accepted too few users")
+	}
+}
+
+func TestPublicTagsCoverServices(t *testing.T) {
+	w := small(t)
+	names := map[string]bool{}
+	for _, tg := range w.PublicTags {
+		names[tg.Service] = true
+	}
+	for _, must := range []string{"Mt Gox", "Silk Road", "Satoshi Dice", "Instawallet", "Medsforbitcoin"} {
+		if !names[must] {
+			t.Errorf("no public tag for %s", must)
+		}
+	}
+}

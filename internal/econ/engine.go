@@ -1,0 +1,560 @@
+package econ
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/address"
+	"repro/internal/chain"
+	"repro/internal/script"
+	"repro/internal/tags"
+)
+
+// engine drives the generation: it owns the chain under construction, all
+// actors and their wallets, the deterministic RNG, and the per-block pending
+// transaction list.
+type engine struct {
+	cfg    Config
+	params chain.Params
+	chain  *chain.Chain
+	rng    *rand.Rand
+
+	keyCounter uint64
+	keyOf      map[address.Address]address.KeyPair
+	walletOf   map[address.Address]*Wallet
+	// changeClass marks addresses minted as change; self-changing wallets
+	// prefer a stable (non-change) address as the self-change target, the
+	// way services with fixed receiving addresses behave.
+	changeClass map[address.Address]bool
+	// recvCount tracks on-chain receives per address, letting scripted
+	// flows pick well-used (>= 2 receives) peel targets that the
+	// received-once guard will not balk at.
+	recvCount map[address.Address]uint32
+	// busyUserAddrs lists user-owned addresses that have received at least
+	// twice — guard-safe targets for the "unknown recipient" peel hops.
+	busyUserAddrs []address.Address
+	// selfChangeUsed marks addresses that have served as self-change
+	// targets; the refined heuristic's self-change-history guard skips
+	// transactions paying them, so scripted peels avoid them.
+	selfChangeUsed map[address.Address]bool
+
+	actors   []*Actor
+	users    []*Actor
+	services map[string]*Actor
+	byKind   map[ServiceKind][]*Actor
+
+	pending     []*chain.Tx
+	pendingFees chain.Amount
+	height      int64
+
+	// Behavioural state.
+	peelJobs    []*peelJob
+	mixJobs     []mixJob
+	poolWeights map[ActorID]int
+	svcWeights  map[ActorID]int
+	hotAddrs    map[*Wallet]address.Address
+	srHotPinned address.Address
+	srFinal     wutxo
+	scheduled   map[int64][]func()
+
+	researcher        *Actor
+	researcherSeen    map[ActorID]bool
+	syntheticAccounts int32
+	// withdrawSmallFirst makes the next service withdrawal sweep small
+	// UTXOs, yielding multi-input payout transactions; the researcher
+	// campaign enables it so each observed withdrawal tags many inputs.
+	withdrawSmallFirst bool
+	// dissolutionTargets holds the pre-resolved (and warmed) peel schedules
+	// of the three dissolution chains.
+	dissolutionTargets [3][]peelTarget
+
+	// spentBy tracks which generator path consumed each outpoint, turning
+	// any internal double-spend into an immediate, attributable panic
+	// instead of a late ConnectBlock failure.
+	spentBy map[chain.OutPoint]string
+
+	world *World
+}
+
+// noteReceive bumps an address's receive count, recording user addresses
+// that become guard-safe (>= 2 receives) peel targets.
+func (e *engine) noteReceive(a address.Address) {
+	e.recvCount[a]++
+	if e.recvCount[a] == 2 {
+		if w, ok := e.walletOf[a]; ok && w.owner.Kind == KindUser {
+			e.busyUserAddrs = append(e.busyUserAddrs, a)
+		}
+	}
+}
+
+// claim records that `who` is spending op, panicking on a double spend so
+// generator bugs surface at their source.
+func (e *engine) claim(op chain.OutPoint, who string) {
+	if prev, dup := e.spentBy[op]; dup {
+		panic(fmt.Sprintf("econ: double spend of %s at height %d: %s after %s", op, e.height, who, prev))
+	}
+	e.spentBy[op] = who
+}
+
+// schedule registers fn to run at the start of block h (clamped into the
+// simulated range). Events at one height run in registration order, keeping
+// generation deterministic.
+func (e *engine) schedule(h int64, fn func()) {
+	if h < 0 {
+		h = 0
+	}
+	if h >= e.cfg.Blocks {
+		h = e.cfg.Blocks - 1
+	}
+	e.scheduled[h] = append(e.scheduled[h], fn)
+}
+
+// dustLimit folds sub-dust change into the fee.
+const dustLimit = chain.Amount(1000)
+
+func newEngine(cfg Config) *engine {
+	params := cfg.params()
+	e := &engine{
+		cfg:      cfg,
+		params:   params,
+		chain:    chain.New(params),
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		keyOf:    make(map[address.Address]address.KeyPair),
+		walletOf: make(map[address.Address]*Wallet),
+		services: make(map[string]*Actor),
+		byKind:   make(map[ServiceKind][]*Actor),
+
+		poolWeights:    make(map[ActorID]int),
+		svcWeights:     make(map[ActorID]int),
+		hotAddrs:       make(map[*Wallet]address.Address),
+		scheduled:      make(map[int64][]func()),
+		spentBy:        make(map[chain.OutPoint]string),
+		changeClass:    make(map[address.Address]bool),
+		recvCount:      make(map[address.Address]uint32),
+		selfChangeUsed: make(map[address.Address]bool),
+	}
+	e.world = &World{
+		Config:  cfg,
+		Params:  params,
+		OwnerOf: make(map[address.Address]ActorID),
+		Tags:    tags.NewStore(),
+	}
+	return e
+}
+
+// newActor registers an actor with n wallets.
+func (e *engine) newActor(name string, cat tags.Category, kind ServiceKind, launch int64, wallets int) *Actor {
+	a := &Actor{
+		ID:       ActorID(len(e.actors)),
+		Name:     name,
+		Category: cat,
+		Kind:     kind,
+		Launch:   launch,
+		accounts: make(map[ActorID]address.Address),
+	}
+	for i := 0; i < wallets; i++ {
+		a.Wallets = append(a.Wallets, &Wallet{owner: a})
+	}
+	e.actors = append(e.actors, a)
+	e.byKind[kind] = append(e.byKind[kind], a)
+	if kind < KindUser {
+		e.services[name] = a
+	}
+	if kind == KindUser {
+		e.users = append(e.users, a)
+	}
+	return a
+}
+
+// freshAddr mints a new key for the wallet and records ground truth.
+func (e *engine) freshAddr(w *Wallet) address.Address {
+	e.keyCounter++
+	k := address.NewKeyFromSeed(e.cfg.Seed, e.keyCounter)
+	a := k.Address()
+	e.keyOf[a] = k
+	e.walletOf[a] = w
+	e.world.OwnerOf[a] = w.owner.ID
+	w.addrRecs = append(w.addrRecs, addrRec{a: a, height: e.height})
+	return a
+}
+
+// freshChangeAddr mints a change address, marked so that address reuse can
+// discriminate against handing out change addresses for receiving.
+func (e *engine) freshChangeAddr(w *Wallet) address.Address {
+	a := e.freshAddr(w)
+	w.addrRecs[len(w.addrRecs)-1].change = true
+	e.changeClass[a] = true
+	return a
+}
+
+// reuseChangeAddrProb is how often an address-reusing recipient hands out a
+// former change address rather than a former receiving address. Users are
+// "unlikely to give out this change address" (Section 4.1) — but a small
+// rate exists, and it is what the post-dice false-positive ladder is made
+// of (1% -> 0.28% -> 0.17%).
+const reuseChangeAddrProb = 0.10
+
+// recvAddr picks an address for the wallet to receive a payment at: usually
+// fresh, sometimes (reuseProb) a previously used address. Reused addresses
+// skew heavily toward recently minted ones (70% within a day, 15% within a
+// week), which shapes how quickly a reused change address betrays itself to
+// the wait-a-day / wait-a-week refinements.
+func (e *engine) recvAddr(w *Wallet, reuseProb float64) address.Address {
+	a, _ := e.recvAddrTagged(w, reuseProb)
+	return a
+}
+
+// recvAddrTagged is recvAddr plus a flag reporting whether an existing
+// (already seen) address was handed out.
+func (e *engine) recvAddrTagged(w *Wallet, reuseProb float64) (address.Address, bool) {
+	if len(w.addrRecs) > 0 && e.rng.Float64() < reuseProb {
+		day := e.world.BlocksPerDay
+		week := 7 * day
+		u := e.rng.Float64()
+		var horizon int64
+		switch {
+		case u < 0.75:
+			horizon = day
+		case u < 0.90:
+			horizon = week
+		default:
+			horizon = e.height + 1 // anything ever used
+		}
+		wantChange := e.rng.Float64() < reuseChangeAddrProb
+		// Scan back from the most recent mint; addrRecs is height-ordered.
+		var candidates []address.Address
+		for i := len(w.addrRecs) - 1; i >= 0; i-- {
+			rec := w.addrRecs[i]
+			if rec.height < e.height-horizon {
+				break
+			}
+			if rec.change == wantChange {
+				candidates = append(candidates, rec.a)
+			}
+		}
+		if len(candidates) > 0 {
+			return candidates[e.rng.Intn(len(candidates))], true
+		}
+		// Nothing suitable in the window: fall through to a fresh address.
+	}
+	return e.freshAddr(w), false
+}
+
+// accountAddr returns the customer's stable deposit address at a service,
+// creating it on first use in the sub-wallet chosen by customer id.
+func (e *engine) accountAddr(svc *Actor, customer ActorID) address.Address {
+	if a, ok := svc.accounts[customer]; ok {
+		return a
+	}
+	idx := int(customer) % len(svc.Wallets)
+	if idx < 0 {
+		idx = -idx
+	}
+	w := svc.Wallets[idx]
+	a := e.freshAddr(w)
+	svc.accounts[customer] = a
+	svc.accountList = append(svc.accountList, a)
+	return a
+}
+
+// seenAccountAddr returns a busy (>= 2 receives) deposit account of the
+// service, scanning all accounts before falling back to any account and
+// finally to a fresh one. Busy targets keep scripted peel hops
+// classifiable: the received-once guard skips transactions paying an
+// exactly-once-used address.
+func (e *engine) seenAccountAddr(svc *Actor) address.Address {
+	if len(svc.accountList) == 0 {
+		return e.accountAddr(svc, ActorID(1<<30+len(svc.accounts)))
+	}
+	start := e.rng.Intn(len(svc.accountList))
+	for i := 0; i < len(svc.accountList); i++ {
+		a := svc.accountList[(start+i)%len(svc.accountList)]
+		if e.recvCount[a] >= 2 && !e.selfChangeUsed[a] {
+			return a
+		}
+	}
+	return svc.accountList[start]
+}
+
+// planOut is one intended transaction output.
+type planOut struct {
+	addr  address.Address
+	value chain.Amount
+}
+
+// sendOpts controls the change idiom of a built transaction.
+type sendOpts struct {
+	selfChange bool            // change returns to the first input address
+	changeAddr address.Address // explicit change target (scripted reuse)
+	noChange   bool            // sweep: fold any remainder into the outputs? (unused remainder becomes fee)
+	maxInputs  int             // cap selected inputs (0 = 16)
+	smallFirst bool            // select smallest UTXOs first (deposit-sweeping withdrawals)
+}
+
+// send builds, signs, credits and queues a transaction from w paying outs.
+// It returns the transaction and the change output index (-1 if none), or
+// ok=false if the wallet cannot fund the payment or the block is full.
+func (e *engine) send(w *Wallet, outs []planOut, opt sendOpts) (*chain.Tx, int, bool) {
+	if e.blockFull() {
+		return nil, -1, false
+	}
+	var need chain.Amount = e.cfg.FeePerTx
+	for _, o := range outs {
+		need += o.value
+		if o.value <= 0 {
+			return nil, -1, false
+		}
+	}
+	maxIn := opt.maxInputs
+	if maxIn == 0 {
+		maxIn = 16
+	}
+	// Coin selection over mature UTXOs: FIFO by default, smallest-first for
+	// deposit-sweeping service withdrawals (which is what makes their
+	// payout transactions multi-input and thus richly taggable).
+	if opt.smallFirst {
+		sort.SliceStable(w.utxos, func(i, j int) bool { return w.utxos[i].value < w.utxos[j].value })
+	}
+	var selected []wutxo
+	var total chain.Amount
+	rest := w.utxos[:0]
+	for i, u := range w.utxos {
+		if total < need && u.matureAt <= e.height && len(selected) < maxIn {
+			selected = append(selected, u)
+			total += u.value
+			continue
+		}
+		rest = append(rest, w.utxos[i])
+	}
+	if total < need {
+		// Refund the selection and give up.
+		w.utxos = append(rest, selected...)
+		return nil, -1, false
+	}
+	w.utxos = rest
+
+	tx := &chain.Tx{Version: 1}
+	for _, u := range selected {
+		tx.Inputs = append(tx.Inputs, chain.TxIn{Prev: u.op, Sequence: ^uint32(0)})
+	}
+	for _, o := range outs {
+		tx.Outputs = append(tx.Outputs, chain.TxOut{Value: o.value, PkScript: script.PayToAddr(o.addr)})
+	}
+	change := total - need
+	changeIdx := -1
+	var changeAddr address.Address
+	if change > dustLimit && !opt.noChange {
+		switch {
+		case opt.selfChange:
+			// Self-change targets a stable (non-change) input address; a
+			// wallet holding only one-time change outputs uses a fresh
+			// change address instead, as real clients did.
+			changeAddr = address.Address{}
+			for _, u := range selected {
+				if !e.changeClass[u.addr] {
+					changeAddr = u.addr
+					break
+				}
+			}
+			if changeAddr.IsZero() {
+				changeAddr = e.freshChangeAddr(w)
+			} else {
+				e.selfChangeUsed[changeAddr] = true
+			}
+		case !opt.changeAddr.IsZero():
+			changeAddr = opt.changeAddr
+		default:
+			changeAddr = e.freshChangeAddr(w)
+		}
+		// Insert the change output at a random position: real clients do
+		// not put change in a fixed slot.
+		changeIdx = e.rng.Intn(len(tx.Outputs) + 1)
+		out := chain.TxOut{Value: change, PkScript: script.PayToAddr(changeAddr)}
+		tx.Outputs = append(tx.Outputs, chain.TxOut{})
+		copy(tx.Outputs[changeIdx+1:], tx.Outputs[changeIdx:])
+		tx.Outputs[changeIdx] = out
+	}
+
+	// Sign.
+	for i, u := range selected {
+		k, ok := e.keyOf[u.addr]
+		if !ok {
+			panic(fmt.Sprintf("econ: no key for %s", u.addr))
+		}
+		e.claim(u.op, "send")
+		sig := k.Sign(chain.SigHash(tx, i))
+		tx.Inputs[i].SigScript = script.SigScript(sig, k.PubKey())
+	}
+
+	// Credit recipients (including our own change).
+	txid := tx.TxID()
+	for i, out := range tx.Outputs {
+		a, err := script.ExtractAddress(out.PkScript)
+		if err != nil {
+			continue
+		}
+		e.noteReceive(a)
+		if rw, ok := e.walletOf[a]; ok {
+			rw.utxos = append(rw.utxos, wutxo{
+				op:    chain.OutPoint{TxID: txid, Index: uint32(i)},
+				value: out.Value,
+				addr:  a,
+			})
+		}
+	}
+	feePaid := e.cfg.FeePerTx
+	if change <= dustLimit || opt.noChange {
+		feePaid += change
+	}
+	e.pending = append(e.pending, tx)
+	e.pendingFees += feePaid
+	e.world.TxsGenerated++
+	return tx, changeIdx, true
+}
+
+// pay is the common case: w pays a single recipient with default change.
+func (e *engine) pay(w *Wallet, to address.Address, amount chain.Amount, selfChange bool) (*chain.Tx, bool) {
+	tx, _, ok := e.send(w, []planOut{{addr: to, value: amount}}, sendOpts{selfChange: selfChange})
+	return tx, ok
+}
+
+// payBig is pay with a high input budget, for whale-sized transfers that
+// must gather hundreds of coinbase-sized UTXOs.
+func (e *engine) payBig(w *Wallet, to address.Address, amount chain.Amount) (*chain.Tx, bool) {
+	tx, _, ok := e.send(w, []planOut{{addr: to, value: amount}}, sendOpts{maxInputs: 256})
+	return tx, ok
+}
+
+// sweep moves every mature UTXO of the given wallets' addresses into a
+// single destination address (aggregation, in the paper's movement
+// vocabulary). maxInputs caps the combine size (the Silk Road deposits
+// combined up to 128 addresses).
+func (e *engine) sweep(w *Wallet, to address.Address, maxInputs int) (*chain.Tx, bool) {
+	if e.blockFull() {
+		return nil, false
+	}
+	if maxInputs <= 0 {
+		maxInputs = 128
+	}
+	var selected []wutxo
+	var total chain.Amount
+	rest := w.utxos[:0]
+	for i, u := range w.utxos {
+		if len(selected) < maxInputs && u.matureAt <= e.height {
+			selected = append(selected, u)
+			total += u.value
+			continue
+		}
+		rest = append(rest, w.utxos[i])
+	}
+	if len(selected) < 2 || total <= e.cfg.FeePerTx+dustLimit {
+		w.utxos = append(rest, selected...)
+		return nil, false
+	}
+	w.utxos = rest
+	tx := &chain.Tx{Version: 1}
+	for _, u := range selected {
+		tx.Inputs = append(tx.Inputs, chain.TxIn{Prev: u.op, Sequence: ^uint32(0)})
+	}
+	tx.Outputs = []chain.TxOut{{Value: total - e.cfg.FeePerTx, PkScript: script.PayToAddr(to)}}
+	for i, u := range selected {
+		k := e.keyOf[u.addr]
+		e.claim(u.op, "sweep")
+		sig := k.Sign(chain.SigHash(tx, i))
+		tx.Inputs[i].SigScript = script.SigScript(sig, k.PubKey())
+	}
+	txid := tx.TxID()
+	e.noteReceive(to)
+	if rw, ok := e.walletOf[to]; ok {
+		rw.utxos = append(rw.utxos, wutxo{
+			op:    chain.OutPoint{TxID: txid, Index: 0},
+			value: total - e.cfg.FeePerTx,
+			addr:  to,
+		})
+	}
+	e.pending = append(e.pending, tx)
+	e.pendingFees += e.cfg.FeePerTx
+	e.world.TxsGenerated++
+	return tx, true
+}
+
+func (e *engine) blockFull() bool {
+	return len(e.pending) >= e.cfg.MaxBlockTxs-1
+}
+
+// sealBlock mines the pending transactions into a block credited to miner.
+func (e *engine) sealBlock(minerAddr address.Address) error {
+	height := e.height
+	subsidy := e.params.SubsidyAt(height)
+	cb := chain.NewCoinbaseTx(height, subsidy+e.pendingFees, script.PayToAddr(minerAddr), nil)
+	txs := append([]*chain.Tx{cb}, e.pending...)
+	blk := &chain.Block{
+		Header: chain.BlockHeader{
+			Version:    1,
+			PrevBlock:  e.chain.TipHash(),
+			MerkleRoot: chain.BlockMerkleRoot(txs),
+			Timestamp:  e.params.TimeAt(height).Unix(),
+		},
+		Txs: txs,
+	}
+	if err := e.chain.ConnectBlock(blk, false, chain.ConnectBlockOptions{}); err != nil {
+		return fmt.Errorf("econ: sealing block %d: %w", height, err)
+	}
+	if mw, ok := e.walletOf[minerAddr]; ok && subsidy+e.pendingFees > 0 {
+		mw.utxos = append(mw.utxos, wutxo{
+			op:       chain.OutPoint{TxID: cb.TxID(), Index: 0},
+			value:    subsidy + e.pendingFees,
+			addr:     minerAddr,
+			matureAt: height + e.params.CoinbaseMaturity,
+		})
+	}
+	e.pending = nil
+	e.pendingFees = 0
+	e.height++
+	return nil
+}
+
+// heightOf maps a calendar date onto the simulated timeline.
+func (e *engine) heightOf(y int, m int, day int) int64 {
+	t := dateAt(y, m, day)
+	h := e.params.HeightFor(t)
+	if h >= e.cfg.Blocks {
+		h = e.cfg.Blocks - 1
+	}
+	return h
+}
+
+// pickWeighted selects an actor from the launched subset of list, weighted
+// by roster weight. Returns nil if none are launched and alive.
+func (e *engine) pickWeighted(list []*Actor, weights map[ActorID]int) *Actor {
+	total := 0
+	for _, a := range list {
+		if a.Launch > e.height || a.dead {
+			continue
+		}
+		wt := weights[a.ID]
+		if wt <= 0 {
+			wt = 1
+		}
+		total += wt
+	}
+	if total == 0 {
+		return nil
+	}
+	pick := e.rng.Intn(total)
+	for _, a := range list {
+		if a.Launch > e.height || a.dead {
+			continue
+		}
+		wt := weights[a.ID]
+		if wt <= 0 {
+			wt = 1
+		}
+		if pick < wt {
+			return a
+		}
+		pick -= wt
+	}
+	return nil
+}

@@ -1,0 +1,202 @@
+package econ
+
+import (
+	"testing"
+
+	"repro/internal/chain"
+	"repro/internal/script"
+	"repro/internal/tags"
+)
+
+// newTestEngine builds a minimal engine with one funded user for unit tests
+// of the transaction builder.
+func newTestEngine(t *testing.T) (*engine, *Actor) {
+	t.Helper()
+	cfg := Small()
+	cfg.Blocks = 200
+	cfg.Users = 20
+	e := newEngine(cfg)
+	e.world.BlocksPerDay = 4
+	u := e.newActor("tester", tags.CatIndividual, KindUser, 0, 1)
+	// Fund with a few coinbases, matured.
+	for i := 0; i < 4; i++ {
+		addr := e.freshAddr(u.Wallets[0])
+		if err := e.sealBlock(addr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for e.height < 20 {
+		if err := e.sealBlock(e.sinkAddr(u.Wallets[0])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return e, u
+}
+
+func TestSendInsufficientFunds(t *testing.T) {
+	e, u := newTestEngine(t)
+	w := u.Wallets[0]
+	before := len(w.utxos)
+	_, _, ok := e.send(w, []planOut{{addr: e.sinkAddr(w), value: 10_000 * chain.Coin}}, sendOpts{})
+	if ok {
+		t.Fatal("send succeeded beyond balance")
+	}
+	if len(w.utxos) != before {
+		t.Fatal("failed send leaked UTXOs")
+	}
+}
+
+func TestSendCreatesChangeAndCredits(t *testing.T) {
+	e, u := newTestEngine(t)
+	w := u.Wallets[0]
+	balBefore := w.Balance(e.height)
+	tx, changeIdx, ok := e.send(w, []planOut{{addr: e.sinkAddr(w), value: 10 * chain.Coin}}, sendOpts{})
+	if !ok {
+		t.Fatal("send failed")
+	}
+	if changeIdx < 0 {
+		t.Fatal("no change output created")
+	}
+	changeAddr, err := script.ExtractAddress(tx.Outputs[changeIdx].PkScript)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.changeClass[changeAddr] {
+		t.Fatal("change address not marked change-class")
+	}
+	// Change credited back: balance fell by exactly amount+fee.
+	want := balBefore - 10*chain.Coin - e.cfg.FeePerTx
+	if got := w.Balance(e.height); got != want {
+		t.Fatalf("balance %v, want %v", got, want)
+	}
+}
+
+func TestSendSelfChangePrefersStableAddr(t *testing.T) {
+	e, u := newTestEngine(t)
+	w := u.Wallets[0]
+	// First spend creates a change-class UTXO.
+	_, _, ok := e.send(w, []planOut{{addr: e.sinkAddr(w), value: 10 * chain.Coin}}, sendOpts{})
+	if !ok {
+		t.Fatal("setup send failed")
+	}
+	// Self-change spend: the target must be a non-change (coinbase) address
+	// when one is among the inputs.
+	tx, changeIdx, ok := e.send(w, []planOut{{addr: e.sinkAddr(w), value: 30 * chain.Coin}},
+		sendOpts{selfChange: true, maxInputs: 8})
+	if !ok {
+		t.Fatal("self-change send failed")
+	}
+	if changeIdx < 0 {
+		t.Fatal("no change output")
+	}
+	changeAddr, err := script.ExtractAddress(tx.Outputs[changeIdx].PkScript)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.changeClass[changeAddr] {
+		t.Fatal("self-change landed on a change-class address despite stable inputs")
+	}
+	if !e.selfChangeUsed[changeAddr] {
+		t.Fatal("self-change target not recorded")
+	}
+}
+
+func TestSweepConsolidates(t *testing.T) {
+	e, u := newTestEngine(t)
+	w := u.Wallets[0]
+	if len(w.utxos) < 2 {
+		t.Fatal("need several UTXOs")
+	}
+	target := e.freshAddr(w)
+	balBefore := w.Balance(e.height)
+	if _, ok := e.sweep(w, target, 128); !ok {
+		t.Fatal("sweep failed")
+	}
+	if len(w.utxos) != 1 {
+		t.Fatalf("after sweep: %d utxos, want 1", len(w.utxos))
+	}
+	if w.utxos[0].addr != target {
+		t.Fatal("sweep output landed elsewhere")
+	}
+	if got := w.Balance(e.height); got != balBefore-e.cfg.FeePerTx {
+		t.Fatalf("sweep lost value: %v -> %v", balBefore, got)
+	}
+}
+
+func TestSendFromUTXOKeepsChangeOutOfWallet(t *testing.T) {
+	e, u := newTestEngine(t)
+	w := u.Wallets[0]
+	seed := w.utxos[0]
+	w.utxos = w.utxos[1:]
+	before := len(w.utxos)
+	_, changeOut, ok := e.sendFromUTXO(seed, w, []planOut{{addr: e.sinkAddr(w), value: chain.Coin}})
+	if !ok {
+		t.Fatal("sendFromUTXO failed")
+	}
+	if len(w.utxos) != before {
+		t.Fatal("peel change leaked into the wallet")
+	}
+	if changeOut.value != seed.value-chain.Coin-e.cfg.FeePerTx {
+		t.Fatalf("change value %v wrong", changeOut.value)
+	}
+}
+
+func TestDoubleSpendPanicsWithAttribution(t *testing.T) {
+	e, u := newTestEngine(t)
+	w := u.Wallets[0]
+	seed := w.utxos[0]
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("second spend of the same outpoint did not panic")
+		}
+	}()
+	e.claim(seed.op, "test-one")
+	e.claim(seed.op, "test-two")
+}
+
+func TestSealBlockRejectsOverdraw(t *testing.T) {
+	e, u := newTestEngine(t)
+	w := u.Wallets[0]
+	// Manually queue a transaction that spends more than its inputs.
+	seed := w.utxos[0]
+	tx := &chain.Tx{
+		Version: 1,
+		Inputs:  []chain.TxIn{{Prev: seed.op, Sequence: ^uint32(0)}},
+		Outputs: []chain.TxOut{{Value: seed.value * 2, PkScript: script.PayToAddr(e.sinkAddr(w))}},
+	}
+	k := e.keyOf[seed.addr]
+	sig := k.Sign(chain.SigHash(tx, 0))
+	tx.Inputs[0].SigScript = script.SigScript(sig, k.PubKey())
+	e.pending = append(e.pending, tx)
+	if err := e.sealBlock(e.sinkAddr(w)); err == nil {
+		t.Fatal("sealed a block with an overdrawing transaction")
+	}
+}
+
+func TestRecvAddrRespectsReuseProb(t *testing.T) {
+	e, u := newTestEngine(t)
+	w := u.Wallets[0]
+	// With probability zero, every recv address is fresh.
+	seen := map[string]bool{}
+	for i := 0; i < 50; i++ {
+		a := e.recvAddr(w, 0)
+		if seen[a.String()] {
+			t.Fatal("reuseProb 0 produced a reused address")
+		}
+		seen[a.String()] = true
+	}
+}
+
+func TestAccountAddrStablePerCustomer(t *testing.T) {
+	e, _ := newTestEngine(t)
+	svc := e.newActor("svc", tags.CatBankExchange, KindBankExchange, 0, 3)
+	a1 := e.accountAddr(svc, 7)
+	a2 := e.accountAddr(svc, 7)
+	b1 := e.accountAddr(svc, 8)
+	if a1 != a2 {
+		t.Fatal("same customer got different account addresses")
+	}
+	if a1 == b1 {
+		t.Fatal("different customers share an account address")
+	}
+}

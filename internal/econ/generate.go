@@ -1,0 +1,177 @@
+package econ
+
+import (
+	"fmt"
+
+	"repro/internal/address"
+	"repro/internal/script"
+	"repro/internal/tags"
+)
+
+// extractAddr is a local alias so behaviour files read cleanly.
+func extractAddr(pkScript []byte) (address.Address, error) {
+	return script.ExtractAddress(pkScript)
+}
+
+// Generate runs the full simulation and returns the world: a validated
+// chain plus ground truth, tags, and the scripted case-study records.
+func Generate(cfg Config) (*World, error) {
+	if cfg.Blocks < 100 {
+		return nil, fmt.Errorf("econ: need at least 100 blocks, got %d", cfg.Blocks)
+	}
+	if cfg.Users < founders {
+		return nil, fmt.Errorf("econ: need at least %d users, got %d", founders, cfg.Users)
+	}
+	e := newEngine(cfg)
+	e.world.BlocksPerDay = blocksPerDay(e.params.BlockInterval.Seconds())
+	e.world.CaseScale = float64(e.projectedSupply()/1e8) / realSupply2013BTC
+
+	e.setupActors()
+	if cfg.Scenarios {
+		e.setupSilkRoad()
+		e.setupThefts()
+	}
+	e.setupResearcher()
+
+	for h := int64(0); h < cfg.Blocks; h++ {
+		// e.height is advanced by sealBlock; assert the invariant cheaply.
+		if e.height != h {
+			return nil, fmt.Errorf("econ: height skew %d != %d", e.height, h)
+		}
+		for _, fn := range e.scheduled[h] {
+			fn()
+		}
+		e.investmentTick()
+		e.poolPayoutTick()
+		for i, n := 0, e.activityLevel(); i < n && !e.blockFull(); i++ {
+			e.userAction()
+		}
+		e.serviceChurnTick()
+		e.dicePayoutTick()
+		e.mixPayoutTick()
+		e.peelJobTick()
+		if err := e.sealBlock(e.minerAddrFor()); err != nil {
+			return nil, err
+		}
+	}
+
+	e.finalizeWorld()
+	return e.world, nil
+}
+
+func blocksPerDay(blockSeconds float64) int64 {
+	if blockSeconds <= 0 {
+		return 144
+	}
+	bpd := int64(86400 / blockSeconds)
+	if bpd < 1 {
+		bpd = 1
+	}
+	return bpd
+}
+
+// setupActors instantiates the roster, the defunct theft victims, and the
+// user population.
+func (e *engine) setupActors() {
+	cfg := e.cfg
+	for _, def := range Roster() {
+		e.addService(def)
+	}
+	// Defunct services that exist only as theft victims (Section 5).
+	e.addService(ServiceDef{Name: "MyBitcoin", Category: tags.CatWallet, Kind: KindWallet, Launch: d(2010, 8), Weight: 3})
+	e.addService(ServiceDef{Name: "Betcoin", Category: tags.CatGambling, Kind: KindCasino, Launch: d(2011, 5), Weight: 2})
+
+	for i := 0; i < cfg.Users; i++ {
+		e.newActor(fmt.Sprintf("user%04d", i), tags.CatIndividual, KindUser, 0, 1)
+	}
+}
+
+func (e *engine) addService(def ServiceDef) *Actor {
+	wallets := 1
+	switch {
+	case def.Kind == KindDice:
+		wallets = 1 // dice games ran one famously hot wallet
+	case def.Weight >= 8:
+		wallets = e.cfg.ServiceWallets
+	case def.Weight >= 4:
+		wallets = 2
+	}
+	launch := e.params.HeightFor(def.Launch)
+	if launch >= e.cfg.Blocks {
+		launch = e.cfg.Blocks - 1
+	}
+	a := e.newActor(def.Name, def.Category, def.Kind, launch, wallets)
+	if def.Kind == KindPool {
+		e.poolWeights[a.ID] = def.Weight
+	} else {
+		e.svcWeights[a.ID] = def.Weight
+	}
+	switch def.Kind {
+	case KindDice:
+		// Famous static betting addresses (the 1dice... analogues).
+		n := 2
+		if def.Weight >= 10 {
+			n = 6
+		}
+		for i := 0; i < n; i++ {
+			a.staticAddrs = append(a.staticAddrs, e.freshAddr(a.Wallets[0]))
+		}
+		e.world.DiceStaticAddrs = append(e.world.DiceStaticAddrs, a.staticAddrs...)
+	case KindMiscSvc:
+		// Public donation address (e.g. Wikileaks).
+		a.staticAddrs = append(a.staticAddrs, e.freshAddr(a.Wallets[0]))
+	}
+	return a
+}
+
+// finalizeWorld publishes the chain, actors, and the public (tag-site and
+// forum) tags.
+func (e *engine) finalizeWorld() {
+	w := e.world
+	w.Chain = e.chain
+	w.Actors = e.actors
+
+	// Self-labeled service addresses for the tag site: static addresses,
+	// plus each service's earliest wallet addresses. These are the
+	// "blockchain.info/tags"-style, lower-confidence sources.
+	for _, a := range e.actors {
+		if !a.IsService() {
+			continue
+		}
+		emit := func(addr address.Address) {
+			w.PublicTags = append(w.PublicTags, tags.Tag{
+				Addr: addr, Service: a.Name, Category: a.Category, Source: tags.SourceTagSite,
+			})
+		}
+		for _, s := range a.staticAddrs {
+			emit(s)
+		}
+		// The community identifies a couple of early addresses per service
+		// wallet over time (the tag site carried >5,000 such tags); without
+		// these the sub-wallet clusters stay anonymous.
+		for _, sw := range a.Wallets {
+			if recs := sw.addrRecs; len(recs) > 0 {
+				emit(recs[0].a)
+				if len(recs) > 2 {
+					emit(recs[2].a)
+				}
+			}
+		}
+	}
+	// The community identified the Silk Road hot address (1DkyBEKt).
+	if w.Dissolution != nil && !w.Dissolution.HotAddr.IsZero() {
+		sr := e.services["Silk Road"]
+		w.PublicTags = append(w.PublicTags, tags.Tag{
+			Addr: w.Dissolution.HotAddr, Service: sr.Name, Category: sr.Category, Source: tags.SourceForum,
+		})
+	}
+	// A slice of users self-label one address in forum signatures.
+	for i := 0; i < len(e.users); i += 20 {
+		u := e.users[i]
+		if recs := u.Wallets[0].addrRecs; len(recs) > 0 {
+			w.PublicTags = append(w.PublicTags, tags.Tag{
+				Addr: recs[0].a, Service: u.Name, Category: tags.CatIndividual, Source: tags.SourceForum,
+			})
+		}
+	}
+}

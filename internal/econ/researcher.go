@@ -1,0 +1,269 @@
+package econ
+
+import (
+	"repro/internal/address"
+	"repro/internal/chain"
+	"repro/internal/tags"
+)
+
+// The researcher actor reproduces Section 3.1: 344 transactions against the
+// Table 1 roster, each observation turning into an own-transaction tag —
+// deposit addresses for payments to a service, and the inputs of payout
+// transactions for payments from a service.
+
+// tagOwn records an own-transaction tag for an address observed to belong
+// to a service.
+func (e *engine) tagOwn(a address.Address, svc *Actor) {
+	if a.IsZero() {
+		return
+	}
+	e.world.Tags.Add(tags.Tag{
+		Addr:     a,
+		Service:  svc.Name,
+		Category: svc.Category,
+		Source:   tags.SourceOwnTransaction,
+	})
+}
+
+// tagTxInputs tags every input address of a service's payout transaction
+// ("for each payout transaction, we then labeled the input addresses as
+// belonging to the pool").
+func (e *engine) tagTxInputs(tx *chain.Tx, svc *Actor) {
+	for i := range tx.Inputs {
+		e.tagOwn(e.inputAddr(tx, i), svc)
+	}
+}
+
+// countResearcherTx records one performed campaign transaction.
+func (e *engine) countResearcherTx(svc *Actor) {
+	e.world.ResearcherTxCount++
+	if e.world.ResearcherByCat == nil {
+		e.world.ResearcherByCat = make(map[tags.Category]int)
+	}
+	e.world.ResearcherByCat[svc.Category]++
+	if e.researcherSeen == nil {
+		e.researcherSeen = make(map[ActorID]bool)
+	}
+	if !e.researcherSeen[svc.ID] {
+		e.researcherSeen[svc.ID] = true
+		e.world.ResearcherServices++
+	}
+}
+
+// setupResearcher schedules the campaign across the last stretch of the
+// timeline (the study transacted in late 2012 and 2013).
+func (e *engine) setupResearcher() {
+	if !e.cfg.Researcher {
+		return
+	}
+	res := e.newActor("researcher", tags.CatIndividual, KindResearcher, 0, 1)
+	e.researcher = res
+	start := e.cfg.Blocks * 82 / 100
+	end := e.cfg.Blocks - 8
+	window := end - start
+	if window < 10 {
+		return
+	}
+
+	// Fund the campaign: buy coins from the largest exchange just before
+	// the window opens.
+	e.schedule(start-4, func() {
+		gox := e.services["Mt Gox"]
+		if gox == nil {
+			return
+		}
+		if tx, ok := e.serviceWithdraw(gox, e.freshAddr(res.Wallets[0]), chain.BTC(60)); ok {
+			// A funding withdrawal is itself an interaction with Mt Gox.
+			e.tagTxInputs(tx, gox)
+		}
+	})
+
+	// Lay out every roster interaction evenly across the window.
+	type interaction struct {
+		svc *Actor
+		seq int // per-service sequence number, drives the deposit/withdraw alternation
+	}
+	var plan []interaction
+	for _, def := range Roster() {
+		svc := e.services[def.Name]
+		if svc == nil || def.ResearcherTxs == 0 {
+			continue
+		}
+		for k := 0; k < def.ResearcherTxs; k++ {
+			plan = append(plan, interaction{svc: svc, seq: k})
+		}
+	}
+	for i, it := range plan {
+		it := it
+		h := start + int64(i)*window/int64(len(plan))
+		e.schedule(h, func() { e.researcherTry(it.svc, it.seq, 4) })
+	}
+}
+
+// researcherTry attempts an interaction, retrying a few blocks later if the
+// service could not serve it (block full, temporary illiquidity).
+func (e *engine) researcherTry(svc *Actor, seq, attempts int) {
+	before := e.world.ResearcherTxCount
+	e.researcherInteract(svc, seq)
+	if e.world.ResearcherTxCount == before && attempts > 1 && !svc.dead {
+		e.schedule(e.height+3, func() { e.researcherTry(svc, seq, attempts-1) })
+	}
+}
+
+// researcherInteract performs one campaign transaction with a service.
+func (e *engine) researcherInteract(svc *Actor, seq int) {
+	res := e.researcher
+	rw := res.Wallets[0]
+	if svc.dead {
+		return
+	}
+	switch svc.Kind {
+	case KindPool:
+		// Trigger a payout: the pool pays the researcher (with other
+		// members in the same payout transaction).
+		w := svc.Wallets[0]
+		if w.Balance(e.height) < chain.BTC(2) {
+			return
+		}
+		outs := []planOut{{addr: e.freshAddr(rw), value: chain.BTC(0.1 + 0.05*float64(seq%5))}}
+		for i := 0; i < 2+e.rng.Intn(4); i++ {
+			u := e.activeUser()
+			outs = append(outs, planOut{addr: e.recvAddr(u.Wallets[0], e.cfg.AddressReuseProb), value: chain.BTC(0.2)})
+		}
+		tx, _, ok := e.send(w, outs, sendOpts{maxInputs: 16})
+		if !ok {
+			return
+		}
+		e.tagTxInputs(tx, svc)
+		e.countResearcherTx(svc)
+
+	case KindWallet, KindBankExchange, KindCasino, KindMarket:
+		if seq%2 == 0 {
+			// Deposit: learn (and tag) our account's deposit address.
+			dep := e.accountAddr(svc, res.ID)
+			if _, ok := e.pay(rw, dep, chain.BTC(0.3), false); ok {
+				e.tagOwn(dep, svc)
+				e.countResearcherTx(svc)
+			}
+		} else {
+			// Withdraw: tag the inputs of the service's payout. Services
+			// sweep small deposits into payouts, so one observed withdrawal
+			// tags many service addresses.
+			e.withdrawSmallFirst = true
+			tx, ok := e.serviceWithdraw(svc, e.freshAddr(rw), chain.BTC(1.2))
+			e.withdrawSmallFirst = false
+			if ok {
+				e.tagTxInputs(tx, svc)
+				e.countResearcherTx(svc)
+			}
+		}
+
+	case KindFixedExchange:
+		if seq%2 == 0 {
+			to := e.freshAddr(svc.Wallets[0])
+			if _, ok := e.pay(rw, to, chain.BTC(0.3), false); ok {
+				e.tagOwn(to, svc)
+				e.countResearcherTx(svc)
+			}
+		} else {
+			if tx, ok := e.serviceWithdraw(svc, e.freshAddr(rw), chain.BTC(0.2)); ok {
+				e.tagTxInputs(tx, svc)
+				e.countResearcherTx(svc)
+			}
+		}
+
+	case KindVendor:
+		// Purchase; most vendors route through a gateway, whose invoice
+		// address is what we actually observe (the paper tagged BitPay).
+		gateways := e.launchedOf(KindGateway)
+		if len(gateways) > 0 && e.rng.Float64() < 0.8 {
+			gw := gateways[e.rng.Intn(len(gateways))]
+			invoice := e.freshAddr(gw.Wallets[0])
+			if _, ok := e.pay(rw, invoice, chain.BTC(0.2), false); ok {
+				e.tagOwn(invoice, gw)
+				e.countResearcherTx(svc)
+			}
+			return
+		}
+		dep := e.accountAddr(svc, res.ID)
+		if _, ok := e.pay(rw, dep, chain.BTC(0.2), false); ok {
+			e.tagOwn(dep, svc)
+			e.countResearcherTx(svc)
+		}
+
+	case KindGateway:
+		invoice := e.freshAddr(svc.Wallets[0])
+		if _, ok := e.pay(rw, invoice, chain.BTC(0.2), false); ok {
+			e.tagOwn(invoice, svc)
+			e.countResearcherTx(svc)
+		}
+
+	case KindDice:
+		if len(svc.staticAddrs) == 0 {
+			return
+		}
+		betAddr := svc.staticAddrs[seq%len(svc.staticAddrs)]
+		tx, _, ok := e.send(rw, []planOut{{addr: betAddr, value: chain.BTC(0.1)}}, sendOpts{})
+		if !ok {
+			return
+		}
+		e.tagOwn(betAddr, svc)
+		e.countResearcherTx(svc)
+		returnTo := e.inputAddr(tx, 0)
+		if !returnTo.IsZero() {
+			svc.pendingBets = append(svc.pendingBets, bet{returnTo: returnTo, amount: chain.BTC(0.1)})
+		}
+
+	case KindMix:
+		dep := e.freshAddr(svc.Wallets[0])
+		tx, _, ok := e.send(rw, []planOut{{addr: dep, value: chain.BTC(0.4)}}, sendOpts{})
+		if !ok {
+			return
+		}
+		e.tagOwn(dep, svc)
+		e.countResearcherTx(svc)
+		switch svc.Name {
+		case "BitMix":
+			// BitMix simply stole our money.
+		case "Bitcoin Laundry":
+			// Returns our own coins, betraying an empty mixing pool.
+			e.scheduleSameCoinReturn(svc, tx, dep, e.freshAddr(rw))
+		default:
+			e.mixJobs = append(e.mixJobs, mixJob{
+				svc: svc, to: e.freshAddr(rw),
+				amount: chain.BTC(0.38), due: e.height + 4 + int64(e.rng.Intn(10)),
+			})
+		}
+
+	case KindMiscSvc:
+		// Donations and micro-services: pay a (sometimes famous static)
+		// address.
+		var to address.Address
+		if len(svc.staticAddrs) > 0 && seq == 0 {
+			to = svc.staticAddrs[0] // e.g. the public Wikileaks donation address
+		} else {
+			to = e.freshAddr(svc.Wallets[0]) // one-time addresses via IRC
+		}
+		if _, ok := e.pay(rw, to, chain.BTC(0.1), false); ok {
+			e.tagOwn(to, svc)
+			e.countResearcherTx(svc)
+		}
+	}
+}
+
+// scheduleSameCoinReturn finds the deposited outpoint and schedules its
+// exact return (Bitcoin Laundry's tell).
+func (e *engine) scheduleSameCoinReturn(svc *Actor, tx *chain.Tx, depositAddr, returnTo address.Address) {
+	txid := tx.TxID()
+	for i, o := range tx.Outputs {
+		a, err := extractAddr(o.PkScript)
+		if err != nil || a != depositAddr {
+			continue
+		}
+		e.mixJobs = append(e.mixJobs, mixJob{
+			svc: svc, to: returnTo, due: e.height + 3,
+			sameCoins: &wutxo{op: chain.OutPoint{TxID: txid, Index: uint32(i)}, value: o.Value, addr: a},
+		})
+		return
+	}
+}

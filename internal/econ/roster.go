@@ -1,0 +1,170 @@
+package econ
+
+import (
+	"time"
+
+	"repro/internal/tags"
+)
+
+// ServiceKind selects the behavioural model a service runs.
+type ServiceKind int
+
+// Service behaviour kinds.
+const (
+	KindPool ServiceKind = iota
+	KindWallet
+	KindBankExchange
+	KindFixedExchange
+	KindVendor
+	KindGateway // payment gateway (BitPay/WalletBit): receives on vendors' behalf
+	KindMarket  // Silk Road style marketplace with an internal wallet
+	KindDice    // Satoshi-Dice style: static bet addresses, payout to sender
+	KindCasino  // account-based gambling (poker etc.)
+	KindMix
+	KindInvestment
+	KindMiscSvc
+)
+
+// ServiceDef declares one roster entry: the services of Table 1 plus the
+// investment firms of Section 2.2 and Medsforbitcoin (which appears in
+// Table 2).
+type ServiceDef struct {
+	Name     string
+	Category tags.Category
+	Kind     ServiceKind
+	// Launch is the approximate real-world service launch date; the service
+	// is inactive before the corresponding simulated height.
+	Launch time.Time
+	// ResearcherTxs is how many transactions the Section 3.1 campaign
+	// performs with this service; the roster totals 344.
+	ResearcherTxs int
+	// Weight biases how often users pick this service within its kind.
+	Weight int
+}
+
+func d(y int, m time.Month) time.Time { return time.Date(y, m, 1, 0, 0, 0, 0, time.UTC) }
+
+// Roster returns the full service list. Counts: 11 pools, 10 wallets, 18
+// bank exchanges, 8 fixed-rate exchanges, 18 vendors (plus Medsforbitcoin),
+// 13 gambling sites, 9 miscellaneous services, 2 investment firms.
+// ResearcherTxs sums to exactly 344 (the paper's transaction count).
+func Roster() []ServiceDef {
+	return []ServiceDef{
+		// Mining pools (11). Researcher: mined with each, 1-25 payouts.
+		{"50 BTC", tags.CatMining, KindPool, d(2011, 5), 10, 8},
+		{"ABC Pool", tags.CatMining, KindPool, d(2011, 8), 1, 2},
+		{"Bitclockers", tags.CatMining, KindPool, d(2011, 6), 4, 3},
+		{"Bitminter", tags.CatMining, KindPool, d(2011, 6), 6, 4},
+		{"BTC Guild", tags.CatMining, KindPool, d(2011, 5), 15, 10},
+		{"Deepbit", tags.CatMining, KindPool, d(2011, 2), 20, 12},
+		{"EclipseMC", tags.CatMining, KindPool, d(2011, 7), 4, 3},
+		{"Eligius", tags.CatMining, KindPool, d(2011, 4), 6, 4},
+		{"Itzod", tags.CatMining, KindPool, d(2011, 9), 1, 2},
+		{"Ozcoin", tags.CatMining, KindPool, d(2011, 6), 4, 3},
+		{"Slush", tags.CatMining, KindPool, d(2010, 12), 25, 11},
+
+		// Wallet services (10). Researcher: multiple deposits/withdrawals.
+		{"Bitcoin Faucet", tags.CatWallet, KindWallet, d(2010, 6), 2, 2},
+		{"My Wallet", tags.CatWallet, KindWallet, d(2011, 8), 8, 10},
+		{"Coinbase", tags.CatWallet, KindWallet, d(2012, 6), 8, 8},
+		{"Easycoin", tags.CatWallet, KindWallet, d(2011, 10), 4, 3},
+		{"Easywallet", tags.CatWallet, KindWallet, d(2011, 9), 4, 3},
+		{"Flexcoin", tags.CatWallet, KindWallet, d(2011, 6), 4, 3},
+		{"Instawallet", tags.CatWallet, KindWallet, d(2011, 4), 10, 10},
+		{"Paytunia", tags.CatWallet, KindWallet, d(2011, 7), 4, 2},
+		{"Strongcoin", tags.CatWallet, KindWallet, d(2011, 5), 4, 3},
+		{"WalletBit Wallet", tags.CatWallet, KindWallet, d(2011, 6), 4, 3},
+
+		// Bank exchanges (18): real-time trading, hold balances.
+		{"Bitcoin 24", tags.CatBankExchange, KindBankExchange, d(2012, 5), 4, 6},
+		{"Bitcoin Central", tags.CatBankExchange, KindBankExchange, d(2011, 1), 4, 4},
+		{"Bitcoin.de", tags.CatBankExchange, KindBankExchange, d(2011, 8), 4, 5},
+		{"Bitcurex", tags.CatBankExchange, KindBankExchange, d(2012, 7), 2, 2},
+		{"Bitfloor", tags.CatBankExchange, KindBankExchange, d(2011, 10), 4, 4},
+		{"Bitmarket", tags.CatBankExchange, KindBankExchange, d(2011, 4), 2, 2},
+		{"Bitme", tags.CatBankExchange, KindBankExchange, d(2012, 7), 2, 2},
+		{"Bitstamp", tags.CatBankExchange, KindBankExchange, d(2011, 9), 6, 8},
+		{"BTC China", tags.CatBankExchange, KindBankExchange, d(2011, 6), 2, 3},
+		{"BTC-e", tags.CatBankExchange, KindBankExchange, d(2011, 8), 6, 8},
+		{"CampBX", tags.CatBankExchange, KindBankExchange, d(2011, 7), 4, 3},
+		{"CA VirtEx", tags.CatBankExchange, KindBankExchange, d(2011, 6), 4, 4},
+		{"ICBit", tags.CatBankExchange, KindBankExchange, d(2011, 11), 2, 2},
+		{"Mercado Bitcoin", tags.CatBankExchange, KindBankExchange, d(2011, 7), 2, 3},
+		{"Mt Gox", tags.CatBankExchange, KindBankExchange, d(2010, 7), 13, 20},
+		{"The Rock", tags.CatBankExchange, KindBankExchange, d(2011, 6), 2, 2},
+		{"Vircurex", tags.CatBankExchange, KindBankExchange, d(2011, 12), 2, 2},
+		{"Virwox", tags.CatBankExchange, KindBankExchange, d(2011, 4), 5, 4},
+
+		// Fixed-rate (non-bank) exchanges (8): one-time conversions.
+		{"Aurum Xchange", tags.CatFixedExchange, KindFixedExchange, d(2011, 8), 2, 2},
+		{"BitInstant", tags.CatFixedExchange, KindFixedExchange, d(2011, 9), 2, 5},
+		{"Bitcoin Nordic", tags.CatFixedExchange, KindFixedExchange, d(2011, 10), 2, 2},
+		{"BTC Quick", tags.CatFixedExchange, KindFixedExchange, d(2012, 4), 2, 2},
+		{"FastCash4Bitcoins", tags.CatFixedExchange, KindFixedExchange, d(2011, 11), 2, 2},
+		{"Lilion Transfer", tags.CatFixedExchange, KindFixedExchange, d(2012, 8), 2, 1},
+		{"Nanaimo Gold", tags.CatFixedExchange, KindFixedExchange, d(2011, 7), 2, 2},
+		{"OKPay", tags.CatFixedExchange, KindFixedExchange, d(2012, 3), 2, 3},
+
+		// Vendors (18 from Table 1 + Medsforbitcoin from Table 2). Most use
+		// the BitPay gateway; WalletBit also acts as a gateway.
+		{"ABU Games", tags.CatVendor, KindVendor, d(2012, 3), 2, 2},
+		{"Bitbrew", tags.CatVendor, KindVendor, d(2012, 1), 2, 1},
+		{"Bitdomain", tags.CatVendor, KindVendor, d(2011, 9), 2, 1},
+		{"Bitmit", tags.CatVendor, KindVendor, d(2011, 10), 2, 2},
+		{"Bitpay", tags.CatVendor, KindGateway, d(2011, 7), 2, 10},
+		{"Bit Usenet", tags.CatVendor, KindVendor, d(2012, 2), 2, 1},
+		{"BTC Buy", tags.CatVendor, KindVendor, d(2011, 12), 2, 1},
+		{"BTC Gadgets", tags.CatVendor, KindVendor, d(2012, 4), 2, 1},
+		{"Casascius", tags.CatVendor, KindVendor, d(2011, 9), 2, 3},
+		{"Coinabul", tags.CatVendor, KindVendor, d(2011, 10), 2, 3},
+		{"CoinDL", tags.CatVendor, KindVendor, d(2012, 1), 2, 1},
+		{"Etsy", tags.CatVendor, KindVendor, d(2012, 6), 2, 2},
+		{"HealthRX", tags.CatVendor, KindVendor, d(2012, 5), 2, 1},
+		{"JJ Games", tags.CatVendor, KindVendor, d(2012, 2), 2, 1},
+		{"NZBs R Us", tags.CatVendor, KindVendor, d(2011, 11), 2, 1},
+		{"Silk Road", tags.CatVendor, KindMarket, d(2011, 2), 2, 12},
+		{"WalletBit", tags.CatVendor, KindGateway, d(2011, 6), 2, 4},
+		{"Yoku", tags.CatVendor, KindVendor, d(2012, 5), 2, 1},
+		{"Medsforbitcoin", tags.CatVendor, KindVendor, d(2011, 12), 0, 2},
+
+		// Gambling (13): Satoshi Dice-style games and account casinos.
+		{"Bit Elfin", tags.CatGambling, KindDice, d(2012, 7), 2, 2},
+		{"Bitcoin 24/7", tags.CatGambling, KindCasino, d(2011, 12), 4, 2},
+		{"Bitcoin Darts", tags.CatGambling, KindCasino, d(2012, 2), 4, 2},
+		{"Bitcoin Kamikaze", tags.CatGambling, KindDice, d(2012, 6), 2, 2},
+		{"Bitcoin Minefield", tags.CatGambling, KindDice, d(2012, 5), 2, 2},
+		{"BitZino", tags.CatGambling, KindCasino, d(2012, 7), 4, 3},
+		{"BTC Griffin", tags.CatGambling, KindDice, d(2012, 9), 2, 1},
+		{"BTC Lucky", tags.CatGambling, KindDice, d(2012, 8), 2, 1},
+		{"BTC on Tilt", tags.CatGambling, KindCasino, d(2012, 6), 4, 1},
+		{"Clone Dice", tags.CatGambling, KindDice, d(2012, 8), 2, 2},
+		{"Gold Game Land", tags.CatGambling, KindCasino, d(2012, 4), 4, 1},
+		{"Satoshi Dice", tags.CatGambling, KindDice, d(2012, 4), 14, 20},
+		{"Seals with Clubs", tags.CatGambling, KindCasino, d(2011, 8), 6, 3},
+
+		// Miscellaneous (9): mixes, ad services, forwarding, Wikileaks.
+		{"Bit Visitor", tags.CatMisc, KindMiscSvc, d(2011, 11), 2, 2},
+		{"Bitcoin Advertisers", tags.CatMisc, KindMiscSvc, d(2012, 1), 2, 1},
+		{"Bitcoin Laundry", tags.CatMix, KindMix, d(2011, 12), 4, 2},
+		{"Bitfog", tags.CatMix, KindMix, d(2012, 6), 3, 2},
+		{"Bitlaundry", tags.CatMix, KindMix, d(2011, 9), 3, 2},
+		{"BitMix", tags.CatMix, KindMix, d(2012, 3), 2, 1},
+		{"CoinAd", tags.CatMisc, KindMiscSvc, d(2012, 2), 1, 1},
+		{"Coinapult", tags.CatMisc, KindMiscSvc, d(2012, 4), 2, 2},
+		{"Wikileaks", tags.CatMisc, KindMiscSvc, d(2011, 6), 3, 2},
+
+		// Investment firms (Section 2.2): dead before the study's own
+		// transactions, so ResearcherTxs is zero; tagged via public sources.
+		{"Bitcoinica", tags.CatInvestment, KindInvestment, d(2011, 9), 0, 4},
+		{"Bitcoin Savings & Trust", tags.CatInvestment, KindInvestment, d(2011, 11), 0, 6},
+	}
+}
+
+// RosterResearcherTotal sums the planned Section 3.1 transaction count.
+func RosterResearcherTotal() int {
+	total := 0
+	for _, s := range Roster() {
+		total += s.ResearcherTxs
+	}
+	return total
+}

@@ -1,0 +1,831 @@
+package econ
+
+import (
+	"repro/internal/address"
+	"repro/internal/chain"
+	"repro/internal/script"
+	"repro/internal/tags"
+)
+
+// This file scripts the Section 5 case studies: the Silk Road hot wallet's
+// accumulation and dissolution (Table 2) and the seven thefts (Table 3).
+// The scripts preserve the paper's flow *shapes* — amounts are scaled by
+// World.CaseScale (simulated supply / real 2013 supply of ~11M BTC).
+
+const realSupply2013BTC = 11_000_000
+
+// debugDissolve prints hot-wallet accounting at dissolution time.
+const debugDissolve = false
+
+// projectedSupply computes the coins that will have been minted by the end
+// of the run, so case-study amounts can be scaled before generation starts.
+func (e *engine) projectedSupply() chain.Amount {
+	var total chain.Amount
+	for h := int64(0); h < e.cfg.Blocks; h++ {
+		total += e.params.SubsidyAt(h)
+	}
+	return total
+}
+
+// scaleBTC converts a paper-reported BTC amount into its simulated analogue.
+func (e *engine) scaleBTC(paperBTC float64) chain.Amount {
+	return chain.Amount(paperBTC * e.world.CaseScale * float64(chain.Coin))
+}
+
+// knownPeel describes one Table 2 row entry: a scripted peel to a known
+// service on one of the three dissolution chains.
+type knownPeel struct {
+	service  string
+	peels    int
+	totalBTC float64
+}
+
+// table2Chains transcribes Table 2: per chain, the services peeled to, how
+// many peels, and the total BTC (at paper scale). 54 of the 300 hops peel
+// to exchanges.
+var table2Chains = [3][]knownPeel{
+	{ // first chain (50,000 BTC)
+		{"Bitcoin 24", 1, 2}, {"Bitcoin Central", 2, 2}, {"Bitstamp", 5, 97},
+		{"CA VirtEx", 1, 3}, {"Mt Gox", 11, 492}, {"OKPay", 2, 151},
+		{"Instawallet", 7, 39}, {"WalletBit Wallet", 1, 1}, {"BitZino", 2, 1},
+		{"Silk Road", 4, 28},
+	},
+	{ // second chain (50,000 BTC)
+		{"Bitcoin.de", 1, 4}, {"Bitmarket", 1, 1}, {"Bitstamp", 1, 1},
+		{"BTC-e", 1, 250}, {"CA VirtEx", 1, 10}, {"Mt Gox", 14, 70},
+		{"OKPay", 1, 125}, {"Instawallet", 5, 135}, {"Seals with Clubs", 1, 8},
+		{"Coinabul", 1, 29}, {"Medsforbitcoin", 3, 10}, {"Silk Road", 5, 102},
+	},
+	{ // third chain (58,336 BTC)
+		{"Bitcoin 24", 3, 124}, {"CA VirtEx", 3, 22}, {"Mercado Bitcoin", 1, 9},
+		{"Mt Gox", 5, 35}, {"Instawallet", 2, 43},
+	},
+}
+
+// dissolutionWithdrawals are the seven withdrawals that emptied the hot
+// address, at paper scale (the last one feeds the three peeling chains).
+var dissolutionWithdrawals = []float64{20000, 19000, 60000, 100000, 100000, 150000, 158336}
+
+// setupSilkRoad schedules the hot-wallet lifecycle.
+func (e *engine) setupSilkRoad() {
+	sr := e.services["Silk Road"]
+	if sr == nil {
+		return
+	}
+	hotStart := e.heightOf(2012, 1, 10)
+	dissolveAt := e.heightOf(2012, 8, 20)
+	peelStart := dissolveAt + 4
+
+	e.schedule(hotStart, func() {
+		hot := e.freshAddr(sr.Wallets[0])
+		e.srHotPinned = hot
+		e.world.Dissolution = &Dissolution{HotAddr: hot}
+	})
+
+	// During the accumulation window, sweep every Silk Road sub-wallet's
+	// deposits into the pinned hot address ("the funds of 128 addresses
+	// were combined to deposit 10,000 BTC ... many transactions of this
+	// type followed").
+	for h := hotStart + 5; h < dissolveAt; h += 12 {
+		e.schedule(h, func() {
+			for wi, w := range sr.Wallets {
+				min := 8
+				if wi == 0 {
+					min = 2 // the vault always consolidates onto the hot address
+				}
+				if len(w.utxos) >= min {
+					e.sweep(w, e.srHotPinned, 128)
+				}
+			}
+		})
+	}
+
+	// Whale escrow: the market's heaviest customers (the early-mining
+	// founders) park large balances during the window, which is what lets
+	// the hot address reach its ~5%-of-supply peak.
+	nWhale := 8
+	for i := 0; i < nWhale; i++ {
+		i := i
+		h := hotStart + int64(i+1)*(dissolveAt-hotStart)/int64(nWhale+1)
+		e.schedule(h, func() {
+			f := e.users[i%founders]
+			fw := f.Wallets[0]
+			bal := fw.Balance(e.height)
+			if bal < chain.BTC(10) {
+				return
+			}
+			e.payBig(fw, e.accountAddr(sr, f.ID), bal*6/10)
+		})
+	}
+
+	e.schedule(dissolveAt-2, func() {
+		for _, w := range sr.Wallets {
+			if len(w.utxos) >= 2 {
+				e.sweep(w, e.srHotPinned, 128)
+			}
+		}
+	})
+	// Resolve the peel targets early and warm any that are not yet busy, so
+	// every hop of the chains is classifiable by the refined heuristic.
+	e.schedule(dissolveAt-6, func() {
+		for ci := 0; ci < 3; ci++ {
+			e.dissolutionTargets[ci] = e.buildDissolutionTargets(ci, e.scaleBTC(dissolutionWithdrawals[6]/3))
+			e.warmTargets(sr.Wallets[1], e.dissolutionTargets[ci])
+		}
+	})
+	e.schedule(dissolveAt, func() { e.dissolveHotWallet(sr) })
+	e.schedule(peelStart, func() { e.startDissolutionChains(sr) })
+	// After the dissolution the hot address is retired: the marketplace
+	// reverts to routine wallet behaviour (Figure 2's vendor share falls
+	// back once the scripted accumulation ends).
+	e.schedule(peelStart+2, func() { e.srHotPinned = address.Address{} })
+}
+
+// dissolveHotWallet empties the hot address following the paper's schedule:
+// six withdrawals to new storage, then the final amount parked in a single
+// address awaiting the peeling chains.
+func (e *engine) dissolveHotWallet(sr *Actor) {
+	d := e.world.Dissolution
+	if d == nil {
+		return
+	}
+	w := sr.Wallets[0]
+	// Consolidate everything sitting on the hot address into one UTXO.
+	var hotU wutxo
+	var total chain.Amount
+	var hotUtxos []wutxo
+	rest := w.utxos[:0]
+	for i, u := range w.utxos {
+		if u.addr == d.HotAddr && u.matureAt <= e.height {
+			hotUtxos = append(hotUtxos, u)
+			total += u.value
+			continue
+		}
+		rest = append(rest, w.utxos[i])
+	}
+	w.utxos = rest
+	if debugDissolve {
+		var wbal [8]chain.Amount
+		for wi, ww := range sr.Wallets {
+			for _, u := range ww.utxos {
+				wbal[wi] += u.value
+			}
+		}
+		println("DISSOLVE height", e.height, "hotUtxos", len(hotUtxos), "total", int64(total/chain.Coin),
+			"w0bal", int64(wbal[0]/chain.Coin), "w1bal", int64(wbal[1]/chain.Coin), "w2bal", int64(wbal[2]/chain.Coin))
+	}
+	if len(hotUtxos) == 0 {
+		return
+	}
+	if len(hotUtxos) == 1 {
+		hotU = hotUtxos[0]
+	} else {
+		// One aggregate transaction spending all hot UTXOs.
+		tx := &chain.Tx{Version: 1}
+		for _, u := range hotUtxos {
+			tx.Inputs = append(tx.Inputs, chain.TxIn{Prev: u.op, Sequence: ^uint32(0)})
+		}
+		agg := e.freshAddr(w)
+		tx.Outputs = []chain.TxOut{{Value: total - e.cfg.FeePerTx, PkScript: script.PayToAddr(agg)}}
+		for i, u := range hotUtxos {
+			k := e.keyOf[u.addr]
+			e.claim(u.op, "dissolveAggregate")
+			sig := k.Sign(chain.SigHash(tx, i))
+			tx.Inputs[i].SigScript = script.SigScript(sig, k.PubKey())
+		}
+		e.pending = append(e.pending, tx)
+		e.pendingFees += e.cfg.FeePerTx
+		e.world.TxsGenerated++
+		hotU = wutxo{op: chain.OutPoint{TxID: tx.TxID(), Index: 0}, value: total - e.cfg.FeePerTx, addr: agg}
+	}
+
+	// Trim the hot balance to the configured share of minted supply (the
+	// paper's "5% of all generated bitcoins"); any excess becomes operating
+	// float in a sub-wallet.
+	if minted := e.chain.CoinsCreated(); minted > 0 && e.cfg.HotWalletShare > 0 {
+		target := chain.Amount(float64(minted) * e.cfg.HotWalletShare)
+		if hotU.value > target+chain.BTC(1) && len(sr.Wallets) > 1 {
+			excess := hotU.value - target
+			opAddr := e.freshAddr(sr.Wallets[1])
+			if _, changeOut, ok := e.sendFromUTXO(hotU, w, []planOut{{addr: opAddr, value: excess}}); ok {
+				hotU = changeOut
+			}
+		}
+	}
+	total = hotU.value
+	d.TotalReceived = total
+	if minted := e.chain.CoinsCreated(); minted > 0 {
+		d.SupplyShare = float64(total) / float64(minted)
+	}
+
+	// Withdrawals proportional to the paper's schedule.
+	var paperTotal float64
+	for _, v := range dissolutionWithdrawals {
+		paperTotal += v
+	}
+	cur := hotU
+	for i, v := range dissolutionWithdrawals {
+		amount := chain.Amount(float64(total) * v / paperTotal)
+		last := i == len(dissolutionWithdrawals)-1
+		if last {
+			// Park the final amount (everything left) in a single address.
+			// moveUTXO credits the wallet; reclaim the UTXO so the peeling
+			// chains (not routine wallet activity) spend it.
+			amount = cur.value - e.cfg.FeePerTx
+			finalAddr := e.freshAddr(w)
+			tx := e.moveUTXO(cur, finalAddr, amount)
+			if tx == nil {
+				return
+			}
+			d.Withdrawals = append(d.Withdrawals, amount)
+			e.srFinal = wutxo{op: chain.OutPoint{TxID: tx.TxID(), Index: 0}, value: amount, addr: finalAddr}
+			e.removeWalletUTXO(w, e.srFinal.op)
+			return
+		}
+		dest := e.sinkAddr(w) // new cold storage, never moves again
+		tx, changeOut, ok := e.sendFromUTXO(cur, w, []planOut{{addr: dest, value: amount}})
+		if !ok || tx == nil {
+			return
+		}
+		d.Withdrawals = append(d.Withdrawals, amount)
+		cur = changeOut
+	}
+}
+
+// removeWalletUTXO deletes an outpoint from a wallet's tracked set, for
+// scripted flows that take custody of an output themselves.
+func (e *engine) removeWalletUTXO(w *Wallet, op chain.OutPoint) {
+	for i, u := range w.utxos {
+		if u.op == op {
+			w.utxos = append(w.utxos[:i], w.utxos[i+1:]...)
+			return
+		}
+	}
+}
+
+// moveUTXO spends a UTXO entirely into a single output (no change).
+func (e *engine) moveUTXO(u wutxo, to address.Address, amount chain.Amount) *chain.Tx {
+	if amount > u.value-e.cfg.FeePerTx {
+		amount = u.value - e.cfg.FeePerTx
+	}
+	if amount <= 0 {
+		return nil
+	}
+	tx := &chain.Tx{
+		Version: 1,
+		Inputs:  []chain.TxIn{{Prev: u.op, Sequence: ^uint32(0)}},
+		Outputs: []chain.TxOut{{Value: amount, PkScript: script.PayToAddr(to)}},
+	}
+	k := e.keyOf[u.addr]
+	e.claim(u.op, "moveUTXO")
+	sig := k.Sign(chain.SigHash(tx, 0))
+	tx.Inputs[0].SigScript = script.SigScript(sig, k.PubKey())
+	txid := tx.TxID()
+	e.noteReceive(to)
+	if rw, ok := e.walletOf[to]; ok {
+		rw.utxos = append(rw.utxos, wutxo{op: chain.OutPoint{TxID: txid, Index: 0}, value: amount, addr: to})
+	}
+	e.pending = append(e.pending, tx)
+	e.pendingFees += u.value - amount
+	e.world.TxsGenerated++
+	return tx
+}
+
+// startDissolutionChains splits the parked final amount 50k/50k/58,336
+// (scaled) and launches the three 100-hop peeling chains of Table 2.
+func (e *engine) startDissolutionChains(sr *Actor) {
+	d := e.world.Dissolution
+	if d == nil || e.srFinal.value == 0 {
+		return
+	}
+	w := sr.Wallets[0]
+	u := e.srFinal
+	// Split proportions from the paper: 50,000 / 50,000 / 58,336.
+	shares := []float64{50000, 50000, 58336}
+	var shareTotal float64
+	for _, s := range shares {
+		shareTotal += s
+	}
+	tx := &chain.Tx{Version: 1, Inputs: []chain.TxIn{{Prev: u.op, Sequence: ^uint32(0)}}}
+	var heads [3]wutxo
+	remaining := u.value - e.cfg.FeePerTx
+	for i, s := range shares {
+		amount := chain.Amount(float64(u.value) * s / shareTotal)
+		if i == len(shares)-1 {
+			amount = remaining
+		}
+		remaining -= amount
+		headAddr := e.freshAddr(w)
+		tx.Outputs = append(tx.Outputs, chain.TxOut{Value: amount, PkScript: script.PayToAddr(headAddr)})
+		heads[i] = wutxo{value: amount, addr: headAddr}
+	}
+	k := e.keyOf[u.addr]
+	e.claim(u.op, "dissolutionSplit")
+	sig := k.Sign(chain.SigHash(tx, 0))
+	tx.Inputs[0].SigScript = script.SigScript(sig, k.PubKey())
+	txid := tx.TxID()
+	for i := range heads {
+		heads[i].op = chain.OutPoint{TxID: txid, Index: uint32(i)}
+		d.ChainStarts[i] = heads[i].op
+	}
+	e.pending = append(e.pending, tx)
+	e.pendingFees += e.cfg.FeePerTx
+	e.world.TxsGenerated++
+	d.FinalTx = txid
+
+	for ci := 0; ci < 3; ci++ {
+		targets := e.dissolutionTargets[ci]
+		if len(targets) == 0 {
+			targets = e.buildDissolutionTargets(ci, heads[ci].value)
+		}
+		e.startPeel(w, heads[ci], targets, 4, nil)
+	}
+}
+
+// buildDissolutionTargets lays out one chain's peel schedule: the Table 2
+// known-service peels at deterministic hops, unknown user peels elsewhere.
+func (e *engine) buildDissolutionTargets(chainIdx int, startValue chain.Amount) []peelTarget {
+	hops := e.cfg.PeelHops
+	targets := make([]peelTarget, hops)
+	d := e.world.Dissolution
+
+	// Expand the known peels into individual (service, amount) entries.
+	type entry struct {
+		service string
+		amount  chain.Amount
+	}
+	var known []entry
+	for _, kp := range table2Chains[chainIdx] {
+		per := e.scaleBTC(kp.totalBTC / float64(kp.peels))
+		if per < dustLimit*4 {
+			per = dustLimit * 4
+		}
+		for i := 0; i < kp.peels; i++ {
+			known = append(known, entry{service: kp.service, amount: per})
+		}
+	}
+	// Place known peels at evenly spread hops.
+	positions := make(map[int]entry, len(known))
+	for i, en := range known {
+		hop := (i*hops)/len(known) + 1
+		if hop > hops {
+			hop = hops
+		}
+		for positions[hop-1] != (entry{}) && hop < hops {
+			hop++
+		}
+		positions[hop-1] = en
+	}
+
+	// Budget for unknown peels: keep the chain solvent over all hops.
+	var knownTotal chain.Amount
+	for _, en := range known {
+		knownTotal += en.amount
+	}
+	unknownBudget := startValue/4 - knownTotal
+	unknownCount := hops - len(known)
+	var unknownPer chain.Amount
+	if unknownCount > 0 && unknownBudget > 0 {
+		unknownPer = unknownBudget / chain.Amount(unknownCount)
+	}
+	if unknownPer < dustLimit*4 {
+		unknownPer = dustLimit * 4
+	}
+
+	for hop := 0; hop < hops; hop++ {
+		if en, ok := positions[hop]; ok {
+			svc := e.services[en.service]
+			var to address.Address
+			if svc != nil {
+				to = e.seenAccountAddr(svc)
+			} else {
+				to = e.seenUserAddr()
+			}
+			targets[hop] = peelTarget{addr: to, amount: en.amount}
+			d.Planned = append(d.Planned, PlannedPeel{
+				Chain: chainIdx, Hop: hop + 1, Service: en.service, Amount: en.amount,
+			})
+			continue
+		}
+		// Unknown recipient: a previously seen user address, with jitter.
+		jitter := chain.Amount(e.rng.Int63n(int64(unknownPer)/2 + 1))
+		targets[hop] = peelTarget{addr: e.seenUserAddr(), amount: unknownPer/2 + jitter}
+	}
+	return targets
+}
+
+// warmTargets sends two tiny payments to any peel target that has fewer
+// than two receives, making the later peel transaction pass the
+// received-once guard (as real, well-used service deposit addresses would).
+func (e *engine) warmTargets(w *Wallet, targets []peelTarget) {
+	for _, t := range targets {
+		for tries := 0; e.recvCount[t.addr] < 2 && tries < 3; tries++ {
+			src := w
+			if src.Balance(e.height) < chain.BTC(1) {
+				src = w.owner.richestWallet(e.height)
+			}
+			if _, ok := e.pay(src, t.addr, chain.BTC(0.02), false); !ok {
+				break
+			}
+		}
+	}
+}
+
+// seenUserAddr returns a busy (>= 2 receives) user address, so peel hops
+// stay unambiguous for the change classifier and clear its received-once
+// guard.
+func (e *engine) seenUserAddr() address.Address {
+	if n := len(e.busyUserAddrs); n > 0 {
+		for try := 0; try < 16; try++ {
+			a := e.busyUserAddrs[e.rng.Intn(n)]
+			if !e.selfChangeUsed[a] {
+				return a
+			}
+		}
+	}
+	u := e.activeUser()
+	return e.recvAddr(u.Wallets[0], 1.0)
+}
+
+// ---------------------------------------------------------------------------
+// Thefts (Table 3).
+
+// theftPlan scripts one Table 3 row.
+type theftPlan struct {
+	name     string
+	victim   string // roster service; empty means "users" (the trojan)
+	paperBTC float64
+	year     int
+	month    int
+	movement string // in order: A aggregation, P peeling, S split, F folding
+	// exchangePeels: (hopIndex, exchange, paperBTC) executed during the
+	// first P step (or the post-aggregation P for Bitfloor).
+	exchangePeels []exPeel
+	// delayMove postpones the laundering (Betcoin's thief sat on the coins
+	// until March 2013).
+	delayMoveUntil [2]int // year, month; zero means move immediately
+	// unmovedFraction of the loot never moves (the trojan thief).
+	unmovedFraction float64
+}
+
+type exPeel struct {
+	hop      int
+	exchange string
+	paperBTC float64
+}
+
+func theftPlans() []theftPlan {
+	return []theftPlan{
+		{name: "MyBitcoin", victim: "MyBitcoin", paperBTC: 4019, year: 2011, month: 6,
+			movement:      "A/P/S",
+			exchangePeels: []exPeel{{4, "Mt Gox", 160}, {9, "BTC-e", 95}}},
+		{name: "Linode", victim: "Bitcoinica", paperBTC: 46648, year: 2012, month: 3,
+			movement:      "A/P/F",
+			exchangePeels: []exPeel{{3, "Mt Gox", 740}, {8, "Bitstamp", 310}, {14, "Mt Gox", 410}}},
+		{name: "Betcoin", victim: "Betcoin", paperBTC: 3171, year: 2012, month: 3,
+			movement: "F/A/P", delayMoveUntil: [2]int{2013, 3},
+			exchangePeels: []exPeel{{10, "Bitcoin 24", 86}, {20, "Mt Gox", 155}, {27, "Mt Gox", 133}}},
+		{name: "Bitcoinica (May)", victim: "Bitcoinica", paperBTC: 18547, year: 2012, month: 5,
+			movement:      "P/A",
+			exchangePeels: []exPeel{{5, "Mt Gox", 260}, {11, "BTC-e", 180}}},
+		{name: "Bitcoinica (Jul)", victim: "Bitcoinica", paperBTC: 40000, year: 2012, month: 7,
+			movement:      "P/A/S",
+			exchangePeels: []exPeel{{6, "Mt Gox", 420}, {13, "Bitstamp", 250}}},
+		{name: "Bitfloor", victim: "Bitfloor", paperBTC: 24078, year: 2012, month: 9,
+			movement:      "P/A/P",
+			exchangePeels: []exPeel{{3, "Mt Gox", 191}, {9, "BTC-e", 240}, {15, "Bitstamp", 230}}},
+		{name: "Trojan", victim: "", paperBTC: 3257, year: 2012, month: 10,
+			movement: "F/A", unmovedFraction: 0.877},
+	}
+}
+
+// setupThefts creates thief actors and schedules each theft.
+func (e *engine) setupThefts() {
+	for _, plan := range theftPlans() {
+		plan := plan
+		thief := e.newActor("thief:"+plan.name, tags.CatThief, KindThief, 0, 1)
+		rec := &Theft{
+			Name:     plan.name,
+			Victim:   plan.victim,
+			PaperBTC: plan.paperBTC,
+			Movement: plan.movement,
+			ThiefID:  thief.ID,
+		}
+		e.world.Thefts = append(e.world.Thefts, rec)
+		h := e.heightOf(plan.year, plan.month, 15)
+		rec.Height = h
+
+		// Whale deposits shore up the victim's balance beforehand.
+		if plan.victim != "" {
+			e.schedule(h-20, func() {
+				victim := e.services[plan.victim]
+				if victim == nil {
+					return
+				}
+				need := e.scaleBTC(plan.paperBTC) * 13 / 10
+				for i := 0; i < founders && victim.Balance(e.height) < need; i++ {
+					f := e.users[i]
+					fw := f.Wallets[0]
+					avail := fw.Balance(e.height)
+					if avail < chain.BTC(1) {
+						continue
+					}
+					amt := avail / 2
+					if amt > need {
+						amt = need
+					}
+					e.payBig(fw, e.accountAddr(victim, f.ID), amt)
+				}
+			})
+			// Give the victim a chance to sweep the deposits into its
+			// wallets before the theft.
+		}
+		e.schedule(h, func() { e.executeTheft(plan, rec, thief) })
+	}
+}
+
+// executeTheft performs the initial breach: victim funds move to several
+// fresh thief addresses, then the movement steps are scheduled.
+func (e *engine) executeTheft(plan theftPlan, rec *Theft, thief *Actor) {
+	tw := thief.Wallets[0]
+	if plan.victim == "" {
+		// Trojan: siphon many users' wallets directly. The dormant share
+		// lands on addresses the thief never touches again ("most of the
+		// stolen money did not in fact move at all").
+		var stolen chain.Amount
+		want := e.scaleBTC(plan.paperBTC)
+		dormantTarget := chain.Amount(float64(want) * plan.unmovedFraction)
+		var dormant chain.Amount
+		for i := 0; i < 120 && stolen < want; i++ {
+			u := e.activeUser()
+			uw := u.Wallets[0]
+			bal := uw.Balance(e.height)
+			if bal < chain.BTC(0.2) {
+				continue
+			}
+			amt := bal - e.cfg.FeePerTx - dustLimit
+			// A trojan drains many modest wallets, not one whale.
+			if cap := want / 14; amt > cap {
+				amt = cap
+			}
+			if amt > want-stolen {
+				amt = want - stolen
+			}
+			to := e.freshAddr(tw)
+			if dormant < dormantTarget {
+				to = e.sinkAddr(tw)
+			}
+			if tx, ok := e.pay(uw, to, amt, false); ok {
+				rec.TheftTxs = append(rec.TheftTxs, tx.TxID())
+				rec.TheftOutputs = append(rec.TheftOutputs, outpointsTo(tx, to)...)
+				stolen += amt
+				if dormant < dormantTarget {
+					dormant += amt
+				}
+			}
+		}
+		rec.Amount = stolen
+		rec.Unmoved = dormant
+	} else {
+		victim := e.services[plan.victim]
+		if victim == nil {
+			return
+		}
+		want := e.scaleBTC(plan.paperBTC)
+		var stolen chain.Amount
+		for _, vw := range victim.Wallets {
+			if stolen >= want {
+				break
+			}
+			avail := vw.Balance(e.height)
+			if avail < chain.BTC(0.5) {
+				continue
+			}
+			amt := avail * 9 / 10
+			if amt > want-stolen {
+				amt = want - stolen
+			}
+			// The loot lands spread over several fresh thief addresses,
+			// which is what makes the subsequent folding and aggregation
+			// steps visible.
+			shares := []int{25, 20, 18, 15, 12}
+			var outs []planOut
+			rest := amt
+			for _, sh := range shares {
+				v := amt * chain.Amount(sh) / 100
+				outs = append(outs, planOut{addr: e.freshAddr(tw), value: v})
+				rest -= v
+			}
+			outs = append(outs, planOut{addr: e.freshAddr(tw), value: rest})
+			tx, _, ok := e.send(vw, outs, sendOpts{maxInputs: 48, noChange: false})
+			if ok {
+				rec.TheftTxs = append(rec.TheftTxs, tx.TxID())
+				for _, o := range outs {
+					rec.TheftOutputs = append(rec.TheftOutputs, outpointsTo(tx, o.addr)...)
+				}
+				stolen += amt
+			}
+		}
+		rec.Amount = stolen
+		if plan.victim == "Bitcoinica" && plan.month == 7 {
+			victim.dead = true // Bitcoinica shut down after the July theft
+		}
+		if plan.victim == "MyBitcoin" || plan.victim == "Betcoin" {
+			victim.dead = true
+		}
+	}
+	if rec.Amount == 0 {
+		return
+	}
+
+	moveAt := e.height + 6
+	if plan.delayMoveUntil[0] != 0 {
+		moveAt = e.heightOf(plan.delayMoveUntil[0], plan.delayMoveUntil[1], 15)
+	}
+	e.scheduleMovement(plan, rec, thief, moveAt)
+}
+
+// scheduleMovement executes the movement string step by step with gaps. The
+// scripted exchange peels run on the final peeling stage (matching Bitfloor,
+// where exchanges were reached only on the post-aggregation chains).
+func (e *engine) scheduleMovement(plan theftPlan, rec *Theft, thief *Actor, startAt int64) {
+	tw := thief.Wallets[0]
+	lastPeel := -1
+	for i := 0; i < len(plan.movement); i += 2 {
+		if plan.movement[i] == 'P' {
+			lastPeel = i
+		}
+	}
+	h := startAt
+	fundedFold := false
+	for i := 0; i < len(plan.movement); i += 2 {
+		step := plan.movement[i]
+		h += int64(4 + e.rng.Intn(8))
+		if step == 'F' && !fundedFold {
+			// Folding needs clean coins; the thief buys a little from an
+			// exchange (twice) just before mixing them in.
+			fundedFold = true
+			fundAt := h - 2
+			e.schedule(fundAt, func() {
+				ex := e.pickWeighted(e.launchedOf(KindBankExchange), e.svcWeights)
+				if ex != nil {
+					e.serviceWithdraw(ex, e.freshAddr(tw), e.scaleBTC(plan.paperBTC/40)+chain.BTC(2))
+					e.serviceWithdraw(ex, e.freshAddr(tw), chain.BTC(1.5))
+				}
+			})
+		}
+		switch step {
+		case 'F':
+			// Folding: part of the loot aggregated together with the clean
+			// coins; later steps consume the rest.
+			e.schedule(h, func() {
+				e.sweep(tw, e.freshAddr(tw), 5)
+			})
+		case 'A':
+			e.schedule(h, func() {
+				e.sweep(tw, e.freshAddr(tw), 64)
+			})
+		case 'S':
+			e.schedule(h, func() { e.splitLargest(tw, 3) })
+		case 'P':
+			var peels []exPeel
+			if i == lastPeel {
+				peels = plan.exchangePeels
+			}
+			// Resolve and warm the exchange deposit targets a few blocks
+			// ahead so the peel transactions stay classifiable.
+			warmAt := h - 4
+			var resolved []peelTarget
+			e.schedule(warmAt, func() {
+				resolved = e.resolveTheftTargets(peels)
+				e.warmTargets(tw, resolved)
+			})
+			e.schedule(h, func() { e.theftPeel(rec, tw, peels, resolved) })
+			h += 16 // let the chain run before the next step
+		}
+	}
+}
+
+// splitLargest splits the wallet's largest UTXO into n fresh addresses.
+func (e *engine) splitLargest(w *Wallet, n int) {
+	best := -1
+	for i, u := range w.utxos {
+		if u.matureAt <= e.height && (best < 0 || u.value > w.utxos[best].value) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return
+	}
+	u := w.utxos[best]
+	w.utxos = append(w.utxos[:best], w.utxos[best+1:]...)
+	share := (u.value - e.cfg.FeePerTx) / chain.Amount(n)
+	var outs []planOut
+	for i := 0; i < n-1; i++ {
+		outs = append(outs, planOut{addr: e.freshAddr(w), value: share})
+	}
+	tx, changeOut, ok := e.sendFromUTXO(u, w, outs)
+	if !ok || tx == nil {
+		w.utxos = append(w.utxos, u)
+		return
+	}
+	w.utxos = append(w.utxos, changeOut)
+}
+
+// outpointsTo returns the outpoints of tx paying the given address.
+func outpointsTo(tx *chain.Tx, to address.Address) []chain.OutPoint {
+	var out []chain.OutPoint
+	txid := tx.TxID()
+	for i, o := range tx.Outputs {
+		a, err := extractAddr(o.PkScript)
+		if err == nil && a == to {
+			out = append(out, chain.OutPoint{TxID: txid, Index: uint32(i)})
+		}
+	}
+	return out
+}
+
+// resolveTheftTargets picks the busy exchange deposit addresses the
+// scripted peels will pay.
+func (e *engine) resolveTheftTargets(exPeels []exPeel) []peelTarget {
+	out := make([]peelTarget, len(exPeels))
+	for i, p := range exPeels {
+		svc := e.services[p.exchange]
+		var to address.Address
+		if svc != nil {
+			to = e.seenAccountAddr(svc)
+		} else {
+			to = e.seenUserAddr()
+		}
+		out[i] = peelTarget{addr: to, amount: e.scaleBTC(p.paperBTC)}
+	}
+	return out
+}
+
+// theftPeel launches a peeling chain from the thief's largest UTXO, with
+// the scripted exchange peels at their planned hops (resolved holds their
+// pre-warmed destination addresses). The peel fraction keeps most value
+// moving down the chain, as in the real thefts.
+func (e *engine) theftPeel(rec *Theft, w *Wallet, exPeels []exPeel, resolved []peelTarget) {
+	best := -1
+	for i, u := range w.utxos {
+		if u.matureAt <= e.height && (best < 0 || u.value > w.utxos[best].value) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return
+	}
+	u := w.utxos[best]
+	w.utxos = append(w.utxos[:best], w.utxos[best+1:]...)
+
+	hops := 24
+	for _, p := range exPeels {
+		if p.hop > hops {
+			hops = p.hop + 3
+		}
+	}
+	byHop := make(map[int]exPeel, len(exPeels))
+	for _, p := range exPeels {
+		byHop[p.hop] = p
+	}
+	var knownTotal chain.Amount
+	for _, p := range exPeels {
+		knownTotal += e.scaleBTC(p.paperBTC)
+	}
+	budget := u.value/3 - knownTotal
+	per := chain.Amount(0)
+	if unknown := hops - len(exPeels); unknown > 0 && budget > 0 {
+		per = budget / chain.Amount(unknown)
+	}
+	if per < dustLimit*4 {
+		per = dustLimit * 4
+	}
+
+	exIdx := make(map[int]int, len(exPeels))
+	for i, p := range exPeels {
+		exIdx[p.hop] = i
+	}
+	targets := make([]peelTarget, 0, hops)
+	for hop := 1; hop <= hops; hop++ {
+		if p, ok := byHop[hop]; ok {
+			amount := e.scaleBTC(p.paperBTC)
+			var to address.Address
+			if i, ok := exIdx[hop]; ok && i < len(resolved) && !resolved[i].addr.IsZero() {
+				to = resolved[i].addr
+			} else if svc := e.services[p.exchange]; svc != nil {
+				to = e.seenAccountAddr(svc)
+			} else {
+				to = e.seenUserAddr()
+			}
+			targets = append(targets, peelTarget{addr: to, amount: amount})
+			rec.ExchangePeels = append(rec.ExchangePeels, PlannedPeel{
+				Hop: hop, Service: p.exchange, Amount: amount,
+			})
+			continue
+		}
+		jitter := chain.Amount(e.rng.Int63n(int64(per)/2 + 1))
+		targets = append(targets, peelTarget{addr: e.seenUserAddr(), amount: per/2 + jitter})
+	}
+	e.startPeel(w, u, targets, 3, nil)
+}

@@ -1,0 +1,116 @@
+package econ
+
+import (
+	"repro/internal/address"
+	"repro/internal/chain"
+	"repro/internal/tags"
+)
+
+// ActorID identifies an actor in the generated world; it doubles as the
+// ground-truth owner id used by cluster.EvaluateAgainstOwners.
+type ActorID int32
+
+// Extra behavioural kinds for non-service actors.
+const (
+	KindUser ServiceKind = iota + 100
+	KindThief
+	KindResearcher
+)
+
+// Actor is one economic agent: a service from the roster, a user, a thief,
+// or the researcher. Services may keep several independent sub-wallets
+// whose addresses never co-spend, which is why the paper saw ~20 separate
+// Heuristic-1 clusters for Mt. Gox.
+type Actor struct {
+	ID       ActorID
+	Name     string
+	Category tags.Category
+	Kind     ServiceKind
+	Launch   int64 // height at which the actor becomes active
+	Wallets  []*Wallet
+
+	// accounts maps a customer to their stable deposit address at this
+	// service (Mt. Gox-style fixed per-account deposit addresses). Keyed by
+	// customer actor id. accountList mirrors it in creation order so
+	// scripted flows can sample deposit accounts deterministically.
+	accounts    map[ActorID]address.Address
+	accountList []address.Address
+
+	// lastChange and selfChanged support the two anomalous change idioms of
+	// Section 4.2 (reusing a change address, and reusing a self-change
+	// address as a change target).
+	lastChange  address.Address
+	selfChanged []address.Address
+	pendingBets []bet             // dice games: bets awaiting payout
+	staticAddrs []address.Address // famous static addresses (dice, donations)
+	dead        bool              // service shut down (thefts, ponzi collapse)
+	invested    chain.Amount      // investment schemes: deposits taken
+}
+
+// bet records a dice wager whose payout must return to the betting address.
+type bet struct {
+	returnTo address.Address
+	amount   chain.Amount
+}
+
+// Wallet is one pool of UTXOs spendable together. Its addresses co-spend
+// freely (so Heuristic 1 will merge them); separate wallets of the same
+// actor never co-spend.
+type Wallet struct {
+	owner *Actor
+	utxos []wutxo
+	// addrRecs lists every address minted for this wallet with the height
+	// it first appeared, enabling recency-weighted address reuse.
+	addrRecs []addrRec
+}
+
+type addrRec struct {
+	a      address.Address
+	height int64
+	// change marks addresses minted as transaction change; wallets rarely
+	// hand those out for receiving, which is exactly the assumption
+	// Heuristic 2 leans on (and what its false positives are made of).
+	change bool
+}
+
+type wutxo struct {
+	op       chain.OutPoint
+	value    chain.Amount
+	addr     address.Address
+	matureAt int64 // coinbase outputs: first spendable height
+}
+
+// Balance returns the wallet's total spendable value at the given height.
+func (w *Wallet) Balance(height int64) chain.Amount {
+	var sum chain.Amount
+	for _, u := range w.utxos {
+		if u.matureAt <= height {
+			sum += u.value
+		}
+	}
+	return sum
+}
+
+// Balance sums all of the actor's wallets.
+func (a *Actor) Balance(height int64) chain.Amount {
+	var sum chain.Amount
+	for _, w := range a.Wallets {
+		sum += w.Balance(height)
+	}
+	return sum
+}
+
+// richestWallet returns the sub-wallet with the highest spendable balance.
+func (a *Actor) richestWallet(height int64) *Wallet {
+	best := a.Wallets[0]
+	var bestBal chain.Amount
+	for _, w := range a.Wallets {
+		if b := w.Balance(height); b > bestBal {
+			best, bestBal = w, b
+		}
+	}
+	return best
+}
+
+// IsService reports whether the actor is a roster service.
+func (a *Actor) IsService() bool { return a.Kind < KindUser }

@@ -1,0 +1,202 @@
+package econ
+
+import (
+	"time"
+
+	"repro/internal/address"
+	"repro/internal/chain"
+	"repro/internal/tags"
+	"repro/internal/txgraph"
+)
+
+// World is a fully generated economy: the chain plus every piece of ground
+// truth and scripted-artifact metadata the experiments consume.
+type World struct {
+	Config Config
+	Params chain.Params
+	Chain  *chain.Chain
+
+	// Actors lists every actor; index == ActorID.
+	Actors []*Actor
+	// OwnerOf is the ground truth: the true controller of every address.
+	OwnerOf map[address.Address]ActorID
+
+	// Tags holds the researcher's own-transaction tags (Section 3.1).
+	Tags *tags.Store
+	// PublicTags are self-labeled addresses served by the synthetic tag
+	// site and forum (Section 3.2); less reliable by construction.
+	PublicTags []tags.Tag
+
+	// DiceStaticAddrs are the famous static betting addresses of the
+	// Satoshi-Dice-style games, the seed for the dice exemption.
+	DiceStaticAddrs []address.Address
+
+	// BlocksPerDay converts the paper's wait-a-day / wait-a-week refinements
+	// into simulated block counts.
+	BlocksPerDay int64
+
+	// TxsGenerated counts non-coinbase transactions created.
+	TxsGenerated int
+	// ResearcherTxCount counts the Section 3.1 campaign's transactions.
+	ResearcherTxCount int
+	// ResearcherByCat breaks the campaign down by service category.
+	ResearcherByCat map[tags.Category]int
+	// ResearcherServices counts distinct services interacted with.
+	ResearcherServices int
+
+	// Dissolution records the Silk Road hot-wallet case study (Table 2).
+	Dissolution *Dissolution
+	// Thefts records the Table 3 case studies.
+	Thefts []*Theft
+
+	// CaseScale is the BTC scale factor applied to the case studies
+	// (simulated supply / real 2013 supply), so paper amounts can be
+	// compared against measured ones.
+	CaseScale float64
+}
+
+// PlannedPeel is ground truth for one scripted peel to a known service.
+type PlannedPeel struct {
+	Chain   int // which peeling chain (0-based)
+	Hop     int // 1-based hop index within the chain
+	Service string
+	Amount  chain.Amount
+}
+
+// Dissolution captures the scripted 1DkyBEKt-style hot wallet lifecycle.
+type Dissolution struct {
+	// HotAddr is the hot-wallet address (the 1DkyBEKt analogue).
+	HotAddr address.Address
+	// TotalReceived is what the hot address accumulated.
+	TotalReceived chain.Amount
+	// SupplyShare is TotalReceived / coins minted at dissolution time (the
+	// paper's "5% of all generated bitcoins").
+	SupplyShare float64
+	// Withdrawals are the seven dissolution withdrawals in order.
+	Withdrawals []chain.Amount
+	// FinalTx is the transaction whose outputs start the three peeling
+	// chains (the 158,336 BTC analogue, split 50k/50k/58,336).
+	FinalTx chain.Hash
+	// ChainStarts are the outpoints of the three chain heads.
+	ChainStarts [3]chain.OutPoint
+	// Planned lists the scripted peels to known services, ground truth for
+	// Table 2.
+	Planned []PlannedPeel
+}
+
+// Theft captures one Table 3 case study.
+type Theft struct {
+	Name     string
+	Victim   string
+	PaperBTC float64
+	// Amount is the scaled amount actually stolen.
+	Amount chain.Amount
+	Height int64
+	// TheftTxs are the transactions moving coins from victim to thief.
+	TheftTxs []chain.Hash
+	// TheftOutputs are the specific outputs paid to the thief — the
+	// public theft reports listed the thief's addresses, so the analyst
+	// seeds taint from exactly these.
+	TheftOutputs []chain.OutPoint
+	ThiefID      ActorID
+	// Movement is the scripted movement sequence, in the paper's notation:
+	// A aggregation, P peeling chain, S split, F folding.
+	Movement string
+	// ExchangePeels is ground truth for the peels that reach exchanges.
+	ExchangePeels []PlannedPeel
+	// Unmoved is how much never left the thief's addresses (the trojan
+	// thief's 2,857 of 3,257 BTC).
+	Unmoved chain.Amount
+}
+
+// ActorName returns the name of an actor id, or "?" when out of range.
+func (w *World) ActorName(id ActorID) string {
+	if int(id) < 0 || int(id) >= len(w.Actors) {
+		return "?"
+	}
+	return w.Actors[id].Name
+}
+
+// ActorCategory returns the category of an actor id.
+func (w *World) ActorCategory(id ActorID) tags.Category {
+	if int(id) < 0 || int(id) >= len(w.Actors) {
+		return tags.CatUnknown
+	}
+	return w.Actors[id].Category
+}
+
+// Service returns the actor for a roster service name.
+func (w *World) Service(name string) *Actor {
+	for _, a := range w.Actors {
+		if a.IsService() && a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// OwnersForGraph projects the ground truth onto a graph's dense address ids
+// (-1 for addresses with no known owner).
+func (w *World) OwnersForGraph(g *txgraph.Graph) []int32 {
+	owners := make([]int32, g.NumAddrs())
+	for i := range owners {
+		owners[i] = -1
+	}
+	for a, id := range w.OwnerOf {
+		if aid, ok := g.LookupAddr(a); ok {
+			owners[aid] = int32(id)
+		}
+	}
+	return owners
+}
+
+// DiceAddrIDs resolves the static dice addresses to graph ids, for seeding
+// the Satoshi-Dice exemption. The experiment pipeline widens this seed to
+// the full tagged dice clusters, as the paper did.
+func (w *World) DiceAddrIDs(g *txgraph.Graph) map[txgraph.AddrID]bool {
+	out := make(map[txgraph.AddrID]bool, len(w.DiceStaticAddrs))
+	for _, a := range w.DiceStaticAddrs {
+		if id, ok := g.LookupAddr(a); ok {
+			out[id] = true
+		}
+	}
+	return out
+}
+
+// DiceServiceNames lists the roster services that run Satoshi-Dice-style
+// games; the pipeline widens the dice exemption to their tagged clusters.
+func (w *World) DiceServiceNames() []string {
+	var out []string
+	for _, a := range w.Actors {
+		if a.Kind == KindDice {
+			out = append(out, a.Name)
+		}
+	}
+	return out
+}
+
+// GroundTruthDiceIDs returns every address owned by a dice-kind service —
+// the oracle version of the dice set, used to bound how much the
+// tag-bootstrapped set misses.
+func (w *World) GroundTruthDiceIDs(g *txgraph.Graph) map[txgraph.AddrID]bool {
+	diceActors := make(map[ActorID]bool)
+	for _, a := range w.Actors {
+		if a.Kind == KindDice {
+			diceActors[a.ID] = true
+		}
+	}
+	out := make(map[txgraph.AddrID]bool)
+	for a, owner := range w.OwnerOf {
+		if !diceActors[owner] {
+			continue
+		}
+		if id, ok := g.LookupAddr(a); ok {
+			out[id] = true
+		}
+	}
+	return out
+}
+
+func dateAt(y, m, day int) time.Time {
+	return time.Date(y, time.Month(m), day, 0, 0, 0, 0, time.UTC)
+}

@@ -1,0 +1,237 @@
+package flow
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/chain"
+	"repro/internal/chaintest"
+	"repro/internal/cluster"
+	"repro/internal/tags"
+	"repro/internal/txgraph"
+)
+
+const btc = chain.Coin
+
+// buildPeelChain constructs a ledger with a 5-hop peeling chain from
+// "start": each hop peels 5 BTC to a previously seen payee and passes the
+// rest to a fresh change address.
+func buildPeelChain(t *testing.T) (*chaintest.Builder, *txgraph.Graph, chain.OutPoint) {
+	b := chaintest.New(t)
+	b.Coinbase("funder")
+	b.Coinbase("funder")
+	// Make the payees seen in advance.
+	var outs []chaintest.Out
+	for i := 1; i <= 5; i++ {
+		outs = append(outs, chaintest.Out{Name: fmt.Sprintf("payee%d", i), Value: 1 * btc})
+	}
+	outs = append(outs, chaintest.Out{Name: "start", Value: 90 * btc})
+	startTx := b.Pay([]string{"funder"}, outs...)
+	b.Mine(1)
+
+	prev := "start"
+	for i := 1; i <= 5; i++ {
+		b.Pay([]string{prev},
+			chaintest.Out{Name: fmt.Sprintf("payee%d", i), Value: 5 * btc},
+			chaintest.Out{Name: fmt.Sprintf("change%d", i), Value: chain.Amount(90-10*i) * btc})
+		b.Mine(1)
+		prev = fmt.Sprintf("change%d", i)
+	}
+	g, err := txgraph.Build(b.Chain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// start was output index 5 of startTx.
+	return b, g, chain.OutPoint{TxID: startTx.TxID(), Index: 5}
+}
+
+type testNamer struct {
+	m map[txgraph.AddrID]string
+}
+
+func (n testNamer) NameOf(id txgraph.AddrID) (string, tags.Category, bool) {
+	s, ok := n.m[id]
+	return s, tags.CatBankExchange, ok
+}
+
+func TestFollowPeelingChainWithLabels(t *testing.T) {
+	b, g, start := buildPeelChain(t)
+	labels, _ := cluster.FindChangeOutputs(g, cluster.Unrefined())
+	linker := NewLabelLinker(labels)
+
+	namer := testNamer{m: map[txgraph.AddrID]string{}}
+	for i := 1; i <= 5; i++ {
+		id, ok := g.LookupAddr(b.Addr(fmt.Sprintf("payee%d", i)))
+		if !ok {
+			t.Fatal("payee missing")
+		}
+		namer.m[id] = fmt.Sprintf("svc%d", i)
+	}
+
+	res := FollowPeelingChain(g, start, 100, linker, namer)
+	if res.Hops != 5 {
+		t.Fatalf("hops = %d, want 5 (%s)", res.Hops, res.Terminated)
+	}
+	if res.Terminated != "unspent" {
+		t.Fatalf("terminated = %q, want unspent", res.Terminated)
+	}
+	if len(res.Peels) != 5 {
+		t.Fatalf("peels = %d, want 5", len(res.Peels))
+	}
+	for i, p := range res.Peels {
+		if p.Hop != i+1 {
+			t.Errorf("peel %d at hop %d", i, p.Hop)
+		}
+		if p.Amount != 5*btc {
+			t.Errorf("peel %d amount %v", i, p.Amount)
+		}
+		if want := fmt.Sprintf("svc%d", i+1); p.Service != want {
+			t.Errorf("peel %d service %q, want %q", i, p.Service, want)
+		}
+	}
+}
+
+func TestFollowPeelingChainMaxHops(t *testing.T) {
+	_, g, start := buildPeelChain(t)
+	labels, _ := cluster.FindChangeOutputs(g, cluster.Unrefined())
+	res := FollowPeelingChain(g, start, 3, NewLabelLinker(labels), nil)
+	if res.Hops != 3 || res.Terminated != "max-hops" {
+		t.Fatalf("hops=%d terminated=%q", res.Hops, res.Terminated)
+	}
+}
+
+func TestClusterLinkerFollowsChain(t *testing.T) {
+	_, g, start := buildPeelChain(t)
+	c := cluster.Heuristic2(g, cluster.Unrefined())
+	res := FollowPeelingChain(g, start, 100, &ClusterLinker{Clusters: c}, nil)
+	if res.Hops != 5 {
+		t.Fatalf("cluster linker hops = %d, want 5 (%s)", res.Hops, res.Terminated)
+	}
+}
+
+func TestSummarizePeels(t *testing.T) {
+	peels := []Peel{
+		{Service: "gox", Amount: 2 * btc},
+		{Service: "gox", Amount: 3 * btc},
+		{Service: "", Amount: 100 * btc}, // unknown, excluded
+		{Service: "stamp", Amount: 1 * btc},
+	}
+	sum := SummarizePeels(peels)
+	if len(sum) != 2 {
+		t.Fatalf("groups = %d, want 2", len(sum))
+	}
+	if sum[0].Service != "gox" || sum[0].Peels != 2 || sum[0].Total != 5*btc {
+		t.Fatalf("gox summary wrong: %+v", sum[0])
+	}
+}
+
+func TestTrackTheftAggregationAndExchange(t *testing.T) {
+	b := chaintest.New(t)
+	b.Coinbase("victim1")
+	b.Coinbase("victim2")
+	b.Coinbase("victim3")
+	b.Coinbase("exchangeSeen") // the exchange deposit address, previously seen
+	// Theft: three victim wallets drained to thief addresses.
+	t1 := b.Pay([]string{"victim1"}, chaintest.Out{Name: "thief1", Value: 50 * btc})
+	t2 := b.Pay([]string{"victim2"}, chaintest.Out{Name: "thief2", Value: 50 * btc})
+	t3 := b.Pay([]string{"victim3"}, chaintest.Out{Name: "thief3", Value: 50 * btc})
+	b.Mine(1)
+	// Aggregation: thief combines into one address.
+	b.Pay([]string{"thief1", "thief2", "thief3"}, chaintest.Out{Name: "thiefAgg", Value: 149 * btc})
+	b.Mine(1)
+	// Peeling: two peel-shaped hops, the second reaching the exchange.
+	b.Pay([]string{"thiefAgg"},
+		chaintest.Out{Name: "mule1", Value: 10 * btc},
+		chaintest.Out{Name: "thiefC1", Value: 138 * btc})
+	b.Mine(1)
+	b.Pay([]string{"thiefC1"},
+		chaintest.Out{Name: "exchangeSeen", Value: 20 * btc},
+		chaintest.Out{Name: "thiefC2", Value: 117 * btc})
+	b.Mine(1)
+
+	g, err := txgraph.Build(b.Chain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exID, _ := g.LookupAddr(b.Addr("exchangeSeen"))
+	namer := testNamer{m: map[txgraph.AddrID]string{exID: "Mt Gox"}}
+
+	seeds := []chain.OutPoint{
+		{TxID: t1.TxID(), Index: 0},
+		{TxID: t2.TxID(), Index: 0},
+		{TxID: t3.TxID(), Index: 0},
+	}
+	rep := TrackTheft(g, seeds, namer, 0)
+	if rep.Movement == "" {
+		t.Fatal("no movement sequence detected")
+	}
+	if rep.Movement[0] != 'A' {
+		t.Fatalf("movement %q should start with aggregation", rep.Movement)
+	}
+	if rep.ExchangeTotal != 20*btc {
+		t.Fatalf("exchange total %v, want 20 BTC", rep.ExchangeTotal)
+	}
+	if len(rep.ReachedExchanges) != 1 || rep.ReachedExchanges[0] != "Mt Gox" {
+		t.Fatalf("exchanges %v", rep.ReachedExchanges)
+	}
+}
+
+func TestTrackTheftUnmoved(t *testing.T) {
+	b := chaintest.New(t)
+	b.Coinbase("victim")
+	tx := b.Pay([]string{"victim"}, chaintest.Out{Name: "thief", Value: 50 * btc})
+	b.Mine(2)
+	g, err := txgraph.Build(b.Chain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := TrackTheft(g, []chain.OutPoint{{TxID: tx.TxID(), Index: 0}}, nil, 0)
+	if rep.Unmoved != 50*btc {
+		t.Fatalf("unmoved %v, want 50 BTC", rep.Unmoved)
+	}
+	if rep.Movement != "" {
+		t.Fatalf("movement %q for unmoved theft", rep.Movement)
+	}
+}
+
+func TestTrackTheftFoldingDetected(t *testing.T) {
+	b := chaintest.New(t)
+	b.Coinbase("victim")
+	b.Coinbase("cleanSource")
+	theft := b.Pay([]string{"victim"}, chaintest.Out{Name: "thiefA", Value: 25 * btc},
+		chaintest.Out{Name: "thiefB", Value: 24 * btc})
+	b.Pay([]string{"cleanSource"}, chaintest.Out{Name: "thiefClean", Value: 50 * btc})
+	b.Mine(1)
+	// Folding: tainted + clean aggregated together.
+	b.Pay([]string{"thiefA", "thiefB", "thiefClean"}, chaintest.Out{Name: "mixed", Value: 98 * btc})
+	b.Mine(1)
+
+	g, err := txgraph.Build(b.Chain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := TrackTheft(g, []chain.OutPoint{{TxID: theft.TxID(), Index: 0}, {TxID: theft.TxID(), Index: 1}}, nil, 0)
+	if rep.Movement != "F" {
+		t.Fatalf("movement %q, want F (folding)", rep.Movement)
+	}
+}
+
+func TestClassifySplit(t *testing.T) {
+	b := chaintest.New(t)
+	b.Coinbase("victim")
+	theft := b.Pay([]string{"victim"}, chaintest.Out{Name: "thief", Value: 49 * btc})
+	b.Mine(1)
+	b.Pay([]string{"thief"},
+		chaintest.Out{Name: "s1", Value: 16 * btc},
+		chaintest.Out{Name: "s2", Value: 16 * btc},
+		chaintest.Out{Name: "s3", Value: 16 * btc})
+	b.Mine(1)
+	g, err := txgraph.Build(b.Chain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := TrackTheft(g, []chain.OutPoint{{TxID: theft.TxID(), Index: 0}}, nil, 0)
+	if rep.Movement != "S" {
+		t.Fatalf("movement %q, want S", rep.Movement)
+	}
+}

@@ -1,0 +1,205 @@
+// Package flow implements the paper's Section 5 traffic analysis: following
+// peeling chains hop by hop via change links, identifying the meaningful
+// recipient ("peel") at each hop, classifying how stolen money moves
+// (aggregation, peeling, splitting, folding), and tracking flows from thefts
+// to known services such as exchanges.
+package flow
+
+import (
+	"repro/internal/chain"
+	"repro/internal/cluster"
+	"repro/internal/tags"
+	"repro/internal/txgraph"
+)
+
+// ChangeLinker identifies which output of a transaction is the change — the
+// link followed from hop to hop. The paper uses Heuristic 2; a
+// cluster-membership linker is provided for the ablation.
+type ChangeLinker interface {
+	// ChangeOutput returns the change output index of the transaction, if
+	// one can be determined.
+	ChangeOutput(g *txgraph.Graph, seq txgraph.TxSeq) (int, bool)
+}
+
+// LabelLinker links via precomputed Heuristic 2 change labels.
+type LabelLinker struct {
+	byTx map[txgraph.TxSeq]int
+}
+
+// NewLabelLinker indexes a label set by transaction.
+func NewLabelLinker(labels []cluster.ChangeLabel) *LabelLinker {
+	m := make(map[txgraph.TxSeq]int, len(labels))
+	for _, l := range labels {
+		m[l.Tx] = l.Output
+	}
+	return &LabelLinker{byTx: m}
+}
+
+// ChangeOutput implements ChangeLinker.
+func (l *LabelLinker) ChangeOutput(_ *txgraph.Graph, seq txgraph.TxSeq) (int, bool) {
+	out, ok := l.byTx[seq]
+	return out, ok
+}
+
+// ClusterLinker links via cluster membership: the change output is the one
+// whose address clusters with the transaction's inputs; ambiguous if none or
+// several do.
+type ClusterLinker struct {
+	Clusters *cluster.Clustering
+}
+
+// ChangeOutput implements ChangeLinker.
+func (l *ClusterLinker) ChangeOutput(g *txgraph.Graph, seq txgraph.TxSeq) (int, bool) {
+	tx := g.Tx(seq)
+	if len(tx.InputAddrs) == 0 {
+		return 0, false
+	}
+	var inCluster int32 = -1
+	for _, in := range tx.InputAddrs {
+		if in != txgraph.NoAddr {
+			inCluster = l.Clusters.ClusterOf(in)
+			break
+		}
+	}
+	if inCluster < 0 {
+		return 0, false
+	}
+	found, idx := 0, 0
+	for j, out := range tx.OutputAddrs {
+		if out == txgraph.NoAddr {
+			continue
+		}
+		if l.Clusters.ClusterOf(out) == inCluster {
+			found++
+			idx = j
+		}
+	}
+	if found != 1 {
+		return 0, false
+	}
+	return idx, true
+}
+
+// Peel records the meaningful recipient of one hop of a peeling chain.
+type Peel struct {
+	Hop     int // 1-based hop index
+	Tx      txgraph.TxSeq
+	Addr    txgraph.AddrID
+	Amount  chain.Amount
+	Service string        // named recipient via cluster naming; "" if unknown
+	Cat     tags.Category // recipient's category, if named
+}
+
+// FollowResult is a traversed peeling chain.
+type FollowResult struct {
+	Peels []Peel
+	// Hops is how many change links were followed.
+	Hops int
+	// Terminated describes why the walk stopped: "max-hops", "unspent",
+	// "no-change-link".
+	Terminated string
+}
+
+// Namer resolves an address to a known service, typically tags.Naming over a
+// clustering.
+type Namer interface {
+	NameOf(id txgraph.AddrID) (service string, cat tags.Category, ok bool)
+}
+
+// NamingAdapter adapts tags.Naming + a clustering to the Namer interface.
+type NamingAdapter struct {
+	Clusters *cluster.Clustering
+	Naming   *tags.Naming
+}
+
+// NameOf implements Namer.
+func (n NamingAdapter) NameOf(id txgraph.AddrID) (string, tags.Category, bool) {
+	svc, ok := n.Naming.ServiceOf(n.Clusters, id)
+	if !ok {
+		return "", tags.CatUnknown, false
+	}
+	return svc, n.Naming.CategoryOf(n.Clusters, id), true
+}
+
+// FollowPeelingChain walks a peeling chain starting from the output `start`
+// (an outpoint holding the chain's initial amount) for up to maxHops hops.
+// At each hop it follows the change link and records every other output as a
+// peel, named when the recipient's cluster is known (Section 5's
+// methodology: "at each hop, we look at the two output addresses; if one is
+// a change address, we follow the chain ... and identify the meaningful
+// recipient as the other output").
+func FollowPeelingChain(g *txgraph.Graph, start chain.OutPoint, maxHops int, linker ChangeLinker, namer Namer) FollowResult {
+	var res FollowResult
+	seq, ok := g.LookupTx(start.TxID)
+	if !ok {
+		res.Terminated = "no-change-link"
+		return res
+	}
+	cur := seq
+	curOut := int(start.Index)
+	for res.Hops < maxHops {
+		tx := g.Tx(cur)
+		if curOut >= len(tx.SpentBy) || tx.SpentBy[curOut] == txgraph.NoTx {
+			res.Terminated = "unspent"
+			return res
+		}
+		next := tx.SpentBy[curOut]
+		ntx := g.Tx(next)
+		changeIdx, ok := linker.ChangeOutput(g, next)
+		if !ok {
+			res.Terminated = "no-change-link"
+			return res
+		}
+		res.Hops++
+		for j := range ntx.OutputAddrs {
+			if j == changeIdx {
+				continue
+			}
+			p := Peel{
+				Hop:    res.Hops,
+				Tx:     next,
+				Addr:   ntx.OutputAddrs[j],
+				Amount: ntx.OutputValues[j],
+			}
+			if p.Addr != txgraph.NoAddr && namer != nil {
+				if svc, cat, ok := namer.NameOf(p.Addr); ok {
+					p.Service = svc
+					p.Cat = cat
+				}
+			}
+			res.Peels = append(res.Peels, p)
+		}
+		cur, curOut = next, changeIdx
+	}
+	res.Terminated = "max-hops"
+	return res
+}
+
+// PeelSummary aggregates peels by service.
+type PeelSummary struct {
+	Service string
+	Cat     tags.Category
+	Peels   int
+	Total   chain.Amount
+}
+
+// SummarizePeels groups named peels by recipient service, in first-seen
+// order.
+func SummarizePeels(peels []Peel) []PeelSummary {
+	index := make(map[string]int)
+	var out []PeelSummary
+	for _, p := range peels {
+		if p.Service == "" {
+			continue
+		}
+		i, ok := index[p.Service]
+		if !ok {
+			i = len(out)
+			index[p.Service] = i
+			out = append(out, PeelSummary{Service: p.Service, Cat: p.Cat})
+		}
+		out[i].Peels++
+		out[i].Total += p.Amount
+	}
+	return out
+}

@@ -1,0 +1,231 @@
+package flow
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/chain"
+	"repro/internal/tags"
+	"repro/internal/txgraph"
+)
+
+// MovementKind classifies one transaction in a theft's aftermath, using the
+// paper's vocabulary (Table 3).
+type MovementKind byte
+
+// Movement kinds: A aggregation, P peeling chain, S split, F folding.
+const (
+	MoveAggregation MovementKind = 'A'
+	MovePeeling     MovementKind = 'P'
+	MoveSplit       MovementKind = 'S'
+	MoveFolding     MovementKind = 'F'
+)
+
+// TheftReport is the tracked aftermath of a theft, the row shape of Table 3.
+type TheftReport struct {
+	// Movement is the observed sequence of movement types, e.g. "A/P/S"
+	// (consecutive repeats collapsed).
+	Movement string
+	// ExchangeTotal is the BTC observed flowing into known exchanges.
+	ExchangeTotal chain.Amount
+	// ExchangePeels lists each observed flow into a named exchange.
+	ExchangePeels []Peel
+	// ReachedExchanges is the distinct exchanges reached.
+	ReachedExchanges []string
+	// Unmoved is the stolen value still sitting unspent on the thief's
+	// original receiving addresses.
+	Unmoved chain.Amount
+	// TxsExamined is how many descendant transactions were traversed.
+	TxsExamined int
+}
+
+// TrackTheft follows stolen coins forward from the outputs known to have
+// paid the thief (public theft reports listed the thief's addresses),
+// classifying movements and recording flows into named exchange clusters.
+// Taint propagation stops when coins reach any named service cluster (the
+// paper's analysis ends at the deposit: "the fairly direct flow of bitcoins
+// from the point of theft to the deposit with an exchange") and after
+// maxTxs descendant transactions. For peel-shaped hops only the chain side
+// (the larger output) is followed, matching the manual methodology.
+func TrackTheft(g *txgraph.Graph, seeds []chain.OutPoint, namer Namer, maxTxs int) TheftReport {
+	var rep TheftReport
+	if maxTxs <= 0 {
+		maxTxs = 200
+	}
+
+	type outRef struct {
+		tx  txgraph.TxSeq
+		out int
+	}
+	var queue []outRef
+	taintedOuts := make(map[outRef]bool)
+	taintedTx := make(map[txgraph.TxSeq]bool)
+	enqueue := func(r outRef) {
+		if !taintedOuts[r] {
+			taintedOuts[r] = true
+			queue = append(queue, r)
+		}
+	}
+	for _, op := range seeds {
+		seq, ok := g.LookupTx(op.TxID)
+		if !ok {
+			continue
+		}
+		taintedTx[seq] = true
+		tx := g.Tx(seq)
+		j := int(op.Index)
+		if j >= len(tx.OutputAddrs) {
+			continue
+		}
+		enqueue(outRef{tx: seq, out: j})
+		if tx.SpentBy[j] == txgraph.NoTx {
+			rep.Unmoved += tx.OutputValues[j]
+		}
+	}
+
+	// Phase 1: discover the tainted descendant transactions, stopping at
+	// named service clusters and at the transaction budget.
+	var discovered []txgraph.TxSeq
+	seenSpender := make(map[txgraph.TxSeq]bool)
+	seenExchange := make(map[outRef]bool)
+	for len(queue) > 0 && len(discovered) < maxTxs {
+		r := queue[0]
+		queue = queue[1:]
+		src := g.Tx(r.tx)
+		spender := src.SpentBy[r.out]
+		if spender == txgraph.NoTx || seenSpender[spender] {
+			continue
+		}
+		seenSpender[spender] = true
+		discovered = append(discovered, spender)
+		taintedTx[spender] = true
+		stx := g.Tx(spender)
+		// Peel-shaped hop: follow only the larger (chain) output.
+		onlyOut := -1
+		if len(stx.OutputAddrs) == 2 {
+			lo, hi := stx.OutputValues[0], stx.OutputValues[1]
+			hiIdx := 1
+			if lo > hi {
+				lo, hi = hi, lo
+				hiIdx = 0
+			}
+			if hi > 0 && lo < hi*3/4 {
+				onlyOut = hiIdx
+			}
+		}
+		for j := range stx.OutputAddrs {
+			if onlyOut >= 0 && j != onlyOut {
+				// Still check whether the peel landed at an exchange.
+				addr := stx.OutputAddrs[j]
+				if addr != txgraph.NoAddr && namer != nil {
+					if svc, cat, ok := namer.NameOf(addr); ok &&
+						(cat == tags.CatBankExchange || cat == tags.CatFixedExchange) {
+						or := outRef{tx: spender, out: j}
+						if !seenExchange[or] {
+							seenExchange[or] = true
+							p := Peel{Tx: spender, Addr: addr, Amount: stx.OutputValues[j], Service: svc, Cat: cat}
+							rep.ExchangePeels = append(rep.ExchangePeels, p)
+							rep.ExchangeTotal += p.Amount
+						}
+					}
+				}
+				continue
+			}
+			addr := stx.OutputAddrs[j]
+			if addr != txgraph.NoAddr && namer != nil {
+				if svc, cat, ok := namer.NameOf(addr); ok && serviceCategory(cat) {
+					// Coins reached a known service: record exchange
+					// deposits and stop following (ownership changed).
+					or := outRef{tx: spender, out: j}
+					if (cat == tags.CatBankExchange || cat == tags.CatFixedExchange) && !seenExchange[or] {
+						seenExchange[or] = true
+						p := Peel{Tx: spender, Addr: addr, Amount: stx.OutputValues[j], Service: svc, Cat: cat}
+						rep.ExchangePeels = append(rep.ExchangePeels, p)
+						rep.ExchangeTotal += p.Amount
+					}
+					continue
+				}
+			}
+			enqueue(outRef{tx: spender, out: j})
+		}
+	}
+	rep.TxsExamined = len(discovered)
+
+	// Phase 2: classify movements in chain order, collapsing consecutive
+	// repeats; a peeling chain needs a run of at least two peel-shaped hops.
+	sort.Slice(discovered, func(i, j int) bool { return discovered[i] < discovered[j] })
+	var moves []MovementKind
+	peelRun := 0
+	for _, seq := range discovered {
+		kind := classifyMovement(g, g.Tx(seq), taintedTx)
+		if kind == MovePeeling {
+			peelRun++
+			if peelRun < 2 {
+				continue
+			}
+		} else {
+			peelRun = 0
+		}
+		if kind != 0 && (len(moves) == 0 || moves[len(moves)-1] != kind) {
+			moves = append(moves, kind)
+		}
+	}
+	parts := make([]string, len(moves))
+	for i, m := range moves {
+		parts[i] = string(rune(m))
+	}
+	rep.Movement = strings.Join(parts, "/")
+
+	seen := make(map[string]bool)
+	for _, p := range rep.ExchangePeels {
+		if !seen[p.Service] {
+			seen[p.Service] = true
+			rep.ReachedExchanges = append(rep.ReachedExchanges, p.Service)
+		}
+	}
+	sort.Strings(rep.ReachedExchanges)
+	return rep
+}
+
+// serviceCategory reports whether a category denotes a service (taint stops
+// there) rather than an individual or unknown cluster.
+func serviceCategory(c tags.Category) bool {
+	switch c {
+	case tags.CatUnknown, tags.CatIndividual, tags.CatThief:
+		return false
+	default:
+		return true
+	}
+}
+
+// classifyMovement assigns a movement kind to one spend of tainted coins:
+//   - aggregation: several inputs collapse into one output;
+//   - folding: an aggregation whose inputs mix tainted and clean coins;
+//   - split: one-to-many with similarly sized outputs;
+//   - peeling: two outputs, one much smaller than the other.
+func classifyMovement(g *txgraph.Graph, tx *txgraph.TxInfo, taintedTx map[txgraph.TxSeq]bool) MovementKind {
+	nIn, nOut := len(tx.InputAddrs), len(tx.OutputAddrs)
+	switch {
+	case nIn >= 2 && nOut == 1:
+		for _, src := range tx.InputSrc {
+			if !taintedTx[src] {
+				return MoveFolding // clean coins folded in
+			}
+		}
+		return MoveAggregation
+	case nIn <= 2 && nOut >= 3:
+		return MoveSplit
+	case nOut == 2:
+		a, b := tx.OutputValues[0], tx.OutputValues[1]
+		lo, hi := a, b
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		if hi > 0 && lo < hi*3/4 {
+			return MovePeeling
+		}
+		return MoveSplit
+	default:
+		return 0
+	}
+}

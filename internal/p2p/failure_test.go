@@ -1,0 +1,148 @@
+package p2p
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/address"
+	"repro/internal/chain"
+	"repro/internal/script"
+	"repro/internal/wire"
+)
+
+// A peer that sends garbage must be dropped without disturbing the node.
+func TestGarbagePeerDropped(t *testing.T) {
+	node, err := NewNode(Config{Params: testParams()}, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+
+	conn, err := net.Dial("tcp", node.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Write([]byte("this is not a bitcoin message at all, not even close......"))
+	buf := make([]byte, 64)
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	conn.Read(buf) // drain whatever comes back until the node hangs up
+	conn.Close()
+
+	// The node keeps serving: a legitimate node can still connect and sync.
+	miner := address.NewKeyFromSeed(8, 1)
+	if _, err := node.Mine(script.PayToAddr(miner.Address())); err != nil {
+		t.Fatalf("node unusable after garbage peer: %v", err)
+	}
+	good, err := NewNode(Config{Params: testParams()}, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer good.Close()
+	if err := good.ConnectTo(node.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for good.Height() < 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if good.Height() < 0 {
+		t.Fatal("legitimate peer failed to sync after garbage peer")
+	}
+}
+
+// A peer speaking the wrong network magic is rejected at the first frame.
+func TestWrongMagicPeerRejected(t *testing.T) {
+	node, err := NewNode(Config{Params: testParams()}, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+
+	conn, err := net.Dial("tcp", node.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := wire.WriteMessage(conn, 0xdeadbeef, &wire.MsgVersion{UserAgent: "evil"}); err != nil {
+		t.Fatal(err)
+	}
+	// The node must hang up rather than answer.
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("node answered a wrong-magic peer")
+	}
+}
+
+// An invalid block (bad proof of work) relayed by a peer is rejected and
+// does not extend the chain.
+func TestInvalidBlockRejected(t *testing.T) {
+	params := testParams()
+	params.TargetBits = 24 // hard enough that a zero nonce will not pass
+	node, err := NewNode(Config{Params: params}, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+
+	miner := address.NewKeyFromSeed(8, 2)
+	cb := chain.NewCoinbaseTx(0, 50*chain.Coin, script.PayToAddr(miner.Address()), nil)
+	bad := &chain.Block{
+		Header: chain.BlockHeader{
+			Version:    1,
+			PrevBlock:  node.tipHash(),
+			MerkleRoot: chain.BlockMerkleRoot([]*chain.Tx{cb}),
+			Timestamp:  time.Now().Unix(),
+			Nonce:      0,
+		},
+		Txs: []*chain.Tx{cb},
+	}
+	if params.CheckProofOfWork(bad.BlockHash()) {
+		t.Skip("freak nonce satisfied PoW; skip")
+	}
+	if err := node.acceptBlock(bad, "test"); err == nil {
+		t.Fatal("accepted block without proof of work")
+	}
+	if node.Height() != -1 {
+		t.Fatalf("height advanced to %d on invalid block", node.Height())
+	}
+}
+
+// Closing a node mid-conversation must not deadlock its peers.
+func TestPeerSurvivesRemoteClose(t *testing.T) {
+	a, err := NewNode(Config{Params: testParams()}, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewNode(Config{Params: testParams()}, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if err := b.ConnectTo(a.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		a.mu.Lock()
+		connected := len(a.peers) > 0
+		a.mu.Unlock()
+		if connected {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	done := make(chan struct{})
+	go func() { b.Close(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("closing a connected node deadlocked")
+	}
+	// The surviving node keeps working.
+	miner := address.NewKeyFromSeed(8, 3)
+	if _, err := a.Mine(script.PayToAddr(miner.Address())); err != nil {
+		t.Fatalf("survivor unusable: %v", err)
+	}
+}

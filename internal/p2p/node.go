@@ -1,0 +1,384 @@
+// Package p2p implements the peer-to-peer network of Figure 1: nodes
+// connected over real TCP sockets that handshake, gossip transactions and
+// blocks via inventory announcements, validate and extend their chains, and
+// mine. A small harness (Network) wires nodes together for the transaction
+// lifecycle demo and tests.
+package p2p
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/chain"
+	"repro/internal/script"
+	"repro/internal/wire"
+)
+
+// EventKind tags node events, mirroring Figure 1's steps.
+type EventKind int
+
+// Node event kinds.
+const (
+	EvTxAccepted     EventKind = iota // transaction entered the mempool (step 4)
+	EvTxRelayed                       // transaction announced to peers
+	EvBlockMined                      // miner found a nonce (step 5)
+	EvBlockConnected                  // block validated and connected (step 6)
+	EvPeerConnected
+)
+
+// Event is one observable node action.
+type Event struct {
+	Kind   EventKind
+	Hash   chain.Hash
+	Height int64
+	Peer   string
+	Time   time.Time
+}
+
+// Config configures a node.
+type Config struct {
+	Params    chain.Params
+	UserAgent string
+	// EventBuf is the event channel capacity (0 = 256).
+	EventBuf int
+	// Logf receives debug output; nil discards it.
+	Logf func(format string, args ...any)
+}
+
+// Node is one network participant: wallet-less, it validates, relays and
+// optionally mines.
+type Node struct {
+	cfg      Config
+	listener net.Listener
+
+	mu      sync.Mutex
+	chain   *chain.Chain
+	mempool map[chain.Hash]*chain.Tx
+	peers   map[string]*peer
+	seenInv map[chain.Hash]bool
+
+	events chan Event
+	wg     sync.WaitGroup
+	ctx    context.Context
+	cancel context.CancelFunc
+}
+
+// NewNode creates a node with a fresh chain and starts listening on addr
+// ("127.0.0.1:0" for an ephemeral port).
+func NewNode(cfg Config, addr string) (*Node, error) {
+	if cfg.EventBuf == 0 {
+		cfg.EventBuf = 256
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("p2p: listen: %w", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	n := &Node{
+		cfg:      cfg,
+		listener: ln,
+		chain:    chain.New(cfg.Params),
+		mempool:  make(map[chain.Hash]*chain.Tx),
+		peers:    make(map[string]*peer),
+		seenInv:  make(map[chain.Hash]bool),
+		events:   make(chan Event, cfg.EventBuf),
+		ctx:      ctx,
+		cancel:   cancel,
+	}
+	n.wg.Add(1)
+	go n.acceptLoop()
+	return n, nil
+}
+
+// Addr returns the node's listen address.
+func (n *Node) Addr() string { return n.listener.Addr().String() }
+
+// Events returns the node's event stream.
+func (n *Node) Events() <-chan Event { return n.events }
+
+// Chain gives access to the node's chain; callers must treat it as
+// read-only and should capture heights/hashes rather than retaining it.
+func (n *Node) Chain() *chain.Chain { return n.chain }
+
+// Height returns the node's best height.
+func (n *Node) Height() int64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.chain.Height()
+}
+
+// MempoolSize returns the number of queued transactions.
+func (n *Node) MempoolSize() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.mempool)
+}
+
+// Close shuts the node down, closing all peer connections.
+func (n *Node) Close() {
+	n.cancel()
+	n.listener.Close()
+	n.mu.Lock()
+	for _, p := range n.peers {
+		p.close()
+	}
+	n.mu.Unlock()
+	n.wg.Wait()
+}
+
+func (n *Node) emit(ev Event) {
+	ev.Time = time.Now()
+	select {
+	case n.events <- ev:
+	default: // drop when the consumer lags; events are advisory
+	}
+}
+
+func (n *Node) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			if err := n.runPeer(conn, true); err != nil && !errors.Is(err, net.ErrClosed) {
+				n.cfg.Logf("p2p: inbound peer %s: %v", conn.RemoteAddr(), err)
+			}
+		}()
+	}
+}
+
+// ConnectTo dials a peer and performs the handshake.
+func (n *Node) ConnectTo(addr string) error {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return fmt.Errorf("p2p: dial %s: %w", addr, err)
+	}
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		if err := n.runPeer(conn, false); err != nil && !errors.Is(err, net.ErrClosed) {
+			n.cfg.Logf("p2p: outbound peer %s: %v", addr, err)
+		}
+	}()
+	return nil
+}
+
+// SubmitTx validates a transaction against the node's chain state, accepts
+// it into the mempool, and announces it to peers — Figure 1's step 4 seen
+// from the user's node.
+func (n *Node) SubmitTx(tx *chain.Tx) error {
+	if err := chain.CheckTransactionSanity(tx); err != nil {
+		return err
+	}
+	txid := tx.TxID()
+	n.mu.Lock()
+	if _, dup := n.mempool[txid]; dup {
+		n.mu.Unlock()
+		return nil
+	}
+	if err := n.checkMempoolTx(tx); err != nil {
+		n.mu.Unlock()
+		return err
+	}
+	n.mempool[txid] = tx
+	n.seenInv[txid] = true
+	n.mu.Unlock()
+
+	n.emit(Event{Kind: EvTxAccepted, Hash: txid})
+	n.broadcastInv(wire.InvVect{Type: wire.InvTx, Hash: txid}, "")
+	n.emit(Event{Kind: EvTxRelayed, Hash: txid})
+	return nil
+}
+
+// checkMempoolTx verifies a transaction spends existing unspent outputs
+// with valid scripts. Callers hold n.mu.
+func (n *Node) checkMempoolTx(tx *chain.Tx) error {
+	for i, in := range tx.Inputs {
+		entry, ok := n.chain.UTXO().Lookup(in.Prev)
+		if !ok {
+			return fmt.Errorf("p2p: tx input %d: unknown or spent output %s", i, in.Prev)
+		}
+		if err := script.Verify(entry.PkScript, in.SigScript, chain.SigHash(tx, i)); err != nil {
+			return fmt.Errorf("p2p: tx input %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// broadcastInv announces an inventory item to every peer except `skip`.
+func (n *Node) broadcastInv(iv wire.InvVect, skip string) {
+	n.mu.Lock()
+	targets := make([]*peer, 0, len(n.peers))
+	for id, p := range n.peers {
+		if id != skip {
+			targets = append(targets, p)
+		}
+	}
+	n.mu.Unlock()
+	for _, p := range targets {
+		p.send(&wire.MsgInv{Items: []wire.InvVect{iv}})
+	}
+}
+
+// acceptBlock validates and connects a block received from `from` (empty
+// for self-mined), relaying it onward on success — Figure 1's step 6.
+func (n *Node) acceptBlock(b *chain.Block, from string) error {
+	hash := b.BlockHash()
+	n.mu.Lock()
+	if _, known := n.chain.HeightOf(hash); known {
+		n.mu.Unlock()
+		return nil
+	}
+	err := n.chain.ConnectBlock(b, true, chain.ConnectBlockOptions{Verifier: script.Verifier{}})
+	if err != nil {
+		n.mu.Unlock()
+		return err
+	}
+	height := n.chain.Height()
+	// Evict mined transactions from the mempool.
+	for _, tx := range b.Txs {
+		delete(n.mempool, tx.TxID())
+	}
+	n.seenInv[hash] = true
+	n.mu.Unlock()
+
+	n.emit(Event{Kind: EvBlockConnected, Hash: hash, Height: height, Peer: from})
+	n.broadcastInv(wire.InvVect{Type: wire.InvBlock, Hash: hash}, from)
+	return nil
+}
+
+// Mine assembles a block from the mempool, grinds a nonce satisfying the
+// target (Figure 1's step 5), connects it locally and relays it. The
+// coinbase pays pkScript.
+func (n *Node) Mine(pkScript []byte) (*chain.Block, error) {
+	n.mu.Lock()
+	height := n.chain.Height() + 1
+	var fees chain.Amount
+	txs := make([]*chain.Tx, 0, len(n.mempool)+1)
+	txs = append(txs, nil) // coinbase placeholder
+	for _, tx := range n.mempool {
+		var in chain.Amount
+		ok := true
+		for _, txin := range tx.Inputs {
+			e, found := n.chain.UTXO().Lookup(txin.Prev)
+			if !found {
+				ok = false
+				break
+			}
+			in += e.Value
+		}
+		if !ok {
+			continue
+		}
+		fees += in - tx.TotalOut()
+		txs = append(txs, tx)
+		if len(txs) >= n.cfg.Params.MaxBlockTxs {
+			break
+		}
+	}
+	subsidy := n.cfg.Params.SubsidyAt(height)
+	txs[0] = chain.NewCoinbaseTx(height, subsidy+fees, pkScript, []byte(n.cfg.UserAgent))
+	blk := &chain.Block{
+		Header: chain.BlockHeader{
+			Version:    1,
+			PrevBlock:  n.chain.TipHash(),
+			MerkleRoot: chain.BlockMerkleRoot(txs),
+			Timestamp:  time.Now().Unix(),
+		},
+		Txs: txs,
+	}
+	n.mu.Unlock()
+
+	// Grind the nonce outside the lock.
+	for nonce := uint32(0); ; nonce++ {
+		blk.Header.Nonce = nonce
+		if n.cfg.Params.CheckProofOfWork(blk.BlockHash()) {
+			break
+		}
+		if nonce == ^uint32(0) {
+			return nil, errors.New("p2p: nonce space exhausted")
+		}
+	}
+	n.emit(Event{Kind: EvBlockMined, Hash: blk.BlockHash(), Height: height})
+	if err := n.acceptBlock(blk, ""); err != nil {
+		return nil, err
+	}
+	return blk, nil
+}
+
+// Network is a test/demo harness owning several interconnected nodes.
+type Network struct {
+	Nodes []*Node
+}
+
+// NewNetwork creates n nodes on ephemeral localhost ports, connected in a
+// ring plus a hub (node 0), and returns the harness.
+func NewNetwork(cfg Config, count int) (*Network, error) {
+	net := &Network{}
+	for i := 0; i < count; i++ {
+		c := cfg
+		if c.UserAgent == "" {
+			c.UserAgent = fmt.Sprintf("node%d", i)
+		}
+		node, err := NewNode(c, "127.0.0.1:0")
+		if err != nil {
+			net.Close()
+			return nil, err
+		}
+		net.Nodes = append(net.Nodes, node)
+	}
+	for i, node := range net.Nodes {
+		if i == 0 {
+			continue
+		}
+		if err := node.ConnectTo(net.Nodes[0].Addr()); err != nil {
+			net.Close()
+			return nil, err
+		}
+		if err := node.ConnectTo(net.Nodes[(i+1)%count].Addr()); err != nil {
+			net.Close()
+			return nil, err
+		}
+	}
+	return net, nil
+}
+
+// Close shuts every node down.
+func (n *Network) Close() {
+	for _, node := range n.Nodes {
+		if node != nil {
+			node.Close()
+		}
+	}
+}
+
+// WaitHeight blocks until every node reaches the height or the timeout
+// elapses; it returns whether convergence happened.
+func (n *Network) WaitHeight(h int64, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		done := true
+		for _, node := range n.Nodes {
+			if node.Height() < h {
+				done = false
+				break
+			}
+		}
+		if done {
+			return true
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return false
+}

@@ -1,0 +1,199 @@
+package p2p
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/address"
+	"repro/internal/chain"
+	"repro/internal/script"
+)
+
+func testParams() chain.Params {
+	p := chain.MainNetParams()
+	p.TargetBits = 8 // trivial mining for tests
+	p.CoinbaseMaturity = 1
+	return p
+}
+
+func TestHandshakeAndPing(t *testing.T) {
+	net, err := NewNetwork(Config{Params: testParams()}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		net.Nodes[0].mu.Lock()
+		n := len(net.Nodes[0].peers)
+		net.Nodes[0].mu.Unlock()
+		if n >= 1 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("handshake did not complete")
+}
+
+func TestBlockPropagation(t *testing.T) {
+	net, err := NewNetwork(Config{Params: testParams()}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+
+	miner := address.NewKeyFromSeed(1, 1)
+	for i := 0; i < 3; i++ {
+		if _, err := net.Nodes[0].Mine(script.PayToAddr(miner.Address())); err != nil {
+			t.Fatalf("mine %d: %v", i, err)
+		}
+	}
+	if !net.WaitHeight(2, 5*time.Second) {
+		heights := make([]int64, len(net.Nodes))
+		for i, n := range net.Nodes {
+			heights[i] = n.Height()
+		}
+		t.Fatalf("network did not converge: heights %v", heights)
+	}
+	// All tips identical.
+	tip := net.Nodes[0].tipHash()
+	for i, n := range net.Nodes {
+		if n.tipHash() != tip {
+			t.Fatalf("node %d tip differs", i)
+		}
+	}
+}
+
+func TestTransactionLifecycle(t *testing.T) {
+	// Figure 1 end to end: merchant picks an address, user pays, the
+	// network relays, a miner includes it, everyone sees the block.
+	net, err := NewNetwork(Config{Params: testParams()}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+	userNode, minerNode := net.Nodes[0], net.Nodes[1]
+
+	user := address.NewKeyFromSeed(2, 1)
+	merchant := address.NewKeyFromSeed(2, 2)
+
+	// Fund the user: mine a block paying them, then one to mature it.
+	blk, err := minerNode.Mine(script.PayToAddr(user.Address()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := minerNode.Mine(script.PayToAddr(user.Address())); err != nil {
+		t.Fatal(err)
+	}
+	if !net.WaitHeight(1, 5*time.Second) {
+		t.Fatal("funding blocks did not propagate")
+	}
+
+	// Steps 1-3: merchant address, user forms and signs the transaction.
+	cbOut := chain.OutPoint{TxID: blk.Txs[0].TxID(), Index: 0}
+	subsidy := blk.Txs[0].Outputs[0].Value
+	tx := &chain.Tx{
+		Version: 1,
+		Inputs:  []chain.TxIn{{Prev: cbOut, Sequence: ^uint32(0)}},
+		Outputs: []chain.TxOut{
+			{Value: chain.BTC(0.7), PkScript: script.PayToAddr(merchant.Address())},
+			{Value: subsidy - chain.BTC(0.7) - chain.BTC(0.001), PkScript: script.PayToAddr(user.Address())},
+		},
+	}
+	sig := user.Sign(chain.SigHash(tx, 0))
+	tx.Inputs[0].SigScript = script.SigScript(sig, user.PubKey())
+
+	// Step 4: broadcast.
+	if err := userNode.SubmitTx(tx); err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	// The miner must learn the tx through gossip.
+	deadline := time.Now().Add(5 * time.Second)
+	for minerNode.MempoolSize() == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if minerNode.MempoolSize() == 0 {
+		t.Fatal("transaction did not reach the miner")
+	}
+
+	// Steps 5-6: mine and flood the block.
+	minerKey := address.NewKeyFromSeed(2, 3)
+	mined, err := minerNode.Mine(script.PayToAddr(minerKey.Address()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	txid := tx.TxID()
+	for _, btx := range mined.Txs {
+		if btx.TxID() == txid {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("mined block does not contain the payment")
+	}
+	if !net.WaitHeight(mined.Header.Timestamp*0+2, 5*time.Second) {
+		t.Fatal("block did not propagate")
+	}
+	// The payment is now confirmed everywhere: no node has it in mempool.
+	deadline = time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		total := 0
+		for _, n := range net.Nodes {
+			total += n.MempoolSize()
+		}
+		if total == 0 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("mempool not cleared after confirmation")
+}
+
+func TestRejectInvalidTx(t *testing.T) {
+	node, err := NewNode(Config{Params: testParams()}, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	user := address.NewKeyFromSeed(3, 1)
+	// Spending a nonexistent output must be rejected.
+	tx := &chain.Tx{
+		Version: 1,
+		Inputs:  []chain.TxIn{{Prev: chain.OutPoint{Index: 3}}},
+		Outputs: []chain.TxOut{{Value: chain.Coin, PkScript: script.PayToAddr(user.Address())}},
+	}
+	if err := node.SubmitTx(tx); err == nil {
+		t.Fatal("accepted spend of nonexistent output")
+	}
+}
+
+func TestLateJoinerSyncs(t *testing.T) {
+	params := testParams()
+	seedNode, err := NewNode(Config{Params: params, UserAgent: "seed"}, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer seedNode.Close()
+	miner := address.NewKeyFromSeed(4, 1)
+	for i := 0; i < 5; i++ {
+		if _, err := seedNode.Mine(script.PayToAddr(miner.Address())); err != nil {
+			t.Fatal(err)
+		}
+	}
+	late, err := NewNode(Config{Params: params, UserAgent: "late"}, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer late.Close()
+	if err := late.ConnectTo(seedNode.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for late.Height() < 4 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if late.Height() < 4 {
+		t.Fatalf("late joiner at height %d, want 4", late.Height())
+	}
+}

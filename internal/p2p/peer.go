@@ -1,0 +1,228 @@
+package p2p
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/chain"
+	"repro/internal/wire"
+)
+
+// peer is one live connection. Each peer runs a reader goroutine (the
+// connection's message loop) and serializes writes through a mutex-guarded
+// send method, following the share-by-communicating structure the network
+// needs: the node never blocks its state lock on network I/O.
+type peer struct {
+	node *Node
+	conn net.Conn
+	id   string
+
+	writeMu sync.Mutex
+	closed  sync.Once
+}
+
+func (p *peer) close() {
+	p.closed.Do(func() { p.conn.Close() })
+}
+
+// send writes one message, dropping the peer on failure.
+func (p *peer) send(msg wire.Message) {
+	p.writeMu.Lock()
+	defer p.writeMu.Unlock()
+	p.conn.SetWriteDeadline(time.Now().Add(10 * time.Second))
+	if err := wire.WriteMessage(p.conn, p.node.cfg.Params.Magic, msg); err != nil {
+		p.node.cfg.Logf("p2p: write to %s: %v", p.id, err)
+		p.close()
+	}
+}
+
+// runPeer performs the version/verack handshake and then serves the
+// connection until it closes. inbound selects who speaks first.
+func (n *Node) runPeer(conn net.Conn, inbound bool) error {
+	p := &peer{node: n, conn: conn, id: conn.RemoteAddr().String()}
+	defer p.close()
+
+	// Handshake: both sides send version, then verack.
+	ours := &wire.MsgVersion{
+		Version:     1,
+		Nonce:       rand.Uint64(),
+		UserAgent:   n.cfg.UserAgent,
+		StartHeight: n.Height(),
+	}
+	if !inbound {
+		p.send(ours)
+	}
+	theirVersion, err := n.expect(conn, wire.CmdVersion)
+	if err != nil {
+		return fmt.Errorf("handshake: %w", err)
+	}
+	remote := theirVersion.(*wire.MsgVersion)
+	if inbound {
+		p.send(ours)
+	}
+	p.send(&wire.MsgVerAck{})
+	if _, err := n.expect(conn, wire.CmdVerAck); err != nil {
+		return fmt.Errorf("handshake: %w", err)
+	}
+
+	n.mu.Lock()
+	n.peers[p.id] = p
+	n.mu.Unlock()
+	defer func() {
+		n.mu.Lock()
+		delete(n.peers, p.id)
+		n.mu.Unlock()
+	}()
+	n.emit(Event{Kind: EvPeerConnected, Peer: p.id})
+
+	// Initial reconciliation: always ask the peer what it has past our tip.
+	// This also heals the race where an inv arrives while the handshake is
+	// still in flight (expect() discards non-handshake messages).
+	_ = remote
+	p.send(&wire.MsgGetBlocks{Have: n.tipHash()})
+
+	for {
+		select {
+		case <-n.ctx.Done():
+			return nil
+		default:
+		}
+		conn.SetReadDeadline(time.Now().Add(30 * time.Second))
+		msg, err := wire.ReadMessage(conn, n.cfg.Params.Magic)
+		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				p.send(&wire.MsgPing{Nonce: rand.Uint64()})
+				continue
+			}
+			return err
+		}
+		if err := n.handleMessage(p, msg); err != nil {
+			return err
+		}
+	}
+}
+
+// expect reads messages until one with the wanted command arrives (pings are
+// answered in passing).
+func (n *Node) expect(conn net.Conn, cmd string) (wire.Message, error) {
+	for {
+		conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+		msg, err := wire.ReadMessage(conn, n.cfg.Params.Magic)
+		if err != nil {
+			return nil, err
+		}
+		if msg.Command() == cmd {
+			return msg, nil
+		}
+	}
+}
+
+func (n *Node) tipHash() chain.Hash {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.chain.TipHash()
+}
+
+// handleMessage dispatches one received message.
+func (n *Node) handleMessage(p *peer, msg wire.Message) error {
+	switch m := msg.(type) {
+	case *wire.MsgPing:
+		p.send(&wire.MsgPong{Nonce: m.Nonce})
+
+	case *wire.MsgPong:
+		// Keepalive answered; nothing to do.
+
+	case *wire.MsgInv:
+		// Request anything we have not seen (Figure 1's flooding).
+		var want []wire.InvVect
+		n.mu.Lock()
+		for _, iv := range m.Items {
+			if !n.seenInv[iv.Hash] {
+				want = append(want, iv)
+			}
+		}
+		n.mu.Unlock()
+		if len(want) > 0 {
+			p.send(&wire.MsgGetData{Items: want})
+		}
+
+	case *wire.MsgGetData:
+		for _, iv := range m.Items {
+			switch iv.Type {
+			case wire.InvTx:
+				n.mu.Lock()
+				tx := n.mempool[iv.Hash]
+				n.mu.Unlock()
+				if tx != nil {
+					p.send(&wire.MsgTx{Tx: tx})
+				}
+			case wire.InvBlock:
+				n.mu.Lock()
+				var blk *chain.Block
+				if h, ok := n.chain.HeightOf(iv.Hash); ok {
+					blk = n.chain.BlockAt(h)
+				}
+				n.mu.Unlock()
+				if blk != nil {
+					p.send(&wire.MsgBlock{Block: blk})
+				}
+			}
+		}
+
+	case *wire.MsgTx:
+		txid := m.Tx.TxID()
+		n.mu.Lock()
+		seen := n.seenInv[txid]
+		n.mu.Unlock()
+		if seen {
+			return nil
+		}
+		if err := chain.CheckTransactionSanity(m.Tx); err != nil {
+			n.cfg.Logf("p2p: rejecting tx from %s: %v", p.id, err)
+			return nil
+		}
+		n.mu.Lock()
+		if err := n.checkMempoolTx(m.Tx); err != nil {
+			n.mu.Unlock()
+			n.cfg.Logf("p2p: rejecting tx from %s: %v", p.id, err)
+			return nil
+		}
+		n.mempool[txid] = m.Tx
+		n.seenInv[txid] = true
+		n.mu.Unlock()
+		n.emit(Event{Kind: EvTxAccepted, Hash: txid, Peer: p.id})
+		n.broadcastInv(wire.InvVect{Type: wire.InvTx, Hash: txid}, p.id)
+
+	case *wire.MsgBlock:
+		if err := n.acceptBlock(m.Block, p.id); err != nil {
+			// A block that does not extend our tip may mean we are behind;
+			// ask the peer for its view.
+			n.cfg.Logf("p2p: block from %s not connected: %v", p.id, err)
+			p.send(&wire.MsgGetBlocks{Have: n.tipHash()})
+		}
+
+	case *wire.MsgGetBlocks:
+		// Send inventory for everything after the peer's tip (or our whole
+		// chain if we do not recognize it).
+		n.mu.Lock()
+		from := int64(0)
+		if h, ok := n.chain.HeightOf(m.Have); ok {
+			from = h + 1
+		}
+		var items []wire.InvVect
+		for h := from; h <= n.chain.Height(); h++ {
+			items = append(items, wire.InvVect{Type: wire.InvBlock, Hash: n.chain.BlockAt(h).BlockHash()})
+		}
+		n.mu.Unlock()
+		if len(items) > 0 {
+			p.send(&wire.MsgInv{Items: items})
+		}
+
+	default:
+		n.cfg.Logf("p2p: unhandled %s from %s", msg.Command(), p.id)
+	}
+	return nil
+}

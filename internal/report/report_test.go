@@ -1,0 +1,63 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderAlignment(t *testing.T) {
+	tb := &Table{Title: "T", Headers: []string{"name", "count"}}
+	tb.AddRow("short", 1)
+	tb.AddRow("a much longer name", 22222)
+	out := tb.Render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 6 { // title, rule, header, rule, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "T") {
+		t.Fatal("missing title")
+	}
+	// Count column starts at the same offset in both data rows.
+	idx1 := strings.Index(lines[4], "1")
+	idx2 := strings.Index(lines[5], "22222")
+	if idx1 != idx2 {
+		t.Fatalf("misaligned columns: %d vs %d\n%s", idx1, idx2, out)
+	}
+}
+
+func TestRenderNotes(t *testing.T) {
+	tb := &Table{Headers: []string{"a"}, Notes: []string{"hello"}}
+	tb.AddRow("x")
+	if !strings.Contains(tb.Render(), "note: hello") {
+		t.Fatal("note not rendered")
+	}
+}
+
+func TestCSVEscaping(t *testing.T) {
+	tb := &Table{Headers: []string{"name", "value"}}
+	tb.AddRow(`with,comma`, `with"quote`)
+	csv := tb.CSV()
+	want := "name,value\n\"with,comma\",\"with\"\"quote\"\n"
+	if csv != want {
+		t.Fatalf("csv = %q, want %q", csv, want)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if got := Pct(0.1362); got != "13.62%" {
+		t.Errorf("Pct = %q", got)
+	}
+	if got := BTC(1234.5); got != "1234" { // >= 1000: integers (rounded)
+		if got != "1235" {
+			t.Errorf("BTC large = %q", got)
+		}
+	}
+	if got := BTC(2.5); got != "2.50" {
+		t.Errorf("BTC mid = %q", got)
+	}
+	if got := BTC(0.12345); got != "0.1234" {
+		if got != "0.1235" {
+			t.Errorf("BTC small = %q", got)
+		}
+	}
+}

@@ -1,0 +1,252 @@
+// Package script implements the minimal subset of Bitcoin's output-script
+// language the analysis pipeline needs: building and recognizing standard
+// pay-to-public-key-hash (P2PKH), pay-to-public-key (P2PK) and OP_RETURN
+// scripts, extracting the destination address from an output, and a small
+// stack machine that verifies spends.
+package script
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"repro/internal/address"
+)
+
+// Opcode byte values, matching Bitcoin's where the opcode exists there.
+const (
+	OpPushData1   byte = 0x4c
+	OpReturn      byte = 0x6a
+	OpDup         byte = 0x76
+	OpEqual       byte = 0x87
+	OpEqualVerify byte = 0x88
+	OpHash160     byte = 0xa9
+	OpCheckSig    byte = 0xac
+)
+
+// Class identifies a standard script template.
+type Class int
+
+// Script classes recognized by Classify.
+const (
+	NonStandard Class = iota
+	P2PKH
+	P2PK
+	NullData // OP_RETURN data carrier
+)
+
+// String names the class for diagnostics.
+func (c Class) String() string {
+	switch c {
+	case P2PKH:
+		return "p2pkh"
+	case P2PK:
+		return "p2pk"
+	case NullData:
+		return "nulldata"
+	default:
+		return "nonstandard"
+	}
+}
+
+// PayToAddr builds the canonical P2PKH output script:
+// OP_DUP OP_HASH160 <20-byte hash> OP_EQUALVERIFY OP_CHECKSIG.
+func PayToAddr(a address.Address) []byte {
+	s := make([]byte, 0, 25)
+	s = append(s, OpDup, OpHash160, byte(address.HashLen))
+	s = append(s, a.Hash[:]...)
+	s = append(s, OpEqualVerify, OpCheckSig)
+	return s
+}
+
+// PayToPubKey builds the P2PK output script: <pubkey> OP_CHECKSIG. Early
+// coin generations used this form, and the simulator mirrors that for the
+// first stretch of its timeline.
+func PayToPubKey(pub []byte) []byte {
+	s := make([]byte, 0, len(pub)+2)
+	s = append(s, byte(len(pub)))
+	s = append(s, pub...)
+	s = append(s, OpCheckSig)
+	return s
+}
+
+// NullDataScript builds an OP_RETURN data-carrier output.
+func NullDataScript(data []byte) []byte {
+	s := make([]byte, 0, len(data)+2)
+	s = append(s, OpReturn, byte(len(data)))
+	s = append(s, data...)
+	return s
+}
+
+// SigScript builds the input script satisfying a P2PKH output:
+// <sig> <pubkey>.
+func SigScript(sig, pub []byte) []byte {
+	s := make([]byte, 0, len(sig)+len(pub)+2)
+	s = append(s, byte(len(sig)))
+	s = append(s, sig...)
+	s = append(s, byte(len(pub)))
+	s = append(s, pub...)
+	return s
+}
+
+// SigScriptP2PK builds the input script satisfying a P2PK output: <sig>.
+func SigScriptP2PK(sig []byte) []byte {
+	s := make([]byte, 0, len(sig)+1)
+	s = append(s, byte(len(sig)))
+	s = append(s, sig...)
+	return s
+}
+
+// Classify identifies the standard template of an output script.
+func Classify(pkScript []byte) Class {
+	switch {
+	case isP2PKH(pkScript):
+		return P2PKH
+	case isP2PK(pkScript):
+		return P2PK
+	case len(pkScript) >= 1 && pkScript[0] == OpReturn:
+		return NullData
+	default:
+		return NonStandard
+	}
+}
+
+func isP2PKH(s []byte) bool {
+	return len(s) == 25 &&
+		s[0] == OpDup && s[1] == OpHash160 && s[2] == address.HashLen &&
+		s[23] == OpEqualVerify && s[24] == OpCheckSig
+}
+
+func isP2PK(s []byte) bool {
+	return len(s) == address.PubKeyLen+2 &&
+		s[0] == address.PubKeyLen &&
+		s[len(s)-1] == OpCheckSig
+}
+
+// ErrNoAddress is returned by ExtractAddress for scripts that carry no
+// spendable destination (OP_RETURN, nonstandard).
+var ErrNoAddress = errors.New("script: no address in script")
+
+// ExtractAddress returns the destination address of a standard output
+// script. P2PK outputs are attributed to the address of their public key,
+// matching how block-chain analyses (and the paper) treat them.
+func ExtractAddress(pkScript []byte) (address.Address, error) {
+	switch Classify(pkScript) {
+	case P2PKH:
+		var a address.Address
+		a.Version = address.P2PKHVersion
+		copy(a.Hash[:], pkScript[3:23])
+		return a, nil
+	case P2PK:
+		pub := pkScript[1 : 1+address.PubKeyLen]
+		return address.FromPubKey(pub), nil
+	default:
+		return address.Address{}, ErrNoAddress
+	}
+}
+
+// Verification errors.
+var (
+	ErrScriptFormat = errors.New("script: malformed script")
+	ErrBadSignature = errors.New("script: signature verification failed")
+	ErrWrongKey     = errors.New("script: public key does not match output hash")
+)
+
+// Verify checks that sigScript satisfies pkScript for an input whose
+// signature hash is sigHash. Only standard templates are accepted; the
+// economy produces nothing else, and rejecting the rest keeps the validation
+// surface small.
+func Verify(pkScript, sigScript []byte, sigHash [32]byte) error {
+	switch Classify(pkScript) {
+	case P2PKH:
+		sig, pub, err := parseSigScript(sigScript)
+		if err != nil {
+			return err
+		}
+		want := pkScript[3:23]
+		got := address.Hash160(pub)
+		if !bytes.Equal(want, got[:]) {
+			return ErrWrongKey
+		}
+		if !address.Verify(pub, sig, sigHash) {
+			return ErrBadSignature
+		}
+		return nil
+	case P2PK:
+		pub := pkScript[1 : 1+address.PubKeyLen]
+		sig, err := parseSinglePush(sigScript)
+		if err != nil {
+			return err
+		}
+		if !address.Verify(pub, sig, sigHash) {
+			return ErrBadSignature
+		}
+		return nil
+	case NullData:
+		return fmt.Errorf("%w: OP_RETURN outputs are unspendable", ErrScriptFormat)
+	default:
+		return fmt.Errorf("%w: nonstandard output", ErrScriptFormat)
+	}
+}
+
+func parseSigScript(s []byte) (sig, pub []byte, err error) {
+	sig, rest, err := readPush(s)
+	if err != nil {
+		return nil, nil, err
+	}
+	pub, rest, err = readPush(rest)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(rest) != 0 {
+		return nil, nil, fmt.Errorf("%w: trailing bytes in sigscript", ErrScriptFormat)
+	}
+	return sig, pub, nil
+}
+
+func parseSinglePush(s []byte) ([]byte, error) {
+	data, rest, err := readPush(s)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("%w: trailing bytes in sigscript", ErrScriptFormat)
+	}
+	return data, nil
+}
+
+// readPush consumes one data push (direct length byte 1..75 or OP_PUSHDATA1)
+// from the front of s.
+func readPush(s []byte) (data, rest []byte, err error) {
+	if len(s) == 0 {
+		return nil, nil, fmt.Errorf("%w: empty push", ErrScriptFormat)
+	}
+	op := s[0]
+	switch {
+	case op >= 1 && op <= 75:
+		n := int(op)
+		if len(s) < 1+n {
+			return nil, nil, fmt.Errorf("%w: truncated push", ErrScriptFormat)
+		}
+		return s[1 : 1+n], s[1+n:], nil
+	case op == OpPushData1:
+		if len(s) < 2 {
+			return nil, nil, fmt.Errorf("%w: truncated pushdata1", ErrScriptFormat)
+		}
+		n := int(s[1])
+		if len(s) < 2+n {
+			return nil, nil, fmt.Errorf("%w: truncated pushdata1 body", ErrScriptFormat)
+		}
+		return s[2 : 2+n], s[2+n:], nil
+	default:
+		return nil, nil, fmt.Errorf("%w: unexpected opcode 0x%02x", ErrScriptFormat, op)
+	}
+}
+
+// Verifier adapts Verify to the chain.ScriptVerifier interface.
+type Verifier struct{}
+
+// VerifyScript implements chain.ScriptVerifier.
+func (Verifier) VerifyScript(pkScript, sigScript []byte, sigHash [32]byte) error {
+	return Verify(pkScript, sigScript, sigHash)
+}

@@ -1,0 +1,165 @@
+package script
+
+import (
+	"testing"
+
+	"repro/internal/address"
+)
+
+func TestClassify(t *testing.T) {
+	k := address.NewKeyFromSeed(1, 1)
+	cases := []struct {
+		name   string
+		script []byte
+		want   Class
+	}{
+		{"p2pkh", PayToAddr(k.Address()), P2PKH},
+		{"p2pk", PayToPubKey(k.PubKey()), P2PK},
+		{"nulldata", NullDataScript([]byte("hi")), NullData},
+		{"empty", nil, NonStandard},
+		{"garbage", []byte{0x01, 0x02, 0x03}, NonStandard},
+		{"truncated p2pkh", PayToAddr(k.Address())[:20], NonStandard},
+	}
+	for _, c := range cases {
+		if got := Classify(c.script); got != c.want {
+			t.Errorf("%s: Classify = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestExtractAddressP2PKH(t *testing.T) {
+	k := address.NewKeyFromSeed(1, 2)
+	a, err := ExtractAddress(PayToAddr(k.Address()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != k.Address() {
+		t.Fatalf("extracted %s, want %s", a, k.Address())
+	}
+}
+
+func TestExtractAddressP2PK(t *testing.T) {
+	k := address.NewKeyFromSeed(1, 3)
+	a, err := ExtractAddress(PayToPubKey(k.PubKey()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != k.Address() {
+		t.Fatalf("P2PK attributed to %s, want %s", a, k.Address())
+	}
+}
+
+func TestExtractAddressNone(t *testing.T) {
+	if _, err := ExtractAddress(NullDataScript([]byte("x"))); err != ErrNoAddress {
+		t.Errorf("nulldata: err = %v, want ErrNoAddress", err)
+	}
+	if _, err := ExtractAddress([]byte{0xff}); err != ErrNoAddress {
+		t.Errorf("nonstandard: err = %v, want ErrNoAddress", err)
+	}
+}
+
+func TestVerifyP2PKH(t *testing.T) {
+	k := address.NewKeyFromSeed(2, 1)
+	var digest [32]byte
+	digest[0] = 7
+	pk := PayToAddr(k.Address())
+	sig := SigScript(k.Sign(digest), k.PubKey())
+	if err := Verify(pk, sig, digest); err != nil {
+		t.Fatalf("valid spend rejected: %v", err)
+	}
+}
+
+func TestVerifyP2PKHWrongKey(t *testing.T) {
+	owner := address.NewKeyFromSeed(2, 2)
+	thief := address.NewKeyFromSeed(2, 3)
+	var digest [32]byte
+	pk := PayToAddr(owner.Address())
+	sig := SigScript(thief.Sign(digest), thief.PubKey())
+	if err := Verify(pk, sig, digest); err == nil {
+		t.Fatal("accepted spend with wrong key")
+	}
+}
+
+func TestVerifyP2PKHWrongDigest(t *testing.T) {
+	k := address.NewKeyFromSeed(2, 4)
+	var d1, d2 [32]byte
+	d2[0] = 1
+	pk := PayToAddr(k.Address())
+	sig := SigScript(k.Sign(d1), k.PubKey())
+	if err := Verify(pk, sig, d2); err == nil {
+		t.Fatal("accepted signature over a different digest")
+	}
+}
+
+func TestVerifyP2PK(t *testing.T) {
+	k := address.NewKeyFromSeed(2, 5)
+	var digest [32]byte
+	pk := PayToPubKey(k.PubKey())
+	if err := Verify(pk, SigScriptP2PK(k.Sign(digest)), digest); err != nil {
+		t.Fatalf("valid P2PK spend rejected: %v", err)
+	}
+	other := address.NewKeyFromSeed(2, 6)
+	if err := Verify(pk, SigScriptP2PK(other.Sign(digest)), digest); err == nil {
+		t.Fatal("accepted P2PK spend with wrong key")
+	}
+}
+
+func TestVerifyRejectsUnspendable(t *testing.T) {
+	var digest [32]byte
+	if err := Verify(NullDataScript([]byte("data")), nil, digest); err == nil {
+		t.Fatal("accepted OP_RETURN spend")
+	}
+	if err := Verify([]byte{0xde, 0xad}, nil, digest); err == nil {
+		t.Fatal("accepted nonstandard spend")
+	}
+}
+
+func TestVerifyMalformedSigScripts(t *testing.T) {
+	k := address.NewKeyFromSeed(2, 7)
+	var digest [32]byte
+	pk := PayToAddr(k.Address())
+	bad := [][]byte{
+		nil,
+		{},
+		{75}, // truncated push
+		append(SigScript(k.Sign(digest), k.PubKey()), 0x01, 0xff), // trailing bytes
+		{OpPushData1},       // truncated pushdata1 header
+		{OpPushData1, 0x10}, // truncated pushdata1 body
+	}
+	for i, s := range bad {
+		if err := Verify(pk, s, digest); err == nil {
+			t.Errorf("case %d: accepted malformed sigscript", i)
+		}
+	}
+}
+
+func TestReadPushPushData1(t *testing.T) {
+	payload := make([]byte, 200)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	s := append([]byte{OpPushData1, byte(len(payload))}, payload...)
+	data, rest, err := readPush(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != 200 || len(rest) != 0 {
+		t.Fatalf("readPush: got %d data, %d rest", len(data), len(rest))
+	}
+}
+
+func TestScriptRoundTripThroughAddress(t *testing.T) {
+	// PayToAddr(ExtractAddress(s)) == s for all P2PKH scripts.
+	for i := uint64(0); i < 20; i++ {
+		k := address.NewKeyFromSeed(3, i)
+		s := PayToAddr(k.Address())
+		a, err := ExtractAddress(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s2 := PayToAddr(a)
+		if string(s) != string(s2) {
+			t.Fatal("P2PKH script not canonical through address roundtrip")
+		}
+	}
+}

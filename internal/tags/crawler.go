@@ -1,0 +1,141 @@
+package tags
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"regexp"
+	"strings"
+	"time"
+
+	"repro/internal/address"
+)
+
+// Crawler scrapes tag pages the way the study harvested blockchain.info/tags
+// and bitcointalk: fetch a seed page, extract (label, address) rows and
+// free-text addresses, and follow same-host links breadth-first.
+type Crawler struct {
+	// Client is the HTTP client to use; nil means a client with a 10s
+	// timeout.
+	Client *http.Client
+	// MaxPages bounds the crawl; 0 means 64.
+	MaxPages int
+	// MaxBody bounds how much of each response body is read; 0 means 1 MiB.
+	MaxBody int64
+}
+
+var (
+	rowRe  = regexp.MustCompile(`(?s)<tr><td class="tag">(.*?)</td><td class="addr">([1-9A-HJ-NP-Za-km-z]+)</td></tr>`)
+	postRe = regexp.MustCompile(`(?s)<div class="post"><b>(.*?)</b>:(.*?)</div>`)
+	hrefRe = regexp.MustCompile(`<a href="([^"]+)"`)
+)
+
+// Crawl fetches pages starting at seedURL and returns the tags it finds.
+// Table rows become SourceTagSite tags; forum posts become SourceForum tags
+// attributed to the post author. Addresses failing checksum validation are
+// discarded.
+func (c *Crawler) Crawl(seedURL string) ([]Tag, error) {
+	client := c.Client
+	if client == nil {
+		client = &http.Client{Timeout: 10 * time.Second}
+	}
+	maxPages := c.MaxPages
+	if maxPages == 0 {
+		maxPages = 64
+	}
+	maxBody := c.MaxBody
+	if maxBody == 0 {
+		maxBody = 1 << 20
+	}
+
+	seed, err := url.Parse(seedURL)
+	if err != nil {
+		return nil, fmt.Errorf("tags: bad seed url: %w", err)
+	}
+	queue := []*url.URL{seed}
+	visited := map[string]bool{}
+	var out []Tag
+	// Dedupe per (address, source): the same address may legitimately be
+	// found both in the tag table and in a forum signature, and the Store
+	// resolves which source wins.
+	type found struct {
+		addr   address.Address
+		source Source
+	}
+	seen := map[found]bool{}
+
+	for len(queue) > 0 && len(visited) < maxPages {
+		u := queue[0]
+		queue = queue[1:]
+		key := u.String()
+		if visited[key] {
+			continue
+		}
+		visited[key] = true
+
+		body, err := fetch(client, u.String(), maxBody)
+		if err != nil {
+			// Dead links are routine when scraping; skip and continue.
+			continue
+		}
+
+		for _, m := range rowRe.FindAllStringSubmatch(body, -1) {
+			a, err := address.Decode(m[2])
+			if err != nil {
+				continue // lookalike or corrupted address
+			}
+			if seen[found{a, SourceTagSite}] {
+				continue
+			}
+			seen[found{a, SourceTagSite}] = true
+			out = append(out, Tag{Addr: a, Service: htmlUnescape(m[1]), Source: SourceTagSite})
+		}
+		for _, m := range postRe.FindAllStringSubmatch(body, -1) {
+			authorName := htmlUnescape(m[1])
+			for _, a := range address.Scan(m[2]) {
+				if seen[found{a, SourceForum}] {
+					continue
+				}
+				seen[found{a, SourceForum}] = true
+				out = append(out, Tag{Addr: a, Service: authorName, Source: SourceForum})
+			}
+		}
+		for _, m := range hrefRe.FindAllStringSubmatch(body, -1) {
+			ref, err := url.Parse(m[1])
+			if err != nil {
+				continue
+			}
+			next := u.ResolveReference(ref)
+			if next.Host != seed.Host {
+				continue // stay on the seed host
+			}
+			if !visited[next.String()] {
+				queue = append(queue, next)
+			}
+		}
+	}
+	return out, nil
+}
+
+func fetch(client *http.Client, u string, maxBody int64) (string, error) {
+	resp, err := client.Get(u)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("tags: GET %s: status %d", u, resp.StatusCode)
+	}
+	b, err := io.ReadAll(io.LimitReader(resp.Body, maxBody))
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// htmlUnescape handles the few entities the site emits.
+func htmlUnescape(s string) string {
+	r := strings.NewReplacer("&amp;", "&", "&lt;", "<", "&gt;", ">", "&#34;", `"`, "&#39;", "'")
+	return strings.TrimSpace(r.Replace(s))
+}

@@ -1,0 +1,96 @@
+package tags
+
+import (
+	"fmt"
+	"html"
+	"net/http"
+	"sort"
+	"strconv"
+)
+
+// Site serves synthetic blockchain.info/tags-style pages over HTTP so the
+// crawler has something realistic to scrape: paginated HTML tables of
+// (service, address) rows plus a forum section with addresses embedded in
+// free-form signatures. It stands in for the public tag sources of
+// Section 3.2.
+type Site struct {
+	tags    []Tag
+	perPage int
+}
+
+// NewSite builds a site over the given tags, perPage rows per index page.
+func NewSite(siteTags []Tag, perPage int) *Site {
+	if perPage <= 0 {
+		perPage = 50
+	}
+	sorted := append([]Tag(nil), siteTags...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Service != sorted[j].Service {
+			return sorted[i].Service < sorted[j].Service
+		}
+		return sorted[i].Addr.String() < sorted[j].Addr.String()
+	})
+	return &Site{tags: sorted, perPage: perPage}
+}
+
+// Pages returns the number of index pages the site serves.
+func (s *Site) Pages() int {
+	if len(s.tags) == 0 {
+		return 1
+	}
+	return (len(s.tags) + s.perPage - 1) / s.perPage
+}
+
+// ServeHTTP implements http.Handler: "/" and "/tags?page=N" serve the tag
+// table; "/forum" serves signature-style pages; anything else is 404.
+func (s *Site) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch r.URL.Path {
+	case "/", "/tags":
+		s.serveTagPage(w, r)
+	case "/forum":
+		s.serveForum(w, r)
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+func (s *Site) serveTagPage(w http.ResponseWriter, r *http.Request) {
+	page, _ := strconv.Atoi(r.URL.Query().Get("page"))
+	if page < 0 || page >= s.Pages() {
+		http.NotFound(w, r)
+		return
+	}
+	lo := page * s.perPage
+	hi := lo + s.perPage
+	if hi > len(s.tags) {
+		hi = len(s.tags)
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprintf(w, "<html><head><title>Address Tags - page %d</title></head><body>\n", page)
+	fmt.Fprintf(w, "<table>\n")
+	for _, t := range s.tags[lo:hi] {
+		fmt.Fprintf(w, "<tr><td class=\"tag\">%s</td><td class=\"addr\">%s</td></tr>\n",
+			html.EscapeString(t.Service), t.Addr)
+	}
+	fmt.Fprintf(w, "</table>\n")
+	if page+1 < s.Pages() {
+		fmt.Fprintf(w, "<a href=\"/tags?page=%d\">next</a>\n", page+1)
+	}
+	fmt.Fprintf(w, "<a href=\"/forum\">forum</a>\n")
+	fmt.Fprintf(w, "</body></html>\n")
+}
+
+func (s *Site) serveForum(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprintf(w, "<html><head><title>Forum</title></head><body>\n")
+	// Forum posts embed addresses in free text; the crawler must fall back
+	// to address scanning and attribute them to the post author.
+	for i, t := range s.tags {
+		if i%7 != 0 { // only some users sign their posts with an address
+			continue
+		}
+		fmt.Fprintf(w, "<div class=\"post\"><b>%s</b>: selling hardware, donations to %s — thanks!</div>\n",
+			html.EscapeString(t.Service), t.Addr)
+	}
+	fmt.Fprintf(w, "</body></html>\n")
+}

@@ -1,0 +1,165 @@
+// Package tags implements the paper's data-collection pipeline (Section 3):
+// a store of address → real-world-service labels gathered from the
+// researcher's own transactions (highest confidence), a blockchain.info-
+// style tag site, and forum scrapes (lower confidence); plus the cluster
+// naming step that transitively taints every address in a cluster with the
+// cluster's known service identity (Section 4.1).
+package tags
+
+import (
+	"sort"
+
+	"repro/internal/address"
+)
+
+// Category groups services the way Table 1 and Figure 2 do.
+type Category int
+
+// Service categories. The order is the presentation order used in tables.
+const (
+	CatUnknown Category = iota
+	CatMining
+	CatWallet
+	CatBankExchange  // real-time trading exchanges that hold balances
+	CatFixedExchange // fixed-rate, one-time conversion exchanges
+	CatVendor
+	CatGambling
+	CatInvestment
+	CatMix // mix/laundry services
+	CatMisc
+	CatIndividual // ordinary users
+	CatThief
+)
+
+// Categories lists all service categories in presentation order.
+var Categories = []Category{
+	CatMining, CatWallet, CatBankExchange, CatFixedExchange,
+	CatVendor, CatGambling, CatInvestment, CatMix, CatMisc,
+}
+
+// String names the category as the paper's figures do.
+func (c Category) String() string {
+	switch c {
+	case CatMining:
+		return "mining"
+	case CatWallet:
+		return "wallets"
+	case CatBankExchange:
+		return "exchanges"
+	case CatFixedExchange:
+		return "fixed"
+	case CatVendor:
+		return "vendors"
+	case CatGambling:
+		return "gambling"
+	case CatInvestment:
+		return "investment"
+	case CatMix:
+		return "mix"
+	case CatMisc:
+		return "misc"
+	case CatIndividual:
+		return "individual"
+	case CatThief:
+		return "thief"
+	default:
+		return "unknown"
+	}
+}
+
+// Source ranks how a tag was obtained; lower values are more trustworthy
+// (Section 3 treats scraped tags as "less reliable than our own observed
+// data").
+type Source int
+
+// Tag sources, most reliable first.
+const (
+	SourceOwnTransaction Source = iota // we transacted with the service
+	SourceTagSite                      // blockchain.info/tags analogue
+	SourceForum                        // bitcointalk-style scrape
+)
+
+// String names the source.
+func (s Source) String() string {
+	switch s {
+	case SourceOwnTransaction:
+		return "own-tx"
+	case SourceTagSite:
+		return "tag-site"
+	case SourceForum:
+		return "forum"
+	default:
+		return "unknown"
+	}
+}
+
+// Tag labels one address as controlled by a known service.
+type Tag struct {
+	Addr     address.Address
+	Service  string
+	Category Category
+	Source   Source
+}
+
+// Store holds tags keyed by address, keeping the most reliable source when
+// the same address is tagged more than once.
+type Store struct {
+	byAddr map[address.Address]Tag
+}
+
+// NewStore returns an empty tag store.
+func NewStore() *Store {
+	return &Store{byAddr: make(map[address.Address]Tag)}
+}
+
+// Add inserts a tag, returning true if it was stored (new address, or more
+// reliable than the existing tag for that address).
+func (s *Store) Add(t Tag) bool {
+	old, ok := s.byAddr[t.Addr]
+	if ok && old.Source <= t.Source {
+		return false
+	}
+	s.byAddr[t.Addr] = t
+	return true
+}
+
+// AddAll inserts a batch of tags, returning how many were stored.
+func (s *Store) AddAll(tags []Tag) int {
+	n := 0
+	for _, t := range tags {
+		if s.Add(t) {
+			n++
+		}
+	}
+	return n
+}
+
+// Get returns the tag for an address.
+func (s *Store) Get(a address.Address) (Tag, bool) {
+	t, ok := s.byAddr[a]
+	return t, ok
+}
+
+// Len returns the number of tagged addresses.
+func (s *Store) Len() int { return len(s.byAddr) }
+
+// CountBySource returns how many stored tags came from each source.
+func (s *Store) CountBySource() map[Source]int {
+	out := make(map[Source]int)
+	for _, t := range s.byAddr {
+		out[t.Source]++
+	}
+	return out
+}
+
+// All returns every tag sorted by address string for determinism.
+func (s *Store) All() []Tag {
+	out := make([]Tag, 0, len(s.byAddr))
+	for _, t := range s.byAddr {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return out[i].Addr.String() < out[j].Addr.String()
+	})
+	return out
+}

@@ -1,0 +1,244 @@
+package tags
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/address"
+	"repro/internal/chain"
+	"repro/internal/chaintest"
+	"repro/internal/cluster"
+	"repro/internal/txgraph"
+)
+
+func addr(i uint64) address.Address {
+	return address.NewKeyFromSeed(77, i).Address()
+}
+
+func TestStorePrefersReliableSources(t *testing.T) {
+	s := NewStore()
+	a := addr(1)
+	if !s.Add(Tag{Addr: a, Service: "forum-guess", Source: SourceForum}) {
+		t.Fatal("first add rejected")
+	}
+	if !s.Add(Tag{Addr: a, Service: "mtgox", Source: SourceOwnTransaction}) {
+		t.Fatal("more reliable tag rejected")
+	}
+	if s.Add(Tag{Addr: a, Service: "other", Source: SourceTagSite}) {
+		t.Fatal("less reliable tag overwrote own-transaction tag")
+	}
+	got, _ := s.Get(a)
+	if got.Service != "mtgox" {
+		t.Fatalf("service = %q, want mtgox", got.Service)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("len = %d, want 1", s.Len())
+	}
+}
+
+func TestStoreAllSortedAndCounts(t *testing.T) {
+	s := NewStore()
+	for i := uint64(0); i < 10; i++ {
+		src := SourceTagSite
+		if i%2 == 0 {
+			src = SourceOwnTransaction
+		}
+		s.Add(Tag{Addr: addr(i), Service: "svc", Source: src})
+	}
+	all := s.All()
+	for i := 1; i < len(all); i++ {
+		if all[i-1].Addr.String() > all[i].Addr.String() {
+			t.Fatal("All() not sorted")
+		}
+	}
+	counts := s.CountBySource()
+	if counts[SourceOwnTransaction] != 5 || counts[SourceTagSite] != 5 {
+		t.Fatalf("counts = %v", counts)
+	}
+}
+
+func TestNameClustersPropagatesTags(t *testing.T) {
+	b := chaintest.New(t)
+	b.Coinbase("gox1")
+	b.Coinbase("gox2")
+	b.Coinbase("lone")
+	b.Pay([]string{"gox1", "gox2"}, chaintest.Out{Name: "hot", Value: 100 * chain.Coin})
+	b.Mine(1)
+
+	g, err := txgraph.Build(b.Chain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cluster.Heuristic1(g)
+	s := NewStore()
+	// Tag only gox1; the whole cluster {gox1, gox2} should be named.
+	s.Add(Tag{Addr: b.Addr("gox1"), Service: "Mt. Gox", Category: CatBankExchange, Source: SourceOwnTransaction})
+	n := NameClusters(c, g, s)
+
+	gox2ID, _ := g.LookupAddr(b.Addr("gox2"))
+	svc, ok := n.ServiceOf(c, gox2ID)
+	if !ok || svc != "Mt. Gox" {
+		t.Fatalf("gox2 service = %q (%v), want Mt. Gox", svc, ok)
+	}
+	if n.CategoryOf(c, gox2ID) != CatBankExchange {
+		t.Fatal("category not propagated")
+	}
+	loneID, _ := g.LookupAddr(b.Addr("lone"))
+	if _, ok := n.ServiceOf(c, loneID); ok {
+		t.Fatal("unrelated cluster received a name")
+	}
+	if n.NamedClusters != 1 {
+		t.Fatalf("NamedClusters = %d, want 1", n.NamedClusters)
+	}
+	if n.NamedAddresses != 2 {
+		t.Fatalf("NamedAddresses = %d, want 2", n.NamedAddresses)
+	}
+	if n.TaggedAddresses != 1 {
+		t.Fatalf("TaggedAddresses = %d, want 1", n.TaggedAddresses)
+	}
+	if n.Amplification != 2.0 {
+		t.Fatalf("Amplification = %f, want 2.0", n.Amplification)
+	}
+}
+
+func TestNameClustersCollapsesSameService(t *testing.T) {
+	b := chaintest.New(t)
+	// Two disjoint clusters both tagged Mt. Gox (the 20-clusters effect).
+	b.Coinbase("goxA1")
+	b.Coinbase("goxA2")
+	b.Coinbase("goxB1")
+	b.Coinbase("goxB2")
+	b.Pay([]string{"goxA1", "goxA2"}, chaintest.Out{Name: "x", Value: 100 * chain.Coin})
+	b.Mine(1)
+	b.Pay([]string{"goxB1", "goxB2"}, chaintest.Out{Name: "y", Value: 100 * chain.Coin})
+	b.Mine(1)
+
+	g, err := txgraph.Build(b.Chain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cluster.Heuristic1(g)
+	s := NewStore()
+	s.Add(Tag{Addr: b.Addr("goxA1"), Service: "Mt. Gox", Category: CatBankExchange, Source: SourceOwnTransaction})
+	s.Add(Tag{Addr: b.Addr("goxB1"), Service: "Mt. Gox", Category: CatBankExchange, Source: SourceOwnTransaction})
+	n := NameClusters(c, g, s)
+	if n.NamedClusters != 2 {
+		t.Fatalf("NamedClusters = %d, want 2", n.NamedClusters)
+	}
+	if got := n.ClustersNamed()["Mt. Gox"]; got != 2 {
+		t.Fatalf("Mt. Gox clusters = %d, want 2", got)
+	}
+	if n.CollapsedUsers != c.NumClusters()-1 {
+		t.Fatalf("CollapsedUsers = %d, want %d", n.CollapsedUsers, c.NumClusters()-1)
+	}
+}
+
+func TestNameClustersConflictResolution(t *testing.T) {
+	b := chaintest.New(t)
+	b.Coinbase("a1")
+	b.Coinbase("a2")
+	b.Pay([]string{"a1", "a2"}, chaintest.Out{Name: "z", Value: 100 * chain.Coin})
+	b.Mine(1)
+	g, err := txgraph.Build(b.Chain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cluster.Heuristic1(g)
+	s := NewStore()
+	// Forum says one thing, our own transaction says another: own-tx wins.
+	s.Add(Tag{Addr: b.Addr("a1"), Service: "rumor-service", Source: SourceForum})
+	s.Add(Tag{Addr: b.Addr("a2"), Service: "verified-service", Source: SourceOwnTransaction})
+	n := NameClusters(c, g, s)
+	a1, _ := g.LookupAddr(b.Addr("a1"))
+	svc, _ := n.ServiceOf(c, a1)
+	if svc != "verified-service" {
+		t.Fatalf("winner = %q, want verified-service", svc)
+	}
+	if n.Conflicts != 1 {
+		t.Fatalf("Conflicts = %d, want 1", n.Conflicts)
+	}
+}
+
+func TestSiteAndCrawlerEndToEnd(t *testing.T) {
+	var siteTags []Tag
+	for i := uint64(0); i < 25; i++ {
+		siteTags = append(siteTags, Tag{Addr: addr(100 + i), Service: "Svc", Source: SourceTagSite})
+	}
+	site := NewSite(siteTags, 10) // 3 pages
+	srv := httptest.NewServer(site)
+	defer srv.Close()
+
+	c := &Crawler{Client: srv.Client()}
+	got, err := c.Crawl(srv.URL + "/tags")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bySource := map[Source]int{}
+	addrs := map[address.Address]bool{}
+	for _, tg := range got {
+		bySource[tg.Source]++
+		addrs[tg.Addr] = true
+	}
+	// All 25 table rows found across the 3 paginated pages.
+	if bySource[SourceTagSite] != 25 {
+		t.Fatalf("tag-site tags = %d, want 25 (sources %v)", bySource[SourceTagSite], bySource)
+	}
+	for i := uint64(0); i < 25; i++ {
+		if !addrs[addr(100+i)] {
+			t.Fatalf("address %d missing from crawl", i)
+		}
+	}
+}
+
+func TestCrawlerForumScanFallback(t *testing.T) {
+	var siteTags []Tag
+	for i := uint64(0); i < 8; i++ {
+		siteTags = append(siteTags, Tag{Addr: addr(200 + i), Service: "Author", Source: SourceTagSite})
+	}
+	site := NewSite(siteTags, 100)
+	srv := httptest.NewServer(site)
+	defer srv.Close()
+
+	c := &Crawler{Client: srv.Client()}
+	got, err := c.Crawl(srv.URL + "/forum")
+	if err != nil {
+		t.Fatal(err)
+	}
+	forum := 0
+	for _, tg := range got {
+		if tg.Source == SourceForum {
+			forum++
+			if tg.Service != "Author" {
+				t.Fatalf("forum tag attributed to %q", tg.Service)
+			}
+		}
+	}
+	if forum == 0 {
+		t.Fatal("no forum tags extracted from signatures")
+	}
+}
+
+func TestCrawlerHandles404AndPageLimit(t *testing.T) {
+	site := NewSite(nil, 10)
+	srv := httptest.NewServer(site)
+	defer srv.Close()
+
+	c := &Crawler{Client: srv.Client(), MaxPages: 2}
+	if _, err := c.Crawl(srv.URL + "/nonexistent"); err != nil {
+		t.Fatalf("crawler must skip dead pages, got error %v", err)
+	}
+}
+
+func TestCategoryStrings(t *testing.T) {
+	want := map[Category]string{
+		CatMining: "mining", CatWallet: "wallets", CatBankExchange: "exchanges",
+		CatFixedExchange: "fixed", CatVendor: "vendors", CatGambling: "gambling",
+		CatInvestment: "investment", CatMix: "mix", CatMisc: "misc",
+		CatIndividual: "individual", CatThief: "thief", CatUnknown: "unknown",
+	}
+	for c, s := range want {
+		if c.String() != s {
+			t.Errorf("%d.String() = %q, want %q", c, c.String(), s)
+		}
+	}
+}

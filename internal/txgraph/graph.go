@@ -1,0 +1,268 @@
+// Package txgraph builds the dense in-memory index of the block chain that
+// the clustering heuristics and flow trackers operate on. Addresses are
+// interned to small integer ids (AddrID) and transactions to sequence
+// numbers (TxSeq) so that union-find and the temporal replay in
+// internal/cluster run over flat slices instead of hash maps.
+package txgraph
+
+import (
+	"fmt"
+
+	"repro/internal/address"
+	"repro/internal/chain"
+	"repro/internal/script"
+)
+
+// AddrID is a dense identifier for an interned address.
+type AddrID uint32
+
+// NoAddr marks an output with no extractable address (OP_RETURN or
+// nonstandard scripts).
+const NoAddr = ^AddrID(0)
+
+// TxSeq is a dense identifier for a transaction: its position in the chain's
+// total block-major order.
+type TxSeq uint32
+
+// NoTx marks an unspent output's spender.
+const NoTx = ^TxSeq(0)
+
+// TxInfo is the indexed form of one transaction. Input addresses and values
+// are resolved from the outputs they spend, so the heuristics never have to
+// chase outpoints.
+type TxInfo struct {
+	ID       chain.Hash
+	Height   int64
+	Coinbase bool
+
+	// Inputs, one entry per transaction input.
+	InputAddrs  []AddrID
+	InputValues []chain.Amount
+	InputSrc    []TxSeq  // transaction that created each spent output
+	InputSrcOut []uint32 // index of the spent output within InputSrc
+
+	// Outputs, one entry per transaction output.
+	OutputAddrs  []AddrID
+	OutputValues []chain.Amount
+	SpentBy      []TxSeq // spender of each output, or NoTx
+	SpentByIn    []uint32
+}
+
+// TotalOut returns the sum of output values.
+func (t *TxInfo) TotalOut() chain.Amount {
+	var s chain.Amount
+	for _, v := range t.OutputValues {
+		s += v
+	}
+	return s
+}
+
+// HasSelfChange reports whether any output address also appears among the
+// input addresses — the "self-change" idiom (23% of 2013-H1 transactions per
+// the paper) that Heuristic 2's condition (3) excludes.
+func (t *TxInfo) HasSelfChange() bool {
+	if t.Coinbase {
+		return false
+	}
+	for _, out := range t.OutputAddrs {
+		if out == NoAddr {
+			continue
+		}
+		for _, in := range t.InputAddrs {
+			if in == out {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Graph is the full index over a chain.
+type Graph struct {
+	addrs  []address.Address
+	lookup map[address.Address]AddrID
+	txs    []TxInfo
+	txSeq  map[chain.Hash]TxSeq
+
+	recvs  [][]TxSeq // per address: txs in which it received an output, in order
+	spends [][]TxSeq // per address: txs in which it spent, in order
+
+	firstSeen []TxSeq // per address: first tx (input or output side) it appears in
+	height    int64
+}
+
+// Build indexes every transaction in the chain. It returns an error if an
+// input references a transaction not seen earlier in block-major order,
+// which a validated chain can never produce.
+func Build(c *chain.Chain) (*Graph, error) {
+	g := &Graph{
+		lookup: make(map[address.Address]AddrID),
+		txSeq:  make(map[chain.Hash]TxSeq),
+		height: c.Height(),
+	}
+	for height := int64(0); height <= c.Height(); height++ {
+		blk := c.BlockAt(height)
+		for _, tx := range blk.Txs {
+			if err := g.addTx(tx, height); err != nil {
+				return nil, fmt.Errorf("txgraph: block %d: %w", height, err)
+			}
+		}
+	}
+	return g, nil
+}
+
+func (g *Graph) intern(a address.Address) AddrID {
+	if id, ok := g.lookup[a]; ok {
+		return id
+	}
+	id := AddrID(len(g.addrs))
+	g.addrs = append(g.addrs, a)
+	g.lookup[a] = id
+	g.recvs = append(g.recvs, nil)
+	g.spends = append(g.spends, nil)
+	g.firstSeen = append(g.firstSeen, NoTx)
+	return id
+}
+
+func (g *Graph) addTx(tx *chain.Tx, height int64) error {
+	seq := TxSeq(len(g.txs))
+	info := TxInfo{
+		ID:       tx.TxID(),
+		Height:   height,
+		Coinbase: tx.IsCoinbase(),
+	}
+
+	if !info.Coinbase {
+		info.InputAddrs = make([]AddrID, len(tx.Inputs))
+		info.InputValues = make([]chain.Amount, len(tx.Inputs))
+		info.InputSrc = make([]TxSeq, len(tx.Inputs))
+		info.InputSrcOut = make([]uint32, len(tx.Inputs))
+		for i, in := range tx.Inputs {
+			srcSeq, ok := g.txSeq[in.Prev.TxID]
+			if !ok {
+				return fmt.Errorf("input %d references unknown tx %s", i, in.Prev.TxID)
+			}
+			src := &g.txs[srcSeq]
+			if int(in.Prev.Index) >= len(src.OutputAddrs) {
+				return fmt.Errorf("input %d references output %d of tx with %d outputs",
+					i, in.Prev.Index, len(src.OutputAddrs))
+			}
+			if src.SpentBy[in.Prev.Index] != NoTx {
+				return fmt.Errorf("input %d double-spends %s", i, in.Prev)
+			}
+			src.SpentBy[in.Prev.Index] = seq
+			src.SpentByIn[in.Prev.Index] = uint32(i)
+			info.InputAddrs[i] = src.OutputAddrs[in.Prev.Index]
+			info.InputValues[i] = src.OutputValues[in.Prev.Index]
+			info.InputSrc[i] = srcSeq
+			info.InputSrcOut[i] = in.Prev.Index
+		}
+	}
+
+	info.OutputAddrs = make([]AddrID, len(tx.Outputs))
+	info.OutputValues = make([]chain.Amount, len(tx.Outputs))
+	info.SpentBy = make([]TxSeq, len(tx.Outputs))
+	info.SpentByIn = make([]uint32, len(tx.Outputs))
+	for i, out := range tx.Outputs {
+		info.OutputValues[i] = out.Value
+		info.SpentBy[i] = NoTx
+		a, err := script.ExtractAddress(out.PkScript)
+		if err != nil {
+			info.OutputAddrs[i] = NoAddr
+			continue
+		}
+		info.OutputAddrs[i] = g.intern(a)
+	}
+
+	// Record appearances after interning everything so ids are stable.
+	for _, id := range info.InputAddrs {
+		if id == NoAddr {
+			continue
+		}
+		if g.firstSeen[id] == NoTx {
+			g.firstSeen[id] = seq
+		}
+		if n := len(g.spends[id]); n == 0 || g.spends[id][n-1] != seq {
+			g.spends[id] = append(g.spends[id], seq)
+		}
+	}
+	for _, id := range info.OutputAddrs {
+		if id == NoAddr {
+			continue
+		}
+		if g.firstSeen[id] == NoTx {
+			g.firstSeen[id] = seq
+		}
+		g.recvs[id] = append(g.recvs[id], seq)
+	}
+
+	g.txs = append(g.txs, info)
+	g.txSeq[info.ID] = seq
+	return nil
+}
+
+// NumAddrs returns the number of distinct addresses seen.
+func (g *Graph) NumAddrs() int { return len(g.addrs) }
+
+// NumTxs returns the number of indexed transactions.
+func (g *Graph) NumTxs() int { return len(g.txs) }
+
+// Height returns the chain height the graph was built from.
+func (g *Graph) Height() int64 { return g.height }
+
+// Addr returns the address for an id.
+func (g *Graph) Addr(id AddrID) address.Address { return g.addrs[id] }
+
+// LookupAddr returns the id of an address, if it appears in the chain.
+func (g *Graph) LookupAddr(a address.Address) (AddrID, bool) {
+	id, ok := g.lookup[a]
+	return id, ok
+}
+
+// Tx returns the indexed transaction at seq. The pointer aliases internal
+// state; callers must not mutate it.
+func (g *Graph) Tx(seq TxSeq) *TxInfo { return &g.txs[seq] }
+
+// LookupTx returns the sequence number of a transaction id.
+func (g *Graph) LookupTx(id chain.Hash) (TxSeq, bool) {
+	seq, ok := g.txSeq[id]
+	return seq, ok
+}
+
+// Recvs returns the transactions in which the address received an output, in
+// chain order. Callers must not mutate the slice.
+func (g *Graph) Recvs(id AddrID) []TxSeq { return g.recvs[id] }
+
+// Spends returns the transactions in which the address spent, in chain
+// order. Callers must not mutate the slice.
+func (g *Graph) Spends(id AddrID) []TxSeq { return g.spends[id] }
+
+// FirstSeen returns the first transaction the address appears in.
+func (g *Graph) FirstSeen(id AddrID) TxSeq { return g.firstSeen[id] }
+
+// IsSink reports whether the address has received coins but never spent any
+// — the "sink" addresses the paper counts toward its upper bound on users
+// and excludes from "active" balance in Figure 2.
+func (g *Graph) IsSink(id AddrID) bool {
+	return len(g.spends[id]) == 0 && len(g.recvs[id]) > 0
+}
+
+// Balances computes the final balance of every address by replaying outputs
+// minus spends. Used by the category balance series and tests.
+func (g *Graph) Balances() []chain.Amount {
+	bal := make([]chain.Amount, len(g.addrs))
+	for i := range g.txs {
+		tx := &g.txs[i]
+		for j, id := range tx.InputAddrs {
+			if id != NoAddr {
+				bal[id] -= tx.InputValues[j]
+			}
+		}
+		for j, id := range tx.OutputAddrs {
+			if id != NoAddr {
+				bal[id] += tx.OutputValues[j]
+			}
+		}
+	}
+	return bal
+}

@@ -1,0 +1,204 @@
+package txgraph
+
+import (
+	"testing"
+
+	"repro/internal/chain"
+	"repro/internal/chaintest"
+)
+
+func build(t *testing.T, b *chaintest.Builder) *Graph {
+	t.Helper()
+	g, err := Build(b.Chain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func addrID(t *testing.T, g *Graph, b *chaintest.Builder, name string) AddrID {
+	t.Helper()
+	id, ok := g.LookupAddr(b.Addr(name))
+	if !ok {
+		t.Fatalf("address %q not in graph", name)
+	}
+	return id
+}
+
+func TestGraphIndexesSimpleChain(t *testing.T) {
+	b := chaintest.New(t)
+	b.Coinbase("alice")
+	b.Pay([]string{"alice"}, chaintest.Out{Name: "bob", Value: 20 * chain.Coin},
+		chaintest.Out{Name: "alice2", Value: 30 * chain.Coin})
+	b.Mine(1)
+
+	g := build(t, b)
+	if g.NumTxs() != 3 { // 2 coinbases + 1 payment
+		t.Fatalf("NumTxs = %d, want 3", g.NumTxs())
+	}
+	alice := addrID(t, g, b, "alice")
+	bob := addrID(t, g, b, "bob")
+	alice2 := addrID(t, g, b, "alice2")
+
+	if len(g.Spends(alice)) != 1 {
+		t.Errorf("alice spends = %d, want 1", len(g.Spends(alice)))
+	}
+	if !g.IsSink(bob) || !g.IsSink(alice2) {
+		t.Error("bob and alice2 should be sinks")
+	}
+	if g.IsSink(alice) {
+		t.Error("alice is not a sink")
+	}
+}
+
+func TestGraphResolvesInputAddressesAndValues(t *testing.T) {
+	b := chaintest.New(t)
+	b.Coinbase("alice")
+	pay := b.Pay([]string{"alice"}, chaintest.Out{Name: "bob", Value: 50 * chain.Coin})
+	b.Mine(1)
+
+	g := build(t, b)
+	seq, ok := g.LookupTx(pay.TxID())
+	if !ok {
+		t.Fatal("payment tx not indexed")
+	}
+	info := g.Tx(seq)
+	alice := addrID(t, g, b, "alice")
+	if len(info.InputAddrs) != 1 || info.InputAddrs[0] != alice {
+		t.Fatalf("input addrs = %v, want [alice=%d]", info.InputAddrs, alice)
+	}
+	if info.InputValues[0] != 50*chain.Coin {
+		t.Fatalf("input value = %v, want 50 BTC", info.InputValues[0])
+	}
+}
+
+func TestGraphSpentByLinks(t *testing.T) {
+	b := chaintest.New(t)
+	b.Coinbase("alice")
+	p1 := b.Pay([]string{"alice"}, chaintest.Out{Name: "bob", Value: 50 * chain.Coin})
+	b.Mine(1)
+	p2 := b.Pay([]string{"bob"}, chaintest.Out{Name: "carol", Value: 50 * chain.Coin})
+	b.Mine(1)
+
+	g := build(t, b)
+	s1, _ := g.LookupTx(p1.TxID())
+	s2, _ := g.LookupTx(p2.TxID())
+	if got := g.Tx(s1).SpentBy[0]; got != s2 {
+		t.Fatalf("SpentBy = %v, want %v", got, s2)
+	}
+	if got := g.Tx(s2).InputSrc[0]; got != s1 {
+		t.Fatalf("InputSrc = %v, want %v", got, s1)
+	}
+	if got := g.Tx(s2).SpentBy[0]; got != NoTx {
+		t.Fatalf("unspent output has SpentBy = %v, want NoTx", got)
+	}
+}
+
+func TestGraphSelfChangeDetection(t *testing.T) {
+	b := chaintest.New(t)
+	b.Coinbase("alice")
+	// Self-change: alice pays bob and sends change back to her own input
+	// address.
+	self := b.Pay([]string{"alice"},
+		chaintest.Out{Name: "bob", Value: 10 * chain.Coin},
+		chaintest.Out{Name: "alice", Value: 40 * chain.Coin})
+	b.Mine(1)
+	fresh := b.Pay([]string{"alice"},
+		chaintest.Out{Name: "carol", Value: 10 * chain.Coin},
+		chaintest.Out{Name: "aliceChange", Value: 30 * chain.Coin})
+	b.Mine(1)
+
+	g := build(t, b)
+	s1, _ := g.LookupTx(self.TxID())
+	if !g.Tx(s1).HasSelfChange() {
+		t.Error("self-change tx not detected")
+	}
+	s2, _ := g.LookupTx(fresh.TxID())
+	if g.Tx(s2).HasSelfChange() {
+		t.Error("fresh-change tx misreported as self-change")
+	}
+}
+
+func TestGraphFirstSeenAndRecvOrder(t *testing.T) {
+	b := chaintest.New(t)
+	b.Coinbase("alice")
+	p1 := b.Pay([]string{"alice"}, chaintest.Out{Name: "bob", Value: 10 * chain.Coin},
+		chaintest.Out{Name: "rest", Value: 40 * chain.Coin})
+	b.Mine(1)
+	p2 := b.Pay([]string{"rest"}, chaintest.Out{Name: "bob", Value: 5 * chain.Coin},
+		chaintest.Out{Name: "rest2", Value: 35 * chain.Coin})
+	b.Mine(1)
+
+	g := build(t, b)
+	bob := addrID(t, g, b, "bob")
+	s1, _ := g.LookupTx(p1.TxID())
+	s2, _ := g.LookupTx(p2.TxID())
+	if g.FirstSeen(bob) != s1 {
+		t.Fatalf("FirstSeen(bob) = %v, want %v", g.FirstSeen(bob), s1)
+	}
+	recvs := g.Recvs(bob)
+	if len(recvs) != 2 || recvs[0] != s1 || recvs[1] != s2 {
+		t.Fatalf("Recvs(bob) = %v, want [%v %v]", recvs, s1, s2)
+	}
+}
+
+func TestGraphBalances(t *testing.T) {
+	b := chaintest.New(t)
+	b.Coinbase("alice")
+	b.Pay([]string{"alice"}, chaintest.Out{Name: "bob", Value: 20 * chain.Coin},
+		chaintest.Out{Name: "carol", Value: 29 * chain.Coin}) // 1 BTC fee
+	b.Coinbase("miner")
+
+	g := build(t, b)
+	bal := g.Balances()
+	check := func(name string, want chain.Amount) {
+		t.Helper()
+		id := addrID(t, g, b, name)
+		if bal[id] != want {
+			t.Errorf("balance(%s) = %v, want %v", name, bal[id], want)
+		}
+	}
+	check("alice", 0)
+	check("bob", 20*chain.Coin)
+	check("carol", 29*chain.Coin)
+	check("miner", 51*chain.Coin) // subsidy + 1 BTC fee
+
+	var total chain.Amount
+	for _, v := range bal {
+		total += v
+	}
+	if total != b.Chain.UTXO().Total() {
+		t.Fatalf("sum of balances %v != UTXO total %v", total, b.Chain.UTXO().Total())
+	}
+}
+
+func TestGraphCoinbaseHasNoInputs(t *testing.T) {
+	b := chaintest.New(t)
+	b.Coinbase("alice")
+	g := build(t, b)
+	info := g.Tx(0)
+	if !info.Coinbase {
+		t.Fatal("tx 0 should be coinbase")
+	}
+	if len(info.InputAddrs) != 0 {
+		t.Fatalf("coinbase has %d input addrs", len(info.InputAddrs))
+	}
+}
+
+func TestGraphMultiInputTx(t *testing.T) {
+	b := chaintest.New(t)
+	b.Coinbase("a1")
+	b.Coinbase("a2")
+	pay := b.Pay([]string{"a1", "a2"}, chaintest.Out{Name: "merchant", Value: 100 * chain.Coin})
+	b.Mine(1)
+
+	g := build(t, b)
+	seq, _ := g.LookupTx(pay.TxID())
+	info := g.Tx(seq)
+	if len(info.InputAddrs) != 2 {
+		t.Fatalf("input count = %d, want 2", len(info.InputAddrs))
+	}
+	if info.InputAddrs[0] == info.InputAddrs[1] {
+		t.Fatal("distinct addresses interned to same id")
+	}
+}

@@ -1,0 +1,141 @@
+package txgraph_test
+
+import (
+	"testing"
+
+	"repro/internal/chain"
+	"repro/internal/econ"
+	"repro/internal/txgraph"
+)
+
+// buildEconGraph generates a small economy once for the invariant tests.
+var cached struct {
+	w *econ.World
+	g *txgraph.Graph
+}
+
+func econGraph(t *testing.T) (*econ.World, *txgraph.Graph) {
+	t.Helper()
+	if cached.g == nil {
+		cfg := econ.Small()
+		cfg.Blocks = 400
+		cfg.Users = 60
+		w, err := econ.Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := txgraph.Build(w.Chain)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cached.w, cached.g = w, g
+	}
+	return cached.w, cached.g
+}
+
+// Invariant: the sum of final per-address balances equals the UTXO total of
+// the chain (value conservation through the whole index).
+func TestBalancesMatchUTXOSet(t *testing.T) {
+	w, g := econGraph(t)
+	var total chain.Amount
+	for _, v := range g.Balances() {
+		total += v
+	}
+	if total != w.Chain.UTXO().Total() {
+		t.Fatalf("graph balances sum %v != UTXO total %v", total, w.Chain.UTXO().Total())
+	}
+}
+
+// Invariant: SpentBy and InputSrc are mutually consistent: if tx A's output
+// j is spent by tx B at input i, then B's input i references (A, j).
+func TestSpenderLinksSymmetric(t *testing.T) {
+	_, g := econGraph(t)
+	for seq := 0; seq < g.NumTxs(); seq++ {
+		tx := g.Tx(txgraph.TxSeq(seq))
+		for j, spender := range tx.SpentBy {
+			if spender == txgraph.NoTx {
+				continue
+			}
+			stx := g.Tx(spender)
+			i := int(tx.SpentByIn[j])
+			if i >= len(stx.InputSrc) {
+				t.Fatalf("tx %d out %d: spender input index %d out of range", seq, j, i)
+			}
+			if stx.InputSrc[i] != txgraph.TxSeq(seq) || int(stx.InputSrcOut[i]) != j {
+				t.Fatalf("tx %d out %d: spender back-reference mismatch", seq, j)
+			}
+			if stx.InputValues[i] != tx.OutputValues[j] {
+				t.Fatalf("tx %d out %d: value mismatch across link", seq, j)
+			}
+			if stx.InputAddrs[i] != tx.OutputAddrs[j] {
+				t.Fatalf("tx %d out %d: address mismatch across link", seq, j)
+			}
+		}
+	}
+}
+
+// Invariant: every address's recv/spend lists reference transactions that
+// actually mention it, in non-decreasing chain order.
+func TestAppearanceListsConsistent(t *testing.T) {
+	_, g := econGraph(t)
+	for id := 0; id < g.NumAddrs(); id++ {
+		aid := txgraph.AddrID(id)
+		prev := txgraph.TxSeq(0)
+		for k, seq := range g.Recvs(aid) {
+			if k > 0 && seq < prev {
+				t.Fatalf("addr %d: recvs out of order", id)
+			}
+			prev = seq
+			found := false
+			for _, out := range g.Tx(seq).OutputAddrs {
+				if out == aid {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("addr %d: recv tx %d does not pay it", id, seq)
+			}
+		}
+		for _, seq := range g.Spends(aid) {
+			found := false
+			for _, in := range g.Tx(seq).InputAddrs {
+				if in == aid {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("addr %d: spend tx %d does not spend from it", id, seq)
+			}
+		}
+		// FirstSeen is the minimum of all appearances.
+		first := g.FirstSeen(aid)
+		if rs := g.Recvs(aid); len(rs) > 0 && rs[0] < first {
+			t.Fatalf("addr %d: recv before FirstSeen", id)
+		}
+		if ss := g.Spends(aid); len(ss) > 0 && ss[0] < first {
+			t.Fatalf("addr %d: spend before FirstSeen", id)
+		}
+	}
+}
+
+// Invariant: sinks have no spends and at least one receive; every non-sink
+// non-fresh address has spent.
+func TestSinkDefinition(t *testing.T) {
+	_, g := econGraph(t)
+	sinks := 0
+	for id := 0; id < g.NumAddrs(); id++ {
+		aid := txgraph.AddrID(id)
+		if g.IsSink(aid) {
+			sinks++
+			if len(g.Spends(aid)) != 0 {
+				t.Fatalf("sink %d has spends", id)
+			}
+			if len(g.Recvs(aid)) == 0 {
+				t.Fatalf("sink %d never received", id)
+			}
+		}
+	}
+	if sinks == 0 {
+		t.Fatal("economy produced no sink addresses")
+	}
+}

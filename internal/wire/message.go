@@ -1,0 +1,365 @@
+// Package wire implements the peer-to-peer message protocol the Figure 1
+// network runs: Bitcoin-style framing (magic, 12-byte command, length,
+// double-SHA256 checksum) around version/verack handshakes, inv-based
+// gossip, and tx/block relay.
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/chain"
+)
+
+// Message is one wire protocol message.
+type Message interface {
+	// Command returns the message's command string (<= 12 bytes).
+	Command() string
+	// EncodePayload writes the message body.
+	EncodePayload(w io.Writer) error
+	// DecodePayload reads the message body.
+	DecodePayload(r io.Reader) error
+}
+
+// Command strings.
+const (
+	CmdVersion   = "version"
+	CmdVerAck    = "verack"
+	CmdPing      = "ping"
+	CmdPong      = "pong"
+	CmdInv       = "inv"
+	CmdGetData   = "getdata"
+	CmdTx        = "tx"
+	CmdBlock     = "block"
+	CmdGetBlocks = "getblocks"
+)
+
+// MaxPayload bounds a single message body (4 MiB).
+const MaxPayload = 4 << 20
+
+// Framing errors.
+var (
+	ErrBadMagic    = errors.New("wire: bad network magic")
+	ErrBadChecksum = errors.New("wire: payload checksum mismatch")
+	ErrOversize    = errors.New("wire: payload exceeds maximum size")
+	ErrUnknownCmd  = errors.New("wire: unknown command")
+)
+
+// WriteMessage frames and writes one message.
+func WriteMessage(w io.Writer, magic uint32, msg Message) error {
+	var payload bytes.Buffer
+	if err := msg.EncodePayload(&payload); err != nil {
+		return err
+	}
+	if payload.Len() > MaxPayload {
+		return ErrOversize
+	}
+	var hdr [24]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], magic)
+	copy(hdr[4:16], msg.Command())
+	binary.LittleEndian.PutUint32(hdr[16:20], uint32(payload.Len()))
+	sum := chain.DoubleSHA256(payload.Bytes())
+	copy(hdr[20:24], sum[:4])
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload.Bytes())
+	return err
+}
+
+// ReadMessage reads and verifies one framed message.
+func ReadMessage(r io.Reader, magic uint32) (Message, error) {
+	var hdr [24]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	if binary.LittleEndian.Uint32(hdr[0:4]) != magic {
+		return nil, ErrBadMagic
+	}
+	cmd := string(bytes.TrimRight(hdr[4:16], "\x00"))
+	length := binary.LittleEndian.Uint32(hdr[16:20])
+	if length > MaxPayload {
+		return nil, ErrOversize
+	}
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	sum := chain.DoubleSHA256(payload)
+	if !bytes.Equal(sum[:4], hdr[20:24]) {
+		return nil, ErrBadChecksum
+	}
+	msg, err := newMessage(cmd)
+	if err != nil {
+		return nil, err
+	}
+	if err := msg.DecodePayload(bytes.NewReader(payload)); err != nil {
+		return nil, fmt.Errorf("wire: decoding %s: %w", cmd, err)
+	}
+	return msg, nil
+}
+
+func newMessage(cmd string) (Message, error) {
+	switch cmd {
+	case CmdVersion:
+		return &MsgVersion{}, nil
+	case CmdVerAck:
+		return &MsgVerAck{}, nil
+	case CmdPing:
+		return &MsgPing{}, nil
+	case CmdPong:
+		return &MsgPong{}, nil
+	case CmdInv:
+		return &MsgInv{}, nil
+	case CmdGetData:
+		return &MsgGetData{}, nil
+	case CmdTx:
+		return &MsgTx{}, nil
+	case CmdBlock:
+		return &MsgBlock{}, nil
+	case CmdGetBlocks:
+		return &MsgGetBlocks{}, nil
+	default:
+		return nil, fmt.Errorf("%w: %q", ErrUnknownCmd, cmd)
+	}
+}
+
+// InvType distinguishes inventory entries.
+type InvType uint32
+
+// Inventory types.
+const (
+	InvTx    InvType = 1
+	InvBlock InvType = 2
+)
+
+// InvVect is one inventory entry: "I have this object".
+type InvVect struct {
+	Type InvType
+	Hash chain.Hash
+}
+
+// MsgVersion opens the handshake (Figure 1's peers learning about each
+// other).
+type MsgVersion struct {
+	Version     int32
+	Nonce       uint64
+	UserAgent   string
+	StartHeight int64
+}
+
+// Command implements Message.
+func (*MsgVersion) Command() string { return CmdVersion }
+
+// EncodePayload implements Message.
+func (m *MsgVersion) EncodePayload(w io.Writer) error {
+	var b [20]byte
+	binary.LittleEndian.PutUint32(b[0:4], uint32(m.Version))
+	binary.LittleEndian.PutUint64(b[4:12], m.Nonce)
+	binary.LittleEndian.PutUint64(b[12:20], uint64(m.StartHeight))
+	if _, err := w.Write(b[:]); err != nil {
+		return err
+	}
+	return chain.WriteVarBytes(w, []byte(m.UserAgent))
+}
+
+// DecodePayload implements Message.
+func (m *MsgVersion) DecodePayload(r io.Reader) error {
+	var b [20]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return err
+	}
+	m.Version = int32(binary.LittleEndian.Uint32(b[0:4]))
+	m.Nonce = binary.LittleEndian.Uint64(b[4:12])
+	m.StartHeight = int64(binary.LittleEndian.Uint64(b[12:20]))
+	ua, err := chain.ReadVarBytes(r)
+	if err != nil {
+		return err
+	}
+	if len(ua) > 256 {
+		return errors.New("wire: user agent too long")
+	}
+	m.UserAgent = string(ua)
+	return nil
+}
+
+// MsgVerAck acknowledges a version message.
+type MsgVerAck struct{}
+
+// Command implements Message.
+func (*MsgVerAck) Command() string { return CmdVerAck }
+
+// EncodePayload implements Message.
+func (*MsgVerAck) EncodePayload(io.Writer) error { return nil }
+
+// DecodePayload implements Message.
+func (*MsgVerAck) DecodePayload(io.Reader) error { return nil }
+
+// MsgPing is a keepalive probe.
+type MsgPing struct{ Nonce uint64 }
+
+// Command implements Message.
+func (*MsgPing) Command() string { return CmdPing }
+
+// EncodePayload implements Message.
+func (m *MsgPing) EncodePayload(w io.Writer) error { return writeU64(w, m.Nonce) }
+
+// DecodePayload implements Message.
+func (m *MsgPing) DecodePayload(r io.Reader) error { return readU64(r, &m.Nonce) }
+
+// MsgPong answers a ping.
+type MsgPong struct{ Nonce uint64 }
+
+// Command implements Message.
+func (*MsgPong) Command() string { return CmdPong }
+
+// EncodePayload implements Message.
+func (m *MsgPong) EncodePayload(w io.Writer) error { return writeU64(w, m.Nonce) }
+
+// DecodePayload implements Message.
+func (m *MsgPong) DecodePayload(r io.Reader) error { return readU64(r, &m.Nonce) }
+
+func writeU64(w io.Writer, v uint64) error {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	_, err := w.Write(b[:])
+	return err
+}
+
+func readU64(r io.Reader, v *uint64) error {
+	var b [8]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return err
+	}
+	*v = binary.LittleEndian.Uint64(b[:])
+	return nil
+}
+
+// maxInvItems bounds inventory lists.
+const maxInvItems = 50_000
+
+// MsgInv advertises objects ("allows it to flood the network", Figure 1
+// steps 4 and 6).
+type MsgInv struct{ Items []InvVect }
+
+// Command implements Message.
+func (*MsgInv) Command() string { return CmdInv }
+
+// EncodePayload implements Message.
+func (m *MsgInv) EncodePayload(w io.Writer) error { return encodeInv(w, m.Items) }
+
+// DecodePayload implements Message.
+func (m *MsgInv) DecodePayload(r io.Reader) error {
+	items, err := decodeInv(r)
+	m.Items = items
+	return err
+}
+
+// MsgGetData requests advertised objects.
+type MsgGetData struct{ Items []InvVect }
+
+// Command implements Message.
+func (*MsgGetData) Command() string { return CmdGetData }
+
+// EncodePayload implements Message.
+func (m *MsgGetData) EncodePayload(w io.Writer) error { return encodeInv(w, m.Items) }
+
+// DecodePayload implements Message.
+func (m *MsgGetData) DecodePayload(r io.Reader) error {
+	items, err := decodeInv(r)
+	m.Items = items
+	return err
+}
+
+func encodeInv(w io.Writer, items []InvVect) error {
+	if err := chain.WriteVarInt(w, uint64(len(items))); err != nil {
+		return err
+	}
+	for _, it := range items {
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], uint32(it.Type))
+		if _, err := w.Write(b[:]); err != nil {
+			return err
+		}
+		if _, err := w.Write(it.Hash[:]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func decodeInv(r io.Reader) ([]InvVect, error) {
+	n, err := chain.ReadVarInt(r)
+	if err != nil {
+		return nil, err
+	}
+	if n > maxInvItems {
+		return nil, fmt.Errorf("wire: inv list of %d items exceeds limit", n)
+	}
+	items := make([]InvVect, n)
+	for i := range items {
+		var b [4]byte
+		if _, err := io.ReadFull(r, b[:]); err != nil {
+			return nil, err
+		}
+		items[i].Type = InvType(binary.LittleEndian.Uint32(b[:]))
+		if _, err := io.ReadFull(r, items[i].Hash[:]); err != nil {
+			return nil, err
+		}
+	}
+	return items, nil
+}
+
+// MsgTx relays a transaction (Figure 1 step 4).
+type MsgTx struct{ Tx *chain.Tx }
+
+// Command implements Message.
+func (*MsgTx) Command() string { return CmdTx }
+
+// EncodePayload implements Message.
+func (m *MsgTx) EncodePayload(w io.Writer) error { return m.Tx.Serialize(w) }
+
+// DecodePayload implements Message.
+func (m *MsgTx) DecodePayload(r io.Reader) error {
+	m.Tx = new(chain.Tx)
+	return m.Tx.Deserialize(r)
+}
+
+// MsgBlock relays a block (Figure 1 step 6).
+type MsgBlock struct{ Block *chain.Block }
+
+// Command implements Message.
+func (*MsgBlock) Command() string { return CmdBlock }
+
+// EncodePayload implements Message.
+func (m *MsgBlock) EncodePayload(w io.Writer) error { return m.Block.Serialize(w) }
+
+// DecodePayload implements Message.
+func (m *MsgBlock) DecodePayload(r io.Reader) error {
+	m.Block = new(chain.Block)
+	return m.Block.Deserialize(r)
+}
+
+// MsgGetBlocks asks a peer for block inventory after a locator.
+type MsgGetBlocks struct {
+	// Have is the requester's best block hash (simplified locator).
+	Have chain.Hash
+}
+
+// Command implements Message.
+func (*MsgGetBlocks) Command() string { return CmdGetBlocks }
+
+// EncodePayload implements Message.
+func (m *MsgGetBlocks) EncodePayload(w io.Writer) error {
+	_, err := w.Write(m.Have[:])
+	return err
+}
+
+// DecodePayload implements Message.
+func (m *MsgGetBlocks) DecodePayload(r io.Reader) error {
+	_, err := io.ReadFull(r, m.Have[:])
+	return err
+}

@@ -1,0 +1,178 @@
+package wire
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/chain"
+)
+
+const testMagic = 0xfeedbeef
+
+func roundTrip(t *testing.T, msg Message) Message {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteMessage(&buf, testMagic, msg); err != nil {
+		t.Fatalf("write %s: %v", msg.Command(), err)
+	}
+	got, err := ReadMessage(&buf, testMagic)
+	if err != nil {
+		t.Fatalf("read %s: %v", msg.Command(), err)
+	}
+	if got.Command() != msg.Command() {
+		t.Fatalf("command %q != %q", got.Command(), msg.Command())
+	}
+	return got
+}
+
+func TestVersionRoundTrip(t *testing.T) {
+	m := &MsgVersion{Version: 1, Nonce: 42, UserAgent: "/fistful:1.0/", StartHeight: 99}
+	got := roundTrip(t, m).(*MsgVersion)
+	if *got != *m {
+		t.Fatalf("got %+v, want %+v", got, m)
+	}
+}
+
+func TestPingPongRoundTrip(t *testing.T) {
+	if got := roundTrip(t, &MsgPing{Nonce: 7}).(*MsgPing); got.Nonce != 7 {
+		t.Fatal("ping nonce lost")
+	}
+	if got := roundTrip(t, &MsgPong{Nonce: 9}).(*MsgPong); got.Nonce != 9 {
+		t.Fatal("pong nonce lost")
+	}
+	roundTrip(t, &MsgVerAck{})
+}
+
+func TestInvRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m := &MsgInv{}
+	for i := 0; i < 7; i++ {
+		var iv InvVect
+		iv.Type = InvTx
+		if i%2 == 0 {
+			iv.Type = InvBlock
+		}
+		rng.Read(iv.Hash[:])
+		m.Items = append(m.Items, iv)
+	}
+	got := roundTrip(t, m).(*MsgInv)
+	if len(got.Items) != len(m.Items) {
+		t.Fatalf("items %d != %d", len(got.Items), len(m.Items))
+	}
+	for i := range m.Items {
+		if got.Items[i] != m.Items[i] {
+			t.Fatalf("item %d mismatch", i)
+		}
+	}
+}
+
+func TestTxAndBlockRoundTrip(t *testing.T) {
+	tx := &chain.Tx{
+		Version: 1,
+		Inputs:  []chain.TxIn{{Prev: chain.OutPoint{Index: 1}, SigScript: []byte{1, 2, 3}}},
+		Outputs: []chain.TxOut{{Value: 5 * chain.Coin, PkScript: []byte{0xaa}}},
+	}
+	gotTx := roundTrip(t, &MsgTx{Tx: tx}).(*MsgTx)
+	if gotTx.Tx.TxID() != tx.TxID() {
+		t.Fatal("tx id changed across wire")
+	}
+	blk := &chain.Block{
+		Header: chain.BlockHeader{Version: 1, Timestamp: 12345},
+		Txs:    []*chain.Tx{tx},
+	}
+	blk.Header.MerkleRoot = chain.BlockMerkleRoot(blk.Txs)
+	gotBlk := roundTrip(t, &MsgBlock{Block: blk}).(*MsgBlock)
+	if gotBlk.Block.BlockHash() != blk.BlockHash() {
+		t.Fatal("block hash changed across wire")
+	}
+}
+
+func TestGetBlocksRoundTrip(t *testing.T) {
+	var m MsgGetBlocks
+	m.Have[3] = 0x55
+	got := roundTrip(t, &m).(*MsgGetBlocks)
+	if got.Have != m.Have {
+		t.Fatal("locator hash lost")
+	}
+}
+
+func TestRejectWrongMagic(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMessage(&buf, testMagic, &MsgPing{Nonce: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadMessage(&buf, testMagic+1); err != ErrBadMagic {
+		t.Fatalf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestRejectCorruptChecksum(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMessage(&buf, testMagic, &MsgPing{Nonce: 1}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[len(raw)-1] ^= 0xff // flip a payload byte
+	if _, err := ReadMessage(bytes.NewReader(raw), testMagic); err != ErrBadChecksum {
+		t.Fatalf("err = %v, want ErrBadChecksum", err)
+	}
+}
+
+func TestRejectUnknownCommand(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMessage(&buf, testMagic, &MsgPing{Nonce: 1}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	copy(raw[4:16], "bogus\x00\x00\x00\x00\x00\x00\x00")
+	_, err := ReadMessage(bytes.NewReader(raw), testMagic)
+	if err == nil || !strings.Contains(err.Error(), "unknown command") {
+		t.Fatalf("err = %v, want unknown command", err)
+	}
+}
+
+func TestRejectOversizePayloadHeader(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMessage(&buf, testMagic, &MsgPing{Nonce: 1}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[16], raw[17], raw[18], raw[19] = 0xff, 0xff, 0xff, 0x7f
+	if _, err := ReadMessage(bytes.NewReader(raw), testMagic); err != ErrOversize {
+		t.Fatalf("err = %v, want ErrOversize", err)
+	}
+}
+
+func TestRejectTruncatedStream(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMessage(&buf, testMagic, &MsgVersion{UserAgent: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for cut := 1; cut < len(raw); cut += 5 {
+		if _, err := ReadMessage(bytes.NewReader(raw[:cut]), testMagic); err == nil {
+			t.Fatalf("accepted truncation at %d", cut)
+		}
+	}
+}
+
+func TestHostileInvCount(t *testing.T) {
+	// Build a syntactically valid frame claiming a huge inv list.
+	var payload bytes.Buffer
+	chain.WriteVarInt(&payload, maxInvItems+1)
+	var frame bytes.Buffer
+	hdr := make([]byte, 24)
+	frame.Write(hdr)
+	raw := frame.Bytes()
+	copy(raw[0:4], []byte{0xef, 0xbe, 0xed, 0xfe}) // little-endian testMagic
+	copy(raw[4:16], "inv")
+	raw[16] = byte(payload.Len())
+	sum := chain.DoubleSHA256(payload.Bytes())
+	copy(raw[20:24], sum[:4])
+	full := append(raw, payload.Bytes()...)
+	if _, err := ReadMessage(bytes.NewReader(full), testMagic); err == nil {
+		t.Fatal("accepted hostile inv count")
+	}
+}

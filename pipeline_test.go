@@ -1,0 +1,244 @@
+package fistful
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/tags"
+)
+
+// The pipeline is expensive, so integration tests share one instance built
+// from the Small configuration.
+var (
+	pipeOnce sync.Once
+	pipe     *Pipeline
+	pipeErr  error
+)
+
+func smallPipeline(t *testing.T) *Pipeline {
+	t.Helper()
+	pipeOnce.Do(func() {
+		pipe, pipeErr = NewPipeline(SmallConfig())
+	})
+	if pipeErr != nil {
+		t.Fatalf("pipeline: %v", pipeErr)
+	}
+	return pipe
+}
+
+func TestPipelineStagesPopulated(t *testing.T) {
+	p := smallPipeline(t)
+	if p.Graph.NumTxs() == 0 || p.Graph.NumAddrs() == 0 {
+		t.Fatal("empty graph")
+	}
+	if p.Tags.Len() == 0 {
+		t.Fatal("no tags collected")
+	}
+	if len(p.Dice) == 0 {
+		t.Fatal("dice set empty: tag bootstrap failed")
+	}
+	if p.Refined == nil || p.Naive == nil {
+		t.Fatal("clusterings missing")
+	}
+	if p.Naming.NamedClusters == 0 {
+		t.Fatal("no clusters named")
+	}
+}
+
+func TestH1PerfectPrecision(t *testing.T) {
+	p := smallPipeline(t)
+	_, r := p.Heuristic1()
+	if r.Truth.Purity != 1.0 || r.Truth.Contaminated != 0 {
+		t.Fatalf("H1 purity=%.4f contaminated=%d; the protocol property must hold",
+			r.Truth.Purity, r.Truth.Contaminated)
+	}
+}
+
+func TestH2LadderShape(t *testing.T) {
+	p := smallPipeline(t)
+	_, r := p.Heuristic2()
+	naive := r.Ladder[0].Stats
+	dice := r.Ladder[1].Stats
+	day := r.Ladder[2].Stats
+	week := r.Ladder[3].Stats
+	if naive.FPRate() <= dice.FPRate() {
+		t.Fatalf("dice exemption did not reduce FP: %.4f -> %.4f", naive.FPRate(), dice.FPRate())
+	}
+	if dice.FalsePositives < day.FalsePositives {
+		t.Fatalf("waiting a day increased FPs: %d -> %d", dice.FalsePositives, day.FalsePositives)
+	}
+	if day.FalsePositives < week.FalsePositives {
+		t.Fatalf("waiting a week increased FPs: %d -> %d", day.FalsePositives, week.FalsePositives)
+	}
+	// The headline shape: dice exemption removes the bulk of the estimate.
+	if naive.FPRate() < 2*dice.FPRate() {
+		t.Fatalf("dice exemption too weak: %.4f -> %.4f", naive.FPRate(), dice.FPRate())
+	}
+}
+
+func TestRefinementKillsContamination(t *testing.T) {
+	p := smallPipeline(t)
+	_, r := p.Heuristic2()
+	if r.RefinedTruth.Purity < r.NaiveTruth.Purity {
+		t.Fatalf("refinement reduced purity: %.4f -> %.4f", r.NaiveTruth.Purity, r.RefinedTruth.Purity)
+	}
+	if r.RefinedTruth.Contaminated > r.NaiveTruth.Contaminated {
+		t.Fatalf("refinement increased contamination: %d -> %d",
+			r.NaiveTruth.Contaminated, r.RefinedTruth.Contaminated)
+	}
+	if len(r.RefinedBigFour) > 0 {
+		t.Fatalf("refined clustering still merges %v", r.RefinedBigFour)
+	}
+}
+
+func TestAmplification(t *testing.T) {
+	p := smallPipeline(t)
+	if p.Naming.Amplification < 1.5 {
+		t.Fatalf("amplification = %.1fx; clustering should name far more than the tagged set",
+			p.Naming.Amplification)
+	}
+	if p.Naming.NamedAddresses <= p.Naming.TaggedAddresses {
+		t.Fatal("naming did not extend beyond the tagged addresses")
+	}
+}
+
+func TestFigure2Sane(t *testing.T) {
+	p := smallPipeline(t)
+	_, s := p.Figure2(6)
+	if len(s.Heights) != 6 {
+		t.Fatalf("samples = %d", len(s.Heights))
+	}
+	for si := range s.Heights {
+		sum := 0.0
+		for ci := range s.Categories {
+			v := s.SharePct[ci][si]
+			if v < 0 || v > 100 {
+				t.Fatalf("share out of range: %f", v)
+			}
+			sum += v
+		}
+		if sum > 100.000001 {
+			t.Fatalf("shares sum to %f", sum)
+		}
+	}
+	// Exchanges must be a visible slice of the economy by the end.
+	exIdx := -1
+	for i, c := range s.Categories {
+		if c == tags.CatBankExchange {
+			exIdx = i
+		}
+	}
+	if s.SharePct[exIdx][len(s.Heights)-1] <= 0 {
+		t.Fatal("exchange balance share is zero at the end")
+	}
+}
+
+func TestTable2ChainsFollowed(t *testing.T) {
+	p := smallPipeline(t)
+	tbl, r := p.Table2()
+	if r.HopsPerChain[0] == 0 && r.HopsPerChain[1] == 0 && r.HopsPerChain[2] == 0 {
+		t.Fatalf("no chain could be followed:\n%s", tbl.Render())
+	}
+	if r.ExchangePeels == 0 {
+		t.Fatal("no peels to exchanges recovered")
+	}
+	if r.RecoveredPeels == 0 {
+		t.Fatal("no scripted peels recovered")
+	}
+}
+
+func TestTable3TheftsTracked(t *testing.T) {
+	p := smallPipeline(t)
+	_, rows := p.Table3()
+	if len(rows) != 7 {
+		t.Fatalf("theft rows = %d, want 7", len(rows))
+	}
+	reached := 0
+	for _, row := range rows {
+		if row.Name == "Trojan" {
+			if row.UnmovedBTC <= 0 {
+				t.Error("trojan unmoved balance missing")
+			}
+			continue
+		}
+		if row.Exchanges {
+			reached++
+		}
+		if row.Movement == "" {
+			t.Errorf("theft %s: no movement observed", row.Name)
+		}
+	}
+	if reached < 4 {
+		t.Fatalf("only %d thefts reached exchanges; the paper's claim needs most of them", reached)
+	}
+}
+
+func TestTable1Totals(t *testing.T) {
+	p := smallPipeline(t)
+	tbl := p.Table1()
+	out := tbl.Render()
+	if !strings.Contains(out, "TOTAL") {
+		t.Fatal("no totals row")
+	}
+	if p.World.ResearcherTxCount < 330 {
+		t.Fatalf("campaign incomplete: %d txs", p.World.ResearcherTxCount)
+	}
+}
+
+func TestRenderAllTables(t *testing.T) {
+	p := smallPipeline(t)
+	t1, _ := p.Heuristic1()
+	t2, _ := p.Heuristic2()
+	f2, _ := p.Figure2(8)
+	tt2, _ := p.Table2()
+	tt3, _ := p.Table3()
+	for _, tbl := range []interface{ Render() string }{p.Table1(), t1, t2, f2, tt2, tt3} {
+		if len(tbl.Render()) == 0 {
+			t.Fatal("empty table render")
+		}
+	}
+}
+
+func TestEvasionStudyMonotone(t *testing.T) {
+	if testing.Short() {
+		t.Skip("three full generations")
+	}
+	cfg := SmallConfig()
+	cfg.Blocks = 500
+	cfg.Users = 80
+	_, rows, err := EvasionStudy(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Stricter discipline must starve the heuristics.
+	if rows[2].H2Labeled >= rows[0].H2Labeled {
+		t.Fatalf("paranoid users still yield %d labels vs %d at 2013 idioms",
+			rows[2].H2Labeled, rows[0].H2Labeled)
+	}
+	if rows[2].NaiveContaminated > rows[0].NaiveContaminated {
+		t.Fatalf("paranoid users increased naive false merges: %d vs %d",
+			rows[2].NaiveContaminated, rows[0].NaiveContaminated)
+	}
+}
+
+func TestTopEntitiesDominatedByServices(t *testing.T) {
+	p := smallPipeline(t)
+	tbl := p.TopEntities(10)
+	if len(tbl.Rows) == 0 {
+		t.Fatal("no named entities")
+	}
+	// The biggest footprints must be services, not individuals.
+	services := 0
+	for _, row := range tbl.Rows {
+		if row[1] != tags.CatIndividual.String() {
+			services++
+		}
+	}
+	if services < len(tbl.Rows)/2 {
+		t.Fatalf("only %d of %d top entities are services", services, len(tbl.Rows))
+	}
+}
