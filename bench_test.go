@@ -49,15 +49,26 @@ func BenchmarkEconomyGeneration(b *testing.B) {
 	}
 }
 
-// BenchmarkTxGraphBuild measures indexing the chain into the dense graph.
+// BenchmarkTxGraphBuild measures indexing the chain into the dense graph,
+// sequentially and with the parallel hash/script pre-pass.
 func BenchmarkTxGraphBuild(b *testing.B) {
 	p := benchPipeline(b)
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		if _, err := txgraph.Build(p.World.Chain); err != nil {
-			b.Fatal(err)
+	b.Run("seq", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := txgraph.BuildWorkers(p.World.Chain, 1); err != nil {
+				b.Fatal(err)
+			}
 		}
-	}
+	})
+	b.Run("par", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := txgraph.Build(p.World.Chain); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkTable1 regenerates the data-collection table (Table 1).
@@ -123,17 +134,24 @@ func BenchmarkFigure1(b *testing.B) {
 	}
 }
 
-// BenchmarkHeuristic1 regenerates the Section 4.1 clustering.
+// BenchmarkHeuristic1 regenerates the Section 4.1 clustering, sequentially
+// and with the sharded union-find scan.
 func BenchmarkHeuristic1(b *testing.B) {
 	p := benchPipeline(b)
-	b.ReportAllocs()
-	var stats cluster.Stats
-	for i := 0; i < b.N; i++ {
-		c := cluster.Heuristic1(p.Graph)
-		stats = c.ComputeStats()
+	run := func(workers int) func(b *testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			var stats cluster.Stats
+			for i := 0; i < b.N; i++ {
+				c := cluster.Heuristic1Workers(p.Graph, workers)
+				stats = c.ComputeStats()
+			}
+			b.ReportMetric(float64(stats.SpenderClusters), "clusters")
+			b.ReportMetric(float64(stats.MaxUsers), "max-users")
+		}
 	}
-	b.ReportMetric(float64(stats.SpenderClusters), "clusters")
-	b.ReportMetric(float64(stats.MaxUsers), "max-users")
+	b.Run("seq", run(1))
+	b.Run("par", run(0))
 }
 
 // BenchmarkHeuristic2Naive regenerates the unrefined change classifier (the

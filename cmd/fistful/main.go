@@ -68,6 +68,11 @@ func configFlags(fs *flag.FlagSet) (*bool, *int64) {
 	return small, seed
 }
 
+func parallelFlag(fs *flag.FlagSet) *int {
+	return fs.Int("parallel", 0,
+		"pipeline worker count (0 = one per CPU, 1 = sequential); results are identical for any value")
+}
+
 func buildConfig(small bool, seed int64) fistful.Config {
 	cfg := fistful.DefaultConfig()
 	if small {
@@ -82,18 +87,19 @@ func buildConfig(small bool, seed int64) fistful.Config {
 func cmdExperiments(args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ExitOnError)
 	small, seed := configFlags(fs)
+	parallel := parallelFlag(fs)
 	csv := fs.Bool("csv", false, "emit CSV instead of aligned tables")
 	samples := fs.Int("samples", 12, "figure 2 sample count")
 	fs.Parse(args)
 
 	start := time.Now()
 	fmt.Fprintf(os.Stderr, "generating economy and running pipeline...\n")
-	p, err := fistful.NewPipeline(buildConfig(*small, *seed))
+	p, err := fistful.NewPipelineOpts(buildConfig(*small, *seed), fistful.Options{Parallelism: *parallel})
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "pipeline ready in %v: %d txs, %d addresses\n\n",
-		time.Since(start).Round(time.Millisecond), p.Graph.NumTxs(), p.Graph.NumAddrs())
+	fmt.Fprintf(os.Stderr, "pipeline ready in %v: %d txs, %d addresses, %d workers\n\n",
+		time.Since(start).Round(time.Millisecond), p.Graph.NumTxs(), p.Graph.NumAddrs(), p.Parallelism)
 
 	h1, _ := p.Heuristic1()
 	h2, _ := p.Heuristic2()
@@ -183,8 +189,10 @@ func min64(a, b int64) int64 {
 func cmdEvasion(args []string) error {
 	fs := flag.NewFlagSet("evasion", flag.ExitOnError)
 	small, seed := configFlags(fs)
+	parallel := parallelFlag(fs)
 	fs.Parse(args)
-	tbl, _, err := fistful.EvasionStudy(buildConfig(*small, *seed), nil)
+	tbl, _, err := fistful.EvasionStudyOpts(buildConfig(*small, *seed), nil,
+		fistful.Options{Parallelism: *parallel})
 	if err != nil {
 		return err
 	}

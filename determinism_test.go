@@ -1,0 +1,103 @@
+package fistful
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/econ"
+	"repro/internal/txgraph"
+)
+
+// The concurrency contract of the whole pipeline: any Parallelism setting
+// produces byte-identical results to the fully sequential path — same graph,
+// same Heuristic 1/2 labels, same stats, same change labels. Run under
+// -race this also shakes out unsynchronized sharing between the fanned-out
+// stages. Exercised at SmallConfig scale and at a larger configuration.
+func TestPipelineParallelismInvariant(t *testing.T) {
+	configs := []struct {
+		name string
+		cfg  Config
+	}{
+		{"small", SmallConfig()},
+		{"larger", largerConfig()},
+	}
+	for _, tc := range configs {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			w, err := econ.Generate(tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seq, err := NewPipelineFromWorldOpts(w, Options{Parallelism: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, parallelism := range []int{0, 3} {
+				par, err := NewPipelineFromWorldOpts(w, Options{Parallelism: parallelism})
+				if err != nil {
+					t.Fatalf("parallelism=%d: %v", parallelism, err)
+				}
+				comparePipelines(t, parallelism, seq, par)
+			}
+		})
+	}
+}
+
+// largerConfig scales the small economy up enough that the parallel shards
+// and pre-pass chunks all hold multiple blocks of work.
+func largerConfig() Config {
+	cfg := SmallConfig()
+	cfg.Blocks = cfg.Blocks * 2
+	cfg.Users = cfg.Users * 2
+	return cfg
+}
+
+func comparePipelines(t *testing.T, parallelism int, seq, par *Pipeline) {
+	t.Helper()
+	if par.Graph.NumTxs() != seq.Graph.NumTxs() || par.Graph.NumAddrs() != seq.Graph.NumAddrs() {
+		t.Fatalf("parallelism=%d: graph %d txs/%d addrs, sequential %d/%d", parallelism,
+			par.Graph.NumTxs(), par.Graph.NumAddrs(), seq.Graph.NumTxs(), seq.Graph.NumAddrs())
+	}
+	clusterings := []struct {
+		name     string
+		seq, par *cluster.Clustering
+	}{
+		{"H1", seq.H1, par.H1},
+		{"Naive", seq.Naive, par.Naive},
+		{"Refined", seq.Refined, par.Refined},
+	}
+	for _, c := range clusterings {
+		if c.par.NumClusters() != c.seq.NumClusters() {
+			t.Fatalf("parallelism=%d: %s clusters %d, sequential %d", parallelism,
+				c.name, c.par.NumClusters(), c.seq.NumClusters())
+		}
+		for id := 0; id < seq.Graph.NumAddrs(); id++ {
+			if c.par.ClusterOf(txgraph.AddrID(id)) != c.seq.ClusterOf(txgraph.AddrID(id)) {
+				t.Fatalf("parallelism=%d: %s label of addr %d differs", parallelism, c.name, id)
+			}
+		}
+		if c.par.ComputeStats() != c.seq.ComputeStats() {
+			t.Fatalf("parallelism=%d: %s stats differ:\nseq: %+v\npar: %+v", parallelism,
+				c.name, c.seq.ComputeStats(), c.par.ComputeStats())
+		}
+		if !reflect.DeepEqual(c.par.ChangeLabels, c.seq.ChangeLabels) {
+			t.Fatalf("parallelism=%d: %s change labels differ", parallelism, c.name)
+		}
+		if c.par.ChangeStats != c.seq.ChangeStats {
+			t.Fatalf("parallelism=%d: %s change stats differ", parallelism, c.name)
+		}
+	}
+	if par.Naming.NamedClusters != seq.Naming.NamedClusters ||
+		par.Naming.NamedAddresses != seq.Naming.NamedAddresses ||
+		par.Naming.Amplification != seq.Naming.Amplification {
+		t.Fatalf("parallelism=%d: naming differs", parallelism)
+	}
+	if !reflect.DeepEqual(par.Owners, seq.Owners) {
+		t.Fatalf("parallelism=%d: owners differ", parallelism)
+	}
+	if len(par.Dice) != len(seq.Dice) {
+		t.Fatalf("parallelism=%d: dice set %d addrs, sequential %d", parallelism,
+			len(par.Dice), len(seq.Dice))
+	}
+}

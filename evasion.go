@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/econ"
+	"repro/internal/par"
 	"repro/internal/report"
 )
 
@@ -57,9 +58,21 @@ type EvasionRow struct {
 }
 
 // EvasionStudy generates one economy per level (same seed and scale) and
-// reports the heuristics' yield at each. It is not part of the default
-// experiment suite because it runs several full generations.
+// reports the heuristics' yield at each, with one worker per CPU. It is not
+// part of the default experiment suite because it runs several full
+// generations.
 func EvasionStudy(base Config, levels []EvasionLevel) (*report.Table, []EvasionRow, error) {
+	return EvasionStudyOpts(base, levels, Options{})
+}
+
+// EvasionStudyOpts is EvasionStudy with execution options. The levels are
+// fully independent — each regenerates its own economy and pipeline — so
+// they fan out, dividing the worker budget between concurrent levels and
+// their inner pipelines; the report always lists them in input order. Note
+// the memory trade-off: with Parallelism > 1, up to that many generated
+// economies are held in memory at once, where Parallelism 1 restores the
+// old one-at-a-time footprint.
+func EvasionStudyOpts(base Config, levels []EvasionLevel, opts Options) (*report.Table, []EvasionRow, error) {
 	if levels == nil {
 		levels = DefaultEvasionLevels()
 	}
@@ -67,28 +80,49 @@ func EvasionStudy(base Config, levels []EvasionLevel) (*report.Table, []EvasionR
 		Title:   "Evasion study — the paper's open problem, quantified",
 		Headers: []string{"discipline", "refined H2 labels", "named addrs", "amplification", "naive false merges"},
 	}
-	var rows []EvasionRow
-	for _, lvl := range levels {
-		cfg := base
-		lvl.Mutate(&cfg)
-		w, err := econ.Generate(cfg)
-		if err != nil {
-			return nil, nil, fmt.Errorf("fistful: evasion level %q: %w", lvl.Name, err)
-		}
-		p, err := NewPipelineFromWorld(w)
-		if err != nil {
-			return nil, nil, err
-		}
-		naive := p.Naive.EvaluateAgainstOwners(p.Owners)
-		row := EvasionRow{
-			Level:             lvl.Name,
-			H2Labeled:         len(p.Refined.ChangeLabels),
-			NamedAddresses:    p.Naming.NamedAddresses,
-			Amplification:     p.Naming.Amplification,
-			NaiveContaminated: naive.Contaminated,
-		}
-		rows = append(rows, row)
-		t.AddRow(lvl.Name, row.H2Labeled, row.NamedAddresses,
+	workers := par.Workers(opts.Parallelism)
+	outer := len(levels)
+	if outer > workers {
+		outer = workers
+	}
+	if outer < 1 {
+		outer = 1 // empty non-nil levels: no tasks, but keep the math defined
+	}
+	inner := workers / outer
+	if inner < 1 {
+		inner = 1
+	}
+	rows := make([]EvasionRow, len(levels))
+	grp := par.NewGroup(outer)
+	for i := range levels {
+		i, lvl := i, levels[i]
+		grp.Go(func() error {
+			cfg := base
+			lvl.Mutate(&cfg)
+			w, err := econ.Generate(cfg)
+			if err != nil {
+				return fmt.Errorf("fistful: evasion level %q: %w", lvl.Name, err)
+			}
+			p, err := NewPipelineFromWorldOpts(w, Options{Parallelism: inner})
+			if err != nil {
+				return err
+			}
+			naive := p.Naive.EvaluateAgainstOwners(p.Owners)
+			rows[i] = EvasionRow{
+				Level:             lvl.Name,
+				H2Labeled:         len(p.Refined.ChangeLabels),
+				NamedAddresses:    p.Naming.NamedAddresses,
+				Amplification:     p.Naming.Amplification,
+				NaiveContaminated: naive.Contaminated,
+			}
+			return nil
+		})
+	}
+	if err := grp.Wait(); err != nil {
+		return nil, nil, err
+	}
+	for _, row := range rows {
+		t.AddRow(row.Level, row.H2Labeled, row.NamedAddresses,
 			fmt.Sprintf("%.1fx", row.Amplification), row.NaiveContaminated)
 	}
 	t.Notes = append(t.Notes,

@@ -8,6 +8,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/econ"
 	"repro/internal/flow"
+	"repro/internal/par"
 	"repro/internal/report"
 	"repro/internal/tags"
 	"repro/internal/txgraph"
@@ -136,8 +137,21 @@ func (p *Pipeline) Heuristic2() (*report.Table, H2Result) {
 		Title:   "Heuristic 2 — change-address refinement ladder (Section 4.2)",
 		Headers: []string{"variant", "labeled", "est. FPs", "FP rate", "paper FP"},
 	}
-	for _, v := range variants {
-		_, st := cluster.FindChangeOutputs(p.Graph, v.cfg)
+	// Each ladder rung is an independent read-only classifier run over the
+	// shared graph, so the rungs fan out across the pipeline's worker budget
+	// and report in ladder order.
+	ladder := make([]cluster.ChangeStats, len(variants))
+	grp := par.NewGroup(p.Parallelism)
+	for i := range variants {
+		i := i
+		grp.Go(func() error {
+			_, ladder[i] = cluster.FindChangeOutputs(p.Graph, variants[i].cfg)
+			return nil
+		})
+	}
+	grp.Wait()
+	for i, v := range variants {
+		st := ladder[i]
 		r.Ladder = append(r.Ladder, H2Variant{Name: v.name, Stats: st, PaperFP: v.paperFP})
 		t.AddRow(v.name, st.Labeled, st.FalsePositives, report.Pct(st.FPRate()), v.paperFP)
 	}

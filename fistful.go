@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/econ"
+	"repro/internal/par"
 	"repro/internal/tags"
 	"repro/internal/txgraph"
 )
@@ -30,11 +31,27 @@ func DefaultConfig() Config { return econ.DefaultConfig() }
 // SmallConfig returns a fast, reduced configuration for tests and demos.
 func SmallConfig() Config { return econ.Small() }
 
+// Options tunes how the pipeline executes. The zero value uses one worker
+// per CPU everywhere.
+type Options struct {
+	// Parallelism is the total worker budget for the pipeline: the graph
+	// build pre-pass and the sharded Heuristic 1 use it directly, and
+	// stages that fan out (the H2 branches, the evasion study's levels)
+	// divide it among their concurrent branches rather than multiplying
+	// it. <= 0 means one worker per CPU; 1 forces fully sequential
+	// execution. Results are byte-identical for every setting.
+	Parallelism int
+}
+
 // Pipeline holds every stage of the measurement pipeline, built once and
 // shared by the experiments.
 type Pipeline struct {
 	World *econ.World
 	Graph *txgraph.Graph
+
+	// Parallelism is the resolved worker count the pipeline was built with;
+	// the experiments reuse it for their own fan-out.
+	Parallelism int
 
 	// Tags combines the researcher's own-transaction tags with the public
 	// (tag-site and forum) tags, as the study did.
@@ -62,22 +79,38 @@ type Pipeline struct {
 	Owners []int32
 }
 
-// NewPipeline generates an economy and runs every pipeline stage.
+// NewPipeline generates an economy and runs every pipeline stage with one
+// worker per CPU.
 func NewPipeline(cfg Config) (*Pipeline, error) {
+	return NewPipelineOpts(cfg, Options{})
+}
+
+// NewPipelineOpts is NewPipeline with execution options.
+func NewPipelineOpts(cfg Config, opts Options) (*Pipeline, error) {
 	w, err := econ.Generate(cfg)
 	if err != nil {
 		return nil, fmt.Errorf("fistful: generate: %w", err)
 	}
-	return NewPipelineFromWorld(w)
+	return NewPipelineFromWorldOpts(w, opts)
 }
 
-// NewPipelineFromWorld runs the pipeline stages over an existing world.
+// NewPipelineFromWorld runs the pipeline stages over an existing world with
+// one worker per CPU.
 func NewPipelineFromWorld(w *econ.World) (*Pipeline, error) {
-	g, err := txgraph.Build(w.Chain)
+	return NewPipelineFromWorldOpts(w, Options{})
+}
+
+// NewPipelineFromWorldOpts runs the pipeline stages over an existing world.
+// Stages with no data dependency on each other — the naive Heuristic 2, and
+// the refined Heuristic 2 followed by naming — run concurrently; every
+// result is identical to the sequential order.
+func NewPipelineFromWorldOpts(w *econ.World, opts Options) (*Pipeline, error) {
+	workers := par.Workers(opts.Parallelism)
+	g, err := txgraph.BuildWorkers(w.Chain, workers)
 	if err != nil {
 		return nil, fmt.Errorf("fistful: index: %w", err)
 	}
-	p := &Pipeline{World: w, Graph: g}
+	p := &Pipeline{World: w, Graph: g, Parallelism: workers}
 
 	// Tag collection (Section 3): our own transactions plus public sources.
 	p.Tags = tags.NewStore()
@@ -87,17 +120,35 @@ func NewPipelineFromWorld(w *econ.World) (*Pipeline, error) {
 	p.Tags.AddAll(w.PublicTags)
 
 	// Heuristic 1 and the dice bootstrap (the paper knew the Satoshi Dice
-	// cluster from its tags before refining Heuristic 2).
-	p.H1 = cluster.Heuristic1(g)
+	// cluster from its tags before refining Heuristic 2). The co-spend
+	// forest is built once; the Heuristic 2 branches below clone it instead
+	// of re-scanning the chain per variant.
+	base := cluster.Heuristic1Forest(g, workers)
+	p.H1 = cluster.ClusteringFromForest(g, base)
 	p.NamingH1 = tags.NameClusters(p.H1, g, p.Tags)
 	p.Dice = p.diceSet()
 
+	// The naive clustering exists only to exhibit the super-cluster; nothing
+	// downstream of it feeds the refined branch, so the two run fanned out.
+	// Each branch is a sequential classifier replay over a clone of the
+	// shared forest, so the group's limit is the only source of goroutines
+	// here and Parallelism stays a bound, not a per-stage multiplier.
 	waitWeek := 7 * w.BlocksPerDay
-	p.Naive = cluster.Heuristic2(g, cluster.Unrefined())
-	p.Refined = cluster.Heuristic2(g, cluster.Refined(p.Dice, waitWeek))
-	p.Naming = tags.NameClusters(p.Refined, g, p.Tags)
-
-	p.Owners = w.OwnersForGraph(g)
+	grp := par.NewGroup(workers)
+	grp.Go(func() error {
+		p.Naive = cluster.Heuristic2OnForest(g, cluster.Unrefined(), base)
+		return nil
+	})
+	grp.Go(func() error {
+		p.Refined = cluster.Heuristic2OnForest(g, cluster.Refined(p.Dice, waitWeek), base)
+		p.Naming = tags.NameClusters(p.Refined, g, p.Tags)
+		return nil
+	})
+	grp.Go(func() error {
+		p.Owners = w.OwnersForGraph(g)
+		return nil
+	})
+	grp.Wait()
 	return p, nil
 }
 

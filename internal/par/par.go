@@ -1,0 +1,99 @@
+// Package par provides the small concurrency primitives the measurement
+// pipeline is built on: an errgroup-style Group for fanning out independent
+// stages and helpers for sizing worker pools. The standard library has no
+// errgroup (that lives in golang.org/x/sync, which this repo does not
+// depend on), so the ~50 lines are reimplemented here.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Workers resolves a parallelism knob: n <= 0 means "one worker per CPU",
+// anything else is used as given.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// Group runs a set of tasks concurrently and collects the first error.
+// The zero value is ready to use and applies no concurrency limit.
+type Group struct {
+	wg   sync.WaitGroup
+	sem  chan struct{}
+	once sync.Once
+	err  error
+}
+
+// NewGroup returns a Group that runs at most limit tasks at once.
+// limit <= 0 means no limit.
+func NewGroup(limit int) *Group {
+	g := &Group{}
+	if limit > 0 {
+		g.sem = make(chan struct{}, limit)
+	}
+	return g
+}
+
+// Go starts f in its own goroutine, blocking first if the concurrency limit
+// is saturated. The first non-nil error wins; later tasks still run (the
+// pipeline's stages have no way to be cancelled midway and their results are
+// discarded on error).
+func (g *Group) Go(f func() error) {
+	if g.sem != nil {
+		g.sem <- struct{}{}
+	}
+	g.wg.Add(1)
+	go func() {
+		defer func() {
+			if g.sem != nil {
+				<-g.sem
+			}
+			g.wg.Done()
+		}()
+		if err := f(); err != nil {
+			g.once.Do(func() { g.err = err })
+		}
+	}()
+}
+
+// Wait blocks until every task started with Go has returned and reports the
+// first error any of them produced.
+func (g *Group) Wait() error {
+	g.wg.Wait()
+	return g.err
+}
+
+// ForEach splits the half-open range [0, n) into at most workers contiguous
+// chunks and runs fn(start, end) for each chunk concurrently, waiting for
+// all of them. With workers <= 1 (or n < 2) it calls fn(0, n) inline, so the
+// sequential path allocates nothing and runs no goroutines.
+func ForEach(n, workers int, fn func(start, end int)) {
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		if n > 0 {
+			fn(0, n)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for start := 0; start < n; start += chunk {
+		end := start + chunk
+		if end > n {
+			end = n
+		}
+		wg.Add(1)
+		go func(s, e int) {
+			defer wg.Done()
+			fn(s, e)
+		}(start, end)
+	}
+	wg.Wait()
+}

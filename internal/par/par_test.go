@@ -1,0 +1,82 @@
+package par
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if Workers(0) < 1 || Workers(-3) < 1 {
+		t.Fatal("non-positive knob must resolve to at least one worker")
+	}
+	if Workers(5) != 5 {
+		t.Fatal("explicit knob must pass through")
+	}
+}
+
+func TestGroupCollectsFirstError(t *testing.T) {
+	g := NewGroup(2)
+	var ran atomic.Int32
+	boom := errors.New("boom")
+	for i := 0; i < 8; i++ {
+		i := i
+		g.Go(func() error {
+			ran.Add(1)
+			if i == 3 {
+				return boom
+			}
+			return nil
+		})
+	}
+	if err := g.Wait(); !errors.Is(err, boom) {
+		t.Fatalf("Wait = %v, want boom", err)
+	}
+	if ran.Load() != 8 {
+		t.Fatalf("ran %d tasks, want all 8", ran.Load())
+	}
+}
+
+func TestGroupZeroValueAndLimitOne(t *testing.T) {
+	var g Group
+	g.Go(func() error { return nil })
+	if err := g.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	// Limit 1 serializes: tasks must observe strictly increasing order.
+	seq := NewGroup(1)
+	var order []int
+	for i := 0; i < 4; i++ {
+		i := i
+		seq.Go(func() error {
+			order = append(order, i)
+			return nil
+		})
+	}
+	if err := seq.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("limit-1 group ran out of order: %v", order)
+		}
+	}
+}
+
+func TestForEachCoversRangeOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 16} {
+		const n = 103
+		seen := make([]atomic.Int32, n)
+		ForEach(n, workers, func(start, end int) {
+			for i := start; i < end; i++ {
+				seen[i].Add(1)
+			}
+		})
+		for i := range seen {
+			if seen[i].Load() != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, seen[i].Load())
+			}
+		}
+	}
+	ForEach(0, 4, func(start, end int) { t.Fatal("fn called for empty range") })
+}

@@ -39,13 +39,22 @@ func (t *Table) Render() string {
 		b.WriteString(t.Title + "\n")
 		b.WriteString(strings.Repeat("=", len(t.Title)) + "\n")
 	}
-	widths := make([]int, len(t.Headers))
+	// Size columns to the widest row, not just the headers: a row may carry
+	// more cells than the header (e.g. ragged diagnostic rows), and those
+	// columns must still be padded and counted in the separator rule.
+	cols := len(t.Headers)
+	for _, row := range t.Rows {
+		if len(row) > cols {
+			cols = len(row)
+		}
+	}
+	widths := make([]int, cols)
 	for i, h := range t.Headers {
 		widths[i] = len(h)
 	}
 	for _, row := range t.Rows {
 		for i, cell := range row {
-			if i < len(widths) && len(cell) > widths[i] {
+			if len(cell) > widths[i] {
 				widths[i] = len(cell)
 			}
 		}
@@ -55,11 +64,7 @@ func (t *Table) Render() string {
 			if i > 0 {
 				b.WriteString("  ")
 			}
-			if i < len(widths) {
-				fmt.Fprintf(&b, "%-*s", widths[i], cell)
-			} else {
-				b.WriteString(cell)
-			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
 		}
 		b.WriteString("\n")
 	}

@@ -25,6 +25,36 @@ func TestRenderAlignment(t *testing.T) {
 	}
 }
 
+func TestRenderRaggedRows(t *testing.T) {
+	tb := &Table{Headers: []string{"name", "count"}}
+	tb.AddRow("short", 1, "an overflow cell", 7)
+	tb.AddRow("longer name", 22, "x")
+	out := tb.Render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // header, rule, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	// Overflow columns must be padded like any other: the third column
+	// starts at the same offset in both data rows.
+	idx1 := strings.Index(lines[2], "an overflow cell")
+	idx2 := strings.Index(lines[3], "x")
+	if idx1 < 0 || idx1 != idx2 {
+		t.Fatalf("overflow column misaligned: %d vs %d\n%s", idx1, idx2, out)
+	}
+	// The separator rule must span every column, including the ones the
+	// header doesn't know about.
+	sep := lines[1]
+	widest := 0
+	for _, l := range []string{lines[0], strings.TrimRight(lines[2], " "), strings.TrimRight(lines[3], " ")} {
+		if len(l) > widest {
+			widest = len(l)
+		}
+	}
+	if len(sep) < widest {
+		t.Fatalf("separator rule length %d shorter than widest row %d:\n%s", len(sep), widest, out)
+	}
+}
+
 func TestRenderNotes(t *testing.T) {
 	tb := &Table{Headers: []string{"a"}, Notes: []string{"hello"}}
 	tb.AddRow("x")

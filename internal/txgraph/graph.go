@@ -3,6 +3,15 @@
 // interned to small integer ids (AddrID) and transactions to sequence
 // numbers (TxSeq) so that union-find and the temporal replay in
 // internal/cluster run over flat slices instead of hash maps.
+//
+// Build is split into two passes. The pre-pass — transaction hashing and
+// output-script address extraction, the only CPU-heavy per-transaction work
+// that needs no shared state — runs across a worker pool. The interning and
+// input-linking pass then runs sequentially in block-major order, so address
+// and transaction ids are identical no matter how many workers ran the
+// pre-pass. A final counting pass lays the per-address appearance lists out
+// as CSR-style flat arrays (one shared backing array plus offsets) instead
+// of one heap slice per address.
 package txgraph
 
 import (
@@ -10,6 +19,7 @@ import (
 
 	"repro/internal/address"
 	"repro/internal/chain"
+	"repro/internal/par"
 	"repro/internal/script"
 )
 
@@ -35,6 +45,13 @@ type TxInfo struct {
 	Height   int64
 	Coinbase bool
 
+	// SelfChange records whether any output address also appears among the
+	// input addresses — the "self-change" idiom (23% of 2013-H1 transactions
+	// per the paper) that Heuristic 2's condition (3) excludes. It is
+	// precomputed by Build so the change classifier's hot path never
+	// re-derives it.
+	SelfChange bool
+
 	// Inputs, one entry per transaction input.
 	InputAddrs  []AddrID
 	InputValues []chain.Amount
@@ -58,9 +75,12 @@ func (t *TxInfo) TotalOut() chain.Amount {
 }
 
 // HasSelfChange reports whether any output address also appears among the
-// input addresses — the "self-change" idiom (23% of 2013-H1 transactions per
-// the paper) that Heuristic 2's condition (3) excludes.
-func (t *TxInfo) HasSelfChange() bool {
+// input addresses. For graphs produced by Build this is a precomputed flag;
+// see TxInfo.SelfChange.
+func (t *TxInfo) HasSelfChange() bool { return t.SelfChange }
+
+// computeSelfChange derives the self-change flag once, at index time.
+func computeSelfChange(t *TxInfo) bool {
 	if t.Coinbase {
 		return false
 	}
@@ -84,59 +104,156 @@ type Graph struct {
 	txs    []TxInfo
 	txSeq  map[chain.Hash]TxSeq
 
-	recvs  [][]TxSeq // per address: txs in which it received an output, in order
-	spends [][]TxSeq // per address: txs in which it spent, in order
+	// Per-address appearance lists in CSR layout: the transactions in which
+	// address id received are recvTxs[recvOff[id]:recvOff[id+1]], and
+	// likewise for spends. Built by one counting pass + one fill pass so the
+	// whole index is two allocations instead of one slice per address.
+	recvOff  []uint32
+	recvTxs  []TxSeq
+	spendOff []uint32
+	spendTxs []TxSeq
 
 	firstSeen []TxSeq // per address: first tx (input or output side) it appears in
 	height    int64
 }
 
-// Build indexes every transaction in the chain. It returns an error if an
-// input references a transaction not seen earlier in block-major order,
-// which a validated chain can never produce.
-func Build(c *chain.Chain) (*Graph, error) {
-	g := &Graph{
-		lookup: make(map[address.Address]AddrID),
-		txSeq:  make(map[chain.Hash]TxSeq),
-		height: c.Height(),
+// prePass holds the parallel pre-pass results for the whole chain: one
+// transaction id per tx and, per output, the extracted address (shared
+// arenas indexed through outOff so workers write disjoint ranges).
+type prePass struct {
+	ids     []chain.Hash
+	outOff  []int // per tx: offset of its outputs in the arenas; len = numTxs+1
+	addrs   []address.Address
+	hasAddr []bool
+}
+
+// Build indexes every transaction in the chain using one worker per CPU for
+// the hash/script pre-pass. It returns an error if an input references a
+// transaction not seen earlier in block-major order, which a validated chain
+// can never produce. The result is identical for any worker count.
+func Build(c *chain.Chain) (*Graph, error) { return BuildWorkers(c, 0) }
+
+// BuildWorkers is Build with an explicit parallelism knob: workers <= 0
+// means one per CPU, 1 forces the fully sequential path (no goroutines).
+func BuildWorkers(c *chain.Chain, workers int) (*Graph, error) {
+	// Flatten the chain into block-major order and size the arenas.
+	type flatTx struct {
+		tx     *chain.Tx
+		height int64
 	}
+	var flat []flatTx
+	totalIns, totalOuts := 0, 0
 	for height := int64(0); height <= c.Height(); height++ {
-		blk := c.BlockAt(height)
-		for _, tx := range blk.Txs {
-			if err := g.addTx(tx, height); err != nil {
-				return nil, fmt.Errorf("txgraph: block %d: %w", height, err)
+		for _, tx := range c.BlockAt(height).Txs {
+			flat = append(flat, flatTx{tx, height})
+			if !tx.IsCoinbase() {
+				totalIns += len(tx.Inputs)
 			}
+			totalOuts += len(tx.Outputs)
 		}
 	}
+
+	// Parallel pre-pass: tx hashing and output-script address extraction.
+	// Workers own disjoint index ranges of shared arenas, so the result is
+	// deterministic and race-free by construction.
+	pre := prePass{
+		ids:     make([]chain.Hash, len(flat)),
+		outOff:  make([]int, len(flat)+1),
+		addrs:   make([]address.Address, totalOuts),
+		hasAddr: make([]bool, totalOuts),
+	}
+	for i, f := range flat {
+		pre.outOff[i+1] = pre.outOff[i] + len(f.tx.Outputs)
+	}
+	par.ForEach(len(flat), workers, func(start, end int) {
+		for i := start; i < end; i++ {
+			tx := flat[i].tx
+			pre.ids[i] = tx.TxID()
+			base := pre.outOff[i]
+			for j, out := range tx.Outputs {
+				a, err := script.ExtractAddress(out.PkScript)
+				if err != nil {
+					continue
+				}
+				pre.addrs[base+j] = a
+				pre.hasAddr[base+j] = true
+			}
+		}
+	})
+
+	// Sequential pass: interning and input linking in block-major order.
+	g := &Graph{
+		lookup: make(map[address.Address]AddrID),
+		txSeq:  make(map[chain.Hash]TxSeq, len(flat)),
+		height: c.Height(),
+	}
+	g.txs = make([]TxInfo, 0, len(flat))
+	arena := txArena{
+		inAddrs:  make([]AddrID, 0, totalIns),
+		inVals:   make([]chain.Amount, 0, totalIns),
+		inSrc:    make([]TxSeq, 0, totalIns),
+		inSrcOut: make([]uint32, 0, totalIns),
+		outAddrs: make([]AddrID, 0, totalOuts),
+		outVals:  make([]chain.Amount, 0, totalOuts),
+		spentBy:  make([]TxSeq, 0, totalOuts),
+		spentIn:  make([]uint32, 0, totalOuts),
+	}
+	for i, f := range flat {
+		if err := g.addTx(f.tx, f.height, &pre, i, &arena); err != nil {
+			return nil, fmt.Errorf("txgraph: block %d: %w", f.height, err)
+		}
+	}
+
+	g.buildAppearanceIndex()
 	return g, nil
 }
 
-func (g *Graph) intern(a address.Address) AddrID {
+// txArena backs every TxInfo's slices with eight chain-wide allocations
+// instead of eight per transaction. Capacities are exact, so appends never
+// reallocate and the subslices handed to TxInfo stay valid.
+type txArena struct {
+	inAddrs  []AddrID
+	inVals   []chain.Amount
+	inSrc    []TxSeq
+	inSrcOut []uint32
+	outAddrs []AddrID
+	outVals  []chain.Amount
+	spentBy  []TxSeq
+	spentIn  []uint32
+}
+
+func (g *Graph) intern(a address.Address, seq TxSeq) AddrID {
 	if id, ok := g.lookup[a]; ok {
 		return id
 	}
 	id := AddrID(len(g.addrs))
 	g.addrs = append(g.addrs, a)
 	g.lookup[a] = id
-	g.recvs = append(g.recvs, nil)
-	g.spends = append(g.spends, nil)
-	g.firstSeen = append(g.firstSeen, NoTx)
+	// An address is always interned at its first appearance: inputs only
+	// ever resolve to addresses interned by an earlier output.
+	g.firstSeen = append(g.firstSeen, seq)
 	return id
 }
 
-func (g *Graph) addTx(tx *chain.Tx, height int64) error {
+func (g *Graph) addTx(tx *chain.Tx, height int64, pre *prePass, preIdx int, ar *txArena) error {
 	seq := TxSeq(len(g.txs))
 	info := TxInfo{
-		ID:       tx.TxID(),
+		ID:       pre.ids[preIdx],
 		Height:   height,
 		Coinbase: tx.IsCoinbase(),
 	}
 
 	if !info.Coinbase {
-		info.InputAddrs = make([]AddrID, len(tx.Inputs))
-		info.InputValues = make([]chain.Amount, len(tx.Inputs))
-		info.InputSrc = make([]TxSeq, len(tx.Inputs))
-		info.InputSrcOut = make([]uint32, len(tx.Inputs))
+		base := len(ar.inAddrs)
+		n := len(tx.Inputs)
+		ar.inAddrs = ar.inAddrs[:base+n]
+		ar.inVals = ar.inVals[:base+n]
+		ar.inSrc = ar.inSrc[:base+n]
+		ar.inSrcOut = ar.inSrcOut[:base+n]
+		info.InputAddrs = ar.inAddrs[base : base+n : base+n]
+		info.InputValues = ar.inVals[base : base+n : base+n]
+		info.InputSrc = ar.inSrc[base : base+n : base+n]
+		info.InputSrcOut = ar.inSrcOut[base : base+n : base+n]
 		for i, in := range tx.Inputs {
 			srcSeq, ok := g.txSeq[in.Prev.TxID]
 			if !ok {
@@ -159,46 +276,102 @@ func (g *Graph) addTx(tx *chain.Tx, height int64) error {
 		}
 	}
 
-	info.OutputAddrs = make([]AddrID, len(tx.Outputs))
-	info.OutputValues = make([]chain.Amount, len(tx.Outputs))
-	info.SpentBy = make([]TxSeq, len(tx.Outputs))
-	info.SpentByIn = make([]uint32, len(tx.Outputs))
+	base := len(ar.outAddrs)
+	n := len(tx.Outputs)
+	ar.outAddrs = ar.outAddrs[:base+n]
+	ar.outVals = ar.outVals[:base+n]
+	ar.spentBy = ar.spentBy[:base+n]
+	ar.spentIn = ar.spentIn[:base+n]
+	info.OutputAddrs = ar.outAddrs[base : base+n : base+n]
+	info.OutputValues = ar.outVals[base : base+n : base+n]
+	info.SpentBy = ar.spentBy[base : base+n : base+n]
+	info.SpentByIn = ar.spentIn[base : base+n : base+n]
+	preBase := pre.outOff[preIdx]
 	for i, out := range tx.Outputs {
 		info.OutputValues[i] = out.Value
 		info.SpentBy[i] = NoTx
-		a, err := script.ExtractAddress(out.PkScript)
-		if err != nil {
+		if !pre.hasAddr[preBase+i] {
 			info.OutputAddrs[i] = NoAddr
 			continue
 		}
-		info.OutputAddrs[i] = g.intern(a)
+		info.OutputAddrs[i] = g.intern(pre.addrs[preBase+i], seq)
 	}
 
-	// Record appearances after interning everything so ids are stable.
-	for _, id := range info.InputAddrs {
-		if id == NoAddr {
-			continue
-		}
-		if g.firstSeen[id] == NoTx {
-			g.firstSeen[id] = seq
-		}
-		if n := len(g.spends[id]); n == 0 || g.spends[id][n-1] != seq {
-			g.spends[id] = append(g.spends[id], seq)
-		}
-	}
-	for _, id := range info.OutputAddrs {
-		if id == NoAddr {
-			continue
-		}
-		if g.firstSeen[id] == NoTx {
-			g.firstSeen[id] = seq
-		}
-		g.recvs[id] = append(g.recvs[id], seq)
-	}
+	info.SelfChange = computeSelfChange(&info)
 
 	g.txs = append(g.txs, info)
 	g.txSeq[info.ID] = seq
 	return nil
+}
+
+// buildAppearanceIndex lays out the per-address recv/spend lists in CSR
+// form: one counting pass sizes the offsets, one fill pass writes the
+// transaction sequences in chain order. Spends are deduplicated per
+// transaction (an address spending several outputs in one tx appears once),
+// matching the append-time dedup of the old per-address slices.
+func (g *Graph) buildAppearanceIndex() {
+	n := len(g.addrs)
+	g.recvOff = make([]uint32, n+1)
+	g.spendOff = make([]uint32, n+1)
+
+	// Counting pass. lastSpend dedups an address's multiple inputs within
+	// one transaction; NoTx never collides with a real sequence number.
+	lastSpend := make([]TxSeq, n)
+	for i := range lastSpend {
+		lastSpend[i] = NoTx
+	}
+	for i := range g.txs {
+		tx := &g.txs[i]
+		seq := TxSeq(i)
+		for _, id := range tx.InputAddrs {
+			if id == NoAddr || lastSpend[id] == seq {
+				continue
+			}
+			lastSpend[id] = seq
+			g.spendOff[id+1]++
+		}
+		for _, id := range tx.OutputAddrs {
+			if id == NoAddr {
+				continue
+			}
+			g.recvOff[id+1]++
+		}
+	}
+	for i := 0; i < n; i++ {
+		g.recvOff[i+1] += g.recvOff[i]
+		g.spendOff[i+1] += g.spendOff[i]
+	}
+	g.recvTxs = make([]TxSeq, g.recvOff[n])
+	g.spendTxs = make([]TxSeq, g.spendOff[n])
+
+	// Fill pass, reusing the offset slices as write cursors and the marker
+	// array for the same per-tx dedup.
+	recvCur := make([]uint32, n)
+	spendCur := make([]uint32, n)
+	copy(recvCur, g.recvOff[:n])
+	copy(spendCur, g.spendOff[:n])
+	for i := range lastSpend {
+		lastSpend[i] = NoTx
+	}
+	for i := range g.txs {
+		tx := &g.txs[i]
+		seq := TxSeq(i)
+		for _, id := range tx.InputAddrs {
+			if id == NoAddr || lastSpend[id] == seq {
+				continue
+			}
+			lastSpend[id] = seq
+			g.spendTxs[spendCur[id]] = seq
+			spendCur[id]++
+		}
+		for _, id := range tx.OutputAddrs {
+			if id == NoAddr {
+				continue
+			}
+			g.recvTxs[recvCur[id]] = seq
+			recvCur[id]++
+		}
+	}
 }
 
 // NumAddrs returns the number of distinct addresses seen.
@@ -230,12 +403,22 @@ func (g *Graph) LookupTx(id chain.Hash) (TxSeq, bool) {
 }
 
 // Recvs returns the transactions in which the address received an output, in
-// chain order. Callers must not mutate the slice.
-func (g *Graph) Recvs(id AddrID) []TxSeq { return g.recvs[id] }
+// chain order. The slice aliases the shared CSR array; callers must not
+// mutate it.
+func (g *Graph) Recvs(id AddrID) []TxSeq {
+	return g.recvTxs[g.recvOff[id]:g.recvOff[id+1]]
+}
 
 // Spends returns the transactions in which the address spent, in chain
-// order. Callers must not mutate the slice.
-func (g *Graph) Spends(id AddrID) []TxSeq { return g.spends[id] }
+// order. The slice aliases the shared CSR array; callers must not mutate it.
+func (g *Graph) Spends(id AddrID) []TxSeq {
+	return g.spendTxs[g.spendOff[id]:g.spendOff[id+1]]
+}
+
+// NumSpends returns len(Spends(id)) without constructing the slice.
+func (g *Graph) NumSpends(id AddrID) int {
+	return int(g.spendOff[id+1] - g.spendOff[id])
+}
 
 // FirstSeen returns the first transaction the address appears in.
 func (g *Graph) FirstSeen(id AddrID) TxSeq { return g.firstSeen[id] }
@@ -244,7 +427,7 @@ func (g *Graph) FirstSeen(id AddrID) TxSeq { return g.firstSeen[id] }
 // — the "sink" addresses the paper counts toward its upper bound on users
 // and excludes from "active" balance in Figure 2.
 func (g *Graph) IsSink(id AddrID) bool {
-	return len(g.spends[id]) == 0 && len(g.recvs[id]) > 0
+	return g.spendOff[id+1] == g.spendOff[id] && g.recvOff[id+1] > g.recvOff[id]
 }
 
 // Balances computes the final balance of every address by replaying outputs

@@ -1,0 +1,92 @@
+package txgraph_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/txgraph"
+)
+
+// The worker count must never change what Build produces: the pre-pass is
+// partitioned over disjoint index ranges and the interning pass is
+// sequential, so every id, link, and appearance list has to be identical.
+func TestBuildWorkerCountInvariant(t *testing.T) {
+	w, _ := econGraph(t)
+	seq, err := txgraph.BuildWorkers(w.Chain, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 3, 8} {
+		par, err := txgraph.BuildWorkers(w.Chain, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if par.NumTxs() != seq.NumTxs() || par.NumAddrs() != seq.NumAddrs() {
+			t.Fatalf("workers=%d: %d txs/%d addrs, sequential %d/%d",
+				workers, par.NumTxs(), par.NumAddrs(), seq.NumTxs(), seq.NumAddrs())
+		}
+		for i := 0; i < seq.NumTxs(); i++ {
+			a, b := seq.Tx(txgraph.TxSeq(i)), par.Tx(txgraph.TxSeq(i))
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("workers=%d: tx %d differs:\nseq: %+v\npar: %+v", workers, i, a, b)
+			}
+		}
+		for id := 0; id < seq.NumAddrs(); id++ {
+			aid := txgraph.AddrID(id)
+			if seq.Addr(aid) != par.Addr(aid) {
+				t.Fatalf("workers=%d: addr %d interned differently", workers, id)
+			}
+			if seq.FirstSeen(aid) != par.FirstSeen(aid) {
+				t.Fatalf("workers=%d: addr %d FirstSeen differs", workers, id)
+			}
+			if !reflect.DeepEqual(seq.Recvs(aid), par.Recvs(aid)) {
+				t.Fatalf("workers=%d: addr %d recvs differ", workers, id)
+			}
+			if !reflect.DeepEqual(seq.Spends(aid), par.Spends(aid)) {
+				t.Fatalf("workers=%d: addr %d spends differ", workers, id)
+			}
+		}
+	}
+}
+
+// The precomputed SelfChange flag must agree with a from-scratch derivation.
+func TestSelfChangePrecomputedMatchesDerivation(t *testing.T) {
+	_, g := econGraph(t)
+	saw := false
+	for i := 0; i < g.NumTxs(); i++ {
+		tx := g.Tx(txgraph.TxSeq(i))
+		want := false
+		if !tx.Coinbase {
+		derive:
+			for _, out := range tx.OutputAddrs {
+				if out == txgraph.NoAddr {
+					continue
+				}
+				for _, in := range tx.InputAddrs {
+					if in == out {
+						want = true
+						break derive
+					}
+				}
+			}
+		}
+		if tx.HasSelfChange() != want {
+			t.Fatalf("tx %d: SelfChange=%v, derivation says %v", i, tx.SelfChange, want)
+		}
+		saw = saw || want
+	}
+	if !saw {
+		t.Fatal("economy produced no self-change transactions to check")
+	}
+}
+
+// NumSpends must agree with the materialized slice.
+func TestNumSpendsMatchesSlice(t *testing.T) {
+	_, g := econGraph(t)
+	for id := 0; id < g.NumAddrs(); id++ {
+		aid := txgraph.AddrID(id)
+		if g.NumSpends(aid) != len(g.Spends(aid)) {
+			t.Fatalf("addr %d: NumSpends=%d, len(Spends)=%d", id, g.NumSpends(aid), len(g.Spends(aid)))
+		}
+	}
+}

@@ -225,6 +225,18 @@ func TestEvasionStudyMonotone(t *testing.T) {
 	}
 }
 
+func TestEvasionStudyEmptyLevels(t *testing.T) {
+	// A non-nil empty level set must produce an empty report, not divide the
+	// worker budget by zero.
+	tbl, rows, err := EvasionStudyOpts(SmallConfig(), []EvasionLevel{}, Options{Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 0 || len(tbl.Rows) != 0 {
+		t.Fatalf("empty levels produced %d rows", len(rows))
+	}
+}
+
 func TestTopEntitiesDominatedByServices(t *testing.T) {
 	p := smallPipeline(t)
 	tbl := p.TopEntities(10)
