@@ -35,7 +35,7 @@ func benchPipeline(b *testing.B) *Pipeline {
 }
 
 // BenchmarkEconomyGeneration measures the substrate: producing a full
-// validated synthetic chain.
+// validated synthetic chain with the default (parallel) block-seal signing.
 func BenchmarkEconomyGeneration(b *testing.B) {
 	cfg := SmallConfig()
 	cfg.Blocks = 400
@@ -47,6 +47,59 @@ func BenchmarkEconomyGeneration(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkEconomyGenerationSigning isolates the block-seal signing fan-out:
+// the same economy generated with sequential and parallel signing. The
+// determinism test proves both settings produce byte-identical chains.
+func BenchmarkEconomyGenerationSigning(b *testing.B) {
+	run := func(workers int) func(*testing.B) {
+		return func(b *testing.B) {
+			cfg := SmallConfig()
+			cfg.Blocks = 400
+			cfg.Users = 60
+			cfg.SignWorkers = workers
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				cfg.Seed = int64(i + 1)
+				if _, err := econ.Generate(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.Run("seq", run(1))
+	b.Run("par", run(0))
+}
+
+// BenchmarkSigHash compares the per-input digest API against the one-pass
+// SigHashes on a whale-sized transfer (256 inputs, the payBig/sweep cap):
+// the per-input form re-hashes the whole transaction for every input.
+func BenchmarkSigHash(b *testing.B) {
+	tx := &chain.Tx{Version: 1}
+	for i := 0; i < 256; i++ {
+		var id chain.Hash
+		id[0], id[1] = byte(i), byte(i>>8)
+		tx.Inputs = append(tx.Inputs, chain.TxIn{
+			Prev: chain.OutPoint{TxID: id, Index: uint32(i)}, Sequence: ^uint32(0),
+		})
+	}
+	key := address.NewKeyFromSeed(1, 1)
+	tx.Outputs = []chain.TxOut{{Value: chain.BTC(1), PkScript: script.PayToAddr(key.Address())}}
+	b.Run("per-input", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for j := range tx.Inputs {
+				_ = chain.SigHash(tx, j)
+			}
+		}
+	})
+	b.Run("one-pass", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = chain.SigHashes(tx)
+		}
+	})
 }
 
 // BenchmarkTxGraphBuild measures indexing the chain into the dense graph,
@@ -184,7 +237,7 @@ func BenchmarkHeuristic2Refined(b *testing.B) {
 func BenchmarkH2FullLadder(b *testing.B) {
 	p := benchPipeline(b)
 	for i := 0; i < b.N; i++ {
-		if _, r := p.Heuristic2(); len(r.Ladder) != 5 {
+		if _, r, err := p.Heuristic2(); err != nil || len(r.Ladder) != 5 {
 			b.Fatal("ladder incomplete")
 		}
 	}

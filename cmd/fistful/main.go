@@ -102,7 +102,10 @@ func cmdExperiments(args []string) error {
 		time.Since(start).Round(time.Millisecond), p.Graph.NumTxs(), p.Graph.NumAddrs(), p.Parallelism)
 
 	h1, _ := p.Heuristic1()
-	h2, _ := p.Heuristic2()
+	h2, _, err := p.Heuristic2()
+	if err != nil {
+		return err
+	}
 	f2, _ := p.Figure2(*samples)
 	t2, _ := p.Table2()
 	t3, _ := p.Table3()
@@ -123,10 +126,13 @@ func cmdExperiments(args []string) error {
 func cmdGenerate(args []string) error {
 	fs := flag.NewFlagSet("generate", flag.ExitOnError)
 	small, seed := configFlags(fs)
+	parallel := parallelFlag(fs)
 	out := fs.String("out", "chain.bin", "output file")
 	fs.Parse(args)
 
-	w, err := econ.Generate(buildConfig(*small, *seed))
+	cfg := buildConfig(*small, *seed)
+	cfg.SignWorkers = *parallel
+	w, err := econ.Generate(cfg)
 	if err != nil {
 		return err
 	}

@@ -99,6 +99,9 @@ func EvasionStudyOpts(base Config, levels []EvasionLevel, opts Options) (*report
 		grp.Go(func() error {
 			cfg := base
 			lvl.Mutate(&cfg)
+			if cfg.SignWorkers == 0 {
+				cfg.SignWorkers = inner
+			}
 			w, err := econ.Generate(cfg)
 			if err != nil {
 				return fmt.Errorf("fistful: evasion level %q: %w", lvl.Name, err)

@@ -119,8 +119,9 @@ type H2Result struct {
 // Heuristic2 reproduces the Section 4.2 evaluation: the false-positive
 // ladder (13% -> 1% -> 0.28% -> 0.17%), the super-cluster that the
 // unrefined heuristic builds and the refinements dissolve, and the tag
-// amplification the final clustering provides.
-func (p *Pipeline) Heuristic2() (*report.Table, H2Result) {
+// amplification the final clustering provides. A non-nil error means a
+// ladder stage failed and the table must not be trusted.
+func (p *Pipeline) Heuristic2() (*report.Table, H2Result, error) {
 	var r H2Result
 	variants := []struct {
 		name    string
@@ -149,7 +150,9 @@ func (p *Pipeline) Heuristic2() (*report.Table, H2Result) {
 			return nil
 		})
 	}
-	grp.Wait()
+	if err := grp.Wait(); err != nil {
+		return nil, H2Result{}, fmt.Errorf("fistful: heuristic 2 ladder: %w", err)
+	}
 	for i, v := range variants {
 		st := ladder[i]
 		r.Ladder = append(r.Ladder, H2Variant{Name: v.name, Stats: st, PaperFP: v.paperFP})
@@ -172,7 +175,7 @@ func (p *Pipeline) Heuristic2() (*report.Table, H2Result) {
 		fmt.Sprintf("named clusters: %d, covering %d addresses = %.0fx the %d hand-tagged (paper: 2,197 clusters, 1,600x)",
 			r.NamedClusters, p.Naming.NamedAddresses, r.Amplification, p.Naming.TaggedAddresses),
 		fmt.Sprintf("distinct users after tag collapse: %d (paper: 3,384,179 -> 3,383,904)", r.RefinedUsers))
-	return t, r
+	return t, r, nil
 }
 
 func orNone(s []string) any {
@@ -343,7 +346,7 @@ func (p *Pipeline) Table2() (*report.Table, Table2Result) {
 	r.PlannedPeels = len(d.Planned)
 	t.Notes = append(t.Notes,
 		fmt.Sprintf("hops followed: %d/%d/%d (paper: 100 per chain)", r.HopsPerChain[0], r.HopsPerChain[1], r.HopsPerChain[2]),
-		fmt.Sprintf("peels to exchanges: %d of %d hops (paper: 54 of 300)", r.ExchangePeels, r.HopsPerChain[0]+r.HopsPerChain[1]+r.HopsPerChain[2]),
+		fmt.Sprintf("peels to exchanges: %d of %d peels (paper: 54 of 300)", r.ExchangePeels, r.TotalPeels),
 		fmt.Sprintf("scripted known-service peels: %d; recovered by the tracker: %d", r.PlannedPeels, r.RecoveredPeels),
 		fmt.Sprintf("hot wallet held %.1f%% of minted coins (paper: 5%%); case amounts scaled by %.5f", 100*d.SupplyShare, p.World.CaseScale))
 	return t, r

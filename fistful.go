@@ -34,12 +34,14 @@ func SmallConfig() Config { return econ.Small() }
 // Options tunes how the pipeline executes. The zero value uses one worker
 // per CPU everywhere.
 type Options struct {
-	// Parallelism is the total worker budget for the pipeline: the graph
-	// build pre-pass and the sharded Heuristic 1 use it directly, and
-	// stages that fan out (the H2 branches, the evasion study's levels)
-	// divide it among their concurrent branches rather than multiplying
-	// it. <= 0 means one worker per CPU; 1 forces fully sequential
-	// execution. Results are byte-identical for every setting.
+	// Parallelism is the total worker budget for the pipeline: the economy
+	// generator's block-seal signing fan-out (unless the config pins its
+	// own SignWorkers), the graph build pre-pass and the sharded
+	// Heuristic 1 use it directly, and stages that fan out (the H2
+	// branches, the evasion study's levels) divide it among their
+	// concurrent branches rather than multiplying it. <= 0 means one
+	// worker per CPU; 1 forces fully sequential execution. Results are
+	// byte-identical for every setting.
 	Parallelism int
 }
 
@@ -87,6 +89,11 @@ func NewPipeline(cfg Config) (*Pipeline, error) {
 
 // NewPipelineOpts is NewPipeline with execution options.
 func NewPipelineOpts(cfg Config, opts Options) (*Pipeline, error) {
+	if cfg.SignWorkers == 0 {
+		// The generator's signing fan-out shares the pipeline's worker
+		// budget unless the config pins its own count.
+		cfg.SignWorkers = opts.Parallelism
+	}
 	w, err := econ.Generate(cfg)
 	if err != nil {
 		return nil, fmt.Errorf("fistful: generate: %w", err)
@@ -148,7 +155,9 @@ func NewPipelineFromWorldOpts(w *econ.World, opts Options) (*Pipeline, error) {
 		p.Owners = w.OwnersForGraph(g)
 		return nil
 	})
-	grp.Wait()
+	if err := grp.Wait(); err != nil {
+		return nil, fmt.Errorf("fistful: pipeline stage: %w", err)
+	}
 	return p, nil
 }
 

@@ -108,16 +108,30 @@ func TestAddressStringDecodeRoundTrip(t *testing.T) {
 func TestKeyDeterminism(t *testing.T) {
 	a := NewKeyFromSeed(42, 3)
 	b := NewKeyFromSeed(42, 3)
-	if a != b {
+	if a.Seed != b.Seed || a.Address() != b.Address() {
 		t.Fatal("same (seed, counter) produced different keys")
 	}
 	c := NewKeyFromSeed(42, 4)
-	if a == c {
+	if a.Seed == c.Seed || a.Address() == c.Address() {
 		t.Fatal("different counters produced the same key")
 	}
 	d := NewKeyFromSeed(43, 3)
-	if a == d {
+	if a.Seed == d.Seed || a.Address() == d.Address() {
 		t.Fatal("different seeds produced the same key")
+	}
+}
+
+func TestPubKeyCacheConsistent(t *testing.T) {
+	k := NewKeyFromSeed(7, 9)
+	cached := k.PubKey()
+	derived := derivePubKey(k.Seed)
+	if !bytes.Equal(cached, derived) {
+		t.Fatal("cached public key differs from a fresh derivation")
+	}
+	var lazy KeyPair
+	lazy.Seed = k.Seed
+	if !bytes.Equal(lazy.PubKey(), cached) {
+		t.Fatal("zero-constructed pair derives a different public key")
 	}
 }
 

@@ -16,6 +16,12 @@ const SigLen = 32
 // reproducible from a single RNG seed.
 type KeyPair struct {
 	Seed [32]byte
+
+	// pub caches the derived public key. NewKeyFromSeed populates it, so
+	// every copy of the pair (wallet maps, signing jobs) shares one
+	// derivation instead of re-hashing the seed on each Sign call;
+	// zero-constructed pairs derive lazily.
+	pub []byte
 }
 
 // NewKeyFromSeed derives a key pair deterministically from a 64-bit seed and
@@ -28,14 +34,22 @@ func NewKeyFromSeed(seed int64, counter uint64) KeyPair {
 	binary.LittleEndian.PutUint64(buf[8:], counter)
 	var k KeyPair
 	k.Seed = sha256.Sum256(buf[:])
+	k.pub = derivePubKey(k.Seed)
 	return k
 }
 
 // PubKey returns the simulated compressed public key: a 0x02 prefix followed
-// by SHA-256(seed || "pub").
+// by SHA-256(seed || "pub"). Callers must not mutate the returned slice.
 func (k KeyPair) PubKey() []byte {
+	if k.pub != nil {
+		return k.pub
+	}
+	return derivePubKey(k.Seed)
+}
+
+func derivePubKey(seed [32]byte) []byte {
 	h := sha256.New()
-	h.Write(k.Seed[:])
+	h.Write(seed[:])
 	h.Write([]byte("pub"))
 	sum := h.Sum(nil)
 	out := make([]byte, PubKeyLen)

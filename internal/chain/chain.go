@@ -94,12 +94,18 @@ func (c *Chain) ConnectBlock(b *Block, checkPoW bool, opts ConnectBlockOptions) 
 			continue // coinbase applied last, once fees are known
 		}
 		if opts.Verifier != nil {
+			// Digests are computed lazily so a block rejected on an unknown
+			// outpoint costs a map lookup, not a full serialization+hash.
+			var digests []Hash
 			for j, in := range tx.Inputs {
 				entry, ok := c.utxo.Lookup(in.Prev)
 				if !ok {
 					return fmt.Errorf("chain: tx %d input %d: missing output %s", i, j, in.Prev)
 				}
-				if err := opts.Verifier.VerifyScript(entry.PkScript, in.SigScript, SigHash(tx, j)); err != nil {
+				if digests == nil {
+					digests = SigHashes(tx)
+				}
+				if err := opts.Verifier.VerifyScript(entry.PkScript, in.SigScript, digests[j]); err != nil {
 					return fmt.Errorf("chain: tx %d input %d: %w", i, j, err)
 				}
 			}

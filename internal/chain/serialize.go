@@ -234,6 +234,45 @@ func (tx *Tx) Serialize(w io.Writer) error {
 	return writeUint32(w, tx.LockTime)
 }
 
+// serializeStripped writes the transaction with signature scripts elided,
+// the shared preimage of both TxID and the signature digests. When
+// keepDataScripts is true, inputs with a null previous outpoint (coinbase
+// inputs, whose scripts carry data such as the block height rather than
+// signatures) keep their script bytes, so coinbase ids stay unique per block.
+func (tx *Tx) serializeStripped(w io.Writer, keepDataScripts bool) error {
+	if err := writeUint32(w, uint32(tx.Version)); err != nil {
+		return err
+	}
+	if err := WriteVarInt(w, uint64(len(tx.Inputs))); err != nil {
+		return err
+	}
+	for i := range tx.Inputs {
+		in := &tx.Inputs[i]
+		if err := in.Prev.Serialize(w); err != nil {
+			return err
+		}
+		var script []byte
+		if keepDataScripts && in.Prev.IsNull() {
+			script = in.SigScript
+		}
+		if err := WriteVarBytes(w, script); err != nil {
+			return err
+		}
+		if err := writeUint32(w, in.Sequence); err != nil {
+			return err
+		}
+	}
+	if err := WriteVarInt(w, uint64(len(tx.Outputs))); err != nil {
+		return err
+	}
+	for i := range tx.Outputs {
+		if err := tx.Outputs[i].Serialize(w); err != nil {
+			return err
+		}
+	}
+	return writeUint32(w, tx.LockTime)
+}
+
 // maxTxItems bounds input/output counts during deserialization; it is far
 // above anything a valid block can contain but prevents hostile prefixes
 // from forcing huge allocations.
@@ -241,6 +280,7 @@ const maxTxItems = 1 << 20
 
 // Deserialize reads the transaction from wire format.
 func (tx *Tx) Deserialize(r io.Reader) error {
+	tx.id.Store(nil) // invalidate any memoized identifier
 	v, err := readUint32(r)
 	if err != nil {
 		return err

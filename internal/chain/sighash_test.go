@@ -1,0 +1,108 @@
+package chain
+
+import (
+	"bytes"
+	"testing"
+)
+
+// sigTestTx builds a transaction with n inputs (some carrying signature
+// scripts, which the digests must ignore) and a couple of outputs, sized so
+// the stripped serialization crosses SHA-256 block boundaries for larger n.
+func sigTestTx(n int) *Tx {
+	tx := &Tx{Version: 1, LockTime: 7}
+	for i := 0; i < n; i++ {
+		var id Hash
+		id[0], id[1], id[31] = byte(i), byte(i>>8), 0xab
+		in := TxIn{Prev: OutPoint{TxID: id, Index: uint32(i)}, Sequence: ^uint32(0)}
+		if i%2 == 0 {
+			in.SigScript = bytes.Repeat([]byte{byte(i + 1)}, 40)
+		}
+		tx.Inputs = append(tx.Inputs, in)
+	}
+	tx.Outputs = []TxOut{
+		{Value: BTC(1.5), PkScript: bytes.Repeat([]byte{0x51}, 25)},
+		{Value: BTC(0.25), PkScript: bytes.Repeat([]byte{0x52}, 25)},
+	}
+	return tx
+}
+
+func TestSigHashesMatchesSigHash(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 17, 64, 256} {
+		tx := sigTestTx(n)
+		got := SigHashes(tx)
+		if len(got) != n {
+			t.Fatalf("n=%d: %d digests", n, len(got))
+		}
+		for i := 0; i < n; i++ {
+			if want := SigHash(tx, i); got[i] != want {
+				t.Fatalf("n=%d input %d: one-pass digest differs from SigHash", n, i)
+			}
+		}
+	}
+}
+
+func TestSigHashIgnoresSignatureScripts(t *testing.T) {
+	tx := sigTestTx(5)
+	before := SigHashes(tx)
+	for i := range tx.Inputs {
+		tx.Inputs[i].SigScript = bytes.Repeat([]byte{0xff}, 66)
+	}
+	after := SigHashes(tx)
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("input %d: digest depends on signature scripts", i)
+		}
+	}
+}
+
+func TestTxIDStableAcrossSigning(t *testing.T) {
+	tx := sigTestTx(4)
+	for i := range tx.Inputs {
+		tx.Inputs[i].SigScript = nil
+	}
+	unsigned := tx.TxID()
+	for i := range tx.Inputs {
+		tx.Inputs[i].SigScript = bytes.Repeat([]byte{byte(i)}, 66)
+	}
+	// Memoized value is still the answer; a fresh, never-memoized copy of
+	// the signed transaction must agree with it.
+	if tx.TxID() != unsigned {
+		t.Fatal("memoized TxID changed after signing")
+	}
+	if tx.Copy().TxID() != unsigned {
+		t.Fatal("TxID covers signature scripts")
+	}
+}
+
+func TestTxIDDeserializeResetsMemo(t *testing.T) {
+	a, b := sigTestTx(2), sigTestTx(3)
+	var buf bytes.Buffer
+	if err := b.Serialize(&buf); err != nil {
+		t.Fatal(err)
+	}
+	idA := a.TxID() // memoize before overwriting a's contents
+	if err := a.Deserialize(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if a.TxID() == idA {
+		t.Fatal("deserialization kept a stale memoized TxID")
+	}
+	if a.TxID() != b.TxID() {
+		t.Fatal("deserialized transaction id differs from its source")
+	}
+}
+
+func TestCoinbaseTxIDUniquePerHeight(t *testing.T) {
+	// Coinbase ids must differ even when value and destination are equal:
+	// the BIP34-style height in the coinbase input script is retained by the
+	// stripped identity serialization.
+	script := bytes.Repeat([]byte{0x51}, 25)
+	seen := make(map[Hash]int64)
+	for h := int64(0); h < 600; h++ {
+		id := NewCoinbaseTx(h, BTC(50), script, nil).TxID()
+		if prev, dup := seen[id]; dup {
+			t.Fatalf("coinbase ids collide at heights %d and %d", prev, h)
+		}
+		seen[id] = h
+	}
+}

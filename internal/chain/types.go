@@ -3,6 +3,7 @@ package chain
 import (
 	"bytes"
 	"fmt"
+	"sync/atomic"
 )
 
 // OutPoint identifies a transaction output by the id of the transaction that
@@ -44,6 +45,12 @@ type Tx struct {
 	Inputs   []TxIn
 	Outputs  []TxOut
 	LockTime uint32
+
+	// id memoizes TxID. The identifier excludes signature scripts, so
+	// filling signatures in later never invalidates it; Deserialize resets
+	// it. Access is atomic so concurrent first calls race benignly (both
+	// compute the same value).
+	id atomic.Pointer[Hash]
 }
 
 // IsCoinbase reports whether the transaction is a coin generation: a single
@@ -53,15 +60,27 @@ func (tx *Tx) IsCoinbase() bool {
 }
 
 // TxID returns the transaction's identifier: the double-SHA256 of its
-// serialization. The result is recomputed on each call; callers that need it
-// repeatedly should cache it (txgraph does).
+// serialization with every signature script stripped (coinbase input
+// scripts, which carry data such as the block height rather than
+// signatures, are retained — that is what keeps coinbase ids unique per
+// block). Excluding signatures makes the id stable from construction
+// through signing, which lets the economy generator credit recipients
+// before the deferred block-seal signing fan-out runs; it is the same
+// malleability-free identity BIP 141 later gave Bitcoin. The result is
+// memoized: merkle construction, UTXO application and graph indexing all
+// reuse the first computation.
 func (tx *Tx) TxID() Hash {
+	if p := tx.id.Load(); p != nil {
+		return *p
+	}
 	var buf bytes.Buffer
 	// Serialization to an in-memory buffer cannot fail.
-	if err := tx.Serialize(&buf); err != nil {
+	if err := tx.serializeStripped(&buf, true); err != nil {
 		panic("chain: tx serialize: " + err.Error())
 	}
-	return DoubleSHA256(buf.Bytes())
+	id := DoubleSHA256(buf.Bytes())
+	tx.id.Store(&id)
+	return id
 }
 
 // TotalOut returns the sum of all output values. The result may exceed

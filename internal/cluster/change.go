@@ -179,17 +179,12 @@ func classifyTx(g *txgraph.Graph, tx *txgraph.TxInfo, seq txgraph.TxSeq, cfg Cha
 		}
 	}
 	*scratch = fresh
-	if len(fresh) == 0 {
-		return ChangeLabel{}, false
-	}
-	if len(fresh) > 1 {
-		// Several outputs look like one-time change: ambiguous, label none.
-		// (Two outputs to the same fresh address also land here.)
-		if len(fresh) == 2 && tx.OutputAddrs[fresh[0]] == tx.OutputAddrs[fresh[1]] {
+	if len(fresh) != 1 {
+		// Several outputs look like one-time change — including two outputs
+		// paying the same fresh address: ambiguous, label none.
+		if len(fresh) > 1 {
 			stats.Ambiguous++
-			return ChangeLabel{}, false
 		}
-		stats.Ambiguous++
 		return ChangeLabel{}, false
 	}
 	stats.Candidates++

@@ -218,6 +218,24 @@ func TestH2Condition4_TwoFreshIsAmbiguous(t *testing.T) {
 	}
 }
 
+func TestH2TwoOutputsToOneFreshAddressAmbiguous(t *testing.T) {
+	b := chaintest.New(t)
+	b.Coinbase("payer")
+	b.Pay([]string{"payer"},
+		chaintest.Out{Name: "dup", Value: 10 * btc},
+		chaintest.Out{Name: "dup", Value: 20 * btc})
+	b.Mine(1)
+
+	g := buildGraph(t, b)
+	_, stats := FindChangeOutputs(g, Unrefined())
+	if stats.Labeled != 0 {
+		t.Fatal("labeled change despite both outputs paying one fresh address")
+	}
+	if stats.Ambiguous != 1 {
+		t.Fatalf("Ambiguous = %d, want 1", stats.Ambiguous)
+	}
+}
+
 func TestH2SingleOutputNotLabeled(t *testing.T) {
 	b := chaintest.New(t)
 	b.Coinbase("payer")

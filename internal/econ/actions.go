@@ -54,11 +54,7 @@ func (e *engine) sendFromUTXO(u wutxo, w *Wallet, outs []planOut) (tx *chain.Tx,
 	copy(tx.Outputs[changeIdx+1:], tx.Outputs[changeIdx:])
 	tx.Outputs[changeIdx] = out
 
-	k := e.keyOf[u.addr]
-	e.claim(u.op, "sendFromUTXO")
-	sig := k.Sign(chain.SigHash(tx, 0))
-	tx.Inputs[0].SigScript = script.SigScript(sig, k.PubKey())
-
+	e.queueTx(tx, []wutxo{u}, "sendFromUTXO", e.cfg.FeePerTx)
 	txid := tx.TxID()
 	for i, o := range tx.Outputs {
 		a, err := script.ExtractAddress(o.PkScript)
@@ -75,9 +71,6 @@ func (e *engine) sendFromUTXO(u wutxo, w *Wallet, outs []planOut) (tx *chain.Tx,
 			})
 		}
 	}
-	e.pending = append(e.pending, tx)
-	e.pendingFees += e.cfg.FeePerTx
-	e.world.TxsGenerated++
 	return tx, wutxo{
 		op:    chain.OutPoint{TxID: txid, Index: uint32(changeIdx)},
 		value: change,
@@ -705,9 +698,16 @@ func (e *engine) diceBet(u *Actor) {
 	dice.pendingBets = append(dice.pendingBets, bet{returnTo: returnTo, amount: amount})
 }
 
-// inputAddr recovers the address an input spends from, via the signature
-// script's embedded public key.
+// inputAddr recovers the address an input spends from: for a still-pending
+// (unsigned) transaction from the queue bookkeeping, for a sealed one via
+// the signature script's embedded public key.
 func (e *engine) inputAddr(tx *chain.Tx, i int) address.Address {
+	if addrs, ok := e.pendingInputAddrs[tx]; ok {
+		if i < len(addrs) {
+			return addrs[i]
+		}
+		return address.Address{}
+	}
 	sig := tx.Inputs[i].SigScript
 	if len(sig) < 2 {
 		return address.Address{}

@@ -89,6 +89,13 @@ type Config struct {
 	// keeps (the paper found ~20 Heuristic-1 clusters for Mt. Gox).
 	ServiceWallets int
 
+	// SignWorkers is the worker count for the block-seal signing fan-out:
+	// transactions are built and credited unsigned, and each block's batch
+	// is signed in parallel just before mining. 0 means one worker per CPU,
+	// 1 forces fully sequential signing. The generated chain is
+	// byte-identical for every setting.
+	SignWorkers int
+
 	// Researcher enables the Section 3.1 re-identification campaign (the
 	// 344 transactions against the Table 1 roster).
 	Researcher bool

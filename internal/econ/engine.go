@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/address"
 	"repro/internal/chain"
+	"repro/internal/par"
 	"repro/internal/script"
 	"repro/internal/tags"
 )
@@ -47,6 +48,17 @@ type engine struct {
 	pending     []*chain.Tx
 	pendingFees chain.Amount
 	height      int64
+
+	// pendingSign holds one signing job per pending transaction. Signature
+	// scripts are not covered by TxID or by the signature digest, so
+	// transactions are built, credited and queued unsigned; sealBlock signs
+	// the whole batch in a parallel fan-out just before mining.
+	pendingSign []signJob
+	// pendingInputAddrs maps each pending (still unsigned) transaction to
+	// its input addresses, replacing the signature-script parsing that
+	// in-block bookkeeping (dice payout targets, researcher input tagging)
+	// used to rely on.
+	pendingInputAddrs map[*chain.Tx][]address.Address
 
 	// Behavioural state.
 	peelJobs    []*peelJob
@@ -125,14 +137,15 @@ func newEngine(cfg Config) *engine {
 		services: make(map[string]*Actor),
 		byKind:   make(map[ServiceKind][]*Actor),
 
-		poolWeights:    make(map[ActorID]int),
-		svcWeights:     make(map[ActorID]int),
-		hotAddrs:       make(map[*Wallet]address.Address),
-		scheduled:      make(map[int64][]func()),
-		spentBy:        make(map[chain.OutPoint]string),
-		changeClass:    make(map[address.Address]bool),
-		recvCount:      make(map[address.Address]uint32),
-		selfChangeUsed: make(map[address.Address]bool),
+		poolWeights:       make(map[ActorID]int),
+		svcWeights:        make(map[ActorID]int),
+		hotAddrs:          make(map[*Wallet]address.Address),
+		scheduled:         make(map[int64][]func()),
+		spentBy:           make(map[chain.OutPoint]string),
+		changeClass:       make(map[address.Address]bool),
+		recvCount:         make(map[address.Address]uint32),
+		selfChangeUsed:    make(map[address.Address]bool),
+		pendingInputAddrs: make(map[*chain.Tx][]address.Address),
 	}
 	e.world = &World{
 		Config:  cfg,
@@ -292,9 +305,12 @@ type sendOpts struct {
 	smallFirst bool            // select smallest UTXOs first (deposit-sweeping withdrawals)
 }
 
-// send builds, signs, credits and queues a transaction from w paying outs.
-// It returns the transaction and the change output index (-1 if none), or
-// ok=false if the wallet cannot fund the payment or the block is full.
+// send builds, credits and queues a transaction from w paying outs; the
+// signature scripts stay empty until sealBlock's signing fan-out fills them
+// in (use inputAddr, not the scripts, to inspect a pending transaction's
+// inputs). It returns the transaction and the change output index (-1 if
+// none), or ok=false if the wallet cannot fund the payment or the block is
+// full.
 func (e *engine) send(w *Wallet, outs []planOut, opt sendOpts) (*chain.Tx, int, bool) {
 	if e.blockFull() {
 		return nil, -1, false
@@ -312,27 +328,15 @@ func (e *engine) send(w *Wallet, outs []planOut, opt sendOpts) (*chain.Tx, int, 
 	}
 	// Coin selection over mature UTXOs: FIFO by default, smallest-first for
 	// deposit-sweeping service withdrawals (which is what makes their
-	// payout transactions multi-input and thus richly taggable).
-	if opt.smallFirst {
-		sort.SliceStable(w.utxos, func(i, j int) bool { return w.utxos[i].value < w.utxos[j].value })
-	}
-	var selected []wutxo
-	var total chain.Amount
-	rest := w.utxos[:0]
-	for i, u := range w.utxos {
-		if total < need && u.matureAt <= e.height && len(selected) < maxIn {
-			selected = append(selected, u)
-			total += u.value
-			continue
-		}
-		rest = append(rest, w.utxos[i])
-	}
+	// payout transactions multi-input and thus richly taggable). Selection
+	// scans the queue through an index permutation and only removes the
+	// chosen entries on success, so neither a smallest-first pick nor a
+	// failed attempt ever reorders the surviving FIFO queue.
+	take, total := selectUTXOs(w, need, maxIn, e.height, opt.smallFirst)
 	if total < need {
-		// Refund the selection and give up.
-		w.utxos = append(rest, selected...)
 		return nil, -1, false
 	}
-	w.utxos = rest
+	selected := takeUTXOs(w, take)
 
 	tx := &chain.Tx{Version: 1}
 	for _, u := range selected {
@@ -376,18 +380,14 @@ func (e *engine) send(w *Wallet, outs []planOut, opt sendOpts) (*chain.Tx, int, 
 		tx.Outputs[changeIdx] = out
 	}
 
-	// Sign.
-	for i, u := range selected {
-		k, ok := e.keyOf[u.addr]
-		if !ok {
-			panic(fmt.Sprintf("econ: no key for %s", u.addr))
-		}
-		e.claim(u.op, "send")
-		sig := k.Sign(chain.SigHash(tx, i))
-		tx.Inputs[i].SigScript = script.SigScript(sig, k.PubKey())
+	feePaid := e.cfg.FeePerTx
+	if change <= dustLimit || opt.noChange {
+		feePaid += change
 	}
+	e.queueTx(tx, selected, "send", feePaid)
 
-	// Credit recipients (including our own change).
+	// Credit recipients (including our own change). TxID excludes signature
+	// scripts, so the id is already final on the still-unsigned transaction.
 	txid := tx.TxID()
 	for i, out := range tx.Outputs {
 		a, err := script.ExtractAddress(out.PkScript)
@@ -403,14 +403,112 @@ func (e *engine) send(w *Wallet, outs []planOut, opt sendOpts) (*chain.Tx, int, 
 			})
 		}
 	}
-	feePaid := e.cfg.FeePerTx
-	if change <= dustLimit || opt.noChange {
-		feePaid += change
-	}
-	e.pending = append(e.pending, tx)
-	e.pendingFees += feePaid
-	e.world.TxsGenerated++
 	return tx, changeIdx, true
+}
+
+// selectUTXOs picks the inputs a payment of `need` should spend: the wallet
+// queue is scanned in FIFO order (or ascending value, ties FIFO, when
+// smallFirst is set), skipping immature entries, until the target or the
+// input cap is reached. It returns the chosen queue indexes in scan order
+// and their total; the wallet itself is not touched.
+func selectUTXOs(w *Wallet, need chain.Amount, maxIn int, height int64, smallFirst bool) ([]int, chain.Amount) {
+	var order []int
+	if smallFirst {
+		order = make([]int, len(w.utxos))
+		for i := range order {
+			order[i] = i
+		}
+		sort.SliceStable(order, func(a, b int) bool {
+			return w.utxos[order[a]].value < w.utxos[order[b]].value
+		})
+	}
+	var take []int
+	var total chain.Amount
+	for i := 0; i < len(w.utxos); i++ {
+		if total >= need || len(take) >= maxIn {
+			break
+		}
+		idx := i
+		if order != nil {
+			idx = order[i]
+		}
+		if w.utxos[idx].matureAt <= height {
+			take = append(take, idx)
+			total += w.utxos[idx].value
+		}
+	}
+	return take, total
+}
+
+// takeUTXOs removes the entries at the given queue indexes from the wallet,
+// returning them in `take` order and preserving the FIFO order of everything
+// left behind.
+func takeUTXOs(w *Wallet, take []int) []wutxo {
+	selected := make([]wutxo, len(take))
+	taken := make([]bool, len(w.utxos))
+	for j, i := range take {
+		selected[j] = w.utxos[i]
+		taken[i] = true
+	}
+	rest := w.utxos[:0]
+	for i, u := range w.utxos {
+		if !taken[i] {
+			rest = append(rest, u)
+		}
+	}
+	w.utxos = rest
+	return selected
+}
+
+// signJob records a built-but-unsigned pending transaction together with its
+// inputs' keys; signPending fills the signature scripts in at sealBlock time.
+type signJob struct {
+	tx   *chain.Tx
+	keys []address.KeyPair
+}
+
+// queueTx claims the selected inputs and queues the unsigned transaction for
+// the current block, recording its signing job and input addresses. Neither
+// TxID nor the signature digest covers signature scripts, so crediting and
+// all in-block bookkeeping can run before the signatures exist.
+func (e *engine) queueTx(tx *chain.Tx, selected []wutxo, who string, fee chain.Amount) {
+	keys := make([]address.KeyPair, len(selected))
+	addrs := make([]address.Address, len(selected))
+	for i, u := range selected {
+		k, ok := e.keyOf[u.addr]
+		if !ok {
+			panic(fmt.Sprintf("econ: no key for %s", u.addr))
+		}
+		e.claim(u.op, who)
+		keys[i] = k
+		addrs[i] = u.addr
+	}
+	e.pendingSign = append(e.pendingSign, signJob{tx: tx, keys: keys})
+	e.pendingInputAddrs[tx] = addrs
+	e.pending = append(e.pending, tx)
+	e.pendingFees += fee
+	e.world.TxsGenerated++
+}
+
+// signPending signs every queued transaction, fanning the jobs out across
+// the configured SignWorkers. Each job computes its transaction's digests in
+// one pass and writes only that transaction's signature scripts; signatures
+// are deterministic functions of (key, digest), so the sealed block is
+// byte-identical for any worker count.
+func (e *engine) signPending() {
+	jobs := e.pendingSign
+	if len(jobs) > 0 {
+		par.ForEach(len(jobs), e.cfg.SignWorkers, func(start, end int) {
+			for _, job := range jobs[start:end] {
+				digests := chain.SigHashes(job.tx)
+				for i, k := range job.keys {
+					job.tx.Inputs[i].SigScript = script.SigScript(k.Sign(digests[i]), k.PubKey())
+				}
+			}
+		})
+	}
+	e.pendingSign = e.pendingSign[:0]
+	clear(e.pendingInputAddrs)
 }
 
 // pay is the common case: w pays a single recipient with default change.
@@ -437,45 +535,37 @@ func (e *engine) sweep(w *Wallet, to address.Address, maxInputs int) (*chain.Tx,
 	if maxInputs <= 0 {
 		maxInputs = 128
 	}
-	var selected []wutxo
+	// Gather up to maxInputs mature UTXOs; a sweep too small to be worth a
+	// transaction leaves the wallet queue untouched (and in order).
+	var take []int
 	var total chain.Amount
-	rest := w.utxos[:0]
 	for i, u := range w.utxos {
-		if len(selected) < maxInputs && u.matureAt <= e.height {
-			selected = append(selected, u)
-			total += u.value
-			continue
+		if len(take) >= maxInputs {
+			break
 		}
-		rest = append(rest, w.utxos[i])
+		if u.matureAt <= e.height {
+			take = append(take, i)
+			total += u.value
+		}
 	}
-	if len(selected) < 2 || total <= e.cfg.FeePerTx+dustLimit {
-		w.utxos = append(rest, selected...)
+	if len(take) < 2 || total <= e.cfg.FeePerTx+dustLimit {
 		return nil, false
 	}
-	w.utxos = rest
+	selected := takeUTXOs(w, take)
 	tx := &chain.Tx{Version: 1}
 	for _, u := range selected {
 		tx.Inputs = append(tx.Inputs, chain.TxIn{Prev: u.op, Sequence: ^uint32(0)})
 	}
 	tx.Outputs = []chain.TxOut{{Value: total - e.cfg.FeePerTx, PkScript: script.PayToAddr(to)}}
-	for i, u := range selected {
-		k := e.keyOf[u.addr]
-		e.claim(u.op, "sweep")
-		sig := k.Sign(chain.SigHash(tx, i))
-		tx.Inputs[i].SigScript = script.SigScript(sig, k.PubKey())
-	}
-	txid := tx.TxID()
+	e.queueTx(tx, selected, "sweep", e.cfg.FeePerTx)
 	e.noteReceive(to)
 	if rw, ok := e.walletOf[to]; ok {
 		rw.utxos = append(rw.utxos, wutxo{
-			op:    chain.OutPoint{TxID: txid, Index: 0},
+			op:    chain.OutPoint{TxID: tx.TxID(), Index: 0},
 			value: total - e.cfg.FeePerTx,
 			addr:  to,
 		})
 	}
-	e.pending = append(e.pending, tx)
-	e.pendingFees += e.cfg.FeePerTx
-	e.world.TxsGenerated++
 	return tx, true
 }
 
@@ -483,8 +573,10 @@ func (e *engine) blockFull() bool {
 	return len(e.pending) >= e.cfg.MaxBlockTxs-1
 }
 
-// sealBlock mines the pending transactions into a block credited to miner.
+// sealBlock signs the pending transactions and mines them into a block
+// credited to miner.
 func (e *engine) sealBlock(minerAddr address.Address) error {
+	e.signPending()
 	height := e.height
 	subsidy := e.params.SubsidyAt(height)
 	cb := chain.NewCoinbaseTx(height, subsidy+e.pendingFees, script.PayToAddr(minerAddr), nil)

@@ -101,6 +101,72 @@ func TestSendSelfChangePrefersStableAddr(t *testing.T) {
 	}
 }
 
+// fundDistinctValues replaces a wallet's queue with synthetic UTXOs of the
+// given values (in order), minting a key for each so send can sign them.
+func fundDistinctValues(e *engine, w *Wallet, values []chain.Amount) {
+	w.utxos = nil
+	for i, v := range values {
+		a := e.freshAddr(w)
+		var id chain.Hash
+		id[0], id[31] = byte(i+1), 0xfd
+		w.utxos = append(w.utxos, wutxo{
+			op:    chain.OutPoint{TxID: id, Index: uint32(i)},
+			value: v,
+			addr:  a,
+		})
+	}
+}
+
+func TestSmallFirstSendPreservesFIFO(t *testing.T) {
+	e, u := newTestEngine(t)
+	w := u.Wallets[0]
+	fundDistinctValues(e, w, []chain.Amount{
+		50 * chain.Coin, 10 * chain.Coin, 40 * chain.Coin, 5 * chain.Coin, 30 * chain.Coin,
+	})
+	// Needs 12 BTC + fee: smallest-first must pick the 5 and 10 BTC coins.
+	tx, _, ok := e.send(w, []planOut{{addr: e.sinkAddr(w), value: 12 * chain.Coin}},
+		sendOpts{smallFirst: true})
+	if !ok {
+		t.Fatal("smallFirst send failed")
+	}
+	if len(tx.Inputs) != 2 {
+		t.Fatalf("selected %d inputs, want 2 (the two smallest)", len(tx.Inputs))
+	}
+	// The unselected remainder must still be the original FIFO queue, not a
+	// value-sorted one: one deposit-sweeping withdrawal must not convert the
+	// wallet to value-ordered coin selection for every later send. The
+	// send's own change (15 - 12 BTC - fee) joins at the back of the queue.
+	want := []chain.Amount{50 * chain.Coin, 40 * chain.Coin, 30 * chain.Coin,
+		3*chain.Coin - e.cfg.FeePerTx}
+	if len(w.utxos) != len(want) {
+		t.Fatalf("surviving utxos = %d, want %d", len(w.utxos), len(want))
+	}
+	for i, v := range want {
+		if w.utxos[i].value != v {
+			t.Fatalf("surviving queue reordered: position %d holds %v, want %v", i, w.utxos[i].value, v)
+		}
+	}
+	if !e.changeClass[w.utxos[3].addr] {
+		t.Fatal("queue tail is not the send's change output")
+	}
+}
+
+func TestFailedSendLeavesQueueUntouched(t *testing.T) {
+	e, u := newTestEngine(t)
+	w := u.Wallets[0]
+	values := []chain.Amount{20 * chain.Coin, 5 * chain.Coin, 15 * chain.Coin}
+	fundDistinctValues(e, w, values)
+	_, _, ok := e.send(w, []planOut{{addr: e.sinkAddr(w), value: 1000 * chain.Coin}}, sendOpts{})
+	if ok {
+		t.Fatal("send succeeded beyond balance")
+	}
+	for i, v := range values {
+		if w.utxos[i].value != v {
+			t.Fatalf("failed send reordered the queue at position %d", i)
+		}
+	}
+}
+
 func TestSweepConsolidates(t *testing.T) {
 	e, u := newTestEngine(t)
 	w := u.Wallets[0]

@@ -187,15 +187,7 @@ func (e *engine) dissolveHotWallet(sr *Actor) {
 		}
 		agg := e.freshAddr(w)
 		tx.Outputs = []chain.TxOut{{Value: total - e.cfg.FeePerTx, PkScript: script.PayToAddr(agg)}}
-		for i, u := range hotUtxos {
-			k := e.keyOf[u.addr]
-			e.claim(u.op, "dissolveAggregate")
-			sig := k.Sign(chain.SigHash(tx, i))
-			tx.Inputs[i].SigScript = script.SigScript(sig, k.PubKey())
-		}
-		e.pending = append(e.pending, tx)
-		e.pendingFees += e.cfg.FeePerTx
-		e.world.TxsGenerated++
+		e.queueTx(tx, hotUtxos, "dissolveAggregate", e.cfg.FeePerTx)
 		hotU = wutxo{op: chain.OutPoint{TxID: tx.TxID(), Index: 0}, value: total - e.cfg.FeePerTx, addr: agg}
 	}
 
@@ -276,18 +268,11 @@ func (e *engine) moveUTXO(u wutxo, to address.Address, amount chain.Amount) *cha
 		Inputs:  []chain.TxIn{{Prev: u.op, Sequence: ^uint32(0)}},
 		Outputs: []chain.TxOut{{Value: amount, PkScript: script.PayToAddr(to)}},
 	}
-	k := e.keyOf[u.addr]
-	e.claim(u.op, "moveUTXO")
-	sig := k.Sign(chain.SigHash(tx, 0))
-	tx.Inputs[0].SigScript = script.SigScript(sig, k.PubKey())
-	txid := tx.TxID()
+	e.queueTx(tx, []wutxo{u}, "moveUTXO", u.value-amount)
 	e.noteReceive(to)
 	if rw, ok := e.walletOf[to]; ok {
-		rw.utxos = append(rw.utxos, wutxo{op: chain.OutPoint{TxID: txid, Index: 0}, value: amount, addr: to})
+		rw.utxos = append(rw.utxos, wutxo{op: chain.OutPoint{TxID: tx.TxID(), Index: 0}, value: amount, addr: to})
 	}
-	e.pending = append(e.pending, tx)
-	e.pendingFees += u.value - amount
-	e.world.TxsGenerated++
 	return tx
 }
 
@@ -319,18 +304,12 @@ func (e *engine) startDissolutionChains(sr *Actor) {
 		tx.Outputs = append(tx.Outputs, chain.TxOut{Value: amount, PkScript: script.PayToAddr(headAddr)})
 		heads[i] = wutxo{value: amount, addr: headAddr}
 	}
-	k := e.keyOf[u.addr]
-	e.claim(u.op, "dissolutionSplit")
-	sig := k.Sign(chain.SigHash(tx, 0))
-	tx.Inputs[0].SigScript = script.SigScript(sig, k.PubKey())
+	e.queueTx(tx, []wutxo{u}, "dissolutionSplit", e.cfg.FeePerTx)
 	txid := tx.TxID()
 	for i := range heads {
 		heads[i].op = chain.OutPoint{TxID: txid, Index: uint32(i)}
 		d.ChainStarts[i] = heads[i].op
 	}
-	e.pending = append(e.pending, tx)
-	e.pendingFees += e.cfg.FeePerTx
-	e.world.TxsGenerated++
 	d.FinalTx = txid
 
 	for ci := 0; ci < 3; ci++ {

@@ -204,12 +204,18 @@ func (n *Node) SubmitTx(tx *chain.Tx) error {
 // checkMempoolTx verifies a transaction spends existing unspent outputs
 // with valid scripts. Callers hold n.mu.
 func (n *Node) checkMempoolTx(tx *chain.Tx) error {
+	// Digests are computed lazily so a transaction rejected on its first
+	// unknown outpoint costs a map lookup, not a full serialization+hash.
+	var digests []chain.Hash
 	for i, in := range tx.Inputs {
 		entry, ok := n.chain.UTXO().Lookup(in.Prev)
 		if !ok {
 			return fmt.Errorf("p2p: tx input %d: unknown or spent output %s", i, in.Prev)
 		}
-		if err := script.Verify(entry.PkScript, in.SigScript, chain.SigHash(tx, i)); err != nil {
+		if digests == nil {
+			digests = chain.SigHashes(tx)
+		}
+		if err := script.Verify(entry.PkScript, in.SigScript, digests[i]); err != nil {
 			return fmt.Errorf("p2p: tx input %d: %w", i, err)
 		}
 	}

@@ -1,6 +1,7 @@
 package fistful
 
 import (
+	"fmt"
 	"strings"
 	"sync"
 	"testing"
@@ -57,7 +58,10 @@ func TestH1PerfectPrecision(t *testing.T) {
 
 func TestH2LadderShape(t *testing.T) {
 	p := smallPipeline(t)
-	_, r := p.Heuristic2()
+	_, r, err := p.Heuristic2()
+	if err != nil {
+		t.Fatal(err)
+	}
 	naive := r.Ladder[0].Stats
 	dice := r.Ladder[1].Stats
 	day := r.Ladder[2].Stats
@@ -79,7 +83,10 @@ func TestH2LadderShape(t *testing.T) {
 
 func TestRefinementKillsContamination(t *testing.T) {
 	p := smallPipeline(t)
-	_, r := p.Heuristic2()
+	_, r, err := p.Heuristic2()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if r.RefinedTruth.Purity < r.NaiveTruth.Purity {
 		t.Fatalf("refinement reduced purity: %.4f -> %.4f", r.NaiveTruth.Purity, r.RefinedTruth.Purity)
 	}
@@ -148,6 +155,27 @@ func TestTable2ChainsFollowed(t *testing.T) {
 	}
 }
 
+func TestTable2PeelNoteUsesPeelDenominator(t *testing.T) {
+	p := smallPipeline(t)
+	tbl, r := p.Table2()
+	if r.TotalPeels == 0 {
+		t.Fatal("no peels recovered")
+	}
+	// The paper frames the result as 54 of 300 *peels*; a hop can emit
+	// several peels, so the hop count is the wrong denominator.
+	want := fmt.Sprintf("peels to exchanges: %d of %d peels (paper: 54 of 300)",
+		r.ExchangePeels, r.TotalPeels)
+	for _, n := range tbl.Notes {
+		if n == want {
+			return
+		}
+		if strings.HasPrefix(n, "peels to exchanges:") {
+			t.Fatalf("note %q, want %q", n, want)
+		}
+	}
+	t.Fatal("peels-to-exchanges note missing")
+}
+
 func TestTable3TheftsTracked(t *testing.T) {
 	p := smallPipeline(t)
 	_, rows := p.Table3()
@@ -189,7 +217,10 @@ func TestTable1Totals(t *testing.T) {
 func TestRenderAllTables(t *testing.T) {
 	p := smallPipeline(t)
 	t1, _ := p.Heuristic1()
-	t2, _ := p.Heuristic2()
+	t2, _, err := p.Heuristic2()
+	if err != nil {
+		t.Fatal(err)
+	}
 	f2, _ := p.Figure2(8)
 	tt2, _ := p.Table2()
 	tt3, _ := p.Table3()
