@@ -1,0 +1,111 @@
+// Command benchjson converts `go test -bench` text output (stdin) into a
+// JSON document (stdout) for CI artifacts: one entry per benchmark result
+// with every metric parsed — including custom B.ReportMetric units such as
+// the streaming build's peak-heap-bytes — plus the benchmark context lines
+// (goos, goarch, pkg, cpu) and the raw result lines, so the artifact stays
+// benchstat-comparable while being trivially machine-readable.
+//
+// Usage:
+//
+//	go test -run=NONE -bench=. -benchtime=1x ./... | benchjson > BENCH_pr.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	// Name is the full benchmark name including sub-benchmarks and the
+	// GOMAXPROCS suffix, e.g. "BenchmarkStreamingBuild/stream-8".
+	Name string `json:"name"`
+	// Runs is the iteration count (b.N).
+	Runs int64 `json:"runs"`
+	// Metrics maps unit -> value, e.g. "ns/op", "B/op", "peak-heap-bytes".
+	Metrics map[string]float64 `json:"metrics"`
+	// Line is the raw benchmark line, preserved so the JSON artifact can be
+	// converted back into benchstat input losslessly.
+	Line string `json:"line"`
+}
+
+// Report is the whole converted run.
+type Report struct {
+	// Context holds the run's goos/goarch/pkg/cpu header lines keyed by
+	// field name; pkg may appear once per package and keeps the last value.
+	Context map[string]string `json:"context"`
+	// Benchmarks lists every parsed result in input order.
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+// parseLine parses one benchmark result line, reporting ok=false for
+// non-benchmark lines (context, PASS/ok trailers, test chatter).
+func parseLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Result{}, false
+	}
+	runs, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: fields[0], Runs: runs, Metrics: make(map[string]float64), Line: line}
+	// The remainder alternates "value unit".
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		r.Metrics[fields[i+1]] = v
+	}
+	if len(r.Metrics) == 0 {
+		return Result{}, false
+	}
+	return r, true
+}
+
+// contextField extracts a "key: value" benchmark header line.
+func contextField(line string) (key, value string, ok bool) {
+	for _, k := range []string{"goos", "goarch", "pkg", "cpu"} {
+		if rest, found := strings.CutPrefix(line, k+": "); found {
+			return k, strings.TrimSpace(rest), true
+		}
+	}
+	return "", "", false
+}
+
+// convert parses a whole -bench output stream into a Report.
+func convert(sc *bufio.Scanner) (*Report, error) {
+	rep := &Report{Context: make(map[string]string)}
+	for sc.Scan() {
+		line := sc.Text()
+		if k, v, ok := contextField(line); ok {
+			rep.Context[k] = v
+			continue
+		}
+		if r, ok := parseLine(line); ok {
+			rep.Benchmarks = append(rep.Benchmarks, r)
+		}
+	}
+	return rep, sc.Err()
+}
+
+func main() {
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	rep, err := convert(sc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkStreamingBuild/in-memory         	       1	  35473344 ns/op	  29715560 peak-heap-bytes	     11186 txs
+BenchmarkStreamingBuild/stream            	       1	  49809424 ns/op	  25893680 peak-heap-bytes	     11186 txs
+BenchmarkHeuristic1/par-8   	     100	    153846 ns/op	     12 B/op	       0 allocs/op
+--- BENCH: BenchmarkFigure1
+    some free-form test output
+PASS
+ok  	repro	4.223s
+`
+
+func TestConvert(t *testing.T) {
+	rep, err := convert(bufio.NewScanner(strings.NewReader(sample)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.Context["cpu"]; !strings.HasPrefix(got, "Intel") {
+		t.Fatalf("cpu context = %q", got)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(rep.Benchmarks))
+	}
+	stream := rep.Benchmarks[1]
+	if stream.Name != "BenchmarkStreamingBuild/stream" {
+		t.Fatalf("name = %q", stream.Name)
+	}
+	if stream.Runs != 1 {
+		t.Fatalf("runs = %d", stream.Runs)
+	}
+	if stream.Metrics["peak-heap-bytes"] != 25893680 {
+		t.Fatalf("peak-heap-bytes = %v", stream.Metrics["peak-heap-bytes"])
+	}
+	h1 := rep.Benchmarks[2]
+	if h1.Metrics["allocs/op"] != 0 || h1.Metrics["B/op"] != 12 {
+		t.Fatalf("h1 metrics = %v", h1.Metrics)
+	}
+	if !strings.Contains(h1.Line, "BenchmarkHeuristic1/par-8") {
+		t.Fatal("raw line not preserved")
+	}
+}
+
+func TestParseLineRejectsNonBenchLines(t *testing.T) {
+	for _, line := range []string{
+		"PASS",
+		"ok  \trepro\t4.223s",
+		"Benchmark definitely not numbers here",
+		"BenchmarkX 12", // no metrics
+		"--- BENCH: BenchmarkFigure1",
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Fatalf("line %q parsed as a benchmark", line)
+		}
+	}
+}

@@ -5,7 +5,8 @@
 // Usage:
 //
 //	fistful experiments [-small] [-seed N] [-csv]   # all tables & figures
-//	fistful generate -out chain.bin [-small]        # write the chain to disk
+//	fistful experiments -chain chain.bin            # stream the measurement side from disk
+//	fistful generate -out chain.bin [-small]        # stream the chain to disk while sealing
 //	fistful crawl [-small]                          # serve + crawl the tag site
 //	fistful p2p-demo                                # Figure 1 over real TCP
 package main
@@ -73,6 +74,12 @@ func parallelFlag(fs *flag.FlagSet) *int {
 		"pipeline worker count (0 = one per CPU, 1 = sequential); results are identical for any value")
 }
 
+func chainFlag(fs *flag.FlagSet) *string {
+	return fs.String("chain", "",
+		"streaming mode: write the generated chain to this framed chain file and build the\n"+
+			"measurement graph by streaming it back in bounded block windows (identical output)")
+}
+
 func buildConfig(small bool, seed int64) fistful.Config {
 	cfg := fistful.DefaultConfig()
 	if small {
@@ -88,13 +95,19 @@ func cmdExperiments(args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ExitOnError)
 	small, seed := configFlags(fs)
 	parallel := parallelFlag(fs)
+	chainFile := chainFlag(fs)
 	csv := fs.Bool("csv", false, "emit CSV instead of aligned tables")
 	samples := fs.Int("samples", 12, "figure 2 sample count")
 	fs.Parse(args)
 
 	start := time.Now()
-	fmt.Fprintf(os.Stderr, "generating economy and running pipeline...\n")
-	p, err := fistful.NewPipelineOpts(buildConfig(*small, *seed), fistful.Options{Parallelism: *parallel})
+	if *chainFile != "" {
+		fmt.Fprintf(os.Stderr, "generating economy into %s and streaming pipeline from it...\n", *chainFile)
+	} else {
+		fmt.Fprintf(os.Stderr, "generating economy and running pipeline...\n")
+	}
+	p, err := fistful.NewPipelineOpts(buildConfig(*small, *seed),
+		fistful.Options{Parallelism: *parallel, ChainFile: *chainFile})
 	if err != nil {
 		return err
 	}
@@ -132,16 +145,10 @@ func cmdGenerate(args []string) error {
 
 	cfg := buildConfig(*small, *seed)
 	cfg.SignWorkers = *parallel
-	w, err := econ.Generate(cfg)
+	// Blocks are framed to disk as they are sealed, so the file is complete
+	// the moment generation is.
+	w, err := econ.GenerateToFile(cfg, *out)
 	if err != nil {
-		return err
-	}
-	f, err := os.Create(*out)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	if _, err := w.Chain.WriteTo(f); err != nil {
 		return err
 	}
 	fmt.Printf("wrote %d blocks (%d txs) to %s\n", w.Chain.Height()+1, w.TxsGenerated, *out)

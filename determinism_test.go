@@ -1,6 +1,7 @@
 package fistful
 
 import (
+	"path/filepath"
 	"reflect"
 	"testing"
 
@@ -41,6 +42,61 @@ func TestPipelineParallelismInvariant(t *testing.T) {
 				comparePipelines(t, parallelism, seq, par)
 			}
 		})
+	}
+}
+
+// TestPipelineStreamingInvariant is the disk-backed counterpart of the
+// parallelism invariant: a pipeline that streams its graph from a framed
+// chain file (Options.ChainFile) produces byte-identical labels, cluster
+// stats, change labels, naming, and owners to the in-memory sequential
+// path, at two scales and for sequential and parallel streaming builds.
+func TestPipelineStreamingInvariant(t *testing.T) {
+	configs := []struct {
+		name string
+		cfg  Config
+	}{
+		{"small", SmallConfig()},
+		{"larger", largerConfig()},
+	}
+	for _, tc := range configs {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "chain.bin")
+			w, err := econ.GenerateToFile(tc.cfg, path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seq, err := NewPipelineFromWorldOpts(w, Options{Parallelism: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, parallelism := range []int{1, 0} {
+				streamed, err := NewPipelineFromWorldOpts(w, Options{Parallelism: parallelism, ChainFile: path})
+				if err != nil {
+					t.Fatalf("parallelism=%d: %v", parallelism, err)
+				}
+				comparePipelines(t, parallelism, seq, streamed)
+			}
+		})
+	}
+}
+
+// TestPipelineChainFileMismatch proves streaming mode rejects a chain file
+// that does not hold the world's chain instead of silently desynchronizing.
+func TestPipelineChainFileMismatch(t *testing.T) {
+	cfg := SmallConfig()
+	path := filepath.Join(t.TempDir(), "chain.bin")
+	other := cfg
+	other.Seed = cfg.Seed + 1
+	if _, err := econ.GenerateToFile(other, path); err != nil {
+		t.Fatal(err)
+	}
+	w, err := econ.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewPipelineFromWorldOpts(w, Options{ChainFile: path}); err == nil {
+		t.Fatal("mismatched chain file accepted")
 	}
 }
 

@@ -15,6 +15,7 @@ package fistful
 import (
 	"fmt"
 
+	"repro/internal/chain"
 	"repro/internal/cluster"
 	"repro/internal/econ"
 	"repro/internal/par"
@@ -43,6 +44,17 @@ type Options struct {
 	// worker per CPU; 1 forces fully sequential execution. Results are
 	// byte-identical for every setting.
 	Parallelism int
+
+	// ChainFile, when non-empty, puts the pipeline in streaming mode: the
+	// transaction graph is built by scanning the framed chain file at this
+	// path (chain.Reader) in bounded block windows instead of indexing the
+	// world's resident chain. NewPipelineOpts additionally writes the file
+	// while the economy is generated (econ.GenerateToFile), so the chain
+	// under measurement round-trips through disk end to end;
+	// NewPipelineFromWorldOpts expects the file to exist already and to
+	// hold the same chain as the world. Every output is byte-identical to
+	// the in-memory path.
+	ChainFile string
 }
 
 // Pipeline holds every stage of the measurement pipeline, built once and
@@ -94,7 +106,15 @@ func NewPipelineOpts(cfg Config, opts Options) (*Pipeline, error) {
 		// budget unless the config pins its own count.
 		cfg.SignWorkers = opts.Parallelism
 	}
-	w, err := econ.Generate(cfg)
+	var (
+		w   *econ.World
+		err error
+	)
+	if opts.ChainFile != "" {
+		w, err = econ.GenerateToFile(cfg, opts.ChainFile)
+	} else {
+		w, err = econ.Generate(cfg)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("fistful: generate: %w", err)
 	}
@@ -113,7 +133,7 @@ func NewPipelineFromWorld(w *econ.World) (*Pipeline, error) {
 // result is identical to the sequential order.
 func NewPipelineFromWorldOpts(w *econ.World, opts Options) (*Pipeline, error) {
 	workers := par.Workers(opts.Parallelism)
-	g, err := txgraph.BuildWorkers(w.Chain, workers)
+	g, err := buildGraph(w, opts.ChainFile, workers)
 	if err != nil {
 		return nil, fmt.Errorf("fistful: index: %w", err)
 	}
@@ -159,6 +179,35 @@ func NewPipelineFromWorldOpts(w *econ.World, opts Options) (*Pipeline, error) {
 		return nil, fmt.Errorf("fistful: pipeline stage: %w", err)
 	}
 	return p, nil
+}
+
+// buildGraph indexes the chain for the pipeline: from the world's resident
+// chain, or — in streaming mode — by scanning the framed chain file in
+// bounded block windows so the measurement side never needs the chain
+// materialized. A streamed graph is cross-checked against the world (same
+// height, same tip coinbase) so a stale or mismatched file fails loudly
+// instead of silently desynchronizing the ground truth.
+func buildGraph(w *econ.World, chainFile string, workers int) (*txgraph.Graph, error) {
+	if chainFile == "" {
+		return txgraph.BuildWorkers(w.Chain, workers)
+	}
+	src, err := chain.OpenReader(chainFile)
+	if err != nil {
+		return nil, err
+	}
+	defer src.Close()
+	g, err := txgraph.BuildStream(src, workers)
+	if err != nil {
+		return nil, err
+	}
+	if g.Height() != w.Chain.Height() {
+		return nil, fmt.Errorf("chain file %s has height %d, world has %d (wrong or stale file?)",
+			chainFile, g.Height(), w.Chain.Height())
+	}
+	if _, ok := g.LookupTx(w.Chain.Tip().Txs[0].TxID()); !ok {
+		return nil, fmt.Errorf("chain file %s does not contain the world's tip block (wrong or stale file?)", chainFile)
+	}
+	return g, nil
 }
 
 // diceSet expands the tagged dice services' H1 clusters into an address set.

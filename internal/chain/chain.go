@@ -134,37 +134,39 @@ func (c *Chain) ConnectBlock(b *Block, checkPoW bool, opts ConnectBlockOptions) 
 	return nil
 }
 
-// WriteTo serializes the whole chain (block count then blocks) to w,
-// buffering writes. It implements a blockparser-style flat file format.
+// WriteTo serializes the whole chain to w in the framed chain format (see
+// stream.go), buffering writes. Files written this way stream back through
+// Reader/OpenReader without materializing the chain.
 func (c *Chain) WriteTo(w io.Writer) (int64, error) {
-	bw := bufio.NewWriterSize(w, 1<<20)
-	if err := WriteVarInt(bw, uint64(len(c.blocks))); err != nil {
+	sw, err := NewWriter(w)
+	if err != nil {
 		return 0, err
 	}
 	for _, b := range c.blocks {
-		if err := b.Serialize(bw); err != nil {
+		if err := sw.WriteBlock(b); err != nil {
 			return 0, err
 		}
 	}
-	return 0, bw.Flush()
+	return 0, sw.Flush()
 }
 
 // ReadFrom deserializes a chain previously written with WriteTo, validating
 // and connecting every block (without proof-of-work checks).
 func (c *Chain) ReadFrom(r io.Reader) (int64, error) {
-	br := bufio.NewReaderSize(r, 1<<20)
-	n, err := ReadVarInt(br)
+	sr, err := NewReader(bufio.NewReaderSize(r, 1<<20))
 	if err != nil {
 		return 0, err
 	}
-	for i := uint64(0); i < n; i++ {
-		b := new(Block)
-		if err := b.Deserialize(br); err != nil {
-			return 0, fmt.Errorf("chain: block %d: %w", i, err)
+	for {
+		b, err := sr.NextBlock()
+		if err == io.EOF {
+			return 0, nil
+		}
+		if err != nil {
+			return 0, err
 		}
 		if err := c.ConnectBlock(b, false, ConnectBlockOptions{}); err != nil {
-			return 0, fmt.Errorf("chain: block %d: %w", i, err)
+			return 0, fmt.Errorf("chain: block %d: %w", sr.Blocks()-1, err)
 		}
 	}
-	return 0, nil
 }

@@ -1,0 +1,201 @@
+package chain
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+// The framed chain format is the on-disk shape of a chain: a fixed header
+// (magic plus format version) followed by one length-prefixed frame per
+// block, each frame holding the block's wire serialization from
+// serialize.go. Length prefixes let a reader skip or bound-check a block
+// without decoding it, and let a truncated or corrupted file fail with a
+// precise error instead of a misparse. The format is what `fistful
+// generate -out` writes and what the streaming measurement pipeline
+// (`-chain`) consumes, so chains far larger than RAM never need to be
+// resident as object graphs.
+
+// streamMagic identifies a framed chain file ("FBC" + format version 1).
+var streamMagic = [4]byte{'F', 'B', 'C', 0x01}
+
+// maxBlockFrame bounds a single block frame so a corrupted length prefix
+// fails fast instead of forcing a giant allocation or a long blind read.
+const maxBlockFrame = 1 << 28 // 256 MiB, far above any simulated block
+
+// ErrBadMagic is returned when a stream does not start with the framed
+// chain header.
+var ErrBadMagic = errors.New("chain: not a framed chain stream (bad magic)")
+
+// BlockSource is an iterator over a chain's blocks in height order.
+// NextBlock returns io.EOF after the final block. Implementations are the
+// disk-backed Reader and the in-memory Chain.Source; everything on the
+// measurement side of the pipeline consumes this interface so the two are
+// interchangeable.
+type BlockSource interface {
+	// NextBlock returns the next block, or (nil, io.EOF) when exhausted.
+	// Any other error is terminal.
+	NextBlock() (*Block, error)
+}
+
+// Writer emits blocks in the framed chain format. Writes are buffered;
+// callers must Flush when done.
+type Writer struct {
+	w      *bufio.Writer
+	frame  bytes.Buffer
+	blocks int64
+}
+
+// NewWriter writes the stream header to w and returns a Writer appending
+// frames to it.
+func NewWriter(w io.Writer) (*Writer, error) {
+	sw := &Writer{w: bufio.NewWriterSize(w, 1<<20)}
+	if _, err := sw.w.Write(streamMagic[:]); err != nil {
+		return nil, fmt.Errorf("chain: write stream header: %w", err)
+	}
+	return sw, nil
+}
+
+// WriteBlock appends one block frame.
+func (sw *Writer) WriteBlock(b *Block) error {
+	sw.frame.Reset()
+	if err := b.Serialize(&sw.frame); err != nil {
+		return fmt.Errorf("chain: serialize block %d: %w", sw.blocks, err)
+	}
+	if sw.frame.Len() > maxBlockFrame {
+		return fmt.Errorf("chain: block %d frame is %d bytes, exceeds limit", sw.blocks, sw.frame.Len())
+	}
+	var lenBuf [4]byte
+	binary.LittleEndian.PutUint32(lenBuf[:], uint32(sw.frame.Len()))
+	if _, err := sw.w.Write(lenBuf[:]); err != nil {
+		return fmt.Errorf("chain: write block %d frame: %w", sw.blocks, err)
+	}
+	if _, err := sw.w.Write(sw.frame.Bytes()); err != nil {
+		return fmt.Errorf("chain: write block %d frame: %w", sw.blocks, err)
+	}
+	sw.blocks++
+	return nil
+}
+
+// Blocks returns how many blocks have been written.
+func (sw *Writer) Blocks() int64 { return sw.blocks }
+
+// Flush flushes any buffered frame bytes to the underlying writer.
+func (sw *Writer) Flush() error { return sw.w.Flush() }
+
+// Reader streams blocks back out of the framed chain format. It implements
+// BlockSource.
+type Reader struct {
+	r      io.Reader
+	frame  []byte
+	blocks int64
+}
+
+// NewReader checks the stream header of r and returns a Reader iterating
+// its frames. Callers streaming from an unbuffered source should wrap it in
+// a bufio.Reader first.
+func NewReader(r io.Reader) (*Reader, error) {
+	var magic [4]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, fmt.Errorf("chain: read stream header: %w", eofIsUnexpected(err))
+	}
+	if magic != streamMagic {
+		return nil, ErrBadMagic
+	}
+	return &Reader{r: r}, nil
+}
+
+// NextBlock decodes the next frame, returning io.EOF once the stream is
+// exhausted. A stream that ends mid-frame, a frame whose length prefix
+// exceeds the format bound, and a frame whose payload is shorter or longer
+// than the block it frames all produce wrapped errors naming the failing
+// block index.
+func (sr *Reader) NextBlock() (*Block, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(sr.r, lenBuf[:]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF // clean end of stream
+		}
+		return nil, fmt.Errorf("chain: block %d: truncated frame length: %w", sr.blocks, eofIsUnexpected(err))
+	}
+	n := binary.LittleEndian.Uint32(lenBuf[:])
+	if n > maxBlockFrame {
+		return nil, fmt.Errorf("chain: block %d: frame length %d exceeds limit (corrupt length prefix?)", sr.blocks, n)
+	}
+	if uint32(cap(sr.frame)) < n {
+		sr.frame = make([]byte, n)
+	}
+	frame := sr.frame[:n]
+	if _, err := io.ReadFull(sr.r, frame); err != nil {
+		return nil, fmt.Errorf("chain: block %d: truncated frame (want %d bytes): %w", sr.blocks, n, eofIsUnexpected(err))
+	}
+	body := bytes.NewReader(frame)
+	b := new(Block)
+	if err := b.Deserialize(body); err != nil {
+		return nil, fmt.Errorf("chain: block %d: decode: %w", sr.blocks, eofIsUnexpected(err))
+	}
+	if body.Len() != 0 {
+		return nil, fmt.Errorf("chain: block %d: frame has %d trailing bytes", sr.blocks, body.Len())
+	}
+	sr.blocks++
+	return b, nil
+}
+
+// Blocks returns how many blocks have been decoded so far.
+func (sr *Reader) Blocks() int64 { return sr.blocks }
+
+// eofIsUnexpected converts a bare io.EOF into io.ErrUnexpectedEOF: inside a
+// frame or header, running out of bytes is truncation, not a clean end.
+func eofIsUnexpected(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// FileReader is a Reader over an opened chain file; Close releases the file.
+type FileReader struct {
+	Reader
+	f *os.File
+}
+
+// OpenReader opens a framed chain file for streaming.
+func OpenReader(path string) (*FileReader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("chain: open chain file: %w", err)
+	}
+	r, err := NewReader(bufio.NewReaderSize(f, 1<<20))
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &FileReader{Reader: *r, f: f}, nil
+}
+
+// Close closes the underlying file.
+func (fr *FileReader) Close() error { return fr.f.Close() }
+
+// memSource iterates an in-memory block slice; see Chain.Source.
+type memSource struct {
+	blocks []*Block
+	next   int
+}
+
+func (m *memSource) NextBlock() (*Block, error) {
+	if m.next >= len(m.blocks) {
+		return nil, io.EOF
+	}
+	b := m.blocks[m.next]
+	m.next++
+	return b, nil
+}
+
+// Source returns a BlockSource iterating the chain's resident blocks in
+// height order. It is the in-memory counterpart of Reader: the streaming
+// graph build consumes either interchangeably.
+func (c *Chain) Source() BlockSource { return &memSource{blocks: c.blocks} }

@@ -1,0 +1,243 @@
+package chain
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// streamTestChain builds a few blocks' worth of framed chain bytes plus the
+// source blocks for comparison.
+func streamTestChain(t *testing.T) ([]*Block, []byte) {
+	t.Helper()
+	h := newHarness(t)
+	key := h.newKey()
+	for i := 0; i < 5; i++ {
+		h.mineTo(key)
+	}
+	var buf bytes.Buffer
+	sw, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range h.chain.Blocks() {
+		if err := sw.WriteBlock(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return h.chain.Blocks(), buf.Bytes()
+}
+
+func TestStreamRoundTrip(t *testing.T) {
+	blocks, raw := streamTestChain(t)
+	sr, err := NewReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range blocks {
+		got, err := sr.NextBlock()
+		if err != nil {
+			t.Fatalf("block %d: %v", i, err)
+		}
+		if got.BlockHash() != want.BlockHash() {
+			t.Fatalf("block %d: hash mismatch", i)
+		}
+		if len(got.Txs) != len(want.Txs) {
+			t.Fatalf("block %d: %d txs, want %d", i, len(got.Txs), len(want.Txs))
+		}
+	}
+	if _, err := sr.NextBlock(); err != io.EOF {
+		t.Fatalf("after last block: got %v, want io.EOF", err)
+	}
+	if sr.Blocks() != int64(len(blocks)) {
+		t.Fatalf("Blocks() = %d, want %d", sr.Blocks(), len(blocks))
+	}
+}
+
+func TestChainSourceMatchesReader(t *testing.T) {
+	h := newHarness(t)
+	key := h.newKey()
+	for i := 0; i < 3; i++ {
+		h.mineTo(key)
+	}
+	src := h.chain.Source()
+	for i := 0; ; i++ {
+		b, err := src.NextBlock()
+		if err == io.EOF {
+			if int64(i) != h.chain.Height()+1 {
+				t.Fatalf("source yielded %d blocks, chain has %d", i, h.chain.Height()+1)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b != h.chain.BlockAt(int64(i)) {
+			t.Fatalf("block %d: source does not alias the chain block", i)
+		}
+	}
+}
+
+func TestOpenReaderStreamsFile(t *testing.T) {
+	blocks, raw := streamTestChain(t)
+	path := filepath.Join(t.TempDir(), "chain.bin")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fr, err := OpenReader(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fr.Close()
+	n := 0
+	for {
+		b, err := fr.NextBlock()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.BlockHash() != blocks[n].BlockHash() {
+			t.Fatalf("block %d mismatch", n)
+		}
+		n++
+	}
+	if n != len(blocks) {
+		t.Fatalf("streamed %d blocks, want %d", n, len(blocks))
+	}
+}
+
+func TestReaderBadMagic(t *testing.T) {
+	_, err := NewReader(bytes.NewReader([]byte{'n', 'o', 'p', 'e', 0, 0}))
+	if !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("got %v, want ErrBadMagic", err)
+	}
+}
+
+func TestReaderTruncatedHeader(t *testing.T) {
+	_, err := NewReader(bytes.NewReader([]byte{'F', 'B'}))
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("got %v, want wrapped io.ErrUnexpectedEOF", err)
+	}
+}
+
+// TestReaderTruncation cuts the valid stream at every byte boundary class
+// that matters: inside a frame length prefix and inside a block body. Every
+// cut must surface as a wrapped io.ErrUnexpectedEOF, never a panic or a
+// silent success.
+func TestReaderTruncation(t *testing.T) {
+	blocks, raw := streamTestChain(t)
+	cases := []struct {
+		name string
+		cut  int
+	}{
+		{"inside first frame length", 4 + 2},
+		{"inside first block body", 4 + 4 + 10},
+		{"inside last block body", len(raw) - 3},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sr, err := NewReader(bytes.NewReader(raw[:tc.cut]))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var last error
+			for i := 0; i <= len(blocks); i++ {
+				if _, last = sr.NextBlock(); last != nil {
+					break
+				}
+			}
+			if !errors.Is(last, io.ErrUnexpectedEOF) {
+				t.Fatalf("got %v, want wrapped io.ErrUnexpectedEOF", last)
+			}
+		})
+	}
+}
+
+func TestReaderCorruptFrameLength(t *testing.T) {
+	_, raw := streamTestChain(t)
+	mut := append([]byte(nil), raw...)
+	// Overwrite the first frame's length prefix with a value beyond the
+	// format bound.
+	binary.LittleEndian.PutUint32(mut[4:8], maxBlockFrame+1)
+	sr, err := NewReader(bytes.NewReader(mut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sr.NextBlock(); err == nil || !strings.Contains(err.Error(), "exceeds limit") {
+		t.Fatalf("got %v, want frame length limit error", err)
+	}
+}
+
+// TestReaderTrailingFrameBytes corrupts a frame so the block decodes short
+// of the frame's declared length; the reader must reject the leftovers.
+func TestReaderTrailingFrameBytes(t *testing.T) {
+	h := newHarness(t)
+	key := h.newKey()
+	b := h.mineTo(key)
+
+	var body bytes.Buffer
+	if err := b.Serialize(&body); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.Write(streamMagic[:])
+	var lenBuf [4]byte
+	binary.LittleEndian.PutUint32(lenBuf[:], uint32(body.Len()+3))
+	buf.Write(lenBuf[:])
+	buf.Write(body.Bytes())
+	buf.Write([]byte{1, 2, 3})
+
+	sr, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sr.NextBlock(); err == nil || !strings.Contains(err.Error(), "trailing") {
+		t.Fatalf("got %v, want trailing-bytes error", err)
+	}
+}
+
+// TestWriteToReadFromFramed proves the chain-level snapshot round-trips
+// through the framed format and that the bytes are Reader-compatible.
+func TestWriteToReadFromFramed(t *testing.T) {
+	h := newHarness(t)
+	key := h.newKey()
+	for i := 0; i < 4; i++ {
+		h.mineTo(key)
+	}
+	var buf bytes.Buffer
+	if _, err := h.chain.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sr, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("WriteTo output is not Reader-framed: %v", err)
+	}
+	for {
+		if _, err := sr.NextBlock(); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sr.Blocks() != h.chain.Height()+1 {
+		t.Fatalf("framed %d blocks, want %d", sr.Blocks(), h.chain.Height()+1)
+	}
+
+	restored := New(*h.chain.Params())
+	if _, err := restored.ReadFrom(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if restored.TipHash() != h.chain.TipHash() {
+		t.Fatal("restored chain tip differs")
+	}
+}

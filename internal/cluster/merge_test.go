@@ -1,0 +1,76 @@
+package cluster
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// linearMergeForests is the pre-tree-reduction merge: fold every forest
+// into the first, one after another. Kept as the benchmark baseline and the
+// equivalence oracle for the tree reduction.
+func linearMergeForests(forests []*UnionFind, n int) *UnionFind {
+	master := forests[0]
+	for _, f := range forests[1:] {
+		mergeForest(master, f, n)
+	}
+	return master
+}
+
+// randomShardForests builds w forests over n elements, each holding a
+// deterministic pseudo-random slice of union pairs, mimicking the per-shard
+// co-spend forests of the sharded Heuristic 1.
+func randomShardForests(n, w int, seed int64) []*UnionFind {
+	rng := rand.New(rand.NewSource(seed))
+	forests := make([]*UnionFind, w)
+	for k := range forests {
+		forests[k] = NewUnionFind(n)
+		for j := 0; j < n/(2*w); j++ {
+			forests[k].Union(uint32(rng.Intn(n)), uint32(rng.Intn(n)))
+		}
+	}
+	return forests
+}
+
+// TestTreeMergeMatchesLinear proves the tree reduction produces the same
+// partition (canonical labels) as the linear fold for shard counts around
+// and past powers of two.
+func TestTreeMergeMatchesLinear(t *testing.T) {
+	const n = 2000
+	for _, w := range []int{2, 3, 4, 5, 8, 13} {
+		linLabels, linNum := linearMergeForests(randomShardForests(n, w, 42), n).Labels()
+		treeLabels, treeNum := treeMergeForests(randomShardForests(n, w, 42), n).Labels()
+		if treeNum != linNum {
+			t.Fatalf("w=%d: tree merge has %d clusters, linear %d", w, treeNum, linNum)
+		}
+		if !reflect.DeepEqual(treeLabels, linLabels) {
+			t.Fatalf("w=%d: tree merge labels differ from linear fold", w)
+		}
+	}
+}
+
+// BenchmarkShardMerge is the regression benchmark for the Heuristic 1 merge
+// step: the linear fold's critical path is O(W·n), the tree reduction's is
+// O(n log W) because each round's pair merges run concurrently. Forest
+// construction is excluded from the timings. On a single-core host the
+// rounds serialize and the numbers compare total work instead — there the
+// linear fold can edge ahead (its master accumulates path compression),
+// which is why shardedHeuristic1 only shards at all when the worker budget
+// exceeds one.
+func BenchmarkShardMerge(b *testing.B) {
+	const n = 1 << 18
+	const w = 8
+	bench := func(merge func([]*UnionFind, int) *UnionFind) func(*testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				forests := randomShardForests(n, w, int64(i))
+				b.StartTimer()
+				merge(forests, n)
+			}
+		}
+	}
+	b.Run("linear", bench(linearMergeForests))
+	b.Run("tree", bench(treeMergeForests))
+}

@@ -86,6 +86,12 @@ type engine struct {
 	// instead of a late ConnectBlock failure.
 	spentBy map[chain.OutPoint]string
 
+	// blockSink, when non-nil, receives every block as it is sealed — the
+	// hook GenerateToFile uses to emit the framed chain file while the
+	// economy is still being generated, instead of re-serializing the
+	// resident chain afterwards.
+	blockSink func(*chain.Block) error
+
 	world *World
 }
 
@@ -592,6 +598,11 @@ func (e *engine) sealBlock(minerAddr address.Address) error {
 	}
 	if err := e.chain.ConnectBlock(blk, false, chain.ConnectBlockOptions{}); err != nil {
 		return fmt.Errorf("econ: sealing block %d: %w", height, err)
+	}
+	if e.blockSink != nil {
+		if err := e.blockSink(blk); err != nil {
+			return fmt.Errorf("econ: emitting block %d: %w", height, err)
+		}
 	}
 	if mw, ok := e.walletOf[minerAddr]; ok && subsidy+e.pendingFees > 0 {
 		mw.utxos = append(mw.utxos, wutxo{

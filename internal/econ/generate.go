@@ -2,8 +2,10 @@ package econ
 
 import (
 	"fmt"
+	"os"
 
 	"repro/internal/address"
+	"repro/internal/chain"
 	"repro/internal/script"
 	"repro/internal/tags"
 )
@@ -16,6 +18,43 @@ func extractAddr(pkScript []byte) (address.Address, error) {
 // Generate runs the full simulation and returns the world: a validated
 // chain plus ground truth, tags, and the scripted case-study records.
 func Generate(cfg Config) (*World, error) {
+	return GenerateStream(cfg, nil)
+}
+
+// GenerateToFile is Generate, additionally emitting the chain to path in
+// the framed chain format (chain.Writer) block by block as each is sealed.
+// The file is byte-identical to Chain.WriteTo over the finished chain, so
+// the measurement pipeline can stream it back (fistful's -chain mode)
+// without the economy generator and the analyst sharing memory.
+func GenerateToFile(cfg Config, path string) (*World, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("econ: create chain file: %w", err)
+	}
+	sw, err := chain.NewWriter(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	w, err := GenerateStream(cfg, sw.WriteBlock)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := sw.Flush(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("econ: flush chain file: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return nil, fmt.Errorf("econ: close chain file: %w", err)
+	}
+	return w, nil
+}
+
+// GenerateStream is Generate with a per-block sink: sink (when non-nil) is
+// called once per sealed block, in height order, before generation moves on
+// to the next block.
+func GenerateStream(cfg Config, sink func(*chain.Block) error) (*World, error) {
 	if cfg.Blocks < 100 {
 		return nil, fmt.Errorf("econ: need at least 100 blocks, got %d", cfg.Blocks)
 	}
@@ -23,6 +62,7 @@ func Generate(cfg Config) (*World, error) {
 		return nil, fmt.Errorf("econ: need at least %d users, got %d", founders, cfg.Users)
 	}
 	e := newEngine(cfg)
+	e.blockSink = sink
 	e.world.BlocksPerDay = blocksPerDay(e.params.BlockInterval.Seconds())
 	e.world.CaseScale = float64(e.projectedSupply()/1e8) / realSupply2013BTC
 

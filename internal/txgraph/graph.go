@@ -4,23 +4,21 @@
 // numbers (TxSeq) so that union-find and the temporal replay in
 // internal/cluster run over flat slices instead of hash maps.
 //
-// Build is split into two passes. The pre-pass — transaction hashing and
-// output-script address extraction, the only CPU-heavy per-transaction work
-// that needs no shared state — runs across a worker pool. The interning and
-// input-linking pass then runs sequentially in block-major order, so address
-// and transaction ids are identical no matter how many workers ran the
-// pre-pass. A final counting pass lays the per-address appearance lists out
-// as CSR-style flat arrays (one shared backing array plus offsets) instead
-// of one heap slice per address.
+// The build streams over a chain.BlockSource in bounded windows (see
+// stream.go): within each window, transaction hashing and output-script
+// address extraction — the only CPU-heavy per-transaction work that needs
+// no shared state — run across a worker pool, address interning runs across
+// fixed hash-prefix shards with deterministic first-appearance id
+// assignment, and the input-linking pass runs sequentially in block-major
+// order, so address and transaction ids are identical no matter how many
+// workers ran. A final counting pass lays the per-address appearance lists
+// out as CSR-style flat arrays (one shared backing array plus offsets)
+// instead of one heap slice per address.
 package txgraph
 
 import (
-	"fmt"
-
 	"repro/internal/address"
 	"repro/internal/chain"
-	"repro/internal/par"
-	"repro/internal/script"
 )
 
 // AddrID is a dense identifier for an interned address.
@@ -100,7 +98,7 @@ func computeSelfChange(t *TxInfo) bool {
 // Graph is the full index over a chain.
 type Graph struct {
 	addrs  []address.Address
-	lookup map[address.Address]AddrID
+	lookup *addrIntern
 	txs    []TxInfo
 	txSeq  map[chain.Hash]TxSeq
 
@@ -117,16 +115,6 @@ type Graph struct {
 	height    int64
 }
 
-// prePass holds the parallel pre-pass results for the whole chain: one
-// transaction id per tx and, per output, the extracted address (shared
-// arenas indexed through outOff so workers write disjoint ranges).
-type prePass struct {
-	ids     []chain.Hash
-	outOff  []int // per tx: offset of its outputs in the arenas; len = numTxs+1
-	addrs   []address.Address
-	hasAddr []bool
-}
-
 // Build indexes every transaction in the chain using one worker per CPU for
 // the hash/script pre-pass. It returns an error if an input references a
 // transaction not seen earlier in block-major order, which a validated chain
@@ -135,173 +123,10 @@ func Build(c *chain.Chain) (*Graph, error) { return BuildWorkers(c, 0) }
 
 // BuildWorkers is Build with an explicit parallelism knob: workers <= 0
 // means one per CPU, 1 forces the fully sequential path (no goroutines).
+// The in-memory chain is indexed through the same streaming window scan
+// (stream.go) that disk-backed chains use.
 func BuildWorkers(c *chain.Chain, workers int) (*Graph, error) {
-	// Flatten the chain into block-major order and size the arenas.
-	type flatTx struct {
-		tx     *chain.Tx
-		height int64
-	}
-	var flat []flatTx
-	totalIns, totalOuts := 0, 0
-	for height := int64(0); height <= c.Height(); height++ {
-		for _, tx := range c.BlockAt(height).Txs {
-			flat = append(flat, flatTx{tx, height})
-			if !tx.IsCoinbase() {
-				totalIns += len(tx.Inputs)
-			}
-			totalOuts += len(tx.Outputs)
-		}
-	}
-
-	// Parallel pre-pass: tx hashing and output-script address extraction.
-	// Workers own disjoint index ranges of shared arenas, so the result is
-	// deterministic and race-free by construction.
-	pre := prePass{
-		ids:     make([]chain.Hash, len(flat)),
-		outOff:  make([]int, len(flat)+1),
-		addrs:   make([]address.Address, totalOuts),
-		hasAddr: make([]bool, totalOuts),
-	}
-	for i, f := range flat {
-		pre.outOff[i+1] = pre.outOff[i] + len(f.tx.Outputs)
-	}
-	par.ForEach(len(flat), workers, func(start, end int) {
-		for i := start; i < end; i++ {
-			tx := flat[i].tx
-			pre.ids[i] = tx.TxID()
-			base := pre.outOff[i]
-			for j, out := range tx.Outputs {
-				a, err := script.ExtractAddress(out.PkScript)
-				if err != nil {
-					continue
-				}
-				pre.addrs[base+j] = a
-				pre.hasAddr[base+j] = true
-			}
-		}
-	})
-
-	// Sequential pass: interning and input linking in block-major order.
-	g := &Graph{
-		lookup: make(map[address.Address]AddrID),
-		txSeq:  make(map[chain.Hash]TxSeq, len(flat)),
-		height: c.Height(),
-	}
-	g.txs = make([]TxInfo, 0, len(flat))
-	arena := txArena{
-		inAddrs:  make([]AddrID, 0, totalIns),
-		inVals:   make([]chain.Amount, 0, totalIns),
-		inSrc:    make([]TxSeq, 0, totalIns),
-		inSrcOut: make([]uint32, 0, totalIns),
-		outAddrs: make([]AddrID, 0, totalOuts),
-		outVals:  make([]chain.Amount, 0, totalOuts),
-		spentBy:  make([]TxSeq, 0, totalOuts),
-		spentIn:  make([]uint32, 0, totalOuts),
-	}
-	for i, f := range flat {
-		if err := g.addTx(f.tx, f.height, &pre, i, &arena); err != nil {
-			return nil, fmt.Errorf("txgraph: block %d: %w", f.height, err)
-		}
-	}
-
-	g.buildAppearanceIndex()
-	return g, nil
-}
-
-// txArena backs every TxInfo's slices with eight chain-wide allocations
-// instead of eight per transaction. Capacities are exact, so appends never
-// reallocate and the subslices handed to TxInfo stay valid.
-type txArena struct {
-	inAddrs  []AddrID
-	inVals   []chain.Amount
-	inSrc    []TxSeq
-	inSrcOut []uint32
-	outAddrs []AddrID
-	outVals  []chain.Amount
-	spentBy  []TxSeq
-	spentIn  []uint32
-}
-
-func (g *Graph) intern(a address.Address, seq TxSeq) AddrID {
-	if id, ok := g.lookup[a]; ok {
-		return id
-	}
-	id := AddrID(len(g.addrs))
-	g.addrs = append(g.addrs, a)
-	g.lookup[a] = id
-	// An address is always interned at its first appearance: inputs only
-	// ever resolve to addresses interned by an earlier output.
-	g.firstSeen = append(g.firstSeen, seq)
-	return id
-}
-
-func (g *Graph) addTx(tx *chain.Tx, height int64, pre *prePass, preIdx int, ar *txArena) error {
-	seq := TxSeq(len(g.txs))
-	info := TxInfo{
-		ID:       pre.ids[preIdx],
-		Height:   height,
-		Coinbase: tx.IsCoinbase(),
-	}
-
-	if !info.Coinbase {
-		base := len(ar.inAddrs)
-		n := len(tx.Inputs)
-		ar.inAddrs = ar.inAddrs[:base+n]
-		ar.inVals = ar.inVals[:base+n]
-		ar.inSrc = ar.inSrc[:base+n]
-		ar.inSrcOut = ar.inSrcOut[:base+n]
-		info.InputAddrs = ar.inAddrs[base : base+n : base+n]
-		info.InputValues = ar.inVals[base : base+n : base+n]
-		info.InputSrc = ar.inSrc[base : base+n : base+n]
-		info.InputSrcOut = ar.inSrcOut[base : base+n : base+n]
-		for i, in := range tx.Inputs {
-			srcSeq, ok := g.txSeq[in.Prev.TxID]
-			if !ok {
-				return fmt.Errorf("input %d references unknown tx %s", i, in.Prev.TxID)
-			}
-			src := &g.txs[srcSeq]
-			if int(in.Prev.Index) >= len(src.OutputAddrs) {
-				return fmt.Errorf("input %d references output %d of tx with %d outputs",
-					i, in.Prev.Index, len(src.OutputAddrs))
-			}
-			if src.SpentBy[in.Prev.Index] != NoTx {
-				return fmt.Errorf("input %d double-spends %s", i, in.Prev)
-			}
-			src.SpentBy[in.Prev.Index] = seq
-			src.SpentByIn[in.Prev.Index] = uint32(i)
-			info.InputAddrs[i] = src.OutputAddrs[in.Prev.Index]
-			info.InputValues[i] = src.OutputValues[in.Prev.Index]
-			info.InputSrc[i] = srcSeq
-			info.InputSrcOut[i] = in.Prev.Index
-		}
-	}
-
-	base := len(ar.outAddrs)
-	n := len(tx.Outputs)
-	ar.outAddrs = ar.outAddrs[:base+n]
-	ar.outVals = ar.outVals[:base+n]
-	ar.spentBy = ar.spentBy[:base+n]
-	ar.spentIn = ar.spentIn[:base+n]
-	info.OutputAddrs = ar.outAddrs[base : base+n : base+n]
-	info.OutputValues = ar.outVals[base : base+n : base+n]
-	info.SpentBy = ar.spentBy[base : base+n : base+n]
-	info.SpentByIn = ar.spentIn[base : base+n : base+n]
-	preBase := pre.outOff[preIdx]
-	for i, out := range tx.Outputs {
-		info.OutputValues[i] = out.Value
-		info.SpentBy[i] = NoTx
-		if !pre.hasAddr[preBase+i] {
-			info.OutputAddrs[i] = NoAddr
-			continue
-		}
-		info.OutputAddrs[i] = g.intern(pre.addrs[preBase+i], seq)
-	}
-
-	info.SelfChange = computeSelfChange(&info)
-
-	g.txs = append(g.txs, info)
-	g.txSeq[info.ID] = seq
-	return nil
+	return BuildStream(c.Source(), workers)
 }
 
 // buildAppearanceIndex lays out the per-address recv/spend lists in CSR
@@ -388,8 +213,7 @@ func (g *Graph) Addr(id AddrID) address.Address { return g.addrs[id] }
 
 // LookupAddr returns the id of an address, if it appears in the chain.
 func (g *Graph) LookupAddr(a address.Address) (AddrID, bool) {
-	id, ok := g.lookup[a]
-	return id, ok
+	return g.lookup.get(a)
 }
 
 // Tx returns the indexed transaction at seq. The pointer aliases internal

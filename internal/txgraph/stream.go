@@ -1,0 +1,416 @@
+package txgraph
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/address"
+	"repro/internal/chain"
+	"repro/internal/par"
+	"repro/internal/script"
+)
+
+// The streaming build processes the chain in bounded windows of blocks so
+// nothing chain-wide is materialized up front: per window, the hash/script
+// pre-pass fans out across workers, output addresses are interned across
+// fixed hash-prefix shards, and the input-linking pass runs sequentially.
+// Final address ids are assigned strictly in first-appearance (block-major
+// output) order, so the graph is byte-identical to a fully sequential build
+// for every worker count, window size, and block source.
+
+// windowBlocks bounds how many blocks are resident per streaming window.
+// With the default simulator block cap (512 txs) a window tops out around
+// 64k transactions of scratch state, far below holding the chain.
+const windowBlocks = 128
+
+// internShardBits fixes the power-of-two shard count of the address intern
+// map. Shards are keyed by the first byte of the address hash, which is
+// uniformly distributed, so each shard holds ~1/32 of the address space and
+// intern lookups fan out across cores instead of serializing on one map.
+const internShardBits = 5
+
+const numInternShards = 1 << internShardBits
+
+// internShard maps an address to its shard by hash prefix.
+func internShard(a *address.Address) uint32 {
+	return uint32(a.Hash[0]) & (numInternShards - 1)
+}
+
+// addrIntern is the sharded address -> AddrID map behind Graph.LookupAddr
+// and the streaming intern pass. Ids are assigned by the build; the shards
+// only store them.
+type addrIntern struct {
+	shards [numInternShards]map[address.Address]AddrID
+}
+
+func newAddrIntern() *addrIntern {
+	ix := &addrIntern{}
+	for s := range ix.shards {
+		ix.shards[s] = make(map[address.Address]AddrID)
+	}
+	return ix
+}
+
+func (ix *addrIntern) get(a address.Address) (AddrID, bool) {
+	id, ok := ix.shards[internShard(&a)][a]
+	return id, ok
+}
+
+// BuildStream indexes every transaction yielded by src, in order, using the
+// bounded-window scan. src may be a disk-backed chain.Reader or an
+// in-memory chain's Source; the resulting graph is identical either way,
+// and identical for every worker count (workers <= 0 means one per CPU, 1
+// is fully sequential).
+func BuildStream(src chain.BlockSource, workers int) (*Graph, error) {
+	return buildStream(src, workers, windowBlocks)
+}
+
+// buildStream is BuildStream with the window size exposed for tests.
+func buildStream(src chain.BlockSource, workers, window int) (*Graph, error) {
+	if window < 1 {
+		window = 1
+	}
+	w := par.Workers(workers)
+	g := &Graph{
+		lookup: newAddrIntern(),
+		txSeq:  make(map[chain.Hash]TxSeq),
+		height: -1,
+	}
+	win := &windowState{}
+	blocks := make([]*chain.Block, 0, window)
+	for {
+		blocks = blocks[:0]
+		for len(blocks) < window {
+			b, err := src.NextBlock()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return nil, fmt.Errorf("txgraph: stream block %d: %w", g.height+int64(len(blocks))+1, err)
+			}
+			blocks = append(blocks, b)
+		}
+		if len(blocks) == 0 {
+			break
+		}
+		if err := g.addWindow(blocks, w, win); err != nil {
+			return nil, err
+		}
+		if len(blocks) < window {
+			break // the source returned io.EOF mid-window
+		}
+	}
+	g.buildAppearanceIndex()
+	return g, nil
+}
+
+// windowState is the per-window scratch reused across windows so steady-state
+// streaming allocates only the arenas that the graph retains.
+type windowState struct {
+	flat    []flatTx
+	ids     []chain.Hash
+	outOff  []int   // per tx: offset of its outputs in the slot arrays
+	slotSeq []TxSeq // per output slot: the tx it belongs to
+	addrs   []address.Address
+	hasAddr []bool
+	// resolved is the per-slot interned id, or unresolvedID for addresses
+	// first seen in this window until the assignment pass fills them in.
+	resolved []AddrID
+	// bySlot groups output slots by intern shard (CSR layout) so each shard
+	// worker walks only its own slots, in ascending slot order.
+	shardCnt [numInternShards + 1]int
+	bySlot   []int32
+	pending  [numInternShards]shardPending
+}
+
+type flatTx struct {
+	tx     *chain.Tx
+	height int64
+}
+
+// shardPending accumulates one shard's first-in-window addresses, in slot
+// order, plus the final ids the assignment pass gives them.
+type shardPending struct {
+	addrs []address.Address
+	slots []int32
+	ids   []AddrID
+}
+
+// unresolvedID marks a slot whose address is first interned by this window.
+// It can never collide with a real id: assigning it would require 2^32-2
+// addresses, which the 32-bit id space already excludes.
+const unresolvedID = NoAddr - 1
+
+// grow returns s resized to n, reallocating only when capacity is short.
+func grow[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
+// addWindow indexes one window of blocks: parallel pre-pass, sharded
+// intern, then the sequential link pass.
+func (g *Graph) addWindow(blocks []*chain.Block, workers int, win *windowState) error {
+	// Flatten the window into block-major order and size its arenas.
+	win.flat = win.flat[:0]
+	totalIns, totalOuts := 0, 0
+	for _, b := range blocks {
+		g.height++
+		for _, tx := range b.Txs {
+			win.flat = append(win.flat, flatTx{tx, g.height})
+			if !tx.IsCoinbase() {
+				totalIns += len(tx.Inputs)
+			}
+			totalOuts += len(tx.Outputs)
+		}
+	}
+	n := len(win.flat)
+	win.ids = grow(win.ids, n)
+	win.outOff = grow(win.outOff, n+1)
+	win.slotSeq = grow(win.slotSeq, totalOuts)
+	win.addrs = grow(win.addrs, totalOuts)
+	win.hasAddr = grow(win.hasAddr, totalOuts)
+	win.resolved = grow(win.resolved, totalOuts)
+	win.outOff[0] = 0
+	seqBase := TxSeq(len(g.txs))
+	for i, f := range win.flat {
+		off := win.outOff[i]
+		win.outOff[i+1] = off + len(f.tx.Outputs)
+		for j := range f.tx.Outputs {
+			win.slotSeq[off+j] = seqBase + TxSeq(i)
+		}
+	}
+
+	// Parallel pre-pass: tx hashing and output-script address extraction.
+	// Workers own disjoint index ranges of the window arenas, so the result
+	// is deterministic and race-free by construction.
+	par.ForEach(n, workers, func(start, end int) {
+		for i := start; i < end; i++ {
+			tx := win.flat[i].tx
+			win.ids[i] = tx.TxID()
+			base := win.outOff[i]
+			for j, out := range tx.Outputs {
+				a, err := script.ExtractAddress(out.PkScript)
+				if err != nil {
+					win.hasAddr[base+j] = false
+					continue
+				}
+				win.addrs[base+j] = a
+				win.hasAddr[base+j] = true
+			}
+		}
+	})
+
+	g.internWindow(totalOuts, workers, win)
+
+	// Sequential link pass in block-major order. The arenas back every
+	// TxInfo of this window with eight exact-capacity allocations that the
+	// graph retains; appends never reallocate, so the subslices stay valid.
+	ar := &txArena{
+		inAddrs:  make([]AddrID, 0, totalIns),
+		inVals:   make([]chain.Amount, 0, totalIns),
+		inSrc:    make([]TxSeq, 0, totalIns),
+		inSrcOut: make([]uint32, 0, totalIns),
+		outAddrs: make([]AddrID, 0, totalOuts),
+		outVals:  make([]chain.Amount, 0, totalOuts),
+		spentBy:  make([]TxSeq, 0, totalOuts),
+		spentIn:  make([]uint32, 0, totalOuts),
+	}
+	for i, f := range win.flat {
+		if err := g.addTx(f.tx, f.height, win, i, ar); err != nil {
+			return fmt.Errorf("txgraph: block %d: %w", f.height, err)
+		}
+	}
+	return nil
+}
+
+// internWindow resolves every output slot's address to its final id. Known
+// addresses resolve with a sharded parallel lookup; addresses first seen in
+// this window are assigned fresh ids sequentially in slot (first
+// appearance) order — exactly the order a sequential build would intern
+// them in — and then inserted back into their shards in parallel.
+func (g *Graph) internWindow(totalOuts, workers int, win *windowState) {
+	// Bucket slots by shard (counting sort, stable in slot order).
+	for s := range win.shardCnt {
+		win.shardCnt[s] = 0
+	}
+	for slot := 0; slot < totalOuts; slot++ {
+		if !win.hasAddr[slot] {
+			win.resolved[slot] = NoAddr
+			continue
+		}
+		win.shardCnt[internShard(&win.addrs[slot])+1]++
+	}
+	for s := 0; s < numInternShards; s++ {
+		win.shardCnt[s+1] += win.shardCnt[s]
+	}
+	win.bySlot = grow(win.bySlot, win.shardCnt[numInternShards])
+	var cur [numInternShards]int
+	for s := range cur {
+		cur[s] = win.shardCnt[s]
+	}
+	for slot := 0; slot < totalOuts; slot++ {
+		if !win.hasAddr[slot] {
+			continue
+		}
+		s := internShard(&win.addrs[slot])
+		win.bySlot[cur[s]] = int32(slot)
+		cur[s]++
+	}
+
+	// Phase A (parallel per shard): resolve known addresses, collect the
+	// window's new addresses per shard in slot order.
+	par.ForEach(numInternShards, workers, func(start, end int) {
+		for s := start; s < end; s++ {
+			m := g.lookup.shards[s]
+			p := &win.pending[s]
+			p.addrs = p.addrs[:0]
+			p.slots = p.slots[:0]
+			var seen map[address.Address]struct{}
+			for _, slot := range win.bySlot[win.shardCnt[s]:win.shardCnt[s+1]] {
+				a := win.addrs[slot]
+				if id, ok := m[a]; ok {
+					win.resolved[slot] = id
+					continue
+				}
+				win.resolved[slot] = unresolvedID
+				if seen == nil {
+					seen = make(map[address.Address]struct{})
+				}
+				if _, dup := seen[a]; dup {
+					continue
+				}
+				seen[a] = struct{}{}
+				p.addrs = append(p.addrs, a)
+				p.slots = append(p.slots, slot)
+			}
+		}
+	})
+
+	// Assignment (sequential): merge the shards' new addresses by first
+	// slot and issue dense ids in that order. This is the only serial part
+	// of interning and touches new addresses only.
+	type newAddr struct {
+		shard uint32
+		idx   int32
+	}
+	var fresh []newAddr
+	for s := range win.pending {
+		p := &win.pending[s]
+		p.ids = grow(p.ids, len(p.addrs))
+		for i := range p.addrs {
+			fresh = append(fresh, newAddr{uint32(s), int32(i)})
+		}
+	}
+	sort.Slice(fresh, func(i, j int) bool {
+		a, b := fresh[i], fresh[j]
+		return win.pending[a.shard].slots[a.idx] < win.pending[b.shard].slots[b.idx]
+	})
+	for _, f := range fresh {
+		p := &win.pending[f.shard]
+		id := AddrID(len(g.addrs))
+		g.addrs = append(g.addrs, p.addrs[f.idx])
+		// An address is always interned at its first appearance: inputs
+		// only ever resolve to addresses interned by an earlier output.
+		g.firstSeen = append(g.firstSeen, win.slotSeq[p.slots[f.idx]])
+		p.ids[f.idx] = id
+	}
+
+	// Phase B (parallel per shard): publish the new ids into the shard maps
+	// and fill the slots left unresolved by phase A.
+	par.ForEach(numInternShards, workers, func(start, end int) {
+		for s := start; s < end; s++ {
+			m := g.lookup.shards[s]
+			p := &win.pending[s]
+			for i, a := range p.addrs {
+				m[a] = p.ids[i]
+			}
+			for _, slot := range win.bySlot[win.shardCnt[s]:win.shardCnt[s+1]] {
+				if win.resolved[slot] == unresolvedID {
+					win.resolved[slot] = m[win.addrs[slot]]
+				}
+			}
+		}
+	})
+}
+
+// txArena backs every TxInfo's slices of one window with eight allocations
+// instead of eight per transaction. Capacities are exact, so appends never
+// reallocate and the subslices handed to TxInfo stay valid.
+type txArena struct {
+	inAddrs  []AddrID
+	inVals   []chain.Amount
+	inSrc    []TxSeq
+	inSrcOut []uint32
+	outAddrs []AddrID
+	outVals  []chain.Amount
+	spentBy  []TxSeq
+	spentIn  []uint32
+}
+
+func (g *Graph) addTx(tx *chain.Tx, height int64, win *windowState, winIdx int, ar *txArena) error {
+	seq := TxSeq(len(g.txs))
+	info := TxInfo{
+		ID:       win.ids[winIdx],
+		Height:   height,
+		Coinbase: tx.IsCoinbase(),
+	}
+
+	if !info.Coinbase {
+		base := len(ar.inAddrs)
+		n := len(tx.Inputs)
+		ar.inAddrs = ar.inAddrs[:base+n]
+		ar.inVals = ar.inVals[:base+n]
+		ar.inSrc = ar.inSrc[:base+n]
+		ar.inSrcOut = ar.inSrcOut[:base+n]
+		info.InputAddrs = ar.inAddrs[base : base+n : base+n]
+		info.InputValues = ar.inVals[base : base+n : base+n]
+		info.InputSrc = ar.inSrc[base : base+n : base+n]
+		info.InputSrcOut = ar.inSrcOut[base : base+n : base+n]
+		for i, in := range tx.Inputs {
+			srcSeq, ok := g.txSeq[in.Prev.TxID]
+			if !ok {
+				return fmt.Errorf("input %d references unknown tx %s", i, in.Prev.TxID)
+			}
+			src := &g.txs[srcSeq]
+			if int(in.Prev.Index) >= len(src.OutputAddrs) {
+				return fmt.Errorf("input %d references output %d of tx with %d outputs",
+					i, in.Prev.Index, len(src.OutputAddrs))
+			}
+			if src.SpentBy[in.Prev.Index] != NoTx {
+				return fmt.Errorf("input %d double-spends %s", i, in.Prev)
+			}
+			src.SpentBy[in.Prev.Index] = seq
+			src.SpentByIn[in.Prev.Index] = uint32(i)
+			info.InputAddrs[i] = src.OutputAddrs[in.Prev.Index]
+			info.InputValues[i] = src.OutputValues[in.Prev.Index]
+			info.InputSrc[i] = srcSeq
+			info.InputSrcOut[i] = in.Prev.Index
+		}
+	}
+
+	base := len(ar.outAddrs)
+	n := len(tx.Outputs)
+	ar.outAddrs = ar.outAddrs[:base+n]
+	ar.outVals = ar.outVals[:base+n]
+	ar.spentBy = ar.spentBy[:base+n]
+	ar.spentIn = ar.spentIn[:base+n]
+	info.OutputAddrs = ar.outAddrs[base : base+n : base+n]
+	info.OutputValues = ar.outVals[base : base+n : base+n]
+	info.SpentBy = ar.spentBy[base : base+n : base+n]
+	info.SpentByIn = ar.spentIn[base : base+n : base+n]
+	winBase := win.outOff[winIdx]
+	for i, out := range tx.Outputs {
+		info.OutputValues[i] = out.Value
+		info.SpentBy[i] = NoTx
+		info.OutputAddrs[i] = win.resolved[winBase+i]
+	}
+
+	info.SelfChange = computeSelfChange(&info)
+
+	g.txs = append(g.txs, info)
+	g.txSeq[info.ID] = seq
+	return nil
+}

@@ -1,0 +1,132 @@
+package txgraph
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/chain"
+	"repro/internal/chaintest"
+)
+
+// streamChain builds a chain whose structure exercises the streaming build:
+// address reuse across blocks (so later windows hit earlier windows'
+// interned addresses), multi-input spends, multi-output payments, and
+// cross-block input linking.
+func streamChain(t *testing.T) *chaintest.Builder {
+	t.Helper()
+	b := chaintest.New(t)
+	b.Coinbase("miner")
+	for i := 0; i < 6; i++ {
+		b.Coinbase(fmt.Sprintf("m%d", i))
+	}
+	b.Pay([]string{"m0"}, chaintest.Out{Name: "alice", Value: 20 * chain.Coin},
+		chaintest.Out{Name: "m0change", Value: 25 * chain.Coin})
+	b.Mine(1)
+	b.Pay([]string{"m1", "m2"}, chaintest.Out{Name: "bob", Value: 80 * chain.Coin})
+	b.Mine(1)
+	// Reuse: alice receives again two blocks after her first appearance.
+	b.Pay([]string{"m3"}, chaintest.Out{Name: "alice", Value: 10 * chain.Coin},
+		chaintest.Out{Name: "carol", Value: 30 * chain.Coin})
+	b.Mine(1)
+	b.Pay([]string{"alice"}, chaintest.Out{Name: "dave", Value: 25 * chain.Coin})
+	b.Pay([]string{"bob", "carol"}, chaintest.Out{Name: "alice", Value: 100 * chain.Coin})
+	b.Mine(1)
+	b.Pay([]string{"alice", "dave"}, chaintest.Out{Name: "erin", Value: 120 * chain.Coin})
+	b.Mine(2)
+	return b
+}
+
+// graphsEqual asserts two graphs are byte-identical in every observable:
+// intern order, per-tx info, appearance CSR, firstSeen.
+func graphsEqual(t *testing.T, label string, want, got *Graph) {
+	t.Helper()
+	if got.NumTxs() != want.NumTxs() || got.NumAddrs() != want.NumAddrs() {
+		t.Fatalf("%s: %d txs/%d addrs, want %d/%d", label,
+			got.NumTxs(), got.NumAddrs(), want.NumTxs(), want.NumAddrs())
+	}
+	if got.Height() != want.Height() {
+		t.Fatalf("%s: height %d, want %d", label, got.Height(), want.Height())
+	}
+	if !reflect.DeepEqual(got.addrs, want.addrs) {
+		t.Fatalf("%s: address intern order differs", label)
+	}
+	if !reflect.DeepEqual(got.firstSeen, want.firstSeen) {
+		t.Fatalf("%s: firstSeen differs", label)
+	}
+	for seq := 0; seq < want.NumTxs(); seq++ {
+		w, g := want.Tx(TxSeq(seq)), got.Tx(TxSeq(seq))
+		if !reflect.DeepEqual(w, g) {
+			t.Fatalf("%s: tx %d differs:\nwant %+v\ngot  %+v", label, seq, w, g)
+		}
+	}
+	if !reflect.DeepEqual(got.recvOff, want.recvOff) || !reflect.DeepEqual(got.recvTxs, want.recvTxs) ||
+		!reflect.DeepEqual(got.spendOff, want.spendOff) || !reflect.DeepEqual(got.spendTxs, want.spendTxs) {
+		t.Fatalf("%s: appearance index differs", label)
+	}
+	for id := 0; id < want.NumAddrs(); id++ {
+		a := want.Addr(AddrID(id))
+		gid, ok := got.LookupAddr(a)
+		if !ok || gid != AddrID(id) {
+			t.Fatalf("%s: LookupAddr(%s) = %d,%v, want %d", label, a, gid, ok, id)
+		}
+	}
+}
+
+// TestBuildStreamMatchesInMemory proves the streamed-from-disk build is
+// identical to the in-memory build for every combination of window size and
+// worker count, including windows smaller than a block span and windows
+// larger than the chain.
+func TestBuildStreamMatchesInMemory(t *testing.T) {
+	b := streamChain(t)
+	want, err := BuildWorkers(b.Chain, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var raw bytes.Buffer
+	if _, err := b.Chain.WriteTo(&raw); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, window := range []int{1, 2, 3, 1000} {
+		for _, workers := range []int{1, 2, 7} {
+			label := fmt.Sprintf("window=%d workers=%d", window, workers)
+
+			sr, err := chain.NewReader(bytes.NewReader(raw.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			fromDisk, err := buildStream(sr, workers, window)
+			if err != nil {
+				t.Fatalf("%s: %v", label, err)
+			}
+			graphsEqual(t, label+" (disk)", want, fromDisk)
+
+			fromMem, err := buildStream(b.Chain.Source(), workers, window)
+			if err != nil {
+				t.Fatalf("%s: %v", label, err)
+			}
+			graphsEqual(t, label+" (memory)", want, fromMem)
+		}
+	}
+}
+
+// TestBuildStreamPropagatesSourceErrors proves a failing source surfaces as
+// a wrapped error, not a panic or a truncated graph.
+func TestBuildStreamPropagatesSourceErrors(t *testing.T) {
+	b := streamChain(t)
+	var raw bytes.Buffer
+	if _, err := b.Chain.WriteTo(&raw); err != nil {
+		t.Fatal(err)
+	}
+	trunc := raw.Bytes()[:raw.Len()-5]
+	sr, err := chain.NewReader(bytes.NewReader(trunc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BuildStream(sr, 2); err == nil {
+		t.Fatal("truncated stream built without error")
+	}
+}
