@@ -331,6 +331,39 @@ func BenchmarkHeuristic2Refined(b *testing.B) {
 	b.ReportMetric(float64(st.Labeled), "labeled")
 }
 
+// BenchmarkChangeClassifier compares the sequential Heuristic 2 temporal
+// replay against the sharded scan at 4 workers, for both the unrefined and
+// the fully refined configuration. The determinism suite proves the two
+// paths byte-identical; on multi-core machines the sharded scan wins by
+// roughly the worker count (the scan is embarrassingly parallel once the
+// as-of-time state is precomputed), while on a single core it degrades to
+// the replay plus the per-query binary searches.
+func BenchmarkChangeClassifier(b *testing.B) {
+	p := benchPipeline(b)
+	configs := []struct {
+		name string
+		cfg  cluster.ChangeConfig
+	}{
+		{"unrefined", cluster.Unrefined()},
+		{"refined", cluster.Refined(p.Dice, p.WaitWeek())},
+	}
+	for _, tc := range configs {
+		tc := tc
+		run := func(workers int) func(*testing.B) {
+			return func(b *testing.B) {
+				b.ReportAllocs()
+				var st cluster.ChangeStats
+				for i := 0; i < b.N; i++ {
+					_, st = cluster.FindChangeOutputsWorkers(p.Graph, tc.cfg, workers)
+				}
+				b.ReportMetric(float64(st.Labeled), "labeled")
+			}
+		}
+		b.Run(tc.name+"/seq", run(1))
+		b.Run(tc.name+"/par4", run(4))
+	}
+}
+
 // BenchmarkH2FullLadder regenerates the entire refinement ladder, the
 // quantity grid behind Section 4.2.
 func BenchmarkH2FullLadder(b *testing.B) {

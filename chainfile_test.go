@@ -1,0 +1,123 @@
+package fistful
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/chain"
+	"repro/internal/econ"
+)
+
+// writeSmallChainFile generates the small economy's chain into a temp file
+// once per test and returns its path (the file is mutated by the corruption
+// tests, so each caller gets its own copy).
+func writeSmallChainFile(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "chain.bin")
+	if _, err := econ.GenerateToFile(SmallConfig(), path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// A chain file cut off mid-frame must fail the pipeline with the wrapped
+// truncation error from chain.Reader — not a zero-result run, and not a
+// generic parse failure.
+func TestPipelineFromChainFileTruncated(t *testing.T) {
+	path := writeSmallChainFile(t)
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() < 128 {
+		t.Fatalf("chain file implausibly small: %d bytes", info.Size())
+	}
+	if err := os.Truncate(path, info.Size()-11); err != nil {
+		t.Fatal(err)
+	}
+	_, err = NewPipelineFromChainFile(SmallConfig(), path, Options{})
+	if err == nil {
+		t.Fatal("truncated chain file produced a pipeline")
+	}
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("error does not wrap io.ErrUnexpectedEOF: %v", err)
+	}
+	if !strings.Contains(err.Error(), "truncated frame") {
+		t.Fatalf("error does not name the truncated frame: %v", err)
+	}
+}
+
+// A corrupted frame length prefix (larger than the format bound) must fail
+// with the corrupt-length error, naming the failing block, instead of
+// attempting a giant read.
+func TestPipelineFromChainFileCorruptLength(t *testing.T) {
+	path := writeSmallChainFile(t)
+	f, err := os.OpenFile(path, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite the first frame's length prefix (right after the 4-byte
+	// magic header) with an impossible value.
+	if _, err := f.WriteAt([]byte{0xff, 0xff, 0xff, 0xff}, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, err = NewPipelineFromChainFile(SmallConfig(), path, Options{})
+	if err == nil {
+		t.Fatal("corrupt length prefix produced a pipeline")
+	}
+	if !strings.Contains(err.Error(), "corrupt length prefix") {
+		t.Fatalf("error does not flag the corrupt length prefix: %v", err)
+	}
+}
+
+// A file that is not a framed chain at all must fail with chain.ErrBadMagic.
+func TestPipelineFromChainFileBadMagic(t *testing.T) {
+	path := writeSmallChainFile(t)
+	f, err := os.OpenFile(path, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte{'X'}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewPipelineFromChainFile(SmallConfig(), path, Options{}); !errors.Is(err, chain.ErrBadMagic) {
+		t.Fatalf("error is not chain.ErrBadMagic: %v", err)
+	}
+}
+
+// A missing file must fail at open, wrapping the fs error.
+func TestPipelineFromChainFileMissing(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "nope.bin")
+	if _, err := NewPipelineFromChainFile(SmallConfig(), path, Options{}); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("error is not fs.ErrNotExist: %v", err)
+	}
+}
+
+// The happy path: an intact file from a previous generate run yields the
+// same measurement results as the in-memory pipeline.
+func TestPipelineFromChainFileMatchesInMemory(t *testing.T) {
+	path := writeSmallChainFile(t)
+	fromFile, err := NewPipelineFromChainFile(SmallConfig(), path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := smallPipeline(t)
+	if fromFile.Graph.NumTxs() != mem.Graph.NumTxs() || fromFile.Graph.NumAddrs() != mem.Graph.NumAddrs() {
+		t.Fatalf("graph differs: %d txs/%d addrs vs %d/%d", fromFile.Graph.NumTxs(),
+			fromFile.Graph.NumAddrs(), mem.Graph.NumTxs(), mem.Graph.NumAddrs())
+	}
+	if fromFile.Refined.ChangeStats != mem.Refined.ChangeStats {
+		t.Fatalf("refined change stats differ:\nfile: %+v\nmem:  %+v",
+			fromFile.Refined.ChangeStats, mem.Refined.ChangeStats)
+	}
+}

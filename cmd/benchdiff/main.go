@@ -1,0 +1,205 @@
+// Command benchdiff is the CI perf-regression gate: it compares a benchjson
+// report from the current run against a committed baseline, per benchmark
+// and per metric, and exits non-zero when any compared metric regresses past
+// a configurable threshold.
+//
+// Only smaller-is-better metrics make sense here; the default set is the
+// allocation counters ("allocs/op,B/op"), which are near-deterministic even
+// at -benchtime=1x, unlike wall-clock ns/op on shared CI runners. Benchmarks
+// present in the baseline but absent from the current run fail the gate (a
+// silently dropped benchmark must not pass), unless -allow-missing is given;
+// benchmarks new in the current run are reported but not gated until the
+// baseline is refreshed.
+//
+// Usage:
+//
+//	benchdiff -baseline BENCH_baseline.json -current BENCH_pr.json [-threshold 0.20] \
+//	          [-metrics allocs/op,B/op] [-allow-missing]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Result mirrors one benchmark entry of a benchjson report.
+type Result struct {
+	Name    string             `json:"name"`
+	Runs    int64              `json:"runs"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Report mirrors the benchjson document shape (context fields are ignored).
+type Report struct {
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+// Diff is one compared benchmark/metric pair.
+type Diff struct {
+	Bench  string
+	Metric string
+	Base   float64
+	Cur    float64
+	// Ratio is Cur/Base; +Inf when the baseline is zero and the current
+	// value is not.
+	Ratio     float64
+	Regressed bool
+}
+
+// Comparison is the full gate result.
+type Comparison struct {
+	Diffs []Diff
+	// Missing lists baseline benchmarks absent from the current run.
+	Missing []string
+	// New lists current benchmarks absent from the baseline (not gated).
+	New []string
+}
+
+// Regressions returns the diffs that crossed the threshold.
+func (c *Comparison) Regressions() []Diff {
+	var out []Diff
+	for _, d := range c.Diffs {
+		if d.Regressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// compare evaluates every baseline benchmark against the current report over
+// the selected smaller-is-better metrics. A metric regresses when
+// cur > base*(1+threshold); a zero baseline regresses on any non-zero
+// current value (the ratio would be infinite). Metrics missing from either
+// side of a matched benchmark are skipped: the baseline decides which
+// benchmarks exist, the metric list decides what is gated.
+func compare(base, cur *Report, metrics []string, threshold float64) *Comparison {
+	curByName := make(map[string]Result, len(cur.Benchmarks))
+	for _, r := range cur.Benchmarks {
+		curByName[r.Name] = r
+	}
+	baseNames := make(map[string]bool, len(base.Benchmarks))
+	c := &Comparison{}
+	for _, b := range base.Benchmarks {
+		baseNames[b.Name] = true
+		r, ok := curByName[b.Name]
+		if !ok {
+			c.Missing = append(c.Missing, b.Name)
+			continue
+		}
+		for _, m := range metrics {
+			bv, bok := b.Metrics[m]
+			cv, cok := r.Metrics[m]
+			if !bok || !cok {
+				continue
+			}
+			d := Diff{Bench: b.Name, Metric: m, Base: bv, Cur: cv}
+			switch {
+			case bv == 0:
+				if cv > 0 {
+					d.Ratio = math.Inf(1)
+					d.Regressed = true
+				} else {
+					d.Ratio = 1
+				}
+			default:
+				d.Ratio = cv / bv
+				d.Regressed = cv > bv*(1+threshold)
+			}
+			c.Diffs = append(c.Diffs, d)
+		}
+	}
+	for _, r := range cur.Benchmarks {
+		if !baseNames[r.Name] {
+			c.New = append(c.New, r.Name)
+		}
+	}
+	sort.Strings(c.Missing)
+	sort.Strings(c.New)
+	return c
+}
+
+// loadReport reads one benchjson document.
+func loadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{}
+	if err := json.Unmarshal(data, rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// splitMetrics parses the -metrics flag.
+func splitMetrics(s string) []string {
+	var out []string
+	for _, m := range strings.Split(s, ",") {
+		if m = strings.TrimSpace(m); m != "" {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_baseline.json", "committed baseline benchjson report")
+	currentPath := flag.String("current", "BENCH_pr.json", "benchjson report of the current run")
+	threshold := flag.Float64("threshold", 0.20,
+		"allowed relative increase per metric before failing (0.20 = +20%)")
+	metricsFlag := flag.String("metrics", "allocs/op,B/op",
+		"comma-separated smaller-is-better metrics to gate on")
+	allowMissing := flag.Bool("allow-missing", false,
+		"do not fail when a baseline benchmark is absent from the current run")
+	flag.Parse()
+
+	metrics := splitMetrics(*metricsFlag)
+	if len(metrics) == 0 || *threshold < 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: need at least one metric and a non-negative threshold")
+		os.Exit(2)
+	}
+	base, err := loadReport(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff: baseline:", err)
+		os.Exit(2)
+	}
+	cur, err := loadReport(*currentPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff: current:", err)
+		os.Exit(2)
+	}
+
+	c := compare(base, cur, metrics, *threshold)
+	for _, d := range c.Diffs {
+		mark := "ok  "
+		if d.Regressed {
+			mark = "FAIL"
+		}
+		fmt.Printf("%s  %-60s %-12s %14.0f -> %14.0f  (%+.1f%%)\n",
+			mark, d.Bench, d.Metric, d.Base, d.Cur, 100*(d.Ratio-1))
+	}
+	for _, n := range c.New {
+		fmt.Printf("new   %s (not gated; refresh the baseline to cover it)\n", n)
+	}
+	for _, n := range c.Missing {
+		fmt.Printf("MISSING  %s (in baseline, absent from current run)\n", n)
+	}
+
+	if len(c.Missing) > 0 && len(c.Diffs) == 0 && len(c.New) > 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: no benchmark name matched at all; names carry a -GOMAXPROCS"+
+			" suffix, so baseline and current runs must use the same -cpu setting"+
+			" (this repo pins -cpu=4 — see the README's baseline-refresh instructions)")
+	}
+	regs := c.Regressions()
+	failed := len(regs) > 0 || (len(c.Missing) > 0 && !*allowMissing)
+	fmt.Printf("benchdiff: %d compared, %d regressed (threshold +%.0f%%), %d missing, %d new\n",
+		len(c.Diffs), len(regs), 100**threshold, len(c.Missing), len(c.New))
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,140 @@
+package main
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+func report(entries ...Result) *Report { return &Report{Benchmarks: entries} }
+
+func bench(name string, metrics map[string]float64) Result {
+	return Result{Name: name, Runs: 1, Metrics: metrics}
+}
+
+var gateMetrics = []string{"allocs/op", "B/op"}
+
+// An injected regression past the threshold must be flagged — this is the
+// demonstration that the CI bench job fails on a perf regression against
+// the committed baseline.
+func TestCompareFlagsInjectedRegression(t *testing.T) {
+	base := report(bench("BenchmarkChangeClassifier/refined/par4-8",
+		map[string]float64{"allocs/op": 100, "B/op": 4096, "ns/op": 1000}))
+	cur := report(bench("BenchmarkChangeClassifier/refined/par4-8",
+		map[string]float64{"allocs/op": 150, "B/op": 4096, "ns/op": 5000}))
+	c := compare(base, cur, gateMetrics, 0.20)
+	regs := c.Regressions()
+	if len(regs) != 1 {
+		t.Fatalf("regressions = %d, want 1 (the +50%% allocs/op)", len(regs))
+	}
+	if regs[0].Metric != "allocs/op" || regs[0].Cur != 150 {
+		t.Fatalf("wrong regression flagged: %+v", regs[0])
+	}
+	// ns/op exploded but is not in the gated metric set.
+	for _, d := range c.Diffs {
+		if d.Metric == "ns/op" {
+			t.Fatal("ungated metric was compared")
+		}
+	}
+}
+
+// Increases within the threshold must pass.
+func TestCompareWithinThresholdPasses(t *testing.T) {
+	base := report(bench("BenchmarkX", map[string]float64{"allocs/op": 100, "B/op": 1000}))
+	cur := report(bench("BenchmarkX", map[string]float64{"allocs/op": 119, "B/op": 1199}))
+	c := compare(base, cur, gateMetrics, 0.20)
+	if len(c.Regressions()) != 0 {
+		t.Fatalf("within-threshold increase flagged: %+v", c.Regressions())
+	}
+	if len(c.Diffs) != 2 {
+		t.Fatalf("compared %d metrics, want 2", len(c.Diffs))
+	}
+}
+
+// Improvements must never be flagged, whatever their size.
+func TestCompareImprovementPasses(t *testing.T) {
+	base := report(bench("BenchmarkX", map[string]float64{"allocs/op": 100}))
+	cur := report(bench("BenchmarkX", map[string]float64{"allocs/op": 1}))
+	if c := compare(base, cur, gateMetrics, 0.20); len(c.Regressions()) != 0 {
+		t.Fatal("improvement flagged as regression")
+	}
+}
+
+// A zero baseline regresses on any non-zero current value (the relative
+// threshold is meaningless there) and stays clean on zero.
+func TestCompareZeroBaseline(t *testing.T) {
+	base := report(bench("BenchmarkX", map[string]float64{"allocs/op": 0}))
+	cur := report(bench("BenchmarkX", map[string]float64{"allocs/op": 3}))
+	c := compare(base, cur, gateMetrics, 0.20)
+	regs := c.Regressions()
+	if len(regs) != 1 || !math.IsInf(regs[0].Ratio, 1) {
+		t.Fatalf("zero-baseline increase not flagged: %+v", c.Diffs)
+	}
+	cur = report(bench("BenchmarkX", map[string]float64{"allocs/op": 0}))
+	if c := compare(base, cur, gateMetrics, 0.20); len(c.Regressions()) != 0 {
+		t.Fatal("zero-to-zero flagged")
+	}
+}
+
+// A benchmark that vanished from the current run is reported missing; a
+// benchmark new in the current run is reported but produces no diff.
+func TestCompareMissingAndNew(t *testing.T) {
+	base := report(bench("BenchmarkGone", map[string]float64{"allocs/op": 10}))
+	cur := report(bench("BenchmarkNew", map[string]float64{"allocs/op": 10}))
+	c := compare(base, cur, gateMetrics, 0.20)
+	if len(c.Missing) != 1 || c.Missing[0] != "BenchmarkGone" {
+		t.Fatalf("missing = %v, want [BenchmarkGone]", c.Missing)
+	}
+	if len(c.New) != 1 || c.New[0] != "BenchmarkNew" {
+		t.Fatalf("new = %v, want [BenchmarkNew]", c.New)
+	}
+	if len(c.Diffs) != 0 {
+		t.Fatalf("unexpected diffs: %+v", c.Diffs)
+	}
+}
+
+// Metrics absent from one side of a matched benchmark are skipped rather
+// than treated as zero (a benchmark without ReportAllocs has no B/op).
+func TestCompareSkipsAbsentMetrics(t *testing.T) {
+	base := report(bench("BenchmarkX", map[string]float64{"ns/op": 100}))
+	cur := report(bench("BenchmarkX", map[string]float64{"ns/op": 100}))
+	c := compare(base, cur, gateMetrics, 0.20)
+	if len(c.Diffs) != 0 || len(c.Regressions()) != 0 {
+		t.Fatalf("absent metrics compared: %+v", c.Diffs)
+	}
+}
+
+// The comparer must accept the exact document shape benchjson emits.
+func TestCompareParsesBenchjsonShape(t *testing.T) {
+	doc := []byte(`{
+	  "context": {"goos": "linux", "goarch": "amd64"},
+	  "benchmarks": [
+	    {"name": "BenchmarkHeuristic1/par-8", "runs": 1,
+	     "metrics": {"ns/op": 123456, "B/op": 2048, "allocs/op": 20},
+	     "line": "BenchmarkHeuristic1/par-8 1 123456 ns/op 2048 B/op 20 allocs/op"}
+	  ]
+	}`)
+	rep := &Report{}
+	if err := json.Unmarshal(doc, rep); err != nil {
+		t.Fatal(err)
+	}
+	worse := report(bench("BenchmarkHeuristic1/par-8",
+		map[string]float64{"ns/op": 123456, "B/op": 2048, "allocs/op": 60}))
+	c := compare(rep, worse, gateMetrics, 0.20)
+	if len(c.Regressions()) != 1 {
+		t.Fatalf("regressions = %d, want 1", len(c.Regressions()))
+	}
+}
+
+func TestSplitMetrics(t *testing.T) {
+	got := splitMetrics(" allocs/op, B/op ,,peak-heap-bytes ")
+	want := []string{"allocs/op", "B/op", "peak-heap-bytes"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}

@@ -6,6 +6,7 @@
 //
 //	fistful experiments [-small] [-seed N] [-csv]   # all tables & figures
 //	fistful experiments -chain chain.bin            # stream the measurement side from disk
+//	fistful experiments -chain chain.bin -reuse     # analyze a previously generated file
 //	fistful generate -out chain.bin [-small]        # stream the chain to disk while sealing
 //	fistful crawl [-small]                          # serve + crawl the tag site
 //	fistful p2p-demo                                # Figure 1 over real TCP
@@ -98,16 +99,33 @@ func cmdExperiments(args []string) error {
 	chainFile := chainFlag(fs)
 	csv := fs.Bool("csv", false, "emit CSV instead of aligned tables")
 	samples := fs.Int("samples", 12, "figure 2 sample count")
+	reuse := fs.Bool("reuse", false,
+		"treat -chain as an existing file from a previous `generate` run with the same\n"+
+			"config and seed, instead of writing it during generation")
 	fs.Parse(args)
 
-	start := time.Now()
-	if *chainFile != "" {
-		fmt.Fprintf(os.Stderr, "generating economy into %s and streaming pipeline from it...\n", *chainFile)
-	} else {
-		fmt.Fprintf(os.Stderr, "generating economy and running pipeline...\n")
+	if *reuse && *chainFile == "" {
+		return fmt.Errorf("experiments: -reuse requires -chain")
 	}
-	p, err := fistful.NewPipelineOpts(buildConfig(*small, *seed),
-		fistful.Options{Parallelism: *parallel, ChainFile: *chainFile})
+	start := time.Now()
+	var (
+		p   *fistful.Pipeline
+		err error
+	)
+	switch {
+	case *reuse:
+		fmt.Fprintf(os.Stderr, "streaming pipeline from existing chain file %s...\n", *chainFile)
+		p, err = fistful.NewPipelineFromChainFile(buildConfig(*small, *seed), *chainFile,
+			fistful.Options{Parallelism: *parallel})
+	case *chainFile != "":
+		fmt.Fprintf(os.Stderr, "generating economy into %s and streaming pipeline from it...\n", *chainFile)
+		p, err = fistful.NewPipelineOpts(buildConfig(*small, *seed),
+			fistful.Options{Parallelism: *parallel, ChainFile: *chainFile})
+	default:
+		fmt.Fprintf(os.Stderr, "generating economy and running pipeline...\n")
+		p, err = fistful.NewPipelineOpts(buildConfig(*small, *seed),
+			fistful.Options{Parallelism: *parallel})
+	}
 	if err != nil {
 		return err
 	}

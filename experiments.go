@@ -140,13 +140,19 @@ func (p *Pipeline) Heuristic2() (*report.Table, H2Result, error) {
 	}
 	// Each ladder rung is an independent read-only classifier run over the
 	// shared graph, so the rungs fan out across the pipeline's worker budget
-	// and report in ladder order.
+	// and report in ladder order. Each rung's scan additionally shards over
+	// its share of the budget, so a few idle cores still help when there are
+	// fewer rungs than workers — the budget is divided, never multiplied.
+	rungWorkers := p.Parallelism / len(variants)
+	if rungWorkers < 1 {
+		rungWorkers = 1
+	}
 	ladder := make([]cluster.ChangeStats, len(variants))
 	grp := par.NewGroup(p.Parallelism)
 	for i := range variants {
 		i := i
 		grp.Go(func() error {
-			_, ladder[i] = cluster.FindChangeOutputs(p.Graph, variants[i].cfg)
+			_, ladder[i] = cluster.FindChangeOutputsWorkers(p.Graph, variants[i].cfg, rungWorkers)
 			return nil
 		})
 	}

@@ -121,6 +121,26 @@ func NewPipelineOpts(cfg Config, opts Options) (*Pipeline, error) {
 	return NewPipelineFromWorldOpts(w, opts)
 }
 
+// NewPipelineFromChainFile runs the measurement pipeline over an existing
+// framed chain file (a previous `fistful generate -out` run): the world —
+// the ground truth the experiments compare against — is regenerated from
+// cfg, which must be the configuration the file was generated with, and the
+// transaction graph is built by streaming the file. Opening, framing, and
+// decode failures (truncation, corrupt length prefixes, bad magic) surface
+// as wrapped chain.Reader errors; a file holding a different chain than cfg
+// generates is rejected by the world cross-check.
+func NewPipelineFromChainFile(cfg Config, path string, opts Options) (*Pipeline, error) {
+	if cfg.SignWorkers == 0 {
+		cfg.SignWorkers = opts.Parallelism
+	}
+	w, err := econ.Generate(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("fistful: generate: %w", err)
+	}
+	opts.ChainFile = path
+	return NewPipelineFromWorldOpts(w, opts)
+}
+
 // NewPipelineFromWorld runs the pipeline stages over an existing world with
 // one worker per CPU.
 func NewPipelineFromWorld(w *econ.World) (*Pipeline, error) {
@@ -157,17 +177,21 @@ func NewPipelineFromWorldOpts(w *econ.World, opts Options) (*Pipeline, error) {
 
 	// The naive clustering exists only to exhibit the super-cluster; nothing
 	// downstream of it feeds the refined branch, so the two run fanned out.
-	// Each branch is a sequential classifier replay over a clone of the
-	// shared forest, so the group's limit is the only source of goroutines
-	// here and Parallelism stays a bound, not a per-stage multiplier.
+	// Each branch shards its classifier scan (FindChangeOutputsWorkers) over
+	// half the worker budget, so the two concurrent branches together stay
+	// inside Parallelism instead of multiplying it.
 	waitWeek := 7 * w.BlocksPerDay
+	h2Workers := workers / 2
+	if h2Workers < 1 {
+		h2Workers = 1
+	}
 	grp := par.NewGroup(workers)
 	grp.Go(func() error {
-		p.Naive = cluster.Heuristic2OnForest(g, cluster.Unrefined(), base)
+		p.Naive = cluster.Heuristic2OnForestWorkers(g, cluster.Unrefined(), base, h2Workers)
 		return nil
 	})
 	grp.Go(func() error {
-		p.Refined = cluster.Heuristic2OnForest(g, cluster.Refined(p.Dice, waitWeek), base)
+		p.Refined = cluster.Heuristic2OnForestWorkers(g, cluster.Refined(p.Dice, waitWeek), base, h2Workers)
 		p.Naming = tags.NameClusters(p.Refined, g, p.Tags)
 		return nil
 	})

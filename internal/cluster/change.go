@@ -1,6 +1,9 @@
 package cluster
 
 import (
+	"sort"
+
+	"repro/internal/par"
 	"repro/internal/txgraph"
 )
 
@@ -91,7 +94,9 @@ func (s ChangeStats) FPRate() float64 {
 // block-major order and returns the labels it would assign, together with
 // the replay statistics. The classifier only uses information available at
 // each transaction's position in the chain (plus the configured wait
-// window), exactly as the paper's stepped-through-time evaluation does.
+// window), exactly as the paper's stepped-through-time evaluation does. This
+// is the sequential replay — the executable specification that the sharded
+// scan of FindChangeOutputsWorkers is proven byte-identical to.
 func FindChangeOutputs(g *txgraph.Graph, cfg ChangeConfig) ([]ChangeLabel, ChangeStats) {
 	var stats ChangeStats
 	var labels []ChangeLabel
@@ -132,10 +137,126 @@ func FindChangeOutputs(g *txgraph.Graph, cfg ChangeConfig) ([]ChangeLabel, Chang
 	return labels, stats
 }
 
-// replayState is the as-of-time address state threaded through the scan.
+// FindChangeOutputsWorkers is FindChangeOutputs sharded over contiguous
+// transaction ranges across the given worker count (<= 0 means one per CPU,
+// 1 forces the sequential replay). The output is byte-identical to the
+// replay for every worker count: the only prefix-dependent state the replay
+// threads through the scan — each address's prior-receive count and its
+// self-change history — is derivable from the immutable graph instead (the
+// count is the address's rank in its seq-sorted CSR receive list, the
+// history is the precomputed FirstSelfChange pre-pass), so each transaction
+// classifies independently. Labels are merged in shard order (each shard
+// emits them seq-ascending) and the per-shard stats are summed exactly.
+func FindChangeOutputsWorkers(g *txgraph.Graph, cfg ChangeConfig, workers int) ([]ChangeLabel, ChangeStats) {
+	numTxs := g.NumTxs()
+	w := par.Workers(workers)
+	if w > numTxs {
+		w = numTxs
+	}
+	if w <= 1 {
+		return FindChangeOutputs(g, cfg)
+	}
+
+	type shard struct {
+		labels []ChangeLabel
+		stats  ChangeStats
+	}
+	// par.ForEach splits [0, numTxs) into ceil(numTxs/w)-sized contiguous
+	// chunks; start/chunk recovers the shard index, so each callback owns
+	// its shard slot exclusively.
+	chunk := (numTxs + w - 1) / w
+	shards := make([]shard, w)
+	par.ForEach(numTxs, w, func(start, end int) {
+		sh := &shards[start/chunk]
+		st := indexState{g: g}
+		scratchFresh := make([]int, 0, 8)
+		for seq := start; seq < end; seq++ {
+			tx := g.Tx(txgraph.TxSeq(seq))
+			sh.stats.TxsScanned++
+			label, ok := classifyTx(g, tx, txgraph.TxSeq(seq), cfg, st, &scratchFresh, &sh.stats)
+			if ok {
+				sh.labels = append(sh.labels, label)
+				sh.stats.Labeled++
+				if label.FalsePositive {
+					sh.stats.FalsePositives++
+				}
+			}
+		}
+	})
+
+	var labels []ChangeLabel
+	var stats ChangeStats
+	for k := range shards {
+		labels = append(labels, shards[k].labels...)
+		stats = stats.add(shards[k].stats)
+	}
+	return labels, stats
+}
+
+// add sums two stats field-by-field; every counter is additive, so summing
+// per-shard stats reproduces the sequential totals exactly.
+func (s ChangeStats) add(o ChangeStats) ChangeStats {
+	s.TxsScanned += o.TxsScanned
+	s.Candidates += o.Candidates
+	s.Ambiguous += o.Ambiguous
+	s.SkippedSelf += o.SkippedSelf
+	s.SkippedGuards += o.SkippedGuards
+	s.SuppressedByWait += o.SuppressedByWait
+	s.Labeled += o.Labeled
+	s.FalsePositives += o.FalsePositives
+	return s
+}
+
+// asOfState answers the two prefix-dependent questions the classifier asks
+// about an address at a transaction's position in the chain. The sequential
+// replay answers them from state it mutates as it steps through time; the
+// sharded scan answers them from the immutable graph. classifyTx is written
+// against this interface so both paths run the identical decision procedure.
+type asOfState interface {
+	// recvsBefore returns how many outputs paid the address in transactions
+	// strictly before seq (counting each output, so an address paid twice by
+	// one earlier transaction counts twice).
+	recvsBefore(id txgraph.AddrID, seq txgraph.TxSeq) uint32
+	// selfChangeBefore reports whether the address was used as a self-change
+	// output in any transaction strictly before seq.
+	selfChangeBefore(id txgraph.AddrID, seq txgraph.TxSeq) bool
+}
+
+// replayState is the as-of-time address state threaded through the
+// sequential scan. Its answers are only valid for the replay's current
+// position, which is why the scan must advance it transaction by
+// transaction.
 type replayState struct {
 	priorRecvs     []uint32
 	selfChangeHist []bool
+}
+
+func (st *replayState) recvsBefore(id txgraph.AddrID, _ txgraph.TxSeq) uint32 {
+	return st.priorRecvs[id]
+}
+
+func (st *replayState) selfChangeBefore(id txgraph.AddrID, _ txgraph.TxSeq) bool {
+	return st.selfChangeHist[id]
+}
+
+// indexState answers the as-of-time questions for any position from the
+// immutable graph: the receive count is the address's rank in its seq-sorted
+// CSR receive list, the self-change history is a comparison against the
+// build's FirstSelfChange pre-pass. It is stateless, so shards share the
+// graph with no synchronization.
+type indexState struct {
+	g *txgraph.Graph
+}
+
+func (st indexState) recvsBefore(id txgraph.AddrID, seq txgraph.TxSeq) uint32 {
+	recvs := st.g.Recvs(id)
+	// Lower bound of seq: entries are ascending (duplicates allowed), so the
+	// insertion point is exactly the number of receives strictly before seq.
+	return uint32(sort.Search(len(recvs), func(i int) bool { return recvs[i] >= seq }))
+}
+
+func (st indexState) selfChangeBefore(id txgraph.AddrID, seq txgraph.TxSeq) bool {
+	return st.g.FirstSelfChange(id) < seq
 }
 
 func isInputAddr(tx *txgraph.TxInfo, id txgraph.AddrID) bool {
@@ -149,9 +270,11 @@ func isInputAddr(tx *txgraph.TxInfo, id txgraph.AddrID) bool {
 
 // classifyTx applies conditions 1-4 plus the configured refinements to one
 // transaction. It returns the label and true when a change output is
-// identified.
+// identified. The decision depends on the prefix only through the asOfState
+// queries, so it runs identically under the sequential replay and the
+// sharded scan.
 func classifyTx(g *txgraph.Graph, tx *txgraph.TxInfo, seq txgraph.TxSeq, cfg ChangeConfig,
-	st *replayState, scratch *[]int, stats *ChangeStats) (ChangeLabel, bool) {
+	st asOfState, scratch *[]int, stats *ChangeStats) (ChangeLabel, bool) {
 
 	// Condition 2: not a coin generation.
 	if tx.Coinbase {
@@ -200,11 +323,11 @@ func classifyTx(g *txgraph.Graph, tx *txgraph.TxInfo, seq txgraph.TxSeq, cfg Cha
 			if id == txgraph.NoAddr || id == cand {
 				continue
 			}
-			if cfg.GuardReceivedOnce && st.priorRecvs[id] == 1 {
+			if cfg.GuardReceivedOnce && st.recvsBefore(id, seq) == 1 {
 				stats.SkippedGuards++
 				return ChangeLabel{}, false
 			}
-			if cfg.GuardSelfChangeHistory && st.selfChangeHist[id] {
+			if cfg.GuardSelfChangeHistory && st.selfChangeBefore(id, seq) {
 				stats.SkippedGuards++
 				return ChangeLabel{}, false
 			}

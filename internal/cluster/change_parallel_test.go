@@ -1,0 +1,89 @@
+package cluster_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/econ"
+	"repro/internal/txgraph"
+)
+
+// The sharded change-classifier scan must be byte-identical to the
+// sequential temporal replay: same labels in the same order (including the
+// FalsePositive flags) and the same value in every ChangeStats field, for
+// every worker count, at two economy scales, for both the unrefined and the
+// fully Refined configuration. Under -race this also proves the shards share
+// the graph without unsynchronized writes.
+func TestChangeClassifierShardedMatchesReplay(t *testing.T) {
+	scales := []struct {
+		name string
+		g    *txgraph.Graph
+		dice map[txgraph.AddrID]bool
+	}{
+		{"large", nil, nil},
+		{"small", nil, nil},
+	}
+	// Scale 1: the shared 500-block property-test economy, with its ground
+	// truth dice set so the exemption path is exercised.
+	w, g := econGraph(t)
+	scales[0].g = g
+	scales[0].dice = w.GroundTruthDiceIDs(g)
+	// Scale 2: a smaller economy, so shard boundaries land differently.
+	smallCfg := econ.Small()
+	smallCfg.Blocks = 250
+	smallCfg.Users = 40
+	ws, err := econ.Generate(smallCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs, err := txgraph.Build(ws.Chain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scales[1].g = gs
+	scales[1].dice = ws.GroundTruthDiceIDs(gs)
+
+	for _, sc := range scales {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			configs := []struct {
+				name string
+				cfg  cluster.ChangeConfig
+			}{
+				{"unrefined", cluster.Unrefined()},
+				{"refined", cluster.Refined(sc.dice, 144)},
+			}
+			for _, tc := range configs {
+				tc := tc
+				t.Run(tc.name, func(t *testing.T) {
+					seqLabels, seqStats := cluster.FindChangeOutputs(sc.g, tc.cfg)
+					if seqStats.Labeled == 0 {
+						t.Fatal("replay labeled nothing; the comparison would be vacuous")
+					}
+					for _, workers := range []int{2, 3, 4, 8, 16} {
+						parLabels, parStats := cluster.FindChangeOutputsWorkers(sc.g, tc.cfg, workers)
+						if parStats != seqStats {
+							t.Fatalf("workers=%d: stats differ:\nseq: %+v\npar: %+v",
+								workers, seqStats, parStats)
+						}
+						if !reflect.DeepEqual(parLabels, seqLabels) {
+							t.Fatalf("workers=%d: labels differ from the sequential replay", workers)
+						}
+					}
+				})
+			}
+		})
+	}
+}
+
+// A graph with fewer transactions than workers must still classify
+// correctly (the shard count clamps to the transaction count).
+func TestChangeClassifierMoreWorkersThanTxs(t *testing.T) {
+	_, g := econGraph(t)
+	seqLabels, seqStats := cluster.FindChangeOutputs(g, cluster.Unrefined())
+	parLabels, parStats := cluster.FindChangeOutputsWorkers(g, cluster.Unrefined(), g.NumTxs()+7)
+	if parStats != seqStats || !reflect.DeepEqual(parLabels, seqLabels) {
+		t.Fatal("oversized worker count changed the classifier output")
+	}
+}

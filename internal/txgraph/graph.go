@@ -17,8 +17,11 @@
 package txgraph
 
 import (
+	"sync/atomic"
+
 	"repro/internal/address"
 	"repro/internal/chain"
+	"repro/internal/par"
 )
 
 // AddrID is a dense identifier for an interned address.
@@ -83,13 +86,8 @@ func computeSelfChange(t *TxInfo) bool {
 		return false
 	}
 	for _, out := range t.OutputAddrs {
-		if out == NoAddr {
-			continue
-		}
-		for _, in := range t.InputAddrs {
-			if in == out {
-				return true
-			}
+		if out != NoAddr && txHasInputAddr(t, out) {
+			return true
 		}
 	}
 	return false
@@ -112,7 +110,14 @@ type Graph struct {
 	spendTxs []TxSeq
 
 	firstSeen []TxSeq // per address: first tx (input or output side) it appears in
-	height    int64
+	// firstSelfChange is, per address, the first transaction that used it as
+	// a self-change output (the address appears on both the input and output
+	// side), or NoTx if that never happens. Together with the seq-sorted CSR
+	// receive lists it makes the change classifier's as-of-time state
+	// derivable at any transaction without replaying the prefix, which is
+	// what lets the Heuristic 2 scan shard across workers.
+	firstSelfChange []TxSeq
+	height          int64
 }
 
 // Build indexes every transaction in the chain using one worker per CPU for
@@ -199,6 +204,59 @@ func (g *Graph) buildAppearanceIndex() {
 	}
 }
 
+// buildSelfChangeIndex computes firstSelfChange with a parallel pre-pass:
+// workers fold disjoint contiguous transaction ranges into a shared
+// atomic-min array. Min is commutative, so the result is identical for every
+// worker count. Only transactions whose precomputed SelfChange flag is set
+// contribute, which keeps the pass a near-no-op on chains where the idiom is
+// rare.
+func (g *Graph) buildSelfChangeIndex(workers int) {
+	n := len(g.addrs)
+	g.firstSelfChange = make([]TxSeq, n)
+	for i := range g.firstSelfChange {
+		g.firstSelfChange[i] = NoTx
+	}
+	par.ForEach(len(g.txs), workers, func(start, end int) {
+		for i := start; i < end; i++ {
+			tx := &g.txs[i]
+			if !tx.SelfChange {
+				continue
+			}
+			for _, out := range tx.OutputAddrs {
+				if out == NoAddr || !txHasInputAddr(tx, out) {
+					continue
+				}
+				atomicMinTxSeq(&g.firstSelfChange[out], TxSeq(i))
+			}
+		}
+	})
+}
+
+// txHasInputAddr reports whether id appears among the transaction's inputs.
+func txHasInputAddr(tx *TxInfo, id AddrID) bool {
+	for _, in := range tx.InputAddrs {
+		if in == id {
+			return true
+		}
+	}
+	return false
+}
+
+// atomicMinTxSeq lowers *p to seq if seq is smaller. NoTx is the maximum
+// TxSeq, so unset entries lose to any real sequence number.
+func atomicMinTxSeq(p *TxSeq, seq TxSeq) {
+	addr := (*uint32)(p)
+	for {
+		old := atomic.LoadUint32(addr)
+		if uint32(seq) >= old {
+			return
+		}
+		if atomic.CompareAndSwapUint32(addr, old, uint32(seq)) {
+			return
+		}
+	}
+}
+
 // NumAddrs returns the number of distinct addresses seen.
 func (g *Graph) NumAddrs() int { return len(g.addrs) }
 
@@ -246,6 +304,13 @@ func (g *Graph) NumSpends(id AddrID) int {
 
 // FirstSeen returns the first transaction the address appears in.
 func (g *Graph) FirstSeen(id AddrID) TxSeq { return g.firstSeen[id] }
+
+// FirstSelfChange returns the first transaction that used the address as a
+// self-change output (it appears on both the input and output side), or NoTx
+// if the address was never used that way. The index is precomputed by the
+// build, so "had this address self-change history as of tx seq" is the O(1)
+// comparison FirstSelfChange(id) < seq.
+func (g *Graph) FirstSelfChange(id AddrID) TxSeq { return g.firstSelfChange[id] }
 
 // IsSink reports whether the address has received coins but never spent any
 // — the "sink" addresses the paper counts toward its upper bound on users

@@ -39,6 +39,9 @@ func TestBuildWorkerCountInvariant(t *testing.T) {
 			if seq.FirstSeen(aid) != par.FirstSeen(aid) {
 				t.Fatalf("workers=%d: addr %d FirstSeen differs", workers, id)
 			}
+			if seq.FirstSelfChange(aid) != par.FirstSelfChange(aid) {
+				t.Fatalf("workers=%d: addr %d FirstSelfChange differs", workers, id)
+			}
 			if !reflect.DeepEqual(seq.Recvs(aid), par.Recvs(aid)) {
 				t.Fatalf("workers=%d: addr %d recvs differ", workers, id)
 			}
@@ -77,6 +80,46 @@ func TestSelfChangePrecomputedMatchesDerivation(t *testing.T) {
 	}
 	if !saw {
 		t.Fatal("economy produced no self-change transactions to check")
+	}
+}
+
+// The precomputed per-address first-self-change index must agree with a
+// sequential replay of the chain — the exact state the change classifier's
+// temporal replay used to thread through its scan.
+func TestFirstSelfChangeMatchesReplay(t *testing.T) {
+	_, g := econGraph(t)
+	want := make([]txgraph.TxSeq, g.NumAddrs())
+	for i := range want {
+		want[i] = txgraph.NoTx
+	}
+	for i := 0; i < g.NumTxs(); i++ {
+		tx := g.Tx(txgraph.TxSeq(i))
+		if !tx.HasSelfChange() {
+			continue
+		}
+		for _, out := range tx.OutputAddrs {
+			if out == txgraph.NoAddr || want[out] != txgraph.NoTx {
+				continue
+			}
+			for _, in := range tx.InputAddrs {
+				if in == out {
+					want[out] = txgraph.TxSeq(i)
+					break
+				}
+			}
+		}
+	}
+	saw := 0
+	for id := range want {
+		if got := g.FirstSelfChange(txgraph.AddrID(id)); got != want[id] {
+			t.Fatalf("addr %d: FirstSelfChange=%v, replay says %v", id, got, want[id])
+		}
+		if want[id] != txgraph.NoTx {
+			saw++
+		}
+	}
+	if saw == 0 {
+		t.Fatal("economy produced no self-change addresses to check")
 	}
 }
 

@@ -102,6 +102,7 @@ func buildStream(src chain.BlockSource, workers, window int) (*Graph, error) {
 		}
 	}
 	g.buildAppearanceIndex()
+	g.buildSelfChangeIndex(w)
 	return g, nil
 }
 
