@@ -37,7 +37,7 @@ func benchPipeline(b *testing.B) *Pipeline {
 }
 
 // BenchmarkEconomyGeneration measures the substrate: producing a full
-// validated synthetic chain with the default (parallel) block-seal signing.
+// validated synthetic chain with the default (pipelined) block sealing.
 func BenchmarkEconomyGeneration(b *testing.B) {
 	cfg := SmallConfig()
 	cfg.Blocks = 400
@@ -51,9 +51,35 @@ func BenchmarkEconomyGeneration(b *testing.B) {
 	}
 }
 
-// BenchmarkEconomyGenerationSigning isolates the block-seal signing fan-out:
-// the same economy generated with sequential and parallel signing. The
-// determinism test proves both settings produce byte-identical chains.
+// BenchmarkEconomyGenerationSealing isolates the seal pipeline: the same
+// economy generated with the fully inline seal path (sign, validate, emit
+// at every block boundary before the next block may start) against the
+// bounded pipeline overlapping that tail with building. The seal-pipeline
+// test proves every depth produces byte-identical chains.
+func BenchmarkEconomyGenerationSealing(b *testing.B) {
+	run := func(depth int) func(*testing.B) {
+		return func(b *testing.B) {
+			cfg := SmallConfig()
+			cfg.Blocks = 400
+			cfg.Users = 60
+			cfg.PipelineDepth = depth
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				cfg.Seed = int64(i + 1)
+				if _, err := econ.Generate(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.Run("inline", run(1))
+	b.Run("pipelined", run(0))
+}
+
+// BenchmarkEconomyGenerationSigning isolates the block-seal signing fan-out
+// on the inline seal path: the same economy generated with sequential and
+// parallel signing. The determinism test proves both settings produce
+// byte-identical chains.
 func BenchmarkEconomyGenerationSigning(b *testing.B) {
 	run := func(workers int) func(*testing.B) {
 		return func(b *testing.B) {
@@ -61,6 +87,7 @@ func BenchmarkEconomyGenerationSigning(b *testing.B) {
 			cfg.Blocks = 400
 			cfg.Users = 60
 			cfg.SignWorkers = workers
+			cfg.PipelineDepth = 1 // isolate the fan-out from the pipeline
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				cfg.Seed = int64(i + 1)

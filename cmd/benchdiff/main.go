@@ -11,10 +11,18 @@
 // benchmarks new in the current run are reported but not gated until the
 // baseline is refreshed.
 //
+// Alongside the gate, -report selects metrics that are compared but never
+// gated — the deltas are rendered as a markdown table written to the file
+// named by -summary (CI points it at $GITHUB_STEP_SUMMARY). ns/op rides
+// there today: wall-clock on shared runners is too noisy to gate, but the
+// per-benchmark deltas are worth a glance on every PR, and the table is the
+// groundwork for gating ns/op once runners are pinned to one machine class.
+//
 // Usage:
 //
 //	benchdiff -baseline BENCH_baseline.json -current BENCH_pr.json [-threshold 0.20] \
-//	          [-metrics allocs/op,B/op] [-allow-missing]
+//	          [-metrics allocs/op,B/op] [-allow-missing] \
+//	          [-report ns/op] [-summary "$GITHUB_STEP_SUMMARY"]
 package main
 
 import (
@@ -123,6 +131,73 @@ func compare(base, cur *Report, metrics []string, threshold float64) *Comparison
 	return c
 }
 
+// markdownSummary renders the comparison as a GitHub-flavored markdown
+// document for the job summary: one table for the gated metrics with their
+// verdicts, and — when report-only metrics were selected — a second,
+// explicitly non-gating delta table. Reported metrics never influence the
+// gate; the caller computes `reported` with a separate compare call whose
+// Regressed flags are ignored here.
+func markdownSummary(gated, reported *Comparison, reportMetrics []string, threshold float64) string {
+	var sb strings.Builder
+	sb.WriteString("## benchdiff\n\n")
+
+	regs := len(gated.Regressions())
+	fmt.Fprintf(&sb, "Gate: %d metric(s) compared at +%.0f%%, %d regressed, %d missing, %d new.\n\n",
+		len(gated.Diffs), 100*threshold, regs, len(gated.Missing), len(gated.New))
+	if len(gated.Diffs) > 0 {
+		sb.WriteString("| benchmark | metric | baseline | current | delta | |\n")
+		sb.WriteString("|---|---|---:|---:|---:|---|\n")
+		for _, d := range gated.Diffs {
+			mark := "ok"
+			if d.Regressed {
+				mark = "**FAIL**"
+			}
+			fmt.Fprintf(&sb, "| %s | %s | %s | %s | %s | %s |\n",
+				d.Bench, d.Metric, formatValue(d.Base), formatValue(d.Cur), formatDelta(d.Ratio), mark)
+		}
+		sb.WriteString("\n")
+	}
+
+	if reported != nil && len(reported.Diffs) > 0 {
+		fmt.Fprintf(&sb, "### %s deltas (report only, not gated)\n\n", strings.Join(reportMetrics, ", "))
+		sb.WriteString("Wall-clock on shared runners is noise-prone; this table informs review and ")
+		sb.WriteString("becomes a gate once runners are pinned.\n\n")
+		sb.WriteString("| benchmark | metric | baseline | current | delta |\n")
+		sb.WriteString("|---|---|---:|---:|---:|\n")
+		for _, d := range reported.Diffs {
+			fmt.Fprintf(&sb, "| %s | %s | %s | %s | %s |\n",
+				d.Bench, d.Metric, formatValue(d.Base), formatValue(d.Cur), formatDelta(d.Ratio))
+		}
+		sb.WriteString("\n")
+	}
+
+	for _, n := range gated.New {
+		fmt.Fprintf(&sb, "- new (not gated until the baseline is refreshed): `%s`\n", n)
+	}
+	for _, n := range gated.Missing {
+		fmt.Fprintf(&sb, "- **missing** (in baseline, absent from current run): `%s`\n", n)
+	}
+	return sb.String()
+}
+
+// formatValue renders a metric value compactly (benchjson metrics are
+// integral counters or nanoseconds in practice).
+func formatValue(v float64) string {
+	if v == math.Trunc(v) {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.2f", v)
+}
+
+// formatDelta renders cur/base as a signed percentage; an infinite ratio
+// (zero baseline) is spelled out.
+func formatDelta(ratio float64) string {
+	if math.IsInf(ratio, 1) {
+		return "+inf (zero baseline)"
+	}
+	return fmt.Sprintf("%+.1f%%", 100*(ratio-1))
+}
+
 // loadReport reads one benchjson document.
 func loadReport(path string) (*Report, error) {
 	data, err := os.ReadFile(path)
@@ -156,6 +231,11 @@ func main() {
 		"comma-separated smaller-is-better metrics to gate on")
 	allowMissing := flag.Bool("allow-missing", false,
 		"do not fail when a baseline benchmark is absent from the current run")
+	reportFlag := flag.String("report", "",
+		"comma-separated metrics to compare report-only (never gated), e.g. ns/op")
+	summaryPath := flag.String("summary", "",
+		"append a markdown summary (gate table + report-only deltas) to this file;\n"+
+			"CI passes $GITHUB_STEP_SUMMARY")
 	flag.Parse()
 
 	metrics := splitMetrics(*metricsFlag)
@@ -175,6 +255,31 @@ func main() {
 	}
 
 	c := compare(base, cur, metrics, *threshold)
+
+	// Report-only comparison: same machinery, but its Regressed flags are
+	// never consulted — the deltas only feed the summary table.
+	var reported *Comparison
+	reportMetrics := splitMetrics(*reportFlag)
+	if len(reportMetrics) > 0 {
+		reported = compare(base, cur, reportMetrics, *threshold)
+	}
+	if *summaryPath != "" {
+		md := markdownSummary(c, reported, reportMetrics, *threshold)
+		f, err := os.OpenFile(*summaryPath, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		if err == nil {
+			_, werr := f.WriteString(md)
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+			err = werr
+		}
+		if err != nil {
+			// The summary is informational; a broken summary file must not
+			// mask the gate verdict.
+			fmt.Fprintln(os.Stderr, "benchdiff: summary:", err)
+		}
+	}
+
 	for _, d := range c.Diffs {
 		mark := "ok  "
 		if d.Regressed {
@@ -182,6 +287,12 @@ func main() {
 		}
 		fmt.Printf("%s  %-60s %-12s %14.0f -> %14.0f  (%+.1f%%)\n",
 			mark, d.Bench, d.Metric, d.Base, d.Cur, 100*(d.Ratio-1))
+	}
+	if reported != nil {
+		for _, d := range reported.Diffs {
+			fmt.Printf("info  %-60s %-12s %14.0f -> %14.0f  (%+.1f%%)  [report-only]\n",
+				d.Bench, d.Metric, d.Base, d.Cur, 100*(d.Ratio-1))
+		}
 	}
 	for _, n := range c.New {
 		fmt.Printf("new   %s (not gated; refresh the baseline to cover it)\n", n)

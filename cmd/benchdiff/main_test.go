@@ -3,6 +3,7 @@ package main
 import (
 	"encoding/json"
 	"math"
+	"strings"
 	"testing"
 )
 
@@ -135,6 +136,83 @@ func TestSplitMetrics(t *testing.T) {
 	for i := range want {
 		if got[i] != want[i] {
 			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+// The report-only mode: metrics selected by -report are compared with the
+// same machinery but must never gate, however large the delta; the summary
+// renders them in an explicitly non-gating table.
+func TestMarkdownSummaryReportOnlyDeltas(t *testing.T) {
+	base := report(
+		bench("BenchmarkEconomyGeneration-4", map[string]float64{"allocs/op": 100, "ns/op": 1000}),
+		bench("BenchmarkHeuristic1/par-4", map[string]float64{"allocs/op": 50, "ns/op": 4000}))
+	cur := report(
+		bench("BenchmarkEconomyGeneration-4", map[string]float64{"allocs/op": 100, "ns/op": 5000}),
+		bench("BenchmarkHeuristic1/par-4", map[string]float64{"allocs/op": 50, "ns/op": 2000}))
+
+	gated := compare(base, cur, gateMetrics, 0.20)
+	if len(gated.Regressions()) != 0 {
+		t.Fatalf("ns/op blowup leaked into the gate: %+v", gated.Regressions())
+	}
+	reported := compare(base, cur, []string{"ns/op"}, 0.20)
+	if len(reported.Diffs) != 2 {
+		t.Fatalf("reported %d deltas, want 2", len(reported.Diffs))
+	}
+
+	md := markdownSummary(gated, reported, []string{"ns/op"}, 0.20)
+	for _, want := range []string{
+		"ns/op deltas (report only, not gated)",
+		"| BenchmarkEconomyGeneration-4 | ns/op | 1000 | 5000 | +400.0% |",
+		"| BenchmarkHeuristic1/par-4 | ns/op | 4000 | 2000 | -50.0% |",
+	} {
+		if !strings.Contains(md, want) {
+			t.Fatalf("summary missing %q:\n%s", want, md)
+		}
+	}
+	// The gated table must still carry its own verdict column.
+	if !strings.Contains(md, "| BenchmarkEconomyGeneration-4 | allocs/op | 100 | 100 | +0.0% | ok |") {
+		t.Fatalf("gated table row missing:\n%s", md)
+	}
+}
+
+// Without report metrics the summary omits the report section entirely, and
+// gate failures are marked in the gated table.
+func TestMarkdownSummaryGateOnly(t *testing.T) {
+	base := report(bench("BenchmarkX", map[string]float64{"allocs/op": 100}))
+	cur := report(bench("BenchmarkX", map[string]float64{"allocs/op": 200}))
+	gated := compare(base, cur, gateMetrics, 0.20)
+	md := markdownSummary(gated, nil, nil, 0.20)
+	if strings.Contains(md, "report only") {
+		t.Fatalf("phantom report section:\n%s", md)
+	}
+	if !strings.Contains(md, "**FAIL**") {
+		t.Fatalf("regression not marked:\n%s", md)
+	}
+	if !strings.Contains(md, "1 regressed") {
+		t.Fatalf("gate line missing regression count:\n%s", md)
+	}
+}
+
+// Zero-baseline and missing/new benchmarks keep their special renderings in
+// the summary.
+func TestMarkdownSummaryEdgeCases(t *testing.T) {
+	base := report(
+		bench("BenchmarkZero", map[string]float64{"ns/op": 0}),
+		bench("BenchmarkGone", map[string]float64{"ns/op": 10}))
+	cur := report(
+		bench("BenchmarkZero", map[string]float64{"ns/op": 5}),
+		bench("BenchmarkNew", map[string]float64{"ns/op": 10}))
+	gated := compare(base, cur, gateMetrics, 0.20)
+	reported := compare(base, cur, []string{"ns/op"}, 0.20)
+	md := markdownSummary(gated, reported, []string{"ns/op"}, 0.20)
+	for _, want := range []string{
+		"+inf (zero baseline)",
+		"- new (not gated until the baseline is refreshed): `BenchmarkNew`",
+		"- **missing** (in baseline, absent from current run): `BenchmarkGone`",
+	} {
+		if !strings.Contains(md, want) {
+			t.Fatalf("summary missing %q:\n%s", want, md)
 		}
 	}
 }

@@ -163,8 +163,10 @@ func cmdGenerate(args []string) error {
 
 	cfg := buildConfig(*small, *seed)
 	cfg.SignWorkers = *parallel
-	// Blocks are framed to disk as they are sealed, so the file is complete
-	// the moment generation is.
+	cfg.PipelineDepth = *parallel
+	// Blocks are framed to disk as they are sealed — the seal pipeline
+	// overlaps signing/validation/emission with building the next blocks —
+	// so the file is complete the moment generation is.
 	w, err := econ.GenerateToFile(cfg, *out)
 	if err != nil {
 		return err

@@ -101,11 +101,7 @@ func NewPipeline(cfg Config) (*Pipeline, error) {
 
 // NewPipelineOpts is NewPipeline with execution options.
 func NewPipelineOpts(cfg Config, opts Options) (*Pipeline, error) {
-	if cfg.SignWorkers == 0 {
-		// The generator's signing fan-out shares the pipeline's worker
-		// budget unless the config pins its own count.
-		cfg.SignWorkers = opts.Parallelism
-	}
+	cfg = applyWorkerBudget(cfg, opts)
 	var (
 		w   *econ.World
 		err error
@@ -130,15 +126,28 @@ func NewPipelineOpts(cfg Config, opts Options) (*Pipeline, error) {
 // as wrapped chain.Reader errors; a file holding a different chain than cfg
 // generates is rejected by the world cross-check.
 func NewPipelineFromChainFile(cfg Config, path string, opts Options) (*Pipeline, error) {
-	if cfg.SignWorkers == 0 {
-		cfg.SignWorkers = opts.Parallelism
-	}
+	cfg = applyWorkerBudget(cfg, opts)
 	w, err := econ.Generate(cfg)
 	if err != nil {
 		return nil, fmt.Errorf("fistful: generate: %w", err)
 	}
 	opts.ChainFile = path
 	return NewPipelineFromWorldOpts(w, opts)
+}
+
+// applyWorkerBudget folds the pipeline's worker budget into the generator
+// knobs that default to it: the block-seal pipeline depth and the inline
+// signing fan-out, unless the config pins its own counts. -parallel 1
+// therefore forces a fully sequential generation (inline seal path), and
+// -parallel N bounds the in-flight sealed blocks to N.
+func applyWorkerBudget(cfg Config, opts Options) Config {
+	if cfg.SignWorkers == 0 {
+		cfg.SignWorkers = opts.Parallelism
+	}
+	if cfg.PipelineDepth == 0 {
+		cfg.PipelineDepth = opts.Parallelism
+	}
+	return cfg
 }
 
 // NewPipelineFromWorld runs the pipeline stages over an existing world with

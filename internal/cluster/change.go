@@ -113,7 +113,7 @@ func FindChangeOutputs(g *txgraph.Graph, cfg ChangeConfig) ([]ChangeLabel, Chang
 		tx := g.Tx(txgraph.TxSeq(seq))
 		stats.TxsScanned++
 
-		label, ok := classifyTx(g, tx, txgraph.TxSeq(seq), cfg, st, &scratchFresh, &stats)
+		label, ok := classifyTx(g, tx, txgraph.TxSeq(seq), cfg, st, scanReuse{}, &scratchFresh, &stats)
 		if ok {
 			labels = append(labels, label)
 			stats.Labeled++
@@ -161,6 +161,11 @@ func FindChangeOutputsWorkers(g *txgraph.Graph, cfg ChangeConfig, workers int) (
 		labels []ChangeLabel
 		stats  ChangeStats
 	}
+	// The reuse index replaces the per-candidate receive-list walk with an
+	// O(1) per-address lookup; building it is one parallel pass over the
+	// graph (and free when no dice exemption is configured).
+	ix := newReuseIndex(g, cfg, w)
+
 	// par.ForEach splits [0, numTxs) into ceil(numTxs/w)-sized contiguous
 	// chunks; start/chunk recovers the shard index, so each callback owns
 	// its shard slot exclusively.
@@ -173,7 +178,7 @@ func FindChangeOutputsWorkers(g *txgraph.Graph, cfg ChangeConfig, workers int) (
 		for seq := start; seq < end; seq++ {
 			tx := g.Tx(txgraph.TxSeq(seq))
 			sh.stats.TxsScanned++
-			label, ok := classifyTx(g, tx, txgraph.TxSeq(seq), cfg, st, &scratchFresh, &sh.stats)
+			label, ok := classifyTx(g, tx, txgraph.TxSeq(seq), cfg, st, ix, &scratchFresh, &sh.stats)
 			if ok {
 				sh.labels = append(sh.labels, label)
 				sh.stats.Labeled++
@@ -268,13 +273,117 @@ func isInputAddr(tx *txgraph.TxInfo, id txgraph.AddrID) bool {
 	return false
 }
 
+// reuseSource answers the classifier's temporal-replay question: the height
+// of the candidate's first receive after seq that is not an exempt dice
+// payout. classifyTx only asks it about fresh candidates — seq is always
+// the candidate's first appearance — which is what lets the sharded scan
+// answer from a per-address index instead of walking the receive list.
+type reuseSource interface {
+	firstNonExemptReuse(g *txgraph.Graph, cand txgraph.AddrID, seq txgraph.TxSeq, cfg ChangeConfig) (int64, bool)
+}
+
+// scanReuse is the executable specification: walk the candidate's receive
+// list until the first non-exempt receive. The sequential replay uses it;
+// the sharded scan's reuseIndex is proven equivalent to it (the classifier
+// equivalence suite compares whole runs, TestReuseIndexMatchesScan every
+// address).
+type scanReuse struct{}
+
+func (scanReuse) firstNonExemptReuse(g *txgraph.Graph, cand txgraph.AddrID, seq txgraph.TxSeq, cfg ChangeConfig) (int64, bool) {
+	for _, r := range g.Recvs(cand) {
+		if r <= seq {
+			continue
+		}
+		rt := g.Tx(r)
+		if cfg.ExemptDice && isDicePayout(rt, cfg.Dice) {
+			continue
+		}
+		return rt.Height, true
+	}
+	return 0, false
+}
+
+// reuseIndex answers firstNonExemptReuse with one per-address lookup.
+// Without a dice exemption the graph's own FirstReuse index (precomputed by
+// the build, same pre-pass family as FirstSelfChange) is already the exact
+// answer; with one, newReuseIndex folds the exemption in with one parallel
+// pass. Valid only for the query pattern classifyTx uses — seq equal to the
+// candidate's first appearance.
+type reuseIndex struct {
+	g *txgraph.Graph
+	// firstNonExempt is the dice-aware per-address index; nil when the
+	// configuration exempts nothing.
+	firstNonExempt []txgraph.TxSeq
+}
+
+// newReuseIndex builds the reuse index for one classifier configuration.
+// The dice-aware pass memoizes each transaction's exemption once (the scan
+// recomputed it for every candidate paid by the same dice payout) and then
+// resolves each address from its graph-level FirstReuse, walking a receive
+// list only in the rare case that an address's first reuse is itself an
+// exempt payout.
+func newReuseIndex(g *txgraph.Graph, cfg ChangeConfig, workers int) *reuseIndex {
+	if !cfg.ExemptDice || len(cfg.Dice) == 0 {
+		return &reuseIndex{g: g}
+	}
+	numTxs := g.NumTxs()
+	n := g.NumAddrs()
+	// Densify the dice set first: the exemption pass touches every input of
+	// every transaction, and indexing a byte slice there is an order of
+	// magnitude cheaper than hashing each address into the Dice map.
+	dice := make([]bool, n)
+	for id, in := range cfg.Dice {
+		if in && int(id) < n {
+			dice[id] = true
+		}
+	}
+	exempt := make([]bool, numTxs)
+	par.ForEach(numTxs, workers, func(start, end int) {
+		for seq := start; seq < end; seq++ {
+			exempt[seq] = isDicePayoutDense(g.Tx(txgraph.TxSeq(seq)), dice)
+		}
+	})
+	idx := make([]txgraph.TxSeq, n)
+	par.ForEach(n, workers, func(start, end int) {
+		for id := start; id < end; id++ {
+			aid := txgraph.AddrID(id)
+			r := g.FirstReuse(aid)
+			if r == txgraph.NoTx || !exempt[r] {
+				idx[id] = r
+				continue
+			}
+			// The first reuse is an exempt dice payout (a busy betting
+			// address): walk the remainder of the receive list.
+			idx[id] = txgraph.NoTx
+			for _, rr := range g.Recvs(aid) {
+				if rr > r && !exempt[rr] {
+					idx[id] = rr
+					break
+				}
+			}
+		}
+	})
+	return &reuseIndex{g: g, firstNonExempt: idx}
+}
+
+func (ix *reuseIndex) firstNonExemptReuse(_ *txgraph.Graph, cand txgraph.AddrID, _ txgraph.TxSeq, _ ChangeConfig) (int64, bool) {
+	r := ix.g.FirstReuse(cand)
+	if ix.firstNonExempt != nil {
+		r = ix.firstNonExempt[cand]
+	}
+	if r == txgraph.NoTx {
+		return 0, false
+	}
+	return ix.g.Tx(r).Height, true
+}
+
 // classifyTx applies conditions 1-4 plus the configured refinements to one
 // transaction. It returns the label and true when a change output is
 // identified. The decision depends on the prefix only through the asOfState
 // queries, so it runs identically under the sequential replay and the
 // sharded scan.
 func classifyTx(g *txgraph.Graph, tx *txgraph.TxInfo, seq txgraph.TxSeq, cfg ChangeConfig,
-	st asOfState, scratch *[]int, stats *ChangeStats) (ChangeLabel, bool) {
+	st asOfState, reuse reuseSource, scratch *[]int, stats *ChangeStats) (ChangeLabel, bool) {
 
 	// Condition 2: not a coin generation.
 	if tx.Coinbase {
@@ -335,7 +444,7 @@ func classifyTx(g *txgraph.Graph, tx *txgraph.TxInfo, seq txgraph.TxSeq, cfg Cha
 	}
 
 	// Temporal replay: find the first later receive that is not exempt.
-	reuseHeight, reused := firstNonExemptReuse(g, cand, seq, cfg)
+	reuseHeight, reused := reuse.firstNonExemptReuse(g, cand, seq, cfg)
 	if reused {
 		if cfg.WaitBlocks > 0 && reuseHeight <= tx.Height+cfg.WaitBlocks {
 			// Reuse arrived inside the wait window: never labeled.
@@ -349,27 +458,30 @@ func classifyTx(g *txgraph.Graph, tx *txgraph.TxInfo, seq txgraph.TxSeq, cfg Cha
 	return ChangeLabel{Tx: seq, Output: candOut, Addr: cand}, true
 }
 
-// firstNonExemptReuse scans the candidate's receive history for the first
-// receive after seq that is not an exempt dice payout, returning its height.
-func firstNonExemptReuse(g *txgraph.Graph, cand txgraph.AddrID, seq txgraph.TxSeq, cfg ChangeConfig) (int64, bool) {
-	for _, r := range g.Recvs(cand) {
-		if r <= seq {
-			continue
-		}
-		rt := g.Tx(r)
-		if cfg.ExemptDice && isDicePayout(rt, cfg.Dice) {
-			continue
-		}
-		return rt.Height, true
-	}
-	return 0, false
-}
-
 // isDicePayout reports whether every input address of the transaction
 // belongs to a known dice game — the shape of a Satoshi-Dice payout, which
 // returns winnings to the betting address.
 func isDicePayout(tx *txgraph.TxInfo, dice map[txgraph.AddrID]bool) bool {
 	if len(dice) == 0 || tx.Coinbase {
+		return false
+	}
+	any := false
+	for _, id := range tx.InputAddrs {
+		if id == txgraph.NoAddr {
+			continue
+		}
+		if !dice[id] {
+			return false
+		}
+		any = true
+	}
+	return any
+}
+
+// isDicePayoutDense is isDicePayout over a dense membership slice, for the
+// reuse-index pre-pass that evaluates every transaction.
+func isDicePayoutDense(tx *txgraph.TxInfo, dice []bool) bool {
+	if tx.Coinbase {
 		return false
 	}
 	any := false

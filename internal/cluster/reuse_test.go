@@ -1,0 +1,151 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/chain"
+	"repro/internal/chaintest"
+	"repro/internal/txgraph"
+)
+
+// reuseFixture builds a scripted chain covering every reuse-index corner:
+// an address whose first reuse is non-exempt, one whose first reuse is an
+// exempt dice payout with a later non-exempt reuse behind it, one reused
+// only by exempt payouts, and one never reused. It returns the graph and
+// the dice address set (the "dice" name's addresses).
+func reuseFixture(t *testing.T) (*txgraph.Graph, map[txgraph.AddrID]bool, *chaintest.Builder) {
+	t.Helper()
+	b := chaintest.New(t)
+	b.Coinbase("alice")
+	b.Coinbase("alice2")
+	b.Coinbase("alice3")
+	b.Coinbase("dice")
+	b.Mine(1)
+
+	btc := chain.BTC
+	// First appearances: plain (reused non-exempt), betlike (first reuse
+	// exempt, then non-exempt), dicefan (only exempt reuses), once (never
+	// reused).
+	b.Pay([]string{"alice"}, chaintest.Out{Name: "plain", Value: btc(1)},
+		chaintest.Out{Name: "betlike", Value: btc(2)},
+		chaintest.Out{Name: "dicefan", Value: btc(3)},
+		chaintest.Out{Name: "once", Value: btc(4)})
+	b.Mine(1)
+	// Non-exempt reuse of plain.
+	b.Pay([]string{"alice2"}, chaintest.Out{Name: "plain", Value: btc(1)})
+	b.Mine(1)
+	// Exempt dice payouts: betlike's and dicefan's first reuses.
+	b.Pay([]string{"dice"}, chaintest.Out{Name: "betlike", Value: btc(1)},
+		chaintest.Out{Name: "dicefan", Value: btc(1)},
+		chaintest.Out{Name: "dice", Value: btc(40)})
+	b.Mine(1)
+	// Another exempt payout to dicefan, then a non-exempt reuse of betlike.
+	b.Pay([]string{"dice"}, chaintest.Out{Name: "dicefan", Value: btc(1)},
+		chaintest.Out{Name: "dice", Value: btc(30)})
+	b.Mine(1)
+	b.Pay([]string{"alice3"}, chaintest.Out{Name: "betlike", Value: btc(1)})
+	b.Mine(1)
+
+	g, err := txgraph.Build(b.Chain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dice := make(map[txgraph.AddrID]bool)
+	if id, ok := g.LookupAddr(b.Addr("dice")); ok {
+		dice[id] = true
+	} else {
+		t.Fatal("dice address not in graph")
+	}
+	return g, dice, b
+}
+
+// The per-address reuse index must answer exactly what the linear
+// receive-list scan it replaces answers, for every address, for both a
+// dice-exempting and a non-exempting configuration, at several worker
+// counts. The scan is queried the way classifyTx queries it: at the
+// address's first appearance. (The classifier equivalence suite proves the
+// same over full generated economies; this pins the scripted corner cases.)
+func TestReuseIndexMatchesScan(t *testing.T) {
+	g, dice, _ := reuseFixture(t)
+	configs := []struct {
+		name string
+		cfg  ChangeConfig
+	}{
+		{"unrefined", Unrefined()},
+		{"dice-exempt", WithDice(dice)},
+		{"refined", Refined(dice, 2)},
+	}
+	for _, tc := range configs {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, workers := range []int{1, 4} {
+				ix := newReuseIndex(g, tc.cfg, workers)
+				for id := 0; id < g.NumAddrs(); id++ {
+					aid := txgraph.AddrID(id)
+					seq := g.FirstSeen(aid)
+					wantH, wantOK := scanReuse{}.firstNonExemptReuse(g, aid, seq, tc.cfg)
+					gotH, gotOK := ix.firstNonExemptReuse(g, aid, seq, tc.cfg)
+					if gotOK != wantOK || gotH != wantH {
+						t.Fatalf("workers=%d addr %d: index says (%d,%v), scan says (%d,%v)",
+							workers, id, gotH, gotOK, wantH, wantOK)
+					}
+				}
+			}
+		})
+	}
+}
+
+// Spot-check the scripted corners by name, so a fixture regression cannot
+// quietly turn the table-driven equivalence into a vacuous pass.
+func TestReuseIndexScriptedCorners(t *testing.T) {
+	g, dice, b := reuseFixture(t)
+	lookup := func(name string) txgraph.AddrID {
+		id, ok := g.LookupAddr(b.Addr(name))
+		if !ok {
+			t.Fatalf("%s not in graph", name)
+		}
+		return id
+	}
+	ix := newReuseIndex(g, WithDice(dice), 2)
+	if ix.firstNonExempt == nil {
+		t.Fatal("dice-exempt config did not build the dice-aware index")
+	}
+	// plain: first reuse non-exempt — index equals the graph's FirstReuse.
+	plain := lookup("plain")
+	if ix.firstNonExempt[plain] != g.FirstReuse(plain) {
+		t.Fatal("plain: dice-aware index disagrees with FirstReuse")
+	}
+	// betlike: first reuse exempt, so the index must look past it.
+	betlike := lookup("betlike")
+	if ix.firstNonExempt[betlike] == g.FirstReuse(betlike) {
+		t.Fatal("betlike: exempt first reuse was not skipped")
+	}
+	if ix.firstNonExempt[betlike] == txgraph.NoTx {
+		t.Fatal("betlike: later non-exempt reuse missed")
+	}
+	// dicefan: every reuse exempt — no non-exempt reuse at all.
+	dicefan := lookup("dicefan")
+	if g.FirstReuse(dicefan) == txgraph.NoTx {
+		t.Fatal("dicefan: fixture lost its exempt reuses")
+	}
+	if ix.firstNonExempt[dicefan] != txgraph.NoTx {
+		t.Fatal("dicefan: exempt-only reuses produced a non-exempt answer")
+	}
+	// once: never reused under either view.
+	once := lookup("once")
+	if g.FirstReuse(once) != txgraph.NoTx || ix.firstNonExempt[once] != txgraph.NoTx {
+		t.Fatal("once: phantom reuse")
+	}
+}
+
+// With no exemption configured the index must not allocate anything: the
+// graph's build-time FirstReuse already answers the query.
+func TestReuseIndexNoDiceUsesGraphIndex(t *testing.T) {
+	g, _, _ := reuseFixture(t)
+	if ix := newReuseIndex(g, Unrefined(), 4); ix.firstNonExempt != nil {
+		t.Fatal("non-exempting config built a dice-aware index")
+	}
+	// ExemptDice set but with an empty dice set exempts nothing either.
+	if ix := newReuseIndex(g, ChangeConfig{ExemptDice: true}, 4); ix.firstNonExempt != nil {
+		t.Fatal("empty dice set built a dice-aware index")
+	}
+}

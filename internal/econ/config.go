@@ -89,12 +89,25 @@ type Config struct {
 	// keeps (the paper found ~20 Heuristic-1 clusters for Mt. Gox).
 	ServiceWallets int
 
-	// SignWorkers is the worker count for the block-seal signing fan-out:
-	// transactions are built and credited unsigned, and each block's batch
-	// is signed in parallel just before mining. 0 means one worker per CPU,
-	// 1 forces fully sequential signing. The generated chain is
-	// byte-identical for every setting.
+	// SignWorkers is the worker count for the block-seal signing fan-out on
+	// the inline seal path: transactions are built and credited unsigned,
+	// and each block's batch is signed in parallel just before mining.
+	// 0 means one worker per CPU, 1 forces fully sequential signing. When
+	// the seal pipeline is active (PipelineDepth != 1), cross-block
+	// concurrency replaces the per-block fan-out and this knob is unused.
+	// The generated chain is byte-identical for every setting.
 	SignWorkers int
+
+	// PipelineDepth bounds the block-seal pipeline: how many sealed blocks
+	// may be in flight — being signed, validated (ConnectBlock), and emitted
+	// to the block sink — while the engine is already building later blocks.
+	// The tip hash of a block is computable before any signature exists
+	// (TxID excludes signature scripts), which is what makes the overlap
+	// sound. 0 means one in-flight block per CPU; 1 forces the fully inline
+	// sequential seal path. Blocks are validated and emitted in strict
+	// height order, so the generated chain — resident and framed-file — is
+	// byte-identical for every depth.
+	PipelineDepth int
 
 	// Researcher enables the Section 3.1 re-identification campaign (the
 	// 344 transactions against the Table 1 roster).

@@ -92,6 +92,22 @@ type engine struct {
 	// resident chain afterwards.
 	blockSink func(*chain.Block) error
 
+	// sealer, when non-nil, runs the seal tail (signing, validation,
+	// emission) concurrently with building; sealBlock hands blocks to it
+	// instead of sealing inline. See sealer.go.
+	sealer *sealPipeline
+
+	// tip is the hash of the most recently *built* block. It leads the
+	// chain's own tip whenever the seal pipeline is active: the tip hash is
+	// computable before any signature exists, so the builder never has to
+	// wait for ConnectBlock to learn what block N+1 must chain to.
+	tip chain.Hash
+
+	// minted is the cumulative coinbase value (subsidy + fees) of built
+	// blocks. The scripted scenarios read it instead of the chain's
+	// CoinsCreated, which lags behind building under the seal pipeline.
+	minted chain.Amount
+
 	world *World
 }
 
@@ -496,25 +512,24 @@ func (e *engine) queueTx(tx *chain.Tx, selected []wutxo, who string, fee chain.A
 	e.world.TxsGenerated++
 }
 
-// signPending signs every queued transaction, fanning the jobs out across
-// the configured SignWorkers. Each job computes its transaction's digests in
-// one pass and writes only that transaction's signature scripts; signatures
-// are deterministic functions of (key, digest), so the sealed block is
-// byte-identical for any worker count.
-func (e *engine) signPending() {
-	jobs := e.pendingSign
-	if len(jobs) > 0 {
-		par.ForEach(len(jobs), e.cfg.SignWorkers, func(start, end int) {
-			for _, job := range jobs[start:end] {
-				digests := chain.SigHashes(job.tx)
-				for i, k := range job.keys {
-					job.tx.Inputs[i].SigScript = script.SigScript(k.Sign(digests[i]), k.PubKey())
-				}
-			}
-		})
+// signBatch signs one block's queued transactions, fanning the jobs out
+// across the given worker count. Each job computes its transaction's digests
+// in one pass and writes only that transaction's signature scripts;
+// signatures are deterministic functions of (key, digest), so the sealed
+// block is byte-identical for any worker count — and for any interleaving of
+// blocks across the seal pipeline's pool.
+func signBatch(jobs []signJob, workers int) {
+	if len(jobs) == 0 {
+		return
 	}
-	e.pendingSign = e.pendingSign[:0]
-	clear(e.pendingInputAddrs)
+	par.ForEach(len(jobs), workers, func(start, end int) {
+		for _, job := range jobs[start:end] {
+			digests := chain.SigHashes(job.tx)
+			for i, k := range job.keys {
+				job.tx.Inputs[i].SigScript = script.SigScript(k.Sign(digests[i]), k.PubKey())
+			}
+		}
+	})
 }
 
 // pay is the common case: w pays a single recipient with default change.
@@ -579,10 +594,16 @@ func (e *engine) blockFull() bool {
 	return len(e.pending) >= e.cfg.MaxBlockTxs-1
 }
 
-// sealBlock signs the pending transactions and mines them into a block
-// credited to miner.
+// sealBlock mines the pending transactions into a block credited to miner.
+// The synchronous part is only what the builder needs before it may start
+// the next block: assembling the header (TxID excludes signature scripts, so
+// the merkle root — and therefore the new tip hash — is final while every
+// transaction is still unsigned), publishing the tip, and crediting the
+// miner. The expensive tail — the signing fan-out, ConnectBlock validation,
+// and block-sink emission — runs inline when no seal pipeline is configured,
+// and on the pipeline's pool otherwise, in which case an error from block N
+// surfaces at a later sealBlock call or at drain.
 func (e *engine) sealBlock(minerAddr address.Address) error {
-	e.signPending()
 	height := e.height
 	subsidy := e.params.SubsidyAt(height)
 	cb := chain.NewCoinbaseTx(height, subsidy+e.pendingFees, script.PayToAddr(minerAddr), nil)
@@ -590,20 +611,14 @@ func (e *engine) sealBlock(minerAddr address.Address) error {
 	blk := &chain.Block{
 		Header: chain.BlockHeader{
 			Version:    1,
-			PrevBlock:  e.chain.TipHash(),
+			PrevBlock:  e.tip,
 			MerkleRoot: chain.BlockMerkleRoot(txs),
 			Timestamp:  e.params.TimeAt(height).Unix(),
 		},
 		Txs: txs,
 	}
-	if err := e.chain.ConnectBlock(blk, false, chain.ConnectBlockOptions{}); err != nil {
-		return fmt.Errorf("econ: sealing block %d: %w", height, err)
-	}
-	if e.blockSink != nil {
-		if err := e.blockSink(blk); err != nil {
-			return fmt.Errorf("econ: emitting block %d: %w", height, err)
-		}
-	}
+	e.tip = blk.BlockHash()
+	e.minted += cb.TotalOut()
 	if mw, ok := e.walletOf[minerAddr]; ok && subsidy+e.pendingFees > 0 {
 		mw.utxos = append(mw.utxos, wutxo{
 			op:       chain.OutPoint{TxID: cb.TxID(), Index: 0},
@@ -612,9 +627,35 @@ func (e *engine) sealBlock(minerAddr address.Address) error {
 			matureAt: height + e.params.CoinbaseMaturity,
 		})
 	}
+	jobs := e.pendingSign
+	clear(e.pendingInputAddrs)
 	e.pending = nil
 	e.pendingFees = 0
 	e.height++
+	if e.sealer != nil {
+		// The pipeline owns the jobs slice from here; the builder starts the
+		// next block with a fresh one.
+		e.pendingSign = nil
+		return e.sealer.submit(blk, height, jobs)
+	}
+	signBatch(jobs, e.cfg.SignWorkers)
+	e.pendingSign = jobs[:0]
+	return connectAndEmit(e.chain, e.blockSink, blk, height)
+}
+
+// connectAndEmit is the tail every sealed block goes through exactly once,
+// in height order: validation against the chain tip, then emission to the
+// block sink. It is called by sealBlock inline or by the seal pipeline's
+// committer; the wrapped errors are identical either way.
+func connectAndEmit(c *chain.Chain, sink func(*chain.Block) error, blk *chain.Block, height int64) error {
+	if err := c.ConnectBlock(blk, false, chain.ConnectBlockOptions{}); err != nil {
+		return fmt.Errorf("econ: sealing block %d: %w", height, err)
+	}
+	if sink != nil {
+		if err := sink(blk); err != nil {
+			return fmt.Errorf("econ: emitting block %d: %w", height, err)
+		}
+	}
 	return nil
 }
 

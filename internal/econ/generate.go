@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/address"
 	"repro/internal/chain"
+	"repro/internal/par"
 	"repro/internal/script"
 	"repro/internal/tags"
 )
@@ -25,35 +26,43 @@ func Generate(cfg Config) (*World, error) {
 // the framed chain format (chain.Writer) block by block as each is sealed.
 // The file is byte-identical to Chain.WriteTo over the finished chain, so
 // the measurement pipeline can stream it back (fistful's -chain mode)
-// without the economy generator and the analyst sharing memory.
-func GenerateToFile(cfg Config, path string) (*World, error) {
+// without the economy generator and the analyst sharing memory. On any
+// generation, flush, or close error the partially written file is removed:
+// a truncated chain file left behind would trip a later `-chain -reuse` run
+// with a confusing mid-stream decode error instead of a missing-file one.
+func GenerateToFile(cfg Config, path string) (w *World, err error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return nil, fmt.Errorf("econ: create chain file: %w", err)
 	}
+	defer func() {
+		if err != nil {
+			f.Close()
+			_ = os.Remove(path) // best effort; the error already aborts the run
+		}
+	}()
 	sw, err := chain.NewWriter(f)
 	if err != nil {
-		f.Close()
 		return nil, err
 	}
-	w, err := GenerateStream(cfg, sw.WriteBlock)
+	w, err = GenerateStream(cfg, sw.WriteBlock)
 	if err != nil {
-		f.Close()
 		return nil, err
 	}
-	if err := sw.Flush(); err != nil {
-		f.Close()
+	if err = sw.Flush(); err != nil {
 		return nil, fmt.Errorf("econ: flush chain file: %w", err)
 	}
-	if err := f.Close(); err != nil {
+	if err = f.Close(); err != nil {
 		return nil, fmt.Errorf("econ: close chain file: %w", err)
 	}
 	return w, nil
 }
 
 // GenerateStream is Generate with a per-block sink: sink (when non-nil) is
-// called once per sealed block, in height order, before generation moves on
-// to the next block.
+// called once per sealed block, in strict height order. With the seal
+// pipeline active (Config.PipelineDepth != 1) the sink runs on the
+// pipeline's committer goroutine, up to PipelineDepth blocks behind the
+// builder; it is never called concurrently with itself.
 func GenerateStream(cfg Config, sink func(*chain.Block) error) (*World, error) {
 	if cfg.Blocks < 100 {
 		return nil, fmt.Errorf("econ: need at least 100 blocks, got %d", cfg.Blocks)
@@ -63,6 +72,9 @@ func GenerateStream(cfg Config, sink func(*chain.Block) error) (*World, error) {
 	}
 	e := newEngine(cfg)
 	e.blockSink = sink
+	if depth := par.Workers(cfg.PipelineDepth); depth > 1 {
+		e.sealer = newSealPipeline(e.chain, sink, depth)
+	}
 	e.world.BlocksPerDay = blocksPerDay(e.params.BlockInterval.Seconds())
 	e.world.CaseScale = float64(e.projectedSupply()/1e8) / realSupply2013BTC
 
@@ -73,10 +85,31 @@ func GenerateStream(cfg Config, sink func(*chain.Block) error) (*World, error) {
 	}
 	e.setupResearcher()
 
-	for h := int64(0); h < cfg.Blocks; h++ {
+	err := e.buildBlocks()
+	if e.sealer != nil {
+		// Always drain, success or not: a seal error from the last few
+		// blocks surfaces here, and no pipeline goroutine may outlive
+		// generation.
+		if derr := e.sealer.drain(); err == nil {
+			err = derr
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	e.finalizeWorld()
+	return e.world, nil
+}
+
+// buildBlocks runs the per-block simulation loop, sealing each block as it
+// fills. It returns the first build or seal error; under the seal pipeline
+// the caller must still drain the sealer afterwards.
+func (e *engine) buildBlocks() error {
+	for h := int64(0); h < e.cfg.Blocks; h++ {
 		// e.height is advanced by sealBlock; assert the invariant cheaply.
 		if e.height != h {
-			return nil, fmt.Errorf("econ: height skew %d != %d", e.height, h)
+			return fmt.Errorf("econ: height skew %d != %d", e.height, h)
 		}
 		for _, fn := range e.scheduled[h] {
 			fn()
@@ -91,12 +124,10 @@ func GenerateStream(cfg Config, sink func(*chain.Block) error) (*World, error) {
 		e.mixPayoutTick()
 		e.peelJobTick()
 		if err := e.sealBlock(e.minerAddrFor()); err != nil {
-			return nil, err
+			return err
 		}
 	}
-
-	e.finalizeWorld()
-	return e.world, nil
+	return nil
 }
 
 func blocksPerDay(blockSeconds float64) int64 {

@@ -10,12 +10,16 @@ import (
 // block hashes, same serialized bytes (which also covers every signature
 // script). Run under -race this shakes out unsynchronized sharing between
 // the per-block signing jobs. Exercised at two scales so the fan-out chunks
-// hold both single and multiple jobs per worker.
+// hold both single and multiple jobs per worker. PipelineDepth is pinned to
+// 1: SignWorkers only drives the inline seal path (the seal pipeline signs
+// cross-block instead), and that is the path this test must keep covering.
 func TestParallelSigningByteIdentical(t *testing.T) {
 	small := Small()
 	small.Blocks, small.Users = 300, 60
+	small.PipelineDepth = 1
 	larger := Small()
 	larger.Blocks, larger.Users = 600, 120
+	larger.PipelineDepth = 1
 	configs := []struct {
 		name string
 		cfg  Config

@@ -194,7 +194,7 @@ func (e *engine) dissolveHotWallet(sr *Actor) {
 	// Trim the hot balance to the configured share of minted supply (the
 	// paper's "5% of all generated bitcoins"); any excess becomes operating
 	// float in a sub-wallet.
-	if minted := e.chain.CoinsCreated(); minted > 0 && e.cfg.HotWalletShare > 0 {
+	if minted := e.minted; minted > 0 && e.cfg.HotWalletShare > 0 {
 		target := chain.Amount(float64(minted) * e.cfg.HotWalletShare)
 		if hotU.value > target+chain.BTC(1) && len(sr.Wallets) > 1 {
 			excess := hotU.value - target
@@ -206,7 +206,7 @@ func (e *engine) dissolveHotWallet(sr *Actor) {
 	}
 	total = hotU.value
 	d.TotalReceived = total
-	if minted := e.chain.CoinsCreated(); minted > 0 {
+	if minted := e.minted; minted > 0 {
 		d.SupplyShare = float64(total) / float64(minted)
 	}
 

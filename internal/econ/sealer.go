@@ -1,0 +1,147 @@
+package econ
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/chain"
+)
+
+// sealPipeline runs the expensive tail of block sealing — the signature
+// fan-out, ConnectBlock validation, and block-sink emission — behind the
+// block builder. Tx.TxID excludes signature scripts (PR 2), so the merkle
+// root, the coinbase, and therefore the tip hash of block N are all final
+// before a single signature exists; sealBlock publishes the new tip
+// synchronously and hands the block here, and the engine starts building
+// block N+1 immediately.
+//
+// The pipeline is bounded: at most `depth` blocks are in flight, each owned
+// by one signing worker of a `depth`-sized pool (the cross-block concurrency
+// of the pool IS the signing fan-out in pipelined mode), and a single
+// committer connects and emits blocks in strict height order, so the
+// resident chain and any framed chain file are byte-identical to the
+// sequential seal path. Seal errors are sticky: they surface at the next
+// submit call or at drain, whichever comes first.
+type sealPipeline struct {
+	chain *chain.Chain
+	sink  func(*chain.Block) error
+
+	// slots bounds the number of in-flight blocks to the pipeline depth;
+	// submit acquires, the committer releases. Both stage channels are
+	// buffered to the same depth, so a submit that holds a slot never blocks
+	// on a channel send.
+	slots   chan struct{}
+	signCh  chan *sealedBlock
+	orderCh chan *sealedBlock
+
+	signers   sync.WaitGroup
+	committed chan struct{} // closed when the committer exits
+
+	failed   atomic.Bool
+	mu       sync.Mutex
+	firstErr error
+}
+
+// sealedBlock is one unit of pipeline work: a fully assembled (but unsigned)
+// block plus the signing jobs of its transactions.
+type sealedBlock struct {
+	blk    *chain.Block
+	height int64
+	jobs   []signJob
+	signed chan struct{} // closed by the signing pool once every script is in place
+}
+
+// newSealPipeline starts the signing pool and the committer. depth must be
+// at least 2; a depth of 1 is the engine's inline seal path, not a pipeline.
+func newSealPipeline(c *chain.Chain, sink func(*chain.Block) error, depth int) *sealPipeline {
+	s := &sealPipeline{
+		chain:     c,
+		sink:      sink,
+		slots:     make(chan struct{}, depth),
+		signCh:    make(chan *sealedBlock, depth),
+		orderCh:   make(chan *sealedBlock, depth),
+		committed: make(chan struct{}),
+	}
+	s.signers.Add(depth)
+	for i := 0; i < depth; i++ {
+		go s.signLoop()
+	}
+	go s.commitLoop()
+	return s
+}
+
+// submit hands one built block to the pipeline, blocking while `depth`
+// blocks are already in flight (backpressure keeps the builder at most
+// `depth` blocks ahead of validation). If an earlier block failed to seal,
+// the error is returned here instead — the block is dropped, and the caller
+// aborts generation.
+func (s *sealPipeline) submit(blk *chain.Block, height int64, jobs []signJob) error {
+	if s.failed.Load() {
+		return s.err()
+	}
+	sb := &sealedBlock{blk: blk, height: height, jobs: jobs, signed: make(chan struct{})}
+	s.slots <- struct{}{}
+	s.signCh <- sb
+	s.orderCh <- sb
+	return nil
+}
+
+// drain waits for every in-flight block to be signed, validated, and
+// emitted, shuts the pipeline down, and returns the first seal error (nil
+// when the whole chain sealed cleanly). No pipeline goroutine outlives a
+// drain call.
+func (s *sealPipeline) drain() error {
+	close(s.signCh)
+	close(s.orderCh)
+	<-s.committed
+	s.signers.Wait()
+	return s.err()
+}
+
+// signLoop is one worker of the signing pool. Signatures are deterministic
+// functions of (key, digest) and each block's jobs touch only that block's
+// transactions, so pool workers need no coordination beyond the channel.
+func (s *sealPipeline) signLoop() {
+	defer s.signers.Done()
+	for sb := range s.signCh {
+		if !s.failed.Load() { // after a failure only unblock the committer
+			signBatch(sb.jobs, 1)
+		}
+		close(sb.signed)
+	}
+}
+
+// commitLoop validates and emits blocks in submission (height) order,
+// waiting for each block's signatures first. After a failure it keeps
+// draining — releasing slots so a builder blocked in submit can observe the
+// error — but connects and emits nothing further.
+func (s *sealPipeline) commitLoop() {
+	defer close(s.committed)
+	for sb := range s.orderCh {
+		<-sb.signed
+		if !s.failed.Load() {
+			if err := connectAndEmit(s.chain, s.sink, sb.blk, sb.height); err != nil {
+				s.fail(err)
+			}
+		}
+		<-s.slots
+	}
+}
+
+// fail records the first error and flips the sticky failure flag; the order
+// (error first, flag second) guarantees a submit that observes the flag
+// reads a non-nil error.
+func (s *sealPipeline) fail(err error) {
+	s.mu.Lock()
+	if s.firstErr == nil {
+		s.firstErr = err
+	}
+	s.mu.Unlock()
+	s.failed.Store(true)
+}
+
+func (s *sealPipeline) err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.firstErr
+}

@@ -1,0 +1,234 @@
+package econ
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/chain"
+)
+
+// The seal-pipeline contract: any PipelineDepth produces a world that is
+// byte-identical to the fully inline sequential seal path — same chain
+// bytes, same framed file, same ground truth. Run under -race this shakes
+// out unsynchronized sharing between the builder, the signing pool, and the
+// committer. Exercised at two scales and at several depths (including 0 =
+// one per CPU) so the pipeline holds both one and many blocks in flight.
+func TestSealPipelineByteIdentical(t *testing.T) {
+	small := Small()
+	small.Blocks, small.Users = 300, 60
+	larger := Small()
+	larger.Blocks, larger.Users = 600, 120
+	configs := []struct {
+		name string
+		cfg  Config
+	}{
+		{"small", small},
+		{"larger", larger},
+	}
+	for _, tc := range configs {
+		t.Run(tc.name, func(t *testing.T) {
+			seqCfg := tc.cfg
+			seqCfg.PipelineDepth = 1
+			seq, err := Generate(seqCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, depth := range []int{2, 4, 0} {
+				pipeCfg := tc.cfg
+				pipeCfg.PipelineDepth = depth
+				pipe, err := Generate(pipeCfg)
+				if err != nil {
+					t.Fatalf("depth=%d: %v", depth, err)
+				}
+				compareChains(t, depth, seq, pipe)
+				compareWorlds(t, depth, seq, pipe)
+			}
+		})
+	}
+}
+
+// TestSealPipelineToFileByteIdentical is the framed-file counterpart: the
+// chain file a pipelined GenerateToFile emits (blocks framed by the
+// committer as they seal) must be byte-identical to the inline path's, at
+// two scales and several depths.
+func TestSealPipelineToFileByteIdentical(t *testing.T) {
+	small := Small()
+	small.Blocks, small.Users = 300, 60
+	larger := Small()
+	larger.Blocks, larger.Users = 600, 120
+	configs := []struct {
+		name string
+		cfg  Config
+	}{
+		{"small", small},
+		{"larger", larger},
+	}
+	for _, tc := range configs {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			writeAt := func(depth int) []byte {
+				t.Helper()
+				c := tc.cfg
+				c.PipelineDepth = depth
+				path := filepath.Join(dir, fmt.Sprintf("chain-depth%d.bin", depth))
+				w, err := GenerateToFile(c, path)
+				if err != nil {
+					t.Fatalf("depth=%d: %v", depth, err)
+				}
+				data, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatalf("depth=%d: %v", depth, err)
+				}
+				// The file must also match the resident chain's own
+				// serialization.
+				var buf bytes.Buffer
+				if _, err := w.Chain.WriteTo(&buf); err != nil {
+					t.Fatalf("depth=%d: %v", depth, err)
+				}
+				if !bytes.Equal(data, buf.Bytes()) {
+					t.Fatalf("depth=%d: framed file differs from resident chain serialization", depth)
+				}
+				return data
+			}
+
+			seq := writeAt(1)
+			for _, depth := range []int{3, 0} {
+				if !bytes.Equal(seq, writeAt(depth)) {
+					t.Fatalf("depth=%d: framed chain file differs from sequential path", depth)
+				}
+			}
+		})
+	}
+}
+
+// compareWorlds checks the generation ground truth the chain bytes do not
+// cover: ownership, tags, counters, and the scripted case-study records
+// (whose amounts depend on the engine's minted-coins tracking).
+func compareWorlds(t *testing.T, depth int, seq, pipe *World) {
+	t.Helper()
+	if pipe.TxsGenerated != seq.TxsGenerated {
+		t.Fatalf("depth=%d: TxsGenerated %d, sequential %d", depth, pipe.TxsGenerated, seq.TxsGenerated)
+	}
+	if pipe.ResearcherTxCount != seq.ResearcherTxCount {
+		t.Fatalf("depth=%d: ResearcherTxCount %d, sequential %d", depth, pipe.ResearcherTxCount, seq.ResearcherTxCount)
+	}
+	if !reflect.DeepEqual(pipe.OwnerOf, seq.OwnerOf) {
+		t.Fatalf("depth=%d: ground-truth ownership differs", depth)
+	}
+	if !reflect.DeepEqual(pipe.Tags.All(), seq.Tags.All()) {
+		t.Fatalf("depth=%d: researcher tags differ", depth)
+	}
+	if !reflect.DeepEqual(pipe.PublicTags, seq.PublicTags) {
+		t.Fatalf("depth=%d: public tags differ", depth)
+	}
+	if !reflect.DeepEqual(pipe.Dissolution, seq.Dissolution) {
+		t.Fatalf("depth=%d: dissolution record differs:\nseq: %+v\npipe: %+v",
+			depth, seq.Dissolution, pipe.Dissolution)
+	}
+	if !reflect.DeepEqual(pipe.Thefts, seq.Thefts) {
+		t.Fatalf("depth=%d: theft records differ", depth)
+	}
+}
+
+// errAfter returns a block sink failing with sentinel once the block at
+// failHeight arrives, counting the blocks it accepted.
+func errAfter(failHeight int64, sentinel error, accepted *int64) func(*chain.Block) error {
+	next := int64(0)
+	return func(b *chain.Block) error {
+		h := next
+		next++
+		if h >= failHeight {
+			return sentinel
+		}
+		*accepted++
+		return nil
+	}
+}
+
+// A block sink failing at block k must abort generation with a wrapped,
+// height-attributed error on both seal paths — inline, where the error
+// surfaces at that block's own seal, and pipelined, where it surfaces at a
+// later seal call or at drain — and must leave no pipeline goroutine
+// behind.
+func TestBlockSinkErrorPropagation(t *testing.T) {
+	cfg := Small()
+	cfg.Blocks, cfg.Users = 300, 60
+	const failAt = 150
+	for _, depth := range []int{1, 4} {
+		t.Run(fmt.Sprintf("depth%d", depth), func(t *testing.T) {
+			c := cfg
+			c.PipelineDepth = depth
+			sentinel := errors.New("sink exploded")
+			var accepted int64
+			before := runtime.NumGoroutine()
+			w, err := GenerateStream(c, errAfter(failAt, sentinel, &accepted))
+			if err == nil {
+				t.Fatal("generation succeeded despite failing sink")
+			}
+			if w != nil {
+				t.Fatal("failed generation returned a world")
+			}
+			if !errors.Is(err, sentinel) {
+				t.Fatalf("error %v does not wrap the sink error", err)
+			}
+			if want := fmt.Sprintf("emitting block %d", failAt); !strings.Contains(err.Error(), want) {
+				t.Fatalf("error %q lacks height attribution %q", err, want)
+			}
+			if accepted != failAt {
+				t.Fatalf("sink accepted %d blocks before failing, want %d", accepted, failAt)
+			}
+			waitForGoroutines(t, before)
+		})
+	}
+}
+
+// waitForGoroutines fails the test if the goroutine count does not settle
+// back to the pre-generation level — a leaked signing or committer
+// goroutine would hold it up.
+func waitForGoroutines(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutines did not settle: %d > %d\n%s",
+				runtime.NumGoroutine(), before, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// A generation error inside GenerateToFile must not leave a partial chain
+// file behind: a later `-chain -reuse` run would trip over the truncated
+// frame instead of a clean missing-file error.
+func TestGenerateToFileRemovesPartialFileOnError(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "chain.bin")
+	cfg := Small()
+	cfg.Blocks = 10 // rejected by GenerateStream's validation
+	if _, err := GenerateToFile(cfg, path); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+	if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("partial chain file left behind (stat err = %v)", err)
+	}
+}
+
+// A create failure must surface before the cleanup path is armed: nothing
+// was written, so there is nothing to close or remove.
+func TestGenerateToFileCreateError(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "missing-dir", "chain.bin")
+	if _, err := GenerateToFile(Small(), path); err == nil {
+		t.Fatal("create into a missing directory succeeded")
+	}
+}

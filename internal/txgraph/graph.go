@@ -117,7 +117,15 @@ type Graph struct {
 	// derivable at any transaction without replaying the prefix, which is
 	// what lets the Heuristic 2 scan shard across workers.
 	firstSelfChange []TxSeq
-	height          int64
+	// firstReuse is, per address, the first transaction strictly after the
+	// address's first appearance that pays it again, or NoTx if the address
+	// is never reused. It is the same pre-pass family as firstSelfChange:
+	// the change classifier's temporal replay asks "when was this candidate
+	// first reused?" only at the candidate's first appearance, so the
+	// per-address answer replaces a linear receive-list walk with an O(1)
+	// lookup (see cluster.firstNonExemptReuse).
+	firstReuse []TxSeq
+	height     int64
 }
 
 // Build indexes every transaction in the chain using one worker per CPU for
@@ -232,6 +240,30 @@ func (g *Graph) buildSelfChangeIndex(workers int) {
 	})
 }
 
+// buildFirstReuseIndex computes firstReuse from the CSR receive lists:
+// workers scan disjoint address ranges, and each address's answer is the
+// first entry of its (seq-ascending) receive list strictly greater than its
+// first appearance. The list's leading entries can only equal firstSeen (an
+// address is interned at its first appearance, which for receive lists is
+// tx granularity), so the scan inspects at most one transaction's worth of
+// duplicates before answering — O(1) amortized per address.
+func (g *Graph) buildFirstReuseIndex(workers int) {
+	n := len(g.addrs)
+	g.firstReuse = make([]TxSeq, n)
+	par.ForEach(n, workers, func(start, end int) {
+		for id := start; id < end; id++ {
+			first := g.firstSeen[id]
+			g.firstReuse[id] = NoTx
+			for _, r := range g.Recvs(AddrID(id)) {
+				if r > first {
+					g.firstReuse[id] = r
+					break
+				}
+			}
+		}
+	})
+}
+
 // txHasInputAddr reports whether id appears among the transaction's inputs.
 func txHasInputAddr(tx *TxInfo, id AddrID) bool {
 	for _, in := range tx.InputAddrs {
@@ -311,6 +343,12 @@ func (g *Graph) FirstSeen(id AddrID) TxSeq { return g.firstSeen[id] }
 // build, so "had this address self-change history as of tx seq" is the O(1)
 // comparison FirstSelfChange(id) < seq.
 func (g *Graph) FirstSelfChange(id AddrID) TxSeq { return g.firstSelfChange[id] }
+
+// FirstReuse returns the first transaction strictly after the address's
+// first appearance that pays the address again, or NoTx if it is never
+// reused. Precomputed by the build; the change classifier's temporal replay
+// reads it instead of walking the receive list per candidate.
+func (g *Graph) FirstReuse(id AddrID) TxSeq { return g.firstReuse[id] }
 
 // IsSink reports whether the address has received coins but never spent any
 // — the "sink" addresses the paper counts toward its upper bound on users

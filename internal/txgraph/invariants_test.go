@@ -139,3 +139,31 @@ func TestSinkDefinition(t *testing.T) {
 		t.Fatal("economy produced no sink addresses")
 	}
 }
+
+// Invariant: FirstReuse is the first receive strictly after the address's
+// first appearance — exactly what a linear walk of the receive list finds —
+// and NoTx for never-reused addresses. At least some addresses in a real
+// economy must be reused (dice betting addresses, service deposit accounts).
+func TestFirstReuseMatchesReceiveLists(t *testing.T) {
+	_, g := econGraph(t)
+	reused := 0
+	for id := 0; id < g.NumAddrs(); id++ {
+		aid := txgraph.AddrID(id)
+		want := txgraph.NoTx
+		for _, r := range g.Recvs(aid) {
+			if r > g.FirstSeen(aid) {
+				want = r
+				break
+			}
+		}
+		if got := g.FirstReuse(aid); got != want {
+			t.Fatalf("addr %d: FirstReuse %d, receive-list walk %d", id, got, want)
+		}
+		if want != txgraph.NoTx {
+			reused++
+		}
+	}
+	if reused == 0 {
+		t.Fatal("economy produced no reused addresses")
+	}
+}

@@ -103,6 +103,7 @@ func buildStream(src chain.BlockSource, workers, window int) (*Graph, error) {
 	}
 	g.buildAppearanceIndex()
 	g.buildSelfChangeIndex(w)
+	g.buildFirstReuseIndex(w)
 	return g, nil
 }
 
