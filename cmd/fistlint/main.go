@@ -1,0 +1,358 @@
+// Command fistlint runs the repo's project-specific static analyzers
+// (internal/lint): detrange, parcapture, atomicmix, errflow — the
+// determinism and shard-safety invariants the measurement pipeline depends
+// on, promoted from test-time (-race determinism tests) to compile-time.
+//
+// It runs two ways:
+//
+//	fistlint ./...                      # standalone, loads packages itself
+//	go vet -vettool=$(which fistlint) ./...   # as a vet tool
+//
+// In vet-tool mode it speaks the go vet "unitchecker" protocol: go vet
+// hands it a *.cfg JSON file per package (source file list plus export
+// data for every import) and expects diagnostics on stderr with exit
+// status 2. Both modes use only the standard library — package loading
+// rides on `go list -export`, and imports are typechecked from compiler
+// export data, never source.
+//
+// Test files are not analyzed: the determinism invariants are about
+// pipeline output, and tests assert them rather than produce them.
+//
+// Findings are suppressed line-by-line with a mandatory reason:
+//
+//	//lint:ignore fistlint/<analyzer> reason
+package main
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	args := os.Args[1:]
+	// go vet fingerprints the tool with -V=full before using it; the reply
+	// must be "<name> version <...>", and for a "devel" version the final
+	// field must carry a buildID go vet can use as a result-cache key, so
+	// hash the binary itself: rebuilding fistlint invalidates cached vet
+	// verdicts.
+	if len(args) == 1 && strings.HasPrefix(args[0], "-V") {
+		fmt.Printf("fistlint version devel buildID=%s\n", selfID())
+		return
+	}
+	// go vet also probes the tool's flag set with -flags and expects a JSON
+	// array of flag definitions; fistlint exposes no tool flags.
+	if len(args) == 1 && args[0] == "-flags" {
+		fmt.Println("[]")
+		return
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(unitcheck(args[0]))
+	}
+	os.Exit(standalone(args))
+}
+
+// exitUsage mirrors go vet's convention: 0 clean, 1 usage/internal error,
+// 2 diagnostics reported.
+const (
+	exitClean = 0
+	exitError = 1
+	exitDiags = 2
+)
+
+// selfID derives an actionID/contentID pair from the executable's bytes.
+func selfID() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "unknown/unknown"
+	}
+	data, err := os.ReadFile(exe)
+	if err != nil {
+		return "unknown/unknown"
+	}
+	sum := sha256.Sum256(data)
+	return fmt.Sprintf("%x/%x", sum[:12], sum[:12])
+}
+
+// ---------------------------------------------------------------------------
+// vet-tool mode (unitchecker protocol)
+
+// vetConfig is the JSON the go command writes for each package unit; the
+// field set mirrors x/tools' unitchecker.Config, which is the protocol's
+// de-facto spec.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+func unitcheck(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fistlint: %v\n", err)
+		return exitError
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "fistlint: parse %s: %v\n", cfgPath, err)
+		return exitError
+	}
+	// The go command caches and re-feeds the facts file to dependents; it
+	// must exist even though fistlint's analyzers exchange no facts.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "fistlint: write facts: %v\n", err)
+			return exitError
+		}
+	}
+	if cfg.VetxOnly {
+		return exitClean
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return exitClean
+			}
+			fmt.Fprintf(os.Stderr, "fistlint: %v\n", err)
+			return exitError
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return exitClean
+	}
+
+	compilerImp := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		path, ok := cfg.ImportMap[importPath]
+		if !ok {
+			return nil, fmt.Errorf("can't resolve import %q", importPath)
+		}
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return compilerImp.Import(path)
+	})
+
+	diags, err := check(fset, files, cfg.ImportPath, imp, cfg.GoVersion)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return exitClean
+		}
+		fmt.Fprintf(os.Stderr, "fistlint: %s: %v\n", cfg.ImportPath, err)
+		return exitError
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, render(d))
+	}
+	if len(diags) > 0 {
+		return exitDiags
+	}
+	return exitClean
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// ---------------------------------------------------------------------------
+// standalone mode
+
+// listPkg is the slice of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+	Export     string
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+func standalone(patterns []string) int {
+	for _, p := range patterns {
+		if strings.HasPrefix(p, "-") {
+			fmt.Fprintf(os.Stderr, "usage: fistlint [packages]\n   or: go vet -vettool=$(which fistlint) [packages]\n")
+			return exitError
+		}
+	}
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := goList(patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fistlint: %v\n", err)
+		return exitError
+	}
+
+	fset := token.NewFileSet()
+	exportFile := make(map[string]string) // import path -> export data file
+	checked := make(map[string]*types.Package)
+	gcImp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exportFile[path]
+		if !ok || file == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(path string) (*types.Package, error) {
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		if pkg, ok := checked[path]; ok {
+			return pkg, nil
+		}
+		return gcImp.Import(path)
+	})
+
+	found := 0
+	for _, p := range pkgs {
+		if p.Error != nil {
+			fmt.Fprintf(os.Stderr, "fistlint: %s: %s\n", p.ImportPath, p.Error.Err)
+			return exitError
+		}
+		exportFile[p.ImportPath] = p.Export
+		if p.DepOnly || p.Standard {
+			continue
+		}
+		var files []*ast.File
+		for _, name := range p.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "fistlint: %v\n", err)
+				return exitError
+			}
+			files = append(files, f)
+		}
+		if len(files) == 0 {
+			continue
+		}
+		diags, pkg, err := checkPkg(fset, files, p.ImportPath, imp)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fistlint: %s: %v\n", p.ImportPath, err)
+			return exitError
+		}
+		checked[p.ImportPath] = pkg
+		for _, d := range diags {
+			fmt.Println(render(d))
+			found++
+		}
+	}
+	if found > 0 {
+		fmt.Fprintf(os.Stderr, "fistlint: %d finding(s)\n", found)
+		return exitDiags
+	}
+	return exitClean
+}
+
+// goList runs `go list -e -deps -export -json` over the patterns; -deps
+// emits dependencies before dependents, so every import of a target package
+// is resolvable (from source or export data) by the time it is reached.
+func goList(patterns []string) ([]listPkg, error) {
+	args := append([]string{"list", "-e", "-deps", "-export", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %w\n%s", err, stderr.String())
+	}
+	var pkgs []listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %w", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// ---------------------------------------------------------------------------
+// shared typecheck-and-run core
+
+func check(fset *token.FileSet, files []*ast.File, path string, imp types.Importer, goVersion string) ([]lint.Diagnostic, error) {
+	info := newInfo()
+	conf := types.Config{Importer: imp, GoVersion: goVersion}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	return lint.Run(fset, files, pkg, info, lint.All())
+}
+
+func checkPkg(fset *token.FileSet, files []*ast.File, path string, imp types.Importer) ([]lint.Diagnostic, *types.Package, error) {
+	info := newInfo()
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, nil, err
+	}
+	diags, err := lint.Run(fset, files, pkg, info, lint.All())
+	return diags, pkg, err
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// render formats one diagnostic, with file paths relative to the working
+// directory when possible (matching go vet's output style).
+func render(d lint.Diagnostic) string {
+	name := d.Pos.Filename
+	if wd, err := os.Getwd(); err == nil {
+		if rel, err := filepath.Rel(wd, name); err == nil && !strings.HasPrefix(rel, "..") {
+			name = rel
+		}
+	}
+	return fmt.Sprintf("%s:%d:%d: fistlint/%s: %s", name, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}

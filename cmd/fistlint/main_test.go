@@ -1,0 +1,144 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTool compiles the fistlint binary once into a temp dir and returns
+// its absolute path.
+func buildTool(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "fistlint")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build fistlint: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// writeModule lays out a throwaway single-package module and returns its dir.
+func writeModule(t *testing.T, src string) string {
+	t.Helper()
+	dir := t.TempDir()
+	files := map[string]string{
+		"go.mod":     "module scratch\n\ngo 1.21\n",
+		"scratch.go": src,
+	}
+	for name, content := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// dirty has a detrange finding: fmt.Fprintln inside a range over a map.
+const dirty = `package scratch
+
+import (
+	"fmt"
+	"io"
+)
+
+func Dump(w io.Writer, m map[string]int) {
+	for k := range m {
+		fmt.Fprintln(w, k)
+	}
+}
+`
+
+// clean iterates the same map but collects and sorts first.
+const clean = `package scratch
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+func Dump(w io.Writer, m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintln(w, k)
+	}
+}
+`
+
+func runIn(dir string, name string, args ...string) (stdout, stderr string, code int) {
+	cmd := exec.Command(name, args...)
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "GOWORK=off")
+	var outBuf, errBuf strings.Builder
+	cmd.Stdout = &outBuf
+	cmd.Stderr = &errBuf
+	err := cmd.Run()
+	code = 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		code = ee.ExitCode()
+	} else if err != nil {
+		code = -1
+	}
+	return outBuf.String(), errBuf.String(), code
+}
+
+func TestVersionHandshake(t *testing.T) {
+	bin := buildTool(t)
+	out, _, code := runIn(t.TempDir(), bin, "-V=full")
+	if code != 0 {
+		t.Fatalf("fistlint -V=full: exit %d", code)
+	}
+	// go vet fingerprints tools via -V=full and requires the second field
+	// to be "version" with at least three fields total.
+	fields := strings.Fields(out)
+	if len(fields) < 3 || fields[1] != "version" {
+		t.Fatalf("handshake output %q does not match \"<name> version <...>\"", out)
+	}
+}
+
+func TestStandaloneFindsAndExits2(t *testing.T) {
+	bin := buildTool(t)
+	dir := writeModule(t, dirty)
+	out, _, code := runIn(dir, bin, "./...")
+	if code != exitDiags {
+		t.Fatalf("exit %d, want %d; stdout:\n%s", code, exitDiags, out)
+	}
+	if !strings.Contains(out, "fistlint/detrange") {
+		t.Fatalf("stdout missing detrange finding:\n%s", out)
+	}
+}
+
+func TestStandaloneCleanExits0(t *testing.T) {
+	bin := buildTool(t)
+	dir := writeModule(t, clean)
+	out, errOut, code := runIn(dir, bin, "./...")
+	if code != exitClean {
+		t.Fatalf("exit %d, want 0; stdout:\n%s\nstderr:\n%s", code, out, errOut)
+	}
+}
+
+func TestVetToolProtocol(t *testing.T) {
+	bin := buildTool(t)
+
+	dir := writeModule(t, dirty)
+	_, errOut, code := runIn(dir, "go", "vet", "-vettool="+bin, "./...")
+	if code == 0 {
+		t.Fatalf("go vet -vettool exited 0 on a package with a finding; stderr:\n%s", errOut)
+	}
+	if !strings.Contains(errOut, "fistlint/detrange") {
+		t.Fatalf("go vet stderr missing detrange finding:\n%s", errOut)
+	}
+
+	cleanDir := writeModule(t, clean)
+	_, errOut, code = runIn(cleanDir, "go", "vet", "-vettool="+bin, "./...")
+	if code != 0 {
+		t.Fatalf("go vet -vettool exited %d on a clean package; stderr:\n%s", code, errOut)
+	}
+}

@@ -1,0 +1,128 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// AtomicMix flags variables accessed both through sync/atomic and plainly.
+//
+// A counter that one goroutine bumps with atomic.AddInt64 and another reads
+// with a plain load has no defined value — the atomic call buys nothing if
+// any access bypasses it. The econ sealer's engine-tracked counters are the
+// motivating case: every access to such a field must go through sync/atomic
+// (or the field should become an atomic.Int64, which makes plain access
+// impossible to express). The analyzer collects every variable passed by
+// address to a sync/atomic function anywhere in the package and reports
+// every other plain read or write of it. Composite-literal keys (struct
+// construction) are exempt: the value is not shared until published.
+var AtomicMix = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "flags variables accessed both via sync/atomic and via plain loads/stores in the same package",
+	Run:  runAtomicMix,
+}
+
+// isAtomicOp reports whether call is a package-level sync/atomic operation
+// taking the target's address as first argument, e.g.
+// atomic.AddUint64(&x, 1). Methods on the typed atomics (atomic.Bool,
+// atomic.Pointer, ...) are excluded: their receiver is the atomic cell, and
+// a pointer argument (Pointer.Store(&v)) is a stored value, not a variable
+// being accessed atomically.
+func isAtomicOp(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	if fn.Type().(*types.Signature).Recv() != nil {
+		return false
+	}
+	for _, prefix := range []string{"Add", "And", "Or", "Load", "Store", "Swap", "CompareAndSwap"} {
+		if strings.HasPrefix(fn.Name(), prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+func runAtomicMix(pass *Pass) error {
+	info := pass.TypesInfo
+
+	// Pass 1: variables (fields or vars) whose address feeds sync/atomic,
+	// and the identifier nodes used inside those atomic arguments.
+	atomicVars := make(map[types.Object]bool)
+	inAtomicArg := make(map[*ast.Ident]bool)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicOp(info, call) || len(call.Args) == 0 {
+				return true
+			}
+			addr, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok {
+				return true
+			}
+			var target *ast.Ident
+			switch e := ast.Unparen(addr.X).(type) {
+			case *ast.Ident:
+				target = e
+			case *ast.SelectorExpr:
+				target = e.Sel
+			}
+			if target == nil {
+				return true
+			}
+			obj := info.ObjectOf(target)
+			if _, isVar := obj.(*types.Var); !isVar {
+				return true
+			}
+			atomicVars[obj] = true
+			// Exempt every identifier inside the &... argument (the base
+			// expression s in &s.f is a plain read of s, not of s.f).
+			ast.Inspect(call.Args[0], func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok {
+					inAtomicArg[id] = true
+				}
+				return true
+			})
+			return true
+		})
+	}
+	if len(atomicVars) == 0 {
+		return nil
+	}
+
+	// Pass 2: plain uses of those variables anywhere else in the package.
+	for _, file := range pass.Files {
+		inspectStack(file, func(n ast.Node, stack []ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok || inAtomicArg[id] {
+				return true
+			}
+			obj := info.Uses[id]
+			if obj == nil || !atomicVars[obj] {
+				return true
+			}
+			if isCompositeLitKey(id, stack) {
+				return true
+			}
+			pass.Reportf(id.Pos(), "%s is accessed with sync/atomic elsewhere in this package; this plain access races with the atomic ones — use sync/atomic here too, or an atomic.Int64-style typed field", obj.Name())
+			return true
+		})
+	}
+	return nil
+}
+
+// isCompositeLitKey reports whether id is the key of a composite-literal
+// element (S{counter: 0} names the field, it does not access it).
+func isCompositeLitKey(id *ast.Ident, stack []ast.Node) bool {
+	if len(stack) < 2 {
+		return false
+	}
+	kv, ok := stack[len(stack)-1].(*ast.KeyValueExpr)
+	if !ok || kv.Key != id {
+		return false
+	}
+	_, ok = stack[len(stack)-2].(*ast.CompositeLit)
+	return ok
+}

@@ -1,0 +1,247 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DetRange flags map iteration whose order can leak into pipeline output.
+//
+// Go randomizes map iteration order, so a `range` over a map that feeds an
+// ordering-sensitive sink — an append that escapes the function, a writer,
+// a rendered table row, a hash — makes output differ run to run, which is
+// exactly the property the repo's parallel≡sequential determinism tests
+// exist to forbid. Two patterns are reported:
+//
+//  1. a call to a sink (Write/WriteString/WriteBlock/AddRow/Encode methods,
+//     fmt.Fprint*/fmt.Print*) inside the body of a map range;
+//  2. an append inside a map range that accumulates into a slice declared
+//     outside the loop, when that slice later escapes (returned, ranged
+//     over, or passed to a non-sorting call) without an intervening
+//     sort.*/slices.* call.
+//
+// Order-insensitive reductions (sums, counts, writes into another map) are
+// not flagged, and sorting the accumulated slice before use clears pattern 2.
+var DetRange = &Analyzer{
+	Name: "detrange",
+	Doc:  "flags range-over-map results flowing into ordering-sensitive sinks without a deterministic sort",
+	Run:  runDetRange,
+}
+
+// detSinkMethods are method names treated as ordering-sensitive sinks when
+// called inside a map range: byte/stream writers (including chain.Writer's
+// WriteBlock and hash.Hash's Write), table rendering, and encoders.
+var detSinkMethods = map[string]bool{
+	"Write":       true,
+	"WriteString": true,
+	"WriteByte":   true,
+	"WriteRune":   true,
+	"WriteBlock":  true,
+	"AddRow":      true,
+	"Encode":      true,
+}
+
+// detSinkFmtFuncs are fmt functions that emit directly to a stream.
+var detSinkFmtFuncs = map[string]bool{
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Print": true, "Printf": true, "Println": true,
+}
+
+func runDetRange(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			detRangeFunc(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+// detRangeFunc analyzes one function body: finds map ranges, then checks
+// their bodies for sink calls and escaping append accumulations.
+func detRangeFunc(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := pass.TypesInfo.Types[rng.X]
+		if !ok || !isMapType(tv.Type) {
+			return true
+		}
+		detCheckSinks(pass, rng)
+		detCheckAppends(pass, body, rng)
+		return true
+	})
+}
+
+// detCheckSinks reports direct sink calls inside a map-range body.
+func detCheckSinks(pass *Pass, rng *ast.RangeStmt) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pass.TypesInfo, call)
+		if fn == nil {
+			return true
+		}
+		sig := fn.Type().(*types.Signature)
+		switch {
+		case sig.Recv() != nil && detSinkMethods[fn.Name()]:
+			pass.Reportf(call.Pos(), "%s.%s called inside range over map: map order is random, so emitted output is nondeterministic; iterate a sorted key slice instead", recvTypeName(sig), fn.Name())
+		case sig.Recv() == nil && pkgPathIs(fn, "fmt") && detSinkFmtFuncs[fn.Name()]:
+			pass.Reportf(call.Pos(), "fmt.%s called inside range over map: map order is random, so emitted output is nondeterministic; iterate a sorted key slice instead", fn.Name())
+		}
+		return true
+	})
+}
+
+// recvTypeName renders a method receiver's type name for diagnostics.
+func recvTypeName(sig *types.Signature) string {
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return t.String()
+}
+
+// detCheckAppends reports appends inside a map range that accumulate into an
+// outer slice which later escapes unsorted.
+func detCheckAppends(pass *Pass, body *ast.BlockStmt, rng *ast.RangeStmt) {
+	info := pass.TypesInfo
+	seen := make(map[types.Object]bool)
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok || len(as.Lhs) <= i {
+				continue
+			}
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); !ok || id.Name != "append" || info.Uses[id] != types.Universe.Lookup("append") {
+				continue
+			}
+			obj := baseIdentObj(info, as.Lhs[i])
+			if obj == nil || seen[obj] || !declaredOutside(obj, rng) {
+				continue
+			}
+			seen[obj] = true
+			if sortedAfter(info, body, rng, obj) {
+				continue
+			}
+			if escapesUnsorted(info, body, rng, obj) {
+				pass.Reportf(as.Pos(), "append to %s inside range over map accumulates in random order and %s escapes without a deterministic sort; sort it before use", obj.Name(), obj.Name())
+			}
+		}
+		return true
+	})
+}
+
+// sortedAfter reports whether obj is passed to a sort.* or slices.* call
+// after the range loop ends.
+func sortedAfter(info *types.Info, body *ast.BlockStmt, rng *ast.RangeStmt, obj types.Object) bool {
+	sorted := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if sorted {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		fn := calleeFunc(info, call)
+		if fn == nil || !(pkgPathIs(fn, "sort") || pkgPathIs(fn, "slices")) {
+			return true
+		}
+		for _, arg := range call.Args {
+			if exprMentions(info, arg, obj) {
+				sorted = true
+				return false
+			}
+		}
+		return true
+	})
+	return sorted
+}
+
+// escapesUnsorted reports whether obj's iteration-ordered contents reach
+// beyond the enclosing function after the loop: returned, ranged over,
+// spread into another append, or passed to a call other than the builtins
+// and sorting helpers that don't observe order.
+func escapesUnsorted(info *types.Info, body *ast.BlockStmt, rng *ast.RangeStmt, obj types.Object) bool {
+	escapes := false
+	inspectStack(body, func(n ast.Node, stack []ast.Node) bool {
+		if escapes {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok || info.Uses[id] != obj || id.Pos() < rng.End() {
+			return true
+		}
+		for i := len(stack) - 1; i >= 0; i-- {
+			switch outer := stack[i].(type) {
+			case *ast.ReturnStmt:
+				escapes = true
+				return false
+			case *ast.RangeStmt:
+				if exprMentions(info, outer.X, obj) {
+					escapes = true
+					return false
+				}
+			case *ast.CallExpr:
+				if callObservesOrder(info, outer, id) {
+					escapes = true
+					return false
+				}
+				// A call that doesn't observe order (len, sort, append
+				// into the same accumulator) neutralizes the value; stop
+				// climbing so e.g. t.AddRow(len(keys)) is not an escape.
+				return true
+			}
+		}
+		return true
+	})
+	return escapes
+}
+
+// callObservesOrder reports whether passing id to call lets the callee see
+// element order: true for ordinary calls, false for len/cap/delete and for
+// append when id is the accumulation target (first argument).
+func callObservesOrder(info *types.Info, call *ast.CallExpr, id *ast.Ident) bool {
+	fn, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if ok {
+		switch obj := info.Uses[fn]; obj {
+		case types.Universe.Lookup("len"), types.Universe.Lookup("cap"), types.Universe.Lookup("delete"):
+			return false
+		case types.Universe.Lookup("append"):
+			// append(s, ...) grows the accumulator; order escapes only when
+			// s is spread into a different slice (not the first argument).
+			return len(call.Args) == 0 || !exprMentions(info, call.Args[0], info.Uses[id])
+		}
+	}
+	if f := calleeFunc(info, call); f != nil && (pkgPathIs(f, "sort") || pkgPathIs(f, "slices")) {
+		return false
+	}
+	return true
+}
+
+// exprMentions reports whether expr contains an identifier bound to obj.
+func exprMentions(info *types.Info, expr ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

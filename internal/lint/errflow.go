@@ -1,0 +1,160 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+)
+
+// ErrFlow enforces the repo's two error-propagation conventions.
+//
+//  1. Errors crossing boundaries are wrapped with %w, never flattened with
+//     %v/%s: fmt.Errorf("...: %v", err) severs the chain, so callers lose
+//     errors.Is/errors.As — the streaming chain reader's typed truncation
+//     errors are matched exactly that way in tests and callers.
+//  2. Goroutines must not drop errors: work that can fail runs through
+//     par.Group (or an errgroup) so Wait surfaces the first failure. A bare
+//     `go f()` where f returns an error, or a discarded error inside a
+//     `go func(){...}` body, silently loses the failure.
+//
+// Only arguments whose static type is exactly `error` are checked by rule 1;
+// formatting a concrete error type with %v is assumed deliberate.
+var ErrFlow = &Analyzer{
+	Name: "errflow",
+	Doc:  "flags error args formatted without %w and goroutine errors that are dropped instead of propagated",
+	Run:  runErrFlow,
+}
+
+func runErrFlow(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkErrorfWrap(pass, n)
+			case *ast.GoStmt:
+				checkGoDiscard(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkErrorfWrap verifies that every exactly-error-typed argument of a
+// fmt.Errorf call is matched to a %w verb.
+func checkErrorfWrap(pass *Pass, call *ast.CallExpr) {
+	info := pass.TypesInfo
+	if !isPkgFunc(info, call, "fmt", "Errorf") || len(call.Args) < 2 {
+		return
+	}
+	tv, ok := info.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return
+	}
+	verbs := formatVerbs(constant.StringVal(tv.Value))
+	for i, arg := range call.Args[1:] {
+		if i >= len(verbs) {
+			break
+		}
+		at, ok := info.Types[arg]
+		if !ok || !isErrorType(at.Type) {
+			continue
+		}
+		if v := verbs[i]; v == 'v' || v == 's' {
+			pass.Reportf(arg.Pos(), "error argument formatted with %%%c severs the error chain; wrap it with %%w so callers can errors.Is/errors.As", v)
+		}
+	}
+}
+
+// formatVerbs extracts the verb letter consuming each successive argument
+// of a Printf-style format string. A '*' width or precision consumes an
+// argument of its own and is recorded as '*'.
+func formatVerbs(format string) []rune {
+	var verbs []rune
+	runes := []rune(format)
+	for i := 0; i < len(runes); i++ {
+		if runes[i] != '%' {
+			continue
+		}
+		i++
+		if i < len(runes) && runes[i] == '%' {
+			continue
+		}
+		// flags, width, precision — a '*' in either consumes an argument.
+		for i < len(runes) {
+			c := runes[i]
+			if c == '*' {
+				verbs = append(verbs, '*')
+				i++
+				continue
+			}
+			if c == '+' || c == '-' || c == '#' || c == ' ' || c == '0' || c == '.' || (c >= '0' && c <= '9') {
+				i++
+				continue
+			}
+			break
+		}
+		if i < len(runes) {
+			verbs = append(verbs, runes[i])
+		}
+	}
+	return verbs
+}
+
+// checkGoDiscard flags errors lost at a go statement: either the spawned
+// call itself returns an error nobody can see, or the goroutine body
+// discards one.
+func checkGoDiscard(pass *Pass, g *ast.GoStmt) {
+	info := pass.TypesInfo
+	lit, isLit := ast.Unparen(g.Call.Fun).(*ast.FuncLit)
+	if !isLit {
+		if results := resultTypes(info, g.Call); len(results) > 0 && isErrorType(results[len(results)-1]) {
+			pass.Reportf(g.Pos(), "go discards the callee's error result; run it through a par.Group so Wait can surface the failure")
+		}
+		return
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if inner, ok := n.(*ast.FuncLit); ok && inner != lit {
+			return false // nested closures have their own call sites
+		}
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok {
+				if results := resultTypes(info, call); len(results) > 0 && isErrorType(results[len(results)-1]) {
+					pass.Reportf(call.Pos(), "error result dropped inside a goroutine; propagate it through a par.Group (or handle it explicitly)")
+				}
+			}
+			return false
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok || id.Name != "_" {
+					continue
+				}
+				if blankDiscardsError(info, n, i) {
+					pass.Reportf(lhs.Pos(), "error result dropped inside a goroutine; propagate it through a par.Group (or handle it explicitly)")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// blankDiscardsError reports whether the i-th blank LHS of assign receives
+// an error value.
+func blankDiscardsError(info *types.Info, assign *ast.AssignStmt, i int) bool {
+	if len(assign.Rhs) == 1 && len(assign.Lhs) > 1 {
+		// x, _ := f(): look up f's i-th result.
+		call, ok := ast.Unparen(assign.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		results := resultTypes(info, call)
+		return i < len(results) && isErrorType(results[i])
+	}
+	if i < len(assign.Rhs) {
+		tv, ok := info.Types[assign.Rhs[i]]
+		return ok && isErrorType(tv.Type)
+	}
+	return false
+}

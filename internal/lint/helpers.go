@@ -1,0 +1,185 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// This file holds the AST/type helpers shared by the four analyzers.
+
+// inspectStack walks root like ast.Inspect but also hands fn the stack of
+// enclosing nodes (outermost first, not including n). Returning false skips
+// n's children.
+func inspectStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if !fn(n, stack) {
+			return false
+		}
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// isMapType reports whether t's underlying type is a map.
+func isMapType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// calleeFunc resolves the *types.Func a call expression invokes (function or
+// method), or nil for calls through function values, builtins, and
+// conversions.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = info.Uses[fun.Sel]
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+// pkgPathIs reports whether fn is declared in a package whose import path is
+// name or ends in "/"+name. Suffix matching keeps the analyzers working both
+// against the real tree ("repro/internal/par") and the test fixtures, whose
+// fake packages use bare paths ("par").
+func pkgPathIs(fn *types.Func, name string) bool {
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	path := fn.Pkg().Path()
+	return path == name || strings.HasSuffix(path, "/"+name)
+}
+
+// isPkgFunc reports whether call invokes the package-level function
+// pkg.name (pkg matched by pkgPathIs).
+func isPkgFunc(info *types.Info, call *ast.CallExpr, pkg, name string) bool {
+	fn := calleeFunc(info, call)
+	return fn != nil && fn.Name() == name && pkgPathIs(fn, pkg) && fn.Type().(*types.Signature).Recv() == nil
+}
+
+// isMethod reports whether call invokes a method named name on a (pointer
+// to) named type recvType declared in package pkg.
+func isMethod(info *types.Info, call *ast.CallExpr, pkg, recvType, name string) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Name() != name || !pkgPathIs(fn, pkg) {
+		return false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return false
+	}
+	t := recv.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == recvType
+}
+
+// declaredOutside reports whether obj is declared outside node's source
+// range, i.e. node's body only captured it. Objects without a position
+// (builtins, nil) are never "captured".
+func declaredOutside(obj types.Object, node ast.Node) bool {
+	if obj == nil || !obj.Pos().IsValid() {
+		return false
+	}
+	return obj.Pos() < node.Pos() || obj.Pos() >= node.End()
+}
+
+// baseIdentObj resolves the root identifier's object of an lvalue
+// expression: x -> x, x.f.g -> x, m[k] -> m, (*p).f -> p. Returns nil when
+// the root is not a plain identifier (e.g. a call result).
+func baseIdentObj(info *types.Info, expr ast.Expr) types.Object {
+	for {
+		switch e := ast.Unparen(expr).(type) {
+		case *ast.Ident:
+			return info.ObjectOf(e)
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.SliceExpr:
+			expr = e.X
+		default:
+			return nil
+		}
+	}
+}
+
+// funcScope returns the innermost enclosing function node (FuncDecl or
+// FuncLit) from a stack, or nil at package level.
+func funcScope(stack []ast.Node) ast.Node {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.FuncLit, *ast.FuncDecl:
+			return stack[i]
+		}
+	}
+	return nil
+}
+
+// callsMethodNamed reports whether any call to a method with the given name
+// appears under root (used for the crude but effective "this closure takes a
+// lock" exemption in parcapture).
+func callsMethodNamed(info *types.Info, root ast.Node, name string) bool {
+	found := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := calleeFunc(info, call); fn != nil && fn.Name() == name && fn.Type().(*types.Signature).Recv() != nil {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// errorType is the predeclared error interface.
+var errorType = types.Universe.Lookup("error").Type()
+
+// isErrorType reports whether t is exactly the error interface.
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Identical(t, errorType)
+}
+
+// resultTypes returns the result types of the function a call invokes, or
+// nil when the callee's type is not a signature (conversions, builtins).
+func resultTypes(info *types.Info, call *ast.CallExpr) []types.Type {
+	tv, ok := info.Types[call.Fun]
+	if !ok {
+		return nil
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	out := make([]types.Type, sig.Results().Len())
+	for i := range out {
+		out[i] = sig.Results().At(i).Type()
+	}
+	return out
+}
+
+// exprPos returns a stable reporting position for n.
+func exprPos(n ast.Node) token.Pos { return n.Pos() }

@@ -1,0 +1,160 @@
+// Package lint implements fistlint, the repo's project-specific static
+// analysis pass. It mechanically enforces the determinism and shard-safety
+// invariants the measurement pipeline depends on: parallel output must be
+// byte-identical to sequential, so map iteration must not feed
+// ordering-sensitive sinks unsorted (detrange), worker closures must not
+// mutate shared unsynchronized state (parcapture), counters must not mix
+// sync/atomic and plain access (atomicmix), and errors must cross package
+// and goroutine boundaries intact (errflow).
+//
+// The package deliberately reimplements the thin slice of
+// golang.org/x/tools/go/analysis that the four analyzers need (Analyzer,
+// Pass, diagnostics, an analysistest-style fixture runner in linttest).
+// This module carries zero external dependencies as a matter of policy —
+// see go.mod — and the x/tools analysis API is small enough that vendoring
+// a hand-rolled equivalent is cheaper than taking the dependency. The
+// shapes mirror x/tools so a future migration is mechanical.
+//
+// Diagnostics are suppressed with a staticcheck-style directive on the
+// flagged line or the line immediately above it:
+//
+//	//lint:ignore fistlint/<name> reason
+//
+// The reason is mandatory; a directive without one is itself reported.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one named check. The shape mirrors
+// golang.org/x/tools/go/analysis.Analyzer.
+type Analyzer struct {
+	// Name is the short analyzer name ("detrange"); the suppression key is
+	// "fistlint/" + Name.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer reports.
+	Doc string
+	// Run inspects the package held by pass and reports diagnostics via
+	// pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// All returns the full fistlint analyzer suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{DetRange, ParCapture, AtomicMix, ErrFlow}
+}
+
+// A Pass holds one typechecked package being analyzed by one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags []Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one finding, positioned and attributed to its analyzer.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: fistlint/%s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Run applies every analyzer to the package and returns the surviving
+// diagnostics (suppression directives applied) in file/line order.
+// Analyzer errors are returned as-is; diagnostics found before the failing
+// analyzer are kept.
+func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var all []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{Analyzer: a, Fset: fset, Files: files, Pkg: pkg, TypesInfo: info}
+		if err := a.Run(pass); err != nil {
+			return all, fmt.Errorf("fistlint/%s: %w", a.Name, err)
+		}
+		all = append(all, pass.diags...)
+	}
+	all = applyIgnores(fset, files, all)
+	sort.SliceStable(all, func(i, j int) bool {
+		if all[i].Pos.Filename != all[j].Pos.Filename {
+			return all[i].Pos.Filename < all[j].Pos.Filename
+		}
+		if all[i].Pos.Line != all[j].Pos.Line {
+			return all[i].Pos.Line < all[j].Pos.Line
+		}
+		return all[i].Pos.Column < all[j].Pos.Column
+	})
+	return all, nil
+}
+
+// ignoreRe matches one suppression directive. Comment column is irrelevant;
+// the directive may share the flagged line or sit on the line above it.
+var ignoreRe = regexp.MustCompile(`^//lint:ignore\s+(\S+)(?:\s+(.*))?$`)
+
+// ignoreKey identifies one suppressed (file, line, analyzer) cell.
+type ignoreKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// applyIgnores drops diagnostics covered by a //lint:ignore directive and
+// appends a diagnostic for any malformed directive (missing reason), so a
+// suppression can never silently decay into a reasonless one.
+func applyIgnores(fset *token.FileSet, files []*ast.File, diags []Diagnostic) []Diagnostic {
+	ignored := make(map[ignoreKey]bool)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := ignoreRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				if strings.TrimSpace(m[2]) == "" {
+					diags = append(diags, Diagnostic{
+						Analyzer: "directive",
+						Pos:      pos,
+						Message:  "//lint:ignore directive is missing a reason",
+					})
+					continue
+				}
+				for _, name := range strings.Split(m[1], ",") {
+					name = strings.TrimPrefix(strings.TrimSpace(name), "fistlint/")
+					// The directive covers its own line and the next one.
+					ignored[ignoreKey{pos.Filename, pos.Line, name}] = true
+					ignored[ignoreKey{pos.Filename, pos.Line + 1, name}] = true
+				}
+			}
+		}
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if ignored[ignoreKey{d.Pos.Filename, d.Pos.Line, d.Analyzer}] {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}

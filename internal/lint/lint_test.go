@@ -1,0 +1,177 @@
+package lint_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// typecheckSrc parses and typechecks one import-free source file.
+func typecheckSrc(t *testing.T, src string) (*token.FileSet, []*ast.File, *types.Package, *types.Info) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types: make(map[ast.Expr]types.TypeAndValue),
+		Defs:  make(map[*ast.Ident]types.Object),
+		Uses:  make(map[*ast.Ident]types.Object),
+	}
+	pkg, err := (&types.Config{}).Check("x", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	return fset, []*ast.File{f}, pkg, info
+}
+
+// incAnalyzer reports every ++/-- statement; it exists to exercise the
+// framework (suppression, ordering, error paths) with predictable findings.
+var incAnalyzer = &lint.Analyzer{
+	Name: "inc",
+	Doc:  "test analyzer flagging IncDec statements",
+	Run: func(pass *lint.Pass) error {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if id, ok := n.(*ast.IncDecStmt); ok {
+					pass.Reportf(id.Pos(), "incdec")
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+func TestAllRegistersFourAnalyzers(t *testing.T) {
+	got := lint.All()
+	want := []string{"detrange", "parcapture", "atomicmix", "errflow"}
+	if len(got) != len(want) {
+		t.Fatalf("All() returned %d analyzers, want %d", len(got), len(want))
+	}
+	for i, a := range got {
+		if a.Name != want[i] {
+			t.Errorf("All()[%d].Name = %q, want %q", i, a.Name, want[i])
+		}
+		if a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %q missing Doc or Run", a.Name)
+		}
+	}
+}
+
+func TestSuppressionCoversSameAndNextLine(t *testing.T) {
+	src := `package x
+
+func f() {
+	n := 0
+	n++
+	//lint:ignore fistlint/inc covered by directive above
+	n++
+	n++ //lint:ignore inc trailing directive, bare analyzer name
+	_ = n
+}
+`
+	fset, files, pkg, info := typecheckSrc(t, src)
+	diags, err := lint.Run(fset, files, pkg, info, []*lint.Analyzer{incAnalyzer})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1 (only the unsuppressed n++): %v", len(diags), diags)
+	}
+	if diags[0].Pos.Line != 5 {
+		t.Errorf("surviving diagnostic on line %d, want 5", diags[0].Pos.Line)
+	}
+	if !strings.Contains(diags[0].String(), "fistlint/inc") {
+		t.Errorf("String() = %q, want analyzer name included", diags[0].String())
+	}
+}
+
+func TestSuppressionForOtherAnalyzerDoesNotApply(t *testing.T) {
+	src := `package x
+
+func f() {
+	n := 0
+	//lint:ignore fistlint/detrange wrong analyzer for this finding
+	n++
+	_ = n
+}
+`
+	fset, files, pkg, info := typecheckSrc(t, src)
+	diags, err := lint.Run(fset, files, pkg, info, []*lint.Analyzer{incAnalyzer})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1 (directive names another analyzer): %v", len(diags), diags)
+	}
+}
+
+func TestMalformedDirectiveIsReported(t *testing.T) {
+	src := `package x
+
+func f() {
+	n := 0
+	//lint:ignore fistlint/inc
+	n++
+	_ = n
+}
+`
+	fset, files, pkg, info := typecheckSrc(t, src)
+	diags, err := lint.Run(fset, files, pkg, info, []*lint.Analyzer{incAnalyzer})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	var sawDirective, sawInc bool
+	for _, d := range diags {
+		switch d.Analyzer {
+		case "directive":
+			sawDirective = strings.Contains(d.Message, "missing a reason")
+		case "inc":
+			sawInc = true
+		}
+	}
+	if !sawDirective {
+		t.Errorf("missing-reason directive not reported: %v", diags)
+	}
+	if !sawInc {
+		t.Errorf("reasonless directive must not suppress the finding: %v", diags)
+	}
+}
+
+func TestDiagnosticsSortedByPosition(t *testing.T) {
+	src := `package x
+
+func g() {
+	b := 0
+	b++
+	b++
+	_ = b
+}
+
+func f() {
+	a := 0
+	a++
+	_ = a
+}
+`
+	fset, files, pkg, info := typecheckSrc(t, src)
+	diags, err := lint.Run(fset, files, pkg, info, []*lint.Analyzer{incAnalyzer})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(diags) != 3 {
+		t.Fatalf("got %d diagnostics, want 3", len(diags))
+	}
+	for i := 1; i < len(diags); i++ {
+		if diags[i-1].Pos.Line > diags[i].Pos.Line {
+			t.Errorf("diagnostics out of order: line %d before line %d", diags[i-1].Pos.Line, diags[i].Pos.Line)
+		}
+	}
+}

@@ -1,0 +1,194 @@
+// Package linttest is the analysistest counterpart for the in-tree lint
+// framework: it loads a fixture package from testdata/src/<name>, typechecks
+// it (stdlib imports resolve from source, fixture-local fakes like "par"
+// resolve from sibling testdata directories), runs one analyzer, and
+// compares the diagnostics against `// want "regexp"` comments in the
+// fixture — the same contract as golang.org/x/tools/go/analysis/analysistest.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// Run loads testdata/src/<pkg> relative to the calling test's directory,
+// applies the analyzer, and reports any mismatch between diagnostics and
+// `// want` expectations as test errors. It returns the diagnostics so
+// callers can make extra assertions.
+func Run(t *testing.T, a *lint.Analyzer, pkg string) []lint.Diagnostic {
+	t.Helper()
+	l := newLoader(t, filepath.Join("testdata", "src"))
+	fset, files, tpkg, info := l.load(pkg)
+	diags, err := lint.Run(fset, files, tpkg, info, []*lint.Analyzer{a})
+	if err != nil {
+		t.Fatalf("lint.Run(%s, %s): %v", a.Name, pkg, err)
+	}
+	checkWants(t, fset, files, diags)
+	return diags
+}
+
+// loader typechecks fixture packages, resolving imports of sibling fixture
+// directories before falling back to compiling stdlib from source (the
+// module has no external dependencies, so those are the only two cases).
+type loader struct {
+	t    *testing.T
+	root string
+	fset *token.FileSet
+	std  types.Importer
+	pkgs map[string]*fixturePkg
+}
+
+type fixturePkg struct {
+	files []*ast.File
+	pkg   *types.Package
+	info  *types.Info
+}
+
+func newLoader(t *testing.T, root string) *loader {
+	fset := token.NewFileSet()
+	return &loader{
+		t:    t,
+		root: root,
+		fset: fset,
+		std:  importer.ForCompiler(fset, "source", nil),
+		pkgs: make(map[string]*fixturePkg),
+	}
+}
+
+func (l *loader) load(path string) (*token.FileSet, []*ast.File, *types.Package, *types.Info) {
+	p := l.loadFixture(path)
+	if p == nil {
+		l.t.Fatalf("fixture package %q not found under %s", path, l.root)
+	}
+	return l.fset, p.files, p.pkg, p.info
+}
+
+// Import implements types.Importer for fixture typechecking.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if p := l.loadFixture(path); p != nil {
+		return p.pkg, nil
+	}
+	return l.std.Import(path)
+}
+
+// loadFixture parses and typechecks testdata/src/<path>, returning nil when
+// no such fixture directory exists (the import is stdlib).
+func (l *loader) loadFixture(path string) *fixturePkg {
+	if p, ok := l.pkgs[path]; ok {
+		return p
+	}
+	dir := filepath.Join(l.root, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil
+	}
+	var files []*ast.File
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, name, nil, parser.ParseComments)
+		if err != nil {
+			l.t.Fatalf("parse fixture %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		l.t.Fatalf("fixture directory %s has no Go files", dir)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: l}
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		l.t.Fatalf("typecheck fixture %s: %v", path, err)
+	}
+	p := &fixturePkg{files: files, pkg: pkg, info: info}
+	l.pkgs[path] = p
+	return p
+}
+
+var (
+	wantRe   = regexp.MustCompile(`//\s*want\s+(.*)$`)
+	wantStrs = regexp.MustCompile(`"(?:[^"\\]|\\.)*"|` + "`[^`]*`")
+)
+
+type expectation struct {
+	re      *regexp.Regexp
+	pos     string // file:line, for error messages
+	matched bool
+}
+
+// checkWants compares diagnostics against `// want "re"` comments by
+// (file, line). Each quoted string is one expected diagnostic on that line.
+func checkWants(t *testing.T, fset *token.FileSet, files []*ast.File, diags []lint.Diagnostic) {
+	t.Helper()
+	wants := make(map[string][]*expectation)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				for _, q := range wantStrs.FindAllString(m[1], -1) {
+					s, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %s: %v", key, q, err)
+					}
+					re, err := regexp.Compile(s)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", key, s, err)
+					}
+					wants[key] = append(wants[key], &expectation{re: re, pos: key})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+		found := false
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic at %s: fistlint/%s: %s", key, d.Analyzer, d.Message)
+		}
+	}
+	for _, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s: no diagnostic matched %q", w.pos, w.re)
+			}
+		}
+	}
+}

@@ -1,0 +1,262 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ParCapture flags worker closures that mutate shared state they captured.
+//
+// The pipeline's fan-outs hand closures to par.ForEach, (*par.Group).Go,
+// errgroup-style Go methods, and bare `go` statements. A closure that
+// mutates captured state races against its sibling workers — the exact bug
+// class every shard merge in PRs 1–5 was hand-audited for. Flagged:
+//
+//   - ++/-- or compound assignment (+=, |=, ...) on a captured variable or
+//     field: a read-modify-write is a race whenever any other goroutine
+//     touches the same cell;
+//   - writes into a captured map (concurrent map writes fault at runtime);
+//   - plain assignment to a captured variable or field when the closure
+//     body runs on multiple workers (par.ForEach), when the spawn site sits
+//     inside a loop (one closure per iteration, all targeting the same
+//     cell), or when two different worker closures assign the same object.
+//
+// Deliberately not flagged, because they are the repo's sanctioned
+// patterns: writes to distinct slice elements (out[i] = ... — each worker
+// owns its index range), a single one-shot closure assigning a result slot
+// it alone owns (p.Owners = ... with each Group.Go branch writing disjoint
+// fields), closures that take a mutex (any .Lock() call), closures that
+// synchronize via channel sends, and sync.Once.Do bodies.
+var ParCapture = &Analyzer{
+	Name: "parcapture",
+	Doc:  "flags closures passed to par.ForEach/Group.Go/go that mutate captured unsynchronized state",
+	Run:  runParCapture,
+}
+
+// plainWrite records one plain assignment to a captured location from a
+// one-shot worker closure; it becomes a finding only if another closure
+// assigns the same location.
+type plainWrite struct {
+	pos   token.Pos
+	lit   *ast.FuncLit
+	spawn string
+	name  string
+}
+
+// plainKey identifies the written location: the captured root variable plus
+// the selected field path. Distinct fields of one struct are distinct slots
+// (the pipeline's disjoint-field fan-out writes p.Naive and p.Owners from
+// different Group.Go branches — not a race).
+type plainKey struct {
+	obj  types.Object
+	path string
+}
+
+func runParCapture(pass *Pass) error {
+	info := pass.TypesInfo
+	plain := make(map[plainKey][]plainWrite)
+	for _, file := range pass.Files {
+		inspectStack(file, func(n ast.Node, stack []ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if !isWorkerSpawn(info, n) {
+					return true
+				}
+				// A ForEach body runs concurrently on every worker; a Go
+				// closure runs once but multiplies when spawned in a loop.
+				multi := isPkgFunc(info, n, "par", "ForEach") || inLoop(stack)
+				for _, arg := range n.Args {
+					if lit, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
+						checkWorkerLit(pass, lit, spawnName(info, n), multi, plain)
+					}
+				}
+			case *ast.GoStmt:
+				if lit, ok := ast.Unparen(n.Call.Fun).(*ast.FuncLit); ok {
+					checkWorkerLit(pass, lit, "go", inLoop(stack), plain)
+				}
+			}
+			return true
+		})
+	}
+	// Plain assignments from one-shot closures race only when two different
+	// closures target the same location.
+	for _, writes := range plain {
+		lits := make(map[*ast.FuncLit]bool)
+		for _, w := range writes {
+			lits[w.lit] = true
+		}
+		if len(lits) < 2 {
+			continue
+		}
+		for _, w := range writes {
+			pass.Reportf(w.pos, "closure passed to %s writes captured variable %s, which another concurrent closure also writes; give each closure its own slot or add synchronization", w.spawn, w.name)
+		}
+	}
+	return nil
+}
+
+// inLoop reports whether the innermost enclosing statement context (up to
+// the nearest function boundary) is a for/range loop.
+func inLoop(stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			return true
+		case *ast.FuncDecl, *ast.FuncLit:
+			return false
+		}
+	}
+	return false
+}
+
+// isWorkerSpawn reports whether call fans work out to concurrent workers:
+// par.ForEach, a Go method on a par/errgroup Group, or sync.WaitGroup.Go.
+func isWorkerSpawn(info *types.Info, call *ast.CallExpr) bool {
+	return isPkgFunc(info, call, "par", "ForEach") ||
+		isMethod(info, call, "par", "Group", "Go") ||
+		isMethod(info, call, "errgroup", "Group", "Go") ||
+		isMethod(info, call, "sync", "WaitGroup", "Go")
+}
+
+// spawnName renders the spawning callee for diagnostics.
+func spawnName(info *types.Info, call *ast.CallExpr) string {
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return "worker spawn"
+	}
+	if sig := fn.Type().(*types.Signature); sig.Recv() != nil {
+		return recvTypeName(sig) + "." + fn.Name()
+	}
+	return fn.Pkg().Name() + "." + fn.Name()
+}
+
+// checkWorkerLit flags captured-state mutation inside one worker closure.
+// Inline helper closures run on the worker's goroutine and are scanned too;
+// closures handed to their own spawn site (checked there) and sync.Once.Do
+// bodies (synchronized by definition) are skipped.
+func checkWorkerLit(pass *Pass, lit *ast.FuncLit, spawn string, multi bool, plain map[plainKey][]plainWrite) {
+	info := pass.TypesInfo
+	if closureSynchronizes(info, lit) {
+		return
+	}
+	skip := nestedSkips(info, lit)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if inner, ok := n.(*ast.FuncLit); ok && skip[inner] {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok == token.DEFINE {
+				return true
+			}
+			for _, lhs := range n.Lhs {
+				checkCapturedWrite(pass, lit, lhs, spawn, n.Tok != token.ASSIGN, multi, plain)
+			}
+		case *ast.IncDecStmt:
+			checkCapturedWrite(pass, lit, n.X, spawn, true, multi, plain)
+		}
+		return true
+	})
+}
+
+// nestedSkips collects closures under lit that must not be scanned as part
+// of lit's body: arguments to further worker spawns or go statements (they
+// are checked at that spawn site) and sync.Once.Do arguments.
+func nestedSkips(info *types.Info, lit *ast.FuncLit) map[*ast.FuncLit]bool {
+	skips := make(map[*ast.FuncLit]bool)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isWorkerSpawn(info, n) || isMethod(info, n, "sync", "Once", "Do") {
+				for _, arg := range n.Args {
+					if l, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
+						skips[l] = true
+					}
+				}
+			}
+		case *ast.GoStmt:
+			if l, ok := ast.Unparen(n.Call.Fun).(*ast.FuncLit); ok {
+				skips[l] = true
+			}
+		}
+		return true
+	})
+	return skips
+}
+
+// closureSynchronizes reports whether the closure body contains its own
+// synchronization — a mutex Lock or a channel send — making shared writes
+// a deliberate, guarded pattern rather than a race.
+func closureSynchronizes(info *types.Info, lit *ast.FuncLit) bool {
+	if callsMethodNamed(info, lit.Body, "Lock") {
+		return true
+	}
+	hasSend := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.SendStmt); ok {
+			hasSend = true
+		}
+		return !hasSend
+	})
+	return hasSend
+}
+
+// checkCapturedWrite classifies one lvalue written inside a worker closure
+// and reports (or records, for one-shot plain assigns) writes that mutate
+// captured shared state.
+func checkCapturedWrite(pass *Pass, lit *ast.FuncLit, lhs ast.Expr, spawn string, rmw, multi bool, plain map[plainKey][]plainWrite) {
+	info := pass.TypesInfo
+
+	// Walk the access path: x, x.f, m[k], s[i].f, (*p).f ...
+	var sawMapIndex, sawSliceIndex bool
+	var fields []string
+	expr := ast.Unparen(lhs)
+walk:
+	for {
+		switch e := expr.(type) {
+		case *ast.IndexExpr:
+			if tv, ok := info.Types[e.X]; ok && isMapType(tv.Type) {
+				sawMapIndex = true
+			} else {
+				sawSliceIndex = true
+			}
+			expr = ast.Unparen(e.X)
+		case *ast.SelectorExpr:
+			fields = append(fields, e.Sel.Name)
+			expr = ast.Unparen(e.X)
+		case *ast.StarExpr:
+			expr = ast.Unparen(e.X)
+		default:
+			break walk
+		}
+	}
+	root, ok := expr.(*ast.Ident)
+	if !ok || root.Name == "_" {
+		return
+	}
+	obj := info.ObjectOf(root)
+	if _, isVar := obj.(*types.Var); !isVar || !declaredOutside(obj, lit) {
+		return
+	}
+	// fields was collected outside-in; the full written location reads
+	// root.fieldN...field0.
+	name := obj.Name()
+	for i := len(fields) - 1; i >= 0; i-- {
+		name += "." + fields[i]
+	}
+	switch {
+	case sawMapIndex:
+		pass.Reportf(lhs.Pos(), "closure passed to %s writes captured map %s: concurrent workers race on unsynchronized map writes; merge per-worker maps after the fan-out instead", spawn, obj.Name())
+	case sawSliceIndex:
+		// Writes to distinct slice elements are the sanctioned shard
+		// pattern (each worker owns its index range).
+	case rmw:
+		pass.Reportf(lhs.Pos(), "closure passed to %s read-modify-writes captured variable %s: concurrent workers race on it; use a per-worker accumulator, sync/atomic, or a mutex", spawn, name)
+	case multi:
+		pass.Reportf(lhs.Pos(), "closure passed to %s writes captured variable %s from concurrently running workers; use a per-worker slot or a mutex", spawn, name)
+	default:
+		key := plainKey{obj: obj, path: name}
+		plain[key] = append(plain[key], plainWrite{pos: lhs.Pos(), lit: lit, spawn: spawn, name: name})
+	}
+}

@@ -1,0 +1,71 @@
+// Fixture for the atomicmix analyzer: mixing sync/atomic and plain access.
+package atomicmix
+
+import "sync/atomic"
+
+type sealer struct {
+	sealed uint64
+	height int64
+}
+
+func (s *sealer) seal() {
+	atomic.AddUint64(&s.sealed, 1)
+}
+
+// Positive: plain read of an atomically-written field.
+func (s *sealer) report() uint64 {
+	return s.sealed // want `sealed is accessed with sync/atomic`
+}
+
+// Positive: plain store to an atomically-written field.
+func (s *sealer) reset() {
+	s.sealed = 0 // want `sealed is accessed with sync/atomic`
+}
+
+// Guard: a field never touched by sync/atomic is free to be plain.
+func (s *sealer) bump() {
+	s.height++
+}
+
+// Guard: composite-literal construction names the field, it does not
+// access shared state.
+func newSealer() *sealer {
+	return &sealer{sealed: 0, height: 1}
+}
+
+var ops uint32
+
+func recordOp() {
+	atomic.AddUint32(&ops, 1)
+}
+
+// Guard: consistent atomic access is clean.
+func opsSnapshot() uint32 {
+	return atomic.LoadUint32(&ops)
+}
+
+// Positive: plain read of an atomic package-level counter.
+func opsRacy() uint32 {
+	return ops // want `ops is accessed with sync/atomic`
+}
+
+// Suppressed: init-time reset before any goroutine exists.
+func opsInit() {
+	//lint:ignore fistlint/atomicmix runs before any goroutine starts
+	ops = 0
+}
+
+// Guard: methods on typed atomics take value pointers, not atomic targets;
+// the pointee stays an ordinary local (the Tx.TxID memoization pattern).
+type memo struct {
+	cached atomic.Pointer[uint64]
+}
+
+func (m *memo) get() uint64 {
+	if p := m.cached.Load(); p != nil {
+		return *p
+	}
+	v := uint64(42)
+	m.cached.Store(&v)
+	return v
+}

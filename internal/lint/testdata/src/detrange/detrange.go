@@ -1,0 +1,94 @@
+// Fixture for the detrange analyzer: map iteration feeding
+// ordering-sensitive sinks.
+package detrange
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+type table struct{ rows int }
+
+func (t *table) AddRow(cells ...any) { t.rows++ }
+
+// Positive: rendering rows straight out of a map range.
+func renderCounts(t *table, counts map[string]int) {
+	for k, v := range counts {
+		t.AddRow(k, v) // want `AddRow called inside range over map`
+	}
+}
+
+// Positive: streaming writes in map order.
+func printAll(w *strings.Builder, m map[string]int) {
+	for k := range m {
+		fmt.Fprintf(w, "%s\n", k) // want `fmt\.Fprintf called inside range over map`
+	}
+}
+
+// Positive: accumulated keys escape by return without a sort.
+func keysOf(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append to keys inside range over map`
+	}
+	return keys
+}
+
+// Positive: accumulated keys are ranged over (rendered) unsorted.
+func render(t *table, m map[string]int) {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append to keys inside range over map`
+	}
+	for _, k := range keys {
+		t.AddRow(k)
+	}
+}
+
+// Guard: the canonical sorted-keys pattern is clean.
+func sortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Guard: order-insensitive reduction over a map is clean.
+func total(m map[string]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// Guard: only the length escapes, not the order.
+func countRow(t *table, m map[string]int) {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	t.AddRow(len(keys))
+}
+
+// Guard: writes into another map are order-insensitive.
+func invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// Suppressed: the caller sorts; the directive must silence the finding.
+func suppressedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		//lint:ignore fistlint/detrange caller sorts before rendering
+		keys = append(keys, k)
+	}
+	return keys
+}

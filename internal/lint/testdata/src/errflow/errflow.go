@@ -1,0 +1,82 @@
+// Fixture for the errflow analyzer: %w wrapping and goroutine error
+// propagation.
+package errflow
+
+import (
+	"errors"
+	"fmt"
+
+	"par"
+)
+
+var errBase = errors.New("base")
+
+// Guard: the repo convention — errors cross boundaries wrapped with %w.
+func wrapGood(err error) error {
+	return fmt.Errorf("stage: %w", err)
+}
+
+// Positive: %v flattens the chain.
+func wrapBadV(err error) error {
+	return fmt.Errorf("stage: %v", err) // want `formatted with %v`
+}
+
+// Positive: %s flattens the chain.
+func wrapBadS(err error) error {
+	return fmt.Errorf("stage failed: %s", err) // want `formatted with %s`
+}
+
+// Guard: non-error args may use any verb alongside a %w-wrapped error.
+func wrapMixed(path string, n int, err error) error {
+	return fmt.Errorf("read %s (%d bytes): %w", path, n, err)
+}
+
+// Guard: a * width consumes an argument; the error still lines up with %w.
+func wrapStar(width int, err error) error {
+	return fmt.Errorf("%*d: %w", width, 0, err)
+}
+
+func work() error { return errBase }
+
+// Positive: the spawned call's error has nowhere to go.
+func spawnDirect() {
+	go work() // want `go discards the callee's error`
+}
+
+// Positive: error dropped on the goroutine floor.
+func spawnDropped() {
+	go func() {
+		work() // want `error result dropped inside a goroutine`
+	}()
+}
+
+// Positive: blank-discarded error inside a goroutine.
+func spawnBlank() {
+	go func() {
+		_ = work() // want `error result dropped inside a goroutine`
+	}()
+}
+
+// Guard: propagating through the group is the convention.
+func spawnGroup() error {
+	g := par.NewGroup(0)
+	g.Go(work)
+	return g.Wait()
+}
+
+// Guard: explicitly handled errors are fine.
+func spawnHandled(logf func(string, ...any)) {
+	go func() {
+		if err := work(); err != nil {
+			logf("work: %v", err)
+		}
+	}()
+}
+
+// Suppressed: deliberate fire-and-forget with a recorded reason.
+func spawnSuppressed() {
+	go func() {
+		//lint:ignore fistlint/errflow demo helper; failure is non-fatal
+		work()
+	}()
+}

@@ -1,0 +1,18 @@
+// Package errgroup is a test-fixture stand-in for
+// golang.org/x/sync/errgroup (which this module does not depend on); the
+// parcapture analyzer recognizes any Group.Go in a package whose path ends
+// in "errgroup".
+package errgroup
+
+// Group mirrors errgroup.Group.
+type Group struct{ err error }
+
+// Go mirrors (*errgroup.Group).Go.
+func (g *Group) Go(f func() error) {
+	if err := f(); err != nil && g.err == nil {
+		g.err = err
+	}
+}
+
+// Wait mirrors (*errgroup.Group).Wait.
+func (g *Group) Wait() error { return g.err }

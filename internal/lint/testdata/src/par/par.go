@@ -1,0 +1,29 @@
+// Package par is a test-fixture stand-in for repro/internal/par: the same
+// API shape, no real concurrency — just enough for the type checker. The
+// analyzers match the package by path suffix, so fixtures importing "par"
+// exercise the same code paths as the real tree importing
+// "repro/internal/par".
+package par
+
+// Group mirrors par.Group.
+type Group struct{ err error }
+
+// NewGroup mirrors par.NewGroup.
+func NewGroup(limit int) *Group { return &Group{} }
+
+// Go mirrors (*par.Group).Go.
+func (g *Group) Go(f func() error) {
+	if err := f(); err != nil && g.err == nil {
+		g.err = err
+	}
+}
+
+// Wait mirrors (*par.Group).Wait.
+func (g *Group) Wait() error { return g.err }
+
+// ForEach mirrors par.ForEach.
+func ForEach(n, workers int, fn func(start, end int)) {
+	if n > 0 {
+		fn(0, n)
+	}
+}

@@ -1,0 +1,223 @@
+// Fixture for the parcapture analyzer: worker closures mutating captured
+// shared state.
+package parcapture
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"errgroup"
+	"par"
+)
+
+// Positive: captured plain counter incremented across workers.
+func countBad(items []int, workers int) int {
+	total := 0
+	par.ForEach(len(items), workers, func(start, end int) {
+		for i := start; i < end; i++ {
+			total += items[i] // want `captured variable total`
+		}
+	})
+	return total
+}
+
+// Guard: per-worker accumulator merged with sync/atomic is clean.
+func countAtomic(items []int, workers int) int64 {
+	var total int64
+	par.ForEach(len(items), workers, func(start, end int) {
+		sum := int64(0)
+		for i := start; i < end; i++ {
+			sum += int64(items[i])
+		}
+		atomic.AddInt64(&total, sum)
+	})
+	return total
+}
+
+// Guard: sharded slice writes (each worker owns its indexes) are the
+// sanctioned idiom.
+func squares(items []int, workers int) []int {
+	out := make([]int, len(items))
+	par.ForEach(len(items), workers, func(start, end int) {
+		for i := start; i < end; i++ {
+			out[i] = items[i] * items[i]
+		}
+	})
+	return out
+}
+
+// Positive: captured map written concurrently.
+func mapWrite(items []string, workers int) map[string]bool {
+	seen := make(map[string]bool)
+	par.ForEach(len(items), workers, func(start, end int) {
+		for i := start; i < end; i++ {
+			seen[items[i]] = true // want `captured map seen`
+		}
+	})
+	return seen
+}
+
+// Guard: mutex-guarded writes are a deliberate pattern.
+func mapWriteLocked(items []string, workers int) map[string]bool {
+	seen := make(map[string]bool)
+	var mu sync.Mutex
+	par.ForEach(len(items), workers, func(start, end int) {
+		for i := start; i < end; i++ {
+			mu.Lock()
+			seen[items[i]] = true
+			mu.Unlock()
+		}
+	})
+	return seen
+}
+
+// Positive: Group.Go closure bumping a captured counter.
+func groupCounter(n int) (int, error) {
+	calls := 0
+	g := par.NewGroup(2)
+	for i := 0; i < n; i++ {
+		g.Go(func() error {
+			calls++ // want `captured variable calls`
+			return nil
+		})
+	}
+	return calls, g.Wait()
+}
+
+// Guard: one slice slot per iteration via Group.Go (the evasion-table
+// idiom) is clean.
+func rows(n int) ([]int, error) {
+	out := make([]int, n)
+	g := par.NewGroup(0)
+	for i := 0; i < n; i++ {
+		g.Go(func() error {
+			out[i] = i * i
+			return nil
+		})
+	}
+	return out, g.Wait()
+}
+
+// Positive: bare go statement mutating captured state.
+func goCounter() int {
+	n := 0
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		n++ // want `captured variable n`
+	}()
+	wg.Wait()
+	return n
+}
+
+// Guard: results handed back over a channel are synchronized.
+func goSend() int {
+	ch := make(chan int, 1)
+	go func() {
+		ch <- 42
+	}()
+	return <-ch
+}
+
+// Positive: an inline helper closure still runs on the worker goroutine.
+func helperClosure(items []int, workers int) int {
+	total := 0
+	par.ForEach(len(items), workers, func(start, end int) {
+		bump := func(v int) { total += v } // want `captured variable total`
+		for i := start; i < end; i++ {
+			bump(items[i])
+		}
+	})
+	return total
+}
+
+// Positive: errgroup-style Group.Go is matched too.
+func errgroupCounter(n int) (int, error) {
+	var g errgroup.Group
+	count := 0
+	for i := 0; i < n; i++ {
+		g.Go(func() error {
+			count++ // want `captured variable count`
+			return nil
+		})
+	}
+	return count, g.Wait()
+}
+
+// Positive: captured struct field write.
+type stats struct{ done int }
+
+func fieldWrite(items []int, workers int, st *stats) {
+	par.ForEach(len(items), workers, func(start, end int) {
+		st.done = end // want `captured variable st`
+	})
+}
+
+// Guard: a single one-shot closure owns its result slot outright.
+func resultCapture() (int, error) {
+	var result int
+	g := par.NewGroup(0)
+	g.Go(func() error {
+		result = 42
+		return nil
+	})
+	return result, g.Wait()
+}
+
+// Guard: fan-out branches each assign a distinct field — the pipeline's
+// disjoint-slot idiom (each Group.Go branch owns one output field).
+type pipeOut struct{ naive, refined int }
+
+func disjointFields() (*pipeOut, error) {
+	p := &pipeOut{}
+	g := par.NewGroup(0)
+	g.Go(func() error {
+		p.naive = 1
+		return nil
+	})
+	g.Go(func() error {
+		p.refined = 2
+		return nil
+	})
+	return p, g.Wait()
+}
+
+// Positive: two one-shot closures plainly assigning the same location.
+func sameSlot() (int, error) {
+	winner := 0
+	g := par.NewGroup(0)
+	g.Go(func() error {
+		winner = 1 // want `another concurrent closure also writes`
+		return nil
+	})
+	g.Go(func() error {
+		winner = 2 // want `another concurrent closure also writes`
+		return nil
+	})
+	return winner, g.Wait()
+}
+
+// Positive: a Go closure spawned in a loop multiplies — every instance
+// targets the same captured variable.
+func loopAssign(n int) (int, error) {
+	last := 0
+	g := par.NewGroup(0)
+	for i := 0; i < n; i++ {
+		g.Go(func() error {
+			last = i // want `captured variable last`
+			return nil
+		})
+	}
+	return last, g.Wait()
+}
+
+// Suppressed: deliberate single-writer pattern with a reason.
+func suppressed(items []int) int {
+	total := 0
+	par.ForEach(len(items), 1, func(start, end int) {
+		//lint:ignore fistlint/parcapture workers=1 pins this to one goroutine
+		total = len(items)
+	})
+	return total
+}
