@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sort"
 	"sync"
 	"time"
 
@@ -225,16 +226,29 @@ func (n *Node) checkMempoolTx(tx *chain.Tx) error {
 // broadcastInv announces an inventory item to every peer except `skip`.
 func (n *Node) broadcastInv(iv wire.InvVect, skip string) {
 	n.mu.Lock()
-	targets := make([]*peer, 0, len(n.peers))
-	for id, p := range n.peers {
-		if id != skip {
-			targets = append(targets, p)
-		}
-	}
+	targets := n.broadcastTargets(skip)
 	n.mu.Unlock()
 	for _, p := range targets {
 		p.send(&wire.MsgInv{Items: []wire.InvVect{iv}})
 	}
+}
+
+// broadcastTargets returns every peer except `skip`, ordered by peer id so
+// relay order (and therefore event interleaving in demos and traces) does
+// not depend on map iteration order. Callers must hold n.mu.
+func (n *Node) broadcastTargets(skip string) []*peer {
+	ids := make([]string, 0, len(n.peers))
+	for id := range n.peers {
+		if id != skip {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	targets := make([]*peer, len(ids))
+	for i, id := range ids {
+		targets[i] = n.peers[id]
+	}
+	return targets
 }
 
 // acceptBlock validates and connects a block received from `from` (empty

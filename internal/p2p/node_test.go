@@ -197,3 +197,26 @@ func TestLateJoinerSyncs(t *testing.T) {
 		t.Fatalf("late joiner at height %d, want 4", late.Height())
 	}
 }
+
+func TestBroadcastTargetsOrderedByPeerID(t *testing.T) {
+	// fistlint/detrange regression: relay order used to follow map
+	// iteration, so gossip event interleavings differed run to run.
+	n := &Node{peers: map[string]*peer{
+		"10.0.0.3:8333": {id: "10.0.0.3:8333"},
+		"10.0.0.1:8333": {id: "10.0.0.1:8333"},
+		"10.0.0.4:8333": {id: "10.0.0.4:8333"},
+		"10.0.0.2:8333": {id: "10.0.0.2:8333"},
+	}}
+	for trial := 0; trial < 10; trial++ {
+		got := n.broadcastTargets("10.0.0.2:8333")
+		want := []string{"10.0.0.1:8333", "10.0.0.3:8333", "10.0.0.4:8333"}
+		if len(got) != len(want) {
+			t.Fatalf("got %d targets, want %d", len(got), len(want))
+		}
+		for i, p := range got {
+			if p.id != want[i] {
+				t.Fatalf("trial %d: target[%d] = %s, want %s", trial, i, p.id, want[i])
+			}
+		}
+	}
+}
