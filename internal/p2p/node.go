@@ -6,6 +6,7 @@
 package p2p
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -278,6 +279,22 @@ func (n *Node) acceptBlock(b *chain.Block, from string) error {
 	return nil
 }
 
+// mempoolOrdered returns the mempool's transactions sorted by TxID, so
+// block assembly — including which transactions make the cut when the
+// mempool exceeds MaxBlockTxs — does not depend on map iteration order.
+// Callers must hold n.mu.
+func (n *Node) mempoolOrdered() []*chain.Tx {
+	txs := make([]*chain.Tx, 0, len(n.mempool))
+	for _, tx := range n.mempool {
+		txs = append(txs, tx)
+	}
+	sort.Slice(txs, func(i, j int) bool {
+		a, b := txs[i].TxID(), txs[j].TxID()
+		return bytes.Compare(a[:], b[:]) < 0
+	})
+	return txs
+}
+
 // Mine assembles a block from the mempool, grinds a nonce satisfying the
 // target (Figure 1's step 5), connects it locally and relays it. The
 // coinbase pays pkScript.
@@ -287,7 +304,7 @@ func (n *Node) Mine(pkScript []byte) (*chain.Block, error) {
 	var fees chain.Amount
 	txs := make([]*chain.Tx, 0, len(n.mempool)+1)
 	txs = append(txs, nil) // coinbase placeholder
-	for _, tx := range n.mempool {
+	for _, tx := range n.mempoolOrdered() {
 		var in chain.Amount
 		ok := true
 		for _, txin := range tx.Inputs {

@@ -1,6 +1,7 @@
 package p2p
 
 import (
+	"bytes"
 	"testing"
 	"time"
 
@@ -218,5 +219,33 @@ func TestBroadcastTargetsOrderedByPeerID(t *testing.T) {
 				t.Fatalf("trial %d: target[%d] = %s, want %s", trial, i, p.id, want[i])
 			}
 		}
+	}
+}
+
+func TestMempoolOrderedSortsByTxID(t *testing.T) {
+	// fistlint/detrange regression: block templates used to pull
+	// transactions out of the mempool map in iteration order, making both
+	// the block's tx sequence and the MaxBlockTxs cutoff nondeterministic.
+	n := &Node{mempool: make(map[chain.Hash]*chain.Tx)}
+	for i := 0; i < 8; i++ {
+		tx := chain.NewCoinbaseTx(int64(i+1), chain.BTC(1), []byte{byte(i)}, nil)
+		n.mempool[tx.TxID()] = tx
+	}
+	var prev chain.Hash
+	for trial := 0; trial < 10; trial++ {
+		ordered := n.mempoolOrdered()
+		if len(ordered) != 8 {
+			t.Fatalf("got %d txs, want 8", len(ordered))
+		}
+		for i := 1; i < len(ordered); i++ {
+			a, b := ordered[i-1].TxID(), ordered[i].TxID()
+			if bytes.Compare(a[:], b[:]) >= 0 {
+				t.Fatalf("trial %d: txs out of order at %d: %s >= %s", trial, i, a, b)
+			}
+		}
+		if trial > 0 && ordered[0].TxID() != prev {
+			t.Fatalf("trial %d: first tx changed across calls", trial)
+		}
+		prev = ordered[0].TxID()
 	}
 }
