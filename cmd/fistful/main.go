@@ -192,6 +192,7 @@ func cmdCrawl(args []string) error {
 		return err
 	}
 	srv := &http.Server{Handler: site}
+	//lint:ignore fistlint/errflow Serve returns ErrServerClosed on the deferred Close; a demo server's lifecycle needs no error plumbing
 	go srv.Serve(ln)
 	defer srv.Close()
 	url := "http://" + ln.Addr().String() + "/tags"
