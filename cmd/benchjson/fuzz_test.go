@@ -1,0 +1,42 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// FuzzConvert drives the -bench output parser with arbitrary text. The
+// parser must not panic, must never error on any input a bufio.Scanner
+// will hand it, every parsed result must carry at least one metric with
+// the raw line preserved, and the report must always encode to JSON.
+func FuzzConvert(f *testing.F) {
+	f.Add("goos: linux\ngoarch: amd64\npkg: repro/internal/txgraph\ncpu: fake\nBenchmarkStreamingBuild/stream-8 \t 10\t 123456 ns/op\t 7890 B/op\t 12 allocs/op\nPASS\nok  \trepro/internal/txgraph\t1.234s\n")
+	f.Add("BenchmarkX 1 2 ns/op 3 peak-heap-bytes\n")
+	f.Add("BenchmarkNoMetrics 100\n")
+	f.Add("Benchmark 1 notanumber ns/op\n")
+	f.Add("pkg: one\npkg: two\n")
+	f.Add("")
+	f.Add("BenchmarkTrailing 5 1.5 ns/op extra\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		rep, err := convert(bufio.NewScanner(strings.NewReader(input)))
+		if err != nil {
+			t.Fatalf("convert errored on scanner input: %v", err)
+		}
+		for _, r := range rep.Benchmarks {
+			if len(r.Metrics) == 0 {
+				t.Fatalf("result %q accepted with no metrics", r.Line)
+			}
+			if r.Line == "" {
+				t.Fatalf("result %q lost its raw line", r.Name)
+			}
+			if !strings.HasPrefix(r.Name, "Benchmark") {
+				t.Fatalf("non-benchmark name %q accepted", r.Name)
+			}
+		}
+		if _, err := json.Marshal(rep); err != nil {
+			t.Fatalf("report does not marshal: %v", err)
+		}
+	})
+}

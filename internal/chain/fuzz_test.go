@@ -1,0 +1,129 @@
+package chain
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+// fuzzSeedStreams builds the framed-chain byte strings used both as f.Add
+// seeds and as the committed corpus under testdata/fuzz. Construction is
+// deterministic (no mining harness) so corpus regeneration is stable.
+func fuzzSeedStreams() [][]byte {
+	mkBlock := func(height int64, extra byte) *Block {
+		return &Block{
+			Header: BlockHeader{Version: 1, Timestamp: height},
+			Txs:    []*Tx{NewCoinbaseTx(height, BTC(50), []byte{0x51, extra}, nil)},
+		}
+	}
+	stream := func(blocks ...*Block) []byte {
+		var buf bytes.Buffer
+		sw, err := NewWriter(&buf)
+		if err != nil {
+			panic(err)
+		}
+		for _, b := range blocks {
+			if err := sw.WriteBlock(b); err != nil {
+				panic(err)
+			}
+		}
+		if err := sw.Flush(); err != nil {
+			panic(err)
+		}
+		return buf.Bytes()
+	}
+
+	valid := stream(mkBlock(1, 0xAA), mkBlock(2, 0xBB))
+	single := stream(mkBlock(1, 0xCC))
+	seeds := [][]byte{
+		valid,
+		single,
+		streamMagic[:],       // header-only: zero blocks, clean EOF
+		[]byte("XXXX"),       // bad magic
+		[]byte("FB"),         // truncated header
+		valid[:len(valid)-3], // truncated final frame
+		append(append([]byte{}, single...), 0xFF, 0xFF, 0xFF, 0x7F), // huge length prefix after a valid block
+		append(append([]byte{}, single...), 5, 0, 0, 0, 1, 2),       // frame shorter than its prefix
+	}
+	return seeds
+}
+
+// FuzzReadBlockFrame drives the framed-chain Reader with arbitrary bytes.
+// Whatever the input, the reader must not panic, must end every stream with
+// either a clean io.EOF or a descriptive error (never a bare io.EOF
+// mid-frame), and every block it does decode must re-serialize.
+func FuzzReadBlockFrame(f *testing.F) {
+	for _, seed := range fuzzSeedStreams() {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sr, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			if errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+				t.Fatalf("NewReader returned bare io.EOF: %v", err)
+			}
+			return
+		}
+		for {
+			b, err := sr.NextBlock()
+			if err == io.EOF {
+				return // clean end of stream
+			}
+			if err != nil {
+				// Mid-frame truncation and corruption must name the block
+				// and never surface as a clean end-of-stream.
+				if errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+					t.Fatalf("NextBlock error wraps bare io.EOF: %v", err)
+				}
+				return
+			}
+			// A decoded block must round-trip: re-serialize and hash.
+			var buf bytes.Buffer
+			if err := b.Serialize(&buf); err != nil {
+				t.Fatalf("decoded block does not re-serialize: %v", err)
+			}
+			rt := new(Block)
+			if err := rt.Deserialize(bytes.NewReader(buf.Bytes())); err != nil {
+				t.Fatalf("re-serialized block does not decode: %v", err)
+			}
+			if rt.BlockHash() != b.BlockHash() {
+				t.Fatalf("block hash changed across serialize round-trip")
+			}
+		}
+	})
+}
+
+// TestRegenerateFuzzCorpus rewrites the committed seed corpus from
+// fuzzSeedStreams. Run with REGEN_FUZZ_CORPUS=1 after changing the framed
+// format or the seed set; otherwise it only verifies the files are present
+// and current.
+func TestRegenerateFuzzCorpus(t *testing.T) {
+	dir := filepath.Join("testdata", "fuzz", "FuzzReadBlockFrame")
+	regen := os.Getenv("REGEN_FUZZ_CORPUS") != ""
+	if regen {
+		if err := os.MkdirAll(dir, 0o777); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, seed := range fuzzSeedStreams() {
+		name := filepath.Join(dir, "seed-"+strconv.Itoa(i))
+		content := "go test fuzz v1\n[]byte(" + strconv.Quote(string(seed)) + ")\n"
+		if regen {
+			if err := os.WriteFile(name, []byte(content), 0o666); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		got, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatalf("%v (run with REGEN_FUZZ_CORPUS=1 to write the corpus)", err)
+		}
+		if string(got) != content {
+			t.Errorf("%s is stale (run with REGEN_FUZZ_CORPUS=1 to rewrite)", name)
+		}
+	}
+}
