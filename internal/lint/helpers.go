@@ -2,7 +2,6 @@ package lint
 
 import (
 	"go/ast"
-	"go/token"
 	"go/types"
 	"strings"
 )
@@ -121,18 +120,6 @@ func baseIdentObj(info *types.Info, expr ast.Expr) types.Object {
 	}
 }
 
-// funcScope returns the innermost enclosing function node (FuncDecl or
-// FuncLit) from a stack, or nil at package level.
-func funcScope(stack []ast.Node) ast.Node {
-	for i := len(stack) - 1; i >= 0; i-- {
-		switch stack[i].(type) {
-		case *ast.FuncLit, *ast.FuncDecl:
-			return stack[i]
-		}
-	}
-	return nil
-}
-
 // callsMethodNamed reports whether any call to a method with the given name
 // appears under root (used for the crude but effective "this closure takes a
 // lock" exemption in parcapture).
@@ -180,6 +167,3 @@ func resultTypes(info *types.Info, call *ast.CallExpr) []types.Type {
 	}
 	return out
 }
-
-// exprPos returns a stable reporting position for n.
-func exprPos(n ast.Node) token.Pos { return n.Pos() }
