@@ -1,0 +1,186 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CtxFlow enforces context propagation, the cancellation backbone of a
+// long-running process. Two rules:
+//
+// Rule A — a function that receives a context.Context (per its pass-1
+// summary) must forward it: calling a ctx-accepting callee with a fresh
+// context.Background() or context.TODO() detaches the callee from the
+// caller's cancellation and deadline, which is how a daemon ends up with
+// requests that cannot be shed. Forwarding the received ctx — directly or
+// derived via context.With* — is clean, including through helpers.
+//
+// Rule B — an infinite `for` loop running on a goroutine (a spawned
+// function literal, or a named function the summaries mark SpawnedByGo)
+// must be cancellable: its body must observe a channel (select, receive,
+// range), or be able to leave (return, break). A loop with none of these
+// spins until the process dies, immune to every shutdown signal.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "flags ctx-receiving functions that detach callees with context.Background/TODO, and un-cancellable infinite loops in goroutines",
+	Run:  runCtxFlow,
+}
+
+func runCtxFlow(pass *Pass) error {
+	info := pass.TypesInfo
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := info.Defs[fd.Name].(*types.Func)
+			fi := pass.Sums.Of(fn)
+
+			// Rule A: the summary says this function accepts a ctx.
+			if fi != nil && fi.CtxParam >= 0 {
+				checkCtxForwarding(pass, fd)
+			}
+
+			// Rule B, named form: this function's body runs on a goroutine
+			// somewhere in the package (summary-resolved `go f()` sites).
+			if fi != nil && fi.SpawnedByGo {
+				checkCancellableLoops(pass, fd.Body)
+			}
+
+			// Rule B, literal form: go func() { ... }().
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				g, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+					checkCancellableLoops(pass, lit.Body)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// checkCtxForwarding flags calls inside a ctx-receiving function that hand
+// a ctx-accepting callee a fresh Background/TODO context instead of the
+// one this function was given.
+func checkCtxForwarding(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sig := callSignature(info, call)
+		if sig == nil {
+			return true
+		}
+		for j := 0; j < sig.Params().Len() && j < len(call.Args); j++ {
+			if !isContextType(sig.Params().At(j).Type()) {
+				continue
+			}
+			if name, fresh := freshContextCall(info, call.Args[j]); fresh {
+				pass.Reportf(call.Args[j].Pos(), "context.%s() detaches %s from this function's ctx; forward the ctx parameter (or derive via context.With*) so cancellation propagates", name, calleeName(info, call))
+			}
+			break // only the first ctx parameter matters
+		}
+		return true
+	})
+}
+
+// callSignature returns the signature of the function a call invokes,
+// resolving both named callees and function values; nil for conversions
+// and builtins.
+func callSignature(info *types.Info, call *ast.CallExpr) *types.Signature {
+	tv, ok := info.Types[call.Fun]
+	if !ok || tv.IsType() {
+		return nil
+	}
+	sig, _ := tv.Type.Underlying().(*types.Signature)
+	return sig
+}
+
+// freshContextCall reports whether expr is a direct context.Background()
+// or context.TODO() call, returning which.
+func freshContextCall(info *types.Info, expr ast.Expr) (string, bool) {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok {
+		return "", false
+	}
+	for _, name := range []string{"Background", "TODO"} {
+		if isPkgFunc(info, call, "context", name) {
+			return name, true
+		}
+	}
+	return "", false
+}
+
+func calleeName(info *types.Info, call *ast.CallExpr) string {
+	if fn := calleeFunc(info, call); fn != nil {
+		return fn.Name()
+	}
+	return "the callee"
+}
+
+// checkCancellableLoops flags infinite for-loops in goroutine bodies with
+// no way to observe shutdown: no select, channel receive, channel range,
+// return, or break in the loop body.
+func checkCancellableLoops(pass *Pass, body *ast.BlockStmt) {
+	info := pass.TypesInfo
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // nested literals are separate goroutine decisions
+		}
+		loop, ok := n.(*ast.ForStmt)
+		if !ok || loop.Cond != nil {
+			return true
+		}
+		if loopObservesCancellation(info, loop.Body) {
+			return true
+		}
+		pass.Reportf(loop.Pos(), "infinite loop on a goroutine never observes cancellation (no select, channel op, return, or break); bind it to ctx.Done() or a done channel")
+		return true
+	})
+}
+
+// loopObservesCancellation reports whether the loop body can notice
+// shutdown or leave the loop: a select, channel receive/send/range, a
+// return, or a break bound to this loop.
+func loopObservesCancellation(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SelectStmt, *ast.ReturnStmt, *ast.SendStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if tv, ok := info.Types[n.X]; ok && isChanType(tv.Type) {
+				found = true
+			}
+		case *ast.BranchStmt:
+			if n.Tok == token.BREAK || n.Tok == token.GOTO {
+				found = true
+			}
+		case *ast.ExprStmt:
+			if call, ok := ast.Unparen(n.X).(*ast.CallExpr); ok {
+				if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}

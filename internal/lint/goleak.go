@@ -1,0 +1,125 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// GoLeak flags fire-and-forget goroutines: a `go` statement whose spawned
+// body shows no join or cancellation path. In the batch pipeline a leaked
+// goroutine dies with the process; under `fistful serve` each one
+// accumulates until the daemon OOMs or deadlocks on shutdown, so every
+// spawn must be joinable (WaitGroup / par.Group), cancellable (done
+// channel, context), or channel-bound (the goroutine ranges over or sends
+// on a channel the spawner controls).
+//
+// The check is summary-driven. For `go f()` where f is declared in the
+// package, pass 1 already knows whether f's body signals a WaitGroup,
+// closes a channel, or performs channel operations — so `go s.signLoop()`
+// (ranges a work channel) and `go n.acceptLoop()` (defers wg.Done) pass
+// without goleak reading their bodies here. For `go func() {...}()` the
+// literal's body is scanned directly with the same evidence rules. A
+// spawn of an out-of-package function (e.g. `go srv.Serve(ln)`) has no
+// summary and no visible join, so it is flagged; genuinely intentional
+// fire-and-forget spawns carry a //lint:ignore with the reason.
+var GoLeak = &Analyzer{
+	Name: "goleak",
+	Doc:  "flags fire-and-forget goroutines with no visible join or cancellation path (WaitGroup, par.Group, done channel, channel loop)",
+	Run:  runGoLeak,
+}
+
+func runGoLeak(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			checkGoStmt(pass, g)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkGoStmt(pass *Pass, g *ast.GoStmt) {
+	info := pass.TypesInfo
+
+	// go func() { ... }(): scan the literal for join evidence. The
+	// evidence can also live in an in-package function the literal calls
+	// (e.g. the closure just wraps a worker that ranges a channel), which
+	// is where the summaries come in.
+	if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+		if funcLitJoinEvidence(pass, lit) {
+			return
+		}
+		pass.Reportf(g.Pos(), "goroutine has no join or cancellation path (no WaitGroup, channel op, or close); a leaked goroutine outlives every request in a long-running process")
+		return
+	}
+
+	// go f(...) / go x.m(...): consult f's summary.
+	if fi := pass.Sums.OfCallee(info, g.Call); fi != nil {
+		if fi.JoinEvidence() {
+			return
+		}
+		pass.Reportf(g.Pos(), "goroutine runs %s, which has no join or cancellation path (no WaitGroup, channel op, or close)", fi.Fn.Name())
+		return
+	}
+
+	// Unknown callee: out-of-package function, method value, or function
+	// variable. Nothing visible joins it.
+	pass.Reportf(g.Pos(), "fire-and-forget goroutine: callee is outside the package and nothing visible joins or cancels it")
+}
+
+// funcLitJoinEvidence reports whether a spawned literal's body shows a
+// join or cancellation path: a WaitGroup.Done, a channel close/send/
+// receive/range/select, or a call to an in-package function whose summary
+// shows the same.
+func funcLitJoinEvidence(pass *Pass, lit *ast.FuncLit) bool {
+	info := pass.TypesInfo
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt, *ast.SelectStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if tv, ok := info.Types[n.X]; ok && isChanType(tv.Type) {
+				found = true
+			}
+		case *ast.CallExpr:
+			if callIsJoinEvidence(pass, n) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// callIsJoinEvidence reports whether one call inside a spawned body counts
+// as join evidence: builtin close, WaitGroup.Done, or an in-package callee
+// whose summary shows evidence (the interprocedural case).
+func callIsJoinEvidence(pass *Pass, call *ast.CallExpr) bool {
+	info := pass.TypesInfo
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if obj := info.Uses[id]; obj != nil && obj.Name() == "close" && obj.Pkg() == nil {
+			return true
+		}
+	}
+	if fn := calleeFunc(info, call); fn != nil {
+		if fn.Name() == "Done" && isMethodOn(fn, "sync", "WaitGroup") {
+			return true
+		}
+	}
+	if fi := pass.Sums.OfCallee(info, call); fi != nil && fi.JoinEvidence() {
+		return true
+	}
+	return false
+}

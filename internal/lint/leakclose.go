@@ -1,0 +1,438 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LeakClose flags values that own an OS resource — anything whose method
+// set has a niladic Close or Flush, which in this repo means chain.Writer,
+// chain.FileReader, *os.File, net.Listener, net.Conn — acquired in a
+// function but not released on every path out of it. A batch run leaks a
+// handle for milliseconds; the `fistful serve` daemon leaks it forever, so
+// the invariant becomes compile-time-enforced here.
+//
+// A candidate is a local variable assigned from a call returning a
+// closeable type. It is exempt when ownership demonstrably transfers out
+// of the function: the value is returned, stored into a composite or a
+// field/element, sent on a channel, or passed to a callee. Passing is the
+// interprocedural case: an in-package callee whose pass-1 summary closes
+// the corresponding parameter counts as a release at that call; any other
+// callee is conservatively assumed to take ownership.
+//
+// Otherwise every exit after the acquisition must be covered by a release:
+// a direct or deferred x.Close()/x.Flush() whose enclosing block still
+// encloses the exit. The error-check immediately following the acquisition
+// (`x, err := f(); if err != nil { return ... }`) is exempt — on that path
+// the constructor failed and x is nil by convention.
+var LeakClose = &Analyzer{
+	Name: "leakclose",
+	Doc:  "flags Close/Flush-owning values (files, listeners, chain readers/writers) not released on every path, with ownership-transfer exemptions",
+	Run:  runLeakClose,
+}
+
+func runLeakClose(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			for _, acq := range findAcquisitions(pass.TypesInfo, fd.Body) {
+				checkAcquisition(pass, fd, acq)
+			}
+		}
+	}
+	return nil
+}
+
+// acquisition is one closeable-typed local bound from a call result.
+type acquisition struct {
+	obj    types.Object
+	assign *ast.AssignStmt
+	errObj types.Object // the error assigned alongside, nil if none
+}
+
+// findAcquisitions collects := assignments binding a closeable call result
+// to a plain local identifier.
+func findAcquisitions(info *types.Info, body *ast.BlockStmt) []acquisition {
+	var acqs []acquisition
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.DEFINE {
+			return true
+		}
+		// x, err := f(...) — one call, several results.
+		if len(as.Rhs) == 1 && len(as.Lhs) > 1 {
+			call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			results := resultTypes(info, call)
+			errObj := errorLhs(info, as, results)
+			for i, lhs := range as.Lhs {
+				if i < len(results) && isCloseable(results[i]) {
+					if obj := localIdentObj(info, lhs); obj != nil {
+						acqs = append(acqs, acquisition{obj: obj, assign: as, errObj: errObj})
+					}
+				}
+			}
+			return true
+		}
+		// x := f() — pairwise.
+		for i, rhs := range as.Rhs {
+			if i >= len(as.Lhs) {
+				break
+			}
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+				continue // conversion, not an acquisition
+			}
+			if tv, ok := info.Types[call]; ok && isCloseable(tv.Type) {
+				if obj := localIdentObj(info, as.Lhs[i]); obj != nil {
+					acqs = append(acqs, acquisition{obj: obj, assign: as})
+				}
+			}
+		}
+		return true
+	})
+	return acqs
+}
+
+// errorLhs returns the object of the error-typed identifier bound by the
+// same assignment (the `err` of `x, err := f()`), if any.
+func errorLhs(info *types.Info, as *ast.AssignStmt, results []types.Type) types.Object {
+	for i, lhs := range as.Lhs {
+		if i < len(results) && isErrorType(results[i]) {
+			if id, ok := ast.Unparen(lhs).(*ast.Ident); ok && id.Name != "_" {
+				return info.ObjectOf(id)
+			}
+		}
+	}
+	return nil
+}
+
+// localIdentObj returns the object of a plain non-blank identifier lvalue.
+func localIdentObj(info *types.Info, expr ast.Expr) types.Object {
+	id, ok := ast.Unparen(expr).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	return info.ObjectOf(id)
+}
+
+// isCloseable reports whether t owns a releasable resource: its method set
+// (through a pointer) contains a niladic Close or Flush.
+func isCloseable(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if _, ok := t.Underlying().(*types.Signature); ok {
+		return false
+	}
+	for _, name := range []string{"Close", "Flush"} {
+		obj, _, _ := types.LookupFieldOrMethod(t, true, nil, name)
+		if fn, ok := obj.(*types.Func); ok {
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Params().Len() == 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// release is one point where the acquired value is closed/flushed. For a
+// deferred release (direct `defer x.Close()` or a deferred cleanup
+// closure) pos is the DeferStmt's position — where the defer is
+// registered, which is what decides the exits it covers.
+type release struct {
+	pos token.Pos
+}
+
+// checkAcquisition classifies every use of the acquired value, then audits
+// the exits.
+func checkAcquisition(pass *Pass, fd *ast.FuncDecl, acq acquisition) {
+	info := pass.TypesInfo
+	var releases []release
+	transferred := false
+
+	inspectStack(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+		if transferred {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok || info.Uses[id] != acq.obj {
+			return true
+		}
+		switch classifyUse(pass, id, stack) {
+		case useRelease:
+			releases = append(releases, release{pos: releasePos(id, stack)})
+		case useTransfer:
+			transferred = true
+		}
+		return true
+	})
+	if transferred {
+		return
+	}
+
+	exits := collectExits(fd, acq)
+	if len(releases) == 0 {
+		if len(exits) > 0 {
+			pass.Reportf(acq.assign.Pos(), "%s holds a Close/Flush resource but is never closed; release it (defer %s.Close()) or transfer ownership", acq.obj.Name(), acq.obj.Name())
+		}
+		return
+	}
+	for _, exit := range exits {
+		if !covered(fd, releases, exit) {
+			pass.Reportf(acq.assign.Pos(), "%s is not closed on the return path at line %d; close it before returning or defer the close", acq.obj.Name(), pass.Fset.Position(exit).Line)
+			return // one report per acquisition is enough
+		}
+	}
+}
+
+// releasePos returns the position coverage is computed from: the enclosing
+// DeferStmt when the release is deferred, the use itself otherwise.
+func releasePos(id *ast.Ident, stack []ast.Node) token.Pos {
+	for _, n := range stack {
+		if d, ok := n.(*ast.DeferStmt); ok {
+			return d.Pos()
+		}
+	}
+	return id.Pos()
+}
+
+type useKind int
+
+const (
+	useNeutral useKind = iota
+	useRelease
+	useTransfer
+)
+
+// classifyUse decides what one appearance of the value means by walking
+// its enclosing nodes innermost-first: a release (x.Close()/x.Flush(), or
+// passed to an in-package callee whose summary closes that parameter), a
+// transfer of ownership (returned, stored, sent, aliased, or passed to an
+// unknown callee), or neutral (reads and other method calls).
+func classifyUse(pass *Pass, id *ast.Ident, stack []ast.Node) useKind {
+	info := pass.TypesInfo
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch outer := stack[i].(type) {
+		case *ast.SelectorExpr:
+			if outer.X != id {
+				continue
+			}
+			// x.Close() / x.Flush() under a CallExpr is a release.
+			if outer.Sel.Name == "Close" || outer.Sel.Name == "Flush" {
+				if i > 0 {
+					if call, ok := stack[i-1].(*ast.CallExpr); ok && ast.Unparen(call.Fun) == outer {
+						return useRelease
+					}
+				}
+			}
+			return useNeutral // other method calls / field reads
+		case *ast.CallExpr:
+			idxs := callArgIndexes(outer, id)
+			if len(idxs) == 0 {
+				continue // id sits in the Fun position; inner arms decide
+			}
+			// x is an argument. An in-package callee that closes this
+			// parameter releases it; anything else takes ownership.
+			if fi := pass.Sums.OfCallee(info, outer); fi != nil {
+				closesAll := true
+				for _, idx := range idxs {
+					if !fi.ClosesParam[idx] {
+						closesAll = false
+					}
+				}
+				if closesAll {
+					return useRelease
+				}
+			}
+			return useTransfer
+		case *ast.ReturnStmt:
+			return useTransfer
+		case *ast.CompositeLit:
+			return useTransfer
+		case *ast.SendStmt:
+			if containsPos(outer.Value, id.Pos()) {
+				return useTransfer
+			}
+		case *ast.AssignStmt:
+			// x on the RHS of another assignment: aliased or stored.
+			// Conservatively a transfer, so the alias' closes aren't
+			// misattributed.
+			for _, rhs := range outer.Rhs {
+				if containsPos(rhs, id.Pos()) {
+					return useTransfer
+				}
+			}
+		}
+	}
+	return useNeutral
+}
+
+// callArgIndexes returns the argument positions of call containing id.
+func callArgIndexes(call *ast.CallExpr, id *ast.Ident) []int {
+	var out []int
+	for i, arg := range call.Args {
+		if containsPos(arg, id.Pos()) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// containsPos reports whether pos falls inside n's source range.
+func containsPos(n ast.Node, pos token.Pos) bool {
+	return n != nil && n.Pos() <= pos && pos < n.End()
+}
+
+// collectExits lists the function's exit positions after the acquisition:
+// return statements, plus the fall-off exit for bodies that can reach the
+// closing brace. Returns inside the acquisition's immediate error-check
+// are excluded (the constructor failed; the value is nil by convention).
+func collectExits(fd *ast.FuncDecl, acq acquisition) []token.Pos {
+	exempt := immediateErrCheck(fd.Body, acq)
+	var exits []token.Pos
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // returns inside closures exit the closure
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok || ret.Pos() < acq.assign.End() {
+			return true
+		}
+		if exempt != nil && containsPos(exempt, ret.Pos()) {
+			return true
+		}
+		// The exit point is the return's end, so a release inside the
+		// return expression itself (`return drainAndClose(f)`) covers it.
+		exits = append(exits, ret.End())
+		return true
+	})
+	stmts := fd.Body.List
+	if len(stmts) == 0 || !isTerminating(stmts[len(stmts)-1]) {
+		exits = append(exits, fd.Body.Rbrace)
+	}
+	return exits
+}
+
+// immediateErrCheck returns the `if err != nil` statement directly
+// following the acquisition in its block and testing the error bound by
+// the same assignment, or nil.
+func immediateErrCheck(body *ast.BlockStmt, acq acquisition) *ast.IfStmt {
+	if acq.errObj == nil {
+		return nil
+	}
+	var found *ast.IfStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		block, ok := n.(*ast.BlockStmt)
+		if !ok {
+			return true
+		}
+		for i, stmt := range block.List {
+			if stmt != ast.Stmt(acq.assign) || i+1 >= len(block.List) {
+				continue
+			}
+			if ifs, ok := block.List[i+1].(*ast.IfStmt); ok && condMentionsName(ifs.Cond, acq.errObj.Name()) {
+				found = ifs
+			}
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+func condMentionsName(cond ast.Expr, name string) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == name {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isTerminating reports whether stmt definitely transfers control away
+// (return, panic, break-less infinite for) — a crude subset of go/types'
+// terminating-statement analysis, enough to decide whether the fall-off
+// exit exists.
+func isTerminating(stmt ast.Stmt) bool {
+	switch s := stmt.(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	case *ast.ForStmt:
+		return s.Cond == nil && !hasBreak(s.Body)
+	}
+	return false
+}
+
+// hasBreak reports a break binding to the enclosing loop (not one inside a
+// nested loop, switch, or select).
+func hasBreak(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BranchStmt:
+			if n.Tok == token.BREAK {
+				found = true
+			}
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt, *ast.FuncLit:
+			return false
+		}
+		return !found
+	})
+	return found
+}
+
+// covered reports whether some release guards the exit: the release (or
+// the registration of the deferred release) is lexically before the exit
+// and its innermost enclosing block still encloses the exit, so the exit
+// path passes through it. A top-of-function `defer x.Close()` therefore
+// covers every later exit; a close inside an error branch covers only that
+// branch's return.
+func covered(fd *ast.FuncDecl, releases []release, exit token.Pos) bool {
+	for _, r := range releases {
+		if r.pos >= exit {
+			continue
+		}
+		block := innermostBlock(fd.Body, r.pos)
+		if block != nil && block.Pos() <= exit && exit <= block.End() {
+			return true
+		}
+	}
+	return false
+}
+
+// innermostBlock returns the smallest BlockStmt in body containing pos.
+func innermostBlock(body *ast.BlockStmt, pos token.Pos) *ast.BlockStmt {
+	best := body
+	ast.Inspect(body, func(n ast.Node) bool {
+		b, ok := n.(*ast.BlockStmt)
+		if !ok {
+			return true
+		}
+		if b.Pos() <= pos && pos <= b.End() && b.Pos() >= best.Pos() && b.End() <= best.End() {
+			best = b
+		}
+		return true
+	})
+	return best
+}

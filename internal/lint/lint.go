@@ -46,9 +46,11 @@ type Analyzer struct {
 	Run func(pass *Pass) error
 }
 
-// All returns the full fistlint analyzer suite in stable order.
+// All returns the full fistlint analyzer suite in stable order: the PR 6
+// determinism/shard-safety checks followed by the lifecycle analyzers that
+// gate the always-on daemon work (leakclose, goleak, lockheld, ctxflow).
 func All() []*Analyzer {
-	return []*Analyzer{DetRange, ParCapture, AtomicMix, ErrFlow}
+	return []*Analyzer{DetRange, ParCapture, AtomicMix, ErrFlow, LeakClose, GoLeak, LockHeld, CtxFlow}
 }
 
 // A Pass holds one typechecked package being analyzed by one analyzer.
@@ -58,6 +60,11 @@ type Pass struct {
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
+
+	// Sums holds the pass-1 per-function summaries and intra-package call
+	// graph (see summary.go), computed once per package by Run and shared
+	// by every analyzer.
+	Sums *Summaries
 
 	diags []Diagnostic
 }
@@ -88,8 +95,9 @@ func (d Diagnostic) String() string {
 // analyzer are kept.
 func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var all []Diagnostic
+	sums := Summarize(fset, files, pkg, info)
 	for _, a := range analyzers {
-		pass := &Pass{Analyzer: a, Fset: fset, Files: files, Pkg: pkg, TypesInfo: info}
+		pass := &Pass{Analyzer: a, Fset: fset, Files: files, Pkg: pkg, TypesInfo: info, Sums: sums}
 		if err := a.Run(pass); err != nil {
 			return all, fmt.Errorf("fistlint/%s: %w", a.Name, err)
 		}
@@ -112,6 +120,26 @@ func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types
 // the directive may share the flagged line or sit on the line above it.
 var ignoreRe = regexp.MustCompile(`^//lint:ignore\s+(\S+)(?:\s+(.*))?$`)
 
+// parseIgnoreDirective parses one comment's text as a suppression
+// directive. matched is false when the comment is not a //lint:ignore
+// directive at all. For a matched directive, names holds the non-empty
+// analyzer names (comma-separated in the source, "fistlint/" prefix
+// stripped) and reason the trimmed justification; either may be empty on a
+// malformed directive, which the caller reports rather than drops.
+func parseIgnoreDirective(text string) (names []string, reason string, matched bool) {
+	m := ignoreRe.FindStringSubmatch(text)
+	if m == nil {
+		return nil, "", false
+	}
+	for _, name := range strings.Split(m[1], ",") {
+		name = strings.TrimPrefix(strings.TrimSpace(name), "fistlint/")
+		if name != "" {
+			names = append(names, name)
+		}
+	}
+	return names, strings.TrimSpace(m[2]), true
+}
+
 // ignoreKey identifies one suppressed (file, line, analyzer) cell.
 type ignoreKey struct {
 	file     string
@@ -127,12 +155,12 @@ func applyIgnores(fset *token.FileSet, files []*ast.File, diags []Diagnostic) []
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				m := ignoreRe.FindStringSubmatch(c.Text)
-				if m == nil {
+				names, reason, matched := parseIgnoreDirective(c.Text)
+				if !matched {
 					continue
 				}
 				pos := fset.Position(c.Pos())
-				if strings.TrimSpace(m[2]) == "" {
+				if reason == "" {
 					diags = append(diags, Diagnostic{
 						Analyzer: "directive",
 						Pos:      pos,
@@ -140,8 +168,15 @@ func applyIgnores(fset *token.FileSet, files []*ast.File, diags []Diagnostic) []
 					})
 					continue
 				}
-				for _, name := range strings.Split(m[1], ",") {
-					name = strings.TrimPrefix(strings.TrimSpace(name), "fistlint/")
+				if len(names) == 0 {
+					diags = append(diags, Diagnostic{
+						Analyzer: "directive",
+						Pos:      pos,
+						Message:  "//lint:ignore directive names no analyzer",
+					})
+					continue
+				}
+				for _, name := range names {
 					// The directive covers its own line and the next one.
 					ignored[ignoreKey{pos.Filename, pos.Line, name}] = true
 					ignored[ignoreKey{pos.Filename, pos.Line + 1, name}] = true

@@ -49,9 +49,9 @@ var incAnalyzer = &lint.Analyzer{
 	},
 }
 
-func TestAllRegistersFourAnalyzers(t *testing.T) {
+func TestAllRegistersEightAnalyzers(t *testing.T) {
 	got := lint.All()
-	want := []string{"detrange", "parcapture", "atomicmix", "errflow"}
+	want := []string{"detrange", "parcapture", "atomicmix", "errflow", "leakclose", "goleak", "lockheld", "ctxflow"}
 	if len(got) != len(want) {
 		t.Fatalf("All() returned %d analyzers, want %d", len(got), len(want))
 	}

@@ -1,0 +1,62 @@
+package linttest
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// TestRunSelfFixture points the harness at its own fixture package:
+// loading must resolve the sibling selfdep fixture through the fixture
+// importer and fmt/io/sort through the stdlib fallback, the analyzer must
+// produce exactly the one deliberate finding, and the want comment must
+// absorb it without test errors.
+func TestRunSelfFixture(t *testing.T) {
+	diags := Run(t, lint.DetRange, "selftest")
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1: %v", len(diags), diags)
+	}
+	d := diags[0]
+	if d.Analyzer != "detrange" {
+		t.Errorf("diagnostic attributed to %q, want detrange", d.Analyzer)
+	}
+	if !strings.Contains(d.Message, "map order is random") {
+		t.Errorf("diagnostic message %q missing the detrange rationale", d.Message)
+	}
+	if !strings.HasSuffix(d.Pos.Filename, "selftest.go") {
+		t.Errorf("diagnostic positioned in %q, want selftest.go", d.Pos.Filename)
+	}
+}
+
+// TestLoaderCachesFixtures verifies one loader typechecks each fixture
+// package once: the selftest package and its selfdep dependency come back
+// pointer-identical on a second load.
+func TestLoaderCachesFixtures(t *testing.T) {
+	l := newLoader(t, "testdata/src")
+	_, _, first, _ := l.load("selftest")
+	_, _, again, _ := l.load("selftest")
+	if first != again {
+		t.Fatal("second load returned a different *types.Package; fixture cache is broken")
+	}
+	dep, err := l.Import("selfdep")
+	if err != nil {
+		t.Fatalf("Import(selfdep): %v", err)
+	}
+	if dep != l.pkgs["selfdep"].pkg {
+		t.Fatal("Import(selfdep) bypassed the fixture cache")
+	}
+}
+
+// TestLoaderStdlibFallback pins the importer's other branch: a path with
+// no fixture directory resolves from the standard library.
+func TestLoaderStdlibFallback(t *testing.T) {
+	l := newLoader(t, "testdata/src")
+	pkg, err := l.Import("strings")
+	if err != nil {
+		t.Fatalf("Import(strings): %v", err)
+	}
+	if pkg.Path() != "strings" {
+		t.Fatalf("Import(strings) resolved to %q", pkg.Path())
+	}
+}

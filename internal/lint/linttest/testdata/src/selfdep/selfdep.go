@@ -1,0 +1,13 @@
+// Package selfdep exists to be imported by the selftest fixture, so the
+// harness's sibling-fixture import path is exercised alongside the
+// stdlib-from-source fallback.
+package selfdep
+
+// Keys returns the map's keys in arbitrary order; callers sort.
+func Keys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,27 @@
+// Package selftest is the harness's own fixture: one deliberate detrange
+// finding plus an import of a sibling fixture package, so a single Run
+// call exercises loading, fixture-vs-stdlib import resolution, analysis,
+// and want-matching end to end.
+package selftest
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"selfdep"
+)
+
+func dumpUnsorted(w io.Writer, m map[string]int) {
+	for k := range m {
+		fmt.Fprintln(w, k) // want "map order is random"
+	}
+}
+
+func dumpSorted(w io.Writer, m map[string]int) {
+	keys := selfdep.Keys(m)
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintln(w, k)
+	}
+}

@@ -1,0 +1,322 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// LockHeld flags blocking operations performed while a sync.Mutex or
+// sync.RWMutex is held: channel sends/receives, selects without default,
+// Wait calls, I/O (net/os under the summary model), and — the
+// interprocedural case — calls to in-package functions whose pass-1
+// summary says they block. Holding a lock across a blocking operation
+// turns one slow peer or full channel into a stall for every goroutine
+// contending on that lock, which a batch run survives and a daemon does
+// not. It also flags locks copied by value (a copied mutex guards
+// nothing).
+//
+// The scan is block-structured: Lock/RLock adds the receiver expression to
+// the held set, Unlock/RUnlock removes it, branches are scanned with a
+// copy of the set so `mu.Unlock(); return` inside an error branch doesn't
+// leak into the fallthrough path. A deferred unlock keeps the lock held to
+// the end of the function — that is the point of the idiom — so the whole
+// remainder is checked. `go` bodies and deferred closures are skipped:
+// they don't run while the spawner holds the lock.
+var LockHeld = &Analyzer{
+	Name: "lockheld",
+	Doc:  "flags channel ops, Wait, I/O, and blocking callees while a sync.Mutex/RWMutex is held, plus locks copied by value",
+	Run:  runLockHeld,
+}
+
+func runLockHeld(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkLockValueParams(pass, fd)
+			lockScanStmts(pass, fd.Body.List, map[string]bool{})
+		}
+	}
+	return nil
+}
+
+// lockScanStmts walks one statement list, threading the set of held lock
+// expressions through it and recursing into nested blocks with copies.
+func lockScanStmts(pass *Pass, stmts []ast.Stmt, held map[string]bool) {
+	info := pass.TypesInfo
+	for _, stmt := range stmts {
+		switch s := stmt.(type) {
+		case *ast.ExprStmt:
+			if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+				if key, op := lockOp(info, call); op != lockOpNone {
+					if op == lockOpLock {
+						held[key] = true
+					} else {
+						delete(held, key)
+					}
+					continue
+				}
+			}
+			reportBlockingIn(pass, s, held)
+		case *ast.DeferStmt:
+			// defer mu.Unlock() keeps the lock held to function exit — the
+			// idiom this analyzer exists to audit — so the held set is
+			// untouched. Other deferred work runs after the body and is
+			// not scanned here.
+		case *ast.GoStmt:
+			// The spawned body runs on its own goroutine without the lock;
+			// only the argument expressions evaluate here.
+			for _, arg := range s.Call.Args {
+				reportBlockingExpr(pass, arg, held)
+			}
+		case *ast.BlockStmt:
+			lockScanStmts(pass, s.List, copyHeld(held))
+		case *ast.IfStmt:
+			if s.Init != nil {
+				lockScanStmts(pass, []ast.Stmt{s.Init}, held)
+			}
+			reportBlockingExpr(pass, s.Cond, held)
+			lockScanStmts(pass, s.Body.List, copyHeld(held))
+			switch e := s.Else.(type) {
+			case *ast.BlockStmt:
+				lockScanStmts(pass, e.List, copyHeld(held))
+			case *ast.IfStmt:
+				lockScanStmts(pass, []ast.Stmt{e}, copyHeld(held))
+			}
+		case *ast.ForStmt:
+			if s.Init != nil {
+				lockScanStmts(pass, []ast.Stmt{s.Init}, held)
+			}
+			reportBlockingExpr(pass, s.Cond, held)
+			lockScanStmts(pass, s.Body.List, copyHeld(held))
+		case *ast.RangeStmt:
+			if tv, ok := info.Types[s.X]; ok && isChanType(tv.Type) && len(held) > 0 {
+				pass.Reportf(s.Pos(), "ranging over a channel while %s is held blocks every goroutine contending on the lock", heldName(held))
+			} else {
+				reportBlockingExpr(pass, s.X, held)
+			}
+			lockScanStmts(pass, s.Body.List, copyHeld(held))
+		case *ast.SwitchStmt:
+			if s.Init != nil {
+				lockScanStmts(pass, []ast.Stmt{s.Init}, held)
+			}
+			reportBlockingExpr(pass, s.Tag, held)
+			for _, clause := range s.Body.List {
+				if cc, ok := clause.(*ast.CaseClause); ok {
+					lockScanStmts(pass, cc.Body, copyHeld(held))
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			for _, clause := range s.Body.List {
+				if cc, ok := clause.(*ast.CaseClause); ok {
+					lockScanStmts(pass, cc.Body, copyHeld(held))
+				}
+			}
+		case *ast.SelectStmt:
+			if len(held) > 0 && !selectHasDefault(s) {
+				pass.Reportf(s.Pos(), "select without default while %s is held blocks every goroutine contending on the lock", heldName(held))
+			}
+			for _, clause := range s.Body.List {
+				if cc, ok := clause.(*ast.CommClause); ok {
+					lockScanStmts(pass, cc.Body, copyHeld(held))
+				}
+			}
+		case *ast.LabeledStmt:
+			lockScanStmts(pass, []ast.Stmt{s.Stmt}, held)
+		case *ast.AssignStmt:
+			checkLockValueCopy(pass, s)
+			reportBlockingIn(pass, s, held)
+		default:
+			reportBlockingIn(pass, stmt, held)
+		}
+	}
+}
+
+type lockOpKind int
+
+const (
+	lockOpNone lockOpKind = iota
+	lockOpLock
+	lockOpUnlock
+)
+
+// lockOp classifies a call as taking or releasing a sync mutex and returns
+// the lock's receiver expression as the held-set key.
+func lockOp(info *types.Info, call *ast.CallExpr) (string, lockOpKind) {
+	fn := calleeFunc(info, call)
+	if fn == nil || !(isMethodOn(fn, "sync", "Mutex") || isMethodOn(fn, "sync", "RWMutex")) {
+		return "", lockOpNone
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", lockOpNone
+	}
+	key := types.ExprString(sel.X)
+	switch fn.Name() {
+	case "Lock", "RLock":
+		return key, lockOpLock
+	case "Unlock", "RUnlock":
+		return key, lockOpUnlock
+	}
+	return "", lockOpNone
+}
+
+func copyHeld(held map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(held))
+	for k := range held {
+		out[k] = true
+	}
+	return out
+}
+
+// heldName names one held lock for the diagnostic, smallest key first so
+// the message is deterministic.
+func heldName(held map[string]bool) string {
+	keys := make([]string, 0, len(held))
+	for k := range held {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys[0]
+}
+
+// reportBlockingIn scans one simple statement's subtree for blocking
+// operations while locks are held, skipping nested function literals and
+// go/defer subtrees (they don't run here).
+func reportBlockingIn(pass *Pass, stmt ast.Stmt, held map[string]bool) {
+	if len(held) == 0 {
+		return
+	}
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit, *ast.GoStmt, *ast.DeferStmt:
+			return false
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(), "channel send while %s is held blocks every goroutine contending on the lock", heldName(held))
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				pass.Reportf(n.Pos(), "channel receive while %s is held blocks every goroutine contending on the lock", heldName(held))
+			}
+		case *ast.CallExpr:
+			reportBlockingCall(pass, n, held)
+		}
+		return true
+	})
+}
+
+// reportBlockingExpr is reportBlockingIn for a bare expression (loop
+// conditions, range operands, call arguments).
+func reportBlockingExpr(pass *Pass, expr ast.Expr, held map[string]bool) {
+	if expr == nil || len(held) == 0 {
+		return
+	}
+	reportBlockingIn(pass, &ast.ExprStmt{X: expr}, held)
+}
+
+// reportBlockingCall flags a call that blocks under the summary model
+// while a lock is held: known-blocking stdlib shapes (Wait, Sleep, net/os
+// I/O) or an in-package callee whose summary blocks. sync primitives are
+// exempt — Lock/Unlock on another mutex is lock ordering, not blocking
+// I/O, and flagging it would drown the signal.
+func reportBlockingCall(pass *Pass, call *ast.CallExpr, held map[string]bool) {
+	info := pass.TypesInfo
+	fn := calleeFunc(info, call)
+	if fn != nil && (isMethodOn(fn, "sync", "Mutex") || isMethodOn(fn, "sync", "RWMutex") || isMethodOn(fn, "sync", "Cond")) {
+		return
+	}
+	if callBlocksDirect(info, call) {
+		pass.Reportf(call.Pos(), "blocking call %s while %s is held stalls every goroutine contending on the lock", callName(fn), heldName(held))
+		return
+	}
+	if fi := pass.Sums.OfCallee(info, call); fi != nil && fi.Blocks {
+		pass.Reportf(call.Pos(), "call to %s while %s is held: its summary says it blocks (channel op, Wait, or I/O), stalling lock contenders", fn.Name(), heldName(held))
+	}
+}
+
+func callName(fn *types.Func) string {
+	if fn == nil {
+		return "(dynamic)"
+	}
+	return fn.Name()
+}
+
+// ---------------------------------------------------------------------------
+// by-value lock copies
+
+// checkLockValueParams flags parameters and receivers whose non-pointer
+// type contains a sync.Mutex/RWMutex: the callee operates on a copy, so
+// the lock guards nothing.
+func checkLockValueParams(pass *Pass, fd *ast.FuncDecl) {
+	check := func(fields *ast.FieldList, what string) {
+		if fields == nil {
+			return
+		}
+		for _, field := range fields.List {
+			tv, ok := pass.TypesInfo.Types[field.Type]
+			if !ok {
+				continue
+			}
+			if _, isPtr := tv.Type.(*types.Pointer); isPtr {
+				continue
+			}
+			if typeContainsLock(tv.Type, 0) {
+				pass.Reportf(field.Pos(), "%s passes a lock by value; the copy guards nothing — use a pointer", what)
+			}
+		}
+	}
+	check(fd.Recv, "receiver")
+	check(fd.Type.Params, "parameter")
+}
+
+// checkLockValueCopy flags plain assignments that copy an existing
+// lock-containing value (y := x, y := *p, y := s.field). Composite
+// literals are fine: a fresh zero mutex is a valid new lock.
+func checkLockValueCopy(pass *Pass, as *ast.AssignStmt) {
+	info := pass.TypesInfo
+	for _, rhs := range as.Rhs {
+		switch ast.Unparen(rhs).(type) {
+		case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+		default:
+			continue
+		}
+		tv, ok := info.Types[rhs]
+		if !ok {
+			continue
+		}
+		if _, isPtr := tv.Type.(*types.Pointer); isPtr {
+			continue
+		}
+		if typeContainsLock(tv.Type, 0) {
+			pass.Reportf(rhs.Pos(), "assignment copies a value containing a sync lock; the copy guards nothing — use a pointer")
+		}
+	}
+}
+
+// typeContainsLock reports whether t embeds a sync.Mutex/RWMutex by value,
+// directly or through struct fields and array elements (bounded depth).
+func typeContainsLock(t types.Type, depth int) bool {
+	if t == nil || depth > 10 {
+		return false
+	}
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" && (obj.Name() == "Mutex" || obj.Name() == "RWMutex") {
+			return true
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if typeContainsLock(u.Field(i).Type(), depth+1) {
+				return true
+			}
+		}
+	case *types.Array:
+		return typeContainsLock(u.Elem(), depth+1)
+	}
+	return false
+}

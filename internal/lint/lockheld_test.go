@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+func TestLockHeld(t *testing.T) {
+	linttest.Run(t, lint.LockHeld, "lockheld")
+}

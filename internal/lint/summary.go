@@ -1,0 +1,420 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file is pass 1 of the two-pass framework the lifecycle analyzers
+// (leakclose, goleak, lockheld, ctxflow) are built on. Before any analyzer
+// runs, Summarize walks every function declaration in the package once and
+// computes a FuncInfo summary — does the function close its parameters,
+// spawn goroutines, block, accept a context — plus an intra-package call
+// graph resolved from static call sites. Pass 2 (the analyzers) consumes
+// the summaries instead of re-deriving facts at every call site, which is
+// what lets a check reason across function boundaries: "this callee closes
+// the file I pass it", "this callee blocks, so calling it under a mutex is
+// a stall", "this named function is the body of a goroutine".
+//
+// Known approximations, shared by every consumer:
+//
+//   - The call graph covers static call sites only. Dynamic dispatch
+//     through interfaces and calls through function values resolve to
+//     nothing, so their effects are invisible (callers treat an unresolved
+//     callee conservatively: unknown functions neither block nor close).
+//   - Summaries are intra-package. Cross-package callees fall back to a
+//     fixed model of the standard library (channel syntax, sync.*.Wait,
+//     time.Sleep, net/os I/O) rather than real summaries.
+//   - A function's blocking bit ignores code it only spawns (`go` bodies):
+//     spawning is instantaneous even when the spawned body blocks.
+type FuncInfo struct {
+	// Decl is the summarized declaration; Fn its types object.
+	Decl *ast.FuncDecl
+	Fn   *types.Func
+
+	// ClosesParam[i] reports that some path through the function calls
+	// Close or Flush on the i-th parameter (the receiver is index -1). It
+	// is how leakclose sees ownership transfer into a callee.
+	ClosesParam map[int]bool
+
+	// CtxParam is the index of the first context.Context parameter, -1
+	// when the function does not accept one.
+	CtxParam int
+
+	// SpawnsGo reports a `go` statement anywhere in the body. SpawnedByGo
+	// reports that some function in the package spawns THIS function with
+	// a `go` statement — its body runs on its own goroutine.
+	SpawnsGo    bool
+	SpawnedByGo bool
+
+	// BlocksDirect reports a blocking operation lexically in the body
+	// (channel send/receive/select/range, a Wait, time.Sleep, known I/O).
+	// Blocks adds transitivity: the function calls an in-package function
+	// that Blocks. Code only spawned (`go` bodies) is excluded from both.
+	BlocksDirect bool
+	Blocks       bool
+
+	// Join evidence for goleak, gathered over the body outside `go`
+	// statements: the function signals a WaitGroup, closes or sends on or
+	// receives from or ranges over a channel, or selects on a Done
+	// channel. A goroutine whose body shows any of these has a join or
+	// cancellation path.
+	DoneWaitGroup bool
+	ClosesChan    bool
+	ChanOps       bool
+
+	// Calls holds the intra-package functions this function calls from
+	// static call sites (excluding `go` bodies, which don't run on this
+	// function's goroutine).
+	Calls map[*types.Func]bool
+}
+
+// JoinEvidence reports whether the function's body shows a join or
+// cancellation path for a goroutine running it: it signals a WaitGroup,
+// interacts with a channel, or closes one.
+func (fi *FuncInfo) JoinEvidence() bool {
+	return fi.DoneWaitGroup || fi.ClosesChan || fi.ChanOps
+}
+
+// Summaries is the pass-1 result for one package: a FuncInfo per function
+// declaration, keyed by its types object.
+type Summaries struct {
+	byFn map[*types.Func]*FuncInfo
+}
+
+// Of returns fn's summary, or nil for functions not declared in this
+// package (or not resolvable).
+func (s *Summaries) Of(fn *types.Func) *FuncInfo {
+	if s == nil || fn == nil {
+		return nil
+	}
+	return s.byFn[fn]
+}
+
+// OfCallee resolves call's static callee and returns its summary, nil when
+// the callee is dynamic, a builtin, or declared outside the package.
+func (s *Summaries) OfCallee(info *types.Info, call *ast.CallExpr) *FuncInfo {
+	return s.Of(calleeFunc(info, call))
+}
+
+// Funcs returns every summarized function (iteration order is undefined;
+// callers needing determinism must sort).
+func (s *Summaries) Funcs() map[*types.Func]*FuncInfo { return s.byFn }
+
+// Summarize computes pass-1 summaries for every function declaration in the
+// package files.
+func Summarize(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) *Summaries {
+	s := &Summaries{byFn: make(map[*types.Func]*FuncInfo)}
+	for _, file := range files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := info.Defs[fd.Name].(*types.Func)
+			if fn == nil {
+				continue
+			}
+			s.byFn[fn] = summarizeFunc(info, fd, fn)
+		}
+	}
+	s.markSpawned(info)
+	s.propagateBlocks()
+	return s
+}
+
+// summarizeFunc builds one FuncInfo by walking the body, skipping the
+// subtrees of `go` statements (they run on another goroutine).
+func summarizeFunc(info *types.Info, fd *ast.FuncDecl, fn *types.Func) *FuncInfo {
+	fi := &FuncInfo{
+		Decl:        fd,
+		Fn:          fn,
+		ClosesParam: make(map[int]bool),
+		CtxParam:    -1,
+		Calls:       make(map[*types.Func]bool),
+	}
+	params := paramObjects(info, fd)
+	sig := fn.Type().(*types.Signature)
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isContextType(sig.Params().At(i).Type()) {
+			fi.CtxParam = i
+			break
+		}
+	}
+
+	inspectStack(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+		if _, ok := n.(*ast.GoStmt); ok {
+			fi.SpawnsGo = true
+			return false // spawned code runs elsewhere; see markSpawned
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			fi.BlocksDirect = true
+			fi.ChanOps = true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				fi.BlocksDirect = true
+				fi.ChanOps = true
+			}
+		case *ast.SelectStmt:
+			if !selectHasDefault(n) {
+				fi.BlocksDirect = true
+			}
+			fi.ChanOps = true
+		case *ast.RangeStmt:
+			if tv, ok := info.Types[n.X]; ok && isChanType(tv.Type) {
+				fi.BlocksDirect = true
+				fi.ChanOps = true
+			}
+		case *ast.CallExpr:
+			summarizeCall(info, fi, params, n)
+		}
+		return true
+	})
+	return fi
+}
+
+// summarizeCall folds one call expression into the summary.
+func summarizeCall(info *types.Info, fi *FuncInfo, params map[types.Object]int, call *ast.CallExpr) {
+	// close(ch) is join evidence (the done-channel idiom).
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && info.Uses[id] == types.Universe.Lookup("close") {
+		fi.ClosesChan = true
+		return
+	}
+	fn := calleeFunc(info, call)
+	if fn != nil {
+		if fi.Fn.Pkg() != nil && fn.Pkg() == fi.Fn.Pkg() && fn != fi.Fn {
+			fi.Calls[fn] = true
+		}
+		if fn.Name() == "Done" && isMethodOn(fn, "sync", "WaitGroup") {
+			fi.DoneWaitGroup = true
+		}
+	}
+	if callBlocksDirect(info, call) {
+		fi.BlocksDirect = true
+	}
+	// x.Close() / x.Flush() on a parameter: the function releases a value
+	// it was handed — leakclose's ownership-transfer exemption.
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok &&
+		(sel.Sel.Name == "Close" || sel.Sel.Name == "Flush") && len(call.Args) == 0 {
+		if obj := baseIdentObj(info, sel.X); obj != nil {
+			if idx, ok := params[obj]; ok {
+				fi.ClosesParam[idx] = true
+			}
+		}
+	}
+}
+
+// markSpawned records, for every `go` statement whose callee resolves to an
+// in-package function (directly or as the sole call inside a spawned
+// closure), that the target function runs on its own goroutine.
+func (s *Summaries) markSpawned(info *types.Info) {
+	for _, fi := range s.byFn {
+		ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if target := s.OfCallee(info, g.Call); target != nil {
+				target.SpawnedByGo = true
+			}
+			// go func() { ... f() ... }: everything inside the literal runs
+			// on the new goroutine, so any in-package callee is goroutine-borne.
+			if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+				ast.Inspect(lit.Body, func(m ast.Node) bool {
+					if call, ok := m.(*ast.CallExpr); ok {
+						if target := s.OfCallee(info, call); target != nil {
+							target.SpawnedByGo = true
+						}
+					}
+					return true
+				})
+			}
+			return true
+		})
+	}
+}
+
+// propagateBlocks closes the Blocks bit over the intra-package call graph:
+// a function blocks when it blocks directly or calls an in-package function
+// that blocks. Cycles converge because the bit only ever flips one way.
+func (s *Summaries) propagateBlocks() {
+	for _, fi := range s.byFn {
+		fi.Blocks = fi.BlocksDirect
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fi := range s.byFn {
+			if fi.Blocks {
+				continue
+			}
+			for callee := range fi.Calls {
+				if target := s.byFn[callee]; target != nil && target.Blocks {
+					fi.Blocks = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+}
+
+// paramObjects maps each parameter (and the receiver, index -1) of fd to
+// its signature index.
+func paramObjects(info *types.Info, fd *ast.FuncDecl) map[types.Object]int {
+	params := make(map[types.Object]int)
+	if fd.Recv != nil {
+		for _, field := range fd.Recv.List {
+			for _, name := range field.Names {
+				if obj := info.Defs[name]; obj != nil {
+					params[obj] = -1
+				}
+			}
+		}
+	}
+	idx := 0
+	if fd.Type.Params != nil {
+		for _, field := range fd.Type.Params.List {
+			if len(field.Names) == 0 {
+				idx++
+				continue
+			}
+			for _, name := range field.Names {
+				if obj := info.Defs[name]; obj != nil {
+					params[obj] = idx
+				}
+				idx++
+			}
+		}
+	}
+	return params
+}
+
+// ---------------------------------------------------------------------------
+// the shared blocking / type classification model
+
+// callBlocksDirect reports whether a call is a known blocking operation
+// without consulting summaries: Wait on anything, time.Sleep, and the I/O
+// model (methods on net types and *os.File, functions in package net, any
+// call handed a net value).
+func callBlocksDirect(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	if fn != nil {
+		sig := fn.Type().(*types.Signature)
+		if fn.Name() == "Wait" && sig.Recv() != nil {
+			return true // sync.WaitGroup, sync.Cond, par.Group, exec.Cmd, ...
+		}
+		if pkgPathIs(fn, "time") && fn.Name() == "Sleep" {
+			return true
+		}
+		// par.ForEach runs its workers and waits for them.
+		if pkgPathIs(fn, "par") && fn.Name() == "ForEach" && sig.Recv() == nil {
+			return true
+		}
+	}
+	return callIsIO(info, call)
+}
+
+// ioExemptNetMethods are methods on net types that complete without
+// touching the wire: address accessors and deadline bookkeeping.
+var ioExemptNetMethods = map[string]bool{
+	"LocalAddr": true, "RemoteAddr": true, "Addr": true,
+	"Network": true, "String": true,
+	"SetDeadline": true, "SetReadDeadline": true, "SetWriteDeadline": true,
+}
+
+// ioExemptOsFileMethods are *os.File methods that don't perform I/O.
+var ioExemptOsFileMethods = map[string]bool{"Name": true, "Fd": true}
+
+// callIsIO reports whether a call performs (potentially blocking) I/O under
+// the fixed stdlib model: a method on a net type or *os.File, a function in
+// package net (Dial, Listen, ...), or any call that receives a net value as
+// an argument (e.g. wire.WriteMessage(conn, ...)).
+func callIsIO(info *types.Info, call *ast.CallExpr) bool {
+	if fn := calleeFunc(info, call); fn != nil {
+		sig := fn.Type().(*types.Signature)
+		if recv := sig.Recv(); recv != nil {
+			if isNetType(recv.Type()) && !ioExemptNetMethods[fn.Name()] {
+				return true
+			}
+			if isOsFileType(recv.Type()) && !ioExemptOsFileMethods[fn.Name()] {
+				return true
+			}
+		} else if fn.Pkg() != nil && fn.Pkg().Path() == "net" {
+			return true
+		}
+	}
+	for _, arg := range call.Args {
+		if tv, ok := info.Types[arg]; ok && isNetType(tv.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+// isNetType reports whether t (possibly behind a pointer) is a named type
+// declared in package net (net.Conn, net.Listener, *net.TCPConn, ...).
+func isNetType(t types.Type) bool {
+	named := namedOf(t)
+	return named != nil && named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == "net"
+}
+
+// isOsFileType reports whether t is *os.File (or os.File).
+func isOsFileType(t types.Type) bool {
+	named := namedOf(t)
+	return named != nil && named.Obj().Name() == "File" &&
+		named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == "os"
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named := namedOf(t)
+	return named != nil && named.Obj().Name() == "Context" &&
+		named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == "context"
+}
+
+// namedOf unwraps pointers and returns t's named type, or nil.
+func namedOf(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// isChanType reports whether t's underlying type is a channel.
+func isChanType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}
+
+// isMethodOn reports whether fn is a method on (a pointer to) pkg.recvType.
+func isMethodOn(fn *types.Func, pkg, recvType string) bool {
+	if fn == nil || !pkgPathIs(fn, pkg) {
+		return false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return false
+	}
+	named := namedOf(recv.Type())
+	return named != nil && named.Obj().Name() == recvType
+}
+
+// selectHasDefault reports whether a select statement has a default case
+// (making it non-blocking).
+func selectHasDefault(sel *ast.SelectStmt) bool {
+	for _, clause := range sel.Body.List {
+		if cc, ok := clause.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}

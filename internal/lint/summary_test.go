@@ -1,0 +1,158 @@
+package lint_test
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// summarize typechecks src (stdlib imports compiled from source) and
+// returns the pass-1 summaries keyed by function name.
+func summarize(t *testing.T, src string) map[string]*lint.FuncInfo {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types: make(map[ast.Expr]types.TypeAndValue),
+		Defs:  make(map[*ast.Ident]types.Object),
+		Uses:  make(map[*ast.Ident]types.Object),
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	pkg, err := conf.Check("x", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	sums := lint.Summarize(fset, []*ast.File{f}, pkg, info)
+	byName := make(map[string]*lint.FuncInfo)
+	for fn, fi := range sums.Funcs() {
+		byName[fn.Name()] = fi
+	}
+	return byName
+}
+
+func TestSummaryBlockingPropagatesThroughCallGraph(t *testing.T) {
+	src := `package x
+
+func leaf(ch chan int) { ch <- 1 }
+
+func mid(ch chan int) { leaf(ch) }
+
+func top(ch chan int) { mid(ch) }
+
+func pure(n int) int { return n * 2 }
+
+func spawner(ch chan int) {
+	go leaf(ch)
+}
+`
+	fis := summarize(t, src)
+	if !fis["leaf"].BlocksDirect || !fis["leaf"].Blocks {
+		t.Errorf("leaf: want BlocksDirect and Blocks, got %+v", fis["leaf"])
+	}
+	if fis["mid"].BlocksDirect {
+		t.Errorf("mid: BlocksDirect should be false (it only calls leaf)")
+	}
+	if !fis["mid"].Blocks || !fis["top"].Blocks {
+		t.Errorf("mid/top: Blocks should propagate transitively through the call graph")
+	}
+	if fis["pure"].Blocks {
+		t.Errorf("pure: must not block")
+	}
+	// Spawned code doesn't block the spawner.
+	if fis["spawner"].Blocks {
+		t.Errorf("spawner: go leaf(ch) must not set the spawner's blocking bit")
+	}
+	if !fis["spawner"].SpawnsGo {
+		t.Errorf("spawner: SpawnsGo not recorded")
+	}
+	if !fis["leaf"].SpawnedByGo {
+		t.Errorf("leaf: SpawnedByGo not recorded from go leaf(ch)")
+	}
+}
+
+func TestSummaryClosesParamAndCtx(t *testing.T) {
+	src := `package x
+
+import (
+	"context"
+	"os"
+)
+
+type res struct{ f *os.File }
+
+func closeIt(f *os.File) error { return f.Close() }
+
+func (r *res) release() { r.f.Close() }
+
+func keepOpen(f *os.File) int {
+	st, err := f.Stat()
+	if err != nil {
+		return 0
+	}
+	return int(st.Size())
+}
+
+func withCtx(ctx context.Context, n int) {}
+
+func noCtx(n int) {}
+`
+	fis := summarize(t, src)
+	if !fis["closeIt"].ClosesParam[0] {
+		t.Errorf("closeIt: ClosesParam[0] not recorded")
+	}
+	if fis["keepOpen"].ClosesParam[0] {
+		t.Errorf("keepOpen: must not be marked as closing its parameter")
+	}
+	if fis["withCtx"].CtxParam != 0 {
+		t.Errorf("withCtx: CtxParam = %d, want 0", fis["withCtx"].CtxParam)
+	}
+	if fis["noCtx"].CtxParam != -1 {
+		t.Errorf("noCtx: CtxParam = %d, want -1", fis["noCtx"].CtxParam)
+	}
+}
+
+func TestSummaryJoinEvidence(t *testing.T) {
+	src := `package x
+
+import "sync"
+
+type s struct {
+	ch   chan int
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+func (x *s) ranger() {
+	for v := range x.ch {
+		_ = v
+	}
+}
+
+func (x *s) signaller() {
+	defer x.wg.Done()
+}
+
+func (x *s) closer() {
+	close(x.done)
+}
+
+func plain(n int) int { return n + 1 }
+`
+	fis := summarize(t, src)
+	for _, name := range []string{"ranger", "signaller", "closer"} {
+		if !fis[name].JoinEvidence() {
+			t.Errorf("%s: JoinEvidence() = false, want true", name)
+		}
+	}
+	if fis["plain"].JoinEvidence() {
+		t.Errorf("plain: JoinEvidence() = true, want false")
+	}
+}

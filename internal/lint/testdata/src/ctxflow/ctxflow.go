@@ -1,0 +1,140 @@
+// Fixture for the ctxflow analyzer: received contexts must flow to
+// ctx-accepting callees, and goroutine loops must be cancellable.
+package ctxflow
+
+import "context"
+
+func fetch(ctx context.Context, id int) error {
+	<-ctx.Done()
+	return ctx.Err()
+}
+
+// Positive: receives a ctx but detaches the callee with a fresh one.
+func handle(ctx context.Context, id int) error {
+	return fetch(context.Background(), id) // want `context.Background\(\) detaches fetch`
+}
+
+// Positive: context.TODO is the same detachment.
+func handleTODO(ctx context.Context, id int) error {
+	return fetch(context.TODO(), id) // want `context.TODO\(\) detaches fetch`
+}
+
+// Suppression: a deliberately detached call carries a reason.
+func audit(ctx context.Context, id int) error {
+	//lint:ignore fistlint/ctxflow audit write must survive request cancellation
+	return fetch(context.Background(), id)
+}
+
+// Guard: forwarding the received ctx is the contract.
+func forward(ctx context.Context, id int) error {
+	return fetch(ctx, id)
+}
+
+// Guard: a ctx derived from the received one still propagates
+// cancellation.
+func derived(ctx context.Context, id int) error {
+	c, cancel := context.WithCancel(ctx)
+	defer cancel()
+	return fetch(c, id)
+}
+
+// Guard (interprocedural): forwarding through an in-package helper is
+// clean at both hops — the helper's own summary records its ctx parameter.
+func viaHelper(ctx context.Context, id int) error {
+	return helper(ctx, id)
+}
+
+func helper(ctx context.Context, id int) error {
+	return fetch(ctx, id)
+}
+
+type worker struct {
+	tick int
+	ch   chan int
+}
+
+// Positive (interprocedural): run's summary marks it spawned-by-go, and
+// its infinite loop observes nothing.
+func (w *worker) start() {
+	go w.run()
+}
+
+func (w *worker) run() {
+	for { // want `never observes cancellation`
+		w.tick++
+	}
+}
+
+// Positive: spawned literal spinning with no way out.
+func spin(step func()) {
+	go func() {
+		for { // want `never observes cancellation`
+			step()
+		}
+	}()
+}
+
+// Guard: a select on ctx.Done makes the loop cancellable.
+func pump(ctx context.Context, ch chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case v := <-ch:
+				_ = v
+			}
+		}
+	}()
+}
+
+// Guard (interprocedural): serveForever is never spawned with `go` in this
+// package — the summaries know — so its loop is the caller's problem, not
+// a goroutine leak.
+func serveForever(step func()) {
+	for {
+		step()
+	}
+}
+
+// Guard: a break bound to the loop is a way out, even without a select.
+func drain(done *bool, ch chan int) {
+	go func() {
+		for {
+			if *done {
+				break
+			}
+			<-ch
+		}
+	}()
+}
+
+// Guard: ranging a channel inside the loop parks on — and exits with —
+// that channel.
+func consume(ch chan int, sink func(int)) {
+	go func() {
+		for {
+			for v := range ch {
+				sink(v)
+			}
+		}
+	}()
+}
+
+// Guard: a panic is an exit; watchdog loops that panic on a tripwire are
+// not unobservant spins.
+func watchdog(tripped *bool) {
+	go func() {
+		for {
+			if *tripped {
+				panic("watchdog tripped")
+			}
+		}
+	}()
+}
+
+// Positive: detaching through a function value still reports, with the
+// callee unnamed.
+func apply(ctx context.Context, fn func(context.Context) error) error {
+	return fn(context.Background()) // want `context.Background\(\) detaches the callee`
+}

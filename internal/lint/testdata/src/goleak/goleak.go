@@ -1,0 +1,92 @@
+// Fixture for the goleak analyzer: every `go` needs a visible join or
+// cancellation path.
+package goleak
+
+import (
+	"sort"
+	"sync"
+)
+
+// Positive: spawned literal with no join evidence at all.
+func fireAndForget(work func()) {
+	go func() { // want `no join or cancellation path`
+		work()
+	}()
+}
+
+// Positive: spawned named function whose summary shows no join evidence.
+func spawnTicker(s *server) {
+	go s.bump() // want `bump, which has no join or cancellation path`
+}
+
+// Positive: out-of-package callee — nothing visible joins it.
+func sortAsync(xs []string) {
+	go sort.Strings(xs) // want `callee is outside the package`
+}
+
+// Suppression: intentional fire-and-forget carries a reason.
+func auditAsync(s *server) {
+	//lint:ignore fistlint/goleak audit log write is fire-and-forget by design
+	go s.bump()
+}
+
+type server struct {
+	ch   chan int
+	done chan struct{}
+	wg   sync.WaitGroup
+	hits int
+}
+
+func (s *server) bump() { s.hits++ }
+
+// loop drains the work channel; ranging over it is its join path (close
+// the channel to stop it).
+func (s *server) loop() {
+	for v := range s.ch {
+		s.hits += v
+	}
+	close(s.done)
+}
+
+// worker signals the WaitGroup when it finishes.
+func (s *server) worker() {
+	defer s.wg.Done()
+	s.bump()
+}
+
+// Guard (interprocedural): the spawned named function's summary shows a
+// channel range — goleak never reads loop's body here.
+func (s *server) start() {
+	go s.loop()
+}
+
+// Guard (interprocedural): summary shows a WaitGroup.Done.
+func (s *server) startWorker() {
+	s.wg.Add(1)
+	go s.worker()
+}
+
+// Guard: literal with direct join evidence (WaitGroup.Done).
+func (s *server) startInline() {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.bump()
+	}()
+}
+
+// Guard (interprocedural): the literal itself shows nothing, but it calls
+// an in-package function whose summary has join evidence.
+func (s *server) startWrapped() {
+	go func() {
+		s.loop()
+	}()
+}
+
+// Guard: a done-channel send is a join path.
+func (s *server) startSignalling() {
+	go func() {
+		s.bump()
+		s.done <- struct{}{}
+	}()
+}

@@ -1,0 +1,192 @@
+// Fixture for the leakclose analyzer: Close/Flush-owning values must be
+// released on every path or demonstrably transfer ownership.
+package leakclose
+
+import "os"
+
+// Positive: opened, read, never closed.
+func leaky(path string) (int, error) {
+	f, err := os.Open(path) // want `never closed`
+	if err != nil {
+		return 0, err
+	}
+	buf := make([]byte, 16)
+	n, err := f.Read(buf)
+	return n, err
+}
+
+// Positive: closed on the happy path but leaked on the mid-function error
+// return.
+func leakyOnError(path string) error {
+	f, err := os.Open(path) // want `not closed on the return path`
+	if err != nil {
+		return err
+	}
+	hdr := make([]byte, 8)
+	if _, err := f.Read(hdr); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// Suppression: a deliberate leak carries a reason.
+func deliberateLeak(path string) int {
+	//lint:ignore fistlint/leakclose scratch probe; the process exits immediately after
+	f, err := os.Open(path)
+	if err != nil {
+		return 0
+	}
+	buf := make([]byte, 1)
+	n, _ := f.Read(buf)
+	return n
+}
+
+// Guard: deferred close right after the error check covers every later
+// exit, including error returns.
+func readHeader(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	hdr := make([]byte, 8)
+	if _, err := f.Read(hdr); err != nil {
+		return nil, err
+	}
+	return hdr, nil
+}
+
+// Guard: returning the value transfers ownership to the caller.
+func open(path string) (*os.File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// handle owns the file it wraps; its own Close releases it.
+type handle struct{ f *os.File }
+
+func (h *handle) Close() error { return h.f.Close() }
+
+// Guard: storing the value in a struct that has its own Close transfers
+// ownership into the composite.
+func wrap(path string) (*handle, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return &handle{f: f}, nil
+}
+
+// Guard (interprocedural): drainAndClose's pass-1 summary says it closes
+// its parameter, so passing f to it is a release, not a leak.
+func process(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	return drainAndClose(f)
+}
+
+func drainAndClose(f *os.File) error {
+	defer f.Close()
+	buf := make([]byte, 32)
+	for {
+		if _, err := f.Read(buf); err != nil {
+			return nil
+		}
+	}
+}
+
+// Guard: the function's tail is an infinite loop with no break, so control
+// cannot fall off the end; the close before the loop's only return covers
+// the one real exit.
+func pump(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, 1)
+	for {
+		if _, err := f.Read(buf); err != nil {
+			f.Close()
+			return err
+		}
+	}
+}
+
+// Guard: the tail loop breaks on error, so fall-off is reachable — and the
+// close after the loop covers it.
+func pumpAll(path string, out chan<- byte) {
+	f, err := os.Open(path)
+	if err != nil {
+		return
+	}
+	buf := make([]byte, 1)
+	for {
+		if _, err := f.Read(buf); err != nil {
+			break
+		}
+		out <- buf[0]
+	}
+	f.Close()
+}
+
+// Positive: same shape without the close — the break makes fall-off a
+// leaking exit.
+func leakyPump(path string, out chan<- byte) {
+	f, err := os.Open(path) // want `never closed`
+	if err != nil {
+		return
+	}
+	buf := make([]byte, 1)
+	for {
+		if _, err := f.Read(buf); err != nil {
+			break
+		}
+		out <- buf[0]
+	}
+}
+
+// Guard: sending the handle hands ownership to the channel's consumer.
+func produce(path string, out chan<- *os.File) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	out <- f
+	return nil
+}
+
+// Guard: storing the handle in a long-lived struct transfers ownership;
+// holder's own lifecycle closes it.
+type holder struct{ f *os.File }
+
+func (h *holder) adopt(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	h.f = f
+	return nil
+}
+
+// Guard: the conditional-cleanup idiom — a deferred closure closes the
+// file only when a later step failed, the happy path closes explicitly.
+func writeAll(path string, data []byte) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err != nil {
+			f.Close()
+		}
+	}()
+	if _, err = f.Write(data); err != nil {
+		return err
+	}
+	return f.Close()
+}

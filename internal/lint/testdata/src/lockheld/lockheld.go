@@ -1,0 +1,190 @@
+// Fixture for the lockheld analyzer: no blocking operations while a sync
+// lock is held, and no locks copied by value.
+package lockheld
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	ch chan int
+	wg sync.WaitGroup
+	n  int
+}
+
+// Positive: channel send under the lock.
+func (c *counter) publish() {
+	c.mu.Lock()
+	c.ch <- c.n // want `channel send while c.mu is held`
+	c.mu.Unlock()
+}
+
+// Positive: channel receive under a deferred unlock (the lock is held to
+// function exit).
+func (c *counter) take() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return <-c.ch // want `channel receive while c.mu is held`
+}
+
+// Positive: Wait while holding the lock.
+func (c *counter) drain() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.wg.Wait() // want `blocking call Wait while c.mu is held`
+}
+
+// flush blocks (channel send) — pass 1 records that in its summary.
+func (c *counter) flush() {
+	c.ch <- c.n
+}
+
+// Positive (interprocedural): the callee's summary says it blocks.
+func (c *counter) publishLocked() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.flush() // want `summary says it blocks`
+}
+
+// Positive: a lock-bearing receiver taken by value is a copied lock.
+func (c counter) snapshot() int { // want `receiver passes a lock by value`
+	return c.n
+}
+
+// Suppression: a deliberate send under the lock carries a reason.
+func (c *counter) deliberate() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	//lint:ignore fistlint/lockheld buffered channel sized for worst case; send cannot block
+	c.ch <- c.n
+}
+
+// Guard: unlock before the send.
+func (c *counter) ok() {
+	c.mu.Lock()
+	n := c.n
+	c.mu.Unlock()
+	c.ch <- n
+}
+
+// Guard: the error branch unlocks before sending and returning; the
+// branch-local held set doesn't leak into the fallthrough path, and the
+// fallthrough keeps the lock without blocking.
+func (c *counter) branchy(fail bool) {
+	c.mu.Lock()
+	if fail {
+		c.mu.Unlock()
+		c.ch <- -1
+		return
+	}
+	c.n++
+	c.mu.Unlock()
+}
+
+// incr doesn't block — its summary proves calling it under the lock is
+// fine (interprocedural guard).
+func (c *counter) incr() {
+	c.n++
+}
+
+func (c *counter) okCall() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.incr()
+}
+
+// Guard: the spawned body runs without the spawner's lock.
+func (c *counter) spawnUnderLock() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	go func() {
+		c.flush()
+	}()
+	c.n++
+}
+
+// Guard: composite literals build fresh zero locks; only copying an
+// existing lock is flagged.
+func fresh() *counter {
+	c := counter{ch: make(chan int)}
+	return &c
+}
+
+// Positive: assigning an existing lock-bearing value copies the lock.
+func clone(c *counter) int {
+	dup := *c // want `copies a value containing a sync lock`
+	return dup.n
+}
+
+// Positive: ranging over a channel under the lock parks the holder until
+// the channel closes.
+func (c *counter) rangeDrain() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for v := range c.ch { // want `ranging over a channel while c.mu is held`
+		c.n += v
+	}
+}
+
+// Positive: a select with no default blocks under the lock; the
+// default-carrying select below it is the guard.
+func (c *counter) selectors(quit chan struct{}) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	select { // want `select without default while c.mu is held`
+	case v := <-c.ch:
+		c.n += v
+	case <-quit:
+	}
+	select {
+	case c.ch <- c.n:
+	default:
+	}
+}
+
+// Positive: the send hides inside switch and labeled-loop bodies; the
+// scan must thread the held set through both.
+func (c *counter) nested(mode int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+retry:
+	for i := 0; i < 2; i++ {
+		switch mode {
+		case 0:
+			c.ch <- i // want `channel send while c.mu is held`
+		default:
+			break retry
+		}
+	}
+}
+
+// Positive: a type switch body is scanned with the lock still held.
+func (c *counter) typed(v any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch x := v.(type) {
+	case int:
+		c.ch <- x // want `channel send while c.mu is held`
+	default:
+	}
+}
+
+// Positive: the spawned body runs lock-free, but its arguments evaluate
+// on the spawning goroutine — a receive there still blocks under the lock.
+func (c *counter) spawnArg() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	go c.consume(<-c.ch) // want `channel receive while c.mu is held`
+}
+
+func (c *counter) consume(int) {}
+
+// Guard: two locks threaded independently — releasing the inner one keeps
+// the scan precise about which lock the later send is under.
+func (c *counter) two(other *sync.Mutex) {
+	c.mu.Lock()
+	other.Lock()
+	c.n++
+	other.Unlock()
+	c.mu.Unlock()
+	c.ch <- c.n
+}
