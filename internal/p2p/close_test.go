@@ -1,0 +1,65 @@
+package p2p
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+// blockingConn is a net.Conn whose Close blocks until released, signalling
+// when it has been entered. Only Close is ever called on it.
+type blockingConn struct {
+	net.Conn
+	entered chan struct{}
+	release chan struct{}
+}
+
+func (c *blockingConn) Close() error {
+	close(c.entered)
+	<-c.release
+	return nil
+}
+
+// TestCloseDoesNotHoldLockDuringPeerClose is the regression test for
+// Node.Close holding n.mu across conn.Close: peer teardown is network I/O
+// and must not stall concurrent state readers. The fake peer's Close
+// blocks until released; while Close is parked inside it, Height() must
+// still be able to take the lock.
+func TestCloseDoesNotHoldLockDuringPeerClose(t *testing.T) {
+	node, err := NewNode(Config{Params: testParams()}, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn := &blockingConn{entered: make(chan struct{}), release: make(chan struct{})}
+	node.mu.Lock()
+	node.peers["fake"] = &peer{node: node, conn: conn, id: "fake"}
+	node.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		node.Close()
+		close(done)
+	}()
+
+	select {
+	case <-conn.entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close never reached the peer's conn.Close")
+	}
+
+	heights := make(chan int64, 1)
+	go func() { heights <- node.Height() }()
+	select {
+	case <-heights:
+		// The lock was free while peer teardown blocked — the fix holds.
+	case <-time.After(2 * time.Second):
+		t.Fatal("Height() blocked while Close was tearing down peers: n.mu held across conn.Close")
+	}
+
+	close(conn.release)
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not finish after the peer's Close was released")
+	}
+}

@@ -123,15 +123,23 @@ func (n *Node) MempoolSize() int {
 	return len(n.mempool)
 }
 
-// Close shuts the node down, closing all peer connections.
+// Close shuts the node down, closing all peer connections. Peers are
+// snapshotted under the lock but closed outside it: conn.Close is network
+// I/O, and holding n.mu across it would stall every Height/MempoolSize
+// caller until the kernel finishes tearing down the sockets.
 func (n *Node) Close() {
 	n.cancel()
 	n.listener.Close()
 	n.mu.Lock()
+	peers := make([]*peer, 0, len(n.peers))
 	for _, p := range n.peers {
-		p.close()
+		//lint:ignore fistlint/detrange teardown order of peer conns is irrelevant; the snapshot exists only to close them outside the lock
+		peers = append(peers, p)
 	}
 	n.mu.Unlock()
+	for _, p := range peers {
+		p.close()
+	}
 	n.wg.Wait()
 }
 
