@@ -212,6 +212,20 @@ func loadReport(path string) (*Report, error) {
 }
 
 // splitMetrics parses the -metrics flag.
+// appendSummary appends md to the summary file at path, closing the file
+// on every path and folding a close failure into the returned error.
+func appendSummary(path, md string) error {
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	_, werr := f.WriteString(md)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
+}
+
 func splitMetrics(s string) []string {
 	var out []string
 	for _, m := range strings.Split(s, ",") {
@@ -265,15 +279,7 @@ func main() {
 	}
 	if *summaryPath != "" {
 		md := markdownSummary(c, reported, reportMetrics, *threshold)
-		f, err := os.OpenFile(*summaryPath, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
-		if err == nil {
-			_, werr := f.WriteString(md)
-			if cerr := f.Close(); werr == nil {
-				werr = cerr
-			}
-			err = werr
-		}
-		if err != nil {
+		if err := appendSummary(*summaryPath, md); err != nil {
 			// The summary is informational; a broken summary file must not
 			// mask the gate verdict.
 			fmt.Fprintln(os.Stderr, "benchdiff: summary:", err)

@@ -3,6 +3,7 @@ package main
 import (
 	"encoding/json"
 	"math"
+	"os"
 	"strings"
 	"testing"
 )
@@ -214,5 +215,27 @@ func TestMarkdownSummaryEdgeCases(t *testing.T) {
 		if !strings.Contains(md, want) {
 			t.Fatalf("summary missing %q:\n%s", want, md)
 		}
+	}
+}
+
+// Regression test for the leakclose finding: appendSummary must close the
+// file on success and surface open errors without leaking a handle.
+func TestAppendSummary(t *testing.T) {
+	path := t.TempDir() + "/summary.md"
+	if err := appendSummary(path, "# first\n"); err != nil {
+		t.Fatalf("appendSummary: %v", err)
+	}
+	if err := appendSummary(path, "# second\n"); err != nil {
+		t.Fatalf("appendSummary (append): %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(data); got != "# first\n# second\n" {
+		t.Errorf("summary content = %q, want both sections appended", got)
+	}
+	if err := appendSummary(t.TempDir()+"/no/such/dir/summary.md", "x"); err == nil {
+		t.Error("appendSummary into a missing directory: want error, got nil")
 	}
 }
