@@ -192,7 +192,7 @@ func cmdCrawl(args []string) error {
 		return err
 	}
 	srv := &http.Server{Handler: site}
-	//lint:ignore fistlint/errflow Serve returns ErrServerClosed on the deferred Close; a demo server's lifecycle needs no error plumbing
+	//lint:ignore fistlint/errflow,fistlint/goleak Serve runs until the deferred Close returns ErrServerClosed; a demo server's lifecycle needs no error plumbing or join
 	go srv.Serve(ln)
 	defer srv.Close()
 	url := "http://" + ln.Addr().String() + "/tags"

@@ -138,6 +138,7 @@ func (c *Chain) ConnectBlock(b *Block, checkPoW bool, opts ConnectBlockOptions) 
 // stream.go), buffering writes. Files written this way stream back through
 // Reader/OpenReader without materializing the chain.
 func (c *Chain) WriteTo(w io.Writer) (int64, error) {
+	//lint:ignore fistlint/leakclose Writer wraps the caller's w and owns no handle; a failed WriteBlock must not flush its partial frame downstream
 	sw, err := NewWriter(w)
 	if err != nil {
 		return 0, err

@@ -41,6 +41,7 @@ func GenerateToFile(cfg Config, path string) (w *World, err error) {
 			_ = os.Remove(path) // best effort; the error already aborts the run
 		}
 	}()
+	//lint:ignore fistlint/leakclose on error the deferred cleanup closes and removes the file; flushing a partial chain frame would corrupt it
 	sw, err := chain.NewWriter(f)
 	if err != nil {
 		return nil, err

@@ -33,8 +33,10 @@ func (p *peer) send(msg wire.Message) {
 	p.writeMu.Lock()
 	defer p.writeMu.Unlock()
 	p.conn.SetWriteDeadline(time.Now().Add(10 * time.Second))
+	//lint:ignore fistlint/lockheld writeMu exists to serialize conn writes; blocking writers here is the design, and the deadline above bounds the stall
 	if err := wire.WriteMessage(p.conn, p.node.cfg.Params.Magic, msg); err != nil {
 		p.node.cfg.Logf("p2p: write to %s: %v", p.id, err)
+		//lint:ignore fistlint/lockheld dropping the peer inside its own write lock keeps a racing writer from reusing the dead conn
 		p.close()
 	}
 }
