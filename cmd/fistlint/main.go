@@ -1,12 +1,17 @@
 // Command fistlint runs the repo's project-specific static analyzers
 // (internal/lint): detrange, parcapture, atomicmix, errflow — the
 // determinism and shard-safety invariants the measurement pipeline depends
-// on, promoted from test-time (-race determinism tests) to compile-time.
+// on — plus the lifecycle suite gating the always-on daemon work:
+// leakclose, goleak, lockheld, ctxflow.
 //
 // It runs two ways:
 //
 //	fistlint ./...                      # standalone, loads packages itself
 //	go vet -vettool=$(which fistlint) ./...   # as a vet tool
+//
+// `fistlint -list` prints the registered analyzers with their one-line
+// docs; CI asserts the expected set so a registration regression fails
+// loudly instead of silently gating on fewer checks.
 //
 // In vet-tool mode it speaks the go vet "unitchecker" protocol: go vet
 // hands it a *.cfg JSON file per package (source file list plus export
@@ -59,6 +64,14 @@ func main() {
 		fmt.Println("[]")
 		return
 	}
+	// -list prints the registered analyzer set; CI greps it to catch a
+	// registration regression before it silently narrows the gate.
+	if len(args) == 1 && args[0] == "-list" {
+		for _, a := range lint.All() {
+			fmt.Printf("%-12s %s\n", a.Name, firstSentence(a.Doc))
+		}
+		return
+	}
 	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
 		os.Exit(unitcheck(args[0]))
 	}
@@ -72,6 +85,15 @@ const (
 	exitError = 1
 	exitDiags = 2
 )
+
+// firstSentence truncates a doc string at its first period for -list's
+// one-line-per-analyzer output.
+func firstSentence(doc string) string {
+	if i := strings.Index(doc, ". "); i >= 0 {
+		return doc[:i+1]
+	}
+	return doc
+}
 
 // selfID derives an actionID/contentID pair from the executable's bytes.
 func selfID() string {
@@ -226,7 +248,6 @@ func standalone(patterns []string) int {
 
 	fset := token.NewFileSet()
 	exportFile := make(map[string]string) // import path -> export data file
-	checked := make(map[string]*types.Package)
 	gcImp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
 		file, ok := exportFile[path]
 		if !ok || file == "" {
@@ -234,12 +255,16 @@ func standalone(patterns []string) int {
 		}
 		return os.Open(file)
 	})
+	// Every import resolves from export data, even when the imported package
+	// is itself a target we typechecked from source. Mixing the two universes
+	// is unsound: a dep-only package's export data mentions the gc flavor of
+	// a shared dependency, and handing a dependent the source flavor of that
+	// same path makes identical types compare unequal ("cannot use *T as
+	// *T"). go list -deps emits dependencies first, so a target's export
+	// data is always on file before its dependents need it.
 	imp := importerFunc(func(path string) (*types.Package, error) {
 		if path == "unsafe" {
 			return types.Unsafe, nil
-		}
-		if pkg, ok := checked[path]; ok {
-			return pkg, nil
 		}
 		return gcImp.Import(path)
 	})
@@ -266,12 +291,11 @@ func standalone(patterns []string) int {
 		if len(files) == 0 {
 			continue
 		}
-		diags, pkg, err := checkPkg(fset, files, p.ImportPath, imp)
+		diags, err := check(fset, files, p.ImportPath, imp, "")
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "fistlint: %s: %v\n", p.ImportPath, err)
 			return exitError
 		}
-		checked[p.ImportPath] = pkg
 		for _, d := range diags {
 			fmt.Println(render(d))
 			found++
@@ -321,17 +345,6 @@ func check(fset *token.FileSet, files []*ast.File, path string, imp types.Import
 		return nil, err
 	}
 	return lint.Run(fset, files, pkg, info, lint.All())
-}
-
-func checkPkg(fset *token.FileSet, files []*ast.File, path string, imp types.Importer) ([]lint.Diagnostic, *types.Package, error) {
-	info := newInfo()
-	conf := types.Config{Importer: imp}
-	pkg, err := conf.Check(path, fset, files, info)
-	if err != nil {
-		return nil, nil, err
-	}
-	diags, err := lint.Run(fset, files, pkg, info, lint.All())
-	return diags, pkg, err
 }
 
 func newInfo() *types.Info {

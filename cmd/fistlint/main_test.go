@@ -124,6 +124,133 @@ func TestStandaloneCleanExits0(t *testing.T) {
 	}
 }
 
+// lifecycleCases are minimal single-finding sources for each of the four
+// lifecycle analyzers, driven end-to-end through the vet-tool protocol.
+var lifecycleCases = []struct {
+	analyzer string
+	src      string
+}{
+	{"leakclose", `package scratch
+
+import "os"
+
+func Leak(path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	buf := make([]byte, 4)
+	n, err := f.Read(buf)
+	return n, err
+}
+`},
+	{"goleak", `package scratch
+
+func Spawn(work func()) {
+	go func() {
+		work()
+	}()
+}
+`},
+	{"lockheld", `package scratch
+
+import "sync"
+
+type Box struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+func (b *Box) Pub(v int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.ch <- v
+}
+`},
+	{"ctxflow", `package scratch
+
+import "context"
+
+func fetch(ctx context.Context) error { return ctx.Err() }
+
+func Handle(ctx context.Context) error {
+	return fetch(context.Background())
+}
+`},
+}
+
+// TestVetToolLifecycleAnalyzers drives each lifecycle analyzer through
+// `go vet -vettool` against a scratch module, the same path CI gates on.
+func TestVetToolLifecycleAnalyzers(t *testing.T) {
+	bin := buildTool(t)
+	for _, tc := range lifecycleCases {
+		t.Run(tc.analyzer, func(t *testing.T) {
+			dir := writeModule(t, tc.src)
+			_, errOut, code := runIn(dir, "go", "vet", "-vettool="+bin, "./...")
+			if code == 0 {
+				t.Fatalf("go vet -vettool exited 0; want a %s finding", tc.analyzer)
+			}
+			if !strings.Contains(errOut, "fistlint/"+tc.analyzer) {
+				t.Fatalf("go vet stderr missing %s finding:\n%s", tc.analyzer, errOut)
+			}
+		})
+	}
+}
+
+// TestListPrintsAllAnalyzers pins -list output to the full registered set,
+// in order — the same assertion CI makes before gating on the tool.
+func TestListPrintsAllAnalyzers(t *testing.T) {
+	bin := buildTool(t)
+	out, _, code := runIn(t.TempDir(), bin, "-list")
+	if code != 0 {
+		t.Fatalf("fistlint -list: exit %d", code)
+	}
+	want := []string{"detrange", "parcapture", "atomicmix", "errflow", "leakclose", "goleak", "lockheld", "ctxflow"}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != len(want) {
+		t.Fatalf("-list printed %d lines, want %d:\n%s", len(lines), len(want), out)
+	}
+	for i, line := range lines {
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			t.Fatalf("-list line %d has no doc: %q", i, line)
+		}
+		if fields[0] != want[i] {
+			t.Errorf("-list line %d names %q, want %q", i, fields[0], want[i])
+		}
+	}
+}
+
+// TestStandaloneMultiplePatterns pins the import-resolution fix for
+// multi-pattern invocations: when the patterns cover a shared dependency
+// (dep) but not the root package that also imports it, the root loads from
+// export data while dep is typechecked from source. Both flavors of dep
+// meet inside ./use, and unless every import resolves from the one export
+// universe, the typechecker rejects identical types ("cannot use T as T").
+func TestStandaloneMultiplePatterns(t *testing.T) {
+	bin := buildTool(t)
+	dir := t.TempDir()
+	files := map[string]string{
+		"go.mod":     "module scratch\n\ngo 1.21\n",
+		"root.go":    "package scratch\n\nimport \"scratch/dep\"\n\nfunc Make() dep.T { return dep.T{} }\n",
+		"dep/dep.go": "package dep\n\ntype T struct{ N int }\n",
+		"use/use.go": "package use\n\nimport (\n\t\"scratch\"\n\t\"scratch/dep\"\n)\n\nfunc Sum() int {\n\tvals := []dep.T{scratch.Make()}\n\treturn vals[0].N\n}\n",
+	}
+	for name, content := range files {
+		path := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out, errOut, code := runIn(dir, bin, "./dep/...", "./use/...")
+	if code != exitClean {
+		t.Fatalf("exit %d, want 0; stdout:\n%s\nstderr:\n%s", code, out, errOut)
+	}
+}
+
 func TestVetToolProtocol(t *testing.T) {
 	bin := buildTool(t)
 
