@@ -1,0 +1,87 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseIgnoreDirective hardens the suppression-directive parser: it
+// must never panic on arbitrary comment text, and every matched directive
+// must come out normalized — non-empty prefix-stripped analyzer names and
+// a trimmed reason — so malformed directives are reported by applyIgnores
+// instead of silently dropped or, worse, silently suppressing.
+func FuzzParseIgnoreDirective(f *testing.F) {
+	seeds := []string{
+		"//lint:ignore fistlint/detrange map order never reaches output",
+		"//lint:ignore detrange bare analyzer name",
+		"//lint:ignore fistlint/errflow,fistlint/goleak one directive, two analyzers",
+		"//lint:ignore fistlint/inc",
+		"//lint:ignore ,,, reason for nobody",
+		"//lint:ignore",
+		"//lint:ignore\tfistlint/inc tab separated",
+		"// an ordinary comment",
+		"//lint:ignorefistlint/inc no space after the verb",
+		"/*lint:ignore fistlint/inc block comment*/",
+		"//lint:ignore fistlint/ reason with empty name",
+		"//lint:ignore fistlint/a    reason   with   runs   of   spaces",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		names, reason, matched := parseIgnoreDirective(text)
+		if !matched {
+			if len(names) != 0 || reason != "" {
+				t.Fatalf("unmatched text %q returned names=%v reason=%q", text, names, reason)
+			}
+			return
+		}
+		if !strings.HasPrefix(text, "//lint:ignore") {
+			t.Fatalf("matched text %q lacks the directive prefix", text)
+		}
+		for _, n := range names {
+			if n == "" {
+				t.Fatalf("empty analyzer name parsed from %q", text)
+			}
+			if strings.HasPrefix(n, "fistlint/") {
+				t.Fatalf("name %q from %q kept its fistlint/ prefix", n, text)
+			}
+			if strings.ContainsAny(n, " \t\n") {
+				t.Fatalf("name %q from %q contains whitespace", n, text)
+			}
+		}
+		if reason != strings.TrimSpace(reason) {
+			t.Fatalf("reason %q from %q is not trimmed", reason, text)
+		}
+	})
+}
+
+// TestDirectiveNamingNoAnalyzerIsReported pins the applyIgnores side of
+// the malformed-directive contract for the all-commas case.
+func TestParseIgnoreDirectiveCases(t *testing.T) {
+	cases := []struct {
+		text    string
+		names   []string
+		reason  string
+		matched bool
+	}{
+		{"//lint:ignore fistlint/detrange why not", []string{"detrange"}, "why not", true},
+		{"//lint:ignore a,fistlint/b shared reason", []string{"a", "b"}, "shared reason", true},
+		{"//lint:ignore ,,, orphan reason", nil, "orphan reason", true},
+		{"//lint:ignore fistlint/inc", []string{"inc"}, "", true},
+		{"// plain comment", nil, "", false},
+	}
+	for _, tc := range cases {
+		names, reason, matched := parseIgnoreDirective(tc.text)
+		if matched != tc.matched || reason != tc.reason || len(names) != len(tc.names) {
+			t.Errorf("parseIgnoreDirective(%q) = (%v, %q, %v), want (%v, %q, %v)",
+				tc.text, names, reason, matched, tc.names, tc.reason, tc.matched)
+			continue
+		}
+		for i := range names {
+			if names[i] != tc.names[i] {
+				t.Errorf("parseIgnoreDirective(%q) names[%d] = %q, want %q", tc.text, i, names[i], tc.names[i])
+			}
+		}
+	}
+}
