@@ -8,6 +8,9 @@ package fistful
 // metrics so `-bench` output doubles as a results summary.
 
 import (
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"path/filepath"
 	"runtime"
 	"testing"
@@ -21,6 +24,7 @@ import (
 	"repro/internal/flow"
 	"repro/internal/p2p"
 	"repro/internal/script"
+	"repro/internal/serve"
 	"repro/internal/tags"
 	"repro/internal/txgraph"
 )
@@ -322,7 +326,7 @@ func BenchmarkHeuristic1(b *testing.B) {
 			b.ReportAllocs()
 			var stats cluster.Stats
 			for i := 0; i < b.N; i++ {
-				c := cluster.Heuristic1Workers(p.Graph, workers)
+				c := cluster.Heuristic1(p.Graph, workers)
 				stats = c.ComputeStats()
 			}
 			b.ReportMetric(float64(stats.SpenderClusters), "clusters")
@@ -543,4 +547,101 @@ func BenchmarkWireRoundTrip(b *testing.B) {
 			_ = tx.TxID()
 		}
 	}
+}
+
+// BenchmarkIncrementalApply measures the serve daemon's per-block ingest
+// path: one full chain applied block by block to a fresh Ingester — graph
+// append, Heuristic 1 unions, balance deltas — without publishing. The
+// blocks/op metric makes the per-block cost readable off the ns/op.
+func BenchmarkIncrementalApply(b *testing.B) {
+	p := benchPipeline(b)
+	an := analysisFromWorld(p.World, 2)
+	blocks := p.World.Chain.Blocks()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ing := serve.NewIngester(an)
+		for _, blk := range blocks {
+			if err := ing.ApplyBlock(blk); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(len(blocks)), "blocks/op")
+}
+
+// BenchmarkIncrementalPublish measures one snapshot publication at full
+// chain height: the appearance-index flatten plus the non-monotone
+// recompute (refined Heuristic 2, naming, dice bootstrap) that each epoch
+// pays instead of a whole batch rebuild.
+func BenchmarkIncrementalPublish(b *testing.B) {
+	p := benchPipeline(b)
+	ing := serve.NewIngester(analysisFromWorld(p.World, 2))
+	for _, blk := range p.World.Chain.Blocks() {
+		if err := ing.ApplyBlock(blk); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s := ing.Publish(); s.Height != p.World.Chain.Height() {
+			b.Fatalf("published height %d", s.Height)
+		}
+	}
+}
+
+// BenchmarkSnapshotQuery measures the read path queries pay per request:
+// the direct snapshot lookups (address resolve, cluster label and size,
+// balance) and the same query through the full HTTP handler with JSON
+// encoding.
+func BenchmarkSnapshotQuery(b *testing.B) {
+	p := benchPipeline(b)
+	ing := serve.NewIngester(analysisFromWorld(p.World, 2))
+	for _, blk := range p.World.Chain.Blocks() {
+		if err := ing.ApplyBlock(blk); err != nil {
+			b.Fatal(err)
+		}
+	}
+	snap := ing.Publish()
+	addrs := make([]address.Address, 256)
+	for i := range addrs {
+		addrs[i] = snap.Addr(txgraph.AddrID(i * snap.NumAddrs / len(addrs)))
+	}
+
+	b.Run("direct", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			a := addrs[i%len(addrs)]
+			id, ok := snap.Lookup(a)
+			if !ok {
+				b.Fatalf("address %s missing", a)
+			}
+			label := snap.Refined.ClusterOf(id)
+			if snap.Refined.ClusterSizes()[label] < 1 {
+				b.Fatal("empty cluster")
+			}
+			_ = snap.Balance(id)
+		}
+	})
+	b.Run("http", func(b *testing.B) {
+		srv := httptest.NewServer(serve.NewAPI(ing).Handler())
+		defer srv.Close()
+		client := srv.Client()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			resp, err := client.Get(srv.URL + "/v1/cluster?addr=" + addrs[i%len(addrs)].String())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+				b.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				b.Fatalf("status %d", resp.StatusCode)
+			}
+		}
+	})
 }

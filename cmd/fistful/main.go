@@ -10,6 +10,7 @@
 //	fistful generate -out chain.bin [-small]        # stream the chain to disk while sealing
 //	fistful crawl [-small]                          # serve + crawl the tag site
 //	fistful p2p-demo                                # Figure 1 over real TCP
+//	fistful serve -small                            # incremental ingestion daemon + query API
 package main
 
 import (
@@ -43,6 +44,8 @@ func main() {
 		err = cmdP2PDemo(os.Args[2:])
 	case "evasion":
 		err = cmdEvasion(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -61,7 +64,8 @@ commands:
   generate      generate a synthetic chain and write it to disk
   crawl         serve the synthetic tag site over HTTP and crawl it
   p2p-demo      run the Figure 1 transaction lifecycle over TCP
-  evasion       quantify heuristic evasion (the paper's open problem)`)
+  evasion       quantify heuristic evasion (the paper's open problem)
+  serve         run the incremental ingestion daemon with an HTTP query API`)
 }
 
 func configFlags(fs *flag.FlagSet) (*bool, *int64) {

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	fistful "repro"
+)
+
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	small, seed := configFlags(fs)
+	parallel := parallelFlag(fs)
+	listen := fs.String("listen", "127.0.0.1:8080", "address to serve the query API on")
+	publishEvery := fs.Int("publish-every", 0,
+		"max blocks a snapshot may lag during catch-up (0 = default); at the tip every block publishes")
+	chainFile := fs.String("chain", "",
+		"tail this framed chain file (following appends live) instead of generating an\n"+
+			"economy in memory; the ground truth is regenerated from the same config/seed")
+	fs.Parse(args)
+
+	opts := fistful.ServeOptions{
+		Options:      fistful.Options{Parallelism: *parallel},
+		PublishEvery: *publishEvery,
+	}
+	if *chainFile != "" {
+		opts.Source = fistful.SourceChainFile(*chainFile)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return serveMain(ctx, buildConfig(*small, *seed), opts, *listen, os.Stderr, nil)
+}
+
+// serveMain builds the server, binds the listener, and runs the ingest
+// daemon and the HTTP API until ctx ends or either fails; the other is then
+// shut down and both goroutines are joined. ready, when non-nil, receives
+// the bound address once the API is reachable — the e2e test's hook.
+func serveMain(ctx context.Context, cfg fistful.Config, opts fistful.ServeOptions,
+	listen string, out io.Writer, ready chan<- string) error {
+	srv, err := fistful.NewServer(ctx, cfg, opts)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "serving queries on http://%s (ctrl-c to stop)\n", ln.Addr())
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	hs := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 2)
+	go func() { errc <- srv.Run(runCtx) }()
+	go func() {
+		if serr := hs.Serve(ln); !errors.Is(serr, http.ErrServerClosed) {
+			errc <- serr
+			return
+		}
+		errc <- nil
+	}()
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	joined := 0
+	select {
+	case <-runCtx.Done():
+	case err = <-errc:
+		joined++
+		cancel() // one side failed (or finished); bring the other down
+	}
+	//lint:ignore fistlint/ctxflow ctx is already done (or a side failed) by the time we drain; the shutdown deadline must not inherit that cancellation or Shutdown would abort instantly
+	shutCtx, shutCancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer shutCancel()
+	if serr := hs.Shutdown(shutCtx); serr != nil && err == nil {
+		err = serr
+	}
+	for ; joined < 2; joined++ {
+		if e := <-errc; e != nil && err == nil {
+			err = e
+		}
+	}
+	return err
+}

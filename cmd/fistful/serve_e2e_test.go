@@ -1,0 +1,180 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"path/filepath"
+	"testing"
+	"time"
+
+	fistful "repro"
+	"repro/internal/econ"
+)
+
+// smallServeConfig is a fast economy for end-to-end serving tests.
+func smallServeConfig() fistful.Config {
+	cfg := fistful.SmallConfig()
+	cfg.Blocks, cfg.Users = 300, 60
+	return cfg
+}
+
+// getJSON fetches one API response into out, failing on transport or status
+// errors.
+func getJSON(t *testing.T, url string, out any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("GET %s: status %d: %s", url, resp.StatusCode, body)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("GET %s: decode: %v", url, err)
+	}
+}
+
+type healthz struct {
+	Epoch  uint64 `json:"epoch"`
+	Height int64  `json:"height"`
+}
+
+// waitForHeight polls /v1/healthz until the daemon reports the target
+// height.
+func waitForHeight(t *testing.T, base string, want int64) healthz {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		var hz healthz
+		getJSON(t, base+"/v1/healthz", &hz)
+		if hz.Height == want {
+			return hz
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon stuck at height %d, want %d", hz.Height, want)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// runServe starts serveMain on an ephemeral port and returns the API base
+// URL plus the Run error channel; the context ends the server.
+func runServe(t *testing.T, ctx context.Context, cfg fistful.Config, opts fistful.ServeOptions) (string, <-chan error) {
+	t.Helper()
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() { done <- serveMain(ctx, cfg, opts, "127.0.0.1:0", io.Discard, ready) }()
+	select {
+	case addr := <-ready:
+		return "http://" + addr, done
+	case err := <-done:
+		t.Fatalf("serve exited before ready: %v", err)
+		return "", nil
+	}
+}
+
+// TestServeE2EGenerate is the smoke path CI runs: generate an economy in
+// memory, serve it, watch the daemon reach the tip, answer stats and
+// cluster queries, then shut down cleanly on cancellation.
+func TestServeE2EGenerate(t *testing.T) {
+	cfg := smallServeConfig()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	base, done := runServe(t, ctx, cfg, fistful.ServeOptions{
+		Options: fistful.Options{Parallelism: 2},
+	})
+
+	hz := waitForHeight(t, base, cfg.Blocks-1)
+	if hz.Epoch < 2 {
+		t.Fatalf("epoch %d after full catch-up, want >= 2", hz.Epoch)
+	}
+
+	var stats struct {
+		Txs     int `json:"txs"`
+		Addrs   int `json:"addrs"`
+		Refined struct {
+			Clusters      int `json:"clusters"`
+			NamedClusters int `json:"named_clusters"`
+		} `json:"refined"`
+	}
+	getJSON(t, base+"/v1/stats", &stats)
+	if stats.Txs == 0 || stats.Addrs == 0 {
+		t.Fatalf("empty stats after catch-up: %+v", stats)
+	}
+	if stats.Refined.NamedClusters == 0 {
+		t.Fatalf("no named clusters: tag store not wired into the daemon: %+v", stats)
+	}
+
+	var members struct {
+		Members []string `json:"members"`
+	}
+	getJSON(t, fmt.Sprintf("%s/v1/cluster/members?label=0&limit=3", base), &members)
+	if len(members.Members) == 0 {
+		t.Fatal("cluster 0 has no members")
+	}
+	var cl struct {
+		Addr    string `json:"addr"`
+		Refined struct {
+			Size int `json:"size"`
+		} `json:"refined"`
+	}
+	getJSON(t, base+"/v1/cluster?addr="+members.Members[0], &cl)
+	if cl.Addr != members.Members[0] || cl.Refined.Size < 1 {
+		t.Fatalf("cluster lookup round-trip broken: %+v", cl)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve shutdown: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("serve did not shut down after cancellation")
+	}
+}
+
+// TestServeE2ETailChainFile covers the `-chain` path end to end: a chain
+// file written by the generator is tailed by the daemon, which regenerates
+// the same world for ground truth, catches up, and keeps serving at the
+// tip.
+func TestServeE2ETailChainFile(t *testing.T) {
+	cfg := smallServeConfig()
+	path := filepath.Join(t.TempDir(), "chain.bin")
+	if _, err := econ.GenerateToFile(cfg, path); err != nil {
+		t.Fatalf("generate chain file: %v", err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	base, done := runServe(t, ctx, cfg, fistful.ServeOptions{
+		Options: fistful.Options{
+			Parallelism: 2,
+			Source:      fistful.SourceChainFile(path),
+		},
+	})
+
+	waitForHeight(t, base, cfg.Blocks-1)
+
+	var bal struct {
+		Satoshis int64 `json:"satoshis"`
+	}
+	var members struct {
+		Members []string `json:"members"`
+	}
+	getJSON(t, base+"/v1/cluster/members?label=0&limit=1", &members)
+	if len(members.Members) == 0 {
+		t.Fatal("no members to query balance for")
+	}
+	getJSON(t, base+"/v1/balance?addr="+members.Members[0], &bal)
+
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("serve shutdown: %v", err)
+	}
+}

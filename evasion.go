@@ -88,10 +88,7 @@ func EvasionStudyOpts(base Config, levels []EvasionLevel, opts Options) (*report
 	if outer < 1 {
 		outer = 1 // empty non-nil levels: no tasks, but keep the math defined
 	}
-	inner := workers / outer
-	if inner < 1 {
-		inner = 1
-	}
+	inner := par.Split(workers, outer)
 	rows := make([]EvasionRow, len(levels))
 	grp := par.NewGroup(outer)
 	for i := range levels {

@@ -1,0 +1,59 @@
+package fistful_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net/http"
+
+	fistful "repro"
+)
+
+// ExampleNew builds the batch measurement pipeline: generate a synthetic
+// economy, index the chain, and run both clustering heuristics. The same
+// constructor serves every chain source; see the Source constructors.
+func ExampleNew() {
+	ctx := context.Background()
+	p, err := fistful.New(ctx, fistful.SmallConfig(), fistful.Options{Parallelism: 0})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tbl, _, err := p.Heuristic2()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(tbl.Render())
+}
+
+// ExampleNew_chainFile streams an existing framed chain file (a previous
+// `fistful generate -out` run) instead of holding the chain in memory; the
+// ground truth is regenerated from the same configuration.
+func ExampleNew_chainFile() {
+	ctx := context.Background()
+	p, err := fistful.New(ctx, fistful.SmallConfig(), fistful.Options{
+		Source: fistful.SourceChainFile("chain.bin"),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(p.Graph.NumTxs(), "transactions indexed")
+}
+
+// ExampleNewServer runs the incremental ingestion daemon: tail the chain
+// file as a generator appends to it, publish a snapshot per epoch, and
+// answer queries over HTTP without ever blocking ingestion.
+func ExampleNewServer() {
+	ctx := context.Background()
+	srv, err := fistful.NewServer(ctx, fistful.SmallConfig(), fistful.ServeOptions{
+		Options: fistful.Options{Source: fistful.SourceChainFile("chain.bin")},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() {
+		if err := srv.Run(ctx); err != nil {
+			log.Fatal(err)
+		}
+	}()
+	log.Fatal(http.ListenAndServe("127.0.0.1:8080", srv.Handler()))
+}

@@ -143,10 +143,7 @@ func (p *Pipeline) Heuristic2() (*report.Table, H2Result, error) {
 	// and report in ladder order. Each rung's scan additionally shards over
 	// its share of the budget, so a few idle cores still help when there are
 	// fewer rungs than workers — the budget is divided, never multiplied.
-	rungWorkers := p.Parallelism / len(variants)
-	if rungWorkers < 1 {
-		rungWorkers = 1
-	}
+	rungWorkers := par.Split(p.Parallelism, len(variants))
 	ladder := make([]cluster.ChangeStats, len(variants))
 	grp := par.NewGroup(p.Parallelism)
 	for i := range variants {

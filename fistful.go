@@ -8,16 +8,22 @@
 // Satoshi-Dice exemption from tags, and name clusters — and per-experiment
 // functions regenerate every table and figure in the paper's evaluation.
 //
-//	p, err := fistful.NewPipeline(fistful.DefaultConfig())
+//	p, err := fistful.New(ctx, fistful.DefaultConfig(), fistful.Options{})
 //	fmt.Print(p.Table2().Render())
+//
+// Every construction path goes through New, parameterized by a Source:
+// generate an economy, reuse an existing world, stream a framed chain file,
+// or — for the long-running daemon, via NewServer — follow a live p2p node.
 package fistful
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/chain"
 	"repro/internal/cluster"
 	"repro/internal/econ"
+	"repro/internal/p2p"
 	"repro/internal/par"
 	"repro/internal/tags"
 	"repro/internal/txgraph"
@@ -32,29 +38,99 @@ func DefaultConfig() Config { return econ.DefaultConfig() }
 // SmallConfig returns a fast, reduced configuration for tests and demos.
 func SmallConfig() Config { return econ.Small() }
 
-// Options tunes how the pipeline executes. The zero value uses one worker
-// per CPU everywhere.
+// sourceKind discriminates where the chain under measurement comes from.
+type sourceKind int
+
+const (
+	srcGenerate       sourceKind = iota // generate an economy in memory
+	srcGenerateToFile                   // generate, also writing the framed chain file
+	srcWorld                            // an existing world's resident chain
+	srcWorldChainFile                   // an existing world, graph streamed from its chain file
+	srcChainFile                        // regenerate the world, graph streamed from the file
+	srcNode                             // a live p2p node (serving only)
+)
+
+// Source says where the chain under measurement comes from. The zero value
+// generates a fresh economy in memory; the constructors below cover every
+// other origin. Batch pipelines (New) accept every source except a live
+// node, which only makes sense for the long-running daemon (NewServer).
+type Source struct {
+	kind      sourceKind
+	world     *econ.World
+	chainFile string
+	node      *p2p.Node
+}
+
+// SourceGenerate generates a fresh economy in memory — the default.
+func SourceGenerate() Source { return Source{} }
+
+// SourceGenerateToFile generates a fresh economy while writing the framed
+// chain file to path, then builds the graph by streaming that file back, so
+// the chain under measurement round-trips through disk end to end.
+func SourceGenerateToFile(path string) Source {
+	return Source{kind: srcGenerateToFile, chainFile: path}
+}
+
+// SourceWorld measures an existing world's resident chain.
+func SourceWorld(w *econ.World) Source { return Source{kind: srcWorld, world: w} }
+
+// SourceWorldChainFile measures an existing world, building the graph by
+// streaming the framed chain file at path, which must hold the same chain
+// (the height and tip cross-check rejects a stale or mismatched file).
+func SourceWorldChainFile(w *econ.World, path string) Source {
+	return Source{kind: srcWorldChainFile, world: w, chainFile: path}
+}
+
+// SourceChainFile streams an existing framed chain file (a previous
+// `fistful generate -out` run). The world — the ground truth the
+// experiments compare against — is regenerated from the config passed to
+// New, which must be the configuration the file was generated with.
+func SourceChainFile(path string) Source {
+	return Source{kind: srcChainFile, chainFile: path}
+}
+
+// SourceNode follows a live p2p node's validated chain. Only NewServer
+// accepts it: a batch pipeline needs a finite chain, a node never finishes.
+func SourceNode(n *p2p.Node) Source { return Source{kind: srcNode, node: n} }
+
+// Options tunes how the pipeline executes. The zero value generates a fresh
+// economy with one worker per CPU everywhere.
 type Options struct {
+	// Source says where the chain comes from; the zero value generates a
+	// fresh economy in memory.
+	Source Source
+
 	// Parallelism is the total worker budget for the pipeline: the economy
 	// generator's block-seal signing fan-out (unless the config pins its
 	// own SignWorkers), the graph build pre-pass and the sharded
 	// Heuristic 1 use it directly, and stages that fan out (the H2
 	// branches, the evasion study's levels) divide it among their
-	// concurrent branches rather than multiplying it. <= 0 means one
-	// worker per CPU; 1 forces fully sequential execution. Results are
-	// byte-identical for every setting.
+	// concurrent branches (par.Split) rather than multiplying it. <= 0
+	// means one worker per CPU; 1 forces fully sequential execution.
+	// Results are byte-identical for every setting.
 	Parallelism int
 
-	// ChainFile, when non-empty, puts the pipeline in streaming mode: the
-	// transaction graph is built by scanning the framed chain file at this
-	// path (chain.Reader) in bounded block windows instead of indexing the
-	// world's resident chain. NewPipelineOpts additionally writes the file
-	// while the economy is generated (econ.GenerateToFile), so the chain
-	// under measurement round-trips through disk end to end;
-	// NewPipelineFromWorldOpts expects the file to exist already and to
-	// hold the same chain as the world. Every output is byte-identical to
-	// the in-memory path.
+	// ChainFile is the deprecated spelling of SourceGenerateToFile (with a
+	// generate source) or SourceWorldChainFile (with a world source); it is
+	// folded into Source when Source is the zero value or SourceWorld.
+	//
+	// Deprecated: set Source instead.
 	ChainFile string
+}
+
+// resolveSource folds the deprecated ChainFile field into the Source.
+func (o Options) resolveSource() Source {
+	src := o.Source
+	if o.ChainFile == "" {
+		return src
+	}
+	switch src.kind {
+	case srcGenerate:
+		src = SourceGenerateToFile(o.ChainFile)
+	case srcWorld:
+		src = SourceWorldChainFile(src.world, o.ChainFile)
+	}
+	return src
 }
 
 // Pipeline holds every stage of the measurement pipeline, built once and
@@ -93,46 +169,82 @@ type Pipeline struct {
 	Owners []int32
 }
 
-// NewPipeline generates an economy and runs every pipeline stage with one
-// worker per CPU.
-func NewPipeline(cfg Config) (*Pipeline, error) {
-	return NewPipelineOpts(cfg, Options{})
-}
-
-// NewPipelineOpts is NewPipeline with execution options.
-func NewPipelineOpts(cfg Config, opts Options) (*Pipeline, error) {
+// New builds the full measurement pipeline from whatever chain source the
+// options select. ctx cancels generation between blocks and the pipeline
+// stages between fan-outs; on cancellation the error wraps ctx.Err(). cfg
+// configures the economy for the sources that (re)generate one and is
+// ignored by the world-backed sources, whose economy already exists.
+func New(ctx context.Context, cfg Config, opts Options) (*Pipeline, error) {
+	src := opts.resolveSource()
 	cfg = applyWorkerBudget(cfg, opts)
 	var (
 		w   *econ.World
 		err error
 	)
-	if opts.ChainFile != "" {
-		w, err = econ.GenerateToFile(cfg, opts.ChainFile)
-	} else {
-		w, err = econ.Generate(cfg)
+	switch src.kind {
+	case srcGenerate:
+		w, err = econ.GenerateCtx(ctx, cfg)
+	case srcGenerateToFile, srcChainFile:
+		if src.kind == srcGenerateToFile {
+			w, err = econ.GenerateToFileCtx(ctx, cfg, src.chainFile)
+		} else {
+			w, err = econ.GenerateCtx(ctx, cfg)
+		}
+	case srcWorld, srcWorldChainFile:
+		w = src.world
+	case srcNode:
+		return nil, fmt.Errorf("fistful: a live node source never finishes; serve it with NewServer instead")
 	}
 	if err != nil {
 		return nil, fmt.Errorf("fistful: generate: %w", err)
 	}
-	return NewPipelineFromWorldOpts(w, opts)
+	return pipelineFromWorld(ctx, w, src.chainFile, opts)
+}
+
+// NewPipeline generates an economy and runs every pipeline stage with one
+// worker per CPU.
+//
+// Deprecated: use New.
+func NewPipeline(cfg Config) (*Pipeline, error) {
+	return New(context.Background(), cfg, Options{})
+}
+
+// NewPipelineOpts is NewPipeline with execution options.
+//
+// Deprecated: use New.
+func NewPipelineOpts(cfg Config, opts Options) (*Pipeline, error) {
+	return New(context.Background(), cfg, opts)
 }
 
 // NewPipelineFromChainFile runs the measurement pipeline over an existing
-// framed chain file (a previous `fistful generate -out` run): the world —
-// the ground truth the experiments compare against — is regenerated from
-// cfg, which must be the configuration the file was generated with, and the
-// transaction graph is built by streaming the file. Opening, framing, and
-// decode failures (truncation, corrupt length prefixes, bad magic) surface
-// as wrapped chain.Reader errors; a file holding a different chain than cfg
-// generates is rejected by the world cross-check.
+// framed chain file. Opening, framing, and decode failures (truncation,
+// corrupt length prefixes, bad magic) surface as wrapped chain.Reader
+// errors; a file holding a different chain than cfg generates is rejected by
+// the world cross-check.
+//
+// Deprecated: use New with SourceChainFile.
 func NewPipelineFromChainFile(cfg Config, path string, opts Options) (*Pipeline, error) {
-	cfg = applyWorkerBudget(cfg, opts)
-	w, err := econ.Generate(cfg)
-	if err != nil {
-		return nil, fmt.Errorf("fistful: generate: %w", err)
+	opts.Source = SourceChainFile(path)
+	opts.ChainFile = ""
+	return New(context.Background(), cfg, opts)
+}
+
+// NewPipelineFromWorld runs the pipeline stages over an existing world with
+// one worker per CPU.
+//
+// Deprecated: use New with SourceWorld.
+func NewPipelineFromWorld(w *econ.World) (*Pipeline, error) {
+	return New(context.Background(), Config{}, Options{Source: SourceWorld(w)})
+}
+
+// NewPipelineFromWorldOpts runs the pipeline stages over an existing world.
+//
+// Deprecated: use New with SourceWorld (or SourceWorldChainFile).
+func NewPipelineFromWorldOpts(w *econ.World, opts Options) (*Pipeline, error) {
+	if opts.Source.kind == srcGenerate {
+		opts.Source = SourceWorld(w)
 	}
-	opts.ChainFile = path
-	return NewPipelineFromWorldOpts(w, opts)
+	return New(context.Background(), Config{}, opts)
 }
 
 // applyWorkerBudget folds the pipeline's worker budget into the generator
@@ -150,30 +262,30 @@ func applyWorkerBudget(cfg Config, opts Options) Config {
 	return cfg
 }
 
-// NewPipelineFromWorld runs the pipeline stages over an existing world with
-// one worker per CPU.
-func NewPipelineFromWorld(w *econ.World) (*Pipeline, error) {
-	return NewPipelineFromWorldOpts(w, Options{})
-}
-
-// NewPipelineFromWorldOpts runs the pipeline stages over an existing world.
-// Stages with no data dependency on each other — the naive Heuristic 2, and
-// the refined Heuristic 2 followed by naming — run concurrently; every
-// result is identical to the sequential order.
-func NewPipelineFromWorldOpts(w *econ.World, opts Options) (*Pipeline, error) {
+// pipelineFromWorld runs the measurement stages over a world: index the
+// chain (resident or streamed from chainFile), then the analytics via
+// pipelineFromGraph.
+func pipelineFromWorld(ctx context.Context, w *econ.World, chainFile string, opts Options) (*Pipeline, error) {
 	workers := par.Workers(opts.Parallelism)
-	g, err := buildGraph(w, opts.ChainFile, workers)
+	g, err := buildGraph(w, chainFile, workers)
 	if err != nil {
 		return nil, fmt.Errorf("fistful: index: %w", err)
 	}
+	return pipelineFromGraph(ctx, w, g, workers)
+}
+
+// pipelineFromGraph runs the analytic stages over an already-built graph.
+// Stages with no data dependency on each other — the naive Heuristic 2, and
+// the refined Heuristic 2 followed by naming — run concurrently; every
+// result is identical to the sequential order. The graph may cover a prefix
+// of the world's chain: naming skips tags not yet on chain, so the serve
+// daemon's equivalence tests use this seam to build the batch reference for
+// any height.
+func pipelineFromGraph(ctx context.Context, w *econ.World, g *txgraph.Graph, workers int) (*Pipeline, error) {
 	p := &Pipeline{World: w, Graph: g, Parallelism: workers}
 
 	// Tag collection (Section 3): our own transactions plus public sources.
-	p.Tags = tags.NewStore()
-	for _, t := range w.Tags.All() {
-		p.Tags.Add(t)
-	}
-	p.Tags.AddAll(w.PublicTags)
+	p.Tags = buildTagStore(w)
 
 	// Heuristic 1 and the dice bootstrap (the paper knew the Satoshi Dice
 	// cluster from its tags before refining Heuristic 2). The co-spend
@@ -190,17 +302,14 @@ func NewPipelineFromWorldOpts(w *econ.World, opts Options) (*Pipeline, error) {
 	// half the worker budget, so the two concurrent branches together stay
 	// inside Parallelism instead of multiplying it.
 	waitWeek := 7 * w.BlocksPerDay
-	h2Workers := workers / 2
-	if h2Workers < 1 {
-		h2Workers = 1
-	}
-	grp := par.NewGroup(workers)
+	h2Workers := par.Split(workers, 2)
+	grp := par.NewGroupCtx(ctx, workers)
 	grp.Go(func() error {
-		p.Naive = cluster.Heuristic2OnForestWorkers(g, cluster.Unrefined(), base, h2Workers)
+		p.Naive = cluster.Heuristic2OnForest(g, cluster.Unrefined(), base, h2Workers)
 		return nil
 	})
 	grp.Go(func() error {
-		p.Refined = cluster.Heuristic2OnForestWorkers(g, cluster.Refined(p.Dice, waitWeek), base, h2Workers)
+		p.Refined = cluster.Heuristic2OnForest(g, cluster.Refined(p.Dice, waitWeek), base, h2Workers)
 		p.Naming = tags.NameClusters(p.Refined, g, p.Tags)
 		return nil
 	})
@@ -245,23 +354,7 @@ func buildGraph(w *econ.World, chainFile string, workers int) (*txgraph.Graph, e
 
 // diceSet expands the tagged dice services' H1 clusters into an address set.
 func (p *Pipeline) diceSet() map[txgraph.AddrID]bool {
-	diceNames := make(map[string]bool)
-	for _, n := range p.World.DiceServiceNames() {
-		diceNames[n] = true
-	}
-	diceClusters := make(map[int32]bool)
-	for label, svc := range p.NamingH1.ClusterService {
-		if diceNames[svc] {
-			diceClusters[label] = true
-		}
-	}
-	out := make(map[txgraph.AddrID]bool)
-	for id := 0; id < p.Graph.NumAddrs(); id++ {
-		if diceClusters[p.H1.ClusterOf(txgraph.AddrID(id))] {
-			out[txgraph.AddrID(id)] = true
-		}
-	}
-	return out
+	return tags.ServiceAddrSet(p.H1, p.NamingH1, p.Graph, p.World.DiceServiceNames())
 }
 
 // WaitDay returns the simulated block count of one day.

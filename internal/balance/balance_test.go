@@ -30,7 +30,7 @@ func setup(t *testing.T) (*chaintest.Builder, *txgraph.Graph, *cluster.Clusterin
 	if err != nil {
 		t.Fatal(err)
 	}
-	c := cluster.Heuristic1(g)
+	c := cluster.Heuristic1(g, 0)
 	store := tags.NewStore()
 	store.Add(tags.Tag{Addr: b.Addr("goxdep"), Service: "Mt Gox", Category: tags.CatBankExchange, Source: tags.SourceOwnTransaction})
 	store.Add(tags.Tag{Addr: b.Addr("minerA"), Service: "minerA", Category: tags.CatMining, Source: tags.SourceOwnTransaction})

@@ -1,0 +1,151 @@
+package chain
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"time"
+)
+
+// TailReader follows a framed chain file that another process may still be
+// appending to: Next blocks — polling the file and honoring ctx — until a
+// complete frame is available, so a writer flushing mid-frame is observed as
+// "not yet", never as corruption. It reads with ReadAt at an explicit offset
+// and only advances past a frame once the whole frame decoded, which makes
+// partially-written suffixes harmless. Unlike Reader, a TailReader never
+// returns io.EOF: end-of-file just means the writer has not caught up.
+type TailReader struct {
+	f        *os.File
+	off      int64 // first byte after the last fully-decoded frame
+	blocks   int64
+	frame    []byte
+	poll     time.Duration
+	headerOK bool
+}
+
+// tailPoll is how often Next re-checks a file that had no complete frame.
+// The daemon's ingest cadence is blocks (seconds to minutes apart), so the
+// exact value only bounds shutdown-free wakeup latency.
+const tailPoll = 25 * time.Millisecond
+
+// errShortFrame reports that the file ends before the next frame completes —
+// the tail condition, not an error the caller sees.
+var errShortFrame = errors.New("chain: tail: incomplete frame")
+
+// OpenTail opens a framed chain file for tailing. The file must exist, but
+// may still be empty: the stream header itself is awaited by Next like any
+// other bytes.
+func OpenTail(path string) (*TailReader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("chain: open chain file: %w", err)
+	}
+	return &TailReader{f: f, poll: tailPoll}, nil
+}
+
+// Next returns the next block, waiting for the file to grow if the frame is
+// not complete yet. It returns ctx.Err() once ctx is done, and a terminal
+// error on a corrupt header or frame.
+func (t *TailReader) Next(ctx context.Context) (*Block, error) {
+	for {
+		b, err := t.tryNext()
+		if err == nil {
+			return b, nil
+		}
+		if err != errShortFrame {
+			return nil, err
+		}
+		timer := time.NewTimer(t.poll)
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return nil, ctx.Err()
+		case <-timer.C:
+		}
+	}
+}
+
+// Buffered reports whether a complete frame is available right now, so a
+// caller can distinguish "more blocks queued" from "caught up with the
+// writer" without blocking.
+func (t *TailReader) Buffered() bool {
+	off := t.off
+	if !t.headerOK {
+		off = int64(len(streamMagic))
+	}
+	st, err := t.f.Stat()
+	if err != nil || st.Size() < off+4 {
+		return false
+	}
+	var lenBuf [4]byte
+	if _, err := t.f.ReadAt(lenBuf[:], off); err != nil {
+		return false
+	}
+	n := int64(binary.LittleEndian.Uint32(lenBuf[:]))
+	return n <= maxBlockFrame && st.Size() >= off+4+n
+}
+
+// tryNext decodes one frame at the current offset, returning errShortFrame
+// when the file does not yet hold a complete one.
+func (t *TailReader) tryNext() (*Block, error) {
+	if !t.headerOK {
+		var magic [4]byte
+		if _, err := t.f.ReadAt(magic[:], 0); err != nil {
+			return nil, shortOrTerminal(err, "chain: read stream header")
+		}
+		if magic != streamMagic {
+			return nil, ErrBadMagic
+		}
+		t.headerOK = true
+		t.off = int64(len(streamMagic))
+	}
+	var lenBuf [4]byte
+	if _, err := t.f.ReadAt(lenBuf[:], t.off); err != nil {
+		return nil, shortOrTerminal(err, fmt.Sprintf("chain: block %d: read frame length", t.blocks))
+	}
+	n := binary.LittleEndian.Uint32(lenBuf[:])
+	if n > maxBlockFrame {
+		return nil, fmt.Errorf("chain: block %d: frame length %d exceeds limit (corrupt length prefix?)", t.blocks, n)
+	}
+	if uint32(cap(t.frame)) < n {
+		t.frame = make([]byte, n)
+	}
+	frame := t.frame[:n]
+	if _, err := t.f.ReadAt(frame, t.off+4); err != nil {
+		return nil, shortOrTerminal(err, fmt.Sprintf("chain: block %d: read frame", t.blocks))
+	}
+	// The full frame is present, so from here any failure is real corruption,
+	// exactly as in Reader.NextBlock.
+	body := bytes.NewReader(frame)
+	b := new(Block)
+	if err := b.Deserialize(body); err != nil {
+		return nil, fmt.Errorf("chain: block %d: decode: %w", t.blocks, eofIsUnexpected(err))
+	}
+	if body.Len() != 0 {
+		return nil, fmt.Errorf("chain: block %d: frame has %d trailing bytes", t.blocks, body.Len())
+	}
+	t.off += 4 + int64(n)
+	t.blocks++
+	return b, nil
+}
+
+// shortOrTerminal maps a ReadAt running off the end of the file to
+// errShortFrame (the bytes have not been appended yet) and wraps anything
+// else as a terminal error.
+func shortOrTerminal(err error, what string) error {
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		return errShortFrame
+	}
+	return fmt.Errorf("%s: %w", what, err)
+}
+
+// Blocks returns how many blocks have been decoded so far.
+func (t *TailReader) Blocks() int64 { return t.blocks }
+
+// Close releases the underlying file. A concurrent Next unblocks with the
+// file's read error; callers shutting a daemon down cancel the ctx first.
+func (t *TailReader) Close() error { return t.f.Close() }

@@ -1,0 +1,154 @@
+package chain
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestTailReaderFollowsAppends writes the framed stream into the file in
+// small odd-sized byte chunks — deliberately splitting headers, length
+// prefixes, and frame bodies — while a TailReader consumes blocks, proving a
+// partially-flushed suffix is always "wait", never a misparse.
+func TestTailReaderFollowsAppends(t *testing.T) {
+	blocks, raw := streamTestChain(t)
+	path := filepath.Join(t.TempDir(), "chain.bin")
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := OpenTail(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	tr.poll = time.Millisecond
+
+	done := make(chan error, 1)
+	go func() {
+		f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			done <- err
+			return
+		}
+		defer f.Close()
+		const chunk = 7 // never aligned with the 4-byte prefixes
+		for off := 0; off < len(raw); off += chunk {
+			end := off + chunk
+			if end > len(raw) {
+				end = len(raw)
+			}
+			if _, err := f.Write(raw[off:end]); err != nil {
+				done <- err
+				return
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+		done <- nil
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for i, want := range blocks {
+		got, err := tr.Next(ctx)
+		if err != nil {
+			t.Fatalf("block %d: %v", i, err)
+		}
+		if got.BlockHash() != want.BlockHash() {
+			t.Fatalf("block %d: hash mismatch", i)
+		}
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if tr.Blocks() != int64(len(blocks)) {
+		t.Fatalf("Blocks() = %d, want %d", tr.Blocks(), len(blocks))
+	}
+	// Fully caught up: nothing buffered, and Next blocks until ctx expires.
+	if tr.Buffered() {
+		t.Fatal("Buffered() = true at end of stream")
+	}
+	shortCtx, shortCancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer shortCancel()
+	if _, err := tr.Next(shortCtx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Next at tip: got %v, want deadline exceeded", err)
+	}
+}
+
+func TestTailReaderBuffered(t *testing.T) {
+	blocks, raw := streamTestChain(t)
+	path := filepath.Join(t.TempDir(), "chain.bin")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := OpenTail(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	ctx := context.Background()
+	for i := range blocks {
+		if !tr.Buffered() {
+			t.Fatalf("block %d: Buffered() = false with frames on disk", i)
+		}
+		if _, err := tr.Next(ctx); err != nil {
+			t.Fatalf("block %d: %v", i, err)
+		}
+	}
+	if tr.Buffered() {
+		t.Fatal("Buffered() = true after the final frame")
+	}
+}
+
+func TestTailReaderCancelOnEmptyFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "chain.bin")
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := OpenTail(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	tr.poll = time.Millisecond
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := tr.Next(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Next on cancelled ctx: got %v, want context.Canceled", err)
+	}
+}
+
+func TestTailReaderBadMagic(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "chain.bin")
+	if err := os.WriteFile(path, []byte("nope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := OpenTail(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	if _, err := tr.Next(context.Background()); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("got %v, want ErrBadMagic", err)
+	}
+}
+
+func TestTailReaderCorruptFrameLength(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "chain.bin")
+	corrupt := append(append([]byte{}, streamMagic[:]...), 0xff, 0xff, 0xff, 0xff)
+	if err := os.WriteFile(path, corrupt, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := OpenTail(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	_, err = tr.Next(context.Background())
+	if err == nil || !strings.Contains(err.Error(), "exceeds limit") {
+		t.Fatalf("got %v, want frame-length error", err)
+	}
+}

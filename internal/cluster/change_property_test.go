@@ -105,8 +105,8 @@ func TestH2LadderMonotonicity(t *testing.T) {
 // Invariant: Heuristic 2 never un-merges anything Heuristic 1 merged.
 func TestH2ExtendsH1(t *testing.T) {
 	_, g := econGraph(t)
-	h1 := cluster.Heuristic1(g)
-	h2 := cluster.Heuristic2(g, cluster.Unrefined())
+	h1 := cluster.Heuristic1(g, 0)
+	h2 := cluster.Heuristic2(g, cluster.Unrefined(), 0)
 	n := g.NumAddrs()
 	for i := 0; i < n-1; i += 7 { // sampled pairs keep the test fast
 		a, b := txgraph.AddrID(i), txgraph.AddrID(i+1)
@@ -123,8 +123,8 @@ func TestH2ExtendsH1(t *testing.T) {
 func TestClusteringDeterministic(t *testing.T) {
 	w, g := econGraph(t)
 	dice := w.GroundTruthDiceIDs(g)
-	c1 := cluster.Heuristic2(g, cluster.Refined(dice, 7*w.BlocksPerDay))
-	c2 := cluster.Heuristic2(g, cluster.Refined(dice, 7*w.BlocksPerDay))
+	c1 := cluster.Heuristic2(g, cluster.Refined(dice, 7*w.BlocksPerDay), 0)
+	c2 := cluster.Heuristic2(g, cluster.Refined(dice, 7*w.BlocksPerDay), 0)
 	for i := 0; i < g.NumAddrs(); i++ {
 		if c1.ClusterOf(txgraph.AddrID(i)) != c2.ClusterOf(txgraph.AddrID(i)) {
 			t.Fatal("clustering not deterministic")
@@ -153,7 +153,7 @@ func TestSuperClusterMechanism(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		c := cluster.Heuristic2(g, cluster.Unrefined())
+		c := cluster.Heuristic2(g, cluster.Unrefined(), 0)
 		m := c.EvaluateAgainstOwners(w.OwnersForGraph(g))
 		return m.Contaminated
 	}

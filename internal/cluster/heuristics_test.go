@@ -37,7 +37,7 @@ func TestHeuristic1LinksCoSpentInputs(t *testing.T) {
 	b.Mine(1)
 
 	g := buildGraph(t, b)
-	c := Heuristic1(g)
+	c := Heuristic1(g, 0)
 	if !c.SameUser(id(t, g, b, "a1"), id(t, g, b, "a2")) {
 		t.Fatal("co-spent inputs not merged")
 	}
@@ -62,7 +62,7 @@ func TestHeuristic1Transitive(t *testing.T) {
 	b.Mine(1)
 
 	g := buildGraph(t, b)
-	c := Heuristic1(g)
+	c := Heuristic1(g, 0)
 	// a1–a2 share a tx; a2b–a3 share a tx; but a2 and a2b are different
 	// addresses, so without another link a1 and a3 stay separate.
 	if c.SameUser(id(t, g, b, "a1"), id(t, g, b, "a3")) {
@@ -84,7 +84,7 @@ func TestHeuristic1Transitive(t *testing.T) {
 	b2.Pay([]string{"a2", "a2x"}, chaintest.Out{Name: "z", Value: 100 * btc})
 	b2.Mine(1)
 	g2 := buildGraph(t, b2)
-	c2 := Heuristic1(g2)
+	c2 := Heuristic1(g2, 0)
 	if !c2.SameUser(id(t, g2, b2, "a1"), id(t, g2, b2, "a3")) {
 		t.Fatal("transitive closure failed: a1 and a3 should be one user")
 	}
@@ -98,7 +98,7 @@ func TestHeuristic1Stats(t *testing.T) {
 	b.Mine(1)
 
 	g := buildGraph(t, b)
-	c := Heuristic1(g)
+	c := Heuristic1(g, 0)
 	s := c.ComputeStats()
 	// Addresses: a1, sink1, sink2, miner (from Mine(1)).
 	if s.Addresses != 4 {
@@ -144,7 +144,7 @@ func TestH2LabelsOneTimeChange(t *testing.T) {
 		t.Fatal("clean change flagged as false positive")
 	}
 
-	c := Heuristic2(g, Unrefined())
+	c := Heuristic2(g, Unrefined(), 0)
 	if !c.SameUser(id(t, g, b, "payer"), id(t, g, b, "change")) {
 		t.Fatal("H2 did not merge change with payer")
 	}
@@ -474,7 +474,7 @@ func TestH2FalseMergeVisibleInGroundTruth(t *testing.T) {
 	b2.Mine(1)
 
 	g2 := buildGraph(t, b2)
-	c := Heuristic2(g2, Unrefined())
+	c := Heuristic2(g2, Unrefined(), 0)
 	gox := id(t, g2, b2, "goxhot")
 	deposit := id(t, g2, b2, "instadeposit")
 	if !c.SameUser(gox, deposit) {
@@ -508,7 +508,7 @@ func TestH1PerfectPrecisionOnOwnedLedger(t *testing.T) {
 	b.Mine(1)
 
 	g := buildGraph(t, b)
-	c := Heuristic1(g)
+	c := Heuristic1(g, 0)
 	owners := make([]int32, g.NumAddrs())
 	for i := range owners {
 		owners[i] = -1
@@ -535,7 +535,7 @@ func TestTopClustersOrdering(t *testing.T) {
 	b.Pay([]string{"a1", "a2", "a3"}, chaintest.Out{Name: "x", Value: 150 * btc})
 	b.Mine(1)
 	g := buildGraph(t, b)
-	c := Heuristic1(g)
+	c := Heuristic1(g, 0)
 	top := c.TopClusters(2)
 	sizes := c.ClusterSizes()
 	if sizes[top[0]] < sizes[top[1]] {

@@ -44,6 +44,19 @@ func (u *UnionFind) Clone() *UnionFind {
 	return cp
 }
 
+// Grow extends the forest with fresh singleton sets so it spans n elements;
+// n at or below the current length is a no-op. Growing never disturbs
+// existing sets, which is what makes a live Heuristic 1 forest incrementally
+// maintainable: each block's new addresses append as singletons and its
+// co-spend unions are monotone merges on top.
+func (u *UnionFind) Grow(n int) {
+	for i := len(u.parent); i < n; i++ {
+		u.parent = append(u.parent, uint32(i))
+		u.size = append(u.size, 1)
+		u.sets++
+	}
+}
+
 // Len returns the number of elements.
 func (u *UnionFind) Len() int { return len(u.parent) }
 

@@ -1,6 +1,7 @@
 package econ
 
 import (
+	"context"
 	"fmt"
 	"os"
 
@@ -19,7 +20,13 @@ func extractAddr(pkScript []byte) (address.Address, error) {
 // Generate runs the full simulation and returns the world: a validated
 // chain plus ground truth, tags, and the scripted case-study records.
 func Generate(cfg Config) (*World, error) {
-	return GenerateStream(cfg, nil)
+	return GenerateStream(context.Background(), cfg, nil)
+}
+
+// GenerateCtx is Generate under a context: cancellation is observed between
+// blocks, the seal pipeline drains, and ctx.Err() is returned.
+func GenerateCtx(ctx context.Context, cfg Config) (*World, error) {
+	return GenerateStream(ctx, cfg, nil)
 }
 
 // GenerateToFile is Generate, additionally emitting the chain to path in
@@ -30,7 +37,13 @@ func Generate(cfg Config) (*World, error) {
 // generation, flush, or close error the partially written file is removed:
 // a truncated chain file left behind would trip a later `-chain -reuse` run
 // with a confusing mid-stream decode error instead of a missing-file one.
-func GenerateToFile(cfg Config, path string) (w *World, err error) {
+func GenerateToFile(cfg Config, path string) (*World, error) {
+	return GenerateToFileCtx(context.Background(), cfg, path)
+}
+
+// GenerateToFileCtx is GenerateToFile under a context; as with GenerateCtx,
+// cancellation aborts between blocks and the partial file is removed.
+func GenerateToFileCtx(ctx context.Context, cfg Config, path string) (w *World, err error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return nil, fmt.Errorf("econ: create chain file: %w", err)
@@ -46,7 +59,7 @@ func GenerateToFile(cfg Config, path string) (w *World, err error) {
 	if err != nil {
 		return nil, err
 	}
-	w, err = GenerateStream(cfg, sw.WriteBlock)
+	w, err = GenerateStream(ctx, cfg, sw.WriteBlock)
 	if err != nil {
 		return nil, err
 	}
@@ -63,8 +76,10 @@ func GenerateToFile(cfg Config, path string) (w *World, err error) {
 // called once per sealed block, in strict height order. With the seal
 // pipeline active (Config.PipelineDepth != 1) the sink runs on the
 // pipeline's committer goroutine, up to PipelineDepth blocks behind the
-// builder; it is never called concurrently with itself.
-func GenerateStream(cfg Config, sink func(*chain.Block) error) (*World, error) {
+// builder; it is never called concurrently with itself. ctx is checked once
+// per block in the build loop — the only submitter — so cancelling it stops
+// generation promptly and the pipeline drains through the normal path.
+func GenerateStream(ctx context.Context, cfg Config, sink func(*chain.Block) error) (*World, error) {
 	if cfg.Blocks < 100 {
 		return nil, fmt.Errorf("econ: need at least 100 blocks, got %d", cfg.Blocks)
 	}
@@ -86,7 +101,7 @@ func GenerateStream(cfg Config, sink func(*chain.Block) error) (*World, error) {
 	}
 	e.setupResearcher()
 
-	err := e.buildBlocks()
+	err := e.buildBlocks(ctx)
 	if e.sealer != nil {
 		// Always drain, success or not: a seal error from the last few
 		// blocks surfaces here, and no pipeline goroutine may outlive
@@ -104,10 +119,13 @@ func GenerateStream(cfg Config, sink func(*chain.Block) error) (*World, error) {
 }
 
 // buildBlocks runs the per-block simulation loop, sealing each block as it
-// fills. It returns the first build or seal error; under the seal pipeline
-// the caller must still drain the sealer afterwards.
-func (e *engine) buildBlocks() error {
+// fills. It returns the first build, seal, or context error; under the seal
+// pipeline the caller must still drain the sealer afterwards.
+func (e *engine) buildBlocks(ctx context.Context) error {
 	for h := int64(0); h < e.cfg.Blocks; h++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		// e.height is advanced by sealBlock; assert the invariant cheaply.
 		if e.height != h {
 			return fmt.Errorf("econ: height skew %d != %d", e.height, h)

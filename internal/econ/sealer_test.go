@@ -2,6 +2,7 @@ package econ
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -169,7 +170,7 @@ func TestBlockSinkErrorPropagation(t *testing.T) {
 			sentinel := errors.New("sink exploded")
 			var accepted int64
 			before := runtime.NumGoroutine()
-			w, err := GenerateStream(c, errAfter(failAt, sentinel, &accepted))
+			w, err := GenerateStream(context.Background(), c, errAfter(failAt, sentinel, &accepted))
 			if err == nil {
 				t.Fatal("generation succeeded despite failing sink")
 			}
@@ -230,5 +231,30 @@ func TestGenerateToFileCreateError(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "missing-dir", "chain.bin")
 	if _, err := GenerateToFile(Small(), path); err == nil {
 		t.Fatal("create into a missing directory succeeded")
+	}
+}
+
+// TestGenerateCtxCancelled proves a cancelled context aborts generation with
+// ctx.Err() and leaves no pipeline goroutines behind (the -race run and
+// goleak gate the latter).
+func TestGenerateCtxCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := GenerateCtx(ctx, Small()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+}
+
+// TestGenerateToFileCtxCancelledRemovesFile proves cancellation takes the
+// same cleanup path as any other generation error: no partial chain file.
+func TestGenerateToFileCtxCancelledRemovesFile(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	path := filepath.Join(t.TempDir(), "chain.bin")
+	if _, err := GenerateToFileCtx(ctx, Small(), path); !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("partial chain file left behind: %v", err)
 	}
 }

@@ -102,7 +102,7 @@ func TestFollowPeelingChainMaxHops(t *testing.T) {
 
 func TestClusterLinkerFollowsChain(t *testing.T) {
 	_, g, start := buildPeelChain(t)
-	c := cluster.Heuristic2(g, cluster.Unrefined())
+	c := cluster.Heuristic2(g, cluster.Unrefined(), 0)
 	res := FollowPeelingChain(g, start, 100, &ClusterLinker{Clusters: c}, nil)
 	if res.Hops != 5 {
 		t.Fatalf("cluster linker hops = %d, want 5 (%s)", res.Hops, res.Terminated)

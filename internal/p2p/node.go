@@ -116,6 +116,21 @@ func (n *Node) Height() int64 {
 	return n.chain.Height()
 }
 
+// BlockAt returns the connected block at the given height, or nil if the
+// chain has not reached it. Blocks are immutable once connected, so the
+// returned pointer is safe to read after the lock is released — this is the
+// accessor a serve-side feed uses to pull blocks in height order, with
+// Events() as a wake-up signal rather than a data channel (events may drop
+// under overflow).
+func (n *Node) BlockAt(height int64) *chain.Block {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if height < 0 || height > n.chain.Height() {
+		return nil
+	}
+	return n.chain.BlockAt(height)
+}
+
 // MempoolSize returns the number of queued transactions.
 func (n *Node) MempoolSize() int {
 	n.mu.Lock()

@@ -6,6 +6,7 @@
 package par
 
 import (
+	"context"
 	"runtime"
 	"sync"
 )
@@ -19,11 +20,27 @@ func Workers(n int) int {
 	return n
 }
 
+// Split divides a resolved worker budget evenly across branches that run
+// concurrently, never dropping below one worker per branch. It is the single
+// place the pipeline's "N variants share the Parallelism knob" arithmetic
+// lives, so fan-out call sites cannot drift apart.
+func Split(budget, branches int) int {
+	if branches < 1 {
+		branches = 1
+	}
+	w := Workers(budget) / branches
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
 // Group runs a set of tasks concurrently and collects the first error.
 // The zero value is ready to use and applies no concurrency limit.
 type Group struct {
 	wg   sync.WaitGroup
 	sem  chan struct{}
+	ctx  context.Context
 	once sync.Once
 	err  error
 }
@@ -38,12 +55,36 @@ func NewGroup(limit int) *Group {
 	return g
 }
 
+// NewGroupCtx is NewGroup bound to a context: once ctx is cancelled, Go
+// stops launching new tasks (recording ctx.Err() as the group error) and a
+// Go blocked on the concurrency limit gives up. Tasks already running are
+// not interrupted — stages that can stop midway observe the same ctx
+// themselves.
+func NewGroupCtx(ctx context.Context, limit int) *Group {
+	g := NewGroup(limit)
+	g.ctx = ctx
+	return g
+}
+
 // Go starts f in its own goroutine, blocking first if the concurrency limit
 // is saturated. The first non-nil error wins; later tasks still run (the
 // pipeline's stages have no way to be cancelled midway and their results are
 // discarded on error).
 func (g *Group) Go(f func() error) {
-	if g.sem != nil {
+	if g.ctx != nil {
+		if err := g.ctx.Err(); err != nil {
+			g.once.Do(func() { g.err = err })
+			return
+		}
+	}
+	if g.sem != nil && g.ctx != nil {
+		select {
+		case g.sem <- struct{}{}:
+		case <-g.ctx.Done():
+			g.once.Do(func() { g.err = g.ctx.Err() })
+			return
+		}
+	} else if g.sem != nil {
 		g.sem <- struct{}{}
 	}
 	g.wg.Add(1)

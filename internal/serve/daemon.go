@@ -1,0 +1,70 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// DefaultPublishEvery is how many applied blocks a snapshot publish may lag
+// behind when the feed is backlogged (catching up through a long chain
+// file). At the tip the daemon publishes after every block regardless.
+const DefaultPublishEvery = 64
+
+// Daemon ties an Ingester to a BlockFeed: apply every block, publish a
+// fresh snapshot whenever the feed idles (and at least every publishEvery
+// blocks while catching up). One Daemon per Ingester; Run owns the feed.
+type Daemon struct {
+	ing          *Ingester
+	feed         BlockFeed
+	publishEvery int
+}
+
+// NewDaemon wires ing to feed. publishEvery <= 0 means DefaultPublishEvery.
+func NewDaemon(ing *Ingester, feed BlockFeed, publishEvery int) *Daemon {
+	if publishEvery <= 0 {
+		publishEvery = DefaultPublishEvery
+	}
+	return &Daemon{ing: ing, feed: feed, publishEvery: publishEvery}
+}
+
+// Snapshot returns the latest published snapshot; safe from any goroutine.
+func (d *Daemon) Snapshot() *Snapshot { return d.ing.Snapshot() }
+
+// Run ingests until the context is cancelled, closing the feed on the way
+// out. A finite feed (SourceFeed over a chain file) reports io.EOF; Run
+// publishes the final snapshot and then parks until cancellation, so the
+// query API keeps answering after a bounded source drains. Cancellation is a
+// clean shutdown (nil); any other feed or apply error is returned.
+func (d *Daemon) Run(ctx context.Context) error {
+	defer d.feed.Close()
+	pending := 0 // blocks applied since the last publish
+	for {
+		b, err := d.feed.Next(ctx)
+		switch {
+		case errors.Is(err, io.EOF):
+			if pending > 0 {
+				d.ing.Publish()
+			}
+			<-ctx.Done()
+			return nil
+		case err != nil:
+			if ctx.Err() != nil {
+				if pending > 0 {
+					d.ing.Publish()
+				}
+				return nil
+			}
+			return fmt.Errorf("serve: feed: %w", err)
+		}
+		if err := d.ing.ApplyBlock(b); err != nil {
+			return fmt.Errorf("serve: apply block: %w", err)
+		}
+		pending++
+		if pending >= d.publishEvery || !d.feed.Buffered() {
+			d.ing.Publish()
+			pending = 0
+		}
+	}
+}

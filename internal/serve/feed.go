@@ -1,0 +1,133 @@
+package serve
+
+import (
+	"context"
+	"io"
+	"time"
+
+	"repro/internal/chain"
+	"repro/internal/p2p"
+)
+
+// A BlockFeed hands the daemon blocks in height order. Next blocks until a
+// block is available, the source is exhausted (io.EOF), or ctx is done;
+// Buffered reports whether another block is already available without
+// waiting, which is how the daemon decides it has reached the tip and should
+// publish. Close releases the source; feeds are not safe for concurrent use.
+type BlockFeed interface {
+	Next(ctx context.Context) (*chain.Block, error)
+	Buffered() bool
+	Close() error
+}
+
+// SourceFeed adapts a finite chain.BlockSource (an in-memory chain, a fully
+// written chain file) into a feed: it never waits, and reports EOF once the
+// source drains.
+type SourceFeed struct {
+	src  chain.BlockSource
+	done bool
+}
+
+// NewSourceFeed wraps src. The feed does not own an underlying file; close
+// the reader separately if the source has one.
+func NewSourceFeed(src chain.BlockSource) *SourceFeed {
+	return &SourceFeed{src: src}
+}
+
+// Next returns the next block, or io.EOF once the source is exhausted.
+func (f *SourceFeed) Next(ctx context.Context) (*chain.Block, error) {
+	if f.done {
+		return nil, io.EOF
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	b, err := f.src.NextBlock()
+	if err != nil {
+		if err == io.EOF {
+			f.done = true
+		}
+		return nil, err
+	}
+	return b, nil
+}
+
+// Buffered reports whether the source may still yield a block.
+func (f *SourceFeed) Buffered() bool { return !f.done }
+
+// Close is a no-op; the caller owns the source.
+func (f *SourceFeed) Close() error { return nil }
+
+// TailFeed follows a framed chain file being appended by another process —
+// the generator writing via GenerateToFile, or any chain.Writer. It never
+// reports EOF: at the tip, Next parks until more bytes land or ctx is done.
+type TailFeed struct {
+	tr *chain.TailReader
+}
+
+// OpenTailFeed opens path for tailing.
+func OpenTailFeed(path string) (*TailFeed, error) {
+	tr, err := chain.OpenTail(path)
+	if err != nil {
+		return nil, err
+	}
+	return &TailFeed{tr: tr}, nil
+}
+
+// Next returns the next appended block, waiting for the writer if the file
+// is currently at the tip.
+func (f *TailFeed) Next(ctx context.Context) (*chain.Block, error) {
+	return f.tr.Next(ctx)
+}
+
+// Buffered reports whether a complete frame is already on disk.
+func (f *TailFeed) Buffered() bool { return f.tr.Buffered() }
+
+// Close closes the underlying file.
+func (f *TailFeed) Close() error { return f.tr.Close() }
+
+// nodePoll bounds how stale a NodeFeed can go when the node's event channel
+// drops notifications under load (Events is documented to drop rather than
+// block); the feed re-checks the chain height at least this often.
+const nodePoll = 250 * time.Millisecond
+
+// NodeFeed follows a running p2p node's validated chain by height. Like
+// TailFeed it never reports EOF; the node's event channel is used purely as
+// a wake-up hint, with a poll fallback, so dropped events cost latency, not
+// blocks.
+type NodeFeed struct {
+	node *p2p.Node
+	next int64
+}
+
+// NewNodeFeed follows node from genesis. The caller keeps ownership of the
+// node and its lifecycle.
+func NewNodeFeed(node *p2p.Node) *NodeFeed {
+	return &NodeFeed{node: node}
+}
+
+// Next returns the block at the next height, waiting for the node to extend
+// its chain if necessary.
+func (f *NodeFeed) Next(ctx context.Context) (*chain.Block, error) {
+	for {
+		if b := f.node.BlockAt(f.next); b != nil {
+			f.next++
+			return b, nil
+		}
+		timer := time.NewTimer(nodePoll)
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return nil, ctx.Err()
+		case <-f.node.Events():
+			timer.Stop()
+		case <-timer.C:
+		}
+	}
+}
+
+// Buffered reports whether the node already holds the next height.
+func (f *NodeFeed) Buffered() bool { return f.node.Height() >= f.next }
+
+// Close is a no-op; the caller owns the node.
+func (f *NodeFeed) Close() error { return nil }

@@ -1,0 +1,277 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+
+	"repro/internal/address"
+	"repro/internal/cluster"
+	"repro/internal/tags"
+	"repro/internal/txgraph"
+)
+
+// API serves read-only JSON queries over the latest published snapshot.
+// Every request loads the snapshot pointer once and answers entirely from
+// that epoch, so a response is internally consistent even while blocks keep
+// landing. Handlers never touch the live graph or forest.
+type API struct {
+	ing *Ingester
+}
+
+// NewAPI wraps an Ingester (or the Ingester inside a Daemon) for serving.
+func NewAPI(ing *Ingester) *API { return &API{ing: ing} }
+
+// Handler returns the route table:
+//
+//	GET /v1/healthz                  liveness + current epoch and height
+//	GET /v1/stats                    clustering and naming statistics
+//	GET /v1/cluster?addr=A           cluster membership of one address
+//	GET /v1/cluster/members?label=L  addresses in one refined cluster
+//	GET /v1/balance?addr=A           confirmed balance of one address
+//	GET /v1/tags?addr=A              ground-truth tag for one address
+func (a *API) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/healthz", a.healthz)
+	mux.HandleFunc("GET /v1/stats", a.stats)
+	mux.HandleFunc("GET /v1/cluster", a.cluster)
+	mux.HandleFunc("GET /v1/cluster/members", a.members)
+	mux.HandleFunc("GET /v1/balance", a.balance)
+	mux.HandleFunc("GET /v1/tags", a.tag)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// The header is already out; an encode/write error here only means the
+	// client went away mid-response.
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, errorResponse{Error: msg})
+}
+
+// snapAddr resolves the ?addr= parameter against the snapshot, writing the
+// error response itself when resolution fails.
+func snapAddr(w http.ResponseWriter, r *http.Request, s *Snapshot) (txgraph.AddrID, address.Address, bool) {
+	raw := r.URL.Query().Get("addr")
+	if raw == "" {
+		writeError(w, http.StatusBadRequest, "missing addr parameter")
+		return 0, address.Address{}, false
+	}
+	addr, err := address.Decode(raw)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad address: "+err.Error())
+		return 0, address.Address{}, false
+	}
+	id, ok := s.Lookup(addr)
+	if !ok {
+		writeError(w, http.StatusNotFound, "address not on chain at epoch "+strconv.FormatUint(s.Epoch, 10))
+		return 0, address.Address{}, false
+	}
+	return id, addr, true
+}
+
+type healthzResponse struct {
+	Epoch  uint64 `json:"epoch"`
+	Height int64  `json:"height"`
+}
+
+func (a *API) healthz(w http.ResponseWriter, r *http.Request) {
+	s := a.ing.Snapshot()
+	writeJSON(w, http.StatusOK, healthzResponse{Epoch: s.Epoch, Height: s.Height})
+}
+
+type clusteringStats struct {
+	Clusters        int `json:"clusters"`
+	SpenderClusters int `json:"spender_clusters"`
+	SinkAddresses   int `json:"sink_addresses"`
+	MaxUsers        int `json:"max_users"`
+	LargestCluster  int `json:"largest_cluster"`
+	NamedClusters   int `json:"named_clusters"`
+	NamedAddresses  int `json:"named_addresses"`
+}
+
+func summarize(c *cluster.Clustering, n *tags.Naming) clusteringStats {
+	st := c.ComputeStats()
+	return clusteringStats{
+		Clusters:        c.NumClusters(),
+		SpenderClusters: st.SpenderClusters,
+		SinkAddresses:   st.SinkAddresses,
+		MaxUsers:        st.MaxUsers,
+		LargestCluster:  st.LargestCluster,
+		NamedClusters:   n.NamedClusters,
+		NamedAddresses:  n.NamedAddresses,
+	}
+}
+
+type statsResponse struct {
+	Epoch   uint64              `json:"epoch"`
+	Height  int64               `json:"height"`
+	Txs     int                 `json:"txs"`
+	Addrs   int                 `json:"addrs"`
+	H1      clusteringStats     `json:"h1"`
+	Refined clusteringStats     `json:"refined"`
+	Change  cluster.ChangeStats `json:"change"`
+}
+
+func (a *API) stats(w http.ResponseWriter, r *http.Request) {
+	s := a.ing.Snapshot()
+	writeJSON(w, http.StatusOK, statsResponse{
+		Epoch:   s.Epoch,
+		Height:  s.Height,
+		Txs:     s.NumTxs,
+		Addrs:   s.NumAddrs,
+		H1:      summarize(s.H1, s.NamingH1),
+		Refined: summarize(s.Refined, s.Naming),
+		Change:  s.Refined.ChangeStats,
+	})
+}
+
+type clusterView struct {
+	Label    int32  `json:"label"`
+	Size     int    `json:"size"`
+	Service  string `json:"service,omitempty"`
+	Category string `json:"category,omitempty"`
+}
+
+func viewOf(c *cluster.Clustering, n *tags.Naming, id txgraph.AddrID) clusterView {
+	label := c.ClusterOf(id)
+	v := clusterView{Label: label, Size: c.ClusterSizes()[label]}
+	if svc, ok := n.ClusterService[label]; ok {
+		v.Service = svc
+		v.Category = n.ClusterCategory[label].String()
+	}
+	return v
+}
+
+type clusterResponse struct {
+	Epoch   uint64      `json:"epoch"`
+	Addr    string      `json:"addr"`
+	ID      uint32      `json:"id"`
+	H1      clusterView `json:"h1"`
+	Refined clusterView `json:"refined"`
+}
+
+func (a *API) cluster(w http.ResponseWriter, r *http.Request) {
+	s := a.ing.Snapshot()
+	id, addr, ok := snapAddr(w, r, s)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, clusterResponse{
+		Epoch:   s.Epoch,
+		Addr:    addr.String(),
+		ID:      uint32(id),
+		H1:      viewOf(s.H1, s.NamingH1, id),
+		Refined: viewOf(s.Refined, s.Naming, id),
+	})
+}
+
+type membersResponse struct {
+	Epoch     uint64   `json:"epoch"`
+	Label     int32    `json:"label"`
+	Size      int      `json:"size"`
+	Service   string   `json:"service,omitempty"`
+	Truncated bool     `json:"truncated"`
+	Members   []string `json:"members"`
+}
+
+func (a *API) members(w http.ResponseWriter, r *http.Request) {
+	s := a.ing.Snapshot()
+	label64, err := strconv.ParseInt(r.URL.Query().Get("label"), 10, 32)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad label parameter")
+		return
+	}
+	label := int32(label64)
+	if label < 0 || int(label) >= s.Refined.NumClusters() {
+		writeError(w, http.StatusNotFound, "no such cluster at epoch "+strconv.FormatUint(s.Epoch, 10))
+		return
+	}
+	const maxLimit = 1000
+	limit := 100
+	if raw := r.URL.Query().Get("limit"); raw != "" {
+		limit, err = strconv.Atoi(raw)
+		if err != nil || limit < 1 {
+			writeError(w, http.StatusBadRequest, "bad limit parameter")
+			return
+		}
+	}
+	if limit > maxLimit {
+		limit = maxLimit
+	}
+	ids := s.Refined.Members(label)
+	resp := membersResponse{
+		Epoch:     s.Epoch,
+		Label:     label,
+		Size:      len(ids),
+		Truncated: len(ids) > limit,
+		Members:   make([]string, 0, min(limit, len(ids))),
+	}
+	if svc, ok := s.Naming.ClusterService[label]; ok {
+		resp.Service = svc
+	}
+	for _, id := range ids {
+		if len(resp.Members) >= limit {
+			break
+		}
+		resp.Members = append(resp.Members, s.Addr(id).String())
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type balanceResponse struct {
+	Epoch    uint64 `json:"epoch"`
+	Height   int64  `json:"height"`
+	Addr     string `json:"addr"`
+	Satoshis int64  `json:"satoshis"`
+}
+
+func (a *API) balance(w http.ResponseWriter, r *http.Request) {
+	s := a.ing.Snapshot()
+	id, addr, ok := snapAddr(w, r, s)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, balanceResponse{
+		Epoch:    s.Epoch,
+		Height:   s.Height,
+		Addr:     addr.String(),
+		Satoshis: int64(s.Balance(id)),
+	})
+}
+
+type tagResponse struct {
+	Epoch    uint64 `json:"epoch"`
+	Addr     string `json:"addr"`
+	Service  string `json:"service"`
+	Category string `json:"category"`
+	Source   string `json:"source"`
+}
+
+func (a *API) tag(w http.ResponseWriter, r *http.Request) {
+	s := a.ing.Snapshot()
+	_, addr, ok := snapAddr(w, r, s)
+	if !ok {
+		return
+	}
+	t, ok := s.Tags.Get(addr)
+	if !ok {
+		writeError(w, http.StatusNotFound, "address is untagged")
+		return
+	}
+	writeJSON(w, http.StatusOK, tagResponse{
+		Epoch:    s.Epoch,
+		Addr:     addr.String(),
+		Service:  t.Service,
+		Category: t.Category.String(),
+		Source:   t.Source.String(),
+	})
+}

@@ -1,0 +1,250 @@
+// Package serve is the incremental ingestion engine behind `fistful serve`:
+// a long-running daemon that tails a chain source and keeps the paper's
+// measurement state — the transaction graph, the Heuristic 1 union-find
+// forest, balances, and the Heuristic 2 classifier inputs — current block by
+// block, instead of rebuilding the world per run the way the batch pipeline
+// does.
+//
+// The cost model follows from which indexes are monotone under chain growth:
+//
+//   - Heuristic 1 unions, address balances, first-seen/first-self-change/
+//     first-reuse markers, and the per-address appearance lists only ever
+//     gain information, so the Ingester maintains them exactly per block in
+//     O(block) via txgraph.Appender and a growable cluster.UnionFind.
+//   - Heuristic 2 change labels and cluster naming are NOT monotone (the
+//     wait-window suppresses labels retroactively and the dice set is
+//     derived from H1 naming votes), so Publish recomputes them over the
+//     incrementally maintained substrate. That recompute is the same
+//     sharded classifier the batch pipeline runs — no hashing, no signing —
+//     so publishing stays far cheaper than a batch rebuild.
+//
+// Queries never touch live state: Publish assembles an immutable Snapshot
+// and installs it behind an atomic pointer, so readers see a consistent
+// epoch and block-apply never waits on a reader. A snapshot published at
+// height H answers every query byte-identically to a batch pipeline built
+// over the same chain prefix; the root package's equivalence tests pin that
+// contract.
+package serve
+
+import (
+	"sort"
+
+	"repro/internal/address"
+	"repro/internal/chain"
+	"repro/internal/cluster"
+	"repro/internal/par"
+	"repro/internal/tags"
+	"repro/internal/txgraph"
+)
+
+// Analysis fixes the analytic configuration the daemon serves under: the tag
+// store, the dice services whose clusters the refined classifier suppresses,
+// and the reuse wait window. These are batch-pipeline inputs; the serve and
+// batch paths sharing them is what makes snapshot/batch equivalence a
+// well-posed claim.
+type Analysis struct {
+	// Tags is the address tag store used for cluster naming. The Ingester
+	// reads it on every publish; callers must not mutate it after handoff.
+	// Nil means an empty store.
+	Tags *tags.Store
+	// DiceNames lists the services whose H1-named clusters feed the refined
+	// classifier's dice suppression set (tags.ServiceAddrSet).
+	DiceNames []string
+	// WaitBlocks is the refined classifier's reuse wait window, in blocks —
+	// the batch pipeline uses one simulated week.
+	WaitBlocks int64
+	// Workers sizes the per-block pre-pass and the publish-time classifier
+	// scan; <= 0 means one per CPU.
+	Workers int
+}
+
+// Ingester owns the live measurement state. ApplyBlock and Publish must be
+// called from one goroutine (the daemon's ingest loop); Snapshot may be
+// called from any goroutine.
+type Ingester struct {
+	an      Analysis
+	workers int
+
+	ap     *txgraph.Appender
+	forest *cluster.UnionFind
+
+	// balances and addrs grow in AddrID order alongside the graph's intern
+	// table; sortedAddrs is the last published query index over them.
+	balances []chain.Amount
+	addrs    []address.Address
+	sorted   []txgraph.AddrID
+
+	epoch uint64
+	snap  atomicSnapshot
+}
+
+// NewIngester returns an Ingester over an empty chain and publishes the
+// empty snapshot, so Snapshot never returns nil.
+func NewIngester(an Analysis) *Ingester {
+	if an.Tags == nil {
+		an.Tags = tags.NewStore()
+	}
+	ing := &Ingester{
+		an:      an,
+		workers: par.Workers(an.Workers),
+		ap:      txgraph.NewAppender(an.Workers),
+		forest:  cluster.NewUnionFind(0),
+	}
+	ing.Publish()
+	return ing
+}
+
+// ApplyBlock indexes one block into every monotone structure: the graph via
+// the Appender, Heuristic 1 unions for the block's new transactions, balance
+// deltas, and the address mirror the snapshots alias. O(block).
+func (ing *Ingester) ApplyBlock(b *chain.Block) error {
+	g := ing.ap.Graph()
+	base := g.NumTxs()
+	if err := ing.ap.AppendBlock(b); err != nil {
+		return err
+	}
+
+	n := g.NumAddrs()
+	ing.forest.Grow(n)
+	for len(ing.balances) < n {
+		ing.balances = append(ing.balances, 0)
+	}
+	for id := len(ing.addrs); id < n; id++ {
+		ing.addrs = append(ing.addrs, g.Addr(txgraph.AddrID(id)))
+	}
+
+	for seq := base; seq < g.NumTxs(); seq++ {
+		tx := g.Tx(txgraph.TxSeq(seq))
+		// Heuristic 1: all input addresses of one transaction are one user.
+		// Union first-vs-each, the same pairs applyHeuristic1 emits, so the
+		// forest matches a batch Heuristic1Forest over the same prefix.
+		first := txgraph.NoAddr
+		for j, id := range tx.InputAddrs {
+			if id == txgraph.NoAddr {
+				continue
+			}
+			ing.balances[id] -= tx.InputValues[j]
+			if first == txgraph.NoAddr {
+				first = id
+			} else {
+				ing.forest.Union(uint32(first), uint32(id))
+			}
+		}
+		for j, id := range tx.OutputAddrs {
+			if id == txgraph.NoAddr {
+				continue
+			}
+			ing.balances[id] += tx.OutputValues[j]
+		}
+	}
+	return nil
+}
+
+// Publish flattens the appearance index, re-runs the non-monotone analytics
+// (refined Heuristic 2 and naming) over the current prefix, and installs a
+// new immutable Snapshot. It runs on the ingest goroutine; the published
+// snapshot shares only data that future appends never rewrite.
+func (ing *Ingester) Publish() *Snapshot {
+	g := ing.ap.Refresh()
+	n := g.NumAddrs()
+
+	// The H1 clustering takes ownership of the forest it is handed, so give
+	// it a clone; the live forest keeps growing.
+	h1 := cluster.ClusteringFromForest(g, ing.forest.Clone())
+	namingH1 := tags.NameClusters(h1, g, ing.an.Tags)
+	dice := tags.ServiceAddrSet(h1, namingH1, g, ing.an.DiceNames)
+	refined := cluster.Heuristic2OnForest(g, cluster.Refined(dice, ing.an.WaitBlocks), ing.forest, ing.workers)
+	naming := tags.NameClusters(refined, g, ing.an.Tags)
+
+	// Force every lazily cached view now, while we are alone with the live
+	// graph: the sync.Once fields read g's CSR arrays, which the next
+	// Refresh will rewrite.
+	forceClustering(h1)
+	forceClustering(refined)
+
+	balances := make([]chain.Amount, n)
+	copy(balances, ing.balances)
+	ing.sorted = mergeSortedAddrs(ing.sorted, ing.addrs, n)
+
+	ing.epoch++
+	s := &Snapshot{
+		Epoch:    ing.epoch,
+		Height:   g.Height(),
+		NumTxs:   g.NumTxs(),
+		NumAddrs: n,
+		H1:       h1,
+		NamingH1: namingH1,
+		Refined:  refined,
+		Naming:   naming,
+		Tags:     ing.an.Tags,
+		balances: balances,
+		// Aliasing the mirror is race-safe: appends beyond n never rewrite
+		// [0, n), and the full-capacity slice keeps later appends from
+		// landing in this window.
+		addrs:  ing.addrs[:n:n],
+		sorted: ing.sorted,
+	}
+	ing.snap.Store(s)
+	return s
+}
+
+// Snapshot returns the most recently published snapshot. Safe from any
+// goroutine; never nil.
+func (ing *Ingester) Snapshot() *Snapshot { return ing.snap.Load() }
+
+// Epoch returns the number of snapshots published so far.
+func (ing *Ingester) Epoch() uint64 { return ing.epoch }
+
+// forceClustering materializes every lazily computed view of a clustering so
+// post-publish queries are pure reads of cached state.
+func forceClustering(c *cluster.Clustering) {
+	c.ComputeStats()
+	c.ClusterSizes()
+	if c.NumClusters() > 0 {
+		c.Members(0)
+	}
+}
+
+// mergeSortedAddrs extends the sorted-by-address ID index to cover ids
+// [0, n): the previous index is already sorted and immutable, so sort only
+// the fresh ids and merge — O(new·log new + n) per publish, and the merged
+// slice is a fresh allocation safe to share with the snapshot.
+func mergeSortedAddrs(prev []txgraph.AddrID, addrs []address.Address, n int) []txgraph.AddrID {
+	if len(prev) == n {
+		return prev
+	}
+	fresh := make([]txgraph.AddrID, 0, n-len(prev))
+	for id := len(prev); id < n; id++ {
+		fresh = append(fresh, txgraph.AddrID(id))
+	}
+	sort.Slice(fresh, func(i, j int) bool {
+		return addrLess(addrs[fresh[i]], addrs[fresh[j]])
+	})
+	merged := make([]txgraph.AddrID, 0, n)
+	i, j := 0, 0
+	for i < len(prev) && j < len(fresh) {
+		if addrLess(addrs[prev[i]], addrs[fresh[j]]) {
+			merged = append(merged, prev[i])
+			i++
+		} else {
+			merged = append(merged, fresh[j])
+			j++
+		}
+	}
+	merged = append(merged, prev[i:]...)
+	merged = append(merged, fresh[j:]...)
+	return merged
+}
+
+// addrLess is a total order over addresses: by version byte, then hash.
+func addrLess(a, b address.Address) bool {
+	if a.Version != b.Version {
+		return a.Version < b.Version
+	}
+	for k := 0; k < address.HashLen; k++ {
+		if a.Hash[k] != b.Hash[k] {
+			return a.Hash[k] < b.Hash[k]
+		}
+	}
+	return false
+}

@@ -1,0 +1,339 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/address"
+	"repro/internal/chain"
+	"repro/internal/cluster"
+	"repro/internal/econ"
+	"repro/internal/tags"
+	"repro/internal/txgraph"
+)
+
+// The test world is generated once: every test here reads it, none mutates
+// it.
+var (
+	worldOnce sync.Once
+	world     *econ.World
+)
+
+func testWorld(t *testing.T) *econ.World {
+	t.Helper()
+	worldOnce.Do(func() {
+		cfg := econ.Small()
+		cfg.Blocks, cfg.Users = 300, 60
+		w, err := econ.Generate(cfg)
+		if err != nil {
+			t.Fatalf("generate world: %v", err)
+		}
+		world = w
+	})
+	if world == nil {
+		t.Fatal("world generation failed in an earlier test")
+	}
+	return world
+}
+
+// testAnalysis mirrors how the batch pipeline configures its refined branch:
+// researcher plus public tags, the world's dice services, a one-week wait.
+func testAnalysis(w *econ.World) Analysis {
+	store := tags.NewStore()
+	store.AddAll(w.Tags.All())
+	store.AddAll(w.PublicTags)
+	return Analysis{
+		Tags:       store,
+		DiceNames:  w.DiceServiceNames(),
+		WaitBlocks: 7 * w.BlocksPerDay,
+		Workers:    2,
+	}
+}
+
+// ingestAll drives a fresh Ingester over the whole chain, publishing every
+// block, and returns the final snapshot.
+func ingestAll(t *testing.T, w *econ.World) (*Ingester, *Snapshot) {
+	t.Helper()
+	ing := NewIngester(testAnalysis(w))
+	for _, b := range w.Chain.Blocks() {
+		if err := ing.ApplyBlock(b); err != nil {
+			t.Fatalf("apply: %v", err)
+		}
+	}
+	return ing, ing.Publish()
+}
+
+// TestIngesterMatchesBatchAnalytics proves the final snapshot agrees with
+// the same analytics computed the batch way — graph via BuildStream, H1 via
+// Heuristic1, refined via Heuristic2OnForest, balances via Graph.Balances —
+// over the full chain. (The root package's equivalence tests extend this to
+// every published epoch against the real batch pipeline.)
+func TestIngesterMatchesBatchAnalytics(t *testing.T) {
+	w := testWorld(t)
+	_, snap := ingestAll(t, w)
+
+	g, err := txgraph.BuildStream(w.Chain.Source(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Height != w.Chain.Height() || snap.NumAddrs != g.NumAddrs() || snap.NumTxs != g.NumTxs() {
+		t.Fatalf("snapshot shape (h=%d addrs=%d txs=%d) != batch (h=%d addrs=%d txs=%d)",
+			snap.Height, snap.NumAddrs, snap.NumTxs, w.Chain.Height(), g.NumAddrs(), g.NumTxs())
+	}
+
+	wantBal := g.Balances()
+	for id, want := range wantBal {
+		if got := snap.Balance(txgraph.AddrID(id)); got != want {
+			t.Fatalf("balance[%d] = %d, want %d", id, got, want)
+		}
+	}
+
+	an := testAnalysis(w)
+	h1 := cluster.Heuristic1(g, 2)
+	namingH1 := tags.NameClusters(h1, g, an.Tags)
+	dice := tags.ServiceAddrSet(h1, namingH1, g, an.DiceNames)
+	base := cluster.Heuristic1Forest(g, 2)
+	refined := cluster.Heuristic2OnForest(g, cluster.Refined(dice, an.WaitBlocks), base, 2)
+
+	for id := 0; id < g.NumAddrs(); id++ {
+		if snap.H1.ClusterOf(txgraph.AddrID(id)) != h1.ClusterOf(txgraph.AddrID(id)) {
+			t.Fatalf("H1 label of %d differs", id)
+		}
+		if snap.Refined.ClusterOf(txgraph.AddrID(id)) != refined.ClusterOf(txgraph.AddrID(id)) {
+			t.Fatalf("refined label of %d differs", id)
+		}
+	}
+	if snap.Refined.ChangeStats != refined.ChangeStats {
+		t.Fatalf("change stats differ:\nserve %+v\nbatch %+v", snap.Refined.ChangeStats, refined.ChangeStats)
+	}
+	wantNaming := tags.NameClusters(refined, g, an.Tags)
+	if snap.Naming.NamedClusters != wantNaming.NamedClusters ||
+		snap.Naming.NamedAddresses != wantNaming.NamedAddresses ||
+		snap.Naming.DistinctServices != wantNaming.DistinctServices {
+		t.Fatalf("naming differs:\nserve %+v\nbatch %+v", snap.Naming, wantNaming)
+	}
+}
+
+// TestSnapshotLookup proves the sorted address index is a total, exact map:
+// every interned address resolves to its own ID and an address never on
+// chain misses.
+func TestSnapshotLookup(t *testing.T) {
+	w := testWorld(t)
+	_, snap := ingestAll(t, w)
+	if snap.NumAddrs == 0 {
+		t.Fatal("no addresses ingested")
+	}
+	for id := 0; id < snap.NumAddrs; id++ {
+		got, ok := snap.Lookup(snap.Addr(txgraph.AddrID(id)))
+		if !ok || got != txgraph.AddrID(id) {
+			t.Fatalf("Lookup(Addr(%d)) = %d, %v", id, got, ok)
+		}
+	}
+	if _, ok := snap.Lookup(address.Address{Version: 0xff}); ok {
+		t.Fatal("impossible address resolved")
+	}
+}
+
+// TestEmptySnapshot: NewIngester publishes before any block, so queries are
+// well-defined from the first instant of a daemon's life.
+func TestEmptySnapshot(t *testing.T) {
+	ing := NewIngester(Analysis{})
+	s := ing.Snapshot()
+	if s == nil {
+		t.Fatal("no initial snapshot")
+	}
+	if s.Epoch != 1 || s.Height != -1 || s.NumAddrs != 0 {
+		t.Fatalf("unexpected empty snapshot: %+v", s)
+	}
+	if _, ok := s.Lookup(address.Address{}); ok {
+		t.Fatal("lookup hit in empty snapshot")
+	}
+}
+
+// TestDaemonRunsSourceToEOF proves Run over a finite source applies the
+// whole chain, publishes a final snapshot at the tip, then parks until the
+// context ends and returns nil.
+func TestDaemonRunsSourceToEOF(t *testing.T) {
+	w := testWorld(t)
+	ing := NewIngester(testAnalysis(w))
+	d := NewDaemon(ing, NewSourceFeed(w.Chain.Source()), 32)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- d.Run(ctx) }()
+
+	deadline := time.Now().Add(30 * time.Second)
+	for d.Snapshot().Height != w.Chain.Height() {
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon stuck at height %d", d.Snapshot().Height)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if ep := d.Snapshot().Epoch; ep < 2 {
+		t.Fatalf("epoch %d, want at least the empty publish plus one", ep)
+	}
+}
+
+// TestDaemonCancelBeforeEOF proves cancellation mid-catchup is a clean
+// shutdown.
+func TestDaemonCancelBeforeEOF(t *testing.T) {
+	w := testWorld(t)
+	ing := NewIngester(testAnalysis(w))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	d := NewDaemon(ing, NewSourceFeed(w.Chain.Source()), 0)
+	if err := d.Run(ctx); err != nil {
+		t.Fatalf("Run after cancel: %v", err)
+	}
+}
+
+// get decodes one JSON API response, failing the test on transport errors
+// and asserting the status code.
+func get(t *testing.T, srv *httptest.Server, path string, wantStatus int, out any) {
+	t.Helper()
+	resp, err := srv.Client().Get(srv.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("GET %s: status %d, want %d", path, resp.StatusCode, wantStatus)
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("GET %s: decode: %v", path, err)
+		}
+	}
+}
+
+// TestAPIEndpoints exercises every route against a fully ingested chain:
+// happy paths answer from the snapshot, error paths use the right status
+// codes.
+func TestAPIEndpoints(t *testing.T) {
+	w := testWorld(t)
+	ing, snap := ingestAll(t, w)
+	srv := httptest.NewServer(NewAPI(ing).Handler())
+	defer srv.Close()
+
+	var hz healthzResponse
+	get(t, srv, "/v1/healthz", http.StatusOK, &hz)
+	if hz.Epoch != snap.Epoch || hz.Height != snap.Height {
+		t.Fatalf("healthz %+v does not match snapshot epoch=%d height=%d", hz, snap.Epoch, snap.Height)
+	}
+
+	var st statsResponse
+	get(t, srv, "/v1/stats", http.StatusOK, &st)
+	if st.Addrs != snap.NumAddrs || st.H1.Clusters != snap.H1.NumClusters() {
+		t.Fatalf("stats %+v inconsistent with snapshot", st)
+	}
+	if st.Refined.NamedClusters == 0 {
+		t.Fatal("refined clustering named nothing; tag store not wired through")
+	}
+
+	// A tagged address must resolve, carry its service name, and agree on
+	// balance with the snapshot.
+	tagged := ing.an.Tags.All()[0].Addr
+	id, ok := snap.Lookup(tagged)
+	if !ok {
+		t.Fatalf("tagged address %s not on chain", tagged)
+	}
+	var cr clusterResponse
+	get(t, srv, "/v1/cluster?addr="+tagged.String(), http.StatusOK, &cr)
+	if cr.ID != uint32(id) || cr.Refined.Label != snap.Refined.ClusterOf(id) {
+		t.Fatalf("cluster response %+v does not match snapshot id=%d", cr, id)
+	}
+	if cr.Refined.Service == "" {
+		t.Fatalf("tagged address %s resolved to an unnamed cluster", tagged)
+	}
+
+	var br balanceResponse
+	get(t, srv, "/v1/balance?addr="+tagged.String(), http.StatusOK, &br)
+	if br.Satoshis != int64(snap.Balance(id)) {
+		t.Fatalf("balance %d, want %d", br.Satoshis, snap.Balance(id))
+	}
+
+	var mr membersResponse
+	label := snap.Refined.ClusterOf(id)
+	get(t, srv, "/v1/cluster/members?label="+strconv.FormatInt(int64(label), 10)+"&limit=5", http.StatusOK, &mr)
+	if mr.Size != len(snap.Refined.Members(label)) {
+		t.Fatalf("members size %d, want %d", mr.Size, len(snap.Refined.Members(label)))
+	}
+	if len(mr.Members) > 5 {
+		t.Fatalf("limit ignored: %d members returned", len(mr.Members))
+	}
+	if mr.Truncated != (mr.Size > 5) {
+		t.Fatalf("truncated flag wrong: %+v", mr)
+	}
+
+	var tr tagResponse
+	get(t, srv, "/v1/tags?addr="+tagged.String(), http.StatusOK, &tr)
+	if tr.Service == "" {
+		t.Fatalf("tag response empty for tagged address: %+v", tr)
+	}
+
+	// Error paths.
+	get(t, srv, "/v1/cluster", http.StatusBadRequest, nil)
+	get(t, srv, "/v1/cluster?addr=not-base58!!", http.StatusBadRequest, nil)
+	get(t, srv, "/v1/balance?addr="+address.Address{Version: 0x42}.String(), http.StatusNotFound, nil)
+	get(t, srv, "/v1/cluster/members?label=-1", http.StatusNotFound, nil)
+	get(t, srv, "/v1/cluster/members?label=zzz", http.StatusBadRequest, nil)
+	get(t, srv, "/v1/cluster/members?label=0&limit=0", http.StatusBadRequest, nil)
+}
+
+// TestSnapshotsAreIsolated proves a retained snapshot keeps answering for
+// its own epoch while ingestion continues past it — the epoch/snapshot
+// isolation contract queries rely on.
+func TestSnapshotsAreIsolated(t *testing.T) {
+	w := testWorld(t)
+	blocks := w.Chain.Blocks()
+	half := len(blocks) / 2
+
+	ing := NewIngester(testAnalysis(w))
+	for _, b := range blocks[:half] {
+		if err := ing.ApplyBlock(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	old := ing.Publish()
+	oldBal := make([]chain.Amount, len(old.Balances()))
+	copy(oldBal, old.Balances())
+	oldLabels := make([]int32, old.NumAddrs)
+	for id := range oldLabels {
+		oldLabels[id] = old.Refined.ClusterOf(txgraph.AddrID(id))
+	}
+
+	for _, b := range blocks[half:] {
+		if err := ing.ApplyBlock(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cur := ing.Publish()
+	if cur.Height <= old.Height || cur.Epoch <= old.Epoch {
+		t.Fatalf("ingest did not advance: old (e=%d h=%d) cur (e=%d h=%d)",
+			old.Epoch, old.Height, cur.Epoch, cur.Height)
+	}
+
+	for id := range oldBal {
+		if old.Balance(txgraph.AddrID(id)) != oldBal[id] {
+			t.Fatalf("old snapshot balance[%d] changed after further ingest", id)
+		}
+	}
+	for id, want := range oldLabels {
+		if old.Refined.ClusterOf(txgraph.AddrID(id)) != want {
+			t.Fatalf("old snapshot label[%d] changed after further ingest", id)
+		}
+	}
+	if got, ok := old.Lookup(old.Addr(0)); !ok || got != 0 {
+		t.Fatal("old snapshot lookup broke after further ingest")
+	}
+}

@@ -1,0 +1,67 @@
+package serve
+
+import (
+	"sort"
+	"sync/atomic"
+
+	"repro/internal/address"
+	"repro/internal/chain"
+	"repro/internal/cluster"
+	"repro/internal/tags"
+	"repro/internal/txgraph"
+)
+
+// atomicSnapshot is the publication point between the ingest goroutine and
+// query readers.
+type atomicSnapshot = atomic.Pointer[Snapshot]
+
+// Snapshot is one published epoch of the measurement state: everything a
+// query needs, fully materialized, immutable after publication. Readers must
+// not call back into the live graph — the ingest loop rewrites its CSR
+// arrays on the next Refresh — so the snapshot carries its own address
+// table, balance vector, and pre-forced clustering caches.
+type Snapshot struct {
+	// Epoch counts publishes, starting at 1 for the empty snapshot.
+	Epoch uint64
+	// Height is the chain height covered, -1 before any block.
+	Height int64
+	// NumTxs and NumAddrs size the prefix this snapshot answers for.
+	NumTxs   int
+	NumAddrs int
+
+	// H1 is the Heuristic 1 clustering; NamingH1 its tag propagation.
+	H1       *cluster.Clustering
+	NamingH1 *tags.Naming
+	// Refined is the paper's refined Heuristic 2 clustering (dice
+	// suppression plus wait window); Naming its tag propagation.
+	Refined *cluster.Clustering
+	Naming  *tags.Naming
+	// Tags is the shared, immutable tag store.
+	Tags *tags.Store
+
+	balances []chain.Amount
+	addrs    []address.Address
+	sorted   []txgraph.AddrID // AddrIDs ordered by addrLess for Lookup
+}
+
+// Lookup resolves an address to its ID in this snapshot's prefix.
+func (s *Snapshot) Lookup(a address.Address) (txgraph.AddrID, bool) {
+	i := sort.Search(len(s.sorted), func(i int) bool {
+		return !addrLess(s.addrs[s.sorted[i]], a)
+	})
+	if i < len(s.sorted) && s.addrs[s.sorted[i]] == a {
+		return s.sorted[i], true
+	}
+	return 0, false
+}
+
+// Addr returns the address interned as id.
+func (s *Snapshot) Addr(id txgraph.AddrID) address.Address { return s.addrs[id] }
+
+// Balance returns the confirmed balance of an address at this snapshot's
+// height.
+func (s *Snapshot) Balance(id txgraph.AddrID) chain.Amount { return s.balances[id] }
+
+// Balances returns the full balance vector, indexed by AddrID. Callers must
+// not mutate it.
+func (s *Snapshot) Balances() []chain.Amount { return s.balances }

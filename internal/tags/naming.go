@@ -141,3 +141,29 @@ func (n *Naming) ClustersNamed() map[string]int {
 	}
 	return out
 }
+
+// ServiceAddrSet expands the named clusters of the given services into a set
+// of member addresses. The paper's refined Heuristic 2 uses this to bootstrap
+// its dice-site suppression list: every address in a cluster that H1 naming
+// attributed to a listed service counts as belonging to it. Both the batch
+// pipeline and the serve daemon derive their dice sets through this one
+// function so the two paths cannot drift.
+func ServiceAddrSet(c *cluster.Clustering, n *Naming, g *txgraph.Graph, names []string) map[txgraph.AddrID]bool {
+	want := make(map[string]bool, len(names))
+	for _, name := range names {
+		want[name] = true
+	}
+	labels := make(map[int32]bool)
+	for label, svc := range n.ClusterService {
+		if want[svc] {
+			labels[label] = true
+		}
+	}
+	out := make(map[txgraph.AddrID]bool)
+	for id := 0; id < g.NumAddrs(); id++ {
+		if labels[c.ClusterOf(txgraph.AddrID(id))] {
+			out[txgraph.AddrID(id)] = true
+		}
+	}
+	return out
+}

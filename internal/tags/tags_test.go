@@ -69,7 +69,7 @@ func TestNameClustersPropagatesTags(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c := cluster.Heuristic1(g)
+	c := cluster.Heuristic1(g, 0)
 	s := NewStore()
 	// Tag only gox1; the whole cluster {gox1, gox2} should be named.
 	s.Add(Tag{Addr: b.Addr("gox1"), Service: "Mt. Gox", Category: CatBankExchange, Source: SourceOwnTransaction})
@@ -117,7 +117,7 @@ func TestNameClustersCollapsesSameService(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c := cluster.Heuristic1(g)
+	c := cluster.Heuristic1(g, 0)
 	s := NewStore()
 	s.Add(Tag{Addr: b.Addr("goxA1"), Service: "Mt. Gox", Category: CatBankExchange, Source: SourceOwnTransaction})
 	s.Add(Tag{Addr: b.Addr("goxB1"), Service: "Mt. Gox", Category: CatBankExchange, Source: SourceOwnTransaction})
@@ -143,7 +143,7 @@ func TestNameClustersConflictResolution(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c := cluster.Heuristic1(g)
+	c := cluster.Heuristic1(g, 0)
 	s := NewStore()
 	// Forum says one thing, our own transaction says another: own-tx wins.
 	s.Add(Tag{Addr: b.Addr("a1"), Service: "rumor-service", Source: SourceForum})

@@ -1,0 +1,145 @@
+package txgraph
+
+import (
+	"repro/internal/chain"
+	"repro/internal/par"
+)
+
+// Appender grows a Graph one block at a time — the incremental form of the
+// streaming build that `fistful serve` ingests with. Each AppendBlock runs
+// the same window machinery as BuildStream over a single-block window (so
+// intern order, tx sequence numbers, and every TxInfo are byte-identical to
+// a batch build over the same prefix) and then maintains the derived
+// per-address state incrementally instead of by chain-wide passes:
+//
+//   - appearance lists: receives and (per-tx deduplicated) spends append in
+//     sequence order, exactly the order the batch counting pass emits;
+//   - firstSeen: assigned at intern time, as in the batch build;
+//   - firstSelfChange: sequence numbers only ascend, so the first write is
+//     the minimum the batch atomic-min pass would compute;
+//   - firstReuse: the first receive strictly after firstSeen, observed the
+//     moment it happens.
+//
+// The CSR form of the appearance index that Graph's accessors read is
+// materialized on demand by Refresh — O(total appearances), reusing its
+// backing arrays — so per-block apply stays O(block) and the flatten cost is
+// paid once per published snapshot rather than per block.
+//
+// An Appender is not safe for concurrent use; serve's ingest loop owns it.
+type Appender struct {
+	g       *Graph
+	workers int
+	win     windowState
+	window  []*chain.Block // single-element scratch for addWindow
+
+	// Per-address appearance lists, indexed by AddrID in step with g.addrs.
+	recvs  [][]TxSeq
+	spends [][]TxSeq
+}
+
+// NewAppender returns an Appender over an empty graph. workers sizes the
+// per-block pre-pass and the Refresh flatten (<= 0 means one per CPU).
+func NewAppender(workers int) *Appender {
+	return &Appender{
+		g: &Graph{
+			lookup: newAddrIntern(),
+			txSeq:  make(map[chain.Hash]TxSeq),
+			height: -1,
+		},
+		workers: par.Workers(workers),
+	}
+}
+
+// AppendBlock indexes one block and updates every incremental index. Blocks
+// must arrive in height order, each spending only outputs created earlier —
+// what a validated chain always yields.
+func (a *Appender) AppendBlock(b *chain.Block) error {
+	g := a.g
+	base := len(g.txs)
+	a.window = append(a.window[:0], b)
+	if err := g.addWindow(a.window, a.workers, &a.win); err != nil {
+		return err
+	}
+
+	// Extend the per-address state for addresses first interned by this
+	// block. firstSeen is already appended by the intern pass itself.
+	n := len(g.addrs)
+	for len(a.recvs) < n {
+		a.recvs = append(a.recvs, nil)
+		a.spends = append(a.spends, nil)
+		g.firstSelfChange = append(g.firstSelfChange, NoTx)
+		g.firstReuse = append(g.firstReuse, NoTx)
+	}
+
+	for i := base; i < len(g.txs); i++ {
+		tx := &g.txs[i]
+		seq := TxSeq(i)
+		for _, id := range tx.InputAddrs {
+			if id == NoAddr {
+				continue
+			}
+			// Per-tx dedup: an address spending several outputs of one tx
+			// appears once, matching buildAppearanceIndex's lastSpend marker.
+			if s := a.spends[id]; len(s) > 0 && s[len(s)-1] == seq {
+				continue
+			}
+			a.spends[id] = append(a.spends[id], seq)
+		}
+		for _, id := range tx.OutputAddrs {
+			if id == NoAddr {
+				continue
+			}
+			a.recvs[id] = append(a.recvs[id], seq)
+			if g.firstReuse[id] == NoTx && seq > g.firstSeen[id] {
+				g.firstReuse[id] = seq
+			}
+		}
+		if tx.SelfChange {
+			for _, out := range tx.OutputAddrs {
+				if out != NoAddr && g.firstSelfChange[out] == NoTx && txHasInputAddr(tx, out) {
+					g.firstSelfChange[out] = seq
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Graph returns the live graph. Transaction-level accessors (Tx, LookupTx,
+// FirstSeen, FirstSelfChange, FirstReuse, Height) are always current; the
+// CSR-backed accessors (Recvs, Spends, NumSpends, IsSink, and anything built
+// on them) reflect the last Refresh.
+func (a *Appender) Graph() *Graph { return a.g }
+
+// Refresh flattens the per-address appearance lists into the graph's CSR
+// arrays and returns the graph, after which every Graph accessor answers as
+// if the graph had been batch-built over the blocks appended so far. Backing
+// arrays are reused across calls once capacity stabilizes.
+func (a *Appender) Refresh() *Graph {
+	g := a.g
+	n := len(g.addrs)
+	g.recvOff = grow(g.recvOff, n+1)
+	g.spendOff = grow(g.spendOff, n+1)
+	g.recvOff[0], g.spendOff[0] = 0, 0
+	for i := 0; i < n; i++ {
+		g.recvOff[i+1] = g.recvOff[i] + uint32(len(a.recvs[i]))
+		g.spendOff[i+1] = g.spendOff[i] + uint32(len(a.spends[i]))
+	}
+	g.recvTxs = grow(g.recvTxs, int(g.recvOff[n]))
+	g.spendTxs = grow(g.spendTxs, int(g.spendOff[n]))
+	// A batch build allocates the CSR arrays even when empty; match it so
+	// equivalence is reflect.DeepEqual-strict, not just element-wise.
+	if g.recvTxs == nil {
+		g.recvTxs = make([]TxSeq, 0)
+	}
+	if g.spendTxs == nil {
+		g.spendTxs = make([]TxSeq, 0)
+	}
+	par.ForEach(n, a.workers, func(start, end int) {
+		for i := start; i < end; i++ {
+			copy(g.recvTxs[g.recvOff[i]:g.recvOff[i+1]], a.recvs[i])
+			copy(g.spendTxs[g.spendOff[i]:g.spendOff[i+1]], a.spends[i])
+		}
+	})
+	return g
+}

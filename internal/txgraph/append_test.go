@@ -1,0 +1,84 @@
+package txgraph
+
+import (
+	"fmt"
+	"io"
+	"reflect"
+	"testing"
+
+	"repro/internal/chain"
+)
+
+// prefixSource iterates a block-slice prefix; the test's stand-in for "the
+// same chain truncated at height H".
+type prefixSource struct {
+	blocks []*chain.Block
+	next   int
+}
+
+func (p *prefixSource) NextBlock() (*chain.Block, error) {
+	if p.next >= len(p.blocks) {
+		return nil, io.EOF
+	}
+	b := p.blocks[p.next]
+	p.next++
+	return b, nil
+}
+
+// TestAppenderMatchesBatchAtEveryHeight proves the incremental build is
+// byte-identical to a batch BuildStream over the same prefix after every
+// single block — the graph-level half of the serve daemon's equivalence
+// guarantee. It also covers the derived indexes graphsEqual does not:
+// firstSelfChange and firstReuse.
+func TestAppenderMatchesBatchAtEveryHeight(t *testing.T) {
+	b := streamChain(t)
+	blocks := b.Chain.Blocks()
+
+	for _, workers := range []int{1, 4} {
+		ap := NewAppender(workers)
+		for h, blk := range blocks {
+			if err := ap.AppendBlock(blk); err != nil {
+				t.Fatalf("workers=%d height=%d: %v", workers, h, err)
+			}
+			got := ap.Refresh()
+
+			want, err := buildStream(&prefixSource{blocks: blocks[:h+1]}, 1, windowBlocks)
+			if err != nil {
+				t.Fatal(err)
+			}
+			label := fmt.Sprintf("workers=%d height=%d", workers, h)
+			graphsEqual(t, label, want, got)
+			if !reflect.DeepEqual(got.firstSelfChange, want.firstSelfChange) {
+				t.Fatalf("%s: firstSelfChange differs:\nwant %v\ngot  %v",
+					label, want.firstSelfChange, got.firstSelfChange)
+			}
+			if !reflect.DeepEqual(got.firstReuse, want.firstReuse) {
+				t.Fatalf("%s: firstReuse differs:\nwant %v\ngot  %v",
+					label, want.firstReuse, got.firstReuse)
+			}
+		}
+	}
+}
+
+// TestAppenderRefreshIsRepeatable proves Refresh is idempotent and that
+// calling it mid-stream does not disturb later appends (serve publishes
+// between blocks, so the flatten must be a pure read of the lists).
+func TestAppenderRefreshIsRepeatable(t *testing.T) {
+	b := streamChain(t)
+	blocks := b.Chain.Blocks()
+
+	ap := NewAppender(2)
+	for _, blk := range blocks {
+		if err := ap.AppendBlock(blk); err != nil {
+			t.Fatal(err)
+		}
+		ap.Refresh()
+		ap.Refresh()
+	}
+	got := ap.Refresh()
+	want, err := buildStream(&prefixSource{blocks: blocks}, 1, windowBlocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphsEqual(t, "after repeated refresh", want, got)
+}

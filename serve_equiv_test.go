@@ -1,0 +1,238 @@
+package fistful
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/chain"
+	"repro/internal/econ"
+	"repro/internal/serve"
+	"repro/internal/txgraph"
+)
+
+// The serve equivalence suite shares one small world; every test reads it.
+var (
+	equivOnce  sync.Once
+	equivWorld *econ.World
+)
+
+func serveWorld(t *testing.T) *econ.World {
+	t.Helper()
+	equivOnce.Do(func() {
+		cfg := SmallConfig()
+		cfg.Blocks, cfg.Users = 300, 60
+		w, err := econ.Generate(cfg)
+		if err == nil {
+			equivWorld = w
+		}
+	})
+	if equivWorld == nil {
+		t.Fatal("world generation failed")
+	}
+	return equivWorld
+}
+
+// prefixSource replays a block-slice prefix — "the chain as of height H".
+type prefixSource struct {
+	blocks []*chain.Block
+	next   int
+}
+
+func (p *prefixSource) NextBlock() (*chain.Block, error) {
+	if p.next >= len(p.blocks) {
+		return nil, io.EOF
+	}
+	b := p.blocks[p.next]
+	p.next++
+	return b, nil
+}
+
+// batchAtHeight builds the batch reference for a chain prefix: the same
+// graph build and analytic stages the real pipeline runs, through the
+// pipelineFromGraph seam.
+func batchAtHeight(t *testing.T, w *econ.World, height int64, workers int) *Pipeline {
+	t.Helper()
+	g, err := txgraph.BuildStream(&prefixSource{blocks: w.Chain.Blocks()[:height+1]}, workers)
+	if err != nil {
+		t.Fatalf("batch build at height %d: %v", height, err)
+	}
+	p, err := pipelineFromGraph(context.Background(), w, g, workers)
+	if err != nil {
+		t.Fatalf("batch pipeline at height %d: %v", height, err)
+	}
+	return p
+}
+
+// assertSnapshotMatchesBatch is the byte-identity contract: a snapshot
+// published at height H answers exactly as a batch pipeline built over the
+// same prefix — cluster labels, change labels and stats, naming, balances,
+// and the Section 4.1 statistics.
+func assertSnapshotMatchesBatch(t *testing.T, snap *serve.Snapshot, p *Pipeline) {
+	t.Helper()
+	g := p.Graph
+	if snap.Height != g.Height() || snap.NumTxs != g.NumTxs() || snap.NumAddrs != g.NumAddrs() {
+		t.Fatalf("snapshot shape (h=%d txs=%d addrs=%d) != batch (h=%d txs=%d addrs=%d)",
+			snap.Height, snap.NumTxs, snap.NumAddrs, g.Height(), g.NumTxs(), g.NumAddrs())
+	}
+	for id := 0; id < g.NumAddrs(); id++ {
+		aid := txgraph.AddrID(id)
+		if snap.H1.ClusterOf(aid) != p.H1.ClusterOf(aid) {
+			t.Fatalf("h=%d: H1 label of addr %d: serve %d, batch %d",
+				snap.Height, id, snap.H1.ClusterOf(aid), p.H1.ClusterOf(aid))
+		}
+		if snap.Refined.ClusterOf(aid) != p.Refined.ClusterOf(aid) {
+			t.Fatalf("h=%d: refined label of addr %d: serve %d, batch %d",
+				snap.Height, id, snap.Refined.ClusterOf(aid), p.Refined.ClusterOf(aid))
+		}
+		if got, ok := snap.Lookup(g.Addr(aid)); !ok || got != aid {
+			t.Fatalf("h=%d: snapshot lookup of addr %d = %d, %v", snap.Height, id, got, ok)
+		}
+	}
+	if !reflect.DeepEqual(snap.Balances(), g.Balances()) {
+		t.Fatalf("h=%d: balances differ", snap.Height)
+	}
+	if !reflect.DeepEqual(snap.Refined.ChangeLabels, p.Refined.ChangeLabels) {
+		t.Fatalf("h=%d: change labels differ", snap.Height)
+	}
+	if snap.Refined.ChangeStats != p.Refined.ChangeStats {
+		t.Fatalf("h=%d: change stats differ:\nserve %+v\nbatch %+v",
+			snap.Height, snap.Refined.ChangeStats, p.Refined.ChangeStats)
+	}
+	if snap.H1.ComputeStats() != p.H1.ComputeStats() {
+		t.Fatalf("h=%d: H1 stats differ:\nserve %+v\nbatch %+v",
+			snap.Height, snap.H1.ComputeStats(), p.H1.ComputeStats())
+	}
+	if snap.Refined.ComputeStats() != p.Refined.ComputeStats() {
+		t.Fatalf("h=%d: refined stats differ:\nserve %+v\nbatch %+v",
+			snap.Height, snap.Refined.ComputeStats(), p.Refined.ComputeStats())
+	}
+	if !reflect.DeepEqual(snap.Naming, p.Naming) {
+		t.Fatalf("h=%d: refined naming differs:\nserve %+v\nbatch %+v",
+			snap.Height, snap.Naming, p.Naming)
+	}
+	if !reflect.DeepEqual(snap.NamingH1, p.NamingH1) {
+		t.Fatalf("h=%d: H1 naming differs", snap.Height)
+	}
+}
+
+// TestServeSnapshotEquivalence is the tentpole contract test: ingest the
+// chain block by block, publish every publishEvery blocks, and prove each
+// published snapshot answers identically to a batch pipeline built over the
+// same prefix.
+func TestServeSnapshotEquivalence(t *testing.T) {
+	w := serveWorld(t)
+	const workers, publishEvery = 2, 60
+
+	ing := serve.NewIngester(analysisFromWorld(w, workers))
+	blocks := w.Chain.Blocks()
+	for h, b := range blocks {
+		if err := ing.ApplyBlock(b); err != nil {
+			t.Fatalf("apply height %d: %v", h, err)
+		}
+		if (h+1)%publishEvery == 0 || h == len(blocks)-1 {
+			snap := ing.Publish()
+			assertSnapshotMatchesBatch(t, snap, batchAtHeight(t, w, snap.Height, workers))
+		}
+	}
+}
+
+// TestServeConcurrentQueriesUnderIngest drives block appends on one
+// goroutine while several others hammer snapshot queries — direct and over
+// HTTP — through every published epoch. Under -race this proves the
+// publish/read handoff is sound: readers always see a complete epoch, never
+// a mid-apply state. The final snapshot is then checked against the batch
+// pipeline, so the hammering happened over the same state machine the
+// equivalence test pins.
+func TestServeConcurrentQueriesUnderIngest(t *testing.T) {
+	w := serveWorld(t)
+	const workers = 2
+
+	ing := serve.NewIngester(analysisFromWorld(w, workers))
+	api := httptest.NewServer(serve.NewAPI(ing).Handler())
+	defer api.Close()
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	hammer := func(seed int64, body func(r *rand.Rand, s *serve.Snapshot)) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for !stop.Load() {
+				body(r, ing.Snapshot())
+			}
+		}()
+	}
+	// Direct snapshot readers: lookups, balances, labels, naming, stats.
+	for i := 0; i < 3; i++ {
+		hammer(int64(i), func(r *rand.Rand, s *serve.Snapshot) {
+			if s.NumAddrs == 0 {
+				return
+			}
+			id := txgraph.AddrID(r.Intn(s.NumAddrs))
+			addr := s.Addr(id)
+			got, ok := s.Lookup(addr)
+			if !ok || got != id {
+				t.Errorf("epoch %d: lookup(%s) = %d, %v; want %d", s.Epoch, addr, got, ok, id)
+				return
+			}
+			label := s.Refined.ClusterOf(id)
+			if size := s.Refined.ClusterSizes()[label]; size < 1 {
+				t.Errorf("epoch %d: cluster %d of addr %d has size %d", s.Epoch, label, id, size)
+			}
+			if members := s.Refined.Members(label); len(members) == 0 {
+				t.Errorf("epoch %d: cluster %d has no members", s.Epoch, label)
+			}
+			_ = s.Balance(id)
+			_, _ = s.Naming.ClusterService[label]
+			_ = s.H1.ComputeStats()
+		})
+	}
+	// HTTP readers: the full handler path, JSON encoding included.
+	hammer(99, func(r *rand.Rand, s *serve.Snapshot) {
+		resp, err := http.Get(api.URL + "/v1/stats")
+		if err != nil {
+			t.Errorf("stats: %v", err)
+			return
+		}
+		var st struct {
+			Epoch  uint64 `json:"epoch"`
+			Height int64  `json:"height"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			t.Errorf("stats decode: %v", err)
+		}
+	})
+
+	for h, b := range w.Chain.Blocks() {
+		if err := ing.ApplyBlock(b); err != nil {
+			t.Fatalf("apply height %d: %v", h, err)
+		}
+		if (h+1)%16 == 0 {
+			ing.Publish()
+		}
+	}
+	final := ing.Publish()
+	stop.Store(true)
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	assertSnapshotMatchesBatch(t, final, batchAtHeight(t, w, final.Height, workers))
+
+	// A snapshot retained from mid-ingest must still answer for its own
+	// epoch — cheap spot check that hammered snapshots were never recycled.
+	if got, ok := final.Lookup(final.Addr(0)); !ok || got != 0 {
+		t.Fatal("final snapshot lookup broken")
+	}
+}

@@ -1,0 +1,138 @@
+package fistful
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+
+	"repro/internal/econ"
+	"repro/internal/par"
+	"repro/internal/serve"
+	"repro/internal/tags"
+)
+
+// ServeOptions configures a Server. The embedded Options selects the chain
+// source and the worker budget exactly as for a batch pipeline; every
+// source is accepted, including SourceNode.
+type ServeOptions struct {
+	Options
+
+	// PublishEvery caps how many blocks a snapshot may lag while the daemon
+	// is catching up through a backlog; at the tip it publishes after every
+	// block. <= 0 means serve.DefaultPublishEvery.
+	PublishEvery int
+}
+
+// Server is the `fistful serve` daemon: it tails the selected chain source,
+// applies each block incrementally to the transaction graph, the
+// Heuristic 1 forest, and the balance vector, and publishes immutable
+// snapshots that the HTTP API answers from. A snapshot published at height
+// H answers every query identically to a batch pipeline built over the same
+// prefix.
+type Server struct {
+	daemon *serve.Daemon
+	api    *serve.API
+}
+
+// NewServer builds a Server from the source the options select:
+//
+//   - SourceGenerate / SourceGenerateToFile: generate the economy first,
+//     then serve its chain (the file source additionally writes the framed
+//     file); the daemon reaches the tip and parks, so this is demo mode.
+//   - SourceWorld: serve an existing world's resident chain.
+//   - SourceChainFile / SourceWorldChainFile: tail the framed chain file —
+//     following appends live, so a generator may still be writing it. With
+//     a bare chain-file source the ground-truth analytics (tags, dice set,
+//     wait window) come from regenerating the world from cfg.
+//   - SourceNode: follow a live p2p node's validated chain. No world means
+//     no tags: clusters stay unnamed and the refined classifier runs with
+//     an empty dice set and a default one-week wait window.
+//
+// Generation respects ctx; the returned Server does nothing until Run.
+func NewServer(ctx context.Context, cfg Config, opts ServeOptions) (*Server, error) {
+	src := opts.resolveSource()
+	cfg = applyWorkerBudget(cfg, opts.Options)
+	workers := par.Workers(opts.Parallelism)
+
+	var (
+		w    *econ.World
+		err  error
+		feed serve.BlockFeed
+	)
+	switch src.kind {
+	case srcGenerate:
+		w, err = econ.GenerateCtx(ctx, cfg)
+	case srcGenerateToFile:
+		w, err = econ.GenerateToFileCtx(ctx, cfg, src.chainFile)
+	case srcChainFile:
+		w, err = econ.GenerateCtx(ctx, cfg)
+	case srcWorld, srcWorldChainFile:
+		w = src.world
+	case srcNode:
+		// Live chain, no ground truth: serve with an empty tag store and
+		// the default wait window.
+	}
+	if err != nil {
+		return nil, fmt.Errorf("fistful: generate: %w", err)
+	}
+
+	an := serve.Analysis{Workers: workers, WaitBlocks: defaultWaitBlocks}
+	if w != nil {
+		an = analysisFromWorld(w, workers)
+	}
+	ing := serve.NewIngester(an)
+
+	switch src.kind {
+	case srcGenerate, srcGenerateToFile, srcWorld:
+		feed = serve.NewSourceFeed(w.Chain.Source())
+	case srcChainFile, srcWorldChainFile:
+		feed, err = serve.OpenTailFeed(src.chainFile)
+		if err != nil {
+			return nil, fmt.Errorf("fistful: open chain file: %w", err)
+		}
+	case srcNode:
+		feed = serve.NewNodeFeed(src.node)
+	}
+
+	return &Server{
+		daemon: serve.NewDaemon(ing, feed, opts.PublishEvery),
+		api:    serve.NewAPI(ing),
+	}, nil
+}
+
+// defaultWaitBlocks is the refined classifier's wait window when no world
+// supplies BlocksPerDay: one week at Bitcoin's nominal 144 blocks/day.
+const defaultWaitBlocks = 7 * 144
+
+// buildTagStore combines the researcher's own-transaction tags with the
+// public (tag-site and forum) tags, as the study did. The batch pipeline and
+// the serve daemon both construct their store here, so the two paths name
+// clusters from identical inputs.
+func buildTagStore(w *econ.World) *tags.Store {
+	store := tags.NewStore()
+	store.AddAll(w.Tags.All())
+	store.AddAll(w.PublicTags)
+	return store
+}
+
+// analysisFromWorld derives the serve-side analytic configuration from a
+// world the same way pipelineFromGraph configures the batch refined branch:
+// researcher plus public tags, the tagged dice services, a one-week wait.
+func analysisFromWorld(w *econ.World, workers int) serve.Analysis {
+	return serve.Analysis{
+		Tags:       buildTagStore(w),
+		DiceNames:  w.DiceServiceNames(),
+		WaitBlocks: 7 * w.BlocksPerDay,
+		Workers:    workers,
+	}
+}
+
+// Run ingests until ctx is cancelled; see serve.Daemon.Run. It owns the
+// feed and closes it on return.
+func (s *Server) Run(ctx context.Context) error { return s.daemon.Run(ctx) }
+
+// Handler returns the query API routes; see serve.API.Handler.
+func (s *Server) Handler() http.Handler { return s.api.Handler() }
+
+// Snapshot returns the latest published snapshot; safe from any goroutine.
+func (s *Server) Snapshot() *serve.Snapshot { return s.daemon.Snapshot() }
