@@ -310,7 +310,7 @@ func main() {
 	if len(c.Missing) > 0 && len(c.Diffs) == 0 && len(c.New) > 0 {
 		fmt.Fprintln(os.Stderr, "benchdiff: no benchmark name matched at all; names carry a -GOMAXPROCS"+
 			" suffix, so baseline and current runs must use the same -cpu setting"+
-			" (this repo pins -cpu=4 — see the README's baseline-refresh instructions)")
+			" (this repo pins -cpu=4 — see docs/DEVELOPMENT.md's baseline-refresh instructions)")
 	}
 	regs := c.Regressions()
 	failed := len(regs) > 0 || (len(c.Missing) > 0 && !*allowMissing)

@@ -10,7 +10,10 @@
 //	fistful generate -out chain.bin [-small]        # stream the chain to disk while sealing
 //	fistful crawl [-small]                          # serve + crawl the tag site
 //	fistful p2p-demo                                # Figure 1 over real TCP
-//	fistful serve -small                            # incremental ingestion daemon + query API
+//	fistful evasion [-small]                        # quantify heuristic evasion
+//	fistful serve -chain chain.bin -checkpoint d/   # incremental ingestion daemon + query API
+//
+// The serve daemon's flags and runbook are documented in docs/OPERATIONS.md.
 package main
 
 import (

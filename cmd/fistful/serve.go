@@ -16,28 +16,55 @@ import (
 	fistful "repro"
 )
 
-func cmdServe(args []string) error {
-	fs := flag.NewFlagSet("serve", flag.ExitOnError)
-	small, seed := configFlags(fs)
-	parallel := parallelFlag(fs)
-	listen := fs.String("listen", "127.0.0.1:8080", "address to serve the query API on")
-	publishEvery := fs.Int("publish-every", 0,
+// serveConfig holds the parsed serve flags; registerServeFlags is split out
+// so the flag-drift test can enumerate exactly what `fistful serve` accepts.
+type serveConfig struct {
+	small          *bool
+	seed           *int64
+	parallel       *int
+	listen         *string
+	publishEvery   *int
+	chainFile      *string
+	checkpointDir  *string
+	checkpointKeep *int
+}
+
+// registerServeFlags declares every `fistful serve` flag on fs.
+func registerServeFlags(fs *flag.FlagSet) *serveConfig {
+	c := &serveConfig{}
+	c.small, c.seed = configFlags(fs)
+	c.parallel = parallelFlag(fs)
+	c.listen = fs.String("listen", "127.0.0.1:8080", "address to serve the query API on")
+	c.publishEvery = fs.Int("publish-every", 0,
 		"max blocks a snapshot may lag during catch-up (0 = default); at the tip every block publishes")
-	chainFile := fs.String("chain", "",
+	c.chainFile = fs.String("chain", "",
 		"tail this framed chain file (following appends live) instead of generating an\n"+
 			"economy in memory; the ground truth is regenerated from the same config/seed")
+	c.checkpointDir = fs.String("checkpoint", "",
+		"persist a checkpoint of every published epoch into this directory and resume\n"+
+			"from the newest one on restart (see docs/OPERATIONS.md)")
+	c.checkpointKeep = fs.Int("checkpoint-keep", 0,
+		"how many newest checkpoints to retain (0 = default)")
+	return c
+}
+
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	c := registerServeFlags(fs)
 	fs.Parse(args)
 
 	opts := fistful.ServeOptions{
-		Options:      fistful.Options{Parallelism: *parallel},
-		PublishEvery: *publishEvery,
+		Options:        fistful.Options{Parallelism: *c.parallel},
+		PublishEvery:   *c.publishEvery,
+		CheckpointDir:  *c.checkpointDir,
+		CheckpointKeep: *c.checkpointKeep,
 	}
-	if *chainFile != "" {
-		opts.Source = fistful.SourceChainFile(*chainFile)
+	if *c.chainFile != "" {
+		opts.Source = fistful.SourceChainFile(*c.chainFile)
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	return serveMain(ctx, buildConfig(*small, *seed), opts, *listen, os.Stderr, nil)
+	return serveMain(ctx, buildConfig(*c.small, *c.seed), opts, *c.listen, os.Stderr, nil)
 }
 
 // serveMain builds the server, binds the listener, and runs the ingest

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+)
+
+// TestServeFlagsDocumented pins `fistful serve`'s flag surface to its
+// documentation in both directions: every registered flag must appear in the
+// command's own help output and in the flags table of docs/OPERATIONS.md, and
+// every flag that table documents must still be registered. Adding, renaming,
+// or dropping a serve flag without updating the runbook fails here.
+func TestServeFlagsDocumented(t *testing.T) {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	var help bytes.Buffer
+	fs.SetOutput(&help)
+	registerServeFlags(fs)
+	fs.PrintDefaults()
+
+	ops, err := os.ReadFile(filepath.Join("..", "..", "docs", "OPERATIONS.md"))
+	if err != nil {
+		t.Fatalf("read docs/OPERATIONS.md: %v", err)
+	}
+
+	registered := map[string]bool{}
+	fs.VisitAll(func(f *flag.Flag) {
+		registered[f.Name] = true
+		if !bytes.Contains(help.Bytes(), []byte("-"+f.Name)) {
+			t.Errorf("flag -%s missing from `fistful serve` help output", f.Name)
+		}
+		if !bytes.Contains(ops, []byte("`-"+f.Name+"`")) {
+			t.Errorf("flag -%s not documented in docs/OPERATIONS.md", f.Name)
+		}
+	})
+	if len(registered) == 0 {
+		t.Fatal("registerServeFlags registered no flags")
+	}
+
+	// Reverse direction: the runbook's flags table rows look like
+	// "| `-name` | default | meaning |"; each must name a live flag.
+	row := regexp.MustCompile("(?m)^\\| `-([a-z-]+)` \\|")
+	docRows := 0
+	for _, m := range row.FindAllSubmatch(ops, -1) {
+		docRows++
+		if name := string(m[1]); !registered[name] {
+			t.Errorf("docs/OPERATIONS.md documents -%s, which `fistful serve` does not register", name)
+		}
+	}
+	if docRows == 0 {
+		t.Fatal("found no flag rows in docs/OPERATIONS.md — has the flags table moved or been reformatted?")
+	}
+}

@@ -1,0 +1,114 @@
+package fistful
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestDocLinks is the docs gate CI runs: every relative link in README.md and
+// the docs/ tree must point at a file that exists, and every fragment link
+// (`file.md#anchor` or `#anchor`) must match a heading in the target file
+// under GitHub's anchor-slug rules. External http(s) links are not fetched —
+// this test guards the repo's own structure, not the internet.
+func TestDocLinks(t *testing.T) {
+	files := []string{"README.md"}
+	entries, err := os.ReadDir("docs")
+	if err != nil {
+		t.Fatalf("read docs/: %v", err)
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".md") {
+			files = append(files, filepath.Join("docs", e.Name()))
+		}
+	}
+	if len(files) < 2 {
+		t.Fatalf("expected README.md plus a docs/ tree, found only %v", files)
+	}
+
+	// First pass: collect each file's heading anchors.
+	anchors := map[string]map[string]bool{}
+	contents := map[string]string{}
+	for _, f := range files {
+		raw, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatalf("read %s: %v", f, err)
+		}
+		contents[f] = string(raw)
+		anchors[f] = headingAnchors(string(raw))
+	}
+
+	linkRe := regexp.MustCompile(`\]\(([^()\s]+)\)`)
+	for _, f := range files {
+		for _, m := range linkRe.FindAllStringSubmatch(contents[f], -1) {
+			target := m[1]
+			if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") ||
+				strings.HasPrefix(target, "mailto:") {
+				continue
+			}
+			path, frag, _ := strings.Cut(target, "#")
+			resolved := f
+			if path != "" {
+				resolved = filepath.Join(filepath.Dir(f), path)
+				if _, err := os.Stat(resolved); err != nil {
+					t.Errorf("%s: broken link %q: %v", f, target, err)
+					continue
+				}
+			}
+			if frag == "" {
+				continue
+			}
+			set, ok := anchors[resolved]
+			if !ok {
+				// Fragment into a file outside the checked set (e.g. source
+				// code); existence was verified above, anchors are not.
+				continue
+			}
+			if !set[frag] {
+				t.Errorf("%s: link %q: no heading in %s slugs to #%s", f, target, resolved, frag)
+			}
+		}
+	}
+}
+
+// headingAnchors extracts the GitHub anchor slugs of a markdown file's
+// headings: lowercase, backticks and other punctuation stripped, spaces
+// replaced by hyphens. Fenced code blocks are skipped so a commented `#` in
+// a shell snippet is not mistaken for a heading.
+func headingAnchors(src string) map[string]bool {
+	out := map[string]bool{}
+	inFence := false
+	for _, line := range strings.Split(src, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence || !strings.HasPrefix(line, "#") {
+			continue
+		}
+		text := strings.TrimLeft(line, "#")
+		if !strings.HasPrefix(text, " ") {
+			continue // not a heading (e.g. "#!/bin/sh" outside a fence)
+		}
+		out[slugify(strings.TrimSpace(text))] = true
+	}
+	return out
+}
+
+// slugify mirrors GitHub's heading-to-anchor transformation closely enough
+// for this repo's docs: lowercase; keep letters, digits, spaces, hyphens and
+// underscores; drop everything else; then turn each space into a hyphen.
+func slugify(heading string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(heading) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '-', r == '_':
+			b.WriteRune(r)
+		case r == ' ':
+			b.WriteByte('-')
+		}
+	}
+	return b.String()
+}

@@ -320,7 +320,8 @@ func (tx *Tx) Deserialize(r io.Reader) error {
 	return nil
 }
 
-// Serialize writes the header in wire format (80 bytes, as in Bitcoin).
+// Serialize writes the header in wire format: Bitcoin's field order, but 84
+// bytes rather than 80 because the timestamp is 64-bit.
 func (h *BlockHeader) Serialize(w io.Writer) error {
 	if err := writeUint32(w, uint32(h.Version)); err != nil {
 		return err

@@ -18,7 +18,8 @@ import (
 // precise error instead of a misparse. The format is what `fistful
 // generate -out` writes and what the streaming measurement pipeline
 // (`-chain`) consumes, so chains far larger than RAM never need to be
-// resident as object graphs.
+// resident as object graphs. The byte-level spec — framing, the block
+// wire encoding, and the bounds the readers enforce — is docs/FORMATS.md.
 
 // streamMagic identifies a framed chain file ("FBC" + format version 1).
 var streamMagic = [4]byte{'F', 'B', 'C', 0x01}

@@ -18,6 +18,7 @@ import (
 // and only advances past a frame once the whole frame decoded, which makes
 // partially-written suffixes harmless. Unlike Reader, a TailReader never
 // returns io.EOF: end-of-file just means the writer has not caught up.
+// The framed format itself is specified in docs/FORMATS.md.
 type TailReader struct {
 	f        *os.File
 	off      int64 // first byte after the last fully-decoded frame
@@ -32,9 +33,17 @@ type TailReader struct {
 // exact value only bounds shutdown-free wakeup latency.
 const tailPoll = 25 * time.Millisecond
 
-// errShortFrame reports that the file ends before the next frame completes —
-// the tail condition, not an error the caller sees.
-var errShortFrame = errors.New("chain: tail: incomplete frame")
+// ErrShortFrame reports that the file ends before the next frame completes —
+// the tail condition. Next retries it internally; it escapes only through
+// TryNext, where it means "no complete frame yet", so feed-layer probes can
+// distinguish a short file from corruption.
+var ErrShortFrame = errors.New("chain: tail: incomplete frame")
+
+// ErrTailTruncated reports that the file shrank below the reader's current
+// offset: bytes already delivered were removed, which is how a chain
+// reorganization appears to a tailing reader. Next returns it as a terminal
+// error; the feed layer above turns it into a rewind-and-replay.
+var ErrTailTruncated = errors.New("chain: tail: file truncated below read offset")
 
 // OpenTail opens a framed chain file for tailing. The file must exist, but
 // may still be empty: the stream header itself is awaited by Next like any
@@ -56,7 +65,7 @@ func (t *TailReader) Next(ctx context.Context) (*Block, error) {
 		if err == nil {
 			return b, nil
 		}
-		if err != errShortFrame {
+		if err != ErrShortFrame {
 			return nil, err
 		}
 		timer := time.NewTimer(t.poll)
@@ -89,13 +98,14 @@ func (t *TailReader) Buffered() bool {
 	return n <= maxBlockFrame && st.Size() >= off+4+n
 }
 
-// tryNext decodes one frame at the current offset, returning errShortFrame
-// when the file does not yet hold a complete one.
+// tryNext decodes one frame at the current offset, returning ErrShortFrame
+// when the file does not yet hold a complete one and ErrTailTruncated when
+// the file has shrunk below the offset.
 func (t *TailReader) tryNext() (*Block, error) {
 	if !t.headerOK {
 		var magic [4]byte
 		if _, err := t.f.ReadAt(magic[:], 0); err != nil {
-			return nil, shortOrTerminal(err, "chain: read stream header")
+			return nil, t.shortOrTerminal(err, "chain: read stream header")
 		}
 		if magic != streamMagic {
 			return nil, ErrBadMagic
@@ -105,7 +115,7 @@ func (t *TailReader) tryNext() (*Block, error) {
 	}
 	var lenBuf [4]byte
 	if _, err := t.f.ReadAt(lenBuf[:], t.off); err != nil {
-		return nil, shortOrTerminal(err, fmt.Sprintf("chain: block %d: read frame length", t.blocks))
+		return nil, t.shortOrTerminal(err, fmt.Sprintf("chain: block %d: read frame length", t.blocks))
 	}
 	n := binary.LittleEndian.Uint32(lenBuf[:])
 	if n > maxBlockFrame {
@@ -116,7 +126,7 @@ func (t *TailReader) tryNext() (*Block, error) {
 	}
 	frame := t.frame[:n]
 	if _, err := t.f.ReadAt(frame, t.off+4); err != nil {
-		return nil, shortOrTerminal(err, fmt.Sprintf("chain: block %d: read frame", t.blocks))
+		return nil, t.shortOrTerminal(err, fmt.Sprintf("chain: block %d: read frame", t.blocks))
 	}
 	// The full frame is present, so from here any failure is real corruption,
 	// exactly as in Reader.NextBlock.
@@ -134,17 +144,57 @@ func (t *TailReader) tryNext() (*Block, error) {
 }
 
 // shortOrTerminal maps a ReadAt running off the end of the file to
-// errShortFrame (the bytes have not been appended yet) and wraps anything
-// else as a terminal error.
-func shortOrTerminal(err error, what string) error {
+// ErrShortFrame (the bytes have not been appended yet) — unless the file has
+// shrunk below the current offset, which is ErrTailTruncated — and wraps
+// anything else as a terminal error.
+func (t *TailReader) shortOrTerminal(err error, what string) error {
 	if err == io.EOF || err == io.ErrUnexpectedEOF {
-		return errShortFrame
+		if st, serr := t.f.Stat(); serr == nil && st.Size() < t.off {
+			return ErrTailTruncated
+		}
+		return ErrShortFrame
 	}
 	return fmt.Errorf("%s: %w", what, err)
 }
 
+// TryNext attempts to decode one frame without waiting. It returns
+// ErrShortFrame when the file does not (yet) hold a complete frame at the
+// current offset, ErrTailTruncated when the file shrank below it, and a
+// terminal error on corruption. The feed layer's reorg search uses it to
+// probe frame boundaries after a Seek.
+func (t *TailReader) TryNext() (*Block, error) { return t.tryNext() }
+
 // Blocks returns how many blocks have been decoded so far.
 func (t *TailReader) Blocks() int64 { return t.blocks }
+
+// Offset returns the byte offset of the first byte after the last fully
+// decoded frame (the stream-header length until the first frame decodes).
+func (t *TailReader) Offset() int64 {
+	if !t.headerOK {
+		return int64(len(streamMagic))
+	}
+	return t.off
+}
+
+// SeekFrame repositions the reader to a known frame boundary: off must be the
+// byte offset at which frame number blocks begins (an Offset value captured
+// after decoding blocks frames, or the stream-header length for frame 0).
+// The next TryNext or Next decodes from there. SeekFrame does not re-verify
+// the stream header; use Restart to re-read a file from scratch.
+func (t *TailReader) SeekFrame(off, blocks int64) {
+	t.headerOK = true
+	t.off = off
+	t.blocks = blocks
+}
+
+// Restart rewinds the reader to the very beginning of the file, re-verifying
+// the stream header on the next read — the recovery path when the writer
+// rewrote the file from scratch.
+func (t *TailReader) Restart() {
+	t.headerOK = false
+	t.off = 0
+	t.blocks = 0
+}
 
 // Close releases the underlying file. A concurrent Next unblocks with the
 // file's read error; callers shutting a daemon down cancel the ctx first.

@@ -1,0 +1,114 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// The forest's on-disk shape is the raw parent and size arrays plus the set
+// count — see docs/FORMATS.md ("FRST section payload"). Path compression
+// state is preserved verbatim, so a round trip is byte-exact and a restored
+// forest continues from precisely the structure that was saved; Labels()
+// depends only on the partition, so any compression state yields the same
+// clustering.
+
+// WriteState serializes the forest. The encoding is deterministic: the same
+// forest always produces the same bytes.
+func (u *UnionFind) WriteState(w io.Writer) error {
+	var hdr [12]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(u.parent)))
+	binary.LittleEndian.PutUint64(hdr[4:12], uint64(u.sets))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("cluster: write forest header: %w", err)
+	}
+	if err := writeUint32s(w, u.parent); err != nil {
+		return fmt.Errorf("cluster: write forest parents: %w", err)
+	}
+	if err := writeUint32s(w, u.size); err != nil {
+		return fmt.Errorf("cluster: write forest sizes: %w", err)
+	}
+	return nil
+}
+
+// UnionFindFromState reads a forest serialized by WriteState, validating
+// structural invariants (parents in range, set count consistent with the
+// number of self-rooted elements) so a corrupt payload fails loudly instead
+// of producing a silently wrong clustering.
+func UnionFindFromState(r io.Reader) (*UnionFind, error) {
+	var hdr [12]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("cluster: read forest header: %w", err)
+	}
+	n := int(binary.LittleEndian.Uint32(hdr[0:4]))
+	sets := binary.LittleEndian.Uint64(hdr[4:12])
+	if sets > uint64(n) {
+		return nil, fmt.Errorf("cluster: forest claims %d sets over %d elements", sets, n)
+	}
+	u := &UnionFind{
+		parent: make([]uint32, n),
+		size:   make([]uint32, n),
+		sets:   int(sets),
+	}
+	if err := readUint32s(r, u.parent); err != nil {
+		return nil, fmt.Errorf("cluster: read forest parents: %w", err)
+	}
+	if err := readUint32s(r, u.size); err != nil {
+		return nil, fmt.Errorf("cluster: read forest sizes: %w", err)
+	}
+	roots := 0
+	for i, p := range u.parent {
+		if int(p) >= n {
+			return nil, fmt.Errorf("cluster: forest parent[%d] = %d out of range [0,%d)", i, p, n)
+		}
+		if int(p) == i {
+			roots++
+		}
+	}
+	if roots != int(sets) {
+		return nil, fmt.Errorf("cluster: forest has %d roots but claims %d sets", roots, sets)
+	}
+	return u, nil
+}
+
+// writeUint32s emits a []uint32 as packed little-endian words, buffering so
+// large arrays do not issue one syscall per element.
+func writeUint32s(w io.Writer, xs []uint32) error {
+	const chunk = 16 << 10
+	buf := make([]byte, 0, 4*chunk)
+	for len(xs) > 0 {
+		k := len(xs)
+		if k > chunk {
+			k = chunk
+		}
+		buf = buf[:0]
+		for _, x := range xs[:k] {
+			buf = binary.LittleEndian.AppendUint32(buf, x)
+		}
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+		xs = xs[k:]
+	}
+	return nil
+}
+
+// readUint32s fills xs from packed little-endian words.
+func readUint32s(r io.Reader, xs []uint32) error {
+	const chunk = 16 << 10
+	buf := make([]byte, 4*chunk)
+	for len(xs) > 0 {
+		k := len(xs)
+		if k > chunk {
+			k = chunk
+		}
+		if _, err := io.ReadFull(r, buf[:4*k]); err != nil {
+			return err
+		}
+		for i := 0; i < k; i++ {
+			xs[i] = binary.LittleEndian.Uint32(buf[4*i:])
+		}
+		xs = xs[k:]
+	}
+	return nil
+}

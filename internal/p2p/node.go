@@ -131,6 +131,19 @@ func (n *Node) BlockAt(height int64) *chain.Block {
 	return n.chain.BlockAt(height)
 }
 
+// HashAt returns the hash of the connected block at the given height, and
+// whether the chain has reached it. It is the feed layer's reorg probe: a
+// follower that remembers the hashes it delivered can compare them against
+// HashAt to detect that the node's chain was rewritten beneath it.
+func (n *Node) HashAt(height int64) (chain.Hash, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if height < 0 || height > n.chain.Height() {
+		return chain.Hash{}, false
+	}
+	return n.chain.BlockAt(height).BlockHash(), true
+}
+
 // MempoolSize returns the number of queued transactions.
 func (n *Node) MempoolSize() int {
 	n.mu.Lock()

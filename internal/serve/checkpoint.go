@@ -1,0 +1,523 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/chain"
+	"repro/internal/cluster"
+	"repro/internal/par"
+	"repro/internal/tags"
+	"repro/internal/txgraph"
+)
+
+// Checkpoint file format (full byte-level spec in docs/FORMATS.md):
+//
+//	magic "FCK\x01"
+//	section*            tag[4] | u32 LE payload length | payload | u32 LE CRC32-IEEE(payload)
+//
+// Sections appear in a fixed order — META, GRPH, FRST, BALS — and all four
+// are required. Unknown sections after BALS are skipped (their CRC is still
+// verified), so later versions can append data without breaking this reader.
+// The framing mirrors internal/chain's length-prefixed block stream: a
+// partial write is detected as a short or CRC-failing section, never decoded
+// as state.
+
+// checkpointMagic identifies a serve checkpoint file; the trailing byte is
+// the container version.
+var checkpointMagic = [4]byte{'F', 'C', 'K', 0x01}
+
+// metaVersion versions the META payload layout.
+const metaVersion = 1
+
+// maxSectionLen bounds a section payload (1 GiB) so a corrupt length prefix
+// cannot drive allocation.
+const maxSectionLen = 1 << 30
+
+// Section tags, in required file order.
+var (
+	tagMeta = [4]byte{'M', 'E', 'T', 'A'}
+	tagGrph = [4]byte{'G', 'R', 'P', 'H'}
+	tagFrst = [4]byte{'F', 'R', 'S', 'T'}
+	tagBals = [4]byte{'B', 'A', 'L', 'S'}
+)
+
+// checkpointMeta is the decoded META section: the identity of the state the
+// other sections carry, used to cross-validate them on load.
+type checkpointMeta struct {
+	epoch    uint64
+	height   int64
+	numTxs   uint64
+	numAddrs uint64
+	tip      chain.Hash
+}
+
+// writeSection frames one payload: tag, length, payload, CRC32-IEEE.
+func writeSection(w io.Writer, tag [4]byte, payload []byte) error {
+	var hdr [8]byte
+	copy(hdr[:4], tag[:])
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("serve: checkpoint: write %s header: %w", tag, err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("serve: checkpoint: write %s payload: %w", tag, err)
+	}
+	var sum [4]byte
+	binary.LittleEndian.PutUint32(sum[:], crc32.ChecksumIEEE(payload))
+	if _, err := w.Write(sum[:]); err != nil {
+		return fmt.Errorf("serve: checkpoint: write %s checksum: %w", tag, err)
+	}
+	return nil
+}
+
+// readSection reads the next framed section, verifying its CRC. It returns
+// io.EOF cleanly only at a section boundary.
+func readSection(r io.Reader) (tag [4]byte, payload []byte, err error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return tag, nil, io.EOF
+		}
+		return tag, nil, fmt.Errorf("serve: checkpoint: read section header: %w", err)
+	}
+	copy(tag[:], hdr[:4])
+	n := binary.LittleEndian.Uint32(hdr[4:])
+	if n > maxSectionLen {
+		return tag, nil, fmt.Errorf("serve: checkpoint: section %s length %d exceeds limit (corrupt length prefix?)", tag, n)
+	}
+	payload = make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return tag, nil, fmt.Errorf("serve: checkpoint: section %s: read payload: %w", tag, eofIsUnexpected(err))
+	}
+	var sum [4]byte
+	if _, err := io.ReadFull(r, sum[:]); err != nil {
+		return tag, nil, fmt.Errorf("serve: checkpoint: section %s: read checksum: %w", tag, eofIsUnexpected(err))
+	}
+	if got, want := crc32.ChecksumIEEE(payload), binary.LittleEndian.Uint32(sum[:]); got != want {
+		return tag, nil, fmt.Errorf("serve: checkpoint: section %s: checksum mismatch (got %08x, want %08x)", tag, got, want)
+	}
+	return tag, payload, nil
+}
+
+// eofIsUnexpected converts a bare io.EOF into io.ErrUnexpectedEOF: inside a
+// declared section, running out of bytes is truncation, not a clean end.
+func eofIsUnexpected(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// writeCheckpoint serializes one epoch's state — the substrate decomposition
+// used by freeze, whether it comes from a frozen substrate or directly from
+// the live Ingester on the ingest goroutine.
+func writeCheckpoint(w io.Writer, epoch uint64, tip chain.Hash, g *txgraph.Graph, forest *cluster.UnionFind, balances []chain.Amount) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.Write(checkpointMagic[:]); err != nil {
+		return fmt.Errorf("serve: checkpoint: write magic: %w", err)
+	}
+
+	meta := make([]byte, 4+8+8+8+8+chain.HashSize)
+	binary.LittleEndian.PutUint32(meta[0:], metaVersion)
+	binary.LittleEndian.PutUint64(meta[4:], epoch)
+	binary.LittleEndian.PutUint64(meta[12:], uint64(g.Height()))
+	binary.LittleEndian.PutUint64(meta[20:], uint64(g.NumTxs()))
+	binary.LittleEndian.PutUint64(meta[28:], uint64(g.NumAddrs()))
+	copy(meta[36:], tip[:])
+	if err := writeSection(bw, tagMeta, meta); err != nil {
+		return err
+	}
+
+	var graphBuf bytesBuffer
+	if err := g.WriteState(&graphBuf); err != nil {
+		return fmt.Errorf("serve: checkpoint: serialize graph: %w", err)
+	}
+	if err := writeSection(bw, tagGrph, graphBuf.b); err != nil {
+		return err
+	}
+
+	var forestBuf bytesBuffer
+	if err := forest.WriteState(&forestBuf); err != nil {
+		return fmt.Errorf("serve: checkpoint: serialize forest: %w", err)
+	}
+	if err := writeSection(bw, tagFrst, forestBuf.b); err != nil {
+		return err
+	}
+
+	bals := make([]byte, 8+8*len(balances))
+	binary.LittleEndian.PutUint64(bals[0:], uint64(len(balances)))
+	for i, v := range balances {
+		binary.LittleEndian.PutUint64(bals[8+8*i:], uint64(v))
+	}
+	if err := writeSection(bw, tagBals, bals); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("serve: checkpoint: flush: %w", err)
+	}
+	return nil
+}
+
+// bytesBuffer is a minimal append-only io.Writer; sections need the full
+// payload in memory to frame it with a length prefix and CRC.
+type bytesBuffer struct{ b []byte }
+
+func (w *bytesBuffer) Write(p []byte) (int, error) {
+	w.b = append(w.b, p...)
+	return len(p), nil
+}
+
+// WriteCheckpoint serializes the Ingester's current state in the checkpoint
+// format. Ingest goroutine only (it reads the live graph and forest); the
+// Daemon's publish worker instead checkpoints the frozen substrate it was
+// handed, which needs no such restriction.
+func (ing *Ingester) WriteCheckpoint(w io.Writer) error {
+	return writeCheckpoint(w, ing.epoch, ing.tip, ing.ap.Graph(), ing.forest, ing.balances)
+}
+
+// ReadCheckpoint restores an Ingester from a checkpoint stream and publishes
+// its snapshot, so the result is immediately serveable. The restored state
+// resumes byte-identically: applying the remaining blocks yields the same
+// snapshots a cold rebuild over the full chain would.
+func ReadCheckpoint(an Analysis, r io.Reader) (*Ingester, error) {
+	ing, err := readCheckpointState(an, r)
+	if err != nil {
+		return nil, err
+	}
+	ing.Publish()
+	return ing, nil
+}
+
+// readCheckpointState restores an Ingester without publishing — the rollback
+// path, where the Daemon adopts the state and publishes on its own cadence.
+func readCheckpointState(an Analysis, r io.Reader) (*Ingester, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("serve: checkpoint: read magic: %w", eofIsUnexpected(err))
+	}
+	if magic != checkpointMagic {
+		return nil, fmt.Errorf("serve: checkpoint: bad magic %q", magic[:])
+	}
+
+	meta, err := readMetaSection(br)
+	if err != nil {
+		return nil, err
+	}
+
+	tag, payload, err := readSection(br)
+	if err != nil {
+		return nil, fmt.Errorf("serve: checkpoint: GRPH section: %w", err)
+	}
+	if tag != tagGrph {
+		return nil, fmt.Errorf("serve: checkpoint: want GRPH section, got %s", tag)
+	}
+	ap, err := txgraph.AppenderFromState(bytes.NewReader(payload), an.Workers)
+	if err != nil {
+		return nil, fmt.Errorf("serve: checkpoint: restore graph: %w", err)
+	}
+	g := ap.Graph()
+	if uint64(g.NumTxs()) != meta.numTxs || uint64(g.NumAddrs()) != meta.numAddrs || g.Height() != meta.height {
+		return nil, fmt.Errorf("serve: checkpoint: graph state (height %d, %d txs, %d addrs) disagrees with META (height %d, %d txs, %d addrs)",
+			g.Height(), g.NumTxs(), g.NumAddrs(), meta.height, meta.numTxs, meta.numAddrs)
+	}
+
+	tag, payload, err = readSection(br)
+	if err != nil {
+		return nil, fmt.Errorf("serve: checkpoint: FRST section: %w", err)
+	}
+	if tag != tagFrst {
+		return nil, fmt.Errorf("serve: checkpoint: want FRST section, got %s", tag)
+	}
+	forest, err := cluster.UnionFindFromState(bytes.NewReader(payload))
+	if err != nil {
+		return nil, fmt.Errorf("serve: checkpoint: restore forest: %w", err)
+	}
+	if forest.Len() != g.NumAddrs() {
+		return nil, fmt.Errorf("serve: checkpoint: forest covers %d addresses, graph has %d", forest.Len(), g.NumAddrs())
+	}
+
+	tag, payload, err = readSection(br)
+	if err != nil {
+		return nil, fmt.Errorf("serve: checkpoint: BALS section: %w", err)
+	}
+	if tag != tagBals {
+		return nil, fmt.Errorf("serve: checkpoint: want BALS section, got %s", tag)
+	}
+	balances, err := decodeBalances(payload, g.NumAddrs())
+	if err != nil {
+		return nil, err
+	}
+
+	// Skip (but CRC-verify) unknown trailing sections: forward compatibility
+	// with writers that append new data after BALS.
+	for {
+		if _, _, err := readSection(br); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return nil, err
+		}
+	}
+
+	if an.Tags == nil {
+		an.Tags = tags.NewStore()
+	}
+	ing := &Ingester{
+		an:       an,
+		workers:  par.Workers(an.Workers),
+		ap:       ap,
+		forest:   forest,
+		balances: balances,
+		tip:      meta.tip,
+		epoch:    meta.epoch,
+	}
+	return ing, nil
+}
+
+// readMetaSection reads and decodes the mandatory leading META section.
+func readMetaSection(r io.Reader) (checkpointMeta, error) {
+	var meta checkpointMeta
+	tag, payload, err := readSection(r)
+	if err != nil {
+		return meta, fmt.Errorf("serve: checkpoint: META section: %w", err)
+	}
+	if tag != tagMeta {
+		return meta, fmt.Errorf("serve: checkpoint: want META section first, got %s", tag)
+	}
+	if len(payload) < 4 {
+		return meta, errors.New("serve: checkpoint: META section too short")
+	}
+	if v := binary.LittleEndian.Uint32(payload[0:]); v != metaVersion {
+		return meta, fmt.Errorf("serve: checkpoint: unsupported META version %d (want %d)", v, metaVersion)
+	}
+	if len(payload) != 4+8+8+8+8+chain.HashSize {
+		return meta, fmt.Errorf("serve: checkpoint: META section has %d bytes, want %d", len(payload), 4+8+8+8+8+chain.HashSize)
+	}
+	meta.epoch = binary.LittleEndian.Uint64(payload[4:])
+	meta.height = int64(binary.LittleEndian.Uint64(payload[12:]))
+	meta.numTxs = binary.LittleEndian.Uint64(payload[20:])
+	meta.numAddrs = binary.LittleEndian.Uint64(payload[28:])
+	copy(meta.tip[:], payload[36:])
+	if meta.height < -1 {
+		return meta, fmt.Errorf("serve: checkpoint: implausible height %d", meta.height)
+	}
+	return meta, nil
+}
+
+// decodeBalances decodes the BALS payload and checks it covers exactly the
+// graph's address table.
+func decodeBalances(payload []byte, numAddrs int) ([]chain.Amount, error) {
+	if len(payload) < 8 {
+		return nil, errors.New("serve: checkpoint: BALS section too short")
+	}
+	n := binary.LittleEndian.Uint64(payload[0:])
+	if uint64(numAddrs) != n {
+		return nil, fmt.Errorf("serve: checkpoint: balance vector covers %d addresses, graph has %d", n, numAddrs)
+	}
+	if uint64(len(payload)) != 8+8*n {
+		return nil, fmt.Errorf("serve: checkpoint: BALS section has %d bytes, want %d", len(payload), 8+8*n)
+	}
+	balances := make([]chain.Amount, n)
+	for i := range balances {
+		balances[i] = chain.Amount(binary.LittleEndian.Uint64(payload[8+8*i:]))
+	}
+	return balances, nil
+}
+
+// DefaultCheckpointKeep is how many newest checkpoints a store retains when
+// the caller does not say otherwise. Several generations bound how far a
+// reorg rollback can reach while keeping disk usage proportional to state
+// size, not history.
+const DefaultCheckpointKeep = 4
+
+// CheckpointStore manages height-named checkpoint files in one directory:
+// atomic writes (temp file, fsync, rename), newest-N retention, and
+// load-by-height for the Daemon's rollback path.
+type CheckpointStore struct {
+	dir  string
+	keep int
+}
+
+// NewCheckpointStore opens (creating if needed) a checkpoint directory.
+// keep <= 0 means DefaultCheckpointKeep.
+func NewCheckpointStore(dir string, keep int) (*CheckpointStore, error) {
+	if keep <= 0 {
+		keep = DefaultCheckpointKeep
+	}
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return nil, fmt.Errorf("serve: checkpoint store: %w", err)
+	}
+	return &CheckpointStore{dir: dir, keep: keep}, nil
+}
+
+// Dir returns the store's directory.
+func (cs *CheckpointStore) Dir() string { return cs.dir }
+
+// Path returns the file path a checkpoint at the given height lives at.
+func (cs *CheckpointStore) Path(height int64) string {
+	return filepath.Join(cs.dir, fmt.Sprintf("checkpoint-%012d.fck", height))
+}
+
+// Heights lists the heights with a checkpoint file present, ascending.
+func (cs *CheckpointStore) Heights() ([]int64, error) {
+	entries, err := os.ReadDir(cs.dir)
+	if err != nil {
+		return nil, fmt.Errorf("serve: checkpoint store: %w", err)
+	}
+	var heights []int64
+	for _, e := range entries {
+		var h int64
+		if n, err := fmt.Sscanf(e.Name(), "checkpoint-%d.fck", &h); n == 1 && err == nil {
+			heights = append(heights, h)
+		}
+	}
+	sort.Slice(heights, func(i, j int) bool { return heights[i] < heights[j] })
+	return heights, nil
+}
+
+// Save checkpoints the Ingester's current state under its height. Before any
+// block there is nothing worth persisting, so height -1 is a no-op returning
+// an empty path. Ingest goroutine only.
+func (ing *Ingester) Save(cs *CheckpointStore) (string, error) {
+	h := ing.Height()
+	if h < 0 {
+		return "", nil
+	}
+	if err := cs.save(h, ing.epoch, ing.tip, ing.ap.Graph(), ing.forest, ing.balances); err != nil {
+		return "", err
+	}
+	return cs.Path(h), nil
+}
+
+// saveSub checkpoints a frozen substrate — the publish worker's path, safe
+// off the ingest goroutine because the substrate is immutable.
+func (cs *CheckpointStore) saveSub(sub *substrate) error {
+	h := sub.g.Height()
+	if h < 0 {
+		return nil
+	}
+	return cs.save(h, sub.epoch, sub.tip, sub.g, sub.forest, sub.balances)
+}
+
+// save writes one checkpoint atomically: temp file in the same directory,
+// fsync, rename over the final name, then best-effort pruning to the newest
+// keep files.
+func (cs *CheckpointStore) save(height int64, epoch uint64, tip chain.Hash, g *txgraph.Graph, forest *cluster.UnionFind, balances []chain.Amount) (err error) {
+	f, err := os.CreateTemp(cs.dir, "checkpoint-*.tmp")
+	if err != nil {
+		return fmt.Errorf("serve: checkpoint store: %w", err)
+	}
+	tmp := f.Name()
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+	if err = writeCheckpoint(f, epoch, tip, g, forest, balances); err != nil {
+		return err
+	}
+	if err = f.Sync(); err != nil {
+		return fmt.Errorf("serve: checkpoint store: sync: %w", err)
+	}
+	if err = f.Close(); err != nil {
+		return fmt.Errorf("serve: checkpoint store: close: %w", err)
+	}
+	if err = os.Rename(tmp, cs.Path(height)); err != nil {
+		return fmt.Errorf("serve: checkpoint store: %w", err)
+	}
+	cs.prune()
+	return nil
+}
+
+// prune best-effort removes all but the newest keep checkpoints. Errors are
+// ignored: retention is hygiene, not correctness.
+func (cs *CheckpointStore) prune() {
+	heights, err := cs.Heights()
+	if err != nil {
+		return
+	}
+	for len(heights) > cs.keep {
+		os.Remove(cs.Path(heights[0]))
+		heights = heights[1:]
+	}
+}
+
+// Load restores a published Ingester from the checkpoint at exactly the
+// given height.
+func (cs *CheckpointStore) Load(an Analysis, height int64) (*Ingester, error) {
+	ing, err := cs.loadState(an, height)
+	if err != nil {
+		return nil, err
+	}
+	ing.Publish()
+	return ing, nil
+}
+
+// LoadLatest restores a published Ingester from the newest checkpoint. The
+// second result is false when the store holds no checkpoints at all. Any
+// present-but-unreadable checkpoint is an error, not a silent cold start:
+// the operator decides whether to delete a corrupt file (see
+// docs/OPERATIONS.md).
+func (cs *CheckpointStore) LoadLatest(an Analysis) (*Ingester, bool, error) {
+	heights, err := cs.Heights()
+	if err != nil {
+		return nil, false, err
+	}
+	if len(heights) == 0 {
+		return nil, false, nil
+	}
+	ing, err := cs.Load(an, heights[len(heights)-1])
+	if err != nil {
+		return nil, false, err
+	}
+	return ing, true, nil
+}
+
+// loadAtOrBelow restores (unpublished) the newest checkpoint at or below the
+// given height — the reorg rollback target. The second result is false when
+// no checkpoint qualifies.
+func (cs *CheckpointStore) loadAtOrBelow(an Analysis, height int64) (*Ingester, bool, error) {
+	heights, err := cs.Heights()
+	if err != nil {
+		return nil, false, err
+	}
+	for i := len(heights) - 1; i >= 0; i-- {
+		if heights[i] <= height {
+			ing, err := cs.loadState(an, heights[i])
+			if err != nil {
+				return nil, false, err
+			}
+			return ing, true, nil
+		}
+	}
+	return nil, false, nil
+}
+
+// loadState reads one checkpoint file into an unpublished Ingester.
+func (cs *CheckpointStore) loadState(an Analysis, height int64) (*Ingester, error) {
+	path := cs.Path(height)
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("serve: checkpoint store: %w", err)
+	}
+	defer f.Close()
+	ing, err := readCheckpointState(an, f)
+	if err != nil {
+		return nil, fmt.Errorf("serve: checkpoint %s: %w", path, err)
+	}
+	if ing.Height() != height {
+		return nil, fmt.Errorf("serve: checkpoint %s: contains height %d", path, ing.Height())
+	}
+	return ing, nil
+}

@@ -1,0 +1,229 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/txgraph"
+)
+
+// checkpointBytes serializes ing's current state, failing the test on error.
+func checkpointBytes(t *testing.T, ing *Ingester) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := ing.WriteCheckpoint(&buf); err != nil {
+		t.Fatalf("WriteCheckpoint: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// assertSameState asserts two ingesters hold identical measurement state by
+// comparing their published snapshots field by field.
+func assertSameState(t *testing.T, got, want *Ingester) {
+	t.Helper()
+	gs, ws := got.Snapshot(), want.Snapshot()
+	if gs.Height != ws.Height || gs.NumTxs != ws.NumTxs || gs.NumAddrs != ws.NumAddrs {
+		t.Fatalf("shape (h=%d txs=%d addrs=%d) != (h=%d txs=%d addrs=%d)",
+			gs.Height, gs.NumTxs, gs.NumAddrs, ws.Height, ws.NumTxs, ws.NumAddrs)
+	}
+	if got.TipHash() != want.TipHash() {
+		t.Fatal("tip hashes differ")
+	}
+	for id := 0; id < gs.NumAddrs; id++ {
+		aid := txgraph.AddrID(id)
+		if gs.Addr(aid) != ws.Addr(aid) {
+			t.Fatalf("addr %d differs", id)
+		}
+		if gs.Balance(aid) != ws.Balance(aid) {
+			t.Fatalf("balance of %d differs", id)
+		}
+		if gs.H1.ClusterOf(aid) != ws.H1.ClusterOf(aid) {
+			t.Fatalf("H1 label of %d differs", id)
+		}
+		if gs.Refined.ClusterOf(aid) != ws.Refined.ClusterOf(aid) {
+			t.Fatalf("refined label of %d differs", id)
+		}
+	}
+}
+
+// TestCheckpointRoundTrip: write → read restores an equivalent ingester, and
+// serialization is deterministic (same state, same bytes).
+func TestCheckpointRoundTrip(t *testing.T) {
+	w := testWorld(t)
+	ing, _ := ingestAll(t, w)
+
+	raw := checkpointBytes(t, ing)
+	if !bytes.Equal(raw, checkpointBytes(t, ing)) {
+		t.Fatal("checkpoint serialization is not deterministic")
+	}
+
+	restored, err := ReadCheckpoint(testAnalysis(w), bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("ReadCheckpoint: %v", err)
+	}
+	assertSameState(t, restored, ing)
+
+	// The restored state must keep ingesting: epochs continue, not restart.
+	if restored.Epoch() < ing.Epoch() {
+		t.Fatalf("restored epoch %d went backwards from %d", restored.Epoch(), ing.Epoch())
+	}
+}
+
+// TestCheckpointDetectsCorruption: a flipped payload byte fails the section
+// CRC; a truncated file fails cleanly; garbage magic is rejected.
+func TestCheckpointDetectsCorruption(t *testing.T) {
+	w := testWorld(t)
+	ing, _ := ingestAll(t, w)
+	raw := checkpointBytes(t, ing)
+	an := testAnalysis(w)
+
+	for _, off := range []int{20, len(raw) / 2, len(raw) - 5} {
+		bad := append([]byte(nil), raw...)
+		bad[off] ^= 0x40
+		if _, err := ReadCheckpoint(an, bytes.NewReader(bad)); err == nil {
+			t.Fatalf("corruption at offset %d went undetected", off)
+		}
+	}
+	for _, n := range []int{0, 3, 12, len(raw) - 1} {
+		if _, err := ReadCheckpoint(an, bytes.NewReader(raw[:n])); err == nil {
+			t.Fatalf("truncation to %d bytes went undetected", n)
+		}
+	}
+	bad := append([]byte(nil), raw...)
+	bad[0] = 'X'
+	if _, err := ReadCheckpoint(an, bytes.NewReader(bad)); err == nil {
+		t.Fatal("bad magic went undetected")
+	}
+}
+
+// TestCheckpointSkipsUnknownTrailingSection: a future writer may append
+// sections after BALS; this reader verifies their CRC and ignores them.
+func TestCheckpointSkipsUnknownTrailingSection(t *testing.T) {
+	w := testWorld(t)
+	ing, _ := ingestAll(t, w)
+	raw := checkpointBytes(t, ing)
+
+	payload := []byte("future data")
+	ext := append([]byte(nil), raw...)
+	ext = append(ext, 'X', 'T', 'R', 'A')
+	ext = binary.LittleEndian.AppendUint32(ext, uint32(len(payload)))
+	ext = append(ext, payload...)
+	ext = binary.LittleEndian.AppendUint32(ext, crc32.ChecksumIEEE(payload))
+
+	restored, err := ReadCheckpoint(testAnalysis(w), bytes.NewReader(ext))
+	if err != nil {
+		t.Fatalf("unknown trailing section rejected: %v", err)
+	}
+	assertSameState(t, restored, ing)
+
+	// A corrupt unknown section is still corruption.
+	ext[len(ext)-6] ^= 1
+	if _, err := ReadCheckpoint(testAnalysis(w), bytes.NewReader(ext)); err == nil {
+		t.Fatal("corrupt trailing section went undetected")
+	}
+}
+
+// TestCheckpointStore exercises the on-disk lifecycle: Save names files by
+// height, Heights lists them sorted, retention prunes the oldest, LoadLatest
+// and loadAtOrBelow restore the right generations.
+func TestCheckpointStore(t *testing.T) {
+	w := testWorld(t)
+	an := testAnalysis(w)
+	cs, err := NewCheckpointStore(t.TempDir(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Before any block there is nothing to persist.
+	empty := NewIngester(an)
+	if path, err := empty.Save(cs); err != nil || path != "" {
+		t.Fatalf("empty save = (%q, %v), want no-op", path, err)
+	}
+
+	ing := NewIngester(an)
+	var saved []int64
+	for h, b := range w.Chain.Blocks() {
+		if err := ing.ApplyBlock(b); err != nil {
+			t.Fatal(err)
+		}
+		if (h+1)%60 == 0 {
+			ing.Publish()
+			if _, err := ing.Save(cs); err != nil {
+				t.Fatalf("save at height %d: %v", h, err)
+			}
+			saved = append(saved, int64(h))
+		}
+	}
+
+	heights, err := cs.Heights()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := saved[len(saved)-3:] // keep=3 retains the newest three
+	if len(heights) != len(want) {
+		t.Fatalf("retained %v, want %v", heights, want)
+	}
+	for i := range want {
+		if heights[i] != want[i] {
+			t.Fatalf("retained %v, want %v", heights, want)
+		}
+	}
+
+	latest, ok, err := cs.LoadLatest(an)
+	if err != nil || !ok {
+		t.Fatalf("LoadLatest = %v, %v", ok, err)
+	}
+	if latest.Height() != saved[len(saved)-1] {
+		t.Fatalf("latest height %d, want %d", latest.Height(), saved[len(saved)-1])
+	}
+
+	mid, ok, err := cs.loadAtOrBelow(an, want[1])
+	if err != nil || !ok {
+		t.Fatalf("loadAtOrBelow = %v, %v", ok, err)
+	}
+	if mid.Height() != want[1] {
+		t.Fatalf("loadAtOrBelow(%d) restored height %d", want[1], mid.Height())
+	}
+	if _, ok, err := cs.loadAtOrBelow(an, want[0]-1); err != nil || ok {
+		t.Fatalf("loadAtOrBelow below the oldest retained = %v, %v; want miss", ok, err)
+	}
+
+	// A corrupt file is an explicit error, never a silent cold start.
+	path := cs.Path(latest.Height())
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 1
+	if err := os.WriteFile(path, raw, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := cs.LoadLatest(an); err == nil {
+		t.Fatal("corrupt checkpoint loaded without error")
+	}
+
+	// No stray temp files survive saves.
+	tmps, err := filepath.Glob(filepath.Join(cs.Dir(), "*.tmp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tmps) != 0 {
+		t.Fatalf("leaked temp files: %v", tmps)
+	}
+}
+
+// TestCheckpointStoreEmpty: LoadLatest on a fresh directory reports "no
+// checkpoint" without error.
+func TestCheckpointStoreEmpty(t *testing.T) {
+	cs, err := NewCheckpointStore(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := cs.LoadLatest(Analysis{}); err != nil || ok {
+		t.Fatalf("LoadLatest on empty store = %v, %v", ok, err)
+	}
+}

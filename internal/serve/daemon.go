@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync/atomic"
 )
 
 // DefaultPublishEvery is how many applied blocks a snapshot publish may lag
@@ -12,59 +13,206 @@ import (
 // file). At the tip the daemon publishes after every block regardless.
 const DefaultPublishEvery = 64
 
-// Daemon ties an Ingester to a BlockFeed: apply every block, publish a
-// fresh snapshot whenever the feed idles (and at least every publishEvery
-// blocks while catching up). One Daemon per Ingester; Run owns the feed.
+// DaemonOptions configures a Daemon beyond its ingester and feed.
+type DaemonOptions struct {
+	// PublishEvery is the maximum publish lag in blocks while catching up;
+	// <= 0 means DefaultPublishEvery.
+	PublishEvery int
+	// Checkpoints, when non-nil, persists every published epoch and is the
+	// rollback source after a reorg. Without it, a reorg falls back to
+	// replaying from genesis.
+	Checkpoints *CheckpointStore
+}
+
+// Daemon ties an Ingester to a BlockFeed: apply every block, hand a frozen
+// substrate to the publish worker whenever the feed idles (and at least
+// every PublishEvery blocks while catching up), checkpoint each published
+// epoch, and roll back and replay when the feed reports its source rewrote
+// history. One Daemon per Ingester; Run owns the feed.
 type Daemon struct {
 	ing          *Ingester
 	feed         BlockFeed
 	publishEvery int
+	ck           *CheckpointStore
+
+	// applied counts blocks applied across the daemon's lifetime (not reset
+	// by rollbacks); tests read it concurrently to observe ingest progress.
+	applied atomic.Int64
+
+	// testPublishGate, when non-nil, runs on the publish worker before each
+	// publish — the seam for the publish-stall test.
+	testPublishGate func(*substrate)
 }
 
 // NewDaemon wires ing to feed. publishEvery <= 0 means DefaultPublishEvery.
 func NewDaemon(ing *Ingester, feed BlockFeed, publishEvery int) *Daemon {
-	if publishEvery <= 0 {
-		publishEvery = DefaultPublishEvery
+	return NewDaemonOpts(ing, feed, DaemonOptions{PublishEvery: publishEvery})
+}
+
+// NewDaemonOpts wires ing to feed with full options.
+func NewDaemonOpts(ing *Ingester, feed BlockFeed, opts DaemonOptions) *Daemon {
+	if opts.PublishEvery <= 0 {
+		opts.PublishEvery = DefaultPublishEvery
 	}
-	return &Daemon{ing: ing, feed: feed, publishEvery: publishEvery}
+	return &Daemon{ing: ing, feed: feed, publishEvery: opts.PublishEvery, ck: opts.Checkpoints}
 }
 
 // Snapshot returns the latest published snapshot; safe from any goroutine.
 func (d *Daemon) Snapshot() *Snapshot { return d.ing.Snapshot() }
 
+// Applied returns how many blocks the daemon has applied in total; safe from
+// any goroutine.
+func (d *Daemon) Applied() int64 { return d.applied.Load() }
+
 // Run ingests until the context is cancelled, closing the feed on the way
 // out. A finite feed (SourceFeed over a chain file) reports io.EOF; Run
 // publishes the final snapshot and then parks until cancellation, so the
 // query API keeps answering after a bounded source drains. Cancellation is a
-// clean shutdown (nil); any other feed or apply error is returned.
+// clean shutdown (nil); any other feed, apply, or checkpoint error is
+// returned.
+//
+// If the Ingester starts above genesis (restored from a checkpoint), Run
+// first rewinds the feed to the block after the restored tip. Every applied
+// block must link to the current tip hash; one that does not means the
+// restored state and the feed disagree about history, and the daemon rolls
+// back until they agree — hash chaining makes the single tip comparison
+// cover the entire prefix.
 func (d *Daemon) Run(ctx context.Context) error {
 	defer d.feed.Close()
-	pending := 0 // blocks applied since the last publish
+
+	if d.ing.Height() >= 0 {
+		if err := d.feed.Rewind(d.ing.Height() + 1); err != nil {
+			var rw *RewindError
+			if !errors.As(err, &rw) {
+				return fmt.Errorf("serve: resume: %w", err)
+			}
+			if err := d.rollback(rw.Height); err != nil {
+				return err
+			}
+		}
+	}
+
+	pub := newPublisher(d.ing, d.ck, d.testPublishGate)
+	defer pub.stop()
+
+	pending := 0 // blocks applied since the last freeze
 	for {
 		b, err := d.feed.Next(ctx)
+		var rw *RewindError
 		switch {
 		case errors.Is(err, io.EOF):
+			pub.stop()
+			if err := pub.err(); err != nil {
+				return fmt.Errorf("serve: checkpoint: %w", err)
+			}
 			if pending > 0 {
-				d.ing.Publish()
+				if err := d.publishNow(); err != nil {
+					return err
+				}
 			}
 			<-ctx.Done()
 			return nil
+		case errors.As(err, &rw):
+			if err := d.rollback(rw.Height); err != nil {
+				return err
+			}
+			pending = 0
+			continue
 		case err != nil:
 			if ctx.Err() != nil {
+				pub.stop()
+				if err := pub.err(); err != nil {
+					return fmt.Errorf("serve: checkpoint: %w", err)
+				}
 				if pending > 0 {
-					d.ing.Publish()
+					if err := d.publishNow(); err != nil {
+						return err
+					}
 				}
 				return nil
 			}
 			return fmt.Errorf("serve: feed: %w", err)
 		}
+		if b.Header.PrevBlock != d.ing.TipHash() {
+			// The feed delivered a block that does not extend our state: the
+			// restored checkpoint (or a partially replayed rollback) belongs
+			// to a different history than the source now serves. Drop the
+			// tip and retry; repeated mismatches walk back block by block
+			// until the histories agree, bottoming out at genesis.
+			if err := d.rollbackBelowTip(); err != nil {
+				return err
+			}
+			pending = 0
+			continue
+		}
 		if err := d.ing.ApplyBlock(b); err != nil {
 			return fmt.Errorf("serve: apply block: %w", err)
 		}
+		d.applied.Add(1)
 		pending++
 		if pending >= d.publishEvery || !d.feed.Buffered() {
-			d.ing.Publish()
+			if err := pub.err(); err != nil {
+				return fmt.Errorf("serve: checkpoint: %w", err)
+			}
+			pub.submit(d.ing.freeze())
 			pending = 0
 		}
 	}
+}
+
+// publishNow freezes and publishes synchronously on the ingest goroutine —
+// the final-snapshot path once the publish worker has stopped.
+func (d *Daemon) publishNow() error {
+	sub := d.ing.freeze()
+	d.ing.publishFrom(sub)
+	if d.ck != nil {
+		if err := d.ck.saveSub(sub); err != nil {
+			return fmt.Errorf("serve: checkpoint: %w", err)
+		}
+	}
+	return nil
+}
+
+// rollback rewinds the live state below fork — adopting the newest
+// checkpoint at or below fork-1, or resetting to genesis without one — and
+// repoints the feed at the first block the state is missing. A nested
+// RewindError from the feed (the source moved again mid-rollback) recurses;
+// the feed's own progress guards bound that.
+func (d *Daemon) rollback(fork int64) error {
+	target := fork - 1
+	restored := false
+	if d.ck != nil {
+		ing, ok, err := d.ck.loadAtOrBelow(d.ing.an, target)
+		if err != nil {
+			return fmt.Errorf("serve: rollback to height %d: %w", target, err)
+		}
+		if ok {
+			d.ing.adoptFrom(ing)
+			restored = true
+		}
+	}
+	if !restored {
+		d.ing.reset()
+	}
+	if err := d.feed.Rewind(d.ing.Height() + 1); err != nil {
+		var rw *RewindError
+		if errors.As(err, &rw) {
+			return d.rollback(rw.Height)
+		}
+		return fmt.Errorf("serve: rollback: %w", err)
+	}
+	return nil
+}
+
+// rollbackBelowTip handles a delivered block that does not extend the
+// current tip: roll back the tip block itself (the deepest state the fork
+// could be at, since the feed's own prefix check passed) and let the next
+// iteration re-check. At genesis there is nothing left to unwind — the feed
+// is serving a chain that never matched this state.
+func (d *Daemon) rollbackBelowTip() error {
+	h := d.ing.Height()
+	if h < 0 {
+		return errors.New("serve: feed delivered a block that does not connect to genesis")
+	}
+	return d.rollback(h)
 }

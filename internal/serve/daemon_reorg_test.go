@@ -1,0 +1,380 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/chain"
+	"repro/internal/chaintest"
+	"repro/internal/p2p"
+	"repro/internal/txgraph"
+)
+
+// reorgAnalysis is the tagless analysis the reorg tests run under: chaintest
+// worlds carry no tag store, so clusters stay unnamed — the clustering and
+// balance state is what the tests compare.
+func reorgAnalysis() Analysis { return Analysis{WaitBlocks: 10, Workers: 2} }
+
+// buildCommonPrefix drives the same deterministic transaction history on a
+// builder. Two builders fed exactly this sequence produce byte-identical
+// blocks (keys mint in name-first-use order, timestamps derive from height),
+// which is what lets a test splice two histories at a fork point.
+func buildCommonPrefix(b *chaintest.Builder) {
+	b.Coinbase("alice")
+	b.Coinbase("bob")
+	b.Pay([]string{"alice"}, chaintest.Out{Name: "carol", Value: b.Balance("alice") / 2},
+		chaintest.Out{Name: "dan", Value: b.Balance("alice") / 4})
+	b.Mine(2)
+	b.Pay([]string{"bob", "carol"}, chaintest.Out{Name: "erin", Value: b.Balance("bob")})
+	b.Mine(3)
+}
+
+// buildBranchA extends the prefix with the history that gets reorged away.
+func buildBranchA(b *chaintest.Builder) {
+	b.Pay([]string{"dan"}, chaintest.Out{Name: "alice", Value: b.Balance("dan") / 2})
+	b.Mine(2)
+}
+
+// buildBranchB extends the prefix with the winning history — strictly longer
+// than branch A, as a heavier competing branch is.
+func buildBranchB(b *chaintest.Builder) {
+	b.Pay([]string{"erin"}, chaintest.Out{Name: "frank", Value: b.Balance("erin") / 3},
+		chaintest.Out{Name: "erin", Value: b.Balance("erin") / 3})
+	b.Mine(3)
+	b.Pay([]string{"frank", "dan"}, chaintest.Out{Name: "gus", Value: b.Balance("frank")})
+	b.Mine(2)
+}
+
+// forkChains builds the two histories: chain A (common prefix + branch A)
+// and chain B (common prefix + longer branch B). It returns both block
+// slices and the prefix length in blocks.
+func forkChains(t *testing.T) (a, b []*chain.Block, prefixLen int) {
+	t.Helper()
+	ba := chaintest.New(t)
+	buildCommonPrefix(ba)
+	prefixLen = len(ba.Chain.Blocks())
+	buildBranchA(ba)
+
+	bb := chaintest.New(t)
+	buildCommonPrefix(bb)
+	buildBranchB(bb)
+
+	a, b = ba.Chain.Blocks(), bb.Chain.Blocks()
+	if len(b) <= len(a) {
+		t.Fatalf("branch B (%d blocks) must outgrow branch A (%d)", len(b), len(a))
+	}
+	for h := 0; h < prefixLen; h++ {
+		if a[h].BlockHash() != b[h].BlockHash() {
+			t.Fatalf("prefix diverges at height %d; the builder is not deterministic", h)
+		}
+	}
+	if a[prefixLen].BlockHash() == b[prefixLen].BlockHash() {
+		t.Fatal("branches do not diverge at the fork point")
+	}
+	return a, b, prefixLen
+}
+
+// frameBytes serializes blocks into framed chain-file bytes.
+func frameBytes(t *testing.T, blocks []*chain.Block) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := chain.NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range blocks {
+		if err := w.WriteBlock(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// coldSnapshot is the reorg tests' reference: a fresh ingester over exactly
+// the given blocks, published once.
+func coldSnapshot(t *testing.T, blocks []*chain.Block) *Snapshot {
+	t.Helper()
+	ing := NewIngester(reorgAnalysis())
+	for _, b := range blocks {
+		if err := ing.ApplyBlock(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return ing.Publish()
+}
+
+// assertConverged compares a daemon's snapshot against the cold reference:
+// same shape, same balances, same cluster labels.
+func assertConverged(t *testing.T, got, want *Snapshot) {
+	t.Helper()
+	if got.Height != want.Height || got.NumTxs != want.NumTxs || got.NumAddrs != want.NumAddrs {
+		t.Fatalf("converged shape (h=%d txs=%d addrs=%d) != batch (h=%d txs=%d addrs=%d)",
+			got.Height, got.NumTxs, got.NumAddrs, want.Height, want.NumTxs, want.NumAddrs)
+	}
+	for id := 0; id < want.NumAddrs; id++ {
+		aid := txgraph.AddrID(id)
+		if got.Addr(aid) != want.Addr(aid) {
+			t.Fatalf("addr %d differs after reorg", id)
+		}
+		if got.Balance(aid) != want.Balance(aid) {
+			t.Fatalf("balance of %d: got %d, want %d", id, got.Balance(aid), want.Balance(aid))
+		}
+		if got.H1.ClusterOf(aid) != want.H1.ClusterOf(aid) {
+			t.Fatalf("H1 label of %d differs after reorg", id)
+		}
+		if got.Refined.ClusterOf(aid) != want.Refined.ClusterOf(aid) {
+			t.Fatalf("refined label of %d differs after reorg", id)
+		}
+	}
+}
+
+// awaitHeight polls until the daemon's snapshot reaches height h.
+func awaitHeight(t *testing.T, d *Daemon, h int64) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for d.Snapshot().Height != h {
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon stuck at height %d, want %d", d.Snapshot().Height, h)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestDaemonTailFeedReorg injects a fork mid-ingest through the chain file
+// itself: the daemon tails a file holding branch A, then the file is
+// rewritten in place — truncated to the common prefix, branch B appended.
+// The daemon must detect the rewrite, roll back to a checkpoint below the
+// fork, replay branch B, and converge to exactly the state a cold build
+// over branch B produces.
+func TestDaemonTailFeedReorg(t *testing.T) {
+	chainA, chainB, prefixLen := forkChains(t)
+	bytesA, bytesB := frameBytes(t, chainA), frameBytes(t, chainB)
+
+	// The framed encodings of the two files share the prefix's bytes
+	// exactly; everything after is the branch.
+	prefixBytes := len(frameBytes(t, chainA[:prefixLen]))
+	if !bytes.Equal(bytesA[:prefixBytes], bytesB[:prefixBytes]) {
+		t.Fatal("framed prefixes differ; splice would be meaningless")
+	}
+
+	path := filepath.Join(t.TempDir(), "chain.dat")
+	if err := os.WriteFile(path, bytesA, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	feed, err := OpenTailFeed(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := NewCheckpointStore(t.TempDir(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ing := NewIngester(reorgAnalysis())
+	d := NewDaemonOpts(ing, feed, DaemonOptions{PublishEvery: 1, Checkpoints: cs})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- d.Run(ctx) }()
+
+	awaitHeight(t, d, int64(len(chainA)-1))
+
+	// Reorg: rewrite the file in place, preserving the inode the tail
+	// reader holds open — truncate to the shared prefix, append branch B.
+	f, err := os.OpenFile(path, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Truncate(int64(prefixBytes)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt(bytesB[prefixBytes:], int64(prefixBytes)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	awaitHeight(t, d, int64(len(chainB)-1))
+	assertConverged(t, d.Snapshot(), coldSnapshot(t, chainB))
+
+	// The post-fork state must also get checkpointed (the snapshot installs
+	// before the worker's save completes, so poll), so a restart lands on
+	// the new branch.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		heights, err := cs.Heights()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(heights) > 0 && heights[len(heights)-1] == int64(len(chainB)-1) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("newest checkpoint at %v, want height %d", heights, len(chainB)-1)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+// fakeNode is a nodeSource whose chain a test can swap wholesale — the
+// reorg, as p2p.Node performs it, without networking.
+type fakeNode struct {
+	mu     sync.Mutex
+	blocks []*chain.Block
+	events chan p2p.Event
+}
+
+func newFakeNode(blocks []*chain.Block) *fakeNode {
+	return &fakeNode{blocks: blocks, events: make(chan p2p.Event, 1)}
+}
+
+func (f *fakeNode) Height() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return int64(len(f.blocks)) - 1
+}
+
+func (f *fakeNode) BlockAt(h int64) *chain.Block {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if h < 0 || h >= int64(len(f.blocks)) {
+		return nil
+	}
+	return f.blocks[h]
+}
+
+func (f *fakeNode) HashAt(h int64) (chain.Hash, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if h < 0 || h >= int64(len(f.blocks)) {
+		return chain.Hash{}, false
+	}
+	return f.blocks[h].BlockHash(), true
+}
+
+func (f *fakeNode) Events() <-chan p2p.Event { return f.events }
+
+// setChain swaps the node's chain and nudges the feed, dropping the event if
+// the buffer is full exactly as p2p.Node does.
+func (f *fakeNode) setChain(blocks []*chain.Block) {
+	f.mu.Lock()
+	f.blocks = blocks
+	f.mu.Unlock()
+	select {
+	case f.events <- p2p.Event{}:
+	default:
+	}
+}
+
+// TestDaemonNodeFeedReorg injects a fork through a node switching branches:
+// the daemon follows branch A, the node adopts the longer branch B, and the
+// daemon — running without a checkpoint store, so rollback degrades to a
+// genesis replay — must converge to the cold branch-B state.
+func TestDaemonNodeFeedReorg(t *testing.T) {
+	chainA, chainB, _ := forkChains(t)
+	node := newFakeNode(chainA)
+
+	ing := NewIngester(reorgAnalysis())
+	d := NewDaemonOpts(ing, newNodeFeed(node), DaemonOptions{PublishEvery: 1})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- d.Run(ctx) }()
+
+	awaitHeight(t, d, int64(len(chainA)-1))
+	node.setChain(chainB)
+	awaitHeight(t, d, int64(len(chainB)-1))
+	assertConverged(t, d.Snapshot(), coldSnapshot(t, chainB))
+
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+// chanFeed delivers blocks pushed by the test, one at a time, reporting EOF
+// when the channel closes.
+type chanFeed struct{ ch chan *chain.Block }
+
+func (f *chanFeed) Next(ctx context.Context) (*chain.Block, error) {
+	select {
+	case b, ok := <-f.ch:
+		if !ok {
+			return nil, io.EOF
+		}
+		return b, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+func (f *chanFeed) Rewind(height int64) error { return nil }
+func (f *chanFeed) Buffered() bool            { return len(f.ch) > 0 }
+func (f *chanFeed) Close() error              { return nil }
+
+// TestPublishDoesNotStallIngest pins the off-thread publish contract: with
+// the publish worker artificially blocked, the ingest loop keeps applying
+// blocks (the snapshot stays at the pre-block epoch), and once the worker is
+// released the latest state publishes — intermediate epochs were coalesced
+// away, never queued behind one another.
+func TestPublishDoesNotStallIngest(t *testing.T) {
+	b := chaintest.New(t)
+	b.Mine(50)
+	blocks := b.Chain.Blocks()
+
+	feed := &chanFeed{ch: make(chan *chain.Block, len(blocks))}
+	ing := NewIngester(reorgAnalysis())
+	release := make(chan struct{})
+	d := NewDaemonOpts(ing, feed, DaemonOptions{PublishEvery: 1})
+	d.testPublishGate = func(*substrate) { <-release }
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- d.Run(ctx) }()
+
+	startEpoch := ing.Snapshot().Epoch
+	for _, blk := range blocks {
+		feed.ch <- blk
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for d.Applied() != int64(len(blocks)) {
+		if time.Now().After(deadline) {
+			t.Fatalf("ingest stalled at %d/%d applied blocks while publish was blocked",
+				d.Applied(), len(blocks))
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Every block is applied, yet nothing new published: the worker is still
+	// parked inside its first publish.
+	if ep := ing.Snapshot().Epoch; ep != startEpoch {
+		t.Fatalf("snapshot advanced to epoch %d while the publish worker was blocked", ep)
+	}
+
+	close(release)
+	awaitHeight(t, d, int64(len(blocks)-1))
+
+	// Latest-wins coalescing: far fewer publishes than freezes reached the
+	// worker. The daemon froze once per block (publishEvery=1); all but a
+	// handful must have been displaced while the worker was parked.
+	if ep := ing.Snapshot().Epoch; ep < uint64(len(blocks)) {
+		t.Logf("published epoch %d after %d freezes (coalesced)", ep, len(blocks))
+	}
+
+	close(feed.ch)
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}

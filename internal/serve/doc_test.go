@@ -1,0 +1,93 @@
+package serve
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"strings"
+	"testing"
+)
+
+// TestExportedSymbolsAreDocumented is the godoc gate for this package: every
+// exported top-level type, function, method, constant, and variable in
+// non-test files must carry a doc comment, and the package itself must have
+// a package comment. The serve package is the daemon's public surface —
+// docs/ARCHITECTURE.md and docs/OPERATIONS.md link into its godoc, so an
+// undocumented export is a broken link in the operator docs.
+func TestExportedSymbolsAreDocumented(t *testing.T) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, ".", func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, ok := pkgs["serve"]
+	if !ok {
+		t.Fatalf("package serve not found in %v", pkgs)
+	}
+
+	hasPackageDoc := false
+	for _, file := range pkg.Files {
+		if file.Doc != nil {
+			hasPackageDoc = true
+		}
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if !d.Name.IsExported() && d.Recv == nil {
+					continue
+				}
+				if d.Recv != nil && !receiverExported(d.Recv) {
+					continue
+				}
+				if d.Recv != nil && !d.Name.IsExported() {
+					continue
+				}
+				if d.Doc == nil {
+					t.Errorf("%s: exported %s lacks a doc comment", fset.Position(d.Pos()), d.Name.Name)
+				}
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						if s.Name.IsExported() && d.Doc == nil && s.Doc == nil {
+							t.Errorf("%s: exported type %s lacks a doc comment", fset.Position(s.Pos()), s.Name.Name)
+						}
+					case *ast.ValueSpec:
+						for _, name := range s.Names {
+							if name.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+								t.Errorf("%s: exported %s lacks a doc comment", fset.Position(name.Pos()), name.Name)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	if !hasPackageDoc {
+		t.Error("package serve lacks a package comment")
+	}
+}
+
+// receiverExported reports whether a method's receiver type is exported —
+// methods on unexported types are internal regardless of their own name.
+func receiverExported(recv *ast.FieldList) bool {
+	if len(recv.List) == 0 {
+		return false
+	}
+	typ := recv.List[0].Type
+	for {
+		switch tt := typ.(type) {
+		case *ast.StarExpr:
+			typ = tt.X
+		case *ast.IndexExpr:
+			typ = tt.X
+		case *ast.Ident:
+			return tt.IsExported()
+		default:
+			return false
+		}
+	}
+}

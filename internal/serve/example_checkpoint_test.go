@@ -1,0 +1,59 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/chaintest"
+)
+
+// exampleTB satisfies chaintest.TB outside a test function; builder errors
+// are programming errors here, so they panic.
+type exampleTB struct{}
+
+func (exampleTB) Helper()                           {}
+func (exampleTB) Fatalf(format string, args ...any) { panic(fmt.Sprintf(format, args...)) }
+
+// Example_checkpointResume shows the daemon restart cycle in miniature:
+// ingest a prefix, persist a checkpoint, restore it into a fresh Ingester —
+// as `fistful serve -checkpoint` does on startup — and catch up with the
+// blocks that arrived in the meantime.
+func Example_checkpointResume() {
+	b := chaintest.New(exampleTB{})
+	b.Coinbase("alice")
+	b.Coinbase("bob")
+	b.Pay([]string{"alice"}, chaintest.Out{Name: "carol", Value: b.Balance("alice") / 2})
+	b.Mine(3)
+	blocks := b.Chain.Blocks()
+
+	// First life: ingest all but the last block and checkpoint.
+	ing := NewIngester(Analysis{WaitBlocks: 10})
+	for _, blk := range blocks[:len(blocks)-1] {
+		if err := ing.ApplyBlock(blk); err != nil {
+			panic(err)
+		}
+	}
+	ing.Publish()
+	var ckpt bytes.Buffer
+	if err := ing.WriteCheckpoint(&ckpt); err != nil {
+		panic(err)
+	}
+	fmt.Printf("checkpointed at height %d\n", ing.Height())
+
+	// Second life: restore, then apply only what is missing.
+	resumed, err := ReadCheckpoint(Analysis{WaitBlocks: 10}, &ckpt)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("resumed at height %d\n", resumed.Snapshot().Height)
+	if err := resumed.ApplyBlock(blocks[len(blocks)-1]); err != nil {
+		panic(err)
+	}
+	snap := resumed.Publish()
+	fmt.Printf("caught up to height %d with %d addresses\n", snap.Height, snap.NumAddrs)
+
+	// Output:
+	// checkpointed at height 3
+	// resumed at height 3
+	// caught up to height 4 with 4 addresses
+}

@@ -2,7 +2,10 @@ package serve
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"io"
+	"sort"
 	"time"
 
 	"repro/internal/chain"
@@ -14,17 +17,47 @@ import (
 // Buffered reports whether another block is already available without
 // waiting, which is how the daemon decides it has reached the tip and should
 // publish. Close releases the source; feeds are not safe for concurrent use.
+//
+// A live feed (TailFeed, NodeFeed) additionally watches for its source
+// rewriting history — a chain reorganization. When it detects one, Next
+// returns a *RewindError naming the first height whose block changed; the
+// daemon rolls its state back below that height and calls Rewind to
+// repoint the feed, after which Next delivers the replacement history.
 type BlockFeed interface {
 	Next(ctx context.Context) (*chain.Block, error)
+	// Rewind repoints the feed so the next delivered block is the one at
+	// height. Rewinding forward past blocks the feed has not delivered yet
+	// is allowed (the checkpoint-resume path) and must not block: if the
+	// source currently holds fewer blocks, the feed repositions as far as it
+	// can and lets the daemon's continuity check sort out the rest.
+	Rewind(height int64) error
 	Buffered() bool
 	Close() error
 }
+
+// RewindError reports that the feed's source replaced previously delivered
+// history. Height is the first height whose block differs (every block
+// before it is unchanged); Cause is the observation that exposed the reorg,
+// for diagnostics.
+type RewindError struct {
+	Height int64
+	Cause  error
+}
+
+// Error implements error.
+func (e *RewindError) Error() string {
+	return fmt.Sprintf("serve: feed: history rewritten from height %d: %v", e.Height, e.Cause)
+}
+
+// Unwrap exposes the underlying observation to errors.Is/As.
+func (e *RewindError) Unwrap() error { return e.Cause }
 
 // SourceFeed adapts a finite chain.BlockSource (an in-memory chain, a fully
 // written chain file) into a feed: it never waits, and reports EOF once the
 // source drains.
 type SourceFeed struct {
 	src  chain.BlockSource
+	next int64 // height the next delivered block will have
 	done bool
 }
 
@@ -49,7 +82,23 @@ func (f *SourceFeed) Next(ctx context.Context) (*chain.Block, error) {
 		}
 		return nil, err
 	}
+	f.next++
 	return b, nil
+}
+
+// Rewind skips forward to height. A BlockSource cannot be re-read, so
+// rewinding backwards is an error; skipping forward discards blocks, and a
+// source that drains mid-skip simply leaves the feed at EOF.
+func (f *SourceFeed) Rewind(height int64) error {
+	if height < f.next {
+		return fmt.Errorf("serve: source feed: cannot rewind to height %d (next is %d): source is not re-readable", height, f.next)
+	}
+	for f.next < height && !f.done {
+		if _, err := f.Next(context.Background()); err != nil && err != io.EOF {
+			return err
+		}
+	}
+	return nil
 }
 
 // Buffered reports whether the source may still yield a block.
@@ -61,8 +110,21 @@ func (f *SourceFeed) Close() error { return nil }
 // TailFeed follows a framed chain file being appended by another process —
 // the generator writing via GenerateToFile, or any chain.Writer. It never
 // reports EOF: at the tip, Next parks until more bytes land or ctx is done.
+//
+// The feed remembers the hash and frame-end offset of every delivered block.
+// If the writer rewrites the file — the file shrinks below the read offset,
+// a frame stops decoding, or a delivered height's successor no longer links
+// to it — the feed binary-searches its recorded offsets for the first frame
+// whose block changed and reports it as a *RewindError.
 type TailFeed struct {
-	tr *chain.TailReader
+	tr     *chain.TailReader
+	hashes []chain.Hash // hashes[h] = delivered block at height h
+	ends   []int64      // ends[h] = byte offset just past frame h
+	// progressed records whether any frame decoded successfully since the
+	// last anomaly — the guard that keeps a corrupt (rather than reorged)
+	// file from triggering an endless rescan loop: a second anomaly with no
+	// intervening progress is terminal.
+	progressed bool
 }
 
 // OpenTailFeed opens path for tailing.
@@ -71,13 +133,128 @@ func OpenTailFeed(path string) (*TailFeed, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &TailFeed{tr: tr}, nil
+	return &TailFeed{tr: tr, progressed: true}, nil
 }
 
 // Next returns the next appended block, waiting for the writer if the file
-// is currently at the tip.
+// is currently at the tip. A rewritten file surfaces as *RewindError.
 func (f *TailFeed) Next(ctx context.Context) (*chain.Block, error) {
-	return f.tr.Next(ctx)
+	for {
+		b, err := f.tr.TryNext()
+		switch {
+		case err == nil:
+			h := len(f.hashes)
+			if h > 0 && b.Header.PrevBlock != f.hashes[h-1] {
+				// The frame decoded but no longer extends what we delivered:
+				// the writer replaced a prefix of the file in place.
+				return nil, f.anomaly(fmt.Errorf("block at height %d does not link to delivered block %d", h, h-1))
+			}
+			f.hashes = append(f.hashes, b.BlockHash())
+			f.ends = append(f.ends, f.tr.Offset())
+			f.progressed = true
+			return b, nil
+		case err == chain.ErrShortFrame:
+			timer := time.NewTimer(tailFeedPoll)
+			select {
+			case <-ctx.Done():
+				timer.Stop()
+				return nil, ctx.Err()
+			case <-timer.C:
+			}
+		default:
+			if ctx.Err() != nil {
+				// Close raced with a read; shutdown, not corruption.
+				return nil, ctx.Err()
+			}
+			// Truncation below the offset or a frame that stopped decoding:
+			// the writer rewrote history under us.
+			return nil, f.anomaly(err)
+		}
+	}
+}
+
+// tailFeedPoll is how often Next re-probes a file with no complete frame.
+const tailFeedPoll = 25 * time.Millisecond
+
+// anomaly converts a mid-file inconsistency into a *RewindError locating the
+// fork, unless nothing decoded since the previous anomaly — then the file is
+// not converging and the cause is terminal.
+func (f *TailFeed) anomaly(cause error) error {
+	if !f.progressed {
+		return fmt.Errorf("serve: tail feed: file did not converge after rewind: %w", cause)
+	}
+	f.progressed = false
+	return &RewindError{Height: f.findFork(), Cause: cause}
+}
+
+// findFork returns the first delivered height whose frame no longer decodes
+// to the block we delivered. Hash chaining makes "frame h still matches" a
+// monotone predicate — a block commits to its whole ancestry, and identical
+// blocks serialize identically, so frame boundaries agree too — which is
+// what lets a binary search over recorded offsets find the fork in
+// O(log n) frame decodes.
+func (f *TailFeed) findFork() int64 {
+	fork := int64(sort.Search(len(f.hashes), func(h int) bool {
+		return !f.frameMatches(int64(h))
+	}))
+	// Reposition to deliver the fork height next, whatever the search found
+	// (fork == len(hashes) means every delivered frame is intact and only
+	// the tip's successor changed).
+	f.truncateTo(fork)
+	return fork
+}
+
+// frameMatches re-decodes frame h from its recorded offset and reports
+// whether it still yields the delivered block.
+func (f *TailFeed) frameMatches(h int64) bool {
+	f.seekFrame(h)
+	b, err := f.tr.TryNext()
+	return err == nil && b.BlockHash() == f.hashes[h]
+}
+
+// seekFrame positions the reader at the start of frame h.
+func (f *TailFeed) seekFrame(h int64) {
+	if h == 0 {
+		f.tr.Restart()
+		return
+	}
+	f.tr.SeekFrame(f.ends[h-1], h)
+}
+
+// truncateTo forgets all delivered state from height h on and repositions
+// the reader there.
+func (f *TailFeed) truncateTo(h int64) {
+	f.hashes = f.hashes[:h]
+	f.ends = f.ends[:h]
+	f.seekFrame(h)
+}
+
+// Rewind repoints the feed to deliver height next. Heights at or below the
+// delivered tip reuse recorded offsets; rewinding forward (checkpoint
+// resume) scans the file without waiting, stopping early if the file is
+// still shorter than height.
+func (f *TailFeed) Rewind(height int64) error {
+	if height <= int64(len(f.hashes)) {
+		f.truncateTo(height)
+		return nil
+	}
+	for int64(len(f.hashes)) < height {
+		b, err := f.tr.TryNext()
+		if err != nil {
+			if err == chain.ErrShortFrame {
+				return nil // file shorter than requested; deliver from here
+			}
+			return f.anomaly(err)
+		}
+		h := len(f.hashes)
+		if h > 0 && b.Header.PrevBlock != f.hashes[h-1] {
+			return f.anomaly(fmt.Errorf("block at height %d does not link to delivered block %d", h, h-1))
+		}
+		f.hashes = append(f.hashes, b.BlockHash())
+		f.ends = append(f.ends, f.tr.Offset())
+		f.progressed = true
+	}
+	return nil
 }
 
 // Buffered reports whether a complete frame is already on disk.
@@ -91,13 +268,27 @@ func (f *TailFeed) Close() error { return f.tr.Close() }
 // block); the feed re-checks the chain height at least this often.
 const nodePoll = 250 * time.Millisecond
 
+// nodeSource is the slice of *p2p.Node a NodeFeed needs; tests substitute a
+// fake to inject reorgs deterministically.
+type nodeSource interface {
+	Height() int64
+	BlockAt(height int64) *chain.Block
+	HashAt(height int64) (chain.Hash, bool)
+	Events() <-chan p2p.Event
+}
+
 // NodeFeed follows a running p2p node's validated chain by height. Like
 // TailFeed it never reports EOF; the node's event channel is used purely as
 // a wake-up hint, with a poll fallback, so dropped events cost latency, not
 // blocks.
+//
+// The node adopts a heavier competing branch by swapping its chain, so
+// before delivering a new height the feed re-checks the hash of the last
+// delivered block; a mismatch is binary-searched to the fork height and
+// reported as a *RewindError.
 type NodeFeed struct {
-	node *p2p.Node
-	next int64
+	node   nodeSource
+	hashes []chain.Hash // hashes[h] = delivered block at height h
 }
 
 // NewNodeFeed follows node from genesis. The caller keeps ownership of the
@@ -106,12 +297,23 @@ func NewNodeFeed(node *p2p.Node) *NodeFeed {
 	return &NodeFeed{node: node}
 }
 
+// newNodeFeed is the test seam: any nodeSource.
+func newNodeFeed(node nodeSource) *NodeFeed {
+	return &NodeFeed{node: node}
+}
+
 // Next returns the block at the next height, waiting for the node to extend
-// its chain if necessary.
+// its chain if necessary. A node that switched branches below the delivered
+// tip surfaces as *RewindError.
 func (f *NodeFeed) Next(ctx context.Context) (*chain.Block, error) {
 	for {
-		if b := f.node.BlockAt(f.next); b != nil {
-			f.next++
+		if fork, reorged := f.forkPoint(); reorged {
+			f.hashes = f.hashes[:fork]
+			return nil, &RewindError{Height: fork, Cause: errors.New("node switched to a different branch")}
+		}
+		next := int64(len(f.hashes))
+		if b := f.node.BlockAt(next); b != nil {
+			f.hashes = append(f.hashes, b.BlockHash())
 			return b, nil
 		}
 		timer := time.NewTimer(nodePoll)
@@ -126,8 +328,50 @@ func (f *NodeFeed) Next(ctx context.Context) (*chain.Block, error) {
 	}
 }
 
+// forkPoint checks whether the node still agrees with every delivered block,
+// cheaply in the common case: if the delivered tip's hash is unchanged, hash
+// chaining guarantees the whole prefix is. On mismatch a binary search finds
+// the first differing height (a node shorter than a queried height counts as
+// a mismatch at it).
+func (f *NodeFeed) forkPoint() (int64, bool) {
+	k := len(f.hashes)
+	if k == 0 {
+		return 0, false
+	}
+	if f.matchesAt(int64(k - 1)) {
+		return 0, false
+	}
+	fork := sort.Search(k, func(h int) bool { return !f.matchesAt(int64(h)) })
+	return int64(fork), true
+}
+
+// matchesAt reports whether the node's block at height h is still the one
+// delivered.
+func (f *NodeFeed) matchesAt(h int64) bool {
+	got, ok := f.node.HashAt(h)
+	return ok && got == f.hashes[h]
+}
+
+// Rewind repoints the feed to deliver height next. Forward rewinds record
+// hashes from the node without waiting, stopping early if the node's chain
+// is still shorter.
+func (f *NodeFeed) Rewind(height int64) error {
+	if height <= int64(len(f.hashes)) {
+		f.hashes = f.hashes[:height]
+		return nil
+	}
+	for int64(len(f.hashes)) < height {
+		h, ok := f.node.HashAt(int64(len(f.hashes)))
+		if !ok {
+			return nil // node shorter than requested; deliver from here
+		}
+		f.hashes = append(f.hashes, h)
+	}
+	return nil
+}
+
 // Buffered reports whether the node already holds the next height.
-func (f *NodeFeed) Buffered() bool { return f.node.Height() >= f.next }
+func (f *NodeFeed) Buffered() bool { return f.node.Height() >= int64(len(f.hashes)) }
 
 // Close is a no-op; the caller owns the node.
 func (f *NodeFeed) Close() error { return nil }

@@ -1,0 +1,100 @@
+package serve
+
+import "sync"
+
+// publisher runs epoch publishes on a dedicated worker goroutine so the
+// classifier recompute — the expensive, non-monotone part of a publish —
+// never stalls the ingest loop. It is single-flight with latest-wins
+// coalescing: at most one substrate is queued, and submitting a newer one
+// replaces a queued older one (the epoch-monotone snapshot install makes
+// skipping intermediate epochs safe). One producer (the ingest goroutine),
+// one worker.
+type publisher struct {
+	ing *Ingester
+	ck  *CheckpointStore // nil: publish only, no persistence
+
+	// gate, when non-nil, runs on the worker before each publish — the test
+	// seam for making a publish observably slow.
+	gate func(*substrate)
+
+	subs chan *substrate // capacity 1: the coalescing slot
+	done chan struct{}   // closed when the worker drains and exits
+
+	stopOnce sync.Once
+
+	mu       sync.Mutex
+	firstErr error
+}
+
+// newPublisher starts the worker goroutine. Callers must stop() it; stop is
+// the join point that guarantees the goroutine exited.
+func newPublisher(ing *Ingester, ck *CheckpointStore, gate func(*substrate)) *publisher {
+	p := &publisher{
+		ing:  ing,
+		ck:   ck,
+		gate: gate,
+		subs: make(chan *substrate, 1),
+		done: make(chan struct{}),
+	}
+	go p.run()
+	return p
+}
+
+// run is the worker loop: publish every substrate that survives coalescing,
+// until the submit channel closes.
+func (p *publisher) run() {
+	defer close(p.done)
+	for sub := range p.subs {
+		p.publish(sub)
+	}
+}
+
+// publish installs one substrate's snapshot and, when a store is attached,
+// checkpoints the substrate. The first error (only checkpointing can fail)
+// is latched for the producer.
+func (p *publisher) publish(sub *substrate) {
+	if p.gate != nil {
+		p.gate(sub)
+	}
+	p.ing.publishFrom(sub)
+	if p.ck != nil {
+		if err := p.ck.saveSub(sub); err != nil {
+			p.mu.Lock()
+			if p.firstErr == nil {
+				p.firstErr = err
+			}
+			p.mu.Unlock()
+		}
+	}
+}
+
+// submit hands a substrate to the worker, displacing a still-queued older
+// one (latest wins). Never blocks: with one producer, the drain-and-retry
+// loop runs at most twice. Producer goroutine only.
+func (p *publisher) submit(sub *substrate) {
+	for {
+		select {
+		case p.subs <- sub:
+			return
+		default:
+		}
+		select {
+		case <-p.subs: // displace the stale queued substrate
+		default: // worker grabbed it between the two selects
+		}
+	}
+}
+
+// stop closes the submit channel and waits for the worker to finish any
+// in-flight publish and exit. Idempotent.
+func (p *publisher) stop() {
+	p.stopOnce.Do(func() { close(p.subs) })
+	<-p.done
+}
+
+// err returns the first error the worker hit, if any.
+func (p *publisher) err() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.firstErr
+}

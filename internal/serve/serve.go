@@ -5,25 +5,39 @@
 // block, instead of rebuilding the world per run the way the batch pipeline
 // does.
 //
-// The cost model follows from which indexes are monotone under chain growth:
+// # Lifecycle
 //
-//   - Heuristic 1 unions, address balances, first-seen/first-self-change/
-//     first-reuse markers, and the per-address appearance lists only ever
-//     gain information, so the Ingester maintains them exactly per block in
-//     O(block) via txgraph.Appender and a growable cluster.UnionFind.
-//   - Heuristic 2 change labels and cluster naming are NOT monotone (the
-//     wait-window suppresses labels retroactively and the dice set is
-//     derived from H1 naming votes), so Publish recomputes them over the
-//     incrementally maintained substrate. That recompute is the same
-//     sharded classifier the batch pipeline runs — no hashing, no signing —
-//     so publishing stays far cheaper than a batch rebuild.
+// The state machine has three moving parts, each with a fixed thread role:
 //
-// Queries never touch live state: Publish assembles an immutable Snapshot
-// and installs it behind an atomic pointer, so readers see a consistent
-// epoch and block-apply never waits on a reader. A snapshot published at
-// height H answers every query byte-identically to a batch pipeline built
-// over the same chain prefix; the root package's equivalence tests pin that
-// contract.
+//   - The Ingester owns the live state. ApplyBlock (ingest goroutine only)
+//     extends every monotone index in O(block): the graph via
+//     txgraph.Appender, Heuristic 1 unions, balance deltas. Heuristic 2
+//     change labels and cluster naming are NOT monotone (the wait window
+//     suppresses labels retroactively and the dice set derives from naming
+//     votes), so they are recomputed per publish.
+//   - Publish snapshots the live state. It freezes an immutable substrate
+//     (Appender.Freeze plus a forest clone and balance copy) on the ingest
+//     goroutine, then runs the non-monotone analytics — the same sharded
+//     classifier the batch pipeline uses — over the frozen substrate and
+//     installs the result. Because the substrate is frozen, that second
+//     phase can run off-thread: the Daemon hands it to a single-flight
+//     publish worker with latest-wins coalescing, so a slow epoch build
+//     never stalls tailing at the tip.
+//   - The Snapshot is the immutable product. It is installed behind an
+//     atomic pointer with a monotone epoch, so readers always see a complete
+//     epoch and block-apply never waits on a reader. A snapshot at height H
+//     answers every query byte-identically to a batch pipeline built over
+//     the same chain prefix; the root package's equivalence tests pin that.
+//
+// # Persistence and reorgs
+//
+// The frozen substrate is also the unit of persistence: WriteCheckpoint
+// serializes it in the framed, CRC-guarded checkpoint format specified in
+// docs/FORMATS.md, and ReadCheckpoint restores an Ingester that resumes
+// byte-identically. The Daemon checkpoints each published epoch through a
+// CheckpointStore and, when a feed signals that history was rewritten
+// (RewindError), rolls back to the newest checkpoint at or below the fork
+// and replays. See docs/OPERATIONS.md for the operational contract.
 package serve
 
 import (
@@ -68,14 +82,29 @@ type Ingester struct {
 	ap     *txgraph.Appender
 	forest *cluster.UnionFind
 
-	// balances and addrs grow in AddrID order alongside the graph's intern
-	// table; sortedAddrs is the last published query index over them.
+	// balances grows in AddrID order alongside the graph's intern table;
+	// sorted is the last frozen query index over the address table; tip is
+	// the hash of the last applied block (ZeroHash before any), the
+	// continuity anchor for checkpoint resume.
 	balances []chain.Amount
-	addrs    []address.Address
 	sorted   []txgraph.AddrID
+	tip      chain.Hash
 
 	epoch uint64
 	snap  atomicSnapshot
+}
+
+// substrate is one epoch's frozen measurement state: everything a publish —
+// or a checkpoint write — needs, fully isolated from future appends. freeze
+// produces it on the ingest goroutine; after that it is immutable and safe
+// to hand to the publish worker.
+type substrate struct {
+	epoch    uint64
+	tip      chain.Hash
+	g        *txgraph.Graph
+	forest   *cluster.UnionFind
+	balances []chain.Amount
+	sorted   []txgraph.AddrID
 }
 
 // NewIngester returns an Ingester over an empty chain and publishes the
@@ -95,22 +124,20 @@ func NewIngester(an Analysis) *Ingester {
 }
 
 // ApplyBlock indexes one block into every monotone structure: the graph via
-// the Appender, Heuristic 1 unions for the block's new transactions, balance
-// deltas, and the address mirror the snapshots alias. O(block).
+// the Appender, Heuristic 1 unions for the block's new transactions, and
+// balance deltas. O(block).
 func (ing *Ingester) ApplyBlock(b *chain.Block) error {
 	g := ing.ap.Graph()
 	base := g.NumTxs()
 	if err := ing.ap.AppendBlock(b); err != nil {
 		return err
 	}
+	ing.tip = b.BlockHash()
 
 	n := g.NumAddrs()
 	ing.forest.Grow(n)
 	for len(ing.balances) < n {
 		ing.balances = append(ing.balances, 0)
-	}
-	for id := len(ing.addrs); id < n; id++ {
-		ing.addrs = append(ing.addrs, g.Addr(txgraph.AddrID(id)))
 	}
 
 	for seq := base; seq < g.NumTxs(); seq++ {
@@ -140,35 +167,64 @@ func (ing *Ingester) ApplyBlock(b *chain.Block) error {
 	return nil
 }
 
-// Publish flattens the appearance index, re-runs the non-monotone analytics
-// (refined Heuristic 2 and naming) over the current prefix, and installs a
-// new immutable Snapshot. It runs on the ingest goroutine; the published
-// snapshot shares only data that future appends never rewrite.
-func (ing *Ingester) Publish() *Snapshot {
-	g := ing.ap.Refresh()
+// Height returns the chain height applied so far, -1 before any block.
+// Ingest goroutine only.
+func (ing *Ingester) Height() int64 { return ing.ap.Graph().Height() }
+
+// TipHash returns the hash of the last applied block, or chain.ZeroHash
+// before any. The Daemon compares it against each incoming block's
+// previous-block hash, so state restored from a checkpoint that no longer
+// matches the feed's history is detected instead of silently extended.
+// Ingest goroutine only.
+func (ing *Ingester) TipHash() chain.Hash { return ing.tip }
+
+// freeze captures the current state as an immutable substrate: the graph
+// via Appender.Freeze, a forest clone, a balance copy, and the merged
+// sorted-address index. It advances the epoch — every substrate publishes
+// (or is coalesced away) under its own epoch number. Ingest goroutine only.
+func (ing *Ingester) freeze() *substrate {
+	g := ing.ap.Freeze()
+	n := g.NumAddrs()
+	balances := make([]chain.Amount, n)
+	copy(balances, ing.balances)
+	ing.sorted = mergeSortedAddrs(ing.sorted, g.Addrs(), n)
+	ing.epoch++
+	return &substrate{
+		epoch:    ing.epoch,
+		tip:      ing.tip,
+		g:        g,
+		forest:   ing.forest.Clone(),
+		balances: balances,
+		sorted:   ing.sorted,
+	}
+}
+
+// publishFrom runs the non-monotone analytics (refined Heuristic 2 and
+// naming) over a frozen substrate and installs the resulting Snapshot.
+// Because the substrate is immutable it is safe to call from any single
+// goroutine — the publish worker in the common path, the ingest goroutine
+// for synchronous publishes. Snapshots install with a monotone epoch: a
+// late worker publish can never overwrite a newer one.
+func (ing *Ingester) publishFrom(sub *substrate) *Snapshot {
+	g := sub.g
 	n := g.NumAddrs()
 
-	// The H1 clustering takes ownership of the forest it is handed, so give
-	// it a clone; the live forest keeps growing.
-	h1 := cluster.ClusteringFromForest(g, ing.forest.Clone())
+	// The H1 clustering takes ownership of the forest it is handed, and
+	// even lookups path-compress, so both clusterings get their own copy;
+	// sub.forest itself stays pristine for the checkpoint write.
+	h1 := cluster.ClusteringFromForest(g, sub.forest.Clone())
 	namingH1 := tags.NameClusters(h1, g, ing.an.Tags)
 	dice := tags.ServiceAddrSet(h1, namingH1, g, ing.an.DiceNames)
-	refined := cluster.Heuristic2OnForest(g, cluster.Refined(dice, ing.an.WaitBlocks), ing.forest, ing.workers)
+	refined := cluster.Heuristic2OnForest(g, cluster.Refined(dice, ing.an.WaitBlocks), sub.forest, ing.workers)
 	naming := tags.NameClusters(refined, g, ing.an.Tags)
 
-	// Force every lazily cached view now, while we are alone with the live
-	// graph: the sync.Once fields read g's CSR arrays, which the next
-	// Refresh will rewrite.
+	// Force every lazily cached view now so post-publish queries are pure
+	// reads of cached state.
 	forceClustering(h1)
 	forceClustering(refined)
 
-	balances := make([]chain.Amount, n)
-	copy(balances, ing.balances)
-	ing.sorted = mergeSortedAddrs(ing.sorted, ing.addrs, n)
-
-	ing.epoch++
 	s := &Snapshot{
-		Epoch:    ing.epoch,
+		Epoch:    sub.epoch,
 		Height:   g.Height(),
 		NumTxs:   g.NumTxs(),
 		NumAddrs: n,
@@ -177,23 +233,64 @@ func (ing *Ingester) Publish() *Snapshot {
 		Refined:  refined,
 		Naming:   naming,
 		Tags:     ing.an.Tags,
-		balances: balances,
-		// Aliasing the mirror is race-safe: appends beyond n never rewrite
-		// [0, n), and the full-capacity slice keeps later appends from
-		// landing in this window.
-		addrs:  ing.addrs[:n:n],
-		sorted: ing.sorted,
+		balances: sub.balances,
+		addrs:    g.Addrs(),
+		sorted:   sub.sorted,
 	}
-	ing.snap.Store(s)
-	return s
+	for {
+		cur := ing.snap.Load()
+		if cur != nil && cur.Epoch >= s.Epoch {
+			return s
+		}
+		if ing.snap.CompareAndSwap(cur, s) {
+			return s
+		}
+	}
+}
+
+// Publish freezes the current state and publishes it synchronously on the
+// calling (ingest) goroutine — freeze plus publishFrom in one step. The
+// Daemon uses the split form to keep the analytics off the ingest loop;
+// Publish remains the simple path for tests and bounded sources.
+func (ing *Ingester) Publish() *Snapshot {
+	return ing.publishFrom(ing.freeze())
 }
 
 // Snapshot returns the most recently published snapshot. Safe from any
 // goroutine; never nil.
 func (ing *Ingester) Snapshot() *Snapshot { return ing.snap.Load() }
 
-// Epoch returns the number of snapshots published so far.
+// Epoch returns the number of epochs frozen so far. Ingest goroutine only;
+// readers should use Snapshot().Epoch, which reports the epoch actually
+// published.
 func (ing *Ingester) Epoch() uint64 { return ing.epoch }
+
+// adoptFrom replaces the live state with another Ingester's — the rollback
+// path after a reorg, where other was just restored from a checkpoint. The
+// epoch keeps its maximum so snapshot installs stay monotone across the
+// rollback; the sorted index is taken from other (it indexes the restored
+// address table). Ingest goroutine only.
+func (ing *Ingester) adoptFrom(other *Ingester) {
+	ing.ap = other.ap
+	ing.forest = other.forest
+	ing.balances = other.balances
+	ing.sorted = other.sorted
+	ing.tip = other.tip
+	if other.epoch > ing.epoch {
+		ing.epoch = other.epoch
+	}
+}
+
+// reset discards the live state back to the empty chain, keeping the epoch
+// counter — the rollback path when no usable checkpoint exists. Ingest
+// goroutine only.
+func (ing *Ingester) reset() {
+	ing.ap = txgraph.NewAppender(ing.an.Workers)
+	ing.forest = cluster.NewUnionFind(0)
+	ing.balances = nil
+	ing.sorted = nil
+	ing.tip = chain.Hash{}
+}
 
 // forceClustering materializes every lazily computed view of a clustering so
 // post-publish queries are pure reads of cached state.

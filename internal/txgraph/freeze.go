@@ -1,0 +1,95 @@
+package txgraph
+
+import (
+	"repro/internal/address"
+	"repro/internal/chain"
+	"repro/internal/par"
+)
+
+// Freeze returns an immutable copy of the graph over the blocks appended so
+// far — the substrate an off-thread snapshot publish runs on while the
+// ingest goroutine keeps appending. It must be called from the goroutine
+// that owns the Appender; the returned graph is then safe to read from any
+// goroutine, forever.
+//
+// The copy is as shallow as the live graph's mutation pattern allows:
+//
+//   - addrs and firstSeen are write-once at address creation, so the frozen
+//     graph aliases the current prefix with full-capacity slices — later
+//     appends can never land inside the window. firstSelfChange and
+//     firstReuse are copied: an address interned before the freeze records
+//     its first self-change or reuse whenever it happens, which mutates
+//     existing slots.
+//   - TxInfo structs are copied because later appends mutate the SpentBy /
+//     SpentByIn entries of earlier transactions (spending their outputs)
+//     through shared arenas; those two arenas are duplicated and every
+//     frozen TxInfo is redirected into the duplicates. All other TxInfo
+//     slices (inputs, output addrs/values) are write-once and stay aliased.
+//   - The intern shards and the txSeq map are copied: map reads are not safe
+//     against concurrent inserts, and publish-time naming resolves tags via
+//     LookupAddr.
+//   - The CSR appearance index is built fresh from the appender's live
+//     per-address lists, exactly as Refresh lays it out.
+func (a *Appender) Freeze() *Graph {
+	g := a.g
+	n := len(g.addrs)
+	m := len(g.txs)
+	fg := &Graph{
+		addrs:           g.addrs[:n:n],
+		firstSeen:       g.firstSeen[:n:n],
+		firstSelfChange: append([]TxSeq(nil), g.firstSelfChange[:n]...),
+		firstReuse:      append([]TxSeq(nil), g.firstReuse[:n]...),
+		height:          g.height,
+		lookup:          newAddrIntern(),
+		txSeq:           make(map[chain.Hash]TxSeq, m),
+	}
+
+	par.ForEach(numInternShards, a.workers, func(start, end int) {
+		for s := start; s < end; s++ {
+			src := g.lookup.shards[s]
+			dst := make(map[address.Address]AddrID, len(src))
+			for k, v := range src {
+				dst[k] = v
+			}
+			fg.lookup.shards[s] = dst
+		}
+	})
+	for k, v := range g.txSeq {
+		fg.txSeq[k] = v
+	}
+
+	fg.txs = make([]TxInfo, m)
+	copy(fg.txs, g.txs)
+	totalOuts := 0
+	for i := range fg.txs {
+		totalOuts += len(fg.txs[i].SpentBy)
+	}
+	spentBy := make([]TxSeq, totalOuts)
+	spentIn := make([]uint32, totalOuts)
+	off := 0
+	for i := range fg.txs {
+		t := &fg.txs[i]
+		k := len(t.SpentBy)
+		copy(spentBy[off:off+k], t.SpentBy)
+		copy(spentIn[off:off+k], t.SpentByIn)
+		t.SpentBy = spentBy[off : off+k : off+k]
+		t.SpentByIn = spentIn[off : off+k : off+k]
+		off += k
+	}
+
+	fg.recvOff = make([]uint32, n+1)
+	fg.spendOff = make([]uint32, n+1)
+	for i := 0; i < n; i++ {
+		fg.recvOff[i+1] = fg.recvOff[i] + uint32(len(a.recvs[i]))
+		fg.spendOff[i+1] = fg.spendOff[i] + uint32(len(a.spends[i]))
+	}
+	fg.recvTxs = make([]TxSeq, fg.recvOff[n])
+	fg.spendTxs = make([]TxSeq, fg.spendOff[n])
+	par.ForEach(n, a.workers, func(start, end int) {
+		for i := start; i < end; i++ {
+			copy(fg.recvTxs[fg.recvOff[i]:fg.recvOff[i+1]], a.recvs[i])
+			copy(fg.spendTxs[fg.spendOff[i]:fg.spendOff[i+1]], a.spends[i])
+		}
+	})
+	return fg
+}

@@ -301,6 +301,12 @@ func (g *Graph) Height() int64 { return g.height }
 // Addr returns the address for an id.
 func (g *Graph) Addr(id AddrID) address.Address { return g.addrs[id] }
 
+// Addrs returns the interned address table, indexed by AddrID. On a live
+// graph the table is append-only (existing entries are never rewritten); on
+// a frozen graph (Appender.Freeze) it is immutable. Callers must not mutate
+// it.
+func (g *Graph) Addrs() []address.Address { return g.addrs }
+
 // LookupAddr returns the id of an address, if it appears in the chain.
 func (g *Graph) LookupAddr(a address.Address) (AddrID, bool) {
 	return g.lookup.get(a)

@@ -1,0 +1,360 @@
+package txgraph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/address"
+	"repro/internal/chain"
+	"repro/internal/par"
+)
+
+// The graph's on-disk shape (the checkpoint's GRPH section payload — see
+// docs/FORMATS.md) is the monotone state only: the address table with its
+// per-address first-appearance indexes, and every TxInfo. Everything else a
+// live Appender holds is derivable deterministically on restore — the intern
+// shards from the address table, the tx-id map from the TxInfo ids, and the
+// per-address appearance lists by replaying the serialized transactions in
+// order — so the encoding stays compact and, crucially, contains no
+// map-iteration-order bytes: the same graph always serializes identically.
+
+// graphStateVersion guards the GRPH payload layout; bump on any change.
+const graphStateVersion = 1
+
+// txFlag bits in the per-transaction flags byte.
+const (
+	txFlagCoinbase   = 1 << 0
+	txFlagSelfChange = 1 << 1
+)
+
+// WriteState serializes the graph's monotone state. It must not run
+// concurrently with appends: call it from the ingest goroutine, or on a
+// frozen graph (see Appender.Freeze).
+func (g *Graph) WriteState(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	totalIns, totalOuts := 0, 0
+	for i := range g.txs {
+		totalIns += len(g.txs[i].InputAddrs)
+		totalOuts += len(g.txs[i].OutputAddrs)
+	}
+
+	var hdr [44]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], graphStateVersion)
+	binary.LittleEndian.PutUint64(hdr[4:12], uint64(len(g.addrs)))
+	binary.LittleEndian.PutUint64(hdr[12:20], uint64(len(g.txs)))
+	binary.LittleEndian.PutUint64(hdr[20:28], uint64(totalIns))
+	binary.LittleEndian.PutUint64(hdr[28:36], uint64(totalOuts))
+	binary.LittleEndian.PutUint64(hdr[36:44], uint64(g.height))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return fmt.Errorf("txgraph: write state header: %w", err)
+	}
+
+	for i := range g.addrs {
+		a := &g.addrs[i]
+		if err := bw.WriteByte(a.Version); err != nil {
+			return fmt.Errorf("txgraph: write address table: %w", err)
+		}
+		if _, err := bw.Write(a.Hash[:]); err != nil {
+			return fmt.Errorf("txgraph: write address table: %w", err)
+		}
+	}
+	if err := writeTxSeqs(bw, g.firstSeen); err != nil {
+		return fmt.Errorf("txgraph: write firstSeen: %w", err)
+	}
+	if err := writeTxSeqs(bw, g.firstSelfChange); err != nil {
+		return fmt.Errorf("txgraph: write firstSelfChange: %w", err)
+	}
+	if err := writeTxSeqs(bw, g.firstReuse); err != nil {
+		return fmt.Errorf("txgraph: write firstReuse: %w", err)
+	}
+
+	var rec [17]byte // ID is written separately; this holds height + flags
+	for i := range g.txs {
+		t := &g.txs[i]
+		if _, err := bw.Write(t.ID[:]); err != nil {
+			return fmt.Errorf("txgraph: write tx %d: %w", i, err)
+		}
+		binary.LittleEndian.PutUint64(rec[0:8], uint64(t.Height))
+		var flags byte
+		if t.Coinbase {
+			flags |= txFlagCoinbase
+		}
+		if t.SelfChange {
+			flags |= txFlagSelfChange
+		}
+		rec[8] = flags
+		binary.LittleEndian.PutUint32(rec[9:13], uint32(len(t.InputAddrs)))
+		binary.LittleEndian.PutUint32(rec[13:17], uint32(len(t.OutputAddrs)))
+		if _, err := bw.Write(rec[:]); err != nil {
+			return fmt.Errorf("txgraph: write tx %d: %w", i, err)
+		}
+		var quad [16]byte
+		for j := range t.InputAddrs {
+			binary.LittleEndian.PutUint32(quad[0:4], uint32(t.InputAddrs[j]))
+			binary.LittleEndian.PutUint64(quad[4:12], uint64(t.InputValues[j]))
+			binary.LittleEndian.PutUint32(quad[12:16], uint32(t.InputSrc[j]))
+			if _, err := bw.Write(quad[:]); err != nil {
+				return fmt.Errorf("txgraph: write tx %d inputs: %w", i, err)
+			}
+			binary.LittleEndian.PutUint32(quad[0:4], t.InputSrcOut[j])
+			if _, err := bw.Write(quad[:4]); err != nil {
+				return fmt.Errorf("txgraph: write tx %d inputs: %w", i, err)
+			}
+		}
+		for j := range t.OutputAddrs {
+			binary.LittleEndian.PutUint32(quad[0:4], uint32(t.OutputAddrs[j]))
+			binary.LittleEndian.PutUint64(quad[4:12], uint64(t.OutputValues[j]))
+			binary.LittleEndian.PutUint32(quad[12:16], uint32(t.SpentBy[j]))
+			if _, err := bw.Write(quad[:]); err != nil {
+				return fmt.Errorf("txgraph: write tx %d outputs: %w", i, err)
+			}
+			binary.LittleEndian.PutUint32(quad[0:4], t.SpentByIn[j])
+			if _, err := bw.Write(quad[:4]); err != nil {
+				return fmt.Errorf("txgraph: write tx %d outputs: %w", i, err)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// AppenderFromState reads a graph serialized by WriteState and returns an
+// Appender positioned to continue appending from the next block, with every
+// derived structure — intern shards, tx-id map, per-address appearance lists
+// — rebuilt deterministically. Appending the same blocks to the result
+// yields a graph byte-identical to one that ingested the whole chain cold;
+// the serve package's resume-equivalence test pins that.
+//
+// The reader is validated structurally (ids in range, spend links
+// consistent), so a corrupt or truncated payload fails with an error rather
+// than a wrong graph.
+func AppenderFromState(r io.Reader, workers int) (*Appender, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var hdr [44]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("txgraph: read state header: %w", err)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[0:4]); v != graphStateVersion {
+		return nil, fmt.Errorf("txgraph: state version %d, want %d", v, graphStateVersion)
+	}
+	n := int(binary.LittleEndian.Uint64(hdr[4:12]))
+	m := int(binary.LittleEndian.Uint64(hdr[12:20]))
+	totalIns := int(binary.LittleEndian.Uint64(hdr[20:28]))
+	totalOuts := int(binary.LittleEndian.Uint64(hdr[28:36]))
+	height := int64(binary.LittleEndian.Uint64(hdr[36:44]))
+	if n < 0 || m < 0 || totalIns < 0 || totalOuts < 0 || totalOuts < n {
+		return nil, fmt.Errorf("txgraph: implausible state header (addrs=%d txs=%d ins=%d outs=%d)",
+			n, m, totalIns, totalOuts)
+	}
+
+	g := &Graph{
+		addrs:     make([]address.Address, n),
+		lookup:    newAddrIntern(),
+		txs:       make([]TxInfo, m),
+		txSeq:     make(map[chain.Hash]TxSeq, m),
+		firstSeen: make([]TxSeq, n),
+		height:    height,
+	}
+	for i := range g.addrs {
+		a := &g.addrs[i]
+		var err error
+		if a.Version, err = br.ReadByte(); err == nil {
+			_, err = io.ReadFull(br, a.Hash[:])
+		}
+		if err != nil {
+			return nil, fmt.Errorf("txgraph: read address table: %w", err)
+		}
+		shard := g.lookup.shards[internShard(a)]
+		if _, dup := shard[*a]; dup {
+			return nil, fmt.Errorf("txgraph: duplicate address at id %d", i)
+		}
+		shard[*a] = AddrID(i)
+	}
+	g.firstSelfChange = make([]TxSeq, n)
+	g.firstReuse = make([]TxSeq, n)
+	if err := readTxSeqs(br, g.firstSeen); err != nil {
+		return nil, fmt.Errorf("txgraph: read firstSeen: %w", err)
+	}
+	if err := readTxSeqs(br, g.firstSelfChange); err != nil {
+		return nil, fmt.Errorf("txgraph: read firstSelfChange: %w", err)
+	}
+	if err := readTxSeqs(br, g.firstReuse); err != nil {
+		return nil, fmt.Errorf("txgraph: read firstReuse: %w", err)
+	}
+
+	// One arena per side for the whole prefix, exact capacity, so TxInfo
+	// subslices never reallocate — the same invariant the window arenas keep.
+	ar := &txArena{
+		inAddrs:  make([]AddrID, 0, totalIns),
+		inVals:   make([]chain.Amount, 0, totalIns),
+		inSrc:    make([]TxSeq, 0, totalIns),
+		inSrcOut: make([]uint32, 0, totalIns),
+		outAddrs: make([]AddrID, 0, totalOuts),
+		outVals:  make([]chain.Amount, 0, totalOuts),
+		spentBy:  make([]TxSeq, 0, totalOuts),
+		spentIn:  make([]uint32, 0, totalOuts),
+	}
+	var rec [17]byte
+	var quad [16]byte
+	for i := 0; i < m; i++ {
+		t := &g.txs[i]
+		if _, err := io.ReadFull(br, t.ID[:]); err != nil {
+			return nil, fmt.Errorf("txgraph: read tx %d: %w", i, err)
+		}
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return nil, fmt.Errorf("txgraph: read tx %d: %w", i, err)
+		}
+		t.Height = int64(binary.LittleEndian.Uint64(rec[0:8]))
+		t.Coinbase = rec[8]&txFlagCoinbase != 0
+		t.SelfChange = rec[8]&txFlagSelfChange != 0
+		nin := int(binary.LittleEndian.Uint32(rec[9:13]))
+		nout := int(binary.LittleEndian.Uint32(rec[13:17]))
+		if nin > totalIns-len(ar.inAddrs) || nout > totalOuts-len(ar.outAddrs) {
+			return nil, fmt.Errorf("txgraph: tx %d overflows declared input/output totals", i)
+		}
+		if _, dup := g.txSeq[t.ID]; dup {
+			return nil, fmt.Errorf("txgraph: duplicate tx id at seq %d", i)
+		}
+		g.txSeq[t.ID] = TxSeq(i)
+
+		base := len(ar.inAddrs)
+		ar.inAddrs = ar.inAddrs[:base+nin]
+		ar.inVals = ar.inVals[:base+nin]
+		ar.inSrc = ar.inSrc[:base+nin]
+		ar.inSrcOut = ar.inSrcOut[:base+nin]
+		t.InputAddrs = ar.inAddrs[base : base+nin : base+nin]
+		t.InputValues = ar.inVals[base : base+nin : base+nin]
+		t.InputSrc = ar.inSrc[base : base+nin : base+nin]
+		t.InputSrcOut = ar.inSrcOut[base : base+nin : base+nin]
+		for j := 0; j < nin; j++ {
+			if _, err := io.ReadFull(br, quad[:]); err != nil {
+				return nil, fmt.Errorf("txgraph: read tx %d inputs: %w", i, err)
+			}
+			t.InputAddrs[j] = AddrID(binary.LittleEndian.Uint32(quad[0:4]))
+			t.InputValues[j] = chain.Amount(binary.LittleEndian.Uint64(quad[4:12]))
+			t.InputSrc[j] = TxSeq(binary.LittleEndian.Uint32(quad[12:16]))
+			if _, err := io.ReadFull(br, quad[:4]); err != nil {
+				return nil, fmt.Errorf("txgraph: read tx %d inputs: %w", i, err)
+			}
+			t.InputSrcOut[j] = binary.LittleEndian.Uint32(quad[0:4])
+			if id := t.InputAddrs[j]; id != NoAddr && int(id) >= n {
+				return nil, fmt.Errorf("txgraph: tx %d input %d address %d out of range", i, j, id)
+			}
+			if src := t.InputSrc[j]; int(src) >= i {
+				return nil, fmt.Errorf("txgraph: tx %d input %d spends tx %d not earlier in order", i, j, src)
+			}
+		}
+
+		base = len(ar.outAddrs)
+		ar.outAddrs = ar.outAddrs[:base+nout]
+		ar.outVals = ar.outVals[:base+nout]
+		ar.spentBy = ar.spentBy[:base+nout]
+		ar.spentIn = ar.spentIn[:base+nout]
+		t.OutputAddrs = ar.outAddrs[base : base+nout : base+nout]
+		t.OutputValues = ar.outVals[base : base+nout : base+nout]
+		t.SpentBy = ar.spentBy[base : base+nout : base+nout]
+		t.SpentByIn = ar.spentIn[base : base+nout : base+nout]
+		for j := 0; j < nout; j++ {
+			if _, err := io.ReadFull(br, quad[:]); err != nil {
+				return nil, fmt.Errorf("txgraph: read tx %d outputs: %w", i, err)
+			}
+			t.OutputAddrs[j] = AddrID(binary.LittleEndian.Uint32(quad[0:4]))
+			t.OutputValues[j] = chain.Amount(binary.LittleEndian.Uint64(quad[4:12]))
+			t.SpentBy[j] = TxSeq(binary.LittleEndian.Uint32(quad[12:16]))
+			if _, err := io.ReadFull(br, quad[:4]); err != nil {
+				return nil, fmt.Errorf("txgraph: read tx %d outputs: %w", i, err)
+			}
+			t.SpentByIn[j] = binary.LittleEndian.Uint32(quad[0:4])
+			if id := t.OutputAddrs[j]; id != NoAddr && int(id) >= n {
+				return nil, fmt.Errorf("txgraph: tx %d output %d address %d out of range", i, j, id)
+			}
+			if sb := t.SpentBy[j]; sb != NoTx && int(sb) >= m {
+				return nil, fmt.Errorf("txgraph: tx %d output %d spender %d out of range", i, j, sb)
+			}
+		}
+		// Spend links must agree with the spender recorded on the source
+		// output — the cheap cross-check that catches shuffled payloads a
+		// per-field range check would miss.
+		for j, src := range t.InputSrc {
+			so := t.InputSrcOut[j]
+			st := &g.txs[src]
+			if int(so) >= len(st.SpentBy) || st.SpentBy[so] != TxSeq(i) {
+				return nil, fmt.Errorf("txgraph: tx %d input %d spend link inconsistent", i, j)
+			}
+		}
+	}
+	if len(ar.inAddrs) != totalIns || len(ar.outAddrs) != totalOuts {
+		return nil, fmt.Errorf("txgraph: state declares %d/%d input/output slots, found %d/%d",
+			totalIns, totalOuts, len(ar.inAddrs), len(ar.outAddrs))
+	}
+
+	a := &Appender{
+		g:       g,
+		workers: par.Workers(workers),
+		recvs:   make([][]TxSeq, n),
+		spends:  make([][]TxSeq, n),
+	}
+	// Replay the appearance lists exactly as AppendBlock maintains them —
+	// per-tx spend dedup included — so the restored appender's next Freeze
+	// lays out the same CSR a cold ingest would.
+	for i := range g.txs {
+		t := &g.txs[i]
+		seq := TxSeq(i)
+		for _, id := range t.InputAddrs {
+			if id == NoAddr {
+				continue
+			}
+			if s := a.spends[id]; len(s) > 0 && s[len(s)-1] == seq {
+				continue
+			}
+			a.spends[id] = append(a.spends[id], seq)
+		}
+		for _, id := range t.OutputAddrs {
+			if id == NoAddr {
+				continue
+			}
+			a.recvs[id] = append(a.recvs[id], seq)
+		}
+	}
+	return a, nil
+}
+
+// writeTxSeqs emits a []TxSeq as packed little-endian words.
+func writeTxSeqs(w io.Writer, xs []TxSeq) error {
+	buf := make([]byte, 0, 4096)
+	for _, x := range xs {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(x))
+		if len(buf) == cap(buf) {
+			if _, err := w.Write(buf); err != nil {
+				return err
+			}
+			buf = buf[:0]
+		}
+	}
+	if len(buf) > 0 {
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readTxSeqs fills xs from packed little-endian words.
+func readTxSeqs(r io.Reader, xs []TxSeq) error {
+	buf := make([]byte, 4096)
+	for len(xs) > 0 {
+		k := len(xs)
+		if k > len(buf)/4 {
+			k = len(buf) / 4
+		}
+		if _, err := io.ReadFull(r, buf[:4*k]); err != nil {
+			return err
+		}
+		for i := 0; i < k; i++ {
+			xs[i] = TxSeq(binary.LittleEndian.Uint32(buf[4*i:]))
+		}
+		xs = xs[k:]
+	}
+	return nil
+}

@@ -21,6 +21,19 @@ type ServeOptions struct {
 	// is catching up through a backlog; at the tip it publishes after every
 	// block. <= 0 means serve.DefaultPublishEvery.
 	PublishEvery int
+
+	// CheckpointDir, when non-empty, makes the daemon restartable: every
+	// published epoch is checkpointed there (see docs/FORMATS.md for the file
+	// format), startup resumes from the newest checkpoint instead of
+	// replaying the whole chain, and reorg rollbacks restore from the
+	// nearest checkpoint below the fork. A present-but-corrupt checkpoint is
+	// a startup error, not a silent cold start; delete the file to rebuild
+	// (see docs/OPERATIONS.md).
+	CheckpointDir string
+
+	// CheckpointKeep is how many newest checkpoints to retain; <= 0 means
+	// serve.DefaultCheckpointKeep.
+	CheckpointKeep int
 }
 
 // Server is the `fistful serve` daemon: it tails the selected chain source,
@@ -80,7 +93,22 @@ func NewServer(ctx context.Context, cfg Config, opts ServeOptions) (*Server, err
 	if w != nil {
 		an = analysisFromWorld(w, workers)
 	}
+
+	var ck *serve.CheckpointStore
 	ing := serve.NewIngester(an)
+	if opts.CheckpointDir != "" {
+		ck, err = serve.NewCheckpointStore(opts.CheckpointDir, opts.CheckpointKeep)
+		if err != nil {
+			return nil, fmt.Errorf("fistful: %w", err)
+		}
+		restored, ok, err := ck.LoadLatest(an)
+		if err != nil {
+			return nil, fmt.Errorf("fistful: %w", err)
+		}
+		if ok {
+			ing = restored
+		}
+	}
 
 	switch src.kind {
 	case srcGenerate, srcGenerateToFile, srcWorld:
@@ -95,8 +123,11 @@ func NewServer(ctx context.Context, cfg Config, opts ServeOptions) (*Server, err
 	}
 
 	return &Server{
-		daemon: serve.NewDaemon(ing, feed, opts.PublishEvery),
-		api:    serve.NewAPI(ing),
+		daemon: serve.NewDaemonOpts(ing, feed, serve.DaemonOptions{
+			PublishEvery: opts.PublishEvery,
+			Checkpoints:  ck,
+		}),
+		api: serve.NewAPI(ing),
 	}, nil
 }
 
