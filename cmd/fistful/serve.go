@@ -14,6 +14,7 @@ import (
 	"time"
 
 	fistful "repro"
+	"repro/internal/serve"
 )
 
 // serveConfig holds the parsed serve flags; registerServeFlags is split out
@@ -27,6 +28,9 @@ type serveConfig struct {
 	chainFile      *string
 	checkpointDir  *string
 	checkpointKeep *int
+	retryMax       *int
+	retryBaseDelay *time.Duration
+	retryMaxDelay  *time.Duration
 }
 
 // registerServeFlags declares every `fistful serve` flag on fs.
@@ -45,6 +49,14 @@ func registerServeFlags(fs *flag.FlagSet) *serveConfig {
 			"from the newest one on restart (see docs/OPERATIONS.md)")
 	c.checkpointKeep = fs.Int("checkpoint-keep", 0,
 		"how many newest checkpoints to retain (0 = default)")
+	c.retryMax = fs.Int("retry-max", 0,
+		"consecutive transient feed failures tolerated before the daemon reports itself\n"+
+			"degraded on /v1/readyz — it keeps serving and retrying either way\n"+
+			"(0 = default, negative disables retrying: any transient error is fatal)")
+	c.retryBaseDelay = fs.Duration("retry-base-delay", 0,
+		"first backoff delay after a transient feed failure (0 = default)")
+	c.retryMaxDelay = fs.Duration("retry-max-delay", 0,
+		"cap on the exponential retry backoff (0 = default)")
 	return c
 }
 
@@ -58,6 +70,11 @@ func cmdServe(args []string) error {
 		PublishEvery:   *c.publishEvery,
 		CheckpointDir:  *c.checkpointDir,
 		CheckpointKeep: *c.checkpointKeep,
+		Retry: serve.RetryPolicy{
+			Max:       *c.retryMax,
+			BaseDelay: *c.retryBaseDelay,
+			MaxDelay:  *c.retryMaxDelay,
+		},
 	}
 	if *c.chainFile != "" {
 		opts.Source = fistful.SourceChainFile(*c.chainFile)
@@ -85,7 +102,8 @@ func serveMain(ctx context.Context, cfg fistful.Config, opts fistful.ServeOption
 
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
-	hs := &http.Server{Handler: srv.Handler()}
+	//lint:ignore fistlint/leakclose hs is released on every path via the graceful hs.Shutdown below; the analyzer only recognizes Close/Flush
+	hs := srv.HTTPServer("")
 	errc := make(chan error, 2)
 	go func() { errc <- srv.Run(runCtx) }()
 	go func() {

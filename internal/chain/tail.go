@@ -9,6 +9,8 @@ import (
 	"io"
 	"os"
 	"time"
+
+	"repro/internal/faults"
 )
 
 // TailReader follows a framed chain file that another process may still be
@@ -20,7 +22,7 @@ import (
 // returns io.EOF: end-of-file just means the writer has not caught up.
 // The framed format itself is specified in docs/FORMATS.md.
 type TailReader struct {
-	f        *os.File
+	f        TailFile
 	off      int64 // first byte after the last fully-decoded frame
 	blocks   int64
 	frame    []byte
@@ -45,6 +47,15 @@ var ErrShortFrame = errors.New("chain: tail: incomplete frame")
 // error; the feed layer above turns it into a rewind-and-replay.
 var ErrTailTruncated = errors.New("chain: tail: file truncated below read offset")
 
+// TailFile is the slice of *os.File a TailReader needs. It exists as a seam:
+// fault-injection harnesses wrap a real file to simulate short reads,
+// EAGAIN-style hiccups, and truncation without touching the filesystem.
+type TailFile interface {
+	io.ReaderAt
+	Stat() (os.FileInfo, error)
+	Close() error
+}
+
 // OpenTail opens a framed chain file for tailing. The file must exist, but
 // may still be empty: the stream header itself is awaited by Next like any
 // other bytes.
@@ -53,7 +64,13 @@ func OpenTail(path string) (*TailReader, error) {
 	if err != nil {
 		return nil, fmt.Errorf("chain: open chain file: %w", err)
 	}
-	return &TailReader{f: f, poll: tailPoll}, nil
+	return NewTailReader(f), nil
+}
+
+// NewTailReader tails an already-open file (or any TailFile). The reader
+// takes ownership: Close closes f.
+func NewTailReader(f TailFile) *TailReader {
+	return &TailReader{f: f, poll: tailPoll}
 }
 
 // Next returns the next block, waiting for the file to grow if the frame is
@@ -146,13 +163,19 @@ func (t *TailReader) tryNext() (*Block, error) {
 // shortOrTerminal maps a ReadAt running off the end of the file to
 // ErrShortFrame (the bytes have not been appended yet) — unless the file has
 // shrunk below the current offset, which is ErrTailTruncated — and wraps
-// anything else as a terminal error.
+// anything else as a terminal error. Retryable read failures (EAGAIN-class
+// errnos, or errors a fault-injecting TailFile already marked) keep their
+// transient classification through the wrap, so the layer above retries the
+// read instead of treating the file as corrupt.
 func (t *TailReader) shortOrTerminal(err error, what string) error {
 	if err == io.EOF || err == io.ErrUnexpectedEOF {
 		if st, serr := t.f.Stat(); serr == nil && st.Size() < t.off {
 			return ErrTailTruncated
 		}
 		return ErrShortFrame
+	}
+	if faults.IsTransient(err) {
+		return faults.Transient(fmt.Errorf("%s: %w", what, err))
 	}
 	return fmt.Errorf("%s: %w", what, err)
 }

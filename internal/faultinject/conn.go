@@ -1,0 +1,111 @@
+package faultinject
+
+import (
+	"fmt"
+	"net"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/faults"
+)
+
+// ConnFaults selects which fault kinds a wrapped connection may inject. On a
+// schedule hit, one enabled kind is chosen deterministically from the
+// schedule's stream.
+type ConnFaults struct {
+	// Delay, when positive, enables stall faults: the operation sleeps this
+	// long and then proceeds normally.
+	Delay time.Duration
+	// ShortReads enables reads that deliver only the first byte requested.
+	ShortReads bool
+	// Errors enables transient read/write errors that leave the connection
+	// usable.
+	Errors bool
+	// Disconnects enables mid-stream disconnects: the underlying connection
+	// is closed, so every later operation fails the way a dropped peer does.
+	Disconnects bool
+}
+
+// connFault is one injectable fault kind.
+type connFault int
+
+const (
+	faultDelay connFault = iota
+	faultShortRead
+	faultError
+	faultDisconnect
+)
+
+// Conn wraps a net.Conn with injected faults on reads and writes. Deadline
+// and address methods pass through. Safe for one concurrent reader and one
+// concurrent writer, like net.Conn itself.
+type Conn struct {
+	net.Conn
+	sched    *Schedule
+	kinds    []connFault
+	delay    time.Duration
+	injected atomic.Int64
+}
+
+// WrapConn wraps c with faults drawn from sched. A ConnFaults with nothing
+// enabled injects nothing.
+func WrapConn(c net.Conn, sched *Schedule, f ConnFaults) *Conn {
+	var kinds []connFault
+	if f.Delay > 0 {
+		kinds = append(kinds, faultDelay)
+	}
+	if f.ShortReads {
+		kinds = append(kinds, faultShortRead)
+	}
+	if f.Errors {
+		kinds = append(kinds, faultError)
+	}
+	if f.Disconnects {
+		kinds = append(kinds, faultDisconnect)
+	}
+	return &Conn{Conn: c, sched: sched, kinds: kinds, delay: f.Delay}
+}
+
+// inject decides whether this operation faults and, if so, which kind.
+func (c *Conn) inject() (connFault, bool) {
+	if len(c.kinds) == 0 || !c.sched.Hit() {
+		return 0, false
+	}
+	c.injected.Add(1)
+	return c.kinds[c.sched.pick(len(c.kinds))], true
+}
+
+// Read reads from the wrapped connection, or injects a fault.
+func (c *Conn) Read(p []byte) (int, error) {
+	switch kind, hit := c.inject(); {
+	case !hit:
+	case kind == faultDelay:
+		time.Sleep(c.delay)
+	case kind == faultShortRead && len(p) > 1:
+		return c.Conn.Read(p[:1])
+	case kind == faultError:
+		return 0, faults.Transient(fmt.Errorf("%w: conn read", ErrInjected))
+	case kind == faultDisconnect:
+		c.Conn.Close()
+		return 0, fmt.Errorf("%w: conn disconnected mid-stream", ErrInjected)
+	}
+	return c.Conn.Read(p)
+}
+
+// Write writes to the wrapped connection, or injects a fault.
+func (c *Conn) Write(p []byte) (int, error) {
+	switch kind, hit := c.inject(); {
+	case !hit:
+	case kind == faultDelay:
+		time.Sleep(c.delay)
+	case kind == faultError:
+		return 0, faults.Transient(fmt.Errorf("%w: conn write", ErrInjected))
+	case kind == faultDisconnect:
+		c.Conn.Close()
+		return 0, fmt.Errorf("%w: conn disconnected mid-stream", ErrInjected)
+	}
+	return c.Conn.Write(p)
+}
+
+// Injected returns how many faults have been injected so far.
+func (c *Conn) Injected() int64 { return c.injected.Load() }

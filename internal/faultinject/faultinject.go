@@ -1,0 +1,122 @@
+// Package faultinject is a deterministic fault-injection harness for the
+// serving stack's chaos tests. It wraps the seams the daemon reads from — a
+// chain.BlockSource, a serve-shaped block feed, the file behind a
+// chain.TailReader, and a net.Conn — and injects transient errors, delays,
+// short reads, and mid-stream disconnects on a seedable Schedule.
+//
+// Everything is deterministic: the same seed produces the same fault
+// sequence, so a chaos test that fails replays exactly. Injected errors are
+// marked with internal/faults.Transient (or carry an EAGAIN-class errno), so
+// the layers under test classify them the same way they would classify the
+// real failures they stand in for.
+package faultinject
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrInjected is the base error every injected failure wraps; tests can
+// errors.Is against it to tell an injected fault from a real one.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// Schedule decides, operation by operation, whether to inject a fault. It is
+// deterministic for a given constructor and seed, and safe for concurrent
+// use (a wrapped net.Conn is probed from reader and writer goroutines).
+type Schedule struct {
+	mu    sync.Mutex
+	op    int64 // decisions taken so far
+	hits  int64
+	state uint64 // splitmix64 state for probabilistic schedules and kind picks
+	hit   func(op int64, draw func() uint64) bool
+}
+
+// splitmix64 is the canonical 64-bit mix; tiny, seedable, and plenty for
+// deciding fault timing.
+func splitmix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// NewProb returns a schedule that injects each operation independently with
+// probability prob (clamped to [0, 1]), drawn from a PRNG seeded with seed.
+func NewProb(seed uint64, prob float64) *Schedule {
+	if prob < 0 {
+		prob = 0
+	}
+	if prob > 1 {
+		prob = 1
+	}
+	threshold := uint64(prob * (1 << 63) * 2) // prob scaled to the uint64 range
+	if prob == 1 {
+		threshold = ^uint64(0)
+	}
+	return &Schedule{
+		state: seed,
+		hit: func(_ int64, draw func() uint64) bool {
+			return draw() < threshold
+		},
+	}
+}
+
+// NewEveryN returns a schedule that injects every nth operation (operations
+// n, 2n, 3n, … counting from 1). n <= 0 never injects.
+func NewEveryN(n int64) *Schedule {
+	return &Schedule{
+		hit: func(op int64, _ func() uint64) bool {
+			return n > 0 && (op+1)%n == 0
+		},
+	}
+}
+
+// NewBurst returns a schedule that injects every operation in the window
+// [start, start+n) (counting from 0) — the shape that drives a daemon into
+// its degraded state and back out.
+func NewBurst(start, n int64) *Schedule {
+	return &Schedule{
+		hit: func(op int64, _ func() uint64) bool {
+			return op >= start && op < start+n
+		},
+	}
+}
+
+// Hit consumes one operation slot and reports whether to inject.
+func (s *Schedule) Hit() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	op := s.op
+	s.op++
+	h := s.hit(op, func() uint64 { return splitmix64(&s.state) })
+	if h {
+		s.hits++
+	}
+	return h
+}
+
+// pick returns a deterministic value in [0, k) for choosing among fault
+// kinds; it draws from the same PRNG stream as probabilistic schedules.
+func (s *Schedule) pick(k int) int {
+	if k <= 1 {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return int(splitmix64(&s.state) % uint64(k))
+}
+
+// Ops returns how many decisions the schedule has taken.
+func (s *Schedule) Ops() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.op
+}
+
+// Hits returns how many of those decisions injected a fault.
+func (s *Schedule) Hits() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hits
+}

@@ -1,0 +1,347 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/chain"
+	"repro/internal/faults"
+)
+
+func TestProbScheduleDeterministic(t *testing.T) {
+	a, b := NewProb(42, 0.3), NewProb(42, 0.3)
+	hits := 0
+	for i := 0; i < 500; i++ {
+		ha, hb := a.Hit(), b.Hit()
+		if ha != hb {
+			t.Fatalf("op %d: schedules with the same seed diverged", i)
+		}
+		if ha {
+			hits++
+		}
+	}
+	if hits == 0 || hits == 500 {
+		t.Fatalf("prob 0.3 produced %d/500 hits", hits)
+	}
+	if a.Ops() != 500 || a.Hits() != int64(hits) {
+		t.Fatalf("counters: ops=%d hits=%d, want 500/%d", a.Ops(), a.Hits(), hits)
+	}
+	x, y := NewProb(42, 0.3), NewProb(43, 0.3)
+	same := true
+	for i := 0; i < 500; i++ {
+		if x.Hit() != y.Hit() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical fault sequences")
+	}
+}
+
+func TestProbScheduleExtremes(t *testing.T) {
+	never := NewProb(1, 0)
+	always := NewProb(1, 1)
+	for i := 0; i < 50; i++ {
+		if never.Hit() {
+			t.Fatal("prob 0 injected")
+		}
+		if !always.Hit() {
+			t.Fatal("prob 1 skipped")
+		}
+	}
+	// Out-of-range probabilities clamp.
+	if NewProb(1, -3).Hit() {
+		t.Fatal("negative prob injected")
+	}
+	if !NewProb(1, 7).Hit() {
+		t.Fatal("prob > 1 skipped")
+	}
+}
+
+func TestEveryNSchedule(t *testing.T) {
+	s := NewEveryN(3)
+	var got []bool
+	for i := 0; i < 7; i++ {
+		got = append(got, s.Hit())
+	}
+	want := []bool{false, false, true, false, false, true, false}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("op %d: hit=%v, want %v (full: %v)", i, got[i], want[i], got)
+		}
+	}
+	if NewEveryN(0).Hit() {
+		t.Fatal("n=0 injected")
+	}
+}
+
+func TestBurstSchedule(t *testing.T) {
+	s := NewBurst(2, 3) // ops 2,3,4 fail
+	want := []bool{false, false, true, true, true, false, false}
+	for i, w := range want {
+		if got := s.Hit(); got != w {
+			t.Fatalf("op %d: hit=%v, want %v", i, got, w)
+		}
+	}
+}
+
+// sliceSource replays a fixed block slice.
+type sliceSource struct {
+	blocks []*chain.Block
+	next   int
+}
+
+func (s *sliceSource) NextBlock() (*chain.Block, error) {
+	if s.next >= len(s.blocks) {
+		return nil, io.EOF
+	}
+	b := s.blocks[s.next]
+	s.next++
+	return b, nil
+}
+
+func testBlocks(n int) []*chain.Block {
+	blocks := make([]*chain.Block, n)
+	for i := range blocks {
+		blocks[i] = &chain.Block{Header: chain.BlockHeader{Version: 1, Nonce: uint32(i)}}
+	}
+	return blocks
+}
+
+func TestBlockSourceInjectsWithoutLosingBlocks(t *testing.T) {
+	blocks := testBlocks(10)
+	src := WrapBlockSource(&sliceSource{blocks: blocks}, NewEveryN(3))
+	var delivered []*chain.Block
+	faultsSeen := 0
+	for {
+		b, err := src.NextBlock()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			if !faults.IsTransient(err) || !errors.Is(err, ErrInjected) {
+				t.Fatalf("injected error not transient+marked: %v", err)
+			}
+			faultsSeen++
+			continue
+		}
+		delivered = append(delivered, b)
+	}
+	if len(delivered) != len(blocks) {
+		t.Fatalf("delivered %d blocks, want %d (faults must not consume blocks)", len(delivered), len(blocks))
+	}
+	for i, b := range delivered {
+		if b != blocks[i] {
+			t.Fatalf("block %d reordered or replaced", i)
+		}
+	}
+	if faultsSeen == 0 || int64(faultsSeen) != src.Injected() {
+		t.Fatalf("faultsSeen=%d, Injected()=%d", faultsSeen, src.Injected())
+	}
+}
+
+// sliceFeed is a minimal BlockFeed over a block slice.
+type sliceFeed struct {
+	blocks []*chain.Block
+	next   int
+	closed bool
+}
+
+func (f *sliceFeed) Next(ctx context.Context) (*chain.Block, error) {
+	if f.next >= len(f.blocks) {
+		return nil, io.EOF
+	}
+	b := f.blocks[f.next]
+	f.next++
+	return b, nil
+}
+func (f *sliceFeed) Rewind(height int64) error { f.next = int(height); return nil }
+func (f *sliceFeed) Buffered() bool            { return f.next < len(f.blocks) }
+func (f *sliceFeed) Close() error              { f.closed = true; return nil }
+
+func TestFeedInjectsAndDelegates(t *testing.T) {
+	inner := &sliceFeed{blocks: testBlocks(6)}
+	feed := WrapFeed(inner, NewEveryN(2), FeedFaults{})
+	ctx := context.Background()
+	delivered, injected := 0, 0
+	for {
+		_, err := feed.Next(ctx)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			if !faults.IsTransient(err) {
+				t.Fatalf("injected feed error not transient: %v", err)
+			}
+			injected++
+			continue
+		}
+		delivered++
+	}
+	if delivered != 6 {
+		t.Fatalf("delivered %d, want 6", delivered)
+	}
+	if injected == 0 || feed.Injected() != int64(injected) {
+		t.Fatalf("injected=%d, Injected()=%d", injected, feed.Injected())
+	}
+	if err := feed.Rewind(0); err != nil || inner.next != 0 {
+		t.Fatal("Rewind did not pass through")
+	}
+	if !feed.Buffered() {
+		t.Fatal("Buffered did not pass through")
+	}
+	if err := feed.Close(); err != nil || !inner.closed {
+		t.Fatal("Close did not pass through")
+	}
+}
+
+func TestFeedDelayHonorsContext(t *testing.T) {
+	feed := WrapFeed(&sliceFeed{blocks: testBlocks(1)}, NewProb(1, 1), FeedFaults{Delay: time.Hour})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := feed.Next(ctx)
+		done <- err
+	}()
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Next under cancelled ctx = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Next did not honor ctx during injected delay")
+	}
+}
+
+// writeTailFile writes a few bytes to a temp file and opens it.
+func openTempFile(t *testing.T, content []byte) *os.File {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "data")
+	if err := os.WriteFile(path, content, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestFileInjectsEAGAINAndShortReads(t *testing.T) {
+	content := []byte("0123456789abcdef")
+	f := WrapFile(openTempFile(t, content), NewProb(7, 1), true)
+	defer f.Close()
+
+	// First injection (odd count): outright EAGAIN failure.
+	buf := make([]byte, 8)
+	n, err := f.ReadAt(buf, 0)
+	if n != 0 || !faults.IsTransient(err) {
+		t.Fatalf("first injection: n=%d err=%v, want transient failure", n, err)
+	}
+	// Second injection (even count): short read of half the bytes.
+	n, err = f.ReadAt(buf, 0)
+	if n != 4 || !faults.IsTransient(err) {
+		t.Fatalf("short read: n=%d err=%v, want 4 bytes + transient error", n, err)
+	}
+	if string(buf[:4]) != "0123" {
+		t.Fatalf("short read delivered %q", buf[:4])
+	}
+	if f.Injected() != 2 {
+		t.Fatalf("Injected() = %d, want 2", f.Injected())
+	}
+	if st, err := f.Stat(); err != nil || st.Size() != int64(len(content)) {
+		t.Fatalf("Stat passthrough: %v %v", st, err)
+	}
+}
+
+func TestFilePassesCleanReadsThrough(t *testing.T) {
+	content := []byte("0123456789")
+	f := WrapFile(openTempFile(t, content), NewProb(1, 0), true)
+	defer f.Close()
+	buf := make([]byte, 4)
+	if n, err := f.ReadAt(buf, 3); err != nil || n != 4 || string(buf) != "3456" {
+		t.Fatalf("clean read: n=%d err=%v buf=%q", n, err, buf)
+	}
+}
+
+// pipeConn builds a connected pair and pumps the far side.
+func pipePair(t *testing.T) (net.Conn, net.Conn) {
+	t.Helper()
+	a, b := net.Pipe()
+	t.Cleanup(func() { a.Close(); b.Close() })
+	return a, b
+}
+
+func TestConnInjectsErrors(t *testing.T) {
+	near, _ := pipePair(t)
+	c := WrapConn(near, NewProb(1, 1), ConnFaults{Errors: true})
+	if _, err := c.Read(make([]byte, 4)); !faults.IsTransient(err) || !errors.Is(err, ErrInjected) {
+		t.Fatalf("read error not transient+marked: %v", err)
+	}
+	if _, err := c.Write([]byte("x")); !faults.IsTransient(err) {
+		t.Fatalf("write error not transient: %v", err)
+	}
+	if c.Injected() != 2 {
+		t.Fatalf("Injected() = %d, want 2", c.Injected())
+	}
+}
+
+func TestConnDisconnectsMidStream(t *testing.T) {
+	near, far := pipePair(t)
+	c := WrapConn(near, NewBurst(1, 1), ConnFaults{Disconnects: true})
+	go func() { far.Write([]byte("hello")) }()
+	buf := make([]byte, 5)
+	if _, err := io.ReadFull(c, buf); err != nil || string(buf) != "hello" {
+		t.Fatalf("clean read before fault: %v %q", err, buf)
+	}
+	if _, err := c.Read(buf); err == nil || !errors.Is(err, ErrInjected) {
+		t.Fatalf("disconnect read = %v, want injected disconnect", err)
+	}
+	// The underlying conn is closed: the far side observes EOF-ish failure
+	// and further reads on the near side fail without injection.
+	if _, err := c.Conn.Read(buf); err == nil {
+		t.Fatal("underlying conn still alive after injected disconnect")
+	}
+}
+
+func TestConnShortReadsAndDelays(t *testing.T) {
+	near, far := pipePair(t)
+	c := WrapConn(near, NewBurst(0, 1), ConnFaults{ShortReads: true})
+	go func() { far.Write([]byte("abcd")) }()
+	buf := make([]byte, 4)
+	n, err := c.Read(buf)
+	if err != nil || n != 1 || buf[0] != 'a' {
+		t.Fatalf("short read: n=%d err=%v buf=%q", n, err, buf[:n])
+	}
+
+	near2, far2 := pipePair(t)
+	d := WrapConn(near2, NewBurst(0, 1), ConnFaults{Delay: time.Millisecond})
+	go func() { far2.Write([]byte("zz")) }()
+	start := time.Now()
+	if n, err := d.Read(buf[:2]); err != nil || n != 2 {
+		t.Fatalf("delayed read: n=%d err=%v", n, err)
+	}
+	if time.Since(start) < time.Millisecond {
+		t.Fatal("delay fault did not delay")
+	}
+}
+
+func TestConnNoFaultsConfiguredIsTransparent(t *testing.T) {
+	near, far := pipePair(t)
+	c := WrapConn(near, NewProb(1, 1), ConnFaults{})
+	go func() { far.Write([]byte("ok")) }()
+	buf := make([]byte, 2)
+	if _, err := io.ReadFull(c, buf); err != nil || string(buf) != "ok" {
+		t.Fatalf("transparent conn: %v %q", err, buf)
+	}
+	if c.Injected() != 0 {
+		t.Fatal("injected with no kinds enabled")
+	}
+}

@@ -1,0 +1,75 @@
+package faultinject
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/chain"
+	"repro/internal/faults"
+)
+
+// BlockFeed is the structural shape of serve.BlockFeed, restated here so the
+// harness can wrap a daemon feed without importing internal/serve (whose
+// tests in turn import this package). A *Feed satisfies serve.BlockFeed.
+type BlockFeed interface {
+	Next(ctx context.Context) (*chain.Block, error)
+	Rewind(height int64) error
+	Buffered() bool
+	Close() error
+}
+
+// FeedFaults configures what a wrapped feed injects on a schedule hit.
+type FeedFaults struct {
+	// Delay, when positive, stalls for this long (honoring ctx) before the
+	// injected error is returned — a slow, failing source rather than a
+	// fast-failing one.
+	Delay time.Duration
+}
+
+// Feed wraps a block feed, failing Next with a transient error whenever the
+// schedule fires. Faults are injected before the underlying feed is polled,
+// so no delivered block is lost; Rewind, Buffered, and Close pass through
+// untouched (reorg signaling stays the wrapped feed's job).
+type Feed struct {
+	feed     BlockFeed
+	sched    *Schedule
+	opts     FeedFaults
+	injected atomic.Int64
+}
+
+// WrapFeed wraps feed with faults drawn from sched.
+func WrapFeed(feed BlockFeed, sched *Schedule, opts FeedFaults) *Feed {
+	return &Feed{feed: feed, sched: sched, opts: opts}
+}
+
+// Next returns the next block, or an injected transient error.
+func (f *Feed) Next(ctx context.Context) (*chain.Block, error) {
+	if f.sched.Hit() {
+		n := f.injected.Add(1)
+		if f.opts.Delay > 0 {
+			timer := time.NewTimer(f.opts.Delay)
+			select {
+			case <-ctx.Done():
+				timer.Stop()
+				return nil, ctx.Err()
+			case <-timer.C:
+			}
+		}
+		return nil, faults.Transient(fmt.Errorf("%w: feed next %d", ErrInjected, n))
+	}
+	return f.feed.Next(ctx)
+}
+
+// Rewind passes through to the wrapped feed.
+func (f *Feed) Rewind(height int64) error { return f.feed.Rewind(height) }
+
+// Buffered passes through to the wrapped feed.
+func (f *Feed) Buffered() bool { return f.feed.Buffered() }
+
+// Close passes through to the wrapped feed.
+func (f *Feed) Close() error { return f.feed.Close() }
+
+// Injected returns how many faults have been injected so far.
+func (f *Feed) Injected() int64 { return f.injected.Load() }

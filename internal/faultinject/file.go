@@ -1,0 +1,56 @@
+package faultinject
+
+import (
+	"os"
+	"sync/atomic"
+	"syscall"
+
+	"repro/internal/chain"
+)
+
+// File wraps the file behind a chain.TailReader, failing ReadAt with
+// EAGAIN-style errors — and optionally short reads — whenever the schedule
+// fires. The injected errors carry a real syscall.EAGAIN inside an
+// os.PathError, so they exercise the chain layer's errno classification
+// rather than bypassing it.
+type File struct {
+	f          chain.TailFile
+	sched      *Schedule
+	shortReads bool
+	injected   atomic.Int64
+}
+
+// WrapFile wraps f with read faults drawn from sched. With shortReads set,
+// every other injection delivers half the requested bytes before failing,
+// the way an interrupted read does; otherwise injections fail outright.
+func WrapFile(f chain.TailFile, sched *Schedule, shortReads bool) *File {
+	return &File{f: f, sched: sched, shortReads: shortReads}
+}
+
+// errAgain builds the injected failure: a plain EAGAIN wrapped the way the
+// os package wraps it, classified transient by internal/faults.
+func errAgain() error {
+	return &os.PathError{Op: "read", Path: "faultinject", Err: syscall.EAGAIN}
+}
+
+// ReadAt reads from the wrapped file, or injects a fault.
+func (f *File) ReadAt(p []byte, off int64) (int, error) {
+	if f.sched.Hit() {
+		n := f.injected.Add(1)
+		if f.shortReads && n%2 == 0 && len(p) > 1 {
+			short, _ := f.f.ReadAt(p[:len(p)/2], off)
+			return short, errAgain()
+		}
+		return 0, errAgain()
+	}
+	return f.f.ReadAt(p, off)
+}
+
+// Stat passes through to the wrapped file.
+func (f *File) Stat() (os.FileInfo, error) { return f.f.Stat() }
+
+// Close passes through to the wrapped file.
+func (f *File) Close() error { return f.f.Close() }
+
+// Injected returns how many faults have been injected so far.
+func (f *File) Injected() int64 { return f.injected.Load() }

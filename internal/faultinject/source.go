@@ -1,0 +1,36 @@
+package faultinject
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/chain"
+	"repro/internal/faults"
+)
+
+// BlockSource wraps a chain.BlockSource, failing NextBlock with a transient
+// error whenever the schedule fires. The fault is injected before the
+// underlying source is consulted, so no block is ever lost to an injection:
+// a caller that retries sees the full stream.
+type BlockSource struct {
+	src      chain.BlockSource
+	sched    *Schedule
+	injected atomic.Int64
+}
+
+// WrapBlockSource wraps src with faults drawn from sched.
+func WrapBlockSource(src chain.BlockSource, sched *Schedule) *BlockSource {
+	return &BlockSource{src: src, sched: sched}
+}
+
+// NextBlock returns the next block, or an injected transient error.
+func (s *BlockSource) NextBlock() (*chain.Block, error) {
+	if s.sched.Hit() {
+		n := s.injected.Add(1)
+		return nil, faults.Transient(fmt.Errorf("%w: block source read %d", ErrInjected, n))
+	}
+	return s.src.NextBlock()
+}
+
+// Injected returns how many faults have been injected so far.
+func (s *BlockSource) Injected() int64 { return s.injected.Load() }

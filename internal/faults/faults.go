@@ -1,0 +1,66 @@
+// Package faults classifies errors as transient or fatal for the serving
+// stack's supervision loops. A transient error is one whose operation is
+// worth retrying unchanged — a network hiccup, an interrupted read, a
+// resource that is momentarily busy — as opposed to corruption or a
+// programming error, where retrying can only repeat the failure.
+//
+// The package sits below internal/chain, internal/p2p, and internal/serve so
+// that errors can be tagged where they originate (the only layer that knows
+// whether a failure is retryable) and classified where they are handled (the
+// daemon's retry loop). The mark survives fmt.Errorf("%w") wrapping.
+package faults
+
+import (
+	"errors"
+	"syscall"
+)
+
+// TransientError marks its wrapped error as retryable. Construct it with
+// Transient; test for it with IsTransient (which sees through %w wrapping).
+type TransientError struct {
+	// Err is the underlying failure.
+	Err error
+}
+
+// Error implements error.
+func (e *TransientError) Error() string { return "transient: " + e.Err.Error() }
+
+// Unwrap exposes the underlying failure to errors.Is/As.
+func (e *TransientError) Unwrap() error { return e.Err }
+
+// Transient marks err as retryable. A nil error stays nil, and an error that
+// is already marked is returned unchanged, so tagging is idempotent across
+// layers.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	var t *TransientError
+	if errors.As(err, &t) {
+		return err
+	}
+	return &TransientError{Err: err}
+}
+
+// IsTransient reports whether err carries a transient mark anywhere in its
+// wrap chain, or is one of the OS-level errnos that mean "try again"
+// (EAGAIN, EINTR, ETIMEDOUT, ECONNRESET, ECONNREFUSED) — failures the
+// kernel itself defines as retryable.
+func IsTransient(err error) bool {
+	if err == nil {
+		return false
+	}
+	var t *TransientError
+	if errors.As(err, &t) {
+		return true
+	}
+	for _, errno := range []syscall.Errno{
+		syscall.EAGAIN, syscall.EINTR, syscall.ETIMEDOUT,
+		syscall.ECONNRESET, syscall.ECONNREFUSED,
+	} {
+		if errors.Is(err, errno) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,80 @@
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"syscall"
+	"testing"
+)
+
+func TestTransientNil(t *testing.T) {
+	if Transient(nil) != nil {
+		t.Fatal("Transient(nil) != nil")
+	}
+	if IsTransient(nil) {
+		t.Fatal("IsTransient(nil)")
+	}
+}
+
+func TestTransientMarkAndClassify(t *testing.T) {
+	base := errors.New("socket fell over")
+	err := Transient(base)
+	if !IsTransient(err) {
+		t.Fatal("marked error not classified transient")
+	}
+	if !errors.Is(err, base) {
+		t.Fatal("mark hides the underlying error from errors.Is")
+	}
+	if got := err.Error(); got != "transient: socket fell over" {
+		t.Fatalf("Error() = %q", got)
+	}
+}
+
+func TestTransientIdempotent(t *testing.T) {
+	err := Transient(errors.New("x"))
+	if again := Transient(err); again != err {
+		t.Fatal("re-marking allocated a new wrapper")
+	}
+	// Marking a wrapped already-marked error keeps the existing mark too.
+	wrapped := fmt.Errorf("outer: %w", err)
+	if again := Transient(wrapped); again != wrapped {
+		t.Fatal("re-marking a %w-wrapped marked error allocated a new wrapper")
+	}
+}
+
+func TestMarkSurvivesWrapping(t *testing.T) {
+	err := fmt.Errorf("feed: %w", fmt.Errorf("read: %w", Transient(io.ErrUnexpectedEOF)))
+	if !IsTransient(err) {
+		t.Fatal("mark lost through two %w wraps")
+	}
+}
+
+func TestErrnoClassification(t *testing.T) {
+	for _, errno := range []syscall.Errno{
+		syscall.EAGAIN, syscall.EINTR, syscall.ETIMEDOUT,
+		syscall.ECONNRESET, syscall.ECONNREFUSED,
+	} {
+		wrapped := &os.PathError{Op: "read", Path: "chain.bin", Err: errno}
+		if !IsTransient(wrapped) {
+			t.Errorf("%v not classified transient", errno)
+		}
+	}
+	if IsTransient(&os.PathError{Op: "read", Path: "x", Err: syscall.ENOENT}) {
+		t.Fatal("ENOENT classified transient")
+	}
+}
+
+func TestFatalErrorsStayFatal(t *testing.T) {
+	for _, err := range []error{
+		errors.New("corrupt frame"),
+		io.EOF,
+		io.ErrUnexpectedEOF,
+		fmt.Errorf("decode: %w", errors.New("bad magic")),
+	} {
+		if IsTransient(err) {
+			t.Errorf("%v classified transient", err)
+		}
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/chain"
+	"repro/internal/faults"
 	"repro/internal/script"
 	"repro/internal/wire"
 )
@@ -41,6 +42,17 @@ type Event struct {
 	Time   time.Time
 }
 
+// Node timeout and backoff defaults; see Config.
+const (
+	DefaultDialTimeout      = 5 * time.Second
+	DefaultHandshakeTimeout = 10 * time.Second
+	DefaultWriteTimeout     = 10 * time.Second
+	DefaultReadIdle         = 30 * time.Second
+	DefaultStallTimeout     = 2 * time.Minute
+	DefaultRedialBase       = 500 * time.Millisecond
+	DefaultRedialMax        = 15 * time.Second
+)
+
 // Config configures a node.
 type Config struct {
 	Params    chain.Params
@@ -49,6 +61,61 @@ type Config struct {
 	EventBuf int
 	// Logf receives debug output; nil discards it.
 	Logf func(format string, args ...any)
+
+	// DialTimeout bounds one outbound dial (0 = DefaultDialTimeout). Dials
+	// also abort when the node closes, whatever the timeout.
+	DialTimeout time.Duration
+	// HandshakeTimeout bounds each handshake read (0 = DefaultHandshakeTimeout).
+	HandshakeTimeout time.Duration
+	// WriteTimeout bounds one message write (0 = DefaultWriteTimeout).
+	WriteTimeout time.Duration
+	// ReadIdle is how long a connection read waits before the node probes the
+	// peer with a keepalive ping (0 = DefaultReadIdle).
+	ReadIdle time.Duration
+	// StallTimeout drops a peer that has sent nothing — not even a pong —
+	// for this long, so one wedged socket cannot hold a peer slot forever
+	// (0 = DefaultStallTimeout; it should exceed ReadIdle so at least one
+	// ping goes out first).
+	StallTimeout time.Duration
+	// RedialBase and RedialMax bound ConnectPersistent's exponential redial
+	// backoff (0 = DefaultRedialBase / DefaultRedialMax).
+	RedialBase time.Duration
+	RedialMax  time.Duration
+}
+
+// withDefaults fills the zero values in.
+func (c Config) withDefaults() Config {
+	if c.EventBuf == 0 {
+		c.EventBuf = 256
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = DefaultDialTimeout
+	}
+	if c.HandshakeTimeout <= 0 {
+		c.HandshakeTimeout = DefaultHandshakeTimeout
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = DefaultWriteTimeout
+	}
+	if c.ReadIdle <= 0 {
+		c.ReadIdle = DefaultReadIdle
+	}
+	if c.StallTimeout <= 0 {
+		c.StallTimeout = DefaultStallTimeout
+	}
+	if c.RedialBase <= 0 {
+		c.RedialBase = DefaultRedialBase
+	}
+	if c.RedialMax <= 0 {
+		c.RedialMax = DefaultRedialMax
+	}
+	if c.RedialMax < c.RedialBase {
+		c.RedialMax = c.RedialBase
+	}
+	return c
 }
 
 // Node is one network participant: wallet-less, it validates, relays and
@@ -67,17 +134,16 @@ type Node struct {
 	wg     sync.WaitGroup
 	ctx    context.Context
 	cancel context.CancelFunc
+
+	// dial opens one outbound connection; the seam tests use to fake dial
+	// failures and hangs. nil means net.Dialer.DialContext.
+	dial func(ctx context.Context, addr string) (net.Conn, error)
 }
 
 // NewNode creates a node with a fresh chain and starts listening on addr
 // ("127.0.0.1:0" for an ephemeral port).
 func NewNode(cfg Config, addr string) (*Node, error) {
-	if cfg.EventBuf == 0 {
-		cfg.EventBuf = 256
-	}
-	if cfg.Logf == nil {
-		cfg.Logf = func(string, ...any) {}
-	}
+	cfg = cfg.withDefaults()
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("p2p: listen: %w", err)
@@ -196,11 +262,13 @@ func (n *Node) acceptLoop() {
 	}
 }
 
-// ConnectTo dials a peer and performs the handshake.
+// ConnectTo dials a peer and performs the handshake. The dial is bounded by
+// Config.DialTimeout and aborts early if the node closes; a failed dial is
+// tagged transient (retryable) since the remote may simply not be up yet.
 func (n *Node) ConnectTo(addr string) error {
-	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	conn, err := n.dialPeer(addr)
 	if err != nil {
-		return fmt.Errorf("p2p: dial %s: %w", addr, err)
+		return err
 	}
 	n.wg.Add(1)
 	go func() {
@@ -210,6 +278,68 @@ func (n *Node) ConnectTo(addr string) error {
 		}
 	}()
 	return nil
+}
+
+// dialPeer opens one outbound connection under the node's lifetime context,
+// so Close cancels in-flight dials instead of waiting out their timeout.
+func (n *Node) dialPeer(addr string) (net.Conn, error) {
+	ctx, cancel := context.WithTimeout(n.ctx, n.cfg.DialTimeout)
+	defer cancel()
+	dial := n.dial
+	if dial == nil {
+		dial = func(ctx context.Context, addr string) (net.Conn, error) {
+			var d net.Dialer
+			return d.DialContext(ctx, "tcp", addr)
+		}
+	}
+	conn, err := dial(ctx, addr)
+	if err != nil {
+		return nil, faults.Transient(fmt.Errorf("p2p: dial %s: %w", addr, err))
+	}
+	return conn, nil
+}
+
+// ConnectPersistent maintains an outbound connection to addr for the node's
+// lifetime: it dials, serves the peer, and when the connection drops — dial
+// failure, handshake failure, stall cutoff, remote restart — redials with
+// exponential backoff between RedialBase and RedialMax. A session that
+// survived past RedialMax resets the backoff, so a briefly flapping remote
+// does not pay a long-outage penalty. Returns immediately; the supervision
+// goroutine stops when the node closes.
+func (n *Node) ConnectPersistent(addr string) {
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		delay := n.cfg.RedialBase
+		for n.ctx.Err() == nil {
+			start := time.Now()
+			if conn, err := n.dialPeer(addr); err != nil {
+				n.cfg.Logf("p2p: persistent dial %s: %v", addr, err)
+			} else if err := n.runPeer(conn, false); err != nil && !errors.Is(err, net.ErrClosed) {
+				n.cfg.Logf("p2p: persistent peer %s: %v", addr, err)
+			}
+			if time.Since(start) > n.cfg.RedialMax {
+				delay = n.cfg.RedialBase
+			}
+			timer := time.NewTimer(delay)
+			select {
+			case <-n.ctx.Done():
+				timer.Stop()
+				return
+			case <-timer.C:
+			}
+			if delay *= 2; delay > n.cfg.RedialMax {
+				delay = n.cfg.RedialMax
+			}
+		}
+	}()
+}
+
+// NumPeers returns how many handshaken connections the node currently has.
+func (n *Node) NumPeers() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.peers)
 }
 
 // SubmitTx validates a transaction against the node's chain state, accepts

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/chain"
+	"repro/internal/faults"
 	"repro/internal/wire"
 )
 
@@ -32,7 +33,7 @@ func (p *peer) close() {
 func (p *peer) send(msg wire.Message) {
 	p.writeMu.Lock()
 	defer p.writeMu.Unlock()
-	p.conn.SetWriteDeadline(time.Now().Add(10 * time.Second))
+	p.conn.SetWriteDeadline(time.Now().Add(p.node.cfg.WriteTimeout))
 	//lint:ignore fistlint/lockheld writeMu exists to serialize conn writes; blocking writers here is the design, and the deadline above bounds the stall
 	if err := wire.WriteMessage(p.conn, p.node.cfg.Params.Magic, msg); err != nil {
 		p.node.cfg.Logf("p2p: write to %s: %v", p.id, err)
@@ -86,21 +87,30 @@ func (n *Node) runPeer(conn net.Conn, inbound bool) error {
 	_ = remote
 	p.send(&wire.MsgGetBlocks{Have: n.tipHash()})
 
+	// Every read carries a deadline so a stalled peer cannot wedge the
+	// reader goroutine: an idle timeout first probes with a ping, and a peer
+	// silent past StallTimeout — not even answering the probes — is dropped
+	// (transient: the redial supervisor, if any, will reconnect).
+	lastHeard := time.Now()
 	for {
 		select {
 		case <-n.ctx.Done():
 			return nil
 		default:
 		}
-		conn.SetReadDeadline(time.Now().Add(30 * time.Second))
+		conn.SetReadDeadline(time.Now().Add(n.cfg.ReadIdle))
 		msg, err := wire.ReadMessage(conn, n.cfg.Params.Magic)
 		if err != nil {
 			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				if silent := time.Since(lastHeard); silent > n.cfg.StallTimeout {
+					return faults.Transient(fmt.Errorf("p2p: peer %s stalled (silent %v)", p.id, silent.Round(time.Millisecond)))
+				}
 				p.send(&wire.MsgPing{Nonce: rand.Uint64()})
 				continue
 			}
 			return err
 		}
+		lastHeard = time.Now()
 		if err := n.handleMessage(p, msg); err != nil {
 			return err
 		}
@@ -111,7 +121,7 @@ func (n *Node) runPeer(conn net.Conn, inbound bool) error {
 // answered in passing).
 func (n *Node) expect(conn net.Conn, cmd string) (wire.Message, error) {
 	for {
-		conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+		conn.SetReadDeadline(time.Now().Add(n.cfg.HandshakeTimeout))
 		msg, err := wire.ReadMessage(conn, n.cfg.Params.Magic)
 		if err != nil {
 			return nil, err

@@ -1,0 +1,162 @@
+package p2p
+
+import (
+	"context"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/wire"
+)
+
+// waitPeers polls until the node has exactly want peers or the timeout
+// elapses, reporting success.
+func waitPeers(n *Node, want int, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if n.NumPeers() == want {
+			return true
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return n.NumPeers() == want
+}
+
+// TestDialAbortsOnClose pins the dial-context threading: an outbound dial in
+// flight when the node closes returns promptly instead of waiting out its
+// timeout, and a failed dial is tagged transient.
+func TestDialAbortsOnClose(t *testing.T) {
+	cfg := Config{Params: testParams(), DialTimeout: time.Hour}
+	node, err := NewNode(cfg, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	node.dial = func(ctx context.Context, addr string) (net.Conn, error) {
+		<-ctx.Done() // a dial that hangs until cancelled
+		return nil, ctx.Err()
+	}
+
+	dialErr := make(chan error, 1)
+	go func() { dialErr <- node.ConnectTo("192.0.2.1:1") }()
+	time.Sleep(20 * time.Millisecond) // let the dial park on the context
+	start := time.Now()
+	node.Close()
+	select {
+	case err := <-dialErr:
+		if err == nil {
+			t.Fatal("dial succeeded against a hanging dialer")
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("dial error %v, want context cancellation", err)
+		}
+		if !faults.IsTransient(err) {
+			t.Fatalf("dial error %v not tagged transient", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("in-flight dial not aborted by Close")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("Close waited %v on the dial, want prompt abort", elapsed)
+	}
+}
+
+// TestConnectPersistentRedials kills the remote node out from under a
+// persistent connection and proves the supervisor notices the drop and
+// redials once a fresh node reclaims the address.
+func TestConnectPersistentRedials(t *testing.T) {
+	fast := Config{
+		Params:       testParams(),
+		ReadIdle:     25 * time.Millisecond,
+		StallTimeout: 100 * time.Millisecond,
+		RedialBase:   10 * time.Millisecond,
+		RedialMax:    50 * time.Millisecond,
+	}
+	remote, err := NewNode(fast, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := remote.Addr()
+
+	local, err := NewNode(fast, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer local.Close()
+
+	local.ConnectPersistent(addr)
+	if !waitPeers(local, 1, 5*time.Second) {
+		t.Fatal("persistent connection never established")
+	}
+
+	remote.Close()
+	if !waitPeers(local, 0, 5*time.Second) {
+		t.Fatal("dropped remote not noticed")
+	}
+
+	// A new node reclaims the same address (Go listeners set SO_REUSEADDR);
+	// the supervisor must find it without any new ConnectTo call.
+	revived, err := NewNode(fast, addr)
+	if err != nil {
+		t.Fatalf("rebind %s: %v", addr, err)
+	}
+	defer revived.Close()
+	if !waitPeers(local, 1, 10*time.Second) {
+		t.Fatal("supervisor did not redial the revived remote")
+	}
+}
+
+// TestStalledPeerDropped handshakes by hand and then goes silent: the node
+// must probe with pings and, once StallTimeout passes with no response, drop
+// the peer instead of letting it hold a slot forever.
+func TestStalledPeerDropped(t *testing.T) {
+	cfg := Config{
+		Params:       testParams(),
+		ReadIdle:     25 * time.Millisecond,
+		StallTimeout: 100 * time.Millisecond,
+	}
+	node, err := NewNode(cfg, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+
+	conn, err := net.Dial("tcp", node.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	magic := cfg.Params.Magic
+
+	// Outbound side of the handshake: version, their version, verack both ways.
+	if err := wire.WriteMessage(conn, magic, &wire.MsgVersion{Version: 1, UserAgent: "stall-test"}); err != nil {
+		t.Fatal(err)
+	}
+	sawVersion, sawVerAck := false, false
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	for !sawVersion || !sawVerAck {
+		msg, err := wire.ReadMessage(conn, magic)
+		if err != nil {
+			t.Fatalf("handshake read: %v", err)
+		}
+		switch msg.Command() {
+		case wire.CmdVersion:
+			sawVersion = true
+		case wire.CmdVerAck:
+			sawVerAck = true
+		}
+	}
+	if err := wire.WriteMessage(conn, magic, &wire.MsgVerAck{}); err != nil {
+		t.Fatal(err)
+	}
+	if !waitPeers(node, 1, 5*time.Second) {
+		t.Fatal("handshake did not register the peer")
+	}
+
+	// Go silent: no reads, no writes. The node pings into our socket buffer,
+	// hears nothing back, and must cut us off after StallTimeout.
+	if !waitPeers(node, 0, 5*time.Second) {
+		t.Fatal("stalled peer still holds its slot")
+	}
+}

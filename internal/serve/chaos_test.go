@@ -1,0 +1,314 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/chain"
+	"repro/internal/chaintest"
+	"repro/internal/faultinject"
+)
+
+// chaosRetry keeps chaos tests fast: tiny backoff, default budget.
+func chaosRetry() RetryPolicy {
+	return RetryPolicy{Max: 8, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond}
+}
+
+// chaosBlocks builds a small deterministic chain for fault runs.
+func chaosBlocks(t *testing.T) []*chain.Block {
+	t.Helper()
+	b := chaintest.New(t)
+	buildCommonPrefix(b)
+	b.Mine(20)
+	return b.Chain.Blocks()
+}
+
+// runDaemon starts d.Run on its own goroutine and returns a cancel-and-join
+// func that fails the test if Run errored.
+func runDaemon(t *testing.T, d *Daemon) func() {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- d.Run(ctx) }()
+	return func() {
+		cancel()
+		if err := <-done; err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+	}
+}
+
+// TestChaosFeedFaultsRetriedToConvergence injects a transient feed error
+// before every third poll and proves the daemon retries through all of them
+// without exiting, converging to exactly the cold-build state.
+func TestChaosFeedFaultsRetriedToConvergence(t *testing.T) {
+	blocks := chaosBlocks(t)
+	inner := NewSourceFeed(&chainSliceSource{blocks: blocks})
+	feed := faultinject.WrapFeed(inner, faultinject.NewEveryN(3), faultinject.FeedFaults{})
+	ing := NewIngester(reorgAnalysis())
+	d := NewDaemonOpts(ing, feed, DaemonOptions{PublishEvery: 4, Retry: chaosRetry()})
+
+	stop := runDaemon(t, d)
+	awaitHeight(t, d, int64(len(blocks)-1))
+	stop()
+
+	if feed.Injected() == 0 {
+		t.Fatal("harness injected nothing; the test proved nothing")
+	}
+	h := d.Health()
+	if h.TotalRetries != feed.Injected() {
+		t.Fatalf("TotalRetries = %d, want %d (one per injected fault)", h.TotalRetries, feed.Injected())
+	}
+	if h.Degraded || h.State != StateOK {
+		t.Fatalf("isolated faults must not trip degraded: %+v", h)
+	}
+	assertConverged(t, d.Snapshot(), coldSnapshot(t, blocks))
+}
+
+// TestChaosApplyFaultsRetriedToConvergence drives the same supervision loop
+// through the apply seam: transient errors from block application are
+// retried on the same block, losing nothing.
+func TestChaosApplyFaultsRetriedToConvergence(t *testing.T) {
+	blocks := chaosBlocks(t)
+	ing := NewIngester(reorgAnalysis())
+	d := NewDaemonOpts(ing, NewSourceFeed(&chainSliceSource{blocks: blocks}),
+		DaemonOptions{PublishEvery: 4, Retry: chaosRetry()})
+	sched := faultinject.NewEveryN(4)
+	var injected atomic.Int64
+	d.testApplyFault = func(b *chain.Block) error {
+		if sched.Hit() {
+			injected.Add(1)
+			return Transient(fmt.Errorf("%w: apply", faultinject.ErrInjected))
+		}
+		return nil
+	}
+
+	stop := runDaemon(t, d)
+	awaitHeight(t, d, int64(len(blocks)-1))
+	stop()
+
+	if injected.Load() == 0 {
+		t.Fatal("no apply faults injected")
+	}
+	if got := d.Health().TotalRetries; got != injected.Load() {
+		t.Fatalf("TotalRetries = %d, want %d", got, injected.Load())
+	}
+	assertConverged(t, d.Snapshot(), coldSnapshot(t, blocks))
+}
+
+// TestChaosTailFeedFilesystemFaults runs the daemon over a real chain file
+// whose reads fail with EAGAIN (including short reads) on a deterministic
+// schedule: the fs-level faults surface as transient errors through the
+// chain layer, the supervision loop retries, and the daemon converges.
+func TestChaosTailFeedFilesystemFaults(t *testing.T) {
+	blocks := chaosBlocks(t)
+	path := filepath.Join(t.TempDir(), "chain.bin")
+	if err := os.WriteFile(path, frameBytes(t, blocks), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty := faultinject.WrapFile(f, faultinject.NewProb(1234, 0.3), true)
+	feed := NewTailFeed(chain.NewTailReader(faulty))
+
+	ing := NewIngester(reorgAnalysis())
+	d := NewDaemonOpts(ing, feed, DaemonOptions{PublishEvery: 4, Retry: chaosRetry()})
+	stop := runDaemon(t, d)
+	awaitHeight(t, d, int64(len(blocks)-1))
+	stop()
+
+	if faulty.Injected() == 0 {
+		t.Fatal("no filesystem faults injected")
+	}
+	assertConverged(t, d.Snapshot(), coldSnapshot(t, blocks))
+}
+
+// flakyFeed delivers released blocks and polls for more, with a switchable
+// transient failure: while failing is set, every poll errors instead of
+// waiting — so the outage is observed even if the daemon is between blocks.
+type flakyFeed struct {
+	blocks  []*chain.Block
+	next    int
+	avail   atomic.Int64 // how many blocks are released for delivery
+	failing atomic.Bool
+}
+
+func (f *flakyFeed) Next(ctx context.Context) (*chain.Block, error) {
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if f.failing.Load() {
+			return nil, Transient(errors.New("flaky source"))
+		}
+		if int64(f.next) < f.avail.Load() {
+			b := f.blocks[f.next]
+			f.next++
+			return b, nil
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+func (f *flakyFeed) Rewind(int64) error { return nil }
+func (f *flakyFeed) Buffered() bool     { return int64(f.next) < f.avail.Load() }
+func (f *flakyFeed) Close() error       { return nil }
+
+// TestChaosDegradedThenRecovered holds the feed in a failing state long
+// enough to exhaust the retry budget, watching /v1/readyz flip ok → 503
+// degraded → ok, while /v1/healthz stays 200 and the last snapshot keeps
+// serving throughout. The daemon never exits.
+func TestChaosDegradedThenRecovered(t *testing.T) {
+	blocks := chaosBlocks(t)
+	half := len(blocks) / 2
+	feed := &flakyFeed{blocks: blocks}
+	ing := NewIngester(reorgAnalysis())
+	d := NewDaemonOpts(ing, feed, DaemonOptions{
+		PublishEvery: 1,
+		Retry:        RetryPolicy{Max: 2, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond},
+	})
+	api := httptest.NewServer(NewDaemonAPI(d).Handler())
+	defer api.Close()
+
+	readyStatus := func() int {
+		resp, err := api.Client().Get(api.URL + "/v1/readyz")
+		if err != nil {
+			t.Fatalf("readyz: %v", err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	awaitReady := func(want int, what string) {
+		t.Helper()
+		deadline := time.Now().Add(30 * time.Second)
+		for readyStatus() != want {
+			if time.Now().After(deadline) {
+				t.Fatalf("readyz never reached %d (%s)", want, what)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	feed.avail.Store(int64(half))
+	stop := runDaemon(t, d)
+	awaitHeight(t, d, int64(half-1))
+	if got := readyStatus(); got != http.StatusOK {
+		t.Fatalf("healthy daemon readyz = %d", got)
+	}
+	servedHeight := d.Snapshot().Height
+
+	// Outage: the feed fails every poll; past Max consecutive failures the
+	// daemon must report degraded — and keep serving the old snapshot.
+	feed.failing.Store(true)
+	awaitReady(http.StatusServiceUnavailable, "degraded after sustained faults")
+	if got := d.Snapshot().Height; got != servedHeight {
+		t.Fatalf("degraded daemon's snapshot moved: %d != %d", got, servedHeight)
+	}
+	var hz healthzResponse
+	get(t, api, "/v1/healthz", http.StatusOK, &hz) // liveness stays green
+
+	// Heal the source; the next applied block must clear the state.
+	feed.avail.Store(int64(len(blocks)))
+	feed.failing.Store(false)
+	awaitReady(http.StatusOK, "recovered after source healed")
+	awaitHeight(t, d, int64(len(blocks)-1))
+	stop()
+
+	h := d.Health()
+	if h.TimesDegraded != 1 {
+		t.Fatalf("TimesDegraded = %d, want exactly 1 episode", h.TimesDegraded)
+	}
+	if h.Degraded || h.ConsecutiveFailures != 0 {
+		t.Fatalf("recovered health wrong: %+v", h)
+	}
+	if !strings.Contains(h.LastError, "flaky source") {
+		t.Fatalf("LastError %q does not record the outage", h.LastError)
+	}
+	assertConverged(t, d.Snapshot(), coldSnapshot(t, blocks))
+}
+
+// TestChaosFatalErrorStillExits pins the boundary: with supervision on, a
+// non-transient feed error is still fatal — retrying cannot fix corruption.
+func TestChaosFatalErrorStillExits(t *testing.T) {
+	fatal := errors.New("corrupt beyond repair")
+	feed := &errFeed{err: fatal}
+	d := NewDaemonOpts(NewIngester(reorgAnalysis()), feed, DaemonOptions{Retry: chaosRetry()})
+	err := d.Run(context.Background())
+	if !errors.Is(err, fatal) {
+		t.Fatalf("Run = %v, want the fatal cause", err)
+	}
+}
+
+// TestChaosRetryDisabled pins Max < 0: any transient error is fatal, the
+// pre-supervision behavior.
+func TestChaosRetryDisabled(t *testing.T) {
+	cause := Transient(errors.New("would be retryable"))
+	feed := &errFeed{err: cause}
+	d := NewDaemonOpts(NewIngester(reorgAnalysis()), feed, DaemonOptions{Retry: RetryPolicy{Max: -1}})
+	err := d.Run(context.Background())
+	if !errors.Is(err, cause) {
+		t.Fatalf("Run = %v, want the transient cause surfaced as fatal", err)
+	}
+}
+
+// TestChaosCheckpointErrorPropagates proves checkpoint-write failures are
+// never supervised away: the publish worker latches the error and Run
+// surfaces it.
+func TestChaosCheckpointErrorPropagates(t *testing.T) {
+	blocks := chaosBlocks(t)
+	dir := filepath.Join(t.TempDir(), "ckpt")
+	ck, err := NewCheckpointStore(dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Yank the directory out from under the store: every save now fails.
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	feed := NewSourceFeed(&chainSliceSource{blocks: blocks})
+	d := NewDaemonOpts(NewIngester(reorgAnalysis()), feed,
+		DaemonOptions{PublishEvery: 1, Checkpoints: ck, Retry: chaosRetry()})
+	err = d.Run(context.Background())
+	if err == nil || !strings.Contains(err.Error(), "checkpoint") {
+		t.Fatalf("Run = %v, want a checkpoint error", err)
+	}
+}
+
+// chainSliceSource replays a block slice as a chain.BlockSource.
+type chainSliceSource struct {
+	blocks []*chain.Block
+	next   int
+}
+
+func (s *chainSliceSource) NextBlock() (*chain.Block, error) {
+	if s.next >= len(s.blocks) {
+		return nil, io.EOF
+	}
+	b := s.blocks[s.next]
+	s.next++
+	return b, nil
+}
+
+// errFeed fails every poll with a fixed error.
+type errFeed struct{ err error }
+
+func (f *errFeed) Next(ctx context.Context) (*chain.Block, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return nil, f.err
+}
+func (f *errFeed) Rewind(int64) error { return nil }
+func (f *errFeed) Buffered() bool     { return false }
+func (f *errFeed) Close() error       { return nil }

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"sync/atomic"
+
+	"repro/internal/chain"
 )
 
 // DefaultPublishEvery is how many applied blocks a snapshot publish may lag
@@ -22,6 +24,9 @@ type DaemonOptions struct {
 	// rollback source after a reorg. Without it, a reorg falls back to
 	// replaying from genesis.
 	Checkpoints *CheckpointStore
+	// Retry supervises transient feed and apply errors; the zero value
+	// means the package defaults (see RetryPolicy).
+	Retry RetryPolicy
 }
 
 // Daemon ties an Ingester to a BlockFeed: apply every block, hand a frozen
@@ -34,14 +39,25 @@ type Daemon struct {
 	feed         BlockFeed
 	publishEvery int
 	ck           *CheckpointStore
+	retry        RetryPolicy
 
 	// applied counts blocks applied across the daemon's lifetime (not reset
 	// by rollbacks); tests read it concurrently to observe ingest progress.
 	applied atomic.Int64
+	// appliedHeight mirrors the ingester's height for concurrent Health
+	// readers (Ingester.Height is ingest-goroutine-only).
+	appliedHeight atomic.Int64
+
+	// health tracks the supervision state Health() reports.
+	health healthState
 
 	// testPublishGate, when non-nil, runs on the publish worker before each
 	// publish — the seam for the publish-stall test.
 	testPublishGate func(*substrate)
+	// testApplyFault, when non-nil, runs before each block apply and may
+	// return an error in its place — the fault-injection seam for the apply
+	// half of the supervision loop.
+	testApplyFault func(*chain.Block) error
 }
 
 // NewDaemon wires ing to feed. publishEvery <= 0 means DefaultPublishEvery.
@@ -54,7 +70,15 @@ func NewDaemonOpts(ing *Ingester, feed BlockFeed, opts DaemonOptions) *Daemon {
 	if opts.PublishEvery <= 0 {
 		opts.PublishEvery = DefaultPublishEvery
 	}
-	return &Daemon{ing: ing, feed: feed, publishEvery: opts.PublishEvery, ck: opts.Checkpoints}
+	d := &Daemon{
+		ing:          ing,
+		feed:         feed,
+		publishEvery: opts.PublishEvery,
+		ck:           opts.Checkpoints,
+		retry:        opts.Retry.normalize(),
+	}
+	d.appliedHeight.Store(ing.Height())
+	return d
 }
 
 // Snapshot returns the latest published snapshot; safe from any goroutine.
@@ -68,8 +92,16 @@ func (d *Daemon) Applied() int64 { return d.applied.Load() }
 // out. A finite feed (SourceFeed over a chain file) reports io.EOF; Run
 // publishes the final snapshot and then parks until cancellation, so the
 // query API keeps answering after a bounded source drains. Cancellation is a
-// clean shutdown (nil); any other feed, apply, or checkpoint error is
-// returned.
+// clean shutdown (nil).
+//
+// Feed and apply errors are supervised: a transient error (IsTransient —
+// marked at the source by the chain and p2p layers, or carrying an
+// EAGAIN-class errno) is retried with the bounded exponential backoff the
+// Retry policy sets, and the failure budget resets whenever a block applies.
+// Once the budget is exceeded the daemon trips into the degraded state —
+// Health and /v1/readyz report it, the last published snapshot keeps
+// serving, and retries continue at the capped delay until the feed heals.
+// Fatal (non-transient) errors and checkpoint-write failures are returned.
 //
 // If the Ingester starts above genesis (restored from a checkpoint), Run
 // first rewinds the feed to the block after the restored tip. Every applied
@@ -91,6 +123,7 @@ func (d *Daemon) Run(ctx context.Context) error {
 			}
 		}
 	}
+	d.appliedHeight.Store(d.ing.Height())
 
 	pub := newPublisher(d.ing, d.ck, d.testPublishGate)
 	defer pub.stop()
@@ -101,37 +134,36 @@ func (d *Daemon) Run(ctx context.Context) error {
 		var rw *RewindError
 		switch {
 		case errors.Is(err, io.EOF):
-			pub.stop()
-			if err := pub.err(); err != nil {
-				return fmt.Errorf("serve: checkpoint: %w", err)
-			}
-			if pending > 0 {
-				if err := d.publishNow(); err != nil {
-					return err
-				}
+			if err := d.drain(pub, pending > 0); err != nil {
+				return err
 			}
 			<-ctx.Done()
 			return nil
 		case errors.As(err, &rw):
-			if err := d.rollback(rw.Height); err != nil {
-				return err
+			if rerr := d.rollback(rw.Height); rerr != nil {
+				retry, ok := d.supervise(ctx, rerr)
+				if !ok {
+					return rerr
+				}
+				if !retry {
+					return d.drain(pub, pending > 0)
+				}
 			}
+			d.appliedHeight.Store(d.ing.Height())
 			pending = 0
 			continue
 		case err != nil:
 			if ctx.Err() != nil {
-				pub.stop()
-				if err := pub.err(); err != nil {
-					return fmt.Errorf("serve: checkpoint: %w", err)
-				}
-				if pending > 0 {
-					if err := d.publishNow(); err != nil {
-						return err
-					}
-				}
-				return nil
+				return d.drain(pub, pending > 0)
 			}
-			return fmt.Errorf("serve: feed: %w", err)
+			retry, ok := d.supervise(ctx, err)
+			if !ok {
+				return fmt.Errorf("serve: feed: %w", err)
+			}
+			if !retry {
+				return d.drain(pub, pending > 0)
+			}
+			continue
 		}
 		if b.Header.PrevBlock != d.ing.TipHash() {
 			// The feed delivered a block that does not extend our state: the
@@ -142,13 +174,26 @@ func (d *Daemon) Run(ctx context.Context) error {
 			if err := d.rollbackBelowTip(); err != nil {
 				return err
 			}
+			d.appliedHeight.Store(d.ing.Height())
 			pending = 0
 			continue
 		}
-		if err := d.ing.ApplyBlock(b); err != nil {
-			return fmt.Errorf("serve: apply block: %w", err)
+		for {
+			aerr := d.apply(b)
+			if aerr == nil {
+				break
+			}
+			retry, ok := d.supervise(ctx, aerr)
+			if !ok {
+				return fmt.Errorf("serve: apply block: %w", aerr)
+			}
+			if !retry {
+				return d.drain(pub, pending > 0)
+			}
 		}
 		d.applied.Add(1)
+		d.appliedHeight.Store(d.ing.Height())
+		d.noteProgress()
 		pending++
 		if pending >= d.publishEvery || !d.feed.Buffered() {
 			if err := pub.err(); err != nil {
@@ -158,6 +203,48 @@ func (d *Daemon) Run(ctx context.Context) error {
 			pending = 0
 		}
 	}
+}
+
+// apply runs one block through the fault-injection seam and the ingester.
+// The seam fires before any state mutates, so a retried injection re-applies
+// a block the ingester has not seen.
+func (d *Daemon) apply(b *chain.Block) error {
+	if d.testApplyFault != nil {
+		if err := d.testApplyFault(b); err != nil {
+			return err
+		}
+	}
+	return d.ing.ApplyBlock(b)
+}
+
+// supervise classifies one feed/apply/rollback error. It returns ok=false
+// for a fatal error (not transient, or supervision disabled): the caller
+// returns the error. For a transient error it records the failure —
+// tripping the degraded state when the budget is exceeded — and backs off;
+// retry=false means ctx ended during the backoff and the caller should shut
+// down cleanly.
+func (d *Daemon) supervise(ctx context.Context, err error) (retry, ok bool) {
+	if d.retry.Max < 0 || !IsTransient(err) {
+		return false, false
+	}
+	failures := d.noteFailure(err)
+	return d.sleepBackoff(ctx, failures), true
+}
+
+// drain stops the publish worker, surfaces any checkpoint error it latched,
+// and synchronously publishes any blocks applied since the last freeze — the
+// shared shutdown path for EOF and cancellation.
+func (d *Daemon) drain(pub *publisher, pending bool) error {
+	pub.stop()
+	if err := pub.err(); err != nil {
+		return fmt.Errorf("serve: checkpoint: %w", err)
+	}
+	if pending {
+		if err := d.publishNow(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // publishNow freezes and publishes synchronously on the ingest goroutine —

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/chain"
+	"repro/internal/faults"
 	"repro/internal/p2p"
 )
 
@@ -133,7 +134,14 @@ func OpenTailFeed(path string) (*TailFeed, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &TailFeed{tr: tr, progressed: true}, nil
+	return NewTailFeed(tr), nil
+}
+
+// NewTailFeed tails an already-open reader — the seam that lets tests (and
+// the fault-injection harness) interpose a chain.TailFile between the feed
+// and the filesystem. The feed owns tr and closes it.
+func NewTailFeed(tr *chain.TailReader) *TailFeed {
+	return &TailFeed{tr: tr, progressed: true}
 }
 
 // Next returns the next appended block, waiting for the writer if the file
@@ -165,6 +173,12 @@ func (f *TailFeed) Next(ctx context.Context) (*chain.Block, error) {
 			if ctx.Err() != nil {
 				// Close raced with a read; shutdown, not corruption.
 				return nil, ctx.Err()
+			}
+			if faults.IsTransient(err) {
+				// An EAGAIN-class read failure says nothing about the file's
+				// history — pass it to the daemon's retry loop untouched,
+				// leaving the anomaly/progress bookkeeping alone.
+				return nil, err
 			}
 			// Truncation below the offset or a frame that stopped decoding:
 			// the writer rewrote history under us.
@@ -243,6 +257,9 @@ func (f *TailFeed) Rewind(height int64) error {
 		if err != nil {
 			if err == chain.ErrShortFrame {
 				return nil // file shorter than requested; deliver from here
+			}
+			if faults.IsTransient(err) {
+				return err
 			}
 			return f.anomaly(err)
 		}

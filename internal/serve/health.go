@@ -1,0 +1,112 @@
+package serve
+
+import "sync"
+
+// Health state strings, as reported by Health.State and /v1/readyz.
+const (
+	StateOK       = "ok"
+	StateDegraded = "degraded"
+)
+
+// Health is a point-in-time view of the daemon's supervision state, safe to
+// read from any goroutine. It is what /v1/readyz serializes: the degraded
+// flag drives the readiness verdict, and the applied-vs-published fields
+// expose ingest and publish lag for dashboards and probes.
+type Health struct {
+	// State is StateOK or StateDegraded.
+	State string `json:"state"`
+	// Degraded reports that Max consecutive transient failures were
+	// exceeded: the daemon is still serving its last published snapshot and
+	// still retrying, but should be considered not ready for fresh traffic.
+	Degraded bool `json:"degraded"`
+	// ConsecutiveFailures is the current run of transient failures without
+	// an applied block in between.
+	ConsecutiveFailures int `json:"consecutive_failures"`
+	// TotalRetries counts every supervised retry over the daemon's lifetime.
+	TotalRetries int64 `json:"total_retries"`
+	// TimesDegraded counts degraded-state entries over the daemon's
+	// lifetime; a recovery is visible as Degraded flipping back to false
+	// without this counter moving.
+	TimesDegraded int64 `json:"times_degraded"`
+	// LastError is the most recent supervised failure, kept after recovery
+	// for diagnostics; empty if the daemon never saw one.
+	LastError string `json:"last_error,omitempty"`
+	// AppliedBlocks counts blocks applied across the daemon's lifetime
+	// (rollbacks do not reset it).
+	AppliedBlocks int64 `json:"applied_blocks"`
+	// AppliedHeight is the chain height the ingest loop has applied.
+	AppliedHeight int64 `json:"applied_height"`
+	// PublishedEpoch and PublishedHeight describe the snapshot queries are
+	// currently answered from.
+	PublishedEpoch  uint64 `json:"published_epoch"`
+	PublishedHeight int64  `json:"published_height"`
+	// PublishLag is how many applied blocks the published snapshot trails
+	// by — nonzero while the publish worker is catching up.
+	PublishLag int64 `json:"publish_lag"`
+}
+
+// healthState is the mutex-guarded slice of Daemon state the supervision
+// loop writes and Health reads; only plain field accesses happen under the
+// lock.
+type healthState struct {
+	mu            sync.Mutex
+	degraded      bool
+	consecutive   int
+	retriesTotal  int64
+	timesDegraded int64
+	lastErr       string
+}
+
+// noteFailure records one supervised transient failure and returns the new
+// consecutive-failure count, tripping the degraded state when the policy's
+// budget is exceeded.
+func (d *Daemon) noteFailure(err error) int {
+	h := &d.health
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.consecutive++
+	h.retriesTotal++
+	h.lastErr = err.Error()
+	if !h.degraded && h.consecutive > d.retry.Max {
+		h.degraded = true
+		h.timesDegraded++
+	}
+	return h.consecutive
+}
+
+// noteProgress resets the failure budget after an applied block, clearing
+// the degraded state (recovery). LastError is kept for diagnostics.
+func (d *Daemon) noteProgress() {
+	h := &d.health
+	h.mu.Lock()
+	h.consecutive = 0
+	h.degraded = false
+	h.mu.Unlock()
+}
+
+// Health returns the daemon's current supervision state; safe from any
+// goroutine.
+func (d *Daemon) Health() Health {
+	s := d.Snapshot()
+	hs := &d.health
+	hs.mu.Lock()
+	h := Health{
+		Degraded:            hs.degraded,
+		ConsecutiveFailures: hs.consecutive,
+		TotalRetries:        hs.retriesTotal,
+		TimesDegraded:       hs.timesDegraded,
+		LastError:           hs.lastErr,
+	}
+	hs.mu.Unlock()
+	h.State = StateOK
+	if h.Degraded {
+		h.State = StateDegraded
+	}
+	h.AppliedBlocks = d.applied.Load()
+	h.AppliedHeight = d.appliedHeight.Load()
+	h.PublishedEpoch, h.PublishedHeight = s.Epoch, s.Height
+	if lag := h.AppliedHeight - h.PublishedHeight; lag > 0 {
+		h.PublishLag = lag
+	}
+	return h
+}

@@ -17,14 +17,24 @@ import (
 // landing. Handlers never touch the live graph or forest.
 type API struct {
 	ing *Ingester
+	// health, when non-nil, feeds /v1/readyz the daemon's supervision state;
+	// without it (a bare-Ingester API) readiness degenerates to liveness.
+	health func() Health
 }
 
 // NewAPI wraps an Ingester (or the Ingester inside a Daemon) for serving.
 func NewAPI(ing *Ingester) *API { return &API{ing: ing} }
 
+// NewDaemonAPI wraps a Daemon for serving: the same routes as NewAPI, plus
+// a /v1/readyz that reflects the daemon's supervision state — degraded
+// answers 503 so load balancers drain traffic while the last published
+// snapshot keeps serving whoever still asks.
+func NewDaemonAPI(d *Daemon) *API { return &API{ing: d.ing, health: d.Health} }
+
 // Handler returns the route table:
 //
 //	GET /v1/healthz                  liveness + current epoch and height
+//	GET /v1/readyz                   readiness: supervision health, 503 when degraded
 //	GET /v1/stats                    clustering and naming statistics
 //	GET /v1/cluster?addr=A           cluster membership of one address
 //	GET /v1/cluster/members?label=L  addresses in one refined cluster
@@ -33,6 +43,7 @@ func NewAPI(ing *Ingester) *API { return &API{ing: ing} }
 func (a *API) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/healthz", a.healthz)
+	mux.HandleFunc("GET /v1/readyz", a.readyz)
 	mux.HandleFunc("GET /v1/stats", a.stats)
 	mux.HandleFunc("GET /v1/cluster", a.cluster)
 	mux.HandleFunc("GET /v1/cluster/members", a.members)
@@ -53,7 +64,13 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
+// writeError writes the structured JSON error envelope every non-2xx
+// response uses. 503s additionally carry Retry-After so clients and probes
+// back off instead of retrying immediately.
 func writeError(w http.ResponseWriter, status int, msg string) {
+	if status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", strconv.Itoa(RetryAfterSeconds))
+	}
 	writeJSON(w, status, errorResponse{Error: msg})
 }
 
@@ -86,6 +103,31 @@ type healthzResponse struct {
 func (a *API) healthz(w http.ResponseWriter, r *http.Request) {
 	s := a.ing.Snapshot()
 	writeJSON(w, http.StatusOK, healthzResponse{Epoch: s.Epoch, Height: s.Height})
+}
+
+// readyz answers readiness: 200 with the supervision Health while the daemon
+// is healthy, 503 (plus Retry-After) with the same body once it trips
+// degraded — liveness (healthz) stays green either way, because the process
+// is up and serving its last snapshot. An API without a daemon is ready
+// whenever it is alive.
+func (a *API) readyz(w http.ResponseWriter, r *http.Request) {
+	if a.health == nil {
+		s := a.ing.Snapshot()
+		writeJSON(w, http.StatusOK, Health{
+			State:           StateOK,
+			AppliedHeight:   s.Height,
+			PublishedEpoch:  s.Epoch,
+			PublishedHeight: s.Height,
+		})
+		return
+	}
+	h := a.health()
+	status := http.StatusOK
+	if h.Degraded {
+		status = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", strconv.Itoa(RetryAfterSeconds))
+	}
+	writeJSON(w, status, h)
 }
 
 type clusteringStats struct {

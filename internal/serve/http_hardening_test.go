@@ -1,0 +1,212 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/chain"
+)
+
+// TestWriteErrorEnvelope pins the error contract every handler shares: a
+// JSON body with an "error" field, the JSON content type, and Retry-After
+// on 503s (and only on 503s).
+func TestWriteErrorEnvelope(t *testing.T) {
+	rec := httptest.NewRecorder()
+	writeError(rec, http.StatusNotFound, "nope")
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("status %d, want 404", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Content-Type %q", ct)
+	}
+	if ra := rec.Header().Get("Retry-After"); ra != "" {
+		t.Fatalf("404 carried Retry-After %q", ra)
+	}
+	var e errorResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || e.Error != "nope" {
+		t.Fatalf("body %q decode: %v", rec.Body.String(), err)
+	}
+
+	rec = httptest.NewRecorder()
+	writeError(rec, http.StatusServiceUnavailable, "shed")
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", rec.Code)
+	}
+	if ra := rec.Header().Get("Retry-After"); ra != "1" {
+		t.Fatalf("503 Retry-After = %q, want \"1\"", ra)
+	}
+}
+
+// TestRecoverMiddleware proves a panicking handler yields a JSON 500 and the
+// server survives to answer the next request.
+func TestRecoverMiddleware(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/boom", func(w http.ResponseWriter, r *http.Request) { panic("kaboom") })
+	mux.HandleFunc("/ok", func(w http.ResponseWriter, r *http.Request) { w.WriteHeader(http.StatusOK) })
+	srv := httptest.NewServer(Recover(mux))
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/boom")
+	if err != nil {
+		t.Fatalf("GET /boom: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("panic status %d, want 500", resp.StatusCode)
+	}
+	var e errorResponse
+	if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+		t.Fatalf("panic body %q not the JSON error envelope (%v)", body, err)
+	}
+
+	resp, err = srv.Client().Get(srv.URL + "/ok")
+	if err != nil {
+		t.Fatalf("GET /ok after panic: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("server did not survive the panic: %d", resp.StatusCode)
+	}
+}
+
+// TestLimitInFlightSheds fills the single in-flight slot with a parked
+// request and proves the next one is shed immediately with 503 +
+// Retry-After rather than queued behind it.
+func TestLimitInFlightSheds(t *testing.T) {
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	h := LimitInFlight(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		close(entered)
+		<-release
+		w.WriteHeader(http.StatusOK)
+	}), 1)
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	first := make(chan error, 1)
+	go func() {
+		resp, err := srv.Client().Get(srv.URL)
+		if err == nil {
+			resp.Body.Close()
+		}
+		first <- err
+	}()
+	<-entered
+
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatalf("shed request: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("second request status %d, want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "1" {
+		t.Fatalf("shed Retry-After = %q, want \"1\"", ra)
+	}
+	close(release)
+	if err := <-first; err != nil {
+		t.Fatalf("parked request failed: %v", err)
+	}
+}
+
+// TestLimitInFlightDisabled pins that a non-positive cap returns the handler
+// unwrapped.
+func TestLimitInFlightDisabled(t *testing.T) {
+	h := http.NewServeMux()
+	if got := LimitInFlight(h, 0); got != http.Handler(h) {
+		t.Fatal("cap 0 wrapped the handler")
+	}
+	if got := LimitInFlight(h, -1); got != http.Handler(h) {
+		t.Fatal("negative cap wrapped the handler")
+	}
+}
+
+// TestNewHTTPServerOptions pins the defaulting: zero values become package
+// defaults, negative values disable the corresponding bound.
+func TestNewHTTPServerOptions(t *testing.T) {
+	s := NewHTTPServer("127.0.0.1:0", http.NewServeMux(), HTTPOptions{})
+	if s.ReadTimeout != DefaultHTTPReadTimeout ||
+		s.WriteTimeout != DefaultHTTPWriteTimeout ||
+		s.IdleTimeout != DefaultHTTPIdleTimeout {
+		t.Fatalf("defaults not applied: %+v", s)
+	}
+	s = NewHTTPServer("127.0.0.1:0", http.NewServeMux(), HTTPOptions{
+		ReadTimeout:  -1,
+		WriteTimeout: time.Second,
+		IdleTimeout:  -1,
+		MaxInFlight:  -1,
+	})
+	if s.ReadTimeout != 0 || s.WriteTimeout != time.Second || s.IdleTimeout != 0 {
+		t.Fatalf("negative timeouts not disabled: %+v", s)
+	}
+}
+
+// TestReadyzReflectsDegradedState drives the daemon's health bookkeeping
+// directly and checks /v1/readyz mirrors it: ok (200), degraded (503 +
+// Retry-After + degraded body), recovered (200 again, with the degraded
+// episode still counted).
+func TestReadyzReflectsDegradedState(t *testing.T) {
+	ing := NewIngester(Analysis{})
+	feed := &chanFeed{ch: make(chan *chain.Block)}
+	d := NewDaemonOpts(ing, feed, DaemonOptions{Retry: RetryPolicy{Max: 1}})
+	srv := httptest.NewServer(NewDaemonAPI(d).Handler())
+	defer srv.Close()
+
+	var h Health
+	get(t, srv, "/v1/readyz", http.StatusOK, &h)
+	if h.State != StateOK || h.Degraded {
+		t.Fatalf("fresh daemon not ready: %+v", h)
+	}
+
+	d.noteFailure(io.ErrUnexpectedEOF) // 1 failure: within budget
+	get(t, srv, "/v1/readyz", http.StatusOK, &h)
+	if h.Degraded || h.ConsecutiveFailures != 1 {
+		t.Fatalf("within-budget failure reported wrong: %+v", h)
+	}
+
+	d.noteFailure(io.ErrUnexpectedEOF) // 2 > Max: degraded
+	resp, err := srv.Client().Get(srv.URL + "/v1/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("degraded readyz status %d, want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "1" {
+		t.Fatalf("degraded readyz Retry-After = %q", ra)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.State != StateDegraded || !h.Degraded || h.TimesDegraded != 1 || h.LastError == "" {
+		t.Fatalf("degraded body wrong: %+v", h)
+	}
+
+	d.noteProgress() // recovery
+	get(t, srv, "/v1/readyz", http.StatusOK, &h)
+	if h.Degraded || h.ConsecutiveFailures != 0 || h.TimesDegraded != 1 || h.TotalRetries != 2 {
+		t.Fatalf("recovered body wrong: %+v", h)
+	}
+	// Liveness stayed green throughout.
+	get(t, srv, "/v1/healthz", http.StatusOK, nil)
+}
+
+// TestReadyzWithoutDaemon pins that a bare-Ingester API reports ready
+// whenever it is alive.
+func TestReadyzWithoutDaemon(t *testing.T) {
+	ing := NewIngester(Analysis{})
+	srv := httptest.NewServer(NewAPI(ing).Handler())
+	defer srv.Close()
+	var h Health
+	get(t, srv, "/v1/readyz", http.StatusOK, &h)
+	if h.State != StateOK {
+		t.Fatalf("bare API readyz: %+v", h)
+	}
+}

@@ -1,0 +1,126 @@
+package serve
+
+import (
+	"log"
+	"net/http"
+	"runtime/debug"
+	"time"
+)
+
+// HTTP front defaults; see HTTPOptions.
+const (
+	DefaultHTTPReadTimeout  = 5 * time.Second
+	DefaultHTTPWriteTimeout = 30 * time.Second
+	DefaultHTTPIdleTimeout  = 2 * time.Minute
+	DefaultHTTPMaxInFlight  = 256
+)
+
+// RetryAfterSeconds is the Retry-After value every 503 response advertises —
+// load-shed rejections and a degraded /v1/readyz alike — so well-behaved
+// clients and probes back off instead of hammering a struggling server.
+const RetryAfterSeconds = 1
+
+// HTTPOptions bounds the HTTP front so one slow or hostile client cannot
+// wedge the server: connection deadlines plus an in-flight request cap.
+// The zero value means the package defaults; negative values disable the
+// corresponding bound.
+type HTTPOptions struct {
+	// ReadTimeout bounds reading a request (header and body); 0 means
+	// DefaultHTTPReadTimeout, negative disables it.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds writing a response; 0 means
+	// DefaultHTTPWriteTimeout, negative disables it.
+	WriteTimeout time.Duration
+	// IdleTimeout bounds how long a keep-alive connection may sit idle; 0
+	// means DefaultHTTPIdleTimeout, negative disables it.
+	IdleTimeout time.Duration
+	// MaxInFlight caps concurrently served requests; excess requests are
+	// shed immediately with 503 + Retry-After rather than queued. 0 means
+	// DefaultHTTPMaxInFlight, negative disables shedding.
+	MaxInFlight int
+}
+
+// normalize fills in defaults and maps "disabled" to the zero the stdlib
+// expects.
+func (o HTTPOptions) normalize() HTTPOptions {
+	switch {
+	case o.ReadTimeout == 0:
+		o.ReadTimeout = DefaultHTTPReadTimeout
+	case o.ReadTimeout < 0:
+		o.ReadTimeout = 0
+	}
+	switch {
+	case o.WriteTimeout == 0:
+		o.WriteTimeout = DefaultHTTPWriteTimeout
+	case o.WriteTimeout < 0:
+		o.WriteTimeout = 0
+	}
+	switch {
+	case o.IdleTimeout == 0:
+		o.IdleTimeout = DefaultHTTPIdleTimeout
+	case o.IdleTimeout < 0:
+		o.IdleTimeout = 0
+	}
+	if o.MaxInFlight == 0 {
+		o.MaxInFlight = DefaultHTTPMaxInFlight
+	}
+	return o
+}
+
+// NewHTTPServer wraps handler in the hardening middleware (panic recovery
+// outermost, then load shedding) and returns an http.Server with the
+// options' connection deadlines applied. The caller owns the server's
+// lifecycle — ListenAndServe, Serve, Shutdown.
+func NewHTTPServer(addr string, handler http.Handler, opts HTTPOptions) *http.Server {
+	opts = opts.normalize()
+	return &http.Server{
+		Addr:         addr,
+		Handler:      Recover(LimitInFlight(handler, opts.MaxInFlight)),
+		ReadTimeout:  opts.ReadTimeout,
+		WriteTimeout: opts.WriteTimeout,
+		IdleTimeout:  opts.IdleTimeout,
+	}
+}
+
+// Recover turns a handler panic into a logged stack trace and a 500 error
+// response, so one bad request cannot kill the connection's serve goroutine
+// silently. http.ErrAbortHandler (the stdlib's deliberate abort) is
+// re-panicked untouched.
+func Recover(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			v := recover()
+			if v == nil {
+				return
+			}
+			if v == http.ErrAbortHandler {
+				panic(v)
+			}
+			log.Printf("serve: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, v, debug.Stack())
+			// If the handler already wrote a header this is a no-op write
+			// on a doomed response; nothing better is possible.
+			writeError(w, http.StatusInternalServerError, "internal error")
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// LimitInFlight caps concurrently served requests at max, shedding the
+// excess with 503 + Retry-After instead of queueing — a full server stays
+// responsive about being full rather than stacking goroutines until it
+// falls over. max <= 0 returns next unwrapped.
+func LimitInFlight(next http.Handler, max int) http.Handler {
+	if max <= 0 {
+		return next
+	}
+	slots := make(chan struct{}, max)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case slots <- struct{}{}:
+			defer func() { <-slots }()
+			next.ServeHTTP(w, r)
+		default:
+			writeError(w, http.StatusServiceUnavailable, "server is at capacity")
+		}
+	})
+}

@@ -1,0 +1,102 @@
+package serve
+
+import (
+	"context"
+	"math/rand"
+	"time"
+
+	"repro/internal/faults"
+)
+
+// TransientError marks an error as retryable; it is internal/faults.Error
+// re-exported so daemon callers and feed implementations share one
+// vocabulary. Feeds and sources tag retryable failures at the point of
+// origin (internal/chain tags EAGAIN-class read errors, internal/p2p tags
+// dial and socket failures); the daemon's supervision loop retries what
+// IsTransient accepts and treats everything else as fatal.
+type TransientError = faults.TransientError
+
+// Transient marks err as retryable; nil stays nil and an already-marked
+// error is returned unchanged.
+func Transient(err error) error { return faults.Transient(err) }
+
+// IsTransient reports whether err is marked transient (or carries an
+// EAGAIN-class errno), anywhere in its wrap chain.
+func IsTransient(err error) bool { return faults.IsTransient(err) }
+
+// Retry defaults; see RetryPolicy.
+const (
+	DefaultRetryMax       = 8
+	DefaultRetryBaseDelay = 100 * time.Millisecond
+	DefaultRetryMaxDelay  = 5 * time.Second
+)
+
+// RetryPolicy bounds the daemon's supervision of transient feed and apply
+// errors. Transient failures are retried with exponential backoff plus
+// jitter, starting at BaseDelay and capped at MaxDelay; the failure budget
+// resets whenever a block is applied. After Max consecutive failures the
+// daemon trips into the degraded state — it keeps serving the last published
+// snapshot and keeps retrying at the capped delay, but Health (and the
+// /v1/readyz endpoint) report it as not ready until a block applies again.
+//
+// The zero value means defaults. Max < 0 disables supervision entirely:
+// any transient error is fatal, the pre-retry behavior.
+type RetryPolicy struct {
+	// Max is how many consecutive transient failures are tolerated before
+	// the daemon reports itself degraded; 0 means DefaultRetryMax, negative
+	// disables retrying.
+	Max int
+	// BaseDelay is the first backoff delay; 0 means DefaultRetryBaseDelay.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff; 0 means DefaultRetryMaxDelay.
+	MaxDelay time.Duration
+}
+
+// normalize fills in defaults, leaving a negative Max (supervision off)
+// alone.
+func (p RetryPolicy) normalize() RetryPolicy {
+	if p.Max == 0 {
+		p.Max = DefaultRetryMax
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = DefaultRetryBaseDelay
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = DefaultRetryMaxDelay
+	}
+	if p.MaxDelay < p.BaseDelay {
+		p.MaxDelay = p.BaseDelay
+	}
+	return p
+}
+
+// backoff returns the delay before retry number failures (1-based):
+// BaseDelay doubling per failure, capped at MaxDelay, with jitter drawn
+// uniformly from [delay/2, delay] so synchronized restarts do not hammer a
+// recovering source in lockstep.
+func (p RetryPolicy) backoff(failures int) time.Duration {
+	d := p.BaseDelay
+	for i := 1; i < failures && d < p.MaxDelay; i++ {
+		d *= 2
+	}
+	if d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	if half := d / 2; half > 0 {
+		d = half + time.Duration(rand.Int63n(int64(half)+1))
+	}
+	return d
+}
+
+// sleepBackoff parks the ingest loop for the failure's backoff delay,
+// reporting false if ctx ended first (shutdown wins over retry).
+func (d *Daemon) sleepBackoff(ctx context.Context, failures int) bool {
+	timer := time.NewTimer(d.retry.backoff(failures))
+	defer timer.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-timer.C:
+		return true
+	}
+}

@@ -1,0 +1,117 @@
+package fistful
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/serve"
+)
+
+// TestChaosServeEquivalenceUnderFaults is the fault-tolerance tentpole
+// contract: a daemon whose feed fails transiently dozens of times — scattered
+// single faults plus one sustained burst long enough to trip degraded mode —
+// must recover without exiting and converge to a snapshot that answers
+// identically to the batch pipeline over the same prefix. While it runs, a
+// poller watches /v1/readyz observe the degraded (503) and recovered (200)
+// transitions. Run under -race, this also proves the health bookkeeping,
+// publishes, and queries race cleanly with the retrying ingest loop.
+func TestChaosServeEquivalenceUnderFaults(t *testing.T) {
+	w := serveWorld(t)
+	const workers = 2
+	blocks := w.Chain.Blocks()
+
+	// Two fault layers: every 7th poll fails in isolation (retry, no
+	// degradation), and polls 150..161 fail consecutively — 12 failures
+	// against a budget of 4 forces a degraded episode mid-ingest.
+	inner := serve.NewSourceFeed(&prefixSource{blocks: blocks})
+	scattered := faultinject.WrapFeed(inner, faultinject.NewEveryN(7), faultinject.FeedFaults{})
+	feed := faultinject.WrapFeed(scattered, faultinject.NewBurst(150, 12), faultinject.FeedFaults{})
+
+	ing := serve.NewIngester(analysisFromWorld(w, workers))
+	d := serve.NewDaemonOpts(ing, feed, serve.DaemonOptions{
+		PublishEvery: 32,
+		Retry:        serve.RetryPolicy{Max: 4, BaseDelay: 5 * time.Millisecond, MaxDelay: 25 * time.Millisecond},
+	})
+	api := httptest.NewServer(serve.NewDaemonAPI(d).Handler())
+	defer api.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- d.Run(ctx) }()
+
+	// Watch readiness transitions while the daemon fights through the faults.
+	var (
+		wg           sync.WaitGroup
+		stopPoll     = make(chan struct{})
+		mu           sync.Mutex
+		sawDegraded  bool
+		sawRecovered bool
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stopPoll:
+				return
+			case <-time.After(time.Millisecond):
+			}
+			resp, err := api.Client().Get(api.URL + "/v1/readyz")
+			if err != nil {
+				continue // server shutting down at test end
+			}
+			resp.Body.Close()
+			mu.Lock()
+			switch {
+			case resp.StatusCode == http.StatusServiceUnavailable:
+				sawDegraded = true
+			case resp.StatusCode == http.StatusOK && sawDegraded:
+				sawRecovered = true
+			}
+			mu.Unlock()
+		}
+	}()
+
+	final := int64(len(blocks) - 1)
+	deadline := time.Now().Add(2 * time.Minute)
+	for d.Snapshot().Height != final {
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon stuck at height %d under faults, want %d", d.Snapshot().Height, final)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	close(stopPoll)
+	wg.Wait()
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("daemon exited under transient faults: %v", err)
+	}
+
+	if scattered.Injected() == 0 || feed.Injected() == 0 {
+		t.Fatalf("harness injected nothing (scattered=%d, burst=%d)", scattered.Injected(), feed.Injected())
+	}
+	h := d.Health()
+	if h.TotalRetries < scattered.Injected()+feed.Injected() {
+		t.Fatalf("TotalRetries = %d, want at least %d", h.TotalRetries, scattered.Injected()+feed.Injected())
+	}
+	if h.TimesDegraded < 1 {
+		t.Fatalf("burst never tripped degraded: %+v", h)
+	}
+	if h.Degraded {
+		t.Fatalf("daemon still degraded after convergence: %+v", h)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if !sawDegraded || !sawRecovered {
+		t.Fatalf("readyz transitions not observed (degraded=%v recovered=%v)", sawDegraded, sawRecovered)
+	}
+
+	// The decisive check: after all that, the snapshot answers exactly as a
+	// batch pipeline built cold over the same prefix.
+	assertSnapshotMatchesBatch(t, d.Snapshot(), batchAtHeight(t, w, final, workers))
+}

@@ -34,6 +34,12 @@ type ServeOptions struct {
 	// CheckpointKeep is how many newest checkpoints to retain; <= 0 means
 	// serve.DefaultCheckpointKeep.
 	CheckpointKeep int
+
+	// Retry supervises transient feed and apply errors: bounded exponential
+	// backoff, a degraded state past the failure budget, recovery on the
+	// next applied block. The zero value means the serve package defaults;
+	// Retry.Max < 0 disables supervision (any transient error is fatal).
+	Retry serve.RetryPolicy
 }
 
 // Server is the `fistful serve` daemon: it tails the selected chain source,
@@ -122,12 +128,14 @@ func NewServer(ctx context.Context, cfg Config, opts ServeOptions) (*Server, err
 		feed = serve.NewNodeFeed(src.node)
 	}
 
+	daemon := serve.NewDaemonOpts(ing, feed, serve.DaemonOptions{
+		PublishEvery: opts.PublishEvery,
+		Checkpoints:  ck,
+		Retry:        opts.Retry,
+	})
 	return &Server{
-		daemon: serve.NewDaemonOpts(ing, feed, serve.DaemonOptions{
-			PublishEvery: opts.PublishEvery,
-			Checkpoints:  ck,
-		}),
-		api: serve.NewAPI(ing),
+		daemon: daemon,
+		api:    serve.NewDaemonAPI(daemon),
 	}, nil
 }
 
@@ -164,6 +172,18 @@ func (s *Server) Run(ctx context.Context) error { return s.daemon.Run(ctx) }
 
 // Handler returns the query API routes; see serve.API.Handler.
 func (s *Server) Handler() http.Handler { return s.api.Handler() }
+
+// HTTPServer returns a hardened http.Server for the query API: panic
+// recovery, in-flight load shedding, and connection deadlines, all at the
+// serve package defaults (see serve.NewHTTPServer). The caller owns its
+// lifecycle.
+func (s *Server) HTTPServer(addr string) *http.Server {
+	return serve.NewHTTPServer(addr, s.Handler(), serve.HTTPOptions{})
+}
+
+// Health returns the daemon's supervision state — what /v1/readyz reports;
+// safe from any goroutine.
+func (s *Server) Health() serve.Health { return s.daemon.Health() }
 
 // Snapshot returns the latest published snapshot; safe from any goroutine.
 func (s *Server) Snapshot() *serve.Snapshot { return s.daemon.Snapshot() }
